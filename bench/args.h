@@ -1,0 +1,22 @@
+// Tiny --key=value argument parser shared by the bench binaries.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace flaml::bench {
+
+class Args {
+ public:
+  Args(int argc, char** argv);
+
+  double get_double(const std::string& key, double fallback) const;
+  int get_int(const std::string& key, int fallback) const;
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace flaml::bench

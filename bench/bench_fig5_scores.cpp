@@ -1,0 +1,75 @@
+// Figure 5 reproduction: scaled scores of every AutoML method on every
+// suite dataset at the three budgets (ratio 1:10:60, standing in for the
+// paper's 1m / 10m / 1h). The paper shows these as radar charts grouped by
+// task type; we print one table per (group, budget) with the same data —
+// rows are datasets ordered by size (the radar's spokes), columns are
+// methods. Scores: 0 = constant prior predictor, 1 = tuned random forest.
+// Expected shape: FLAML wins most datasets at every budget.
+//
+// Flags: --budget-unit=<s> (default 0.05, i.e. one "paper minute")
+//        --row-scale=<f> (default 0.3)  --folds=<n> (default 1)
+//        --datasets=a,b,c (default: the whole suite)
+//
+// The sweep is cached in fig5_sweep.csv; bench_fig6_diff and
+// bench_table9_budget reuse the same cache.
+
+#include <cmath>
+#include <cstdio>
+
+#include "args.h"
+#include "harness.h"
+
+namespace fb = flaml::bench;
+using namespace flaml;
+
+int main(int argc, char** argv) {
+  fb::Args args(argc, argv);
+  const double unit = args.get_double("budget-unit", 0.05);
+  const double row_scale = args.get_double("row-scale", 0.3);
+  const int folds = args.get_int("folds", 1);
+
+  fb::SweepParams params = fb::default_sweep(unit, row_scale, folds);
+  if (args.has("datasets")) {
+    params.datasets = fb::split_csv(args.get_string("datasets", ""));
+  }
+  auto records = fb::load_or_run_sweep(params, "fig5_sweep.csv");
+
+  std::printf("# Figure 5: scaled scores (0 = prior predictor, 1 = tuned RF)\n");
+  std::printf("# budgets %.2fs/%.2fs/%.2fs stand in for 1m/10m/1h\n",
+              params.budgets[0], params.budgets[1], params.budgets[2]);
+
+  for (SuiteGroup group : {SuiteGroup::Binary, SuiteGroup::MultiClass,
+                           SuiteGroup::Regression}) {
+    for (double budget : params.budgets) {
+      std::printf("\n## %s, budget=%.2fs\n", suite_group_name(group), budget);
+      std::printf("%-18s", "dataset");
+      for (fb::Method m : params.methods) std::printf(" %10s", fb::method_name(m));
+      std::printf("  winner\n");
+      int flaml_wins = 0, rows = 0;
+      for (const auto& entry : suite_group(group)) {
+        std::printf("%-18s", entry.name.c_str());
+        double best = -1e18;
+        bool any = false;
+        fb::Method best_method = fb::Method::Flaml;
+        for (fb::Method m : params.methods) {
+          double score = fb::mean_scaled_score(records, entry.name, m, budget);
+          std::printf(" %10.3f", score);
+          if (std::isfinite(score) && score > best) {
+            best = score;
+            best_method = m;
+            any = true;
+          }
+        }
+        if (!any) {
+          std::printf("  (not run)\n");
+          continue;
+        }
+        std::printf("  %s\n", fb::method_name(best_method));
+        ++rows;
+        if (best_method == fb::Method::Flaml) ++flaml_wins;
+      }
+      std::printf("-> flaml wins %d / %d datasets in this panel\n", flaml_wins, rows);
+    }
+  }
+  return 0;
+}

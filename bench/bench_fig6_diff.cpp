@@ -1,0 +1,88 @@
+// Figure 6 reproduction: box-plot statistics of the scaled-score difference
+// between FLAML and each baseline, (row 1) at equal budgets and (row 2)
+// with FLAML on a smaller budget (1 unit vs 10, and 10 vs 60). Positive
+// difference = FLAML better. The paper's shape: medians clearly positive at
+// equal budget; still around zero or positive at 10x smaller budget.
+//
+// Reuses the fig5 sweep cache (run bench_fig5_scores first, or this binary
+// recomputes the sweep itself). Same flags as bench_fig5_scores.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "args.h"
+#include "common/math_util.h"
+#include "harness.h"
+
+namespace fb = flaml::bench;
+using namespace flaml;
+
+namespace {
+
+void print_box(const char* label, std::vector<double> diffs) {
+  if (diffs.empty()) return;
+  std::printf("%-24s n=%-3zu min=%7.3f q1=%7.3f med=%7.3f q3=%7.3f max=%7.3f "
+              "frac>0=%.2f\n",
+              label, diffs.size(), quantile(diffs, 0.0), quantile(diffs, 0.25),
+              quantile(diffs, 0.5), quantile(diffs, 0.75), quantile(diffs, 1.0),
+              static_cast<double>(std::count_if(diffs.begin(), diffs.end(),
+                                                [](double d) { return d > 0.0; })) /
+                  static_cast<double>(diffs.size()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fb::Args args(argc, argv);
+  const double unit = args.get_double("budget-unit", 0.05);
+  const double row_scale = args.get_double("row-scale", 0.3);
+  const int folds = args.get_int("folds", 1);
+
+  fb::SweepParams params = fb::default_sweep(unit, row_scale, folds);
+  auto records = fb::load_or_run_sweep(params, "fig5_sweep.csv");
+
+  const std::vector<fb::Method> baselines = {fb::Method::Bohb, fb::Method::Tpe,
+                                             fb::Method::Grid, fb::Method::Evolution,
+                                             fb::Method::Random};
+
+  std::printf("# Figure 6: scaled-score difference FLAML - baseline "
+              "(positive = FLAML better)\n");
+
+  std::printf("\n## row 1: equal budgets\n");
+  for (fb::Method baseline : baselines) {
+    for (double budget : params.budgets) {
+      std::vector<double> diffs;
+      for (const auto& name : params.datasets) {
+        double f = fb::mean_scaled_score(records, name, fb::Method::Flaml, budget);
+        double b = fb::mean_scaled_score(records, name, baseline, budget);
+        if (std::isfinite(f) && std::isfinite(b)) diffs.push_back(f - b);
+      }
+      char label[64];
+      std::snprintf(label, sizeof(label), "vs %s @%.2fs", fb::method_name(baseline),
+                    budget);
+      print_box(label, std::move(diffs));
+    }
+  }
+
+  std::printf("\n## row 2: FLAML with a smaller budget\n");
+  const std::pair<double, double> pairs[] = {
+      {params.budgets[0], params.budgets[1]},   // 1m vs 10m
+      {params.budgets[1], params.budgets[2]}};  // 10m vs 1h
+  for (fb::Method baseline : baselines) {
+    for (auto [small_b, large_b] : pairs) {
+      std::vector<double> diffs;
+      for (const auto& name : params.datasets) {
+        double f = fb::mean_scaled_score(records, name, fb::Method::Flaml, small_b);
+        double b = fb::mean_scaled_score(records, name, baseline, large_b);
+        if (std::isfinite(f) && std::isfinite(b)) diffs.push_back(f - b);
+      }
+      char label[64];
+      std::snprintf(label, sizeof(label), "vs %s %.2f/%.2fs",
+                    fb::method_name(baseline), small_b, large_b);
+      print_box(label, std::move(diffs));
+    }
+  }
+  return 0;
+}

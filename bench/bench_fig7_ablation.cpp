@@ -1,0 +1,104 @@
+// Figure 7 reproduction: ablation curves. FLAML vs its three ablations
+// (roundrobin learner choice, fulldata = no subsampling, cv = forced
+// cross-validation) on the MiniBooNE-, Dionis- and bng_pbc-analogues.
+// Prints the best-validation-error-so-far at geometric time checkpoints,
+// averaged over folds with min/max shades.
+// Expected shape: removing any component degrades the curve; fulldata is
+// much worse early (no cheap small-sample trials), roundrobin lags before
+// convergence.
+//
+// Flags: --budget=<s> (default 1.5) --row-scale=<f> (default 0.3) --folds=<n> (3)
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "args.h"
+#include "automl/automl.h"
+#include "data/suite.h"
+#include "harness.h"
+
+namespace fb = flaml::bench;
+using namespace flaml;
+
+int main(int argc, char** argv) {
+  fb::Args args(argc, argv);
+  const double budget = args.get_double("budget", 1.5);
+  const double row_scale = args.get_double("row-scale", 0.3);
+  const int folds = args.get_int("folds", 3);
+
+  const char* datasets[] = {"miniboone", "dionis", "bng-pbc"};
+  const fb::Method variants[] = {fb::Method::Flaml, fb::Method::FlamlRoundRobin,
+                                 fb::Method::FlamlFullData, fb::Method::FlamlCv};
+
+  // Geometric time checkpoints.
+  std::vector<double> checkpoints;
+  for (double t = budget / 32.0; t <= budget * 1.0001; t *= 2.0) {
+    checkpoints.push_back(t);
+  }
+
+  std::printf("# Figure 7: FLAML vs its ablations (validation error vs time; "
+              "lines = fold mean, shades = min/max)\n");
+
+  for (const char* dataset : datasets) {
+    Dataset data = make_suite_dataset(suite_entry(dataset), row_scale);
+    std::printf("\n## dataset=%s (%zu rows, %zu features, %s)\n", dataset,
+                data.n_rows(), data.n_cols(), task_name(data.task()));
+    std::printf("%-12s", "t(s)");
+    for (double t : checkpoints) std::printf(" %18.3f", t);
+    std::printf("\n");
+
+    for (fb::Method variant : variants) {
+      // value[fold][checkpoint] = best error so far at that time.
+      std::vector<std::vector<double>> curves;
+      for (int fold = 0; fold < folds; ++fold) {
+        AutoML automl;
+        AutoMLOptions options;
+        options.time_budget_seconds = budget;
+        options.initial_sample_size = static_cast<std::size_t>(10000.0 * row_scale);
+        options.budget_scale = budget / 3600.0;
+        options.seed = 100 + static_cast<std::uint64_t>(fold);
+        if (variant == fb::Method::FlamlRoundRobin) {
+          options.learner_choice = LearnerChoice::RoundRobin;
+        } else if (variant == fb::Method::FlamlFullData) {
+          options.sample_policy = SamplePolicy::FullData;
+        } else if (variant == fb::Method::FlamlCv) {
+          options.resampling = ResamplingPolicy::ForceCV;
+        }
+        automl.fit(data, options);
+        std::vector<double> curve(checkpoints.size(),
+                                  std::numeric_limits<double>::quiet_NaN());
+        for (std::size_t c = 0; c < checkpoints.size(); ++c) {
+          double best = std::numeric_limits<double>::quiet_NaN();
+          for (const auto& r : automl.history()) {
+            if (r.finished_at <= checkpoints[c]) best = r.best_error_so_far;
+          }
+          curve[c] = best;
+        }
+        curves.push_back(std::move(curve));
+      }
+      std::printf("%-12s", fb::method_name(variant));
+      for (std::size_t c = 0; c < checkpoints.size(); ++c) {
+        double mean = 0.0, lo = 1e18, hi = -1e18;
+        int n = 0;
+        for (const auto& curve : curves) {
+          if (!std::isfinite(curve[c])) continue;
+          mean += curve[c];
+          lo = std::min(lo, curve[c]);
+          hi = std::max(hi, curve[c]);
+          ++n;
+        }
+        if (n == 0) {
+          std::printf(" %18s", "-");
+        } else {
+          char cell[40];
+          std::snprintf(cell, sizeof(cell), "%.3f[%.3f,%.3f]", mean / n, lo, hi);
+          std::printf(" %18s", cell);
+        }
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 8 reproduction: scaled-score difference between FLAML and its own
+// ablation variants over ALL suite datasets (the appendix companion of the
+// Figure 7 curves). Positive = full FLAML better.
+//
+// Flags: --budget=<s> (default 0.2) --row-scale=<f> (0.25) --folds=<n> (1)
+// Cached in fig8_sweep.csv.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "args.h"
+#include "common/math_util.h"
+#include "harness.h"
+
+namespace fb = flaml::bench;
+using namespace flaml;
+
+int main(int argc, char** argv) {
+  fb::Args args(argc, argv);
+  const double budget = args.get_double("budget", 1.0);
+  const double row_scale = args.get_double("row-scale", 0.3);
+  const int folds = args.get_int("folds", 1);
+
+  fb::SweepParams params;
+  for (const auto& entry : benchmark_suite()) params.datasets.push_back(entry.name);
+  params.methods = {fb::Method::Flaml, fb::Method::FlamlRoundRobin,
+                    fb::Method::FlamlFullData, fb::Method::FlamlCv};
+  params.budgets = {budget};
+  params.row_scale = row_scale;
+  params.folds = folds;
+  params.budget_scale = budget / 600.0;  // the run stands in for 10 paper-minutes
+  auto records = fb::load_or_run_sweep(params, "fig8_sweep.csv");
+
+  std::printf("# Figure 8: score difference FLAML - ablation over all datasets "
+              "(positive = full FLAML better)\n");
+  std::printf("%-18s %10s %10s %10s\n", "dataset", "vs_rrobin", "vs_fulldata",
+              "vs_cv");
+  std::vector<double> d_rr, d_fd, d_cv;
+  for (const auto& name : params.datasets) {
+    double f = fb::mean_scaled_score(records, name, fb::Method::Flaml, budget);
+    double rr = fb::mean_scaled_score(records, name, fb::Method::FlamlRoundRobin, budget);
+    double fd = fb::mean_scaled_score(records, name, fb::Method::FlamlFullData, budget);
+    double cv = fb::mean_scaled_score(records, name, fb::Method::FlamlCv, budget);
+    std::printf("%-18s %10.3f %10.3f %10.3f\n", name.c_str(), f - rr, f - fd, f - cv);
+    if (std::isfinite(f - rr)) d_rr.push_back(f - rr);
+    if (std::isfinite(f - fd)) d_fd.push_back(f - fd);
+    if (std::isfinite(f - cv)) d_cv.push_back(f - cv);
+  }
+  auto summarize = [](const char* label, std::vector<double>& d) {
+    if (d.empty()) return;
+    std::printf("%-14s median=%7.3f mean=%7.3f frac>=0=%.2f\n", label,
+                quantile(d, 0.5), mean(d),
+                static_cast<double>(std::count_if(d.begin(), d.end(),
+                                                  [](double v) { return v >= 0.0; })) /
+                    static_cast<double>(d.size()));
+  };
+  std::printf("\n## summary\n");
+  summarize("vs roundrobin", d_rr);
+  summarize("vs fulldata", d_fd);
+  summarize("vs cv", d_cv);
+  return 0;
+}

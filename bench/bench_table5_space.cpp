@@ -1,0 +1,48 @@
+// Table 5 verification: prints the default search space of every built-in
+// learner (ranges, scales, low-cost initial values) so the implementation
+// can be diffed against the paper's table. S (the training size) caps the
+// tree/leaf ranges; we print the spaces for a representative S.
+//
+// Flags: --size=<n> training size used for the S-dependent caps (100000)
+
+#include <cstdio>
+
+#include "args.h"
+#include "learners/registry.h"
+
+namespace fb = flaml::bench;
+using namespace flaml;
+
+int main(int argc, char** argv) {
+  fb::Args args(argc, argv);
+  const std::size_t size = static_cast<std::size_t>(args.get_int("size", 100000));
+
+  std::printf("# Table 5: default search spaces (S = %zu)\n", size);
+  std::printf("# bold init values of the paper = the 'init' column here\n\n");
+
+  for (Task task : {Task::BinaryClassification, Task::Regression}) {
+    std::printf("== task: %s ==\n", task_name(task));
+    for (const auto& learner : default_learners(task)) {
+      ConfigSpace space = learner->space(task, size);
+      std::printf("%-12s (initial-cost multiplier %.1f)\n", learner->name().c_str(),
+                  learner->initial_cost_multiplier());
+      for (const auto& p : space.params()) {
+        if (p.type == ParamDomain::Type::Categorical) {
+          std::printf("    %-20s cat    {", p.name.c_str());
+          for (std::size_t i = 0; i < p.categories.size(); ++i) {
+            std::printf("%s%s", i ? ", " : "", p.categories[i].c_str());
+          }
+          std::printf("}  init=%s\n",
+                      p.categories[static_cast<std::size_t>(p.init)].c_str());
+        } else {
+          std::printf("    %-20s %-6s [%g, %g]%s  init=%g%s\n", p.name.c_str(),
+                      p.type == ParamDomain::Type::Int ? "int" : "float", p.lo, p.hi,
+                      p.log_scale ? " (log)" : "", p.init,
+                      p.cost_related ? "  [cost-related]" : "");
+        }
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Shared machinery for the paper-reproduction benches.
+//
+// Evaluation protocol (mirrors the AutoML benchmark used in the paper):
+// each suite dataset is split once per fold-seed into 80% train / 20% test
+// (stratified); a method fits on the train split under a wall-clock budget;
+// the final model's error on the test split is calibrated into the "scaled
+// score" where 0 = constant class-prior/mean predictor and 1 = a random
+// forest tuned with a generous reference budget. Sweep results are cached
+// in a CSV next to the binaries so Figure-6/Table-9 style derivations reuse
+// the Figure-5 runs instead of recomputing them.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "automl/automl.h"
+#include "automl/baselines.h"
+#include "data/suite.h"
+#include "metrics/scaled_score.h"
+
+namespace flaml::bench {
+
+// Method identifiers. "flaml" plus ablations and the five baselines.
+enum class Method {
+  Flaml,
+  FlamlRoundRobin,  // ablation: round-robin learner choice
+  FlamlFullData,    // ablation: no subsampling
+  FlamlCv,          // ablation: force cross-validation
+  FlamlGreedy,      // design ablation: argmin-ECI instead of 1/ECI sampling
+  Bohb,
+  Tpe,
+  Grid,
+  Evolution,
+  Random,
+};
+
+const char* method_name(Method method);
+Method method_from_name(const std::string& name);
+
+struct RunOutcome {
+  double test_error = 0.0;    // benchmark metric on the held-out test split
+  double scaled_score = 0.0;  // calibrated (0 = prior, 1 = tuned RF)
+  double search_seconds = 0.0;
+  TrialHistory history;
+};
+
+struct SweepParams {
+  std::vector<std::string> datasets;      // suite names
+  std::vector<Method> methods;
+  std::vector<double> budgets;            // seconds (ascending)
+  double row_scale = 0.3;                 // suite row-count multiplier
+  int folds = 1;                          // independent split seeds
+  double budget_scale = 1.0 / 60.0;       // paper-equivalent budget factor
+  double reference_budget = 0.0;          // 0 = max(budgets) for the tuned RF
+};
+
+struct SweepRecord {
+  std::string dataset;
+  SuiteGroup group = SuiteGroup::Binary;
+  Method method = Method::Flaml;
+  double budget = 0.0;
+  int fold = 0;
+  double test_error = 0.0;
+  double scaled_score = 0.0;
+};
+
+// Run one method on a pre-split dataset. `calibration` converts the test
+// error into the scaled score.
+RunOutcome run_method(Method method, const Dataset& train, const DataView& test,
+                      const ErrorMetric& metric, const ScoreCalibration& calibration,
+                      double budget_seconds, double budget_scale, std::uint64_t seed,
+                      std::size_t initial_sample_size = 300);
+
+// Calibration for one split: prior error of the constant predictor and the
+// error of a random forest tuned by random search for `reference_budget`.
+ScoreCalibration calibrate(const Dataset& train, const DataView& test,
+                           const ErrorMetric& metric, double reference_budget,
+                           std::uint64_t seed);
+
+// Run (or load from `cache_path` if it already holds this sweep) the full
+// dataset × method × budget × fold sweep.
+std::vector<SweepRecord> load_or_run_sweep(const SweepParams& params,
+                                           const std::string& cache_path,
+                                           bool verbose = true);
+
+// Mean scaled score across folds for (dataset, method, budget); NaN if absent.
+double mean_scaled_score(const std::vector<SweepRecord>& records,
+                         const std::string& dataset, Method method, double budget);
+
+// Parse "a,b,c" into tokens.
+std::vector<std::string> split_csv(const std::string& text);
+
+// The default fig5 sweep (shared verbatim by fig5/fig6/table9 so the cache
+// key matches); budgets ratio 1:3:10 standing in for the paper's 1m:10m:1h.
+SweepParams default_sweep(double budget_unit, double row_scale, int folds);
+
+}  // namespace flaml::bench

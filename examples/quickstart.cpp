@@ -1,0 +1,48 @@
+// Quickstart: the scikit-learn-style API from §3 of the paper.
+//
+//   AutoML automl;
+//   automl.fit(train_data, options);   // ~ automl.fit(X_train, y_train)
+//   predictions = automl.predict(test);
+//
+// Run: ./quickstart [budget_seconds]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "automl/automl.h"
+#include "data/split.h"
+#include "data/suite.h"
+#include "metrics/metrics.h"
+
+using namespace flaml;
+
+int main(int argc, char** argv) {
+  const double budget = argc > 1 ? std::atof(argv[1]) : 2.0;
+
+  // A binary classification task (an analogue of the OpenML "adult"
+  // dataset: mixed numeric/categorical features, some missing values).
+  Dataset data = make_suite_dataset(suite_entry("adult"), 0.5);
+  Rng rng(42);
+  auto split = holdout_split(DataView(data), 0.2, rng);
+  Dataset train = materialize(split.train);
+
+  std::printf("dataset: %zu train rows, %zu test rows, %zu features\n",
+              train.n_rows(), split.test.n_rows(), train.n_cols());
+
+  AutoML automl;
+  AutoMLOptions options;
+  options.time_budget_seconds = budget;  // the only knob you need
+  options.seed = 1;
+  automl.fit(train, options);
+
+  Predictions pred = automl.predict(split.test);
+  double auc = roc_auc(pred.prob1(), split.test.labels());
+
+  std::printf("searched %zu configurations in %.1fs\n", automl.history().size(),
+              budget);
+  std::printf("best learner: %s (validation error %.4f, resampling: %s)\n",
+              automl.best_learner().c_str(), automl.best_error(),
+              resampling_name(automl.resampling_used()));
+  std::printf("test AUC: %.4f\n", auc);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Selectivity estimation (paper §5.3): the database-systems scenario that
+// motivates fast, economical AutoML. A query optimizer needs a fresh
+// regression model per table/join expression, trained on synthetic range
+// queries, under a tight CPU budget — here we build one for a 4D table and
+// compare against the hand-tuned configuration from Dutt et al. 2019
+// (XGBoost, 16 trees, 16 leaves).
+//
+// Run: ./selectivity_estimation [budget_seconds]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "selest/harness.h"
+
+using namespace flaml;
+using namespace flaml::selest;
+
+int main(int argc, char** argv) {
+  const double budget = argc > 1 ? std::atof(argv[1]) : 1.0;
+
+  SelestInstance instance;
+  instance.name = "4D-Forest (example)";
+  instance.family = TableFamily::Forest;
+  instance.n_dims = 4;
+  instance.table_rows = 15000;
+  instance.train_queries = 1200;
+  instance.test_queries = 400;
+  instance.seed = 99;
+
+  std::printf("generating a %d-column %s table (%zu rows) and %zu labeled "
+              "range queries...\n",
+              instance.n_dims, family_name(instance.family), instance.table_rows,
+              instance.train_queries + instance.test_queries);
+  SelestData data = make_selest_data(instance);
+
+  std::printf("searching models for %.1fs (the paper's setting: <= 1 CPU "
+              "minute per selectivity model)...\n",
+              budget);
+  SelestResult flaml_r = run_flaml(data, budget, 1);
+  SelestResult manual_r = run_manual(data, 1);
+
+  std::printf("\n95th-percentile q-error on held-out queries:\n");
+  std::printf("  FLAML (auto):      %.2f  (search %.1fs)\n", flaml_r.q95,
+              flaml_r.search_seconds);
+  std::printf("  Manual (16x16 xgb): %.2f\n", manual_r.q95);
+  std::printf("\n%s\n", flaml_r.q95 <= manual_r.q95
+                            ? "FLAML found a better model than the manual "
+                              "configuration within budget."
+                            : "Manual configuration held up this time; larger "
+                              "budgets let FLAML pull ahead.");
+  return 0;
+}

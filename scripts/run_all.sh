@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+set -u
+BUILD="${1:-build}"
+cd "$(dirname "$0")/.." || exit 1
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+(
+  cd "$BUILD" || exit 1
+  for b in bench/bench_*; do
+    echo "===================================================================="
+    echo "== $b"
+    echo "===================================================================="
+    "$b"
+    echo
+  done
+) 2>&1 | tee bench_output.txt

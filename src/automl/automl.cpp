@@ -1,0 +1,434 @@
+#include "automl/automl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <future>
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+#include "common/log.h"
+#include "common/math_util.h"
+
+namespace flaml {
+
+AutoML::AutoML() = default;
+
+void AutoML::add_learner(LearnerPtr learner) {
+  FLAML_REQUIRE(learner != nullptr, "learner must not be null");
+  for (const auto& existing : extra_learners_) {
+    FLAML_REQUIRE(existing->name() != learner->name(),
+                  "duplicate learner '" << learner->name() << "'");
+  }
+  extra_learners_.push_back(std::move(learner));
+}
+
+std::size_t AutoML::choose_learner(Rng& rng, bool greedy, double c) const {
+  // Cold start: the caller guarantees the fastest learner runs first, which
+  // calibrates every other learner's initial ECI1.
+  std::vector<double> weights(states_.size());
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    const LearnerState& s = states_[i];
+    const bool can_grow = s.sample_size < runner_->max_sample_size();
+    double eci = s.eci.eci(best_error_, c, can_grow);
+    weights[i] = 1.0 / std::max(eci, 1e-9);
+  }
+  if (greedy) {
+    return static_cast<std::size_t>(
+        std::max_element(weights.begin(), weights.end()) - weights.begin());
+  }
+  return rng.categorical(weights);
+}
+
+void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
+  FLAML_REQUIRE(options.time_budget_seconds > 0.0, "time budget must be positive");
+  FLAML_REQUIRE(options.sample_multiplier > 1.0, "sample multiplier must be > 1");
+  FLAML_REQUIRE(options.budget_scale > 0.0, "budget_scale must be positive");
+  FLAML_REQUIRE(options.n_parallel >= 1, "n_parallel must be >= 1");
+  data.validate();
+  data_ = &data;
+  history_.clear();
+  states_.clear();
+  best_model_.reset();
+  ensemble_models_.clear();
+  ensemble_weights_.clear();
+  best_error_ = std::numeric_limits<double>::infinity();
+  best_learner_.clear();
+  best_config_.clear();
+
+  const Task task = data.task();
+  Rng rng(options.seed);
+
+  // --- Metric ---
+  ErrorMetric metric = options.custom_metric.has_value()
+                           ? *options.custom_metric
+                           : (options.metric.empty()
+                                  ? ErrorMetric::default_for(task)
+                                  : ErrorMetric::by_name(options.metric));
+
+  // --- Step 0: resampling strategy proposer ---
+  Resampling resampling;
+  switch (options.resampling) {
+    case ResamplingPolicy::ForceCV: resampling = Resampling::CV; break;
+    case ResamplingPolicy::ForceHoldout: resampling = Resampling::Holdout; break;
+    case ResamplingPolicy::Auto:
+    default:
+      resampling = propose_resampling(
+          data.n_rows(), data.n_cols(),
+          options.time_budget_seconds / options.budget_scale);
+      break;
+  }
+  resampling_used_ = resampling;
+
+  TrialRunner::Options runner_options;
+  runner_options.resampling = resampling;
+  runner_options.cv_folds = options.cv_folds;
+  runner_options.holdout_ratio = options.holdout_ratio;
+  runner_options.seed = options.seed;
+  runner_ = std::make_unique<TrialRunner>(data, metric, runner_options);
+  const std::size_t full_size = runner_->max_sample_size();
+
+  // --- Learner lineup ---
+  std::vector<LearnerPtr> lineup;
+  {
+    std::vector<LearnerPtr> pool = default_learners(task);
+    for (const auto& l : extra_learners_) {
+      if (l->supports(task)) pool.push_back(l);
+    }
+    if (options.estimator_list.empty()) {
+      lineup = pool;
+    } else {
+      for (const auto& name : options.estimator_list) {
+        bool found = false;
+        for (const auto& l : pool) {
+          if (l->name() == name) {
+            lineup.push_back(l);
+            found = true;
+            break;
+          }
+        }
+        FLAML_REQUIRE(found, "estimator '" << name << "' unknown or unsupported for "
+                                           << task_name(task));
+      }
+    }
+  }
+  FLAML_REQUIRE(!lineup.empty(), "no learners available for this task");
+
+  const std::size_t init_sample =
+      options.sample_policy == SamplePolicy::FullData
+          ? full_size
+          : std::min(full_size, std::max<std::size_t>(options.initial_sample_size, 10));
+
+  for (const auto& learner : lineup) {
+    LearnerState state;
+    state.learner = learner;
+    state.space = std::make_unique<ConfigSpace>(learner->space(task, full_size));
+    state.tuner = std::make_unique<Flow2>(*state.space, rng.next());
+    if (auto it = options.starting_points.find(learner->name());
+        it != options.starting_points.end()) {
+      state.tuner->set_start_point(it->second);
+    }
+    state.tuner->set_adaptation(init_sample >= full_size);
+    state.sample_size = init_sample;
+    states_.push_back(std::move(state));
+  }
+
+  // Cold-start order: the learner with the smallest cost multiplier first.
+  std::size_t fastest = 0;
+  for (std::size_t i = 1; i < states_.size(); ++i) {
+    if (states_[i].learner->initial_cost_multiplier() <
+        states_[fastest].learner->initial_cost_multiplier()) {
+      fastest = i;
+    }
+  }
+
+  const double budget = options.time_budget_seconds;
+  const double c = options.sample_multiplier;
+  WallClock clock;
+  int iteration = 0;
+  bool calibrated = false;
+
+  // --- Step 2: hyperparameter & sample size proposer (for one learner) ---
+  struct Proposal {
+    Config config;
+    bool grow_sample = false;
+  };
+  auto propose = [&](LearnerState& state) {
+    Proposal p;
+    const bool can_grow = options.sample_policy == SamplePolicy::Adaptive &&
+                          state.sample_size < full_size;
+    if (state.eci.tried() && can_grow &&
+        state.eci.eci1() >= state.eci.eci2(c, can_grow) && state.tuner->has_best()) {
+      p.grow_sample = true;
+      state.sample_size = std::min(
+          full_size, static_cast<std::size_t>(std::lround(
+                         static_cast<double>(state.sample_size) * c)));
+      p.config = state.tuner->best_config();
+    } else {
+      p.config = state.tuner->ask();
+    }
+    return p;
+  };
+
+  // --- Step 3 bookkeeping after a trial finished ---
+  auto commit = [&](LearnerState& state, const Proposal& proposal,
+                    const TrialResult& trial) {
+    ++iteration;
+    state.eci.record(trial.cost, trial.error);
+    if (proposal.grow_sample) {
+      state.tuner->update_incumbent_error(trial.error);
+    } else {
+      state.tuner->tell(trial.error);
+    }
+    state.tuner->set_adaptation(state.sample_size >= full_size);
+
+    // Restart on convergence at full sample size (escape local optima,
+    // FairChance); the sample size resets with the restart.
+    if (state.tuner->converged() && state.sample_size >= full_size) {
+      state.tuner->restart();
+      if (options.sample_policy == SamplePolicy::Adaptive) {
+        state.sample_size = init_sample;
+        state.tuner->set_adaptation(init_sample >= full_size);
+      }
+    }
+
+    if (trial.ok && trial.error < state.best_error) {
+      state.best_error = trial.error;
+      state.best_config = proposal.config;
+    }
+    if (trial.ok && trial.error < best_error_) {
+      best_error_ = trial.error;
+      best_config_ = proposal.config;
+      best_learner_ = state.learner->name();
+      best_sample_size_ = state.sample_size;
+    }
+
+    TrialRecord record;
+    record.iteration = iteration;
+    record.finished_at = clock.now();
+    record.learner = state.learner->name();
+    record.config = proposal.config;
+    record.sample_size = state.sample_size;
+    record.error = trial.error;
+    record.cost = trial.cost;
+    record.best_error_so_far = best_error_;
+    history_.push_back(std::move(record));
+
+    if (!calibrated) {
+      // Calibrate cold-start ECI1 of the other learners from the fastest
+      // learner's first (smallest) cost.
+      const double base_cost =
+          trial.cost / states_[fastest].learner->initial_cost_multiplier();
+      for (auto& other : states_) {
+        other.eci.initial_eci1 =
+            base_cost * other.learner->initial_cost_multiplier();
+      }
+      calibrated = true;
+    }
+    FLAML_LOG(Debug) << "iter " << iteration << " learner=" << state.learner->name()
+                     << " s=" << state.sample_size << " err=" << trial.error
+                     << " cost=" << trial.cost;
+  };
+
+  auto pick_learner = [&]() -> std::size_t {
+    if (!calibrated) return fastest;  // appendix rule: fastest learner first
+    if (options.learner_choice == LearnerChoice::RoundRobin) {
+      return static_cast<std::size_t>(iteration) % states_.size();
+    }
+    return choose_learner(rng, options.learner_choice == LearnerChoice::EciGreedy, c);
+  };
+
+  auto target_reached = [&]() {
+    return options.target_error >= 0.0 && best_error_ <= options.target_error;
+  };
+
+  if (options.n_parallel <= 1) {
+    while (clock.now() < budget && !target_reached()) {
+      LearnerState& state = states_[pick_learner()];
+      Proposal proposal = propose(state);
+      const double remaining = budget - clock.now();
+      if (remaining <= 0.0) break;
+      TrialResult trial = runner_->run(*state.learner, proposal.config,
+                                       state.sample_size, remaining);
+      commit(state, proposal, trial);
+    }
+  } else {
+    // Parallel mode (paper appendix): up to n_parallel trials in flight, at
+    // most one per learner (FLOW2's ask/tell is sequential per learner).
+    // Proposals and bookkeeping stay on this thread; only the trials run on
+    // the pool. Completions are consumed in launch order, which keeps the
+    // history deterministic given the trial outcomes.
+    struct InFlight {
+      std::size_t state_idx = 0;
+      Proposal proposal;
+      std::future<TrialResult> future;
+    };
+    ThreadPool pool(static_cast<std::size_t>(options.n_parallel));
+    std::vector<InFlight> inflight;
+    std::vector<bool> busy(states_.size(), false);
+
+    auto launch_one = [&]() -> bool {
+      const double remaining = budget - clock.now();
+      if (remaining <= 0.0) return false;
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        std::size_t idx = pick_learner();
+        if (busy[idx]) continue;  // one outstanding trial per learner
+        LearnerState& state = states_[idx];
+        Proposal proposal = propose(state);
+        busy[idx] = true;
+        const Learner* learner = state.learner.get();
+        const std::size_t sample_size = state.sample_size;
+        Config config = proposal.config;
+        InFlight entry;
+        entry.state_idx = idx;
+        entry.proposal = std::move(proposal);
+        entry.future = pool.submit([this, learner, config, sample_size, remaining] {
+          return runner_->run(*learner, config, sample_size, remaining);
+        });
+        inflight.push_back(std::move(entry));
+        return true;
+      }
+      return false;
+    };
+
+    while (clock.now() < budget && !target_reached()) {
+      // The calibration trial runs alone (its cost seeds every ECI).
+      const int cap = calibrated ? options.n_parallel : 1;
+      while (static_cast<int>(inflight.size()) < cap && launch_one()) {
+      }
+      if (inflight.empty()) break;
+      InFlight front = std::move(inflight.front());
+      inflight.erase(inflight.begin());
+      TrialResult trial = front.future.get();
+      busy[front.state_idx] = false;
+      commit(states_[front.state_idx], front.proposal, trial);
+    }
+    for (auto& entry : inflight) {
+      TrialResult trial = entry.future.get();
+      busy[entry.state_idx] = false;
+      commit(states_[entry.state_idx], entry.proposal, trial);
+    }
+  }
+
+  // --- Final model ---
+  if (best_learner_.empty()) {
+    // Budget too small for even one trial: fall back to the fastest
+    // learner's initial configuration so predict() always works.
+    LearnerState& state = states_[fastest];
+    best_learner_ = state.learner->name();
+    best_config_ = state.space->initial_config();
+    best_sample_size_ = init_sample;
+  }
+  for (auto& state : states_) {
+    if (state.learner->name() == best_learner_) {
+      // With retrain_full the final fit uses all training rows; otherwise
+      // only the best trial's sample size (cheaper, slightly less accurate).
+      if (options.retrain_full) {
+        best_model_ = runner_->train_final(*state.learner, best_config_, 2.0 * budget);
+      } else {
+        TrainContext ctx;
+        DataView all_rows(data);
+        ctx.train = all_rows.prefix(std::max<std::size_t>(best_sample_size_, 2));
+        ctx.seed = options.seed;
+        best_model_ = state.learner->train(ctx, best_config_);
+      }
+      break;
+    }
+  }
+  FLAML_CHECK(best_model_ != nullptr);
+
+  if (options.enable_ensemble) {
+    // Simplified stacked ensemble (paper appendix): blend the per-learner
+    // best models with weights decaying in validation error.
+    std::vector<std::pair<double, const LearnerState*>> ranked;
+    for (const auto& state : states_) {
+      if (std::isfinite(state.best_error)) ranked.emplace_back(state.best_error, &state);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [error, state] : ranked) {
+      ensemble_models_.push_back(
+          runner_->train_final(*state->learner, state->best_config, budget));
+      ensemble_weights_.push_back(1.0 / (1.0 + error - ranked.front().first));
+    }
+    double total = 0.0;
+    for (double w : ensemble_weights_) total += w;
+    for (double& w : ensemble_weights_) w /= total;
+  }
+}
+
+Predictions AutoML::predict(const DataView& view) const {
+  FLAML_REQUIRE(best_model_ != nullptr, "predict() before fit()");
+  if (ensemble_models_.empty()) return best_model_->predict(view);
+  // Weighted average of ensemble member predictions.
+  Predictions blended = ensemble_models_[0]->predict(view);
+  for (double& v : blended.values) v *= ensemble_weights_[0];
+  for (std::size_t m = 1; m < ensemble_models_.size(); ++m) {
+    Predictions p = ensemble_models_[m]->predict(view);
+    FLAML_CHECK(p.values.size() == blended.values.size());
+    for (std::size_t i = 0; i < p.values.size(); ++i) {
+      blended.values[i] += ensemble_weights_[m] * p.values[i];
+    }
+  }
+  return blended;
+}
+
+void AutoML::save_best_model(std::ostream& out) const {
+  FLAML_REQUIRE(best_model_ != nullptr, "save_best_model() before fit()");
+  FLAML_REQUIRE(ensemble_models_.empty(),
+                "ensemble models are not serializable; disable enable_ensemble");
+  out << "flaml-model v1 " << best_learner_ << '\n';
+  best_model_->save(out);
+}
+
+void AutoML::save_best_model_file(const std::string& path) const {
+  std::ofstream out(path);
+  FLAML_REQUIRE(out.good(), "cannot open '" << path << "' for writing");
+  save_best_model(out);
+}
+
+std::unique_ptr<Model> load_automl_model(std::istream& in,
+                                         const std::vector<LearnerPtr>& extra_learners) {
+  std::string magic, version, learner_name;
+  in >> magic >> version >> learner_name;
+  FLAML_REQUIRE(magic == "flaml-model" && version == "v1",
+                "bad flaml model header");
+  for (const auto& l : extra_learners) {
+    if (l->name() == learner_name) return l->load_model(in);
+  }
+  return builtin_learner(learner_name)->load_model(in);
+}
+
+std::unique_ptr<Model> load_automl_model_file(
+    const std::string& path, const std::vector<LearnerPtr>& extra_learners) {
+  std::ifstream in(path);
+  FLAML_REQUIRE(in.good(), "cannot open model file '" << path << "'");
+  return load_automl_model(in, extra_learners);
+}
+
+void write_history_csv(std::ostream& out, const TrialHistory& history) {
+  out << "iteration,finished_at,learner,sample_size,cost,error,best_error,config\n";
+  out.precision(12);
+  for (const auto& r : history) {
+    out << r.iteration << ',' << r.finished_at << ',' << r.learner << ','
+        << r.sample_size << ',' << r.cost << ',' << r.error << ','
+        << r.best_error_so_far << ',';
+    bool first = true;
+    for (const auto& [name, value] : r.config) {
+      out << (first ? "" : "|") << name << '=' << value;
+      first = false;
+    }
+    out << '\n';
+  }
+}
+
+std::vector<std::pair<std::string, double>> AutoML::per_learner_best() const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(states_.size());
+  for (const auto& state : states_) {
+    out.emplace_back(state.learner->name(), state.best_error);
+  }
+  return out;
+}
+
+}  // namespace flaml

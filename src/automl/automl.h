@@ -1,0 +1,167 @@
+// The FLAML AutoML facade (paper §3 API) and its controller (§4).
+//
+//   AutoML automl;
+//   AutoMLOptions options;
+//   options.time_budget_seconds = 60;
+//   automl.fit(data, options);
+//   Predictions pred = automl.predict(test_view);
+//
+// fit() runs the four-component loop of Figure 3: the resampling proposer
+// picks cv/holdout once (step 0); each iteration the learner proposer
+// samples a learner with probability ∝ 1/ECI (step 1), the hyperparameter &
+// sample-size proposer either doubles the sample or asks FLOW2 for a new
+// config (step 2), and the controller runs the trial and updates the ECI
+// bookkeeping (step 3). Custom learners and metrics plug in through
+// add_learner() and options.metric.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "automl/eci.h"
+#include "automl/history.h"
+#include "automl/trial_runner.h"
+#include "learners/registry.h"
+#include "tuners/flow2.h"
+
+namespace flaml {
+
+// Ablation switches (paper §5.2), plus EciGreedy — always pick the
+// argmin-ECI learner instead of sampling ∝ 1/ECI — to quantify the value of
+// the FairChance randomization (Property 3).
+enum class LearnerChoice { EciSampling, EciGreedy, RoundRobin };
+enum class SamplePolicy { Adaptive, FullData };
+enum class ResamplingPolicy { Auto, ForceCV, ForceHoldout };
+
+struct AutoMLOptions {
+  double time_budget_seconds = 60.0;
+  // Empty = the task default (auc / log_loss / r2); or any built-in name.
+  std::string metric;
+  // Custom metric (overrides `metric` when set).
+  std::optional<ErrorMetric> custom_metric;
+  // Empty = all supported built-ins + learners added via add_learner().
+  std::vector<std::string> estimator_list;
+
+  // Sample-size schedule (paper: start 10K, multiply by c = 2). The start
+  // size is scaled down with our dataset sizes; see DESIGN.md.
+  std::size_t initial_sample_size = 1000;
+  double sample_multiplier = 2.0;
+
+  LearnerChoice learner_choice = LearnerChoice::EciSampling;
+  SamplePolicy sample_policy = SamplePolicy::Adaptive;
+  ResamplingPolicy resampling = ResamplingPolicy::Auto;
+  int cv_folds = 5;
+  double holdout_ratio = 0.1;
+
+  // Paper-equivalent budget used by the resampling rule = real budget /
+  // budget_scale (benches run at scaled-down budgets; the rule's thresholds
+  // are calibrated for paper-scale budgets).
+  double budget_scale = 1.0;
+
+  // Retrain the best configuration on all training rows after the search.
+  bool retrain_full = true;
+
+  // Optional stacked-ensemble post-processing (paper appendix): blend the
+  // per-learner best models, weighted by validation error.
+  bool enable_ensemble = false;
+
+  // Parallel search threads (paper appendix): when > 1, up to n_parallel
+  // trials run concurrently, each learner keeping at most one outstanding
+  // trial; learners are sampled by ECI as workers free up. Trial costs are
+  // still wall-clock per trial, so total CPU spent is ~n_parallel × budget.
+  int n_parallel = 1;
+
+  // Warm-start configurations per learner name: FLOW2 starts its walk from
+  // this config instead of the low-cost default (e.g. the best config of a
+  // previous fit on related data).
+  std::map<std::string, Config> starting_points;
+
+  // Stop the search as soon as the best validation error reaches this value
+  // (paper appendix: "search for the cheapest model with error below a
+  // threshold"). Negative = disabled.
+  double target_error = -1.0;
+
+  std::uint64_t seed = 1;
+};
+
+class AutoML {
+ public:
+  AutoML();
+
+  // Register a custom learner (paper §3: automl.add_learner(...)). Must be
+  // called before fit(); the learner participates when its name appears in
+  // options.estimator_list, or always when the list is empty.
+  void add_learner(LearnerPtr learner);
+
+  // Search for the best (learner, hyperparameters, sample size) under the
+  // time budget. `data` must outlive this object (views are kept for
+  // prediction-time schema checks).
+  void fit(const Dataset& data, const AutoMLOptions& options);
+
+  // Predict with the best model found. fit() must have been called.
+  Predictions predict(const DataView& view) const;
+
+  // Persist the best model (learner name + model blob). The saved file can
+  // be loaded later with load_automl_model() — no dataset needed. Ensemble
+  // mode is not serializable (save the underlying options instead).
+  void save_best_model(std::ostream& out) const;
+  void save_best_model_file(const std::string& path) const;
+
+  // --- introspection (used by benches, examples and tests) ---
+  bool fitted() const { return best_model_ != nullptr; }
+  const std::string& best_learner() const { return best_learner_; }
+  const Config& best_config() const { return best_config_; }
+  double best_error() const { return best_error_; }
+  std::size_t best_sample_size() const { return best_sample_size_; }
+  Resampling resampling_used() const { return resampling_used_; }
+  const TrialHistory& history() const { return history_; }
+  // Best error achieved by each learner (learner name -> error), for the
+  // Figure 4 per-learner trajectories.
+  std::vector<std::pair<std::string, double>> per_learner_best() const;
+
+ private:
+  struct LearnerState {
+    LearnerPtr learner;
+    // Heap-allocated: the FLOW2 tuner keeps a pointer to this space, which
+    // must stay stable while the states vector grows.
+    std::unique_ptr<ConfigSpace> space;
+    std::unique_ptr<Flow2> tuner;
+    EciState eci;
+    std::size_t sample_size = 0;
+    double best_error = std::numeric_limits<double>::infinity();
+    Config best_config;
+  };
+
+  std::size_t choose_learner(Rng& rng, bool greedy, double c) const;
+
+  std::vector<LearnerPtr> extra_learners_;
+
+  // Fit results.
+  const Dataset* data_ = nullptr;
+  std::vector<LearnerState> states_;
+  std::unique_ptr<TrialRunner> runner_;
+  std::unique_ptr<Model> best_model_;
+  std::vector<std::unique_ptr<Model>> ensemble_models_;
+  std::vector<double> ensemble_weights_;
+  std::string best_learner_;
+  Config best_config_;
+  double best_error_ = std::numeric_limits<double>::infinity();
+  std::size_t best_sample_size_ = 0;
+  Resampling resampling_used_ = Resampling::Holdout;
+  TrialHistory history_;
+};
+
+// Load a model saved by AutoML::save_best_model. The learner is resolved
+// among the built-ins plus `extra_learners`.
+std::unique_ptr<Model> load_automl_model(
+    std::istream& in, const std::vector<LearnerPtr>& extra_learners = {});
+std::unique_ptr<Model> load_automl_model_file(
+    const std::string& path, const std::vector<LearnerPtr>& extra_learners = {});
+
+// Write a trial history as CSV (header + one row per trial); configs are
+// flattened as "name=value|name=value".
+void write_history_csv(std::ostream& out, const TrialHistory& history);
+
+}  // namespace flaml

@@ -1,0 +1,72 @@
+// Baseline AutoML drivers (paper §5 comparisons), built from scratch over
+// the same learner set and trial runner as FLAML:
+//
+//   Bohb      — HpBandSter analogue: TPE + Hyperband over the sample-size
+//               fidelity, sharing FLAML's exact search space & resampling.
+//   Tpe       — auto-sklearn analogue: Bayesian optimization (TPE) over the
+//               joint (learner, hyperparameters) space on full data.
+//   Grid      — H2O AutoML analogue: fixed manual learner order, randomized
+//               grid search per learner, full data.
+//   Evolution — TPOT analogue: evolutionary search over the joint space.
+//   Random    — cloud-automl analogue: random search over the joint space.
+//
+// Every driver obeys the same wall-clock budget accounting and produces the
+// same TrialHistory as FLAML, so Figures 1/5/6 and Tables 3/4/9 compare
+// like with like.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "automl/history.h"
+#include "automl/trial_runner.h"
+#include "learners/registry.h"
+
+namespace flaml {
+
+enum class BaselineKind { Bohb, Tpe, Grid, Evolution, Random };
+
+const char* baseline_name(BaselineKind kind);
+
+struct BaselineOptions {
+  double time_budget_seconds = 60.0;
+  std::string metric;  // empty = task default
+  std::vector<std::string> estimator_list;
+  // Resampling: Auto applies FLAML's step-0 rule (fair shared setup).
+  bool force_holdout = false;
+  bool force_cv = false;
+  int cv_folds = 5;
+  double holdout_ratio = 0.1;
+  double budget_scale = 1.0;
+  // BOHB fidelity floor (sample size of the lowest rung).
+  std::size_t min_fidelity = 1000;
+  std::uint64_t seed = 1;
+};
+
+class BaselineAutoML {
+ public:
+  explicit BaselineAutoML(BaselineKind kind) : kind_(kind) {}
+
+  void fit(const Dataset& data, const BaselineOptions& options);
+  Predictions predict(const DataView& view) const;
+
+  bool fitted() const { return best_model_ != nullptr; }
+  double best_error() const { return best_error_; }
+  const std::string& best_learner() const { return best_learner_; }
+  const Config& best_config() const { return best_config_; }
+  const TrialHistory& history() const { return history_; }
+  // Total wall-clock seconds spent by fit(), including any overrun of the
+  // final trial (Table 4 reports these overruns).
+  double search_seconds() const { return search_seconds_; }
+
+ private:
+  BaselineKind kind_;
+  std::unique_ptr<Model> best_model_;
+  double best_error_ = std::numeric_limits<double>::infinity();
+  std::string best_learner_;
+  Config best_config_;
+  TrialHistory history_;
+  double search_seconds_ = 0.0;
+};
+
+}  // namespace flaml

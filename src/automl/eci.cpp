@@ -1,0 +1,66 @@
+#include "automl/eci.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace flaml {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Floor keeping ECIs strictly positive so 1/ECI sampling is well defined.
+constexpr double kMinEci = 1e-9;
+}  // namespace
+
+void EciState::record(double cost, double error) {
+  FLAML_CHECK_MSG(cost > 0.0, "trial cost must be positive");
+  k0 += cost;
+  last_trial_cost = cost;
+  ++n_trials;
+  if (error < best_error) {
+    prev_best_error = best_error;
+    k2 = k1;
+    k1 = k0;
+    best_error = error;
+  }
+}
+
+double EciState::eci1() const {
+  if (!tried()) {
+    FLAML_CHECK_MSG(initial_eci1 > 0.0, "cold-start ECI1 not initialized");
+    return initial_eci1;
+  }
+  return std::max({k0 - k1, k1 - k2, kMinEci});
+}
+
+double EciState::eci2(double c, bool can_grow) const {
+  if (!can_grow) return kInf;
+  if (!tried()) return kInf;  // must try the initial config first
+  return std::max(c * last_trial_cost, kMinEci);
+}
+
+double EciState::eci(double global_best_error, double c, bool can_grow) const {
+  const double base = std::min(eci1(), eci2(c, can_grow));
+  if (!tried()) return base;
+  // No successful trial yet (every trial failed / was killed): the gap term
+  // is undefined; fall back to the recent-cost estimate. ECI1 keeps growing
+  // with each failure, so such learners are naturally de-prioritized.
+  if (!std::isfinite(best_error)) return base;
+  if (best_error <= global_best_error) {
+    // Case (a): this learner holds the global best.
+    return base;
+  }
+  // Case (b): estimate the cost to close the gap Δ = ε_l − ε* at this
+  // learner's improvement efficiency v = δ/τ.
+  double delta = prev_best_error == kInf || prev_best_error <= best_error
+                     ? best_error
+                     : prev_best_error - best_error;
+  double tau = prev_best_error == kInf ? k0 : k0 - k2;
+  if (delta <= 0.0 || tau <= 0.0) return base;
+  const double gap = best_error - global_best_error;
+  const double gap_cost = gap * tau / delta;
+  return std::max(gap_cost, base);
+}
+
+}  // namespace flaml

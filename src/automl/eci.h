@@ -1,0 +1,49 @@
+// ECI: Estimated Cost for Improvement (paper §4.2, Eq. 1).
+//
+// Per learner l the controller tracks the cost bookkeeping behind
+//   ECI1(l) = max(K0 − K1, K1 − K2)      cost to improve at current sample
+//   ECI2(l) = c · κ_l                    cost to double the sample size
+//   ECI(l)  = l is global best
+//               ? min(ECI1, ECI2)
+//               : max((ε_l − ε*)(K0 − K2)/δ, min(ECI1, ECI2))
+// where K0 is the total cost spent on l so far, K1/K2 the totals at the two
+// most recent best-config updates for l, κ_l the cost of l's current
+// config, δ the error reduction between the two best updates (δ = ε_l and
+// τ = K0 when l has had only one best), and ε*/ε_l the global/l-local best
+// validation errors. Untried learners get ECI1 = cost-multiplier × the
+// fastest learner's smallest observed cost (appendix cold-start rule).
+#pragma once
+
+#include <limits>
+
+namespace flaml {
+
+struct EciState {
+  // Totals (seconds of trial cost spent on this learner).
+  double k0 = 0.0;  // total so far
+  double k1 = 0.0;  // total at the most recent best update
+  double k2 = 0.0;  // total at the previous best update
+  // Best validation error of this learner and its value before the most
+  // recent improvement (for δ).
+  double best_error = std::numeric_limits<double>::infinity();
+  double prev_best_error = std::numeric_limits<double>::infinity();
+  // Cost of the learner's current configuration (κ_l = last trial's cost).
+  double last_trial_cost = 0.0;
+  int n_trials = 0;
+  // Cold-start ECI1 (multiplier × fastest learner's smallest cost);
+  // negative until initialized.
+  double initial_eci1 = -1.0;
+
+  bool tried() const { return n_trials > 0; }
+
+  // Record a finished trial of cost `cost` with validation error `error`.
+  void record(double cost, double error);
+
+  double eci1() const;
+  // c = sample-size multiplier; at full sample size pass can_grow = false.
+  double eci2(double c, bool can_grow) const;
+  // Combined ECI against the global best error.
+  double eci(double global_best_error, double c, bool can_grow) const;
+};
+
+}  // namespace flaml

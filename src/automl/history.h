@@ -1,0 +1,26 @@
+// Trial history shared by FLAML and the baseline drivers; the raw material
+// for Figure 1 (cost/error scatter), Table 3 (case study) and Figure 4
+// (per-learner best-error trajectories).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tuners/config_space.h"
+
+namespace flaml {
+
+struct TrialRecord {
+  int iteration = 0;          // 1-based
+  double finished_at = 0.0;   // seconds since search start when trial ended
+  std::string learner;
+  Config config;
+  std::size_t sample_size = 0;
+  double error = 0.0;         // validation error of this trial
+  double cost = 0.0;          // seconds spent on this trial
+  double best_error_so_far = 0.0;  // global best after this trial
+};
+
+using TrialHistory = std::vector<TrialRecord>;
+
+}  // namespace flaml

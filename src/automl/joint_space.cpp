@@ -1,0 +1,54 @@
+#include "automl/joint_space.h"
+
+#include "common/error.h"
+
+namespace flaml {
+
+JointSpace::JointSpace(std::vector<LearnerPtr> learners, Task task,
+                       std::size_t full_size)
+    : learners_(std::move(learners)) {
+  FLAML_REQUIRE(!learners_.empty(), "joint space needs at least one learner");
+  std::vector<std::string> names;
+  names.reserve(learners_.size());
+  for (const auto& l : learners_) names.push_back(l->name());
+  if (names.size() >= 2) {
+    space_.add_categorical("learner", names, 0);
+  } else {
+    // A single learner: no choice dimension; split() always returns 0.
+    space_.add_categorical("learner", {names[0], names[0] + "_"}, 0);
+  }
+  for (const auto& l : learners_) {
+    per_learner_.push_back(l->space(task, full_size));
+    const ConfigSpace& sub = per_learner_.back();
+    for (const auto& p : sub.params()) {
+      ParamDomain prefixed = p;
+      prefixed.name = l->name() + "." + p.name;
+      if (p.type == ParamDomain::Type::Categorical) {
+        space_.add_categorical(prefixed.name, p.categories,
+                               static_cast<int>(p.init));
+      } else if (p.type == ParamDomain::Type::Int) {
+        space_.add_int(prefixed.name, p.lo, p.hi, p.init, p.log_scale,
+                       p.cost_related);
+      } else {
+        space_.add_float(prefixed.name, p.lo, p.hi, p.init, p.log_scale);
+      }
+    }
+  }
+}
+
+std::pair<std::size_t, Config> JointSpace::split(const Config& joint) const {
+  auto it = joint.find("learner");
+  FLAML_REQUIRE(it != joint.end(), "joint config missing 'learner'");
+  std::size_t idx = static_cast<std::size_t>(it->second);
+  idx = std::min(idx, learners_.size() - 1);
+  const std::string prefix = learners_[idx]->name() + ".";
+  Config config;
+  for (const auto& [name, value] : joint) {
+    if (name.rfind(prefix, 0) == 0) {
+      config[name.substr(prefix.size())] = value;
+    }
+  }
+  return {idx, config};
+}
+
+}  // namespace flaml

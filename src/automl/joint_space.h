@@ -1,0 +1,34 @@
+// Joint (learner + hyperparameters) search space for the baseline drivers.
+//
+// Baselines like auto-sklearn, TPOT and HpBandSter search the concatenated
+// space: a categorical "learner" dimension plus every learner's parameters
+// with names prefixed "<learner>.", so parameters of different learners
+// never collide. split() recovers the chosen learner and its un-prefixed
+// config from a joint configuration.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "learners/learner.h"
+#include "tuners/config_space.h"
+
+namespace flaml {
+
+class JointSpace {
+ public:
+  JointSpace(std::vector<LearnerPtr> learners, Task task, std::size_t full_size);
+
+  const ConfigSpace& space() const { return space_; }
+  const std::vector<LearnerPtr>& learners() const { return learners_; }
+
+  // Recover (learner index, per-learner config) from a joint config.
+  std::pair<std::size_t, Config> split(const Config& joint) const;
+
+ private:
+  std::vector<LearnerPtr> learners_;
+  std::vector<ConfigSpace> per_learner_;
+  ConfigSpace space_;
+};
+
+}  // namespace flaml

@@ -1,0 +1,123 @@
+#include "automl/trial_runner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace flaml {
+
+const char* resampling_name(Resampling r) {
+  return r == Resampling::CV ? "cv" : "holdout";
+}
+
+Resampling propose_resampling(std::size_t n_instances, std::size_t n_features,
+                              double budget_seconds) {
+  FLAML_REQUIRE(budget_seconds > 0.0, "budget must be positive");
+  const double budget_hours = budget_seconds / 3600.0;
+  const double rate =
+      static_cast<double>(n_instances) * static_cast<double>(n_features) / budget_hours;
+  if (n_instances < 100000 && rate < 10e6) return Resampling::CV;
+  return Resampling::Holdout;
+}
+
+TrialRunner::TrialRunner(const Dataset& data, ErrorMetric metric, Options options)
+    : data_(&data), metric_(std::move(metric)), options_(options), rng_(options.seed) {
+  data.validate();
+  FLAML_REQUIRE(options_.cv_folds >= 2, "cv_folds must be >= 2");
+  FLAML_REQUIRE(options_.holdout_ratio > 0.0 && options_.holdout_ratio < 1.0,
+                "holdout_ratio must be in (0,1)");
+  // One stratified shuffle up front; samples are prefixes of it (§4.2).
+  std::vector<std::uint32_t> order = task_shuffled_indices(data, rng_);
+  DataView shuffled(data, std::move(order));
+  if (options_.resampling == Resampling::Holdout) {
+    // Fixed validation set: the TAIL of the shuffle keeps prefixes valid as
+    // training samples; the stratified shuffle makes the tail stratified.
+    std::size_t n_holdout = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(data.n_rows()) *
+                                    options_.holdout_ratio));
+    n_holdout = std::min(n_holdout, data.n_rows() - 1);
+    const std::size_t n_train = data.n_rows() - n_holdout;
+    std::vector<std::uint32_t> train_rows(shuffled.rows().begin(),
+                                          shuffled.rows().begin() +
+                                              static_cast<std::ptrdiff_t>(n_train));
+    std::vector<std::uint32_t> holdout_rows(shuffled.rows().begin() +
+                                                static_cast<std::ptrdiff_t>(n_train),
+                                            shuffled.rows().end());
+    train_view_ = DataView(data, std::move(train_rows));
+    holdout_view_ = DataView(data, std::move(holdout_rows));
+  } else {
+    train_view_ = shuffled;
+  }
+}
+
+TrialResult TrialRunner::run(const Learner& learner, const Config& config,
+                             std::size_t sample_size, double max_seconds) {
+  FLAML_REQUIRE(sample_size >= 2, "sample size must be >= 2");
+  sample_size = std::min(sample_size, train_view_.n_rows());
+  const double start = clock_.now();
+  TrialResult result;
+  const std::uint64_t trial_id = trial_counter_.fetch_add(1) + 1;
+  try {
+    DataView sample = train_view_.prefix(sample_size);
+    if (options_.resampling == Resampling::Holdout) {
+      TrainContext ctx;
+      ctx.train = sample;
+      ctx.valid = &holdout_view_;
+      ctx.max_seconds = max_seconds;
+      ctx.fail_on_deadline = true;
+      ctx.seed = options_.seed ^ (trial_id * 0x9e3779b97f4a7c15ULL);
+      auto model = learner.train(ctx, config);
+      result.error = metric_(model->predict(holdout_view_), holdout_view_.labels());
+    } else {
+      // k-fold CV over the sample; average fold errors.
+      Rng fold_rng(options_.seed ^ 0xc5f01d5ULL);
+      int k = options_.cv_folds;
+      // Guard tiny samples: k can never exceed the sample size.
+      k = std::min<int>(k, static_cast<int>(sample.n_rows()));
+      if (k < 2) k = 2;
+      auto folds = kfold_split(sample, k, fold_rng);
+      double total_error = 0.0;
+      const double per_fold_cap =
+          max_seconds > 0.0 ? max_seconds / static_cast<double>(k) : 0.0;
+      for (const auto& fold : folds) {
+        TrainContext ctx;
+        ctx.train = fold.train;
+        ctx.valid = &fold.valid;
+        ctx.max_seconds = per_fold_cap;
+        ctx.fail_on_deadline = true;
+        ctx.seed = options_.seed ^ (trial_id * 0x9e3779b97f4a7c15ULL);
+        auto model = learner.train(ctx, config);
+        total_error += metric_(model->predict(fold.valid), fold.valid.labels());
+      }
+      result.error = total_error / static_cast<double>(folds.size());
+    }
+  } catch (const DeadlineExceeded&) {
+    // Killed-trial semantics: the budget is charged, no model comes back.
+    FLAML_LOG(Debug) << "trial killed at deadline for learner '" << learner.name()
+                     << "'";
+    result.ok = false;
+    result.error = std::numeric_limits<double>::infinity();
+  } catch (const std::exception& e) {
+    FLAML_LOG(Warn) << "trial failed for learner '" << learner.name()
+                    << "': " << e.what();
+    result.ok = false;
+    result.error = std::numeric_limits<double>::infinity();
+  }
+  result.cost = std::max(clock_.now() - start, 1e-9);
+  return result;
+}
+
+std::unique_ptr<Model> TrialRunner::train_final(const Learner& learner,
+                                                const Config& config,
+                                                double max_seconds) {
+  TrainContext ctx;
+  ctx.train = train_view_;
+  ctx.valid = options_.resampling == Resampling::Holdout ? &holdout_view_ : nullptr;
+  ctx.max_seconds = max_seconds;
+  ctx.seed = options_.seed;
+  return learner.train(ctx, config);
+}
+
+}  // namespace flaml

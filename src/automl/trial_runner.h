@@ -1,0 +1,87 @@
+// Trial execution: evaluate one configuration χ = (l, h, s, r) and report
+// its validation error and cost (paper §3.1).
+//
+// The runner owns the resampling setup for a training dataset:
+//   * holdout (r = holdout, ratio ρ = 0.1): a fixed stratified holdout set
+//     is carved once; a trial trains on the first s rows of the shuffled
+//     remainder and validates on the fixed set (so errors are comparable
+//     across sample sizes);
+//   * cross-validation (r = cv, k = 5): a trial k-folds its s-row sample
+//     and averages the per-fold validation errors.
+// Trial cost is the measured wall-clock seconds of training + validation —
+// the κ(χ) the AutoML layer budgets against.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <optional>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "data/split.h"
+#include "learners/learner.h"
+#include "metrics/error_metric.h"
+
+namespace flaml {
+
+enum class Resampling { CV, Holdout };
+
+const char* resampling_name(Resampling r);
+
+// Paper §4.2 Step 0: cross-validation iff the data has fewer than 100K
+// instances AND instances × features / budget_hours < 10M. `budget_seconds`
+// should be the paper-equivalent budget (benches divide the real scaled-down
+// budget by their budget scale).
+Resampling propose_resampling(std::size_t n_instances, std::size_t n_features,
+                              double budget_seconds);
+
+struct TrialResult {
+  double error = 0.0;  // validation error \tilde{ε}(χ)
+  double cost = 0.0;   // seconds κ(χ)
+  bool ok = true;      // false if the learner threw
+};
+
+class TrialRunner {
+ public:
+  struct Options {
+    Resampling resampling = Resampling::Holdout;
+    int cv_folds = 5;
+    double holdout_ratio = 0.1;
+    std::uint64_t seed = 1;
+  };
+
+  TrialRunner(const Dataset& data, ErrorMetric metric, Options options);
+
+  // Number of rows available for training samples (full data minus the
+  // fixed holdout set when r = holdout). This is the "full size" the
+  // sample-size schedule converges to.
+  std::size_t max_sample_size() const { return train_view_.n_rows(); }
+  Resampling resampling() const { return options_.resampling; }
+  const ErrorMetric& metric() const { return metric_; }
+  const Dataset& data() const { return *data_; }
+
+  // Evaluate (learner, config) on the first `sample_size` rows.
+  // `max_seconds` caps the training time of each model fit (0 = unlimited).
+  // Thread-safe: concurrent run() calls are allowed (parallel search mode).
+  TrialResult run(const Learner& learner, const Config& config,
+                  std::size_t sample_size, double max_seconds = 0.0);
+
+  // Train a final model on ALL available training rows (used to retrain the
+  // best configuration at the end of fit()). `max_seconds` caps the fit
+  // (0 = unlimited); callers pass the search budget so the retrain costs at
+  // most one extra budget's worth of time.
+  std::unique_ptr<Model> train_final(const Learner& learner, const Config& config,
+                                     double max_seconds = 0.0);
+
+ private:
+  const Dataset* data_;
+  ErrorMetric metric_;
+  Options options_;
+  Rng rng_;
+  WallClock clock_;
+  DataView train_view_;    // shuffled; samples are prefixes of this
+  DataView holdout_view_;  // empty when resampling == CV
+  std::atomic<std::uint64_t> trial_counter_{0};
+};
+
+}  // namespace flaml

@@ -1,0 +1,198 @@
+#include "boosting/objectives.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace flaml {
+
+namespace {
+
+constexpr double kMinHess = 1e-16;
+
+class MseObjective final : public Objective {
+ public:
+  int n_outputs() const override { return 1; }
+
+  std::vector<double> base_scores(const std::vector<double>& labels) const override {
+    return {mean(labels)};
+  }
+
+  void gradients(const std::vector<double>& scores, const std::vector<double>& labels,
+                 int k, std::vector<double>& grad,
+                 std::vector<double>& hess) const override {
+    FLAML_CHECK(k == 0);
+    grad.resize(labels.size());
+    hess.resize(labels.size());
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      grad[i] = scores[i] - labels[i];
+      hess[i] = 1.0;
+    }
+  }
+
+  double loss(const std::vector<double>& scores,
+              const std::vector<double>& labels) const override {
+    // 0.5 * mean squared error, so that grad = (score - label) is exactly
+    // its derivative (the conventional GBDT parameterization).
+    double total = 0.0;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      double d = scores[i] - labels[i];
+      total += 0.5 * d * d;
+    }
+    return total / static_cast<double>(labels.size());
+  }
+
+  Predictions transform(const std::vector<double>& scores) const override {
+    Predictions p;
+    p.task = Task::Regression;
+    p.n_classes = 0;
+    p.values = scores;
+    return p;
+  }
+};
+
+class LogisticObjective final : public Objective {
+ public:
+  int n_outputs() const override { return 1; }
+
+  std::vector<double> base_scores(const std::vector<double>& labels) const override {
+    double pos = 0.0;
+    for (double y : labels) pos += y;
+    double p = clamp(pos / static_cast<double>(labels.size()), 1e-6, 1.0 - 1e-6);
+    return {std::log(p / (1.0 - p))};
+  }
+
+  void gradients(const std::vector<double>& scores, const std::vector<double>& labels,
+                 int k, std::vector<double>& grad,
+                 std::vector<double>& hess) const override {
+    FLAML_CHECK(k == 0);
+    grad.resize(labels.size());
+    hess.resize(labels.size());
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      double p = sigmoid(scores[i]);
+      grad[i] = p - labels[i];
+      hess[i] = std::max(p * (1.0 - p), kMinHess);
+    }
+  }
+
+  double loss(const std::vector<double>& scores,
+              const std::vector<double>& labels) const override {
+    double total = 0.0;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      // -log P(y | score) = log(1+exp(score)) - y*score
+      total += log1pexp(scores[i]) - labels[i] * scores[i];
+    }
+    return total / static_cast<double>(labels.size());
+  }
+
+  Predictions transform(const std::vector<double>& scores) const override {
+    Predictions p;
+    p.task = Task::BinaryClassification;
+    p.n_classes = 2;
+    p.values.resize(scores.size() * 2);
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      double prob1 = sigmoid(scores[i]);
+      p.values[i * 2] = 1.0 - prob1;
+      p.values[i * 2 + 1] = prob1;
+    }
+    return p;
+  }
+};
+
+class SoftmaxObjective final : public Objective {
+ public:
+  explicit SoftmaxObjective(int k) : k_(k) { FLAML_REQUIRE(k >= 2, "softmax needs K >= 2"); }
+
+  int n_outputs() const override { return k_; }
+
+  std::vector<double> base_scores(const std::vector<double>& labels) const override {
+    std::vector<double> counts(static_cast<std::size_t>(k_), 1.0);  // +1 smoothing
+    for (double y : labels) counts[static_cast<std::size_t>(y)] += 1.0;
+    double total = static_cast<double>(labels.size()) + static_cast<double>(k_);
+    std::vector<double> base(static_cast<std::size_t>(k_));
+    for (int c = 0; c < k_; ++c) {
+      base[static_cast<std::size_t>(c)] =
+          std::log(counts[static_cast<std::size_t>(c)] / total);
+    }
+    return base;
+  }
+
+  void gradients(const std::vector<double>& scores, const std::vector<double>& labels,
+                 int k, std::vector<double>& grad,
+                 std::vector<double>& hess) const override {
+    FLAML_CHECK(k >= 0 && k < k_);
+    const std::size_t n = labels.size();
+    grad.resize(n);
+    hess.resize(n);
+    std::vector<double> row(static_cast<std::size_t>(k_));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (int c = 0; c < k_; ++c) {
+        row[static_cast<std::size_t>(c)] =
+            scores[i * static_cast<std::size_t>(k_) + static_cast<std::size_t>(c)];
+      }
+      double lse = logsumexp(row);
+      double p = std::exp(row[static_cast<std::size_t>(k)] - lse);
+      double y = static_cast<int>(labels[i]) == k ? 1.0 : 0.0;
+      grad[i] = p - y;
+      hess[i] = std::max(p * (1.0 - p), kMinHess);
+    }
+  }
+
+  double loss(const std::vector<double>& scores,
+              const std::vector<double>& labels) const override {
+    const std::size_t n = labels.size();
+    double total = 0.0;
+    std::vector<double> row(static_cast<std::size_t>(k_));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (int c = 0; c < k_; ++c) {
+        row[static_cast<std::size_t>(c)] =
+            scores[i * static_cast<std::size_t>(k_) + static_cast<std::size_t>(c)];
+      }
+      double lse = logsumexp(row);
+      total += lse - row[static_cast<std::size_t>(static_cast<int>(labels[i]))];
+    }
+    return total / static_cast<double>(n);
+  }
+
+  Predictions transform(const std::vector<double>& scores) const override {
+    Predictions p;
+    p.task = Task::MultiClassification;
+    p.n_classes = k_;
+    p.values.resize(scores.size());
+    const std::size_t n = scores.size() / static_cast<std::size_t>(k_);
+    std::vector<double> row(static_cast<std::size_t>(k_));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (int c = 0; c < k_; ++c) {
+        row[static_cast<std::size_t>(c)] =
+            scores[i * static_cast<std::size_t>(k_) + static_cast<std::size_t>(c)];
+      }
+      softmax_inplace(row);
+      for (int c = 0; c < k_; ++c) {
+        p.values[i * static_cast<std::size_t>(k_) + static_cast<std::size_t>(c)] =
+            row[static_cast<std::size_t>(c)];
+      }
+    }
+    return p;
+  }
+
+ private:
+  int k_;
+};
+
+}  // namespace
+
+std::unique_ptr<Objective> make_objective(Task task, int n_classes) {
+  switch (task) {
+    case Task::Regression:
+      return std::make_unique<MseObjective>();
+    case Task::BinaryClassification:
+      return std::make_unique<LogisticObjective>();
+    case Task::MultiClassification:
+      return std::make_unique<SoftmaxObjective>(n_classes);
+  }
+  throw InternalError("unreachable task");
+}
+
+}  // namespace flaml

@@ -1,0 +1,45 @@
+// Loss objectives for gradient boosting.
+//
+// An objective owns the mapping between raw additive scores and
+// predictions, the initial (base) scores, per-example gradients/hessians,
+// and the training-loss value used for early stopping.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "metrics/error_metric.h"
+
+namespace flaml {
+
+class Objective {
+ public:
+  virtual ~Objective() = default;
+
+  // Number of parallel score columns (1 for regression/binary, K for softmax).
+  virtual int n_outputs() const = 0;
+
+  // Initial scores minimizing the loss on `labels` (e.g. log-odds of the
+  // base rate); size n_outputs().
+  virtual std::vector<double> base_scores(const std::vector<double>& labels) const = 0;
+
+  // Fill grad/hess for output column `k`. scores is row-major n × n_outputs.
+  virtual void gradients(const std::vector<double>& scores,
+                         const std::vector<double>& labels, int k,
+                         std::vector<double>& grad,
+                         std::vector<double>& hess) const = 0;
+
+  // Mean loss of raw scores vs labels (lower is better).
+  virtual double loss(const std::vector<double>& scores,
+                      const std::vector<double>& labels) const = 0;
+
+  // Convert raw scores into Predictions (probabilities / targets).
+  virtual Predictions transform(const std::vector<double>& scores) const = 0;
+};
+
+// Factory for the task's canonical objective: MSE for regression, logistic
+// for binary, softmax for multiclass (n_classes required then).
+std::unique_ptr<Objective> make_objective(Task task, int n_classes);
+
+}  // namespace flaml

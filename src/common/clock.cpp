@@ -1,0 +1,24 @@
+#include "common/clock.h"
+
+#include "common/error.h"
+
+namespace flaml {
+
+WallClock::WallClock() : origin_(std::chrono::steady_clock::now()) {}
+
+double WallClock::now() const {
+  auto d = std::chrono::steady_clock::now() - origin_;
+  return std::chrono::duration<double>(d).count();
+}
+
+void VirtualClock::advance(double seconds) {
+  FLAML_CHECK_MSG(seconds >= 0.0, "virtual clock cannot move backwards");
+  t_ += seconds;
+}
+
+void VirtualClock::set(double t) {
+  FLAML_CHECK_MSG(t >= t_, "virtual clock cannot move backwards");
+  t_ = t;
+}
+
+}  // namespace flaml

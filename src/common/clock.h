@@ -1,0 +1,55 @@
+// Time sources for budget accounting.
+//
+// The AutoML controller charges every trial against a time budget. For
+// production use WallClock measures real elapsed seconds; for deterministic
+// tests and fast simulation VirtualClock lets the caller (e.g. a trial
+// runner with a cost model) advance time explicitly.
+#pragma once
+
+#include <chrono>
+
+namespace flaml {
+
+// Abstract monotonic time source measured in seconds.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  // Seconds since an arbitrary fixed origin.
+  virtual double now() const = 0;
+};
+
+// Real monotonic wall-clock time.
+class WallClock final : public Clock {
+ public:
+  WallClock();
+  double now() const override;
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+};
+
+// Manually-advanced clock for deterministic tests and simulations.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(double start = 0.0) : t_(start) {}
+  double now() const override { return t_; }
+  void advance(double seconds);
+  void set(double t);
+
+ private:
+  double t_;
+};
+
+// Convenience stopwatch over any Clock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock& clock) : clock_(&clock), start_(clock.now()) {}
+  double elapsed() const { return clock_->now() - start_; }
+  void restart() { start_ = clock_->now(); }
+
+ private:
+  const Clock* clock_;
+  double start_;
+};
+
+}  // namespace flaml

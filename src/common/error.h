@@ -1,0 +1,79 @@
+// Error handling primitives shared across the library.
+//
+// We use exceptions for contract violations at API boundaries (bad user
+// input) and FLAML_CHECK for internal invariants. Both carry a formatted
+// message with the failing expression and location.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace flaml {
+
+// Thrown when a public API is called with invalid arguments (e.g. an empty
+// dataset, a mismatched label vector, an unknown learner name).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  explicit InvalidArgument(const std::string& msg) : std::invalid_argument(msg) {}
+};
+
+// Thrown when an internal invariant is violated; indicates a library bug.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& msg) : std::logic_error(msg) {}
+};
+
+// Thrown by trainers when a fit exceeds its wall-clock deadline and the
+// caller asked for kill semantics (TrainContext::fail_on_deadline) — the
+// in-process equivalent of an AutoML driver killing an overrunning trial.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  explicit DeadlineExceeded(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail_check(const char* expr, const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << "FLAML_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InternalError(os.str());
+}
+
+[[noreturn]] inline void fail_require(const char* expr, const std::string& msg) {
+  std::ostringstream os;
+  os << "invalid argument: requirement (" << expr << ") not met";
+  if (!msg.empty()) os << " — " << msg;
+  throw InvalidArgument(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace flaml
+
+// Internal invariant check; throws InternalError on failure.
+#define FLAML_CHECK(expr)                                                 \
+  do {                                                                    \
+    if (!(expr)) ::flaml::detail::fail_check(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define FLAML_CHECK_MSG(expr, msg)                                        \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream os_;                                             \
+      os_ << msg;                                                         \
+      ::flaml::detail::fail_check(#expr, __FILE__, __LINE__, os_.str());  \
+    }                                                                     \
+  } while (false)
+
+// Public-API precondition; throws InvalidArgument on failure.
+#define FLAML_REQUIRE(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream os_;                                             \
+      os_ << msg;                                                         \
+      ::flaml::detail::fail_require(#expr, os_.str());                    \
+    }                                                                     \
+  } while (false)

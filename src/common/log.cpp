@@ -1,0 +1,37 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace flaml::logging {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_mutex;
+
+const char* name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+void emit(LogLevel level, const std::string& message) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::cerr << "[flaml " << name(level) << "] " << message << '\n';
+}
+
+}  // namespace flaml::logging

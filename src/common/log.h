@@ -1,0 +1,48 @@
+// Minimal leveled logger.
+//
+// The library is quiet by default (Warn). Benches and examples raise the
+// level to Info/Debug to narrate the search. Thread-safe for interleaved
+// lines; not intended for high-frequency logging on hot paths.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace flaml {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+namespace logging {
+
+LogLevel level();
+void set_level(LogLevel level);
+void emit(LogLevel level, const std::string& message);
+
+}  // namespace logging
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { logging::emit(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+}  // namespace flaml
+
+#define FLAML_LOG(lvl)                                    \
+  if (::flaml::LogLevel::lvl < ::flaml::logging::level()) \
+    ;                                                     \
+  else                                                    \
+    ::flaml::detail::LogLine(::flaml::LogLevel::lvl)

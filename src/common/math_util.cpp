@@ -1,0 +1,98 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace flaml {
+
+double sigmoid(double x) {
+  if (x >= 0) {
+    double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+double log1pexp(double x) {
+  if (x > 35.0) return x;
+  if (x < -35.0) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+double logsumexp(const std::vector<double>& x) {
+  FLAML_CHECK(!x.empty());
+  double m = *std::max_element(x.begin(), x.end());
+  if (!std::isfinite(m)) return m;
+  double s = 0.0;
+  for (double v : x) s += std::exp(v - m);
+  return m + std::log(s);
+}
+
+void softmax_inplace(std::vector<double>& x) {
+  FLAML_CHECK(!x.empty());
+  double lse = logsumexp(x);
+  for (double& v : x) v = std::exp(v - lse);
+}
+
+double mean(const std::vector<double>& x) {
+  FLAML_CHECK(!x.empty());
+  double s = 0.0;
+  for (double v : x) s += v;
+  return s / static_cast<double>(x.size());
+}
+
+double variance(const std::vector<double>& x) {
+  if (x.size() < 2) return 0.0;
+  double m = mean(x);
+  double s = 0.0;
+  for (double v : x) s += (v - m) * (v - m);
+  return s / static_cast<double>(x.size() - 1);
+}
+
+double harmonic_mean(const std::vector<double>& x) {
+  FLAML_CHECK(!x.empty());
+  double s = 0.0;
+  for (double v : x) {
+    FLAML_CHECK_MSG(v > 0.0, "harmonic mean requires positive values");
+    s += 1.0 / v;
+  }
+  return static_cast<double>(x.size()) / s;
+}
+
+double quantile(std::vector<double> x, double q) {
+  FLAML_CHECK(!x.empty());
+  FLAML_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(x.begin(), x.end());
+  if (x.size() == 1) return x[0];
+  double pos = q * static_cast<double>(x.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(pos);
+  std::size_t hi = std::min(lo + 1, x.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return x[lo] * (1.0 - frac) + x[hi] * frac;
+}
+
+double clamp(double v, double lo, double hi) { return std::min(std::max(v, lo), hi); }
+
+bool approx_equal(double a, double b, double tol) {
+  double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tol * scale;
+}
+
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  FLAML_CHECK(a.size() == b.size());
+  if (a.size() < 2) return 0.0;
+  double ma = mean(a), mb = mean(b);
+  double num = 0.0, da = 0.0, db = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - ma) * (b[i] - mb);
+    da += (a[i] - ma) * (a[i] - ma);
+    db += (b[i] - mb) * (b[i] - mb);
+  }
+  if (da <= 0.0 || db <= 0.0) return 0.0;
+  return num / std::sqrt(da * db);
+}
+
+}  // namespace flaml

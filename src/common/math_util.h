@@ -1,0 +1,42 @@
+// Small numeric helpers shared across modules.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace flaml {
+
+// Numerically-stable sigmoid.
+double sigmoid(double x);
+
+// log(1 + exp(x)) without overflow.
+double log1pexp(double x);
+
+// log(sum_i exp(x_i)) of a non-empty vector.
+double logsumexp(const std::vector<double>& x);
+
+// In-place softmax of a non-empty vector.
+void softmax_inplace(std::vector<double>& x);
+
+// Arithmetic mean of a non-empty range.
+double mean(const std::vector<double>& x);
+
+// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+double variance(const std::vector<double>& x);
+
+// Harmonic mean of strictly positive values.
+double harmonic_mean(const std::vector<double>& x);
+
+// Linear-interpolated quantile of an unsorted copy of x; q in [0, 1].
+double quantile(std::vector<double> x, double q);
+
+// Clamp helper that works for mixed numeric types.
+double clamp(double v, double lo, double hi);
+
+// True if |a - b| <= tol * max(1, |a|, |b|).
+bool approx_equal(double a, double b, double tol = 1e-9);
+
+// Pearson correlation of two equal-length vectors (0 if degenerate).
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace flaml

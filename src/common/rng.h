@@ -1,0 +1,69 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (data generators, samplers,
+// FLOW2 direction sampling, ECI-proportional learner choice, baseline
+// tuners) draw from Rng so that every experiment is reproducible from a
+// single seed. The engine is xoshiro256** seeded via SplitMix64.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace flaml {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // UniformRandomBitGenerator interface (usable with <random> adaptors).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  // Uniform double in [0, 1).
+  double uniform();
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  // Standard normal via Box–Muller (cached pair).
+  double normal();
+  double normal(double mean, double stddev);
+  // True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+  // Exponential with rate lambda > 0.
+  double exponential(double lambda);
+
+  // A point drawn uniformly from the surface of the unit sphere in R^d.
+  // For d == 1 returns {±1}. Requires d >= 1.
+  std::vector<double> unit_sphere(int d);
+
+  // Sample an index in [0, weights.size()) with probability proportional to
+  // weights[i]. Requires at least one strictly positive weight.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  // In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = uniform_index(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Derive an independent child generator (stable across platforms).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace flaml

@@ -1,0 +1,177 @@
+#include "data/csv.h"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+
+namespace flaml {
+
+namespace {
+
+std::vector<std::string> split_line(const std::string& line, char delim) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream ss(line);
+  while (std::getline(ss, cell, delim)) cells.push_back(cell);
+  if (!line.empty() && line.back() == delim) cells.emplace_back();
+  return cells;
+}
+
+bool parse_float(const std::string& s, float& out) {
+  if (s.empty()) return false;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  while (begin < end && (*begin == ' ' || *begin == '\t')) ++begin;
+  while (end > begin && (end[-1] == ' ' || end[-1] == '\t' || end[-1] == '\r')) --end;
+  if (begin == end) return false;
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+Dataset read_csv(std::istream& in, const CsvOptions& options) {
+  std::string line;
+  FLAML_REQUIRE(std::getline(in, line), "CSV stream is empty");
+  std::vector<std::string> header = split_line(line, options.delimiter);
+  for (auto& h : header) h = trim(h);
+  FLAML_REQUIRE(header.size() >= 2, "CSV needs at least one feature and a label");
+
+  std::size_t label_col = header.size() - 1;
+  if (!options.label_column.empty()) {
+    bool found = false;
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      if (header[i] == options.label_column) {
+        label_col = i;
+        found = true;
+        break;
+      }
+    }
+    FLAML_REQUIRE(found, "label column '" << options.label_column << "' not in header");
+  }
+
+  // First pass: read all cells as strings.
+  std::vector<std::vector<std::string>> raw;  // [row][col]
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (trim(line).empty()) continue;
+    auto cells = split_line(line, options.delimiter);
+    FLAML_REQUIRE(cells.size() == header.size(),
+                  "line " << line_no << " has " << cells.size() << " cells, expected "
+                          << header.size());
+    raw.push_back(std::move(cells));
+  }
+  FLAML_REQUIRE(!raw.empty(), "CSV has a header but no data rows");
+
+  const std::size_t n_features = header.size() - 1;
+  // Decide per-feature type: numeric unless some non-empty cell fails to parse.
+  std::vector<std::size_t> feature_cols;
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    if (c != label_col) feature_cols.push_back(c);
+  }
+  std::vector<bool> numeric(n_features, true);
+  for (const auto& row : raw) {
+    for (std::size_t f = 0; f < n_features; ++f) {
+      const std::string cell = trim(row[feature_cols[f]]);
+      float v;
+      if (!cell.empty() && !parse_float(cell, v)) numeric[f] = false;
+    }
+  }
+
+  // Dictionary-encode categorical features.
+  std::vector<std::map<std::string, int>> dicts(n_features);
+  std::vector<ColumnInfo> columns(n_features);
+  std::vector<std::vector<float>> values(n_features,
+                                         std::vector<float>(raw.size()));
+  for (std::size_t f = 0; f < n_features; ++f) {
+    columns[f].name = header[feature_cols[f]];
+    columns[f].type = numeric[f] ? ColumnType::Numeric : ColumnType::Categorical;
+  }
+  const float kMissing = std::numeric_limits<float>::quiet_NaN();
+  for (std::size_t r = 0; r < raw.size(); ++r) {
+    for (std::size_t f = 0; f < n_features; ++f) {
+      const std::string cell = trim(raw[r][feature_cols[f]]);
+      if (cell.empty()) {
+        values[f][r] = kMissing;
+      } else if (numeric[f]) {
+        float v;
+        parse_float(cell, v);
+        values[f][r] = v;
+      } else {
+        auto [it, inserted] = dicts[f].emplace(cell, static_cast<int>(dicts[f].size()));
+        values[f][r] = static_cast<float>(it->second);
+      }
+    }
+  }
+  for (std::size_t f = 0; f < n_features; ++f) {
+    if (!numeric[f]) columns[f].cardinality = static_cast<int>(dicts[f].size());
+  }
+
+  // Labels: numeric for regression; for classification accept numeric class
+  // ids or strings (dictionary-encoded).
+  std::vector<double> labels(raw.size());
+  std::map<std::string, int> label_dict;
+  for (std::size_t r = 0; r < raw.size(); ++r) {
+    const std::string cell = trim(raw[r][label_col]);
+    FLAML_REQUIRE(!cell.empty(), "missing label on data row " << r + 2);
+    float v;
+    if (parse_float(cell, v)) {
+      labels[r] = static_cast<double>(v);
+    } else {
+      FLAML_REQUIRE(is_classification(options.task),
+                    "non-numeric regression label '" << cell << "'");
+      auto [it, inserted] = label_dict.emplace(cell, static_cast<int>(label_dict.size()));
+      labels[r] = static_cast<double>(it->second);
+    }
+  }
+
+  Dataset data(options.task, std::move(columns));
+  for (std::size_t f = 0; f < n_features; ++f) data.set_column(f, std::move(values[f]));
+  data.set_labels(std::move(labels));
+  data.validate();
+  return data;
+}
+
+Dataset read_csv_file(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  FLAML_REQUIRE(in.good(), "cannot open CSV file '" << path << "'");
+  return read_csv(in, options);
+}
+
+void write_csv(std::ostream& out, const DataView& view, char delimiter) {
+  const Dataset& data = view.data();
+  for (std::size_t c = 0; c < data.n_cols(); ++c) {
+    out << data.column_info(c).name << delimiter;
+  }
+  out << "label\n";
+  for (std::size_t i = 0; i < view.n_rows(); ++i) {
+    for (std::size_t c = 0; c < data.n_cols(); ++c) {
+      float v = view.value(i, c);
+      if (Dataset::is_missing(v)) {
+        out << delimiter;
+      } else {
+        out << v << delimiter;
+      }
+    }
+    out << view.label(i) << '\n';
+  }
+}
+
+void write_csv_file(const std::string& path, const DataView& view, char delimiter) {
+  std::ofstream out(path);
+  FLAML_REQUIRE(out.good(), "cannot open '" << path << "' for writing");
+  write_csv(out, view, delimiter);
+}
+
+}  // namespace flaml

@@ -1,0 +1,33 @@
+// CSV import/export for Dataset.
+//
+// Format: first line is a header; the label column is named by the caller
+// (defaults to the last column). Numeric cells parse as float; any column
+// containing a non-numeric, non-empty cell is treated as categorical and
+// dictionary-encoded in order of first appearance. Empty cells are missing
+// values (NaN).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace flaml {
+
+struct CsvOptions {
+  char delimiter = ',';
+  // Name of the label column; empty means the last column.
+  std::string label_column;
+  Task task = Task::Regression;
+};
+
+// Parse a dataset from a stream / file. Throws InvalidArgument on malformed
+// input (ragged rows, missing label column, non-numeric labels).
+Dataset read_csv(std::istream& in, const CsvOptions& options);
+Dataset read_csv_file(const std::string& path, const CsvOptions& options);
+
+// Write view (features + label column named "label") as CSV.
+void write_csv(std::ostream& out, const DataView& view, char delimiter = ',');
+void write_csv_file(const std::string& path, const DataView& view, char delimiter = ',');
+
+}  // namespace flaml

@@ -1,0 +1,169 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace flaml {
+
+const char* task_name(Task task) {
+  switch (task) {
+    case Task::BinaryClassification: return "binary";
+    case Task::MultiClassification: return "multiclass";
+    case Task::Regression: return "regression";
+  }
+  return "?";
+}
+
+bool is_classification(Task task) { return task != Task::Regression; }
+
+Dataset::Dataset(Task task, std::vector<ColumnInfo> columns)
+    : task_(task), columns_(std::move(columns)), values_(columns_.size()) {
+  FLAML_REQUIRE(!columns_.empty(), "dataset needs at least one column");
+  for (const auto& c : columns_) {
+    if (c.type == ColumnType::Categorical) {
+      FLAML_REQUIRE(c.cardinality >= 1,
+                    "categorical column '" << c.name << "' needs cardinality >= 1");
+    }
+  }
+}
+
+void Dataset::add_row(const std::vector<float>& values, double label) {
+  FLAML_REQUIRE(values.size() == columns_.size(),
+                "row has " << values.size() << " values, dataset has "
+                           << columns_.size() << " columns");
+  for (std::size_t c = 0; c < values.size(); ++c) values_[c].push_back(values[c]);
+  labels_.push_back(label);
+  ++n_rows_;
+  refresh_n_classes();
+}
+
+void Dataset::set_column(std::size_t col, std::vector<float> values) {
+  FLAML_REQUIRE(col < columns_.size(), "column index out of range");
+  for (std::size_t c = 0; c < values_.size(); ++c) {
+    if (c != col && !values_[c].empty()) {
+      FLAML_REQUIRE(values_[c].size() == values.size(),
+                    "column length " << values.size() << " does not match existing "
+                                     << values_[c].size());
+      break;
+    }
+  }
+  values_[col] = std::move(values);
+  n_rows_ = std::max(n_rows_, values_[col].size());
+}
+
+void Dataset::set_weights(std::vector<double> weights) {
+  weights_ = std::move(weights);
+}
+
+void Dataset::set_labels(std::vector<double> labels) {
+  labels_ = std::move(labels);
+  n_rows_ = labels_.size();
+  refresh_n_classes();
+}
+
+void Dataset::refresh_n_classes() {
+  if (task_ == Task::Regression) {
+    n_classes_ = 0;
+    return;
+  }
+  int max_class = -1;
+  for (double y : labels_) max_class = std::max(max_class, static_cast<int>(y));
+  n_classes_ = max_class + 1;
+}
+
+void Dataset::validate() const {
+  FLAML_REQUIRE(n_rows_ > 0, "dataset is empty");
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    FLAML_REQUIRE(values_[c].size() == n_rows_,
+                  "column '" << columns_[c].name << "' has " << values_[c].size()
+                             << " rows, expected " << n_rows_);
+    if (columns_[c].type == ColumnType::Categorical) {
+      for (float v : values_[c]) {
+        if (is_missing(v)) continue;
+        int code = static_cast<int>(v);
+        FLAML_REQUIRE(static_cast<float>(code) == v && code >= 0 &&
+                          code < columns_[c].cardinality,
+                      "invalid category code " << v << " in column '"
+                                               << columns_[c].name << "'");
+      }
+    }
+  }
+  FLAML_REQUIRE(labels_.size() == n_rows_, "labels/rows length mismatch");
+  if (!weights_.empty()) {
+    FLAML_REQUIRE(weights_.size() == n_rows_, "weights/rows length mismatch");
+    for (double w : weights_) {
+      FLAML_REQUIRE(std::isfinite(w) && w > 0.0,
+                    "sample weights must be positive and finite");
+    }
+  }
+  if (is_classification(task_)) {
+    FLAML_REQUIRE(n_classes_ >= 2, "classification needs at least 2 classes");
+    if (task_ == Task::BinaryClassification) {
+      FLAML_REQUIRE(n_classes_ == 2, "binary task has " << n_classes_ << " classes");
+    }
+    for (double y : labels_) {
+      FLAML_REQUIRE(y == std::floor(y) && y >= 0 && y < n_classes_,
+                    "label " << y << " is not a valid class id");
+    }
+  } else {
+    for (double y : labels_) {
+      FLAML_REQUIRE(std::isfinite(y), "regression label must be finite");
+    }
+  }
+}
+
+std::vector<double> Dataset::class_priors() const {
+  FLAML_REQUIRE(is_classification(task_), "class_priors on a regression dataset");
+  std::vector<double> counts(static_cast<std::size_t>(n_classes_), 0.0);
+  for (double y : labels_) counts[static_cast<std::size_t>(y)] += 1.0;
+  for (double& c : counts) c /= static_cast<double>(n_rows_);
+  return counts;
+}
+
+DataView::DataView(const Dataset& data) : data_(&data) {
+  rows_.resize(data.n_rows());
+  std::iota(rows_.begin(), rows_.end(), 0u);
+}
+
+DataView::DataView(const Dataset& data, std::vector<std::uint32_t> rows)
+    : data_(&data), rows_(std::move(rows)) {
+  for (std::uint32_t r : rows_) FLAML_CHECK(r < data.n_rows());
+}
+
+DataView DataView::prefix(std::size_t s) const {
+  FLAML_CHECK(data_ != nullptr);
+  s = std::min(s, rows_.size());
+  return DataView(*data_, std::vector<std::uint32_t>(rows_.begin(),
+                                                     rows_.begin() + static_cast<std::ptrdiff_t>(s)));
+}
+
+Dataset materialize(const DataView& view) {
+  FLAML_REQUIRE(view.n_rows() > 0, "cannot materialize an empty view");
+  const Dataset& src = view.data();
+  std::vector<ColumnInfo> columns;
+  columns.reserve(src.n_cols());
+  for (std::size_t c = 0; c < src.n_cols(); ++c) columns.push_back(src.column_info(c));
+  Dataset out(src.task(), std::move(columns));
+  for (std::size_t c = 0; c < src.n_cols(); ++c) {
+    std::vector<float> col(view.n_rows());
+    for (std::size_t i = 0; i < view.n_rows(); ++i) col[i] = view.value(i, c);
+    out.set_column(c, std::move(col));
+  }
+  out.set_labels(view.labels());
+  if (src.has_weights()) out.set_weights(view.weights());
+  return out;
+}
+
+std::vector<double> DataView::labels() const {
+  std::vector<double> out(rows_.size());
+  for (std::size_t i = 0; i < rows_.size(); ++i) out[i] = data_->label(rows_[i]);
+  return out;
+}
+
+std::vector<double> DataView::weights() const {
+  std::vector<double> out(rows_.size());
+  for (std::size_t i = 0; i < rows_.size(); ++i) out[i] = data_->weight(rows_[i]);
+  return out;
+}
+
+}  // namespace flaml

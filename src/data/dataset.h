@@ -1,0 +1,142 @@
+// In-memory tabular dataset.
+//
+// Storage is column-major: each feature column is a contiguous
+// vector<float>. Categorical features store their integer code as a float
+// (codes are 0..cardinality-1); missing values are NaN in either case.
+// Labels are doubles: the regression target, or the class id (0..K-1) for
+// classification. This layout is what the histogram tree builder, the
+// linear learners and the samplers all consume directly.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace flaml {
+
+enum class Task { BinaryClassification, MultiClassification, Regression };
+
+const char* task_name(Task task);
+bool is_classification(Task task);
+
+enum class ColumnType { Numeric, Categorical };
+
+struct ColumnInfo {
+  std::string name;
+  ColumnType type = ColumnType::Numeric;
+  // Number of categories for categorical columns; 0 for numeric.
+  int cardinality = 0;
+};
+
+class Dataset {
+ public:
+  Dataset(Task task, std::vector<ColumnInfo> columns);
+
+  // Append one row; values.size() must equal n_cols(). Categorical values
+  // must be integral codes in [0, cardinality) or NaN for missing.
+  void add_row(const std::vector<float>& values, double label);
+
+  // Bulk construction: moves one full column in. All columns must have the
+  // same length; call set_labels afterwards.
+  void set_column(std::size_t col, std::vector<float> values);
+  void set_labels(std::vector<double> labels);
+
+  // Optional per-row training weights (scikit's sample_weight). Empty (the
+  // default) means every row weighs 1. Weights scale the training loss of
+  // every learner; evaluation metrics stay unweighted.
+  void set_weights(std::vector<double> weights);
+  bool has_weights() const { return !weights_.empty(); }
+  double weight(std::size_t row) const {
+    return weights_.empty() ? 1.0 : weights_[row];
+  }
+  const std::vector<double>& weights() const { return weights_; }
+
+  Task task() const { return task_; }
+  std::size_t n_rows() const { return n_rows_; }
+  std::size_t n_cols() const { return columns_.size(); }
+  // Number of classes for classification tasks (computed from labels).
+  int n_classes() const { return n_classes_; }
+
+  const ColumnInfo& column_info(std::size_t col) const { return columns_[col]; }
+  // Replace a column's metadata (e.g. after re-encoding it as categorical).
+  void set_column_info(std::size_t col, ColumnInfo info) {
+    FLAML_REQUIRE(col < columns_.size(), "column index out of range");
+    columns_[col] = std::move(info);
+  }
+  const std::vector<float>& column(std::size_t col) const { return values_[col]; }
+  float value(std::size_t row, std::size_t col) const { return values_[col][row]; }
+  double label(std::size_t row) const { return labels_[row]; }
+  const std::vector<double>& labels() const { return labels_; }
+
+  static bool is_missing(float v) { return std::isnan(v); }
+
+  // Validates internal consistency (lengths, label range, category codes);
+  // throws InvalidArgument on failure. Called by consumers at API entry.
+  void validate() const;
+
+  // Fraction of each class in the labels (classification only).
+  std::vector<double> class_priors() const;
+
+ private:
+  void refresh_n_classes();
+
+  Task task_;
+  std::vector<ColumnInfo> columns_;
+  std::vector<std::vector<float>> values_;  // [col][row]
+  std::vector<double> labels_;
+  std::vector<double> weights_;  // empty = unweighted
+  std::size_t n_rows_ = 0;
+  int n_classes_ = 0;
+};
+
+// A subset of dataset rows, by index. Cheap to copy the handle; the index
+// vector is shared. This is how sampling (first s rows of a shuffle),
+// cross-validation folds and holdout splits are expressed without copying
+// feature data.
+class DataView {
+ public:
+  DataView() = default;
+  // View over all rows.
+  explicit DataView(const Dataset& data);
+  // View over the given rows (indices into `data`).
+  DataView(const Dataset& data, std::vector<std::uint32_t> rows);
+
+  bool empty() const { return rows_.empty(); }
+  std::size_t n_rows() const { return rows_.size(); }
+  std::size_t n_cols() const { return data_ ? data_->n_cols() : 0; }
+  const Dataset& data() const {
+    FLAML_CHECK(data_ != nullptr);
+    return *data_;
+  }
+  std::uint32_t row_index(std::size_t i) const { return rows_[i]; }
+  const std::vector<std::uint32_t>& rows() const { return rows_; }
+
+  float value(std::size_t i, std::size_t col) const {
+    return data_->value(rows_[i], col);
+  }
+  double label(std::size_t i) const { return data_->label(rows_[i]); }
+
+  // The first `s` rows of this view (s clamped to n_rows). Used for
+  // progressive sampling: the controller shuffles once, then takes prefixes.
+  DataView prefix(std::size_t s) const;
+
+  // Labels of the view, materialized.
+  std::vector<double> labels() const;
+
+  // Training weights of the view, materialized (all 1 when unweighted).
+  std::vector<double> weights() const;
+  double weight(std::size_t i) const { return data_->weight(rows_[i]); }
+
+ private:
+  const Dataset* data_ = nullptr;
+  std::vector<std::uint32_t> rows_;
+};
+
+// Copy the rows of a view into a standalone Dataset with the same schema
+// (used to hand a train split to an API that takes a whole Dataset).
+Dataset materialize(const DataView& view);
+
+}  // namespace flaml

@@ -1,0 +1,356 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/math_util.h"
+
+namespace flaml {
+
+namespace {
+
+std::vector<ColumnInfo> numeric_columns(int n_features) {
+  std::vector<ColumnInfo> cols(static_cast<std::size_t>(n_features));
+  for (int f = 0; f < n_features; ++f) {
+    cols[static_cast<std::size_t>(f)].name = "f" + std::to_string(f);
+    cols[static_cast<std::size_t>(f)].type = ColumnType::Numeric;
+  }
+  return cols;
+}
+
+// Random rotation-ish mixing: y = A x with A orthonormal-ish (Gram-Schmidt
+// on random Gaussians would be exact; a normalized random matrix is enough
+// to entangle informative and redundant dimensions).
+std::vector<std::vector<double>> random_mixing(int out_dim, int in_dim, Rng& rng) {
+  std::vector<std::vector<double>> a(static_cast<std::size_t>(out_dim),
+                                     std::vector<double>(static_cast<std::size_t>(in_dim)));
+  for (auto& row : a) {
+    double norm2 = 0.0;
+    for (auto& v : row) {
+      v = rng.normal();
+      norm2 += v * v;
+    }
+    double inv = 1.0 / std::sqrt(std::max(norm2, 1e-12));
+    for (auto& v : row) v *= inv;
+  }
+  return a;
+}
+
+}  // namespace
+
+Dataset make_synthetic(const SyntheticSpec& spec) {
+  return is_classification(spec.task) ? make_classification(spec)
+                                      : make_regression(spec);
+}
+
+Dataset make_classification(const SyntheticSpec& spec) {
+  FLAML_REQUIRE(spec.n_rows >= 4, "need at least 4 rows");
+  FLAML_REQUIRE(spec.n_features >= 1, "need at least 1 feature");
+  const int n_classes = spec.task == Task::BinaryClassification ? 2 : spec.n_classes;
+  FLAML_REQUIRE(n_classes >= 2, "need at least 2 classes");
+  Rng rng(spec.seed);
+
+  const int n_informative =
+      spec.n_informative > 0
+          ? std::min(spec.n_informative, spec.n_features)
+          : std::max(1, static_cast<int>(std::lround(0.6 * spec.n_features)));
+  const int n_clusters = std::max(1, spec.n_clusters_per_class);
+
+  // Class prior: geometric decay controlled by imbalance.
+  std::vector<double> prior(static_cast<std::size_t>(n_classes), 1.0);
+  if (spec.imbalance > 0.0) {
+    double ratio = 1.0 - clamp(spec.imbalance, 0.0, 0.95);
+    double w = 1.0;
+    for (auto& p : prior) {
+      p = w;
+      w *= ratio;
+    }
+  }
+
+  // Cluster centers in informative space, scaled by class_sep.
+  std::vector<std::vector<std::vector<double>>> centers(
+      static_cast<std::size_t>(n_classes));
+  for (auto& class_centers : centers) {
+    class_centers.resize(static_cast<std::size_t>(n_clusters));
+    for (auto& c : class_centers) {
+      c.resize(static_cast<std::size_t>(n_informative));
+      for (auto& v : c) v = rng.normal() * 2.0 * spec.class_sep;
+    }
+  }
+
+  const auto mixing = random_mixing(spec.n_features, n_informative, rng);
+
+  Dataset data(spec.task, numeric_columns(spec.n_features));
+  std::vector<std::vector<float>> cols(static_cast<std::size_t>(spec.n_features),
+                                       std::vector<float>(spec.n_rows));
+  std::vector<double> labels(spec.n_rows);
+  std::vector<double> latent(static_cast<std::size_t>(n_informative));
+
+  for (std::size_t r = 0; r < spec.n_rows; ++r) {
+    const int y = static_cast<int>(rng.categorical(prior));
+    const auto& center =
+        centers[static_cast<std::size_t>(y)][rng.uniform_index(
+            static_cast<std::uint64_t>(n_clusters))];
+    for (int j = 0; j < n_informative; ++j) {
+      latent[static_cast<std::size_t>(j)] =
+          center[static_cast<std::size_t>(j)] + rng.normal();
+    }
+    // Nonlinear warp of the latent space (keeps class structure but bends
+    // the decision boundary so linear models underfit).
+    if (spec.nonlinearity > 0.0) {
+      for (int j = 0; j < n_informative; ++j) {
+        double v = latent[static_cast<std::size_t>(j)];
+        double warped = v + std::sin(1.7 * v) * 1.5 +
+                        0.35 * v * latent[static_cast<std::size_t>((j + 1) % n_informative)];
+        latent[static_cast<std::size_t>(j)] =
+            (1.0 - spec.nonlinearity) * v + spec.nonlinearity * warped;
+      }
+    }
+    for (int f = 0; f < spec.n_features; ++f) {
+      double v = 0.0;
+      if (f < n_informative) {
+        v = latent[static_cast<std::size_t>(f)];
+      } else {
+        const auto& row = mixing[static_cast<std::size_t>(f)];
+        for (int j = 0; j < n_informative; ++j) {
+          v += row[static_cast<std::size_t>(j)] * latent[static_cast<std::size_t>(j)];
+        }
+        v += 0.6 * rng.normal();  // distractor noise on redundant features
+      }
+      cols[static_cast<std::size_t>(f)][r] = static_cast<float>(v);
+    }
+    int label = y;
+    if (spec.label_noise > 0.0 && rng.bernoulli(spec.label_noise)) {
+      label = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(n_classes)));
+    }
+    labels[r] = static_cast<double>(label);
+  }
+
+  // Guarantee every class appears at least twice (folds need that): steal
+  // rows from classes that can spare them (count stays > 2).
+  {
+    std::vector<std::size_t> counts(static_cast<std::size_t>(n_classes), 0);
+    for (double y : labels) counts[static_cast<std::size_t>(y)] += 1;
+    for (int c = 0; c < n_classes; ++c) {
+      while (counts[static_cast<std::size_t>(c)] < 2) {
+        bool stolen = false;
+        for (std::size_t i = 0; i < labels.size(); ++i) {
+          int owner = static_cast<int>(labels[i]);
+          if (owner != c && counts[static_cast<std::size_t>(owner)] > 2) {
+            labels[i] = static_cast<double>(c);
+            counts[static_cast<std::size_t>(owner)] -= 1;
+            counts[static_cast<std::size_t>(c)] += 1;
+            stolen = true;
+            break;
+          }
+        }
+        FLAML_CHECK_MSG(stolen, "not enough rows to give every class 2 examples");
+      }
+    }
+  }
+
+  for (int f = 0; f < spec.n_features; ++f) {
+    data.set_column(static_cast<std::size_t>(f), std::move(cols[static_cast<std::size_t>(f)]));
+  }
+  data.set_labels(std::move(labels));
+
+  if (spec.categorical_fraction > 0.0) binify_columns(data, spec.categorical_fraction, rng);
+  if (spec.missing_fraction > 0.0) inject_missing(data, spec.missing_fraction, rng);
+  data.validate();
+  return data;
+}
+
+Dataset make_regression(const SyntheticSpec& spec) {
+  FLAML_REQUIRE(spec.task == Task::Regression, "make_regression needs Task::Regression");
+  FLAML_REQUIRE(spec.n_rows >= 4 && spec.n_features >= 1, "bad shape");
+  Rng rng(spec.seed);
+  const int n_informative =
+      spec.n_informative > 0
+          ? std::min(spec.n_informative, spec.n_features)
+          : std::max(1, static_cast<int>(std::lround(0.6 * spec.n_features)));
+
+  std::vector<double> w(static_cast<std::size_t>(n_informative));
+  for (auto& v : w) v = rng.normal() * 2.0;
+  // A few pairwise interactions among informative features.
+  struct Interaction {
+    int i, j;
+    double w;
+  };
+  std::vector<Interaction> inter;
+  int n_inter = std::max(1, n_informative / 2);
+  for (int t = 0; t < n_inter; ++t) {
+    inter.push_back({static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(n_informative))),
+                     static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(n_informative))),
+                     rng.normal() * 1.5});
+  }
+
+  Dataset data(Task::Regression, numeric_columns(spec.n_features));
+  std::vector<std::vector<float>> cols(static_cast<std::size_t>(spec.n_features),
+                                       std::vector<float>(spec.n_rows));
+  std::vector<double> labels(spec.n_rows);
+  std::vector<double> x(static_cast<std::size_t>(spec.n_features));
+
+  std::vector<double> clean(spec.n_rows);
+  for (std::size_t r = 0; r < spec.n_rows; ++r) {
+    for (int f = 0; f < spec.n_features; ++f) {
+      x[static_cast<std::size_t>(f)] = rng.normal();
+      cols[static_cast<std::size_t>(f)][r] = static_cast<float>(x[static_cast<std::size_t>(f)]);
+    }
+    double y = 0.0;
+    for (int j = 0; j < n_informative; ++j) {
+      double xj = x[static_cast<std::size_t>(j)];
+      double lin = w[static_cast<std::size_t>(j)] * xj;
+      double nl = w[static_cast<std::size_t>(j)] * (std::sin(1.3 * xj) + 0.5 * xj * xj);
+      y += (1.0 - spec.nonlinearity) * lin + spec.nonlinearity * nl;
+    }
+    for (const auto& t : inter) {
+      y += spec.nonlinearity * t.w * x[static_cast<std::size_t>(t.i)] *
+           x[static_cast<std::size_t>(t.j)];
+    }
+    clean[r] = y;
+  }
+  // Relative target noise.
+  double sd = std::sqrt(variance(clean));
+  for (std::size_t r = 0; r < spec.n_rows; ++r) {
+    labels[r] = clean[r] + rng.normal() * sd * spec.label_noise;
+  }
+
+  for (int f = 0; f < spec.n_features; ++f) {
+    data.set_column(static_cast<std::size_t>(f), std::move(cols[static_cast<std::size_t>(f)]));
+  }
+  data.set_labels(std::move(labels));
+  if (spec.categorical_fraction > 0.0) binify_columns(data, spec.categorical_fraction, rng);
+  if (spec.missing_fraction > 0.0) inject_missing(data, spec.missing_fraction, rng);
+  data.validate();
+  return data;
+}
+
+Dataset make_friedman1(std::size_t n_rows, int n_features, double noise,
+                       std::uint64_t seed) {
+  FLAML_REQUIRE(n_features >= 5, "friedman1 needs at least 5 features");
+  Rng rng(seed);
+  Dataset data(Task::Regression, numeric_columns(n_features));
+  std::vector<std::vector<float>> cols(static_cast<std::size_t>(n_features),
+                                       std::vector<float>(n_rows));
+  std::vector<double> labels(n_rows);
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    std::vector<double> x(static_cast<std::size_t>(n_features));
+    for (int f = 0; f < n_features; ++f) {
+      x[static_cast<std::size_t>(f)] = rng.uniform();
+      cols[static_cast<std::size_t>(f)][r] = static_cast<float>(x[static_cast<std::size_t>(f)]);
+    }
+    labels[r] = 10.0 * std::sin(M_PI * x[0] * x[1]) + 20.0 * (x[2] - 0.5) * (x[2] - 0.5) +
+                10.0 * x[3] + 5.0 * x[4] + rng.normal() * noise;
+  }
+  for (int f = 0; f < n_features; ++f) {
+    data.set_column(static_cast<std::size_t>(f), std::move(cols[static_cast<std::size_t>(f)]));
+  }
+  data.set_labels(std::move(labels));
+  data.validate();
+  return data;
+}
+
+Dataset make_piecewise(std::size_t n_rows, int n_features, int n_pieces,
+                       double noise, std::uint64_t seed) {
+  FLAML_REQUIRE(n_features >= 1 && n_pieces >= 1, "bad piecewise spec");
+  Rng rng(seed);
+  struct Box {
+    std::vector<double> lo, hi;
+    double value;
+  };
+  std::vector<Box> boxes(static_cast<std::size_t>(n_pieces));
+  for (auto& b : boxes) {
+    b.lo.resize(static_cast<std::size_t>(n_features));
+    b.hi.resize(static_cast<std::size_t>(n_features));
+    for (int f = 0; f < n_features; ++f) {
+      double a = rng.uniform(-2.0, 2.0);
+      double width = rng.uniform(0.5, 3.0);
+      b.lo[static_cast<std::size_t>(f)] = a;
+      b.hi[static_cast<std::size_t>(f)] = a + width;
+    }
+    b.value = rng.normal() * 5.0;
+  }
+
+  Dataset data(Task::Regression, numeric_columns(n_features));
+  std::vector<std::vector<float>> cols(static_cast<std::size_t>(n_features),
+                                       std::vector<float>(n_rows));
+  std::vector<double> labels(n_rows);
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    std::vector<double> x(static_cast<std::size_t>(n_features));
+    for (int f = 0; f < n_features; ++f) {
+      x[static_cast<std::size_t>(f)] = rng.normal();
+      cols[static_cast<std::size_t>(f)][r] = static_cast<float>(x[static_cast<std::size_t>(f)]);
+    }
+    double y = 0.0;
+    for (const auto& b : boxes) {
+      bool inside = true;
+      for (int f = 0; f < n_features && inside; ++f) {
+        inside = x[static_cast<std::size_t>(f)] >= b.lo[static_cast<std::size_t>(f)] &&
+                 x[static_cast<std::size_t>(f)] <= b.hi[static_cast<std::size_t>(f)];
+      }
+      if (inside) y += b.value;
+    }
+    labels[r] = y + rng.normal() * noise;
+  }
+  for (int f = 0; f < n_features; ++f) {
+    data.set_column(static_cast<std::size_t>(f), std::move(cols[static_cast<std::size_t>(f)]));
+  }
+  data.set_labels(std::move(labels));
+  data.validate();
+  return data;
+}
+
+void binify_columns(Dataset& data, double fraction, Rng& rng) {
+  const std::size_t n_cols = data.n_cols();
+  std::vector<std::size_t> candidates;
+  for (std::size_t c = 0; c < n_cols; ++c) {
+    if (data.column_info(c).type == ColumnType::Numeric) candidates.push_back(c);
+  }
+  rng.shuffle(candidates);
+  std::size_t n_bin = static_cast<std::size_t>(
+      std::lround(clamp(fraction, 0.0, 1.0) * static_cast<double>(candidates.size())));
+  for (std::size_t i = 0; i < n_bin; ++i) {
+    std::size_t c = candidates[i];
+    const int k = static_cast<int>(3 + rng.uniform_index(10));  // 3..12 categories
+    std::vector<float> sorted = data.column(c);
+    sorted.erase(std::remove_if(sorted.begin(), sorted.end(),
+                                [](float v) { return Dataset::is_missing(v); }),
+                 sorted.end());
+    if (sorted.empty()) continue;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<float> edges;
+    for (int b = 1; b < k; ++b) {
+      std::size_t pos = sorted.size() * static_cast<std::size_t>(b) /
+                        static_cast<std::size_t>(k);
+      edges.push_back(sorted[std::min(pos, sorted.size() - 1)]);
+    }
+    std::vector<float> coded = data.column(c);
+    for (auto& v : coded) {
+      if (Dataset::is_missing(v)) continue;
+      int code = static_cast<int>(
+          std::upper_bound(edges.begin(), edges.end(), v) - edges.begin());
+      v = static_cast<float>(code);
+    }
+    data.set_column(c, std::move(coded));
+    ColumnInfo info = data.column_info(c);
+    info.type = ColumnType::Categorical;
+    info.cardinality = k;
+    data.set_column_info(c, std::move(info));
+  }
+}
+
+void inject_missing(Dataset& data, double fraction, Rng& rng) {
+  const float kMissing = std::numeric_limits<float>::quiet_NaN();
+  for (std::size_t c = 0; c < data.n_cols(); ++c) {
+    std::vector<float> col = data.column(c);
+    for (auto& v : col) {
+      if (rng.bernoulli(fraction)) v = kMissing;
+    }
+    data.set_column(c, std::move(col));
+  }
+}
+
+}  // namespace flaml

@@ -1,0 +1,62 @@
+// Synthetic dataset generators.
+//
+// These replace the OpenML / PMLB datasets of the paper's benchmark (which
+// require network access and hours-scale budgets) with deterministic
+// laptop-scale analogues. Each generator controls the properties that the
+// AutoML comparisons depend on: size, dimensionality, class count and
+// imbalance, boundary nonlinearity, label noise, categorical features and
+// missing values. See DESIGN.md §2 for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace flaml {
+
+struct SyntheticSpec {
+  Task task = Task::BinaryClassification;
+  std::size_t n_rows = 1000;
+  int n_features = 10;
+  int n_classes = 2;             // classification only
+  int n_informative = -1;        // -1: 60% of features
+  int n_clusters_per_class = 2;  // multi-modal class regions
+  double class_sep = 1.0;        // larger = easier
+  double label_noise = 0.0;      // fraction of labels flipped / relative target noise
+  double nonlinearity = 0.5;     // 0 = linear boundary, 1 = highly nonlinear
+  double imbalance = 0.0;        // 0 = balanced; 0.9 = 90% mass on class 0
+  double categorical_fraction = 0.0;  // fraction of features quantile-binned
+  double missing_fraction = 0.0;      // fraction of cells set to NaN
+  std::uint64_t seed = 1;
+};
+
+// General-purpose generator dispatching on spec.task.
+Dataset make_synthetic(const SyntheticSpec& spec);
+
+// Gaussian-cluster classification data (classic "blobs"+rotation+noise).
+Dataset make_classification(const SyntheticSpec& spec);
+
+// Regression target = sparse linear + pairwise interactions + sin warp,
+// with nonlinearity and noise taken from the spec.
+Dataset make_regression(const SyntheticSpec& spec);
+
+// Friedman #1 benchmark: y = 10 sin(pi x1 x2) + 20 (x3-.5)^2 + 10 x4 + 5 x5 + noise.
+// Extra features beyond the first five are irrelevant noise features.
+Dataset make_friedman1(std::size_t n_rows, int n_features, double noise,
+                       std::uint64_t seed);
+
+// Piecewise-constant target on random axis-aligned boxes; tree-friendly,
+// hard for linear models. Used for regression analogues of pol/house.
+Dataset make_piecewise(std::size_t n_rows, int n_features, int n_pieces,
+                       double noise, std::uint64_t seed);
+
+// Post-processing used by the generators; exposed for tests.
+// Quantile-bins `fraction` of the numeric columns into categorical codes
+// (cardinality sampled in [3, 12]).
+void binify_columns(Dataset& data, double fraction, Rng& rng);
+// Sets `fraction` of all feature cells to NaN (missing completely at random).
+void inject_missing(Dataset& data, double fraction, Rng& rng);
+
+}  // namespace flaml

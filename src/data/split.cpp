@@ -1,0 +1,117 @@
+#include "data/split.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace flaml {
+
+std::vector<std::uint32_t> shuffled_indices(const Dataset& data, Rng& rng) {
+  std::vector<std::uint32_t> idx(data.n_rows());
+  std::iota(idx.begin(), idx.end(), 0u);
+  rng.shuffle(idx);
+  return idx;
+}
+
+std::vector<std::uint32_t> stratified_shuffled_indices(const Dataset& data, Rng& rng) {
+  FLAML_REQUIRE(is_classification(data.task()),
+                "stratified shuffle requires a classification task");
+  const int k = data.n_classes();
+  std::vector<std::vector<std::uint32_t>> by_class(static_cast<std::size_t>(k));
+  for (std::uint32_t r = 0; r < data.n_rows(); ++r) {
+    by_class[static_cast<std::size_t>(data.label(r))].push_back(r);
+  }
+  for (auto& rows : by_class) rng.shuffle(rows);
+
+  // Interleave classes so every prefix is proportionally stratified: the
+  // i-th row of a class of size n_c gets sort key (i + u)/n_c with a small
+  // random tie-break u, and rows are emitted in key order.
+  std::vector<std::pair<double, std::uint32_t>> keyed;
+  keyed.reserve(data.n_rows());
+  for (const auto& rows : by_class) {
+    const double n_c = static_cast<double>(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      keyed.emplace_back((static_cast<double>(i) + rng.uniform()) / n_c, rows[i]);
+    }
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<std::uint32_t> idx;
+  idx.reserve(keyed.size());
+  for (const auto& [key, row] : keyed) idx.push_back(row);
+  return idx;
+}
+
+std::vector<std::uint32_t> task_shuffled_indices(const Dataset& data, Rng& rng) {
+  return is_classification(data.task()) ? stratified_shuffled_indices(data, rng)
+                                        : shuffled_indices(data, rng);
+}
+
+namespace {
+
+// Assign each row of `view` a fold id in [0, k), stratified by class for
+// classification tasks so each fold's class mix matches the whole view.
+std::vector<int> fold_assignment(const DataView& view, int k, Rng& rng) {
+  const std::size_t n = view.n_rows();
+  std::vector<int> fold(n, 0);
+  if (is_classification(view.data().task())) {
+    const int n_classes = view.data().n_classes();
+    std::vector<std::vector<std::size_t>> by_class(static_cast<std::size_t>(n_classes));
+    for (std::size_t i = 0; i < n; ++i) {
+      by_class[static_cast<std::size_t>(view.label(i))].push_back(i);
+    }
+    for (auto& members : by_class) {
+      rng.shuffle(members);
+      for (std::size_t j = 0; j < members.size(); ++j) {
+        fold[members[j]] = static_cast<int>(j % static_cast<std::size_t>(k));
+      }
+    }
+  } else {
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    rng.shuffle(order);
+    for (std::size_t j = 0; j < n; ++j) {
+      fold[order[j]] = static_cast<int>(j % static_cast<std::size_t>(k));
+    }
+  }
+  return fold;
+}
+
+}  // namespace
+
+TrainTestSplit holdout_split(const DataView& view, double test_ratio, Rng& rng) {
+  FLAML_REQUIRE(test_ratio > 0.0 && test_ratio < 1.0,
+                "test_ratio must be in (0,1), got " << test_ratio);
+  FLAML_REQUIRE(view.n_rows() >= 2, "holdout split needs at least 2 rows");
+  // Use fold machinery with k = round(1/ratio) folds; fold 0 is the test set.
+  int k = std::max(2, static_cast<int>(std::lround(1.0 / test_ratio)));
+  k = std::min<int>(k, static_cast<int>(view.n_rows()));
+  std::vector<int> fold = fold_assignment(view, k, rng);
+  std::vector<std::uint32_t> train_rows, test_rows;
+  for (std::size_t i = 0; i < view.n_rows(); ++i) {
+    (fold[i] == 0 ? test_rows : train_rows).push_back(view.row_index(i));
+  }
+  FLAML_CHECK(!train_rows.empty() && !test_rows.empty());
+  return {DataView(view.data(), std::move(train_rows)),
+          DataView(view.data(), std::move(test_rows))};
+}
+
+std::vector<Fold> kfold_split(const DataView& view, int k, Rng& rng) {
+  FLAML_REQUIRE(k >= 2, "k-fold needs k >= 2, got " << k);
+  FLAML_REQUIRE(view.n_rows() >= static_cast<std::size_t>(k),
+                "k-fold needs at least k rows");
+  std::vector<int> fold = fold_assignment(view, k, rng);
+  std::vector<Fold> folds;
+  folds.reserve(static_cast<std::size_t>(k));
+  for (int f = 0; f < k; ++f) {
+    std::vector<std::uint32_t> train_rows, valid_rows;
+    for (std::size_t i = 0; i < view.n_rows(); ++i) {
+      (fold[i] == f ? valid_rows : train_rows).push_back(view.row_index(i));
+    }
+    FLAML_CHECK(!train_rows.empty() && !valid_rows.empty());
+    folds.push_back({DataView(view.data(), std::move(train_rows)),
+                     DataView(view.data(), std::move(valid_rows))});
+  }
+  return folds;
+}
+
+}  // namespace flaml

@@ -1,0 +1,44 @@
+// Shuffling, holdout splits and cross-validation folds.
+//
+// FLAML shuffles the data once up-front and draws progressive samples as
+// prefixes of the shuffle (paper §4.2). For classification the shuffle is
+// stratified so every prefix approximately preserves class proportions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace flaml {
+
+// Uniformly random permutation of [0, n_rows).
+std::vector<std::uint32_t> shuffled_indices(const Dataset& data, Rng& rng);
+
+// Stratified permutation: every prefix of the result has class proportions
+// within ±1 row of the full-data proportions. Classification only.
+std::vector<std::uint32_t> stratified_shuffled_indices(const Dataset& data, Rng& rng);
+
+// Task-appropriate shuffle: stratified for classification, uniform otherwise.
+std::vector<std::uint32_t> task_shuffled_indices(const Dataset& data, Rng& rng);
+
+struct TrainTestSplit {
+  DataView train;
+  DataView test;
+};
+
+// Split a view into train/test with the given test fraction (0 < ratio < 1).
+// Stratifies by label for classification tasks.
+TrainTestSplit holdout_split(const DataView& view, double test_ratio, Rng& rng);
+
+struct Fold {
+  DataView train;
+  DataView valid;
+};
+
+// k-fold partition of the view (k >= 2); folds are disjoint and cover the
+// view. Stratified by label for classification tasks.
+std::vector<Fold> kfold_split(const DataView& view, int k, Rng& rng);
+
+}  // namespace flaml

@@ -1,0 +1,306 @@
+#include "data/suite.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flaml {
+
+const char* suite_group_name(SuiteGroup group) {
+  switch (group) {
+    case SuiteGroup::Binary: return "binary";
+    case SuiteGroup::MultiClass: return "multiclass";
+    case SuiteGroup::Regression: return "regression";
+  }
+  return "?";
+}
+
+namespace {
+
+SyntheticSpec base_spec(Task task, std::size_t rows, int features, std::uint64_t seed) {
+  SyntheticSpec s;
+  s.task = task;
+  s.n_rows = rows;
+  s.n_features = features;
+  s.seed = seed;
+  return s;
+}
+
+SuiteEntry binary(const std::string& name, std::size_t rows, int features,
+                  std::uint64_t seed) {
+  SuiteEntry e;
+  e.name = name;
+  e.group = SuiteGroup::Binary;
+  e.spec = base_spec(Task::BinaryClassification, rows, features, seed);
+  return e;
+}
+
+SuiteEntry multi(const std::string& name, std::size_t rows, int features,
+                 int classes, std::uint64_t seed) {
+  SuiteEntry e;
+  e.name = name;
+  e.group = SuiteGroup::MultiClass;
+  e.spec = base_spec(Task::MultiClassification, rows, features, seed);
+  e.spec.n_classes = classes;
+  return e;
+}
+
+SuiteEntry regress(const std::string& name, std::size_t rows, int features,
+                   std::uint64_t seed) {
+  SuiteEntry e;
+  e.name = name;
+  e.group = SuiteGroup::Regression;
+  e.spec = base_spec(Task::Regression, rows, features, seed);
+  return e;
+}
+
+std::vector<SuiteEntry> build_suite() {
+  std::vector<SuiteEntry> s;
+
+  // ---- Binary classification (Table 6 analogues, smallest to largest) ----
+  {
+    auto e = binary("blood-transfusion", 748, 4, 101);
+    e.spec.label_noise = 0.18;
+    e.spec.imbalance = 0.55;
+    e.spec.nonlinearity = 0.3;
+    s.push_back(e);
+  }
+  {
+    auto e = binary("australian", 690, 14, 102);
+    e.spec.categorical_fraction = 0.4;
+    e.spec.label_noise = 0.10;
+    s.push_back(e);
+  }
+  {
+    auto e = binary("credit-g", 1000, 20, 103);
+    e.spec.categorical_fraction = 0.6;
+    e.spec.imbalance = 0.4;
+    e.spec.label_noise = 0.15;
+    s.push_back(e);
+  }
+  {
+    auto e = binary("kc1", 2109, 21, 104);
+    e.spec.imbalance = 0.7;
+    e.spec.label_noise = 0.12;
+    e.spec.nonlinearity = 0.4;
+    s.push_back(e);
+  }
+  {
+    auto e = binary("phoneme", 2700, 5, 105);
+    e.spec.nonlinearity = 0.9;
+    e.spec.n_clusters_per_class = 4;
+    e.spec.label_noise = 0.06;
+    s.push_back(e);
+  }
+  {
+    auto e = binary("christine", 1354, 96, 106);
+    e.spec.n_informative = 20;
+    e.spec.label_noise = 0.12;
+    e.spec.nonlinearity = 0.6;
+    s.push_back(e);
+  }
+  {
+    auto e = binary("amazon-employee", 3277, 9, 107);
+    e.spec.categorical_fraction = 1.0;
+    e.spec.imbalance = 0.88;
+    e.spec.label_noise = 0.04;
+    s.push_back(e);
+  }
+  {
+    auto e = binary("adult", 4884, 14, 108);
+    e.spec.categorical_fraction = 0.5;
+    e.spec.missing_fraction = 0.01;
+    e.spec.imbalance = 0.5;
+    e.spec.label_noise = 0.08;
+    s.push_back(e);
+  }
+  {
+    auto e = binary("aps-failure", 7600, 40, 109);
+    e.spec.missing_fraction = 0.08;
+    e.spec.imbalance = 0.9;
+    e.spec.n_informative = 12;
+    s.push_back(e);
+  }
+  {
+    auto e = binary("higgs", 14000, 28, 110);
+    e.spec.nonlinearity = 0.8;
+    e.spec.label_noise = 0.18;
+    e.spec.n_clusters_per_class = 3;
+    s.push_back(e);
+  }
+  {
+    auto e = binary("miniboone", 26000, 50, 111);
+    e.spec.nonlinearity = 0.6;
+    e.spec.label_noise = 0.06;
+    e.spec.imbalance = 0.4;
+    s.push_back(e);
+  }
+  {
+    auto e = binary("airlines", 48000, 7, 112);
+    e.spec.label_noise = 0.25;
+    e.spec.nonlinearity = 0.5;
+    e.spec.categorical_fraction = 0.4;
+    s.push_back(e);
+  }
+
+  // ---- Multi-class classification (Table 7 analogues) ----
+  {
+    auto e = multi("car", 1728, 6, 4, 201);
+    e.spec.categorical_fraction = 1.0;
+    e.spec.imbalance = 0.6;
+    s.push_back(e);
+  }
+  {
+    auto e = multi("vehicle", 846, 18, 4, 202);
+    e.spec.label_noise = 0.10;
+    e.spec.nonlinearity = 0.5;
+    s.push_back(e);
+  }
+  {
+    auto e = multi("mfeat-factors", 2000, 48, 10, 203);
+    e.spec.n_informative = 24;
+    e.spec.class_sep = 1.4;
+    s.push_back(e);
+  }
+  {
+    auto e = multi("segment", 2310, 19, 7, 204);
+    e.spec.class_sep = 1.5;
+    e.spec.nonlinearity = 0.4;
+    s.push_back(e);
+  }
+  {
+    auto e = multi("shuttle", 5800, 9, 7, 205);
+    e.spec.imbalance = 0.8;
+    e.spec.class_sep = 1.6;
+    s.push_back(e);
+  }
+  {
+    auto e = multi("connect-4", 6756, 42, 3, 206);
+    e.spec.categorical_fraction = 1.0;
+    e.spec.imbalance = 0.5;
+    e.spec.label_noise = 0.08;
+    s.push_back(e);
+  }
+  {
+    auto e = multi("helena", 6520, 27, 10, 207);
+    e.spec.label_noise = 0.30;
+    e.spec.nonlinearity = 0.7;
+    e.spec.class_sep = 0.7;
+    s.push_back(e);
+  }
+  {
+    auto e = multi("jannis", 12000, 54, 4, 208);
+    e.spec.label_noise = 0.20;
+    e.spec.nonlinearity = 0.6;
+    s.push_back(e);
+  }
+  {
+    auto e = multi("covertype", 35000, 54, 7, 209);
+    e.spec.nonlinearity = 0.6;
+    e.spec.n_clusters_per_class = 3;
+    e.spec.imbalance = 0.45;
+    s.push_back(e);
+  }
+  {
+    auto e = multi("dionis", 17000, 60, 12, 210);
+    e.spec.class_sep = 1.1;
+    e.spec.n_informative = 30;
+    s.push_back(e);
+  }
+
+  // ---- Regression (Table 8 analogues) ----
+  {
+    auto e = regress("bng-echomonths", 1750, 9, 301);
+    e.spec.label_noise = 0.5;
+    e.spec.nonlinearity = 0.3;
+    s.push_back(e);
+  }
+  {
+    SuiteEntry e = regress("pol", 1500, 24, 302);
+    e.kind = SuiteEntry::Kind::Piecewise;
+    e.noise = 0.3;
+    e.n_pieces = 24;
+    s.push_back(e);
+  }
+  {
+    auto e = regress("houses", 2064, 8, 303);
+    e.spec.label_noise = 0.35;
+    e.spec.nonlinearity = 0.5;
+    s.push_back(e);
+  }
+  {
+    auto e = regress("house-16h", 2278, 16, 304);
+    e.spec.label_noise = 0.6;
+    e.spec.nonlinearity = 0.6;
+    s.push_back(e);
+  }
+  {
+    SuiteEntry e = regress("fried", 2038, 10, 305);
+    e.kind = SuiteEntry::Kind::Friedman1;
+    e.noise = 1.0;
+    s.push_back(e);
+  }
+  {
+    SuiteEntry e = regress("mv", 4077, 10, 306);
+    e.kind = SuiteEntry::Kind::Piecewise;
+    e.noise = 0.15;
+    e.n_pieces = 40;
+    s.push_back(e);
+  }
+  {
+    auto e = regress("poker", 21000, 10, 307);
+    e.spec.nonlinearity = 1.0;
+    e.spec.label_noise = 0.2;
+    s.push_back(e);
+  }
+  {
+    auto e = regress("bng-pbc", 36000, 18, 308);
+    e.spec.label_noise = 0.45;
+    e.spec.nonlinearity = 0.5;
+    s.push_back(e);
+  }
+
+  return s;
+}
+
+}  // namespace
+
+const std::vector<SuiteEntry>& benchmark_suite() {
+  static const std::vector<SuiteEntry> suite = build_suite();
+  return suite;
+}
+
+std::vector<SuiteEntry> suite_group(SuiteGroup group) {
+  std::vector<SuiteEntry> out;
+  for (const auto& e : benchmark_suite()) {
+    if (e.group == group) out.push_back(e);
+  }
+  return out;
+}
+
+const SuiteEntry& suite_entry(const std::string& name) {
+  for (const auto& e : benchmark_suite()) {
+    if (e.name == name) return e;
+  }
+  throw InvalidArgument("unknown suite dataset '" + name + "'");
+}
+
+Dataset make_suite_dataset(const SuiteEntry& entry, double row_scale) {
+  FLAML_REQUIRE(row_scale > 0.0, "row_scale must be positive");
+  std::size_t rows = static_cast<std::size_t>(std::max(
+      200L, std::lround(static_cast<double>(entry.spec.n_rows) * row_scale)));
+  switch (entry.kind) {
+    case SuiteEntry::Kind::Friedman1:
+      return make_friedman1(rows, entry.spec.n_features, entry.noise, entry.spec.seed);
+    case SuiteEntry::Kind::Piecewise:
+      return make_piecewise(rows, entry.spec.n_features, entry.n_pieces, entry.noise,
+                            entry.spec.seed);
+    case SuiteEntry::Kind::Spec: {
+      SyntheticSpec spec = entry.spec;
+      spec.n_rows = rows;
+      return make_synthetic(spec);
+    }
+  }
+  throw InternalError("unreachable suite kind");
+}
+
+}  // namespace flaml

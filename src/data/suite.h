@@ -1,0 +1,45 @@
+// The benchmark suite: named synthetic analogues of the paper's evaluation
+// datasets (Tables 6-8: 39 OpenML classification + 14 PMLB regression
+// tasks), scaled to laptop size. Sizes are roughly paper-size / 10..100,
+// and each entry keeps the qualitative character of its namesake: small vs
+// large, wide vs narrow, balanced vs imbalanced, clean vs noisy, numeric vs
+// categorical vs missing-heavy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/generators.h"
+
+namespace flaml {
+
+enum class SuiteGroup { Binary, MultiClass, Regression };
+
+const char* suite_group_name(SuiteGroup group);
+
+struct SuiteEntry {
+  std::string name;   // namesake dataset from the paper's tables
+  SuiteGroup group;
+  // Either a SyntheticSpec-driven dataset or a special generator.
+  enum class Kind { Spec, Friedman1, Piecewise } kind = Kind::Spec;
+  SyntheticSpec spec;
+  double noise = 0.0;   // for Friedman1 / Piecewise
+  int n_pieces = 0;     // for Piecewise
+};
+
+// All suite entries, ordered by group then by size (as in Figure 5's radar
+// ordering). `row_scale` multiplies every entry's row count (min 200 rows).
+const std::vector<SuiteEntry>& benchmark_suite();
+
+// Entries of one group.
+std::vector<SuiteEntry> suite_group(SuiteGroup group);
+
+// Look up an entry by name; throws InvalidArgument if unknown.
+const SuiteEntry& suite_entry(const std::string& name);
+
+// Materialize the dataset for an entry. `row_scale` scales the row count
+// (e.g. 0.5 for quick tests); deterministic for fixed entry + scale.
+Dataset make_suite_dataset(const SuiteEntry& entry, double row_scale = 1.0);
+
+}  // namespace flaml

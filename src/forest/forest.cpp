@@ -1,0 +1,160 @@
+#include "forest/forest.h"
+
+#include <algorithm>
+#include <istream>
+#include <numeric>
+#include <ostream>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "tree/grower.h"
+#include "tree/tree_io.h"
+
+namespace flaml {
+
+Predictions ForestModel::predict(const DataView& view) const {
+  FLAML_REQUIRE(!trees_.empty(), "predict on an untrained forest");
+  const std::size_t n = view.n_rows();
+  const Dataset& data = view.data();
+  Predictions out;
+  out.task = task_;
+  if (is_classification(task_)) {
+    out.n_classes = n_classes_;
+    out.values.assign(n * static_cast<std::size_t>(n_classes_), 0.0);
+    for (const Tree& tree : trees_) {
+      const auto& dists = tree.leaf_distributions();
+      for (std::size_t i = 0; i < n; ++i) {
+        std::int32_t leaf = tree.leaf_index(data, view.row_index(i));
+        const auto& dist = dists[static_cast<std::size_t>(leaf)];
+        FLAML_CHECK(!dist.empty());
+        for (int c = 0; c < n_classes_; ++c) {
+          out.values[i * static_cast<std::size_t>(n_classes_) +
+                     static_cast<std::size_t>(c)] += dist[static_cast<std::size_t>(c)];
+        }
+      }
+    }
+    const double inv = 1.0 / static_cast<double>(trees_.size());
+    for (double& v : out.values) v *= inv;
+    // Smooth toward uniform so no class has exactly zero probability (a
+    // handful of trees would otherwise produce 0s that blow up log-loss).
+    const double eps = 1e-3;
+    const double uniform = 1.0 / static_cast<double>(n_classes_);
+    for (double& v : out.values) v = (1.0 - eps) * v + eps * uniform;
+  } else {
+    out.n_classes = 0;
+    out.values.assign(n, 0.0);
+    for (const Tree& tree : trees_) {
+      for (std::size_t i = 0; i < n; ++i) {
+        out.values[i] += tree.predict_row(data, view.row_index(i));
+      }
+    }
+    const double inv = 1.0 / static_cast<double>(trees_.size());
+    for (double& v : out.values) v *= inv;
+  }
+  return out;
+}
+
+std::vector<double> ForestModel::feature_importance(std::size_t n_features) const {
+  std::vector<double> gains(n_features, 0.0);
+  for (const Tree& tree : trees_) tree.add_feature_gains(gains);
+  return gains;
+}
+
+void ForestModel::save(std::ostream& out) const {
+  out << "forest v1\n";
+  out << static_cast<int>(task_) << ' ' << n_classes_ << ' ' << trees_.size() << '\n';
+  out.precision(17);
+  for (const Tree& tree : trees_) write_tree(out, tree);
+}
+
+ForestModel ForestModel::load(std::istream& in) {
+  std::string magic, version;
+  in >> magic >> version;
+  FLAML_REQUIRE(magic == "forest" && version == "v1", "bad forest model header");
+  int task_int = 0, n_classes = 0;
+  std::size_t n_trees = 0;
+  in >> task_int >> n_classes >> n_trees;
+  FLAML_REQUIRE(in.good() && n_trees >= 1, "truncated forest model");
+  ForestModel model(static_cast<Task>(task_int), n_classes);
+  for (std::size_t t = 0; t < n_trees; ++t) model.add_tree(read_tree(in));
+  return model;
+}
+
+ForestModel train_forest(const DataView& train, const ForestParams& params) {
+  FLAML_REQUIRE(train.n_rows() >= 2, "forest needs at least 2 training rows");
+  FLAML_REQUIRE(params.n_trees >= 1, "n_trees must be >= 1");
+  const Dataset& dataset = train.data();
+  const Task task = dataset.task();
+  const std::size_t n = train.n_rows();
+  Rng rng(params.seed == 0 ? 0xf0e57ULL : params.seed);
+  WallClock clock;
+  auto out_of_time = [&](int built) {
+    if (params.max_seconds <= 0.0 || clock.now() <= params.max_seconds) return false;
+    if (params.fail_on_deadline) {
+      throw DeadlineExceeded("forest fit exceeded its deadline");
+    }
+    return built >= 1;
+  };
+
+  BinMapper mapper = BinMapper::fit(train, params.max_bin);
+  BinnedMatrix binned = mapper.encode(train);
+
+  ForestModel model(task, dataset.n_classes());
+
+  const bool weighted = dataset.has_weights();
+  if (is_classification(task)) {
+    std::vector<int> labels(n);
+    for (std::size_t i = 0; i < n; ++i) labels[i] = static_cast<int>(train.label(i));
+    std::vector<double> weights = weighted ? train.weights() : std::vector<double>{};
+    ClassTreeGrower grower(mapper, binned, dataset.n_classes());
+    ClassGrowerParams gp;
+    gp.max_leaves = params.max_leaves;
+    gp.min_samples_leaf = params.min_samples_leaf;
+    gp.max_features = params.max_features;
+    gp.criterion = params.criterion;
+    gp.extra_random = params.extra_trees;
+    for (int t = 0; t < params.n_trees; ++t) {
+      if (out_of_time(t)) break;
+      std::vector<std::uint32_t> rows(n);
+      if (params.extra_trees) {
+        std::iota(rows.begin(), rows.end(), 0u);
+      } else {
+        for (auto& r : rows) r = static_cast<std::uint32_t>(rng.uniform_index(n));
+      }
+      model.add_tree(grower.grow(rows, labels, weights, gp, rng));
+    }
+  } else {
+    // Regression: gradient grower with grad = -w·y, hess = w makes splits
+    // maximize (weighted) variance reduction and leaves predict the
+    // weighted target mean.
+    std::vector<double> grad(n), hess(n, 1.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      double w = weighted ? train.weight(i) : 1.0;
+      grad[i] = -w * train.label(i);
+      hess[i] = w;
+    }
+    GradientTreeGrower grower(mapper, binned);
+    GrowerParams gp;
+    gp.max_leaves = params.max_leaves;
+    gp.min_samples_leaf = std::max(1, params.min_samples_leaf);
+    gp.min_child_weight = 0.0;
+    gp.reg_lambda = 1e-9;
+    gp.reg_alpha = 0.0;
+    gp.colsample_bylevel = params.max_features;
+    std::vector<int> features(dataset.n_cols());
+    std::iota(features.begin(), features.end(), 0);
+    for (int t = 0; t < params.n_trees; ++t) {
+      if (out_of_time(t)) break;
+      std::vector<std::uint32_t> rows(n);
+      if (params.extra_trees) {
+        std::iota(rows.begin(), rows.end(), 0u);
+      } else {
+        for (auto& r : rows) r = static_cast<std::uint32_t>(rng.uniform_index(n));
+      }
+      model.add_tree(grower.grow(rows, grad, hess, features, gp, rng));
+    }
+  }
+  return model;
+}
+
+}  // namespace flaml

@@ -1,0 +1,68 @@
+// Random forest and extremely-randomized trees.
+//
+// Classification trees are grown with the impurity criterion of Table 5
+// ({gini, entropy}) and predict by averaging per-leaf class distributions;
+// regression trees reuse the gradient grower (variance-reduction splits,
+// mean-target leaves) and predict by averaging leaf values. Random forest
+// bootstraps rows per tree; extra trees uses the full sample with one
+// random threshold per candidate feature.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "metrics/error_metric.h"
+#include "tree/class_grower.h"
+#include "tree/tree.h"
+
+namespace flaml {
+
+struct ForestParams {
+  int n_trees = 100;
+  // Fraction of features considered at each split.
+  double max_features = 1.0;
+  SplitCriterion criterion = SplitCriterion::Gini;
+  // Extra-trees mode: no bootstrap, random thresholds.
+  bool extra_trees = false;
+  int max_leaves = 256;
+  int min_samples_leaf = 1;
+  int max_bin = 255;
+  // Wall-clock training budget in seconds (0 = unlimited). When
+  // fail_on_deadline, crossing it throws DeadlineExceeded; otherwise stops
+  // after the offending tree, keeping at least one tree.
+  double max_seconds = 0.0;
+  bool fail_on_deadline = false;
+  std::uint64_t seed = 0;
+};
+
+class ForestModel {
+ public:
+  ForestModel() = default;
+  ForestModel(Task task, int n_classes) : task_(task), n_classes_(n_classes) {}
+
+  Task task() const { return task_; }
+  int n_classes() const { return n_classes_; }
+  std::size_t n_trees() const { return trees_.size(); }
+  const Tree& tree(std::size_t i) const { return trees_[i]; }
+  void add_tree(Tree tree) { trees_.push_back(std::move(tree)); }
+
+  Predictions predict(const DataView& view) const;
+
+  // Text serialization (round-trips via load()).
+  void save(std::ostream& out) const;
+  static ForestModel load(std::istream& in);
+
+  // Gain-based feature importance (total split gain per feature).
+  std::vector<double> feature_importance(std::size_t n_features) const;
+
+ private:
+  Task task_ = Task::Regression;
+  int n_classes_ = 0;
+  std::vector<Tree> trees_;
+};
+
+ForestModel train_forest(const DataView& train, const ForestParams& params);
+
+}  // namespace flaml

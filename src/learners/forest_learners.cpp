@@ -1,0 +1,101 @@
+#include "learners/forest_learners.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "forest/forest.h"
+
+namespace flaml {
+
+namespace {
+
+class ForestModelWrapper final : public Model {
+ public:
+  explicit ForestModelWrapper(ForestModel model) : model_(std::move(model)) {}
+  Predictions predict(const DataView& view) const override {
+    return model_.predict(view);
+  }
+  void save(std::ostream& out) const override { model_.save(out); }
+
+ private:
+  ForestModel model_;
+};
+
+double get(const Config& config, const std::string& name) {
+  auto it = config.find(name);
+  FLAML_REQUIRE(it != config.end(), "config missing '" << name << "'");
+  return it->second;
+}
+
+ConfigSpace forest_space(Task task, std::size_t full_size) {
+  ConfigSpace space;
+  const double cap =
+      static_cast<double>(std::min<std::size_t>(2048, std::max<std::size_t>(full_size, 5)));
+  space.add_int("tree_num", 4, cap, 4, /*log=*/true, /*cost_related=*/true);
+  space.add_float("max_features", 0.1, 1.0, 1.0);
+  if (is_classification(task)) {
+    space.add_categorical("criterion", {"gini", "entropy"}, 0);
+  }
+  return space;
+}
+
+ForestParams forest_params(const TrainContext& ctx, const Config& config,
+                           bool extra_trees) {
+  ForestParams params;
+  params.n_trees = static_cast<int>(get(config, "tree_num"));
+  params.max_features = get(config, "max_features");
+  if (auto it = config.find("criterion"); it != config.end()) {
+    params.criterion =
+        it->second < 0.5 ? SplitCriterion::Gini : SplitCriterion::Entropy;
+  }
+  params.extra_trees = extra_trees;
+  params.max_seconds = ctx.max_seconds;
+  params.fail_on_deadline = ctx.fail_on_deadline;
+  params.seed = ctx.seed;
+  return params;
+}
+
+std::unique_ptr<Model> load_forest_model(std::istream& in) {
+  return std::make_unique<ForestModelWrapper>(ForestModel::load(in));
+}
+
+}  // namespace
+
+std::unique_ptr<Model> RandomForestLearner::load_model(std::istream& in) const {
+  return load_forest_model(in);
+}
+std::unique_ptr<Model> ExtraTreesLearner::load_model(std::istream& in) const {
+  return load_forest_model(in);
+}
+
+const std::string& RandomForestLearner::name() const {
+  static const std::string n = "rf";
+  return n;
+}
+
+ConfigSpace RandomForestLearner::space(Task task, std::size_t full_size) const {
+  return forest_space(task, full_size);
+}
+
+std::unique_ptr<Model> RandomForestLearner::train(const TrainContext& ctx,
+                                                  const Config& config) const {
+  return std::make_unique<ForestModelWrapper>(
+      train_forest(ctx.train, forest_params(ctx, config, /*extra_trees=*/false)));
+}
+
+const std::string& ExtraTreesLearner::name() const {
+  static const std::string n = "extra_tree";
+  return n;
+}
+
+ConfigSpace ExtraTreesLearner::space(Task task, std::size_t full_size) const {
+  return forest_space(task, full_size);
+}
+
+std::unique_ptr<Model> ExtraTreesLearner::train(const TrainContext& ctx,
+                                                const Config& config) const {
+  return std::make_unique<ForestModelWrapper>(
+      train_forest(ctx.train, forest_params(ctx, config, /*extra_trees=*/true)));
+}
+
+}  // namespace flaml

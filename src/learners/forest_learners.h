@@ -1,0 +1,31 @@
+// Table 5 "sklearn random forest" / "sklearn extra trees": tree num,
+// max features, split criterion (classification only).
+#pragma once
+
+#include "learners/learner.h"
+
+namespace flaml {
+
+class RandomForestLearner final : public Learner {
+ public:
+  const std::string& name() const override;
+  bool supports(Task) const override { return true; }
+  ConfigSpace space(Task task, std::size_t full_size) const override;
+  std::unique_ptr<Model> train(const TrainContext& ctx,
+                               const Config& config) const override;
+  double initial_cost_multiplier() const override { return 2.0; }
+  std::unique_ptr<Model> load_model(std::istream& in) const override;
+};
+
+class ExtraTreesLearner final : public Learner {
+ public:
+  const std::string& name() const override;
+  bool supports(Task) const override { return true; }
+  ConfigSpace space(Task task, std::size_t full_size) const override;
+  std::unique_ptr<Model> train(const TrainContext& ctx,
+                               const Config& config) const override;
+  double initial_cost_multiplier() const override { return 1.9; }
+  std::unique_ptr<Model> load_model(std::istream& in) const override;
+};
+
+}  // namespace flaml

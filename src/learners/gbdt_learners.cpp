@@ -1,0 +1,189 @@
+#include "learners/gbdt_learners.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "boosting/gbdt.h"
+#include "common/error.h"
+
+namespace flaml {
+
+namespace {
+
+class GbdtModelWrapper final : public Model {
+ public:
+  explicit GbdtModelWrapper(GBDTModel model) : model_(std::move(model)) {}
+  Predictions predict(const DataView& view) const override {
+    return model_.predict(view);
+  }
+  void save(std::ostream& out) const override { model_.save(out); }
+  const GBDTModel& inner() const { return model_; }
+
+ private:
+  GBDTModel model_;
+};
+
+double get(const Config& config, const std::string& name) {
+  auto it = config.find(name);
+  FLAML_REQUIRE(it != config.end(), "config missing '" << name << "'");
+  return it->second;
+}
+
+double tree_cap(std::size_t full_size) {
+  return static_cast<double>(std::min<std::size_t>(32768, std::max<std::size_t>(full_size, 5)));
+}
+
+// Common Table-5 entries shared by the LightGBM- and XGBoost-style spaces.
+void add_shared_gbdt_params(ConfigSpace& space, std::size_t full_size) {
+  const double cap = tree_cap(full_size);
+  space.add_int("tree_num", 4, cap, 4, /*log=*/true, /*cost_related=*/true);
+  space.add_int("leaf_num", 4, cap, 4, /*log=*/true, /*cost_related=*/true);
+  space.add_float("min_child_weight", 0.01, 20.0, 20.0, /*log=*/true);
+  space.add_float("learning_rate", 0.01, 1.0, 0.1, /*log=*/true);
+  space.add_float("subsample", 0.6, 1.0, 1.0);
+  space.add_float("reg_alpha", 1e-10, 1.0, 1e-10, /*log=*/true);
+  space.add_float("reg_lambda", 1e-10, 1.0, 1.0, /*log=*/true);
+}
+
+void fill_shared_gbdt_params(GBDTParams& params, const Config& config) {
+  params.n_trees = static_cast<int>(get(config, "tree_num"));
+  params.max_leaves = std::max(2, static_cast<int>(get(config, "leaf_num")));
+  params.min_child_weight = get(config, "min_child_weight");
+  params.learning_rate = get(config, "learning_rate");
+  params.subsample = get(config, "subsample");
+  params.reg_alpha = get(config, "reg_alpha");
+  params.reg_lambda = get(config, "reg_lambda");
+}
+
+}  // namespace
+
+namespace {
+std::unique_ptr<Model> load_gbdt_model(std::istream& in) {
+  return std::make_unique<GbdtModelWrapper>(GBDTModel::load(in));
+}
+}  // namespace
+
+std::unique_ptr<Model> LightGbmLearner::load_model(std::istream& in) const {
+  return load_gbdt_model(in);
+}
+std::unique_ptr<Model> XgboostLearner::load_model(std::istream& in) const {
+  return load_gbdt_model(in);
+}
+std::unique_ptr<Model> CatBoostLearner::load_model(std::istream& in) const {
+  return load_gbdt_model(in);
+}
+
+// ---------------------------------------------------------------- LightGBM
+
+const std::string& LightGbmLearner::name() const {
+  static const std::string n = "lgbm";
+  return n;
+}
+
+ConfigSpace LightGbmLearner::space(Task, std::size_t full_size) const {
+  ConfigSpace space;
+  add_shared_gbdt_params(space, full_size);
+  space.add_int("max_bin", 7, 1023, 255, /*log=*/true);
+  space.add_float("colsample_bytree", 0.7, 1.0, 1.0);
+  return space;
+}
+
+std::unique_ptr<Model> LightGbmLearner::train(const TrainContext& ctx,
+                                              const Config& config) const {
+  GBDTParams params;
+  fill_shared_gbdt_params(params, config);
+  params.max_bin = static_cast<int>(get(config, "max_bin"));
+  params.colsample_bytree = get(config, "colsample_bytree");
+  params.tree_style = TreeStyle::LeafWise;
+  params.max_seconds = ctx.max_seconds;
+  params.fail_on_deadline = ctx.fail_on_deadline;
+  params.seed = ctx.seed;
+  return std::make_unique<GbdtModelWrapper>(train_gbdt(ctx.train, nullptr, params));
+}
+
+// ----------------------------------------------------------------- XGBoost
+
+const std::string& XgboostLearner::name() const {
+  static const std::string n = "xgboost";
+  return n;
+}
+
+ConfigSpace XgboostLearner::space(Task, std::size_t full_size) const {
+  ConfigSpace space;
+  add_shared_gbdt_params(space, full_size);
+  space.add_float("colsample_bylevel", 0.6, 1.0, 1.0);
+  space.add_float("colsample_bytree", 0.7, 1.0, 1.0);
+  return space;
+}
+
+std::unique_ptr<Model> XgboostLearner::train(const TrainContext& ctx,
+                                             const Config& config) const {
+  GBDTParams params;
+  fill_shared_gbdt_params(params, config);
+  params.max_bin = 255;
+  params.colsample_bylevel = get(config, "colsample_bylevel");
+  params.colsample_bytree = get(config, "colsample_bytree");
+  params.tree_style = TreeStyle::LeafWise;
+  params.max_seconds = ctx.max_seconds;
+  params.fail_on_deadline = ctx.fail_on_deadline;
+  params.seed = ctx.seed;
+  return std::make_unique<GbdtModelWrapper>(train_gbdt(ctx.train, nullptr, params));
+}
+
+// ---------------------------------------------------------------- CatBoost
+
+const std::string& CatBoostLearner::name() const {
+  static const std::string n = "catboost";
+  return n;
+}
+
+ConfigSpace CatBoostLearner::space(Task, std::size_t) const {
+  ConfigSpace space;
+  space.add_int("early_stop_rounds", 10, 150, 10, /*log=*/true, /*cost_related=*/true);
+  space.add_float("learning_rate", 0.005, 0.2, 0.1, /*log=*/true);
+  return space;
+}
+
+std::unique_ptr<Model> CatBoostLearner::train(const TrainContext& ctx,
+                                              const Config& config) const {
+  GBDTParams params;
+  params.tree_style = TreeStyle::Oblivious;
+  params.oblivious_depth = 6;
+  params.learning_rate = get(config, "learning_rate");
+  params.early_stopping_rounds = static_cast<int>(get(config, "early_stop_rounds"));
+  // Iteration cap scaled down from CatBoost's 1000 default to our
+  // laptop-scale budgets; early stopping is the operative control. Softmax
+  // trains one tree per class per iteration, so the cap shrinks with the
+  // class count to keep the trial cost comparable across tasks.
+  const int outputs = ctx.train.data().task() == Task::MultiClassification
+                          ? std::max(1, ctx.train.data().n_classes())
+                          : 1;
+  params.n_trees = std::max(40, 300 / outputs);
+  params.min_child_weight = 0.0;
+  params.reg_lambda = 3.0;
+  params.max_seconds = ctx.max_seconds;
+  params.fail_on_deadline = ctx.fail_on_deadline;
+  params.seed = ctx.seed;
+
+  if (ctx.valid != nullptr && ctx.valid->n_rows() > 0) {
+    return std::make_unique<GbdtModelWrapper>(
+        train_gbdt(ctx.train, ctx.valid, params));
+  }
+  // No validation data supplied: carve an internal 10% holdout (CatBoost
+  // behaves similarly when given eval_fraction).
+  const std::size_t n = ctx.train.n_rows();
+  if (n < 20) {
+    params.early_stopping_rounds = 0;
+    params.n_trees = 50;
+    return std::make_unique<GbdtModelWrapper>(train_gbdt(ctx.train, nullptr, params));
+  }
+  std::vector<std::uint32_t> train_rows, valid_rows;
+  for (std::size_t i = 0; i < n; ++i) {
+    (i % 10 == 9 ? valid_rows : train_rows).push_back(ctx.train.row_index(i));
+  }
+  DataView train_view(ctx.train.data(), std::move(train_rows));
+  DataView valid_view(ctx.train.data(), std::move(valid_rows));
+  return std::make_unique<GbdtModelWrapper>(train_gbdt(train_view, &valid_view, params));
+}
+
+}  // namespace flaml

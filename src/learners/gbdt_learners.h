@@ -1,0 +1,49 @@
+// The three boosted learners of Table 5: LightGBM-style, XGBoost-style and
+// CatBoost-style, all built on the shared GBDT trainer with their
+// respective growth policies and search spaces.
+#pragma once
+
+#include "learners/learner.h"
+
+namespace flaml {
+
+// Table 5 "LightGBM": tree num, leaf num, min child weight, learning rate,
+// subsample, reg alpha, reg lambda, max bin, colsample by tree.
+class LightGbmLearner final : public Learner {
+ public:
+  const std::string& name() const override;
+  bool supports(Task) const override { return true; }
+  ConfigSpace space(Task task, std::size_t full_size) const override;
+  std::unique_ptr<Model> train(const TrainContext& ctx,
+                               const Config& config) const override;
+  double initial_cost_multiplier() const override { return 1.0; }
+  std::unique_ptr<Model> load_model(std::istream& in) const override;
+};
+
+// Table 5 "XGBoost": tree num, leaf num, min child weight, learning rate,
+// subsample, reg alpha, reg lambda, colsample by level, colsample by tree.
+class XgboostLearner final : public Learner {
+ public:
+  const std::string& name() const override;
+  bool supports(Task) const override { return true; }
+  ConfigSpace space(Task task, std::size_t full_size) const override;
+  std::unique_ptr<Model> train(const TrainContext& ctx,
+                               const Config& config) const override;
+  double initial_cost_multiplier() const override { return 1.6; }
+  std::unique_ptr<Model> load_model(std::istream& in) const override;
+};
+
+// Table 5 "CatBoost": early stop rounds, learning rate; oblivious trees of
+// fixed depth with a large iteration cap, stopped early on validation data.
+class CatBoostLearner final : public Learner {
+ public:
+  const std::string& name() const override;
+  bool supports(Task) const override { return true; }
+  ConfigSpace space(Task task, std::size_t full_size) const override;
+  std::unique_ptr<Model> train(const TrainContext& ctx,
+                               const Config& config) const override;
+  double initial_cost_multiplier() const override { return 15.0; }
+  std::unique_ptr<Model> load_model(std::istream& in) const override;
+};
+
+}  // namespace flaml

@@ -1,0 +1,15 @@
+#include "learners/learner.h"
+
+#include "common/error.h"
+
+namespace flaml {
+
+void Model::save(std::ostream&) const {
+  throw InvalidArgument("this model does not support serialization");
+}
+
+std::unique_ptr<Model> Learner::load_model(std::istream&) const {
+  throw InvalidArgument("learner '" + name() + "' does not support model loading");
+}
+
+}  // namespace flaml

@@ -1,0 +1,73 @@
+// The learner abstraction of the ML layer (paper Figure 3).
+//
+// A Learner bundles a training procedure with its hyperparameter search
+// space (Table 5). Learners are stateless; train() returns a Model. Users
+// can add custom learners through the registry (paper §3:
+// `automl.add_learner(...)`) — anything with well-defined train/predict
+// methods and a ConfigSpace qualifies.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "data/dataset.h"
+#include "metrics/error_metric.h"
+#include "tuners/config_space.h"
+
+namespace flaml {
+
+class Model {
+ public:
+  virtual ~Model() = default;
+  virtual Predictions predict(const DataView& view) const = 0;
+
+  // Text serialization. All built-in learners support it; custom learners
+  // may leave the default, which throws InvalidArgument.
+  virtual void save(std::ostream& out) const;
+};
+
+struct TrainContext {
+  DataView train;
+  // Validation rows for learners with early stopping (may be null).
+  const DataView* valid = nullptr;
+  // Wall-clock cap for this single training call (0 = unlimited); the
+  // substitute for killing an overrunning trial.
+  double max_seconds = 0.0;
+  // true: exceeding max_seconds throws DeadlineExceeded (kill semantics for
+  // search trials). false: training stops early and returns the partial
+  // model (safety cap for final retrains).
+  bool fail_on_deadline = false;
+  std::uint64_t seed = 0;
+};
+
+class Learner {
+ public:
+  virtual ~Learner() = default;
+
+  virtual const std::string& name() const = 0;
+
+  // Whether this learner supports the task (e.g. `lr` is
+  // classification-only, as in the paper's search space).
+  virtual bool supports(Task task) const = 0;
+
+  // The hyperparameter space for `task` given the full training size S
+  // (Table 5 ranges depend on S through min(32768, S) style caps).
+  virtual ConfigSpace space(Task task, std::size_t full_size) const = 0;
+
+  virtual std::unique_ptr<Model> train(const TrainContext& ctx,
+                                       const Config& config) const = 0;
+
+  // Relative cost of this learner's cheapest configuration versus the
+  // fastest learner's (paper appendix constants: lightgbm 1, xgboost 1.6,
+  // extra_tree 1.9, rf 2, catboost 15, lr 160). Seeds the cold-start ECI1.
+  virtual double initial_cost_multiplier() const = 0;
+
+  // Deserialize a model previously saved by one of this learner's models.
+  // Default throws InvalidArgument (custom learners may not support it).
+  virtual std::unique_ptr<Model> load_model(std::istream& in) const;
+};
+
+using LearnerPtr = std::shared_ptr<const Learner>;
+
+}  // namespace flaml

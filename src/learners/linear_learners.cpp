@@ -1,0 +1,50 @@
+#include "learners/linear_learners.h"
+
+#include "common/error.h"
+#include "linear/linear_model.h"
+
+namespace flaml {
+
+namespace {
+
+class LinearModelWrapper final : public Model {
+ public:
+  explicit LinearModelWrapper(LinearModel model) : model_(std::move(model)) {}
+  Predictions predict(const DataView& view) const override {
+    return model_.predict(view);
+  }
+  void save(std::ostream& out) const override { model_.save(out); }
+
+ private:
+  LinearModel model_;
+};
+
+}  // namespace
+
+std::unique_ptr<Model> LogisticLearner::load_model(std::istream& in) const {
+  return std::make_unique<LinearModelWrapper>(LinearModel::load(in));
+}
+
+const std::string& LogisticLearner::name() const {
+  static const std::string n = "lr";
+  return n;
+}
+
+ConfigSpace LogisticLearner::space(Task task, std::size_t) const {
+  FLAML_REQUIRE(is_classification(task), "lr supports classification only");
+  ConfigSpace space;
+  space.add_float("C", 0.03125, 32768.0, 1.0, /*log=*/true);
+  return space;
+}
+
+std::unique_ptr<Model> LogisticLearner::train(const TrainContext& ctx,
+                                              const Config& config) const {
+  auto it = config.find("C");
+  FLAML_REQUIRE(it != config.end(), "config missing 'C'");
+  LinearParams params;
+  params.c = it->second;
+  params.seed = ctx.seed;
+  return std::make_unique<LinearModelWrapper>(train_linear(ctx.train, params));
+}
+
+}  // namespace flaml

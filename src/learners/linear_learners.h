@@ -1,0 +1,21 @@
+// Table 5 "sklearn lr": logistic regression with inverse regularization
+// strength C in [0.03125, 32768]. Classification only, like the paper's
+// search space.
+#pragma once
+
+#include "learners/learner.h"
+
+namespace flaml {
+
+class LogisticLearner final : public Learner {
+ public:
+  const std::string& name() const override;
+  bool supports(Task task) const override { return is_classification(task); }
+  ConfigSpace space(Task task, std::size_t full_size) const override;
+  std::unique_ptr<Model> train(const TrainContext& ctx,
+                               const Config& config) const override;
+  double initial_cost_multiplier() const override { return 160.0; }
+  std::unique_ptr<Model> load_model(std::istream& in) const override;
+};
+
+}  // namespace flaml

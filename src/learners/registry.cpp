@@ -1,0 +1,34 @@
+#include "learners/registry.h"
+
+#include "common/error.h"
+#include "learners/forest_learners.h"
+#include "learners/gbdt_learners.h"
+#include "learners/linear_learners.h"
+
+namespace flaml {
+
+std::vector<LearnerPtr> builtin_learners() {
+  static const std::vector<LearnerPtr> learners = {
+      std::make_shared<LightGbmLearner>(),  std::make_shared<XgboostLearner>(),
+      std::make_shared<CatBoostLearner>(),  std::make_shared<RandomForestLearner>(),
+      std::make_shared<ExtraTreesLearner>(), std::make_shared<LogisticLearner>(),
+  };
+  return learners;
+}
+
+LearnerPtr builtin_learner(const std::string& name) {
+  for (const auto& l : builtin_learners()) {
+    if (l->name() == name) return l;
+  }
+  throw InvalidArgument("unknown learner '" + name + "'");
+}
+
+std::vector<LearnerPtr> default_learners(Task task) {
+  std::vector<LearnerPtr> out;
+  for (const auto& l : builtin_learners()) {
+    if (l->supports(task)) out.push_back(l);
+  }
+  return out;
+}
+
+}  // namespace flaml

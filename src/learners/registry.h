@@ -1,0 +1,19 @@
+// Built-in learner registry and the default estimator lists.
+#pragma once
+
+#include <vector>
+
+#include "learners/learner.h"
+
+namespace flaml {
+
+// All built-in learners (Table 5): lgbm, xgboost, catboost, rf, extra_tree, lr.
+std::vector<LearnerPtr> builtin_learners();
+
+// Look up a built-in learner by name; throws InvalidArgument if unknown.
+LearnerPtr builtin_learner(const std::string& name);
+
+// The default estimator list for a task (lr excluded for regression).
+std::vector<LearnerPtr> default_learners(Task task);
+
+}  // namespace flaml

@@ -1,0 +1,102 @@
+#include "linear/encoder.h"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace flaml {
+
+FeatureEncoder FeatureEncoder::fit(const DataView& view) {
+  FLAML_REQUIRE(view.n_rows() > 0, "cannot fit encoder on empty view");
+  const Dataset& data = view.data();
+  FeatureEncoder enc;
+  enc.plans_.resize(data.n_cols());
+  std::size_t offset = 0;
+  for (std::size_t c = 0; c < data.n_cols(); ++c) {
+    ColumnPlan& plan = enc.plans_[c];
+    const ColumnInfo& info = data.column_info(c);
+    plan.type = info.type;
+    plan.offset = offset;
+    if (info.type == ColumnType::Categorical) {
+      plan.cardinality = info.cardinality;
+      offset += static_cast<std::size_t>(info.cardinality);
+      continue;
+    }
+    double sum = 0.0, sum_sq = 0.0, count = 0.0;
+    for (std::size_t i = 0; i < view.n_rows(); ++i) {
+      float v = view.value(i, c);
+      if (Dataset::is_missing(v)) continue;
+      sum += v;
+      sum_sq += static_cast<double>(v) * v;
+      count += 1.0;
+    }
+    if (count > 0.0) {
+      plan.mean = sum / count;
+      double var = sum_sq / count - plan.mean * plan.mean;
+      plan.inv_std = var > 1e-12 ? 1.0 / std::sqrt(var) : 1.0;
+    }
+    offset += 1;
+  }
+  enc.dim_ = offset;
+  return enc;
+}
+
+void FeatureEncoder::encode_row(const DataView& view, std::size_t i,
+                                std::vector<double>& out) const {
+  out.assign(dim_, 0.0);
+  for (std::size_t c = 0; c < plans_.size(); ++c) {
+    const ColumnPlan& plan = plans_[c];
+    float v = view.value(i, c);
+    if (Dataset::is_missing(v)) continue;  // zero-encode missing
+    if (plan.type == ColumnType::Categorical) {
+      int code = static_cast<int>(v);
+      if (code >= 0 && code < plan.cardinality) {
+        out[plan.offset + static_cast<std::size_t>(code)] = 1.0;
+      }
+    } else {
+      out[plan.offset] = (static_cast<double>(v) - plan.mean) * plan.inv_std;
+    }
+  }
+}
+
+void FeatureEncoder::save(std::ostream& out) const {
+  out << "encoder v1\n" << plans_.size() << ' ' << dim_ << '\n';
+  out.precision(17);
+  for (const ColumnPlan& p : plans_) {
+    out << (p.type == ColumnType::Categorical ? 1 : 0) << ' ' << p.offset << ' '
+        << p.cardinality << ' ' << p.mean << ' ' << p.inv_std << '\n';
+  }
+}
+
+FeatureEncoder FeatureEncoder::load(std::istream& in) {
+  std::string magic, version;
+  in >> magic >> version;
+  FLAML_REQUIRE(magic == "encoder" && version == "v1", "bad encoder header");
+  std::size_t n_plans = 0, dim = 0;
+  in >> n_plans >> dim;
+  FLAML_REQUIRE(in.good() && n_plans >= 1, "truncated encoder");
+  FeatureEncoder enc;
+  enc.plans_.resize(n_plans);
+  enc.dim_ = dim;
+  for (ColumnPlan& p : enc.plans_) {
+    int cat = 0;
+    in >> cat >> p.offset >> p.cardinality >> p.mean >> p.inv_std;
+    p.type = cat ? ColumnType::Categorical : ColumnType::Numeric;
+  }
+  FLAML_REQUIRE(in.good(), "truncated encoder plans");
+  return enc;
+}
+
+std::vector<double> FeatureEncoder::encode(const DataView& view) const {
+  std::vector<double> matrix(view.n_rows() * dim_);
+  std::vector<double> row;
+  for (std::size_t i = 0; i < view.n_rows(); ++i) {
+    encode_row(view, i, row);
+    std::copy(row.begin(), row.end(), matrix.begin() + static_cast<std::ptrdiff_t>(i * dim_));
+  }
+  return matrix;
+}
+
+}  // namespace flaml

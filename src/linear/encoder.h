@@ -1,0 +1,48 @@
+// Dense feature encoding for linear models.
+//
+// Numeric features are standardized to zero mean / unit variance with
+// missing values mean-imputed (i.e. encoded as 0 after standardization).
+// Categorical features are one-hot expanded; missing categories encode as
+// the all-zeros vector. The encoder is fitted on training rows and applied
+// unchanged to validation/test rows.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace flaml {
+
+class FeatureEncoder {
+ public:
+  // Learn means/stds and the one-hot layout from `view`.
+  static FeatureEncoder fit(const DataView& view);
+
+  // Encoded dimensionality.
+  std::size_t dim() const { return dim_; }
+
+  // Encode one row into `out` (resized to dim()).
+  void encode_row(const DataView& view, std::size_t i, std::vector<double>& out) const;
+
+  // Encode all rows, row-major n × dim.
+  std::vector<double> encode(const DataView& view) const;
+
+  // Text serialization (round-trips via load()).
+  void save(std::ostream& out) const;
+  static FeatureEncoder load(std::istream& in);
+
+ private:
+  struct ColumnPlan {
+    ColumnType type = ColumnType::Numeric;
+    std::size_t offset = 0;  // first output dimension of this column
+    int cardinality = 0;     // categorical width
+    double mean = 0.0;
+    double inv_std = 1.0;
+  };
+  std::vector<ColumnPlan> plans_;
+  std::size_t dim_ = 0;
+};
+
+}  // namespace flaml

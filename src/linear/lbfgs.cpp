@@ -1,0 +1,138 @@
+#include "linear/lbfgs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "common/error.h"
+
+namespace flaml {
+
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double inf_norm(const std::vector<double>& a) {
+  double m = 0.0;
+  for (double v : a) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+}  // namespace
+
+LbfgsResult lbfgs_minimize(const ObjectiveFn& fn, std::vector<double>& x,
+                           const LbfgsOptions& options) {
+  FLAML_REQUIRE(!x.empty(), "lbfgs needs a non-empty start point");
+  const std::size_t d = x.size();
+  std::vector<double> grad(d), new_grad(d), direction(d), new_x(d);
+  double value = fn(x, grad);
+
+  struct Pair {
+    std::vector<double> s, y;
+    double rho;
+  };
+  std::deque<Pair> history;
+
+  LbfgsResult result;
+  result.objective = value;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    if (inf_norm(grad) <= options.grad_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Two-loop recursion for direction = -H * grad.
+    direction = grad;
+    std::vector<double> alphas(history.size());
+    for (std::size_t h = history.size(); h-- > 0;) {
+      const Pair& p = history[h];
+      alphas[h] = p.rho * dot(p.s, direction);
+      for (std::size_t i = 0; i < d; ++i) direction[i] -= alphas[h] * p.y[i];
+    }
+    if (!history.empty()) {
+      const Pair& last = history.back();
+      double gamma = dot(last.s, last.y) / std::max(dot(last.y, last.y), 1e-300);
+      for (double& v : direction) v *= gamma;
+    }
+    for (std::size_t h = 0; h < history.size(); ++h) {
+      const Pair& p = history[h];
+      double beta = p.rho * dot(p.y, direction);
+      for (std::size_t i = 0; i < d; ++i) direction[i] += (alphas[h] - beta) * p.s[i];
+    }
+    for (double& v : direction) v = -v;
+
+    double dir_deriv = dot(grad, direction);
+    if (dir_deriv >= 0.0) {
+      // Not a descent direction (numerical breakdown): restart with -grad.
+      history.clear();
+      for (std::size_t i = 0; i < d; ++i) direction[i] = -grad[i];
+      dir_deriv = dot(grad, direction);
+      if (dir_deriv >= 0.0) break;  // gradient is zero
+    }
+
+    // Weak-Wolfe line search via bisection (Lewis–Overton): guarantees the
+    // curvature condition, so the (s, y) pair always has s·y > 0 and the
+    // L-BFGS update stays well conditioned (Armijo alone degrades to
+    // steepest descent on ill-conditioned objectives like Rosenbrock).
+    double lo = 0.0;
+    double hi = std::numeric_limits<double>::infinity();
+    double step = 1.0;
+    double new_value = value;
+    bool accepted = false;
+    for (int ls = 0; ls < options.max_line_search; ++ls) {
+      for (std::size_t i = 0; i < d; ++i) new_x[i] = x[i] + step * direction[i];
+      new_value = fn(new_x, new_grad);
+      if (!std::isfinite(new_value) ||
+          new_value > value + 1e-4 * step * dir_deriv) {
+        hi = step;  // Armijo failed: shrink
+      } else if (dot(new_grad, direction) < 0.9 * dir_deriv) {
+        lo = step;  // curvature failed: grow
+      } else {
+        accepted = true;
+        break;
+      }
+      step = std::isfinite(hi) ? 0.5 * (lo + hi) : 2.0 * step;
+      if (step < options.min_step || step > 1e12) break;
+    }
+    if (!accepted) {
+      // Fall back to the last Armijo-acceptable point if one exists.
+      if (std::isfinite(new_value) &&
+          new_value <= value + 1e-4 * step * dir_deriv) {
+        // keep new_x / new_grad / new_value as computed
+      } else {
+        break;
+      }
+    }
+
+    // Update history.
+    Pair p;
+    p.s.resize(d);
+    p.y.resize(d);
+    for (std::size_t i = 0; i < d; ++i) {
+      p.s[i] = new_x[i] - x[i];
+      p.y[i] = new_grad[i] - grad[i];
+    }
+    double sy = dot(p.s, p.y);
+    if (sy > 1e-12) {
+      p.rho = 1.0 / sy;
+      history.push_back(std::move(p));
+      if (static_cast<int>(history.size()) > options.history) history.pop_front();
+    }
+
+    x.swap(new_x);
+    grad.swap(new_grad);
+    value = new_value;
+    result.iterations = iter + 1;
+    result.objective = value;
+  }
+  result.objective = value;
+  return result;
+}
+
+}  // namespace flaml

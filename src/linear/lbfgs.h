@@ -1,0 +1,34 @@
+// Limited-memory BFGS with Armijo backtracking line search.
+//
+// Minimizes a smooth objective given by a value+gradient callback. Used by
+// the logistic-regression learner; small, dependency-free, deterministic.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace flaml {
+
+struct LbfgsOptions {
+  int max_iterations = 200;
+  int history = 10;          // number of (s, y) pairs kept
+  double grad_tolerance = 1e-6;   // stop when ||g||_inf below this
+  double min_step = 1e-12;
+  int max_line_search = 40;
+};
+
+struct LbfgsResult {
+  double objective = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+// fn(x, grad) returns the objective at x and fills grad (same size as x).
+using ObjectiveFn =
+    std::function<double(const std::vector<double>&, std::vector<double>&)>;
+
+// Minimizes fn starting at x (modified in place).
+LbfgsResult lbfgs_minimize(const ObjectiveFn& fn, std::vector<double>& x,
+                           const LbfgsOptions& options = {});
+
+}  // namespace flaml

@@ -1,0 +1,218 @@
+#include "linear/linear_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "linear/lbfgs.h"
+
+namespace flaml {
+
+namespace {
+
+// Scores for one encoded row: w_k · x + b_k for each output k.
+void row_scores(const std::vector<double>& weights, const std::vector<double>& x,
+                int n_outputs, std::size_t dim, std::vector<double>& out) {
+  out.assign(static_cast<std::size_t>(n_outputs), 0.0);
+  for (int k = 0; k < n_outputs; ++k) {
+    const double* w = weights.data() + static_cast<std::size_t>(k) * (dim + 1);
+    double s = w[dim];  // bias
+    for (std::size_t j = 0; j < dim; ++j) s += w[j] * x[j];
+    out[static_cast<std::size_t>(k)] = s;
+  }
+}
+
+}  // namespace
+
+Predictions LinearModel::predict(const DataView& view) const {
+  FLAML_REQUIRE(!weights_.empty(), "predict on an untrained linear model");
+  const std::size_t n = view.n_rows();
+  const std::size_t dim = encoder_.dim();
+  Predictions out;
+  out.task = task_;
+  std::vector<double> x, scores;
+  if (task_ == Task::Regression) {
+    out.n_classes = 0;
+    out.values.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      encoder_.encode_row(view, i, x);
+      row_scores(weights_, x, 1, dim, scores);
+      out.values[i] = scores[0];
+    }
+    return out;
+  }
+  out.n_classes = n_classes_;
+  out.values.resize(n * static_cast<std::size_t>(n_classes_));
+  for (std::size_t i = 0; i < n; ++i) {
+    encoder_.encode_row(view, i, x);
+    if (task_ == Task::BinaryClassification) {
+      row_scores(weights_, x, 1, dim, scores);
+      double p1 = sigmoid(scores[0]);
+      out.values[i * 2] = 1.0 - p1;
+      out.values[i * 2 + 1] = p1;
+    } else {
+      row_scores(weights_, x, n_classes_, dim, scores);
+      softmax_inplace(scores);
+      for (int c = 0; c < n_classes_; ++c) {
+        out.values[i * static_cast<std::size_t>(n_classes_) +
+                   static_cast<std::size_t>(c)] = scores[static_cast<std::size_t>(c)];
+      }
+    }
+  }
+  return out;
+}
+
+void LinearModel::save(std::ostream& out) const {
+  out << "linear v1\n";
+  out << static_cast<int>(task_) << ' ' << n_classes_ << ' ' << n_outputs_ << ' '
+      << weights_.size() << '\n';
+  out.precision(17);
+  for (double w : weights_) out << w << ' ';
+  out << '\n';
+  encoder_.save(out);
+}
+
+LinearModel LinearModel::load(std::istream& in) {
+  std::string magic, version;
+  in >> magic >> version;
+  FLAML_REQUIRE(magic == "linear" && version == "v1", "bad linear model header");
+  LinearModel model;
+  int task_int = 0;
+  std::size_t n_weights = 0;
+  in >> task_int >> model.n_classes_ >> model.n_outputs_ >> n_weights;
+  FLAML_REQUIRE(in.good() && n_weights >= 1, "truncated linear model");
+  model.task_ = static_cast<Task>(task_int);
+  model.weights_.resize(n_weights);
+  for (double& w : model.weights_) in >> w;
+  FLAML_REQUIRE(in.good(), "truncated linear model weights");
+  model.encoder_ = FeatureEncoder::load(in);
+  return model;
+}
+
+LinearModel train_linear(const DataView& train, const LinearParams& params) {
+  FLAML_REQUIRE(train.n_rows() >= 2, "linear model needs at least 2 rows");
+  FLAML_REQUIRE(params.c > 0.0, "C must be positive");
+  const Dataset& dataset = train.data();
+  const Task task = dataset.task();
+
+  LinearModel model;
+  model.task_ = task;
+  model.n_classes_ = dataset.n_classes();
+  model.encoder_ = FeatureEncoder::fit(train);
+  const std::size_t dim = model.encoder_.dim();
+  const std::size_t n = train.n_rows();
+  const double l2 = 1.0 / params.c;
+
+  // Pre-encode the training matrix (row-major n × dim).
+  const std::vector<double> matrix = model.encoder_.encode(train);
+  std::vector<double> labels = train.labels();
+  // Sample weights scale each example's loss term; the normalizer uses the
+  // total weight so C keeps the same meaning as in the unweighted case.
+  std::vector<double> weights =
+      dataset.has_weights() ? train.weights() : std::vector<double>(n, 1.0);
+  double total_weight = 0.0;
+  for (double w : weights) total_weight += w;
+  const double inv_n = 1.0 / total_weight;
+
+  const int n_outputs =
+      task == Task::MultiClassification ? model.n_classes_ : 1;
+  model.n_outputs_ = n_outputs;
+  const std::size_t stride = dim + 1;
+  std::vector<double> w(static_cast<std::size_t>(n_outputs) * stride, 0.0);
+
+  ObjectiveFn objective;
+  if (task == Task::Regression) {
+    objective = [&](const std::vector<double>& x, std::vector<double>& grad) {
+      grad.assign(x.size(), 0.0);
+      double loss = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double* row = matrix.data() + i * dim;
+        double s = x[dim];
+        for (std::size_t j = 0; j < dim; ++j) s += x[j] * row[j];
+        double r = s - labels[i];
+        const double w = weights[i];
+        loss += 0.5 * w * r * r;
+        for (std::size_t j = 0; j < dim; ++j) grad[j] += w * r * row[j];
+        grad[dim] += w * r;
+      }
+      loss *= inv_n;
+      for (double& g : grad) g *= inv_n;
+      for (std::size_t j = 0; j < dim; ++j) {  // bias unpenalized
+        loss += 0.5 * l2 * x[j] * x[j];
+        grad[j] += l2 * x[j];
+      }
+      return loss;
+    };
+  } else if (task == Task::BinaryClassification) {
+    objective = [&](const std::vector<double>& x, std::vector<double>& grad) {
+      grad.assign(x.size(), 0.0);
+      double loss = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double* row = matrix.data() + i * dim;
+        double s = x[dim];
+        for (std::size_t j = 0; j < dim; ++j) s += x[j] * row[j];
+        const double w = weights[i];
+        loss += w * (log1pexp(s) - labels[i] * s);
+        double g = w * (sigmoid(s) - labels[i]);
+        for (std::size_t j = 0; j < dim; ++j) grad[j] += g * row[j];
+        grad[dim] += g;
+      }
+      loss *= inv_n;
+      for (double& g : grad) g *= inv_n;
+      for (std::size_t j = 0; j < dim; ++j) {
+        loss += 0.5 * l2 * x[j] * x[j];
+        grad[j] += l2 * x[j];
+      }
+      return loss;
+    };
+  } else {
+    const int k = model.n_classes_;
+    objective = [&, k](const std::vector<double>& x, std::vector<double>& grad) {
+      grad.assign(x.size(), 0.0);
+      double loss = 0.0;
+      std::vector<double> scores(static_cast<std::size_t>(k));
+      for (std::size_t i = 0; i < n; ++i) {
+        const double* row = matrix.data() + i * dim;
+        for (int c = 0; c < k; ++c) {
+          const double* wc = x.data() + static_cast<std::size_t>(c) * stride;
+          double s = wc[dim];
+          for (std::size_t j = 0; j < dim; ++j) s += wc[j] * row[j];
+          scores[static_cast<std::size_t>(c)] = s;
+        }
+        double lse = logsumexp(scores);
+        int y = static_cast<int>(labels[i]);
+        const double w = weights[i];
+        loss += w * (lse - scores[static_cast<std::size_t>(y)]);
+        for (int c = 0; c < k; ++c) {
+          double p = std::exp(scores[static_cast<std::size_t>(c)] - lse);
+          double g = w * (p - (c == y ? 1.0 : 0.0));
+          double* gc = grad.data() + static_cast<std::size_t>(c) * stride;
+          for (std::size_t j = 0; j < dim; ++j) gc[j] += g * row[j];
+          gc[dim] += g;
+        }
+      }
+      loss *= inv_n;
+      for (double& g : grad) g *= inv_n;
+      for (int c = 0; c < k; ++c) {
+        const double* wc = x.data() + static_cast<std::size_t>(c) * stride;
+        double* gc = grad.data() + static_cast<std::size_t>(c) * stride;
+        for (std::size_t j = 0; j < dim; ++j) {
+          loss += 0.5 * l2 * wc[j] * wc[j];
+          gc[j] += l2 * wc[j];
+        }
+      }
+      return loss;
+    };
+  }
+
+  LbfgsOptions options;
+  options.max_iterations = params.max_iterations;
+  lbfgs_minimize(objective, w, options);
+  model.weights_ = std::move(w);
+  return model;
+}
+
+}  // namespace flaml

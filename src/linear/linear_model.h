@@ -1,0 +1,54 @@
+// Regularized linear learners: logistic regression (binary and softmax
+// multiclass) and ridge regression.
+//
+// The logistic learner matches Table 5's `sklearn lr` entry: the inverse
+// regularization strength C is the tuned hyperparameter (loss + C/2-style
+// L2 penalty 1/(2C) ||w||^2; bias unpenalized). Regression uses ridge with
+// lambda = 1/C for a symmetric parameterization. Optimization is L-BFGS on
+// the encoded (standardized + one-hot) features.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "data/dataset.h"
+#include "linear/encoder.h"
+#include "metrics/error_metric.h"
+
+namespace flaml {
+
+struct LinearParams {
+  // Inverse regularization strength (larger = weaker regularization).
+  double c = 1.0;
+  int max_iterations = 200;
+  std::uint64_t seed = 0;
+};
+
+class LinearModel {
+ public:
+  LinearModel() = default;
+
+  Task task() const { return task_; }
+  int n_classes() const { return n_classes_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  Predictions predict(const DataView& view) const;
+
+  // Text serialization (round-trips via load()).
+  void save(std::ostream& out) const;
+  static LinearModel load(std::istream& in);
+
+  friend LinearModel train_linear(const DataView& train, const LinearParams& params);
+
+ private:
+  Task task_ = Task::Regression;
+  int n_classes_ = 0;
+  int n_outputs_ = 1;
+  FeatureEncoder encoder_;
+  // Row-major n_outputs × (dim + 1); the last column is the bias.
+  std::vector<double> weights_;
+};
+
+LinearModel train_linear(const DataView& train, const LinearParams& params);
+
+}  // namespace flaml

@@ -1,0 +1,88 @@
+#include "metrics/error_metric.h"
+
+#include "common/error.h"
+#include "metrics/metrics.h"
+
+namespace flaml {
+
+std::vector<double> Predictions::prob1() const {
+  FLAML_REQUIRE(task == Task::BinaryClassification && n_classes == 2,
+                "prob1() requires binary predictions");
+  std::size_t n = n_rows();
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = values[i * 2 + 1];
+  return out;
+}
+
+ErrorMetric::ErrorMetric(std::string name, MetricFn fn)
+    : name_(std::move(name)), fn_(std::move(fn)) {
+  FLAML_REQUIRE(fn_ != nullptr, "metric function must be callable");
+}
+
+double ErrorMetric::operator()(const Predictions& pred,
+                               const std::vector<double>& labels) const {
+  FLAML_CHECK_MSG(fn_ != nullptr, "ErrorMetric used before initialization");
+  return fn_(pred, labels);
+}
+
+ErrorMetric ErrorMetric::default_for(Task task) {
+  switch (task) {
+    case Task::BinaryClassification: return by_name("auc");
+    case Task::MultiClassification: return by_name("log_loss");
+    case Task::Regression: return by_name("r2");
+  }
+  throw InternalError("unreachable task");
+}
+
+ErrorMetric ErrorMetric::by_name(const std::string& name) {
+  if (name == "auc") {
+    return ErrorMetric("auc", [](const Predictions& p, const std::vector<double>& y) {
+      return 1.0 - roc_auc(p.prob1(), y);
+    });
+  }
+  if (name == "log_loss") {
+    return ErrorMetric("log_loss", [](const Predictions& p, const std::vector<double>& y) {
+      FLAML_REQUIRE(is_classification(p.task), "log_loss needs classification output");
+      return log_loss_multi(p.values, p.n_classes, y);
+    });
+  }
+  if (name == "accuracy") {
+    return ErrorMetric("accuracy", [](const Predictions& p, const std::vector<double>& y) {
+      FLAML_REQUIRE(is_classification(p.task), "accuracy needs classification output");
+      return 1.0 - accuracy_multi(p.values, p.n_classes, y);
+    });
+  }
+  if (name == "mse") {
+    return ErrorMetric("mse", [](const Predictions& p, const std::vector<double>& y) {
+      FLAML_REQUIRE(p.task == Task::Regression, "mse needs regression output");
+      return mse(p.values, y);
+    });
+  }
+  if (name == "rmse") {
+    return ErrorMetric("rmse", [](const Predictions& p, const std::vector<double>& y) {
+      FLAML_REQUIRE(p.task == Task::Regression, "rmse needs regression output");
+      return rmse(p.values, y);
+    });
+  }
+  if (name == "mae") {
+    return ErrorMetric("mae", [](const Predictions& p, const std::vector<double>& y) {
+      FLAML_REQUIRE(p.task == Task::Regression, "mae needs regression output");
+      return mae(p.values, y);
+    });
+  }
+  if (name == "r2") {
+    return ErrorMetric("r2", [](const Predictions& p, const std::vector<double>& y) {
+      FLAML_REQUIRE(p.task == Task::Regression, "r2 needs regression output");
+      return 1.0 - r2(p.values, y);
+    });
+  }
+  if (name == "qerror95") {
+    return ErrorMetric("qerror95", [](const Predictions& p, const std::vector<double>& y) {
+      FLAML_REQUIRE(p.task == Task::Regression, "qerror95 needs regression output");
+      return q_error_quantile(p.values, y, 0.95);
+    });
+  }
+  throw InvalidArgument("unknown metric '" + name + "'");
+}
+
+}  // namespace flaml

@@ -1,0 +1,65 @@
+// The error abstraction the AutoML layer optimizes.
+//
+// A trial produces Predictions on validation data; an ErrorMetric maps them
+// to a scalar error where LOWER IS BETTER (the paper's \tilde{\epsilon}).
+// Built-in metrics follow the AutoML benchmark: binary -> 1 - roc-auc,
+// multiclass -> log-loss, regression -> 1 - r2. Users can register custom
+// metrics (paper §3 API: `automl.fit(..., metric=mymetric)`).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace flaml {
+
+// Model outputs on a set of rows. For classification `values` holds
+// row-major n_rows × n_classes probabilities; for regression it holds the
+// n_rows predicted targets.
+struct Predictions {
+  Task task = Task::Regression;
+  int n_classes = 0;
+  std::vector<double> values;
+
+  std::size_t n_rows() const {
+    return is_classification(task)
+               ? values.size() / static_cast<std::size_t>(n_classes)
+               : values.size();
+  }
+  // P(class 1) column for binary tasks.
+  std::vector<double> prob1() const;
+  // Probability of the given class.
+  double prob(std::size_t row, int cls) const {
+    return values[row * static_cast<std::size_t>(n_classes) +
+                  static_cast<std::size_t>(cls)];
+  }
+};
+
+using MetricFn =
+    std::function<double(const Predictions&, const std::vector<double>& labels)>;
+
+class ErrorMetric {
+ public:
+  ErrorMetric() = default;
+  ErrorMetric(std::string name, MetricFn fn);
+
+  // The benchmark default for a task: "auc" / "log_loss" / "r2".
+  static ErrorMetric default_for(Task task);
+  // Built-in by name: auc, log_loss, accuracy, mse, rmse, mae, r2, qerror95.
+  // Throws InvalidArgument for unknown names or task/metric mismatches.
+  static ErrorMetric by_name(const std::string& name);
+
+  const std::string& name() const { return name_; }
+  bool valid() const { return static_cast<bool>(fn_); }
+
+  // Error of predictions vs labels; lower is better.
+  double operator()(const Predictions& pred, const std::vector<double>& labels) const;
+
+ private:
+  std::string name_;
+  MetricFn fn_;
+};
+
+}  // namespace flaml

@@ -1,0 +1,173 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace flaml {
+
+namespace {
+constexpr double kEps = 1e-15;
+}
+
+double roc_auc(const std::vector<double>& scores, const std::vector<double>& labels) {
+  FLAML_REQUIRE(scores.size() == labels.size() && !scores.empty(),
+                "roc_auc: shape mismatch or empty input");
+  std::size_t n = scores.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+
+  // Midranks for tied scores.
+  std::vector<double> rank(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    double mid = 0.5 * static_cast<double>(i + j) + 1.0;  // 1-based midrank
+    for (std::size_t t = i; t <= j; ++t) rank[order[t]] = mid;
+    i = j + 1;
+  }
+
+  double n_pos = 0.0, n_neg = 0.0, rank_sum_pos = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    double y = labels[t];
+    FLAML_REQUIRE(y == 0.0 || y == 1.0, "roc_auc labels must be 0/1");
+    if (y == 1.0) {
+      n_pos += 1.0;
+      rank_sum_pos += rank[t];
+    } else {
+      n_neg += 1.0;
+    }
+  }
+  FLAML_REQUIRE(n_pos > 0 && n_neg > 0, "roc_auc needs both classes present");
+  // Mann-Whitney U statistic.
+  double u = rank_sum_pos - n_pos * (n_pos + 1.0) / 2.0;
+  return u / (n_pos * n_neg);
+}
+
+double log_loss_binary(const std::vector<double>& prob1,
+                       const std::vector<double>& labels) {
+  FLAML_REQUIRE(prob1.size() == labels.size() && !prob1.empty(),
+                "log_loss_binary: shape mismatch or empty input");
+  double total = 0.0;
+  for (std::size_t i = 0; i < prob1.size(); ++i) {
+    double p = clamp(prob1[i], kEps, 1.0 - kEps);
+    total += labels[i] == 1.0 ? -std::log(p) : -std::log(1.0 - p);
+  }
+  return total / static_cast<double>(prob1.size());
+}
+
+double log_loss_multi(const std::vector<double>& probs, int n_classes,
+                      const std::vector<double>& labels) {
+  FLAML_REQUIRE(n_classes >= 2, "log_loss_multi needs >= 2 classes");
+  FLAML_REQUIRE(probs.size() == labels.size() * static_cast<std::size_t>(n_classes),
+                "log_loss_multi: probs shape mismatch");
+  FLAML_REQUIRE(!labels.empty(), "log_loss_multi: empty input");
+  double total = 0.0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    int y = static_cast<int>(labels[i]);
+    FLAML_REQUIRE(y >= 0 && y < n_classes, "label out of range");
+    double p = clamp(probs[i * static_cast<std::size_t>(n_classes) +
+                           static_cast<std::size_t>(y)],
+                     kEps, 1.0);
+    total += -std::log(p);
+  }
+  return total / static_cast<double>(labels.size());
+}
+
+double accuracy_multi(const std::vector<double>& probs, int n_classes,
+                      const std::vector<double>& labels) {
+  FLAML_REQUIRE(n_classes >= 2, "accuracy_multi needs >= 2 classes");
+  FLAML_REQUIRE(probs.size() == labels.size() * static_cast<std::size_t>(n_classes),
+                "accuracy_multi: probs shape mismatch");
+  FLAML_REQUIRE(!labels.empty(), "accuracy_multi: empty input");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const double* row = probs.data() + i * static_cast<std::size_t>(n_classes);
+    int best = 0;
+    for (int c = 1; c < n_classes; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    if (best == static_cast<int>(labels[i])) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+double accuracy_binary(const std::vector<double>& prob1,
+                       const std::vector<double>& labels) {
+  FLAML_REQUIRE(prob1.size() == labels.size() && !prob1.empty(),
+                "accuracy_binary: shape mismatch or empty input");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < prob1.size(); ++i) {
+    int pred = prob1[i] >= 0.5 ? 1 : 0;
+    if (pred == static_cast<int>(labels[i])) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(prob1.size());
+}
+
+double mse(const std::vector<double>& pred, const std::vector<double>& truth) {
+  FLAML_REQUIRE(pred.size() == truth.size() && !pred.empty(),
+                "mse: shape mismatch or empty input");
+  double total = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    double d = pred[i] - truth[i];
+    total += d * d;
+  }
+  return total / static_cast<double>(pred.size());
+}
+
+double rmse(const std::vector<double>& pred, const std::vector<double>& truth) {
+  return std::sqrt(mse(pred, truth));
+}
+
+double mae(const std::vector<double>& pred, const std::vector<double>& truth) {
+  FLAML_REQUIRE(pred.size() == truth.size() && !pred.empty(),
+                "mae: shape mismatch or empty input");
+  double total = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) total += std::fabs(pred[i] - truth[i]);
+  return total / static_cast<double>(pred.size());
+}
+
+double r2(const std::vector<double>& pred, const std::vector<double>& truth) {
+  FLAML_REQUIRE(pred.size() == truth.size() && !pred.empty(),
+                "r2: shape mismatch or empty input");
+  double m = mean(truth);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+    ss_tot += (truth[i] - m) * (truth[i] - m);
+  }
+  if (ss_tot <= 0.0) return ss_res <= 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double q_error(double pred, double truth, double floor_value) {
+  FLAML_REQUIRE(floor_value > 0.0, "q_error floor must be positive");
+  double p = std::max(pred, floor_value);
+  double t = std::max(truth, floor_value);
+  return std::max(p / t, t / p);
+}
+
+std::vector<double> q_errors(const std::vector<double>& pred,
+                             const std::vector<double>& truth, double floor_value) {
+  FLAML_REQUIRE(pred.size() == truth.size() && !pred.empty(),
+                "q_errors: shape mismatch or empty input");
+  std::vector<double> out(pred.size());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    out[i] = q_error(pred[i], truth[i], floor_value);
+  }
+  return out;
+}
+
+double q_error_quantile(const std::vector<double>& pred,
+                        const std::vector<double>& truth, double q,
+                        double floor_value) {
+  return quantile(q_errors(pred, truth, floor_value), q);
+}
+
+}  // namespace flaml

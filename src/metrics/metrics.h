@@ -1,0 +1,53 @@
+// Model quality metrics.
+//
+// Conventions: classification predictions are class probabilities, row-major
+// n_rows × n_classes (binary convenience overloads take P(class 1) only);
+// labels are class ids as doubles. All functions validate shapes.
+#pragma once
+
+#include <vector>
+
+namespace flaml {
+
+// Area under the ROC curve of score-ranked positives (ties handled by
+// midrank). labels must contain only 0 and 1 with both classes present.
+double roc_auc(const std::vector<double>& scores, const std::vector<double>& labels);
+
+// Binary cross-entropy of P(class 1); probabilities are clipped to
+// [eps, 1-eps] with eps = 1e-15.
+double log_loss_binary(const std::vector<double>& prob1,
+                       const std::vector<double>& labels);
+
+// Multiclass cross-entropy. probs is row-major n × n_classes.
+double log_loss_multi(const std::vector<double>& probs, int n_classes,
+                      const std::vector<double>& labels);
+
+// Fraction of rows whose argmax-probability class equals the label.
+double accuracy_multi(const std::vector<double>& probs, int n_classes,
+                      const std::vector<double>& labels);
+// Binary accuracy at the 0.5 threshold.
+double accuracy_binary(const std::vector<double>& prob1,
+                       const std::vector<double>& labels);
+
+// Regression metrics.
+double mse(const std::vector<double>& pred, const std::vector<double>& truth);
+double rmse(const std::vector<double>& pred, const std::vector<double>& truth);
+double mae(const std::vector<double>& pred, const std::vector<double>& truth);
+// Coefficient of determination; 0 for a constant-mean predictor, can be
+// negative for worse-than-mean predictors, 1 for perfect.
+double r2(const std::vector<double>& pred, const std::vector<double>& truth);
+
+// q-error for selectivity estimation: max(pred/truth, truth/pred) with both
+// sides floored at `floor_value` (cardinalities below one row are clamped,
+// as in the selectivity-estimation literature). Always >= 1.
+double q_error(double pred, double truth, double floor_value = 1.0);
+// Elementwise q-error of two vectors.
+std::vector<double> q_errors(const std::vector<double>& pred,
+                             const std::vector<double>& truth,
+                             double floor_value = 1.0);
+// The q-th quantile (e.g. 0.95) of the elementwise q-errors.
+double q_error_quantile(const std::vector<double>& pred,
+                        const std::vector<double>& truth, double q,
+                        double floor_value = 1.0);
+
+}  // namespace flaml

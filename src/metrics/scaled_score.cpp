@@ -1,0 +1,15 @@
+#include "metrics/scaled_score.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace flaml {
+
+double scaled_score(double error, const ScoreCalibration& calibration, double min_gap) {
+  FLAML_REQUIRE(min_gap > 0.0, "min_gap must be positive");
+  double gap = std::max(calibration.prior_error - calibration.reference_error, min_gap);
+  return (calibration.prior_error - error) / gap;
+}
+
+}  // namespace flaml

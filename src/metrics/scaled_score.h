@@ -1,0 +1,25 @@
+// Scaled-score calibration of the AutoML benchmark (Gijsbers et al. 2019).
+//
+// Raw errors are calibrated per dataset so that a constant class-prior
+// predictor scores 0 and a tuned random forest (a strong, slow baseline)
+// scores 1; a score above 1 beats the tuned forest. All Figure 5/6 and
+// Table 9 numbers are in this calibrated unit.
+#pragma once
+
+namespace flaml {
+
+struct ScoreCalibration {
+  // Error (lower-better metric value) of the constant class-prior /
+  // mean predictor on this dataset.
+  double prior_error = 1.0;
+  // Error of the tuned random-forest reference.
+  double reference_error = 0.0;
+};
+
+// (prior_error - error) / (prior_error - reference_error).
+// If the reference failed to beat the prior (degenerate calibration), the
+// denominator is floored at `min_gap` to keep scores finite and ordered.
+double scaled_score(double error, const ScoreCalibration& calibration,
+                    double min_gap = 1e-6);
+
+}  // namespace flaml

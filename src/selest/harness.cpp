@@ -1,0 +1,114 @@
+#include "selest/harness.h"
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "metrics/metrics.h"
+
+namespace flaml::selest {
+
+std::vector<SelestInstance> table4_instances() {
+  auto make = [](const std::string& name, TableFamily family, int dims,
+                 std::uint64_t seed) {
+    SelestInstance inst;
+    inst.name = name;
+    inst.family = family;
+    inst.n_dims = dims;
+    // Higher dimensionality → fewer rows to keep the exact labeler cheap.
+    inst.table_rows = dims <= 4 ? 20000 : 12000;
+    inst.seed = seed;
+    return inst;
+  };
+  return {
+      make("2D-Forest", TableFamily::Forest, 2, 11),
+      make("2D-Power", TableFamily::Power, 2, 12),
+      make("2D-TPCH", TableFamily::Tpch, 2, 13),
+      make("4D-Forest1", TableFamily::Forest, 4, 14),
+      make("4D-Forest2", TableFamily::Forest, 4, 15),
+      make("4D-Power", TableFamily::Power, 4, 16),
+      make("7D-Higgs", TableFamily::Higgs, 7, 17),
+      make("7D-Power", TableFamily::Power, 7, 18),
+      make("7D-Weather", TableFamily::Weather, 7, 19),
+      make("10D-Forest", TableFamily::Forest, 10, 20),
+  };
+}
+
+SelestData make_selest_data(const SelestInstance& instance) {
+  Table table = make_table(instance.family, instance.table_rows, instance.n_dims,
+                           instance.seed);
+  WorkloadOptions wo;
+  wo.n_queries = instance.train_queries + instance.test_queries;
+  wo.seed = instance.seed ^ 0x9e3779b97f4a7c15ULL;
+  std::vector<RangeQuery> queries = make_workload(table, wo);
+
+  std::vector<RangeQuery> train_q(queries.begin(),
+                                  queries.begin() +
+                                      static_cast<std::ptrdiff_t>(instance.train_queries));
+  std::vector<RangeQuery> test_q(queries.begin() +
+                                     static_cast<std::ptrdiff_t>(instance.train_queries),
+                                 queries.end());
+  SelestData data{workload_to_dataset(table, train_q),
+                  workload_to_dataset(table, test_q), true_cardinalities(test_q)};
+  return data;
+}
+
+namespace {
+
+double evaluate_q95(const Predictions& predictions, const SelestData& data) {
+  std::vector<double> cards = predicted_cardinalities(predictions.values);
+  return q_error_quantile(cards, data.test_truth, 0.95);
+}
+
+}  // namespace
+
+SelestResult run_flaml(const SelestData& data, double budget_seconds,
+                       std::uint64_t seed) {
+  WallClock clock;
+  AutoML automl;
+  AutoMLOptions options;
+  options.time_budget_seconds = budget_seconds;
+  options.metric = "mse";  // log-cardinality regression
+  options.seed = seed;
+  automl.fit(data.train, options);
+  SelestResult result;
+  result.search_seconds = clock.now();
+  result.q95 = evaluate_q95(automl.predict(DataView(data.test)), data);
+  return result;
+}
+
+SelestResult run_baseline(const SelestData& data, BaselineKind kind,
+                          double budget_seconds, std::uint64_t seed) {
+  WallClock clock;
+  BaselineAutoML automl(kind);
+  BaselineOptions options;
+  options.time_budget_seconds = budget_seconds;
+  options.metric = "mse";
+  options.seed = seed;
+  automl.fit(data.train, options);
+  SelestResult result;
+  result.search_seconds = clock.now();
+  result.q95 = evaluate_q95(automl.predict(DataView(data.test)), data);
+  return result;
+}
+
+SelestResult run_manual(const SelestData& data, std::uint64_t seed) {
+  // Dutt et al.'s recommended configuration: XGBoost, 16 trees, 16 leaves.
+  WallClock clock;
+  LearnerPtr xgb = builtin_learner("xgboost");
+  ConfigSpace space = xgb->space(Task::Regression, data.train.n_rows());
+  Config config = space.initial_config();
+  config["tree_num"] = 16;
+  config["leaf_num"] = 16;
+  config["min_child_weight"] = 1.0;
+  config["learning_rate"] = 0.3;
+  TrainContext ctx;
+  DataView train_view(data.train);
+  ctx.train = train_view;
+  ctx.seed = seed;
+  auto model = xgb->train(ctx, config);
+  SelestResult result;
+  result.search_seconds = clock.now();
+  result.q95 = evaluate_q95(model->predict(DataView(data.test)), data);
+  return result;
+}
+
+}  // namespace flaml::selest

@@ -1,0 +1,55 @@
+// The Table-4 selectivity-estimation benchmark harness.
+//
+// Each benchmark instance ("2D-Forest", "7D-Power", ...) is a table family
+// + dimensionality; the harness generates the table, a labeled train/test
+// query workload, runs an AutoML method (or the 'Manual' configuration —
+// XGBoost-style with 16 trees × 16 leaves, the recommendation of Dutt et
+// al.) on the train queries, and reports the 95th-percentile q-error of the
+// predicted cardinalities on the held-out test queries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "automl/automl.h"
+#include "automl/baselines.h"
+#include "selest/workload.h"
+
+namespace flaml::selest {
+
+struct SelestInstance {
+  std::string name;      // "2D-Forest" etc.
+  TableFamily family = TableFamily::Forest;
+  int n_dims = 2;
+  std::size_t table_rows = 20000;
+  std::size_t train_queries = 1500;
+  std::size_t test_queries = 500;
+  std::uint64_t seed = 1;
+};
+
+// The ten Table-4 instances.
+std::vector<SelestInstance> table4_instances();
+
+struct SelestData {
+  Dataset train;  // log-cardinality regression over train queries
+  Dataset test;
+  std::vector<double> test_truth;  // true cardinalities of test queries
+};
+
+SelestData make_selest_data(const SelestInstance& instance);
+
+struct SelestResult {
+  double q95 = 0.0;           // 95th-percentile q-error on test queries
+  double search_seconds = 0;  // total search time (Table 4 reports overruns)
+};
+
+// Run FLAML on the instance with the given budget.
+SelestResult run_flaml(const SelestData& data, double budget_seconds,
+                       std::uint64_t seed);
+// Run a baseline driver.
+SelestResult run_baseline(const SelestData& data, BaselineKind kind,
+                          double budget_seconds, std::uint64_t seed);
+// The 'Manual' configuration: XGBoost-style, 16 trees, 16 leaves.
+SelestResult run_manual(const SelestData& data, std::uint64_t seed);
+
+}  // namespace flaml::selest

@@ -1,0 +1,146 @@
+#include "selest/tables.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace flaml::selest {
+
+const char* family_name(TableFamily family) {
+  switch (family) {
+    case TableFamily::Forest: return "Forest";
+    case TableFamily::Power: return "Power";
+    case TableFamily::Tpch: return "TPCH";
+    case TableFamily::Higgs: return "Higgs";
+    case TableFamily::Weather: return "Weather";
+  }
+  return "?";
+}
+
+namespace {
+
+Table make_forest(std::size_t n, int d, Rng& rng) {
+  // Correlated Gaussian clusters: k terrain types, each with its own center
+  // and per-dimension spread; adjacent dimensions correlated.
+  const int k = 6;
+  std::vector<std::vector<double>> centers(k, std::vector<double>(static_cast<std::size_t>(d)));
+  std::vector<std::vector<double>> spreads(k, std::vector<double>(static_cast<std::size_t>(d)));
+  for (int c = 0; c < k; ++c) {
+    for (int j = 0; j < d; ++j) {
+      centers[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)] = rng.uniform(-4.0, 4.0);
+      spreads[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)] = rng.uniform(0.3, 1.5);
+    }
+  }
+  Table t;
+  t.columns.assign(static_cast<std::size_t>(d), std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    int c = static_cast<int>(rng.uniform_index(k));
+    double shared = rng.normal();  // induces cross-column correlation
+    for (int j = 0; j < d; ++j) {
+      double v = centers[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)] +
+                 spreads[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)] *
+                     (0.7 * rng.normal() + 0.3 * shared);
+      t.columns[static_cast<std::size_t>(j)][i] = v;
+    }
+  }
+  return t;
+}
+
+Table make_power(std::size_t n, int d, Rng& rng) {
+  // Power-law magnitudes (Pareto alpha ~1.6) with shared load factor.
+  Table t;
+  t.columns.assign(static_cast<std::size_t>(d), std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    double load = std::pow(1.0 - rng.uniform(), -1.0 / 1.6);  // Pareto(1.6)
+    for (int j = 0; j < d; ++j) {
+      double own = std::pow(1.0 - rng.uniform(), -1.0 / 2.0);
+      t.columns[static_cast<std::size_t>(j)][i] =
+          0.6 * load + 0.4 * own + 0.05 * rng.normal();
+    }
+  }
+  return t;
+}
+
+Table make_tpch(std::size_t n, int d, Rng& rng) {
+  // Lineitem-ish: uniform price, discrete quantity, small discount levels,
+  // correlated tax; repeats the pattern across dimensions.
+  Table t;
+  t.columns.assign(static_cast<std::size_t>(d), std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    double quantity = 1.0 + static_cast<double>(rng.uniform_index(50));
+    double price = rng.uniform(900.0, 105000.0) / 100.0;
+    double discount = static_cast<double>(rng.uniform_index(11)) / 100.0;
+    for (int j = 0; j < d; ++j) {
+      switch (j % 4) {
+        case 0: t.columns[static_cast<std::size_t>(j)][i] = quantity; break;
+        case 1: t.columns[static_cast<std::size_t>(j)][i] = price; break;
+        case 2: t.columns[static_cast<std::size_t>(j)][i] = discount; break;
+        default:
+          t.columns[static_cast<std::size_t>(j)][i] =
+              price * quantity * (1.0 - discount) / 1000.0;
+          break;
+      }
+    }
+  }
+  return t;
+}
+
+Table make_higgs(std::size_t n, int d, Rng& rng) {
+  // Physics-like: symmetric heavy tails (student-t-ish via normal ratio)
+  // plus derived quadratic combinations.
+  Table t;
+  t.columns.assign(static_cast<std::size_t>(d), std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    double a = rng.normal(), b = rng.normal();
+    for (int j = 0; j < d; ++j) {
+      double v;
+      if (j % 3 == 0) {
+        v = rng.normal() / std::max(0.3, std::fabs(rng.normal()));  // heavy tail
+      } else if (j % 3 == 1) {
+        v = std::sqrt(a * a + b * b) + 0.3 * rng.normal();  // momentum-like
+      } else {
+        v = a * b + rng.normal();
+      }
+      t.columns[static_cast<std::size_t>(j)][i] = v;
+    }
+  }
+  return t;
+}
+
+Table make_weather(std::size_t n, int d, Rng& rng) {
+  // Seasonal signal + station offset + noise; columns are different
+  // measurements of the same timestamp, hence strongly correlated.
+  Table t;
+  t.columns.assign(static_cast<std::size_t>(d), std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    double day = rng.uniform(0.0, 365.0);
+    double season = std::sin(2.0 * M_PI * day / 365.0);
+    double station = rng.normal() * 3.0;
+    for (int j = 0; j < d; ++j) {
+      double phase = 0.5 * static_cast<double>(j);
+      t.columns[static_cast<std::size_t>(j)][i] =
+          10.0 * std::sin(2.0 * M_PI * day / 365.0 + phase) + 5.0 * season +
+          station + rng.normal() * 2.0;
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+Table make_table(TableFamily family, std::size_t n_rows, int n_cols,
+                 std::uint64_t seed) {
+  FLAML_REQUIRE(n_rows >= 10 && n_cols >= 1, "table too small");
+  Rng rng(seed);
+  switch (family) {
+    case TableFamily::Forest: return make_forest(n_rows, n_cols, rng);
+    case TableFamily::Power: return make_power(n_rows, n_cols, rng);
+    case TableFamily::Tpch: return make_tpch(n_rows, n_cols, rng);
+    case TableFamily::Higgs: return make_higgs(n_rows, n_cols, rng);
+    case TableFamily::Weather: return make_weather(n_rows, n_cols, rng);
+  }
+  throw InternalError("unreachable family");
+}
+
+}  // namespace flaml::selest

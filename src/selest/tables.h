@@ -1,0 +1,38 @@
+// Synthetic relational tables for the selectivity-estimation study
+// (paper §5.3 / Table 4).
+//
+// The original study (Dutt et al. 2019) uses columns of the Forest, Power,
+// TPC-H, Higgs and Weather datasets. We generate tables whose marginal and
+// joint shapes match those families:
+//   Forest  — mixture of correlated Gaussian clusters (terrain features),
+//   Power   — heavy-tailed power-law marginals with pairwise correlation
+//             (household power readings),
+//   TPCH    — uniform prices with discrete quantity/discount levels,
+//   Higgs   — heavy-tailed symmetric physics-like features,
+//   Weather — seasonal sinusoidal signals with noise and drift.
+// Range-query selectivity over such tables exercises the same regression
+// problem shape (skew, correlation, empty ranges) as the real data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flaml::selest {
+
+// Column-major numeric table.
+struct Table {
+  std::vector<std::vector<double>> columns;
+
+  std::size_t n_rows() const { return columns.empty() ? 0 : columns[0].size(); }
+  std::size_t n_cols() const { return columns.size(); }
+};
+
+enum class TableFamily { Forest, Power, Tpch, Higgs, Weather };
+
+const char* family_name(TableFamily family);
+
+Table make_table(TableFamily family, std::size_t n_rows, int n_cols,
+                 std::uint64_t seed);
+
+}  // namespace flaml::selest

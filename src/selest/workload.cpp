@@ -1,0 +1,121 @@
+#include "selest/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace flaml::selest {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+std::size_t count_matches(const Table& table, const RangeQuery& query) {
+  FLAML_REQUIRE(query.lo.size() == table.n_cols() && query.hi.size() == table.n_cols(),
+                "query arity mismatch");
+  const std::size_t n = table.n_rows();
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    bool match = true;
+    for (std::size_t j = 0; j < table.n_cols() && match; ++j) {
+      double v = table.columns[j][i];
+      match = v >= query.lo[j] && v <= query.hi[j];
+    }
+    count += match ? 1u : 0u;
+  }
+  return count;
+}
+
+std::vector<RangeQuery> make_workload(const Table& table,
+                                      const WorkloadOptions& options) {
+  FLAML_REQUIRE(table.n_rows() > 0, "empty table");
+  Rng rng(options.seed);
+  const std::size_t d = table.n_cols();
+
+  // Column spreads drive the width distribution.
+  std::vector<double> col_min(d, kInf), col_max(d, -kInf);
+  for (std::size_t j = 0; j < d; ++j) {
+    for (double v : table.columns[j]) {
+      col_min[j] = std::min(col_min[j], v);
+      col_max[j] = std::max(col_max[j], v);
+    }
+  }
+
+  std::vector<RangeQuery> queries;
+  queries.reserve(options.n_queries);
+  for (std::size_t q = 0; q < options.n_queries; ++q) {
+    RangeQuery query;
+    query.lo.assign(d, -kInf);
+    query.hi.assign(d, kInf);
+    // Center on a random data row so narrow queries still match something.
+    std::size_t center_row = rng.uniform_index(table.n_rows());
+    for (std::size_t j = 0; j < d; ++j) {
+      if (rng.bernoulli(options.unconstrained_prob)) continue;
+      double span = col_max[j] - col_min[j];
+      // Log-uniform width between 0.1% and 100% of the column span.
+      double width = span * std::pow(10.0, rng.uniform(-3.0, 0.0));
+      double center = table.columns[j][center_row] + rng.normal() * 0.05 * span;
+      query.lo[j] = center - 0.5 * width;
+      query.hi[j] = center + 0.5 * width;
+    }
+    query.count = count_matches(table, query);
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+Dataset workload_to_dataset(const Table& table,
+                            const std::vector<RangeQuery>& queries) {
+  FLAML_REQUIRE(!queries.empty(), "empty workload");
+  const std::size_t d = table.n_cols();
+  std::vector<double> col_min(d, kInf), col_max(d, -kInf);
+  for (std::size_t j = 0; j < d; ++j) {
+    for (double v : table.columns[j]) {
+      col_min[j] = std::min(col_min[j], v);
+      col_max[j] = std::max(col_max[j], v);
+    }
+  }
+
+  std::vector<ColumnInfo> columns(2 * d);
+  for (std::size_t j = 0; j < d; ++j) {
+    columns[2 * j].name = "lo" + std::to_string(j);
+    columns[2 * j + 1].name = "hi" + std::to_string(j);
+  }
+  Dataset data(Task::Regression, std::move(columns));
+  std::vector<std::vector<float>> cols(2 * d, std::vector<float>(queries.size()));
+  std::vector<double> labels(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    for (std::size_t j = 0; j < d; ++j) {
+      double lo = std::max(queries[q].lo[j], col_min[j]);
+      double hi = std::min(queries[q].hi[j], col_max[j]);
+      cols[2 * j][q] = static_cast<float>(lo);
+      cols[2 * j + 1][q] = static_cast<float>(hi);
+    }
+    labels[q] = std::log(static_cast<double>(std::max<std::size_t>(queries[q].count, 1)));
+  }
+  for (std::size_t c = 0; c < 2 * d; ++c) data.set_column(c, std::move(cols[c]));
+  data.set_labels(std::move(labels));
+  data.validate();
+  return data;
+}
+
+std::vector<double> predicted_cardinalities(const std::vector<double>& log_predictions) {
+  std::vector<double> out(log_predictions.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = std::max(1.0, std::exp(log_predictions[i]));
+  }
+  return out;
+}
+
+std::vector<double> true_cardinalities(const std::vector<RangeQuery>& queries) {
+  std::vector<double> out(queries.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<double>(std::max<std::size_t>(queries[i].count, 1));
+  }
+  return out;
+}
+
+}  // namespace flaml::selest

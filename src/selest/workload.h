@@ -1,0 +1,50 @@
+// Range-query workload generation and labeling for selectivity estimation.
+//
+// Following Dutt et al. 2019, queries are conjunctions of per-column range
+// predicates lo_j <= x_j <= hi_j. Queries are centered on random data rows
+// with random widths (mixing narrow and wide ranges, and leaving some
+// columns unconstrained), which produces the skewed selectivity
+// distribution real workloads show. The regression target is
+// log(max(count, 1)); q-error is evaluated on the de-logged cardinality.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "selest/tables.h"
+
+namespace flaml::selest {
+
+struct RangeQuery {
+  // Per-column bounds; an unconstrained column has lo = -inf, hi = +inf.
+  std::vector<double> lo;
+  std::vector<double> hi;
+  // True matching-row count.
+  std::size_t count = 0;
+};
+
+struct WorkloadOptions {
+  std::size_t n_queries = 2000;
+  // Probability a column is left unconstrained in a query.
+  double unconstrained_prob = 0.2;
+  std::uint64_t seed = 7;
+};
+
+// Generate labeled range queries over the table.
+std::vector<RangeQuery> make_workload(const Table& table, const WorkloadOptions& options);
+
+// Exact number of table rows satisfying the query (the labeler).
+std::size_t count_matches(const Table& table, const RangeQuery& query);
+
+// Encode the workload as a regression dataset: features are the 2·d bounds
+// (clamped to the column's observed min/max for unconstrained sides),
+// label = log(max(count, 1)).
+Dataset workload_to_dataset(const Table& table, const std::vector<RangeQuery>& queries);
+
+// De-logged predicted cardinalities (floored at 1) from model predictions.
+std::vector<double> predicted_cardinalities(const std::vector<double>& log_predictions);
+// True cardinalities of a query list.
+std::vector<double> true_cardinalities(const std::vector<RangeQuery>& queries);
+
+}  // namespace flaml::selest

@@ -1,0 +1,68 @@
+// Feature discretization for histogram-based tree learning.
+//
+// Numeric features are quantile-binned into at most `max_bin` bins (exact
+// distinct values when there are few); categorical features map code c to
+// bin c. Every feature reserves one extra trailing bin for missing values.
+// Trees are grown on bin indices; the final tree stores raw thresholds so
+// prediction needs no BinMapper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace flaml {
+
+struct FeatureBins {
+  ColumnType type = ColumnType::Numeric;
+  // Numeric: ascending upper edges; bin b covers (edges[b-1], edges[b]],
+  // bin 0 covers (-inf, edges[0]]. Values above the last edge land in the
+  // last non-missing bin. Size = n_value_bins - 1 (may be 0 when constant).
+  std::vector<float> edges;
+  // Non-missing bins. Categorical: the cardinality.
+  int n_value_bins = 1;
+
+  // Total bins including the trailing missing bin.
+  int n_bins() const { return n_value_bins + 1; }
+  int missing_bin() const { return n_value_bins; }
+  int bin_for(float v) const;
+  // Raw threshold for a numeric split "bin <= b" (the upper edge of bin b).
+  float threshold_for(int bin) const;
+};
+
+// Column-major binned matrix; bins_[feature][row].
+class BinnedMatrix {
+ public:
+  BinnedMatrix() = default;
+  BinnedMatrix(std::size_t n_rows, std::size_t n_features)
+      : n_rows_(n_rows),
+        bins_(n_features, std::vector<std::uint16_t>(n_rows)) {}
+
+  std::size_t n_rows() const { return n_rows_; }
+  std::size_t n_features() const { return bins_.size(); }
+  const std::vector<std::uint16_t>& feature(std::size_t f) const { return bins_[f]; }
+  std::vector<std::uint16_t>& feature(std::size_t f) { return bins_[f]; }
+  std::uint16_t bin(std::size_t row, std::size_t f) const { return bins_[f][row]; }
+
+ private:
+  std::size_t n_rows_ = 0;
+  std::vector<std::vector<std::uint16_t>> bins_;
+};
+
+class BinMapper {
+ public:
+  // Learn bin boundaries from the rows of `view`. max_bin in [2, 65534].
+  static BinMapper fit(const DataView& view, int max_bin);
+
+  std::size_t n_features() const { return features_.size(); }
+  const FeatureBins& feature(std::size_t f) const { return features_[f]; }
+
+  // Encode the rows of `view` (same dataset schema as the fitted one).
+  BinnedMatrix encode(const DataView& view) const;
+
+ private:
+  std::vector<FeatureBins> features_;
+};
+
+}  // namespace flaml

@@ -1,0 +1,65 @@
+#include "tree/tree_io.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace flaml {
+
+void write_tree(std::ostream& out, const Tree& tree) {
+  out << tree.n_nodes() << '\n';
+  for (std::size_t i = 0; i < tree.n_nodes(); ++i) {
+    const TreeNode& n = tree.node(i);
+    out << n.left << ' ' << n.right << ' ' << n.feature << ' '
+        << (n.categorical ? 1 : 0) << ' ' << n.threshold << ' ' << n.category << ' '
+        << (n.missing_left ? 1 : 0) << ' ' << n.leaf_value << ' ' << n.split_gain
+        << '\n';
+  }
+  const auto& dists = tree.leaf_distributions();
+  std::size_t n_dists = 0;
+  for (const auto& d : dists) n_dists += d.empty() ? 0 : 1;
+  out << n_dists << '\n';
+  for (std::size_t i = 0; i < dists.size(); ++i) {
+    if (dists[i].empty()) continue;
+    out << i << ' ' << dists[i].size();
+    for (double p : dists[i]) out << ' ' << p;
+    out << '\n';
+  }
+}
+
+Tree read_tree(std::istream& in) {
+  std::size_t n_nodes = 0;
+  in >> n_nodes;
+  FLAML_REQUIRE(in.good() && n_nodes >= 1, "truncated tree: node count");
+  std::vector<TreeNode> nodes(n_nodes);
+  for (auto& n : nodes) {
+    int cat = 0, miss = 0;
+    in >> n.left >> n.right >> n.feature >> cat >> n.threshold >> n.category >>
+        miss >> n.leaf_value >> n.split_gain;
+    n.categorical = cat != 0;
+    n.missing_left = miss != 0;
+  }
+  FLAML_REQUIRE(in.good(), "truncated tree: nodes");
+  Tree tree = Tree::from_nodes(std::move(nodes));
+
+  std::size_t n_dists = 0;
+  in >> n_dists;
+  FLAML_REQUIRE(in.good(), "truncated tree: distribution count");
+  if (n_dists > 0) {
+    tree.leaf_distributions().assign(tree.n_nodes(), {});
+    for (std::size_t d = 0; d < n_dists; ++d) {
+      std::size_t node = 0, k = 0;
+      in >> node >> k;
+      FLAML_REQUIRE(in.good() && node < tree.n_nodes() && k >= 1,
+                    "truncated tree: distribution header");
+      std::vector<double> dist(k);
+      for (auto& p : dist) in >> p;
+      FLAML_REQUIRE(in.good(), "truncated tree: distribution values");
+      tree.leaf_distributions()[node] = std::move(dist);
+    }
+  }
+  return tree;
+}
+
+}  // namespace flaml

@@ -1,0 +1,18 @@
+// Text (de)serialization of Tree — shared by the GBDT and forest model
+// formats. The format is line-oriented: node count, then one line per node,
+// then the number of leaf distributions (0 when unused) followed by
+// "node_id k p0 ... pk-1" lines.
+#pragma once
+
+#include <iosfwd>
+
+#include "tree/tree.h"
+
+namespace flaml {
+
+void write_tree(std::ostream& out, const Tree& tree);
+
+// Throws InvalidArgument on malformed input.
+Tree read_tree(std::istream& in);
+
+}  // namespace flaml

@@ -1,0 +1,192 @@
+#include "tuners/config_space.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace flaml {
+
+namespace {
+
+void check_range(const std::string& name, double lo, double hi, double init,
+                 bool log_scale) {
+  FLAML_REQUIRE(lo < hi, "param '" << name << "': lo must be < hi");
+  FLAML_REQUIRE(init >= lo && init <= hi,
+                "param '" << name << "': init " << init << " outside [" << lo << ", "
+                          << hi << "]");
+  if (log_scale) {
+    FLAML_REQUIRE(lo > 0.0, "param '" << name << "': log scale needs lo > 0");
+  }
+}
+
+}  // namespace
+
+ConfigSpace& ConfigSpace::add_int(const std::string& name, double lo, double hi,
+                                  double init, bool log_scale, bool cost_related) {
+  check_range(name, lo, hi, init, log_scale);
+  FLAML_REQUIRE(!contains(name), "duplicate param '" << name << "'");
+  ParamDomain p;
+  p.name = name;
+  p.type = ParamDomain::Type::Int;
+  p.lo = std::floor(lo);
+  p.hi = std::floor(hi);
+  p.log_scale = log_scale;
+  p.init = std::floor(init);
+  p.cost_related = cost_related;
+  index_[name] = params_.size();
+  params_.push_back(std::move(p));
+  return *this;
+}
+
+ConfigSpace& ConfigSpace::add_float(const std::string& name, double lo, double hi,
+                                    double init, bool log_scale) {
+  check_range(name, lo, hi, init, log_scale);
+  FLAML_REQUIRE(!contains(name), "duplicate param '" << name << "'");
+  ParamDomain p;
+  p.name = name;
+  p.type = ParamDomain::Type::Float;
+  p.lo = lo;
+  p.hi = hi;
+  p.log_scale = log_scale;
+  p.init = init;
+  index_[name] = params_.size();
+  params_.push_back(std::move(p));
+  return *this;
+}
+
+ConfigSpace& ConfigSpace::add_categorical(const std::string& name,
+                                          std::vector<std::string> categories,
+                                          int init) {
+  FLAML_REQUIRE(!contains(name), "duplicate param '" << name << "'");
+  FLAML_REQUIRE(categories.size() >= 2, "categorical param needs >= 2 categories");
+  FLAML_REQUIRE(init >= 0 && init < static_cast<int>(categories.size()),
+                "init category out of range");
+  ParamDomain p;
+  p.name = name;
+  p.type = ParamDomain::Type::Categorical;
+  p.lo = 0.0;
+  p.hi = static_cast<double>(categories.size() - 1);
+  p.init = static_cast<double>(init);
+  p.categories = std::move(categories);
+  index_[name] = params_.size();
+  params_.push_back(std::move(p));
+  return *this;
+}
+
+std::size_t ConfigSpace::index_of(const std::string& name) const {
+  auto it = index_.find(name);
+  FLAML_REQUIRE(it != index_.end(), "unknown param '" << name << "'");
+  return it->second;
+}
+
+bool ConfigSpace::contains(const std::string& name) const {
+  return index_.count(name) > 0;
+}
+
+Config ConfigSpace::initial_config() const {
+  Config c;
+  for (const auto& p : params_) c[p.name] = p.init;
+  return c;
+}
+
+Config ConfigSpace::random_config(Rng& rng) const {
+  std::vector<double> z(params_.size());
+  for (auto& v : z) v = rng.uniform();
+  return from_normalized(z);
+}
+
+double ConfigSpace::normalize_value(const ParamDomain& p, double value) const {
+  if (p.type == ParamDomain::Type::Categorical) {
+    // Bucket midpoint: category c of K maps to (c + 0.5) / K.
+    double k = static_cast<double>(p.categories.size());
+    return (clamp(value, 0.0, k - 1.0) + 0.5) / k;
+  }
+  double v = clamp(value, p.lo, p.hi);
+  if (p.log_scale) {
+    return (std::log(v) - std::log(p.lo)) / (std::log(p.hi) - std::log(p.lo));
+  }
+  return (v - p.lo) / (p.hi - p.lo);
+}
+
+double ConfigSpace::denormalize_value(const ParamDomain& p, double z) const {
+  z = clamp(z, 0.0, 1.0);
+  if (p.type == ParamDomain::Type::Categorical) {
+    double k = static_cast<double>(p.categories.size());
+    int c = std::min(static_cast<int>(z * k), static_cast<int>(k) - 1);
+    return static_cast<double>(c);
+  }
+  double v;
+  if (p.log_scale) {
+    v = std::exp(std::log(p.lo) + z * (std::log(p.hi) - std::log(p.lo)));
+  } else {
+    v = p.lo + z * (p.hi - p.lo);
+  }
+  if (p.type == ParamDomain::Type::Int) v = clamp(std::round(v), p.lo, p.hi);
+  return v;
+}
+
+std::vector<double> ConfigSpace::to_normalized(const Config& config) const {
+  std::vector<double> z(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto it = config.find(params_[i].name);
+    FLAML_REQUIRE(it != config.end(), "config missing param '" << params_[i].name << "'");
+    z[i] = normalize_value(params_[i], it->second);
+  }
+  return z;
+}
+
+Config ConfigSpace::from_normalized(const std::vector<double>& z) const {
+  FLAML_REQUIRE(z.size() == params_.size(), "normalized point has wrong dimension");
+  Config c;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    c[params_[i].name] = denormalize_value(params_[i], z[i]);
+  }
+  return c;
+}
+
+double ConfigSpace::step_lower_bound(double fallback) const {
+  double bound = fallback;
+  bool found = false;
+  for (const auto& p : params_) {
+    if (!p.cost_related || p.type != ParamDomain::Type::Int) continue;
+    // Normalized distance that moves the parameter from init to init+1.
+    double step;
+    if (p.log_scale) {
+      step = std::log(1.0 + 1.0 / std::max(p.init, 1.0)) /
+             (std::log(p.hi) - std::log(p.lo));
+    } else {
+      step = 1.0 / (p.hi - p.lo);
+    }
+    if (!found || step < bound) {
+      bound = step;
+      found = true;
+    }
+  }
+  // The bound is for one coordinate; scale to the sphere step length.
+  return found ? bound * std::sqrt(static_cast<double>(dim())) : fallback;
+}
+
+std::string config_to_string(const Config& config, const ConfigSpace& space) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& p : space.params()) {
+    auto it = config.find(p.name);
+    if (it == config.end()) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << p.name << "=";
+    if (p.type == ParamDomain::Type::Categorical) {
+      os << p.categories[static_cast<std::size_t>(it->second)];
+    } else if (p.type == ParamDomain::Type::Int) {
+      os << static_cast<long long>(it->second);
+    } else {
+      os << it->second;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace flaml

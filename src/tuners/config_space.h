@@ -1,0 +1,83 @@
+// Hyperparameter search-space definition.
+//
+// A ConfigSpace is an ordered list of parameter domains (int, float or
+// categorical; optionally log-scaled; each with a LOW-COST initial value —
+// the bold entries of Table 5). All tuners operate on the normalized
+// [0,1]^d representation: log/linear scaling, integer rounding and
+// categorical bucketing happen in from_normalized(), so FLOW2's sphere
+// steps and TPE's kernel densities are scale-free.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace flaml {
+
+// A concrete assignment of hyperparameter values. Numeric parameters store
+// their real value; categorical parameters store the category index.
+using Config = std::map<std::string, double>;
+
+// Pretty-print "name=value, ..." with categorical names resolved.
+class ConfigSpace;
+std::string config_to_string(const Config& config, const ConfigSpace& space);
+
+struct ParamDomain {
+  enum class Type { Int, Float, Categorical };
+  std::string name;
+  Type type = Type::Float;
+  double lo = 0.0;
+  double hi = 1.0;
+  bool log_scale = false;
+  double init = 0.0;  // low-cost initial value (numeric) or category index
+  std::vector<std::string> categories;
+  // Marked for parameters whose value multiplies trial cost (tree num,
+  // leaf num); used to derive FLOW2's step-size lower bound.
+  bool cost_related = false;
+};
+
+class ConfigSpace {
+ public:
+  ConfigSpace& add_int(const std::string& name, double lo, double hi, double init,
+                       bool log_scale = true, bool cost_related = false);
+  ConfigSpace& add_float(const std::string& name, double lo, double hi, double init,
+                         bool log_scale = false);
+  ConfigSpace& add_categorical(const std::string& name,
+                               std::vector<std::string> categories, int init);
+
+  std::size_t dim() const { return params_.size(); }
+  bool empty() const { return params_.empty(); }
+  const std::vector<ParamDomain>& params() const { return params_; }
+  const ParamDomain& param(std::size_t i) const { return params_[i]; }
+  // Index of a parameter by name; throws InvalidArgument if unknown.
+  std::size_t index_of(const std::string& name) const;
+  bool contains(const std::string& name) const;
+
+  // The low-cost initial configuration (Table 5 bold values).
+  Config initial_config() const;
+  // Uniform sample in normalized space, mapped to a Config.
+  Config random_config(Rng& rng) const;
+
+  // Normalized [0,1]^d image of a config (log-scaled dims use log-space
+  // interpolation; categorical dims use the bucket midpoint).
+  std::vector<double> to_normalized(const Config& config) const;
+  // Config from a normalized point; values are clamped to [0,1] first.
+  Config from_normalized(const std::vector<double>& z) const;
+
+  // Smallest normalized step that changes some cost-related integer
+  // parameter near its initial value by at least one unit. This is FLOW2's
+  // step-size lower bound; falls back to `fallback` when no parameter is
+  // cost-related.
+  double step_lower_bound(double fallback = 1e-4) const;
+
+ private:
+  double normalize_value(const ParamDomain& p, double value) const;
+  double denormalize_value(const ParamDomain& p, double z) const;
+
+  std::vector<ParamDomain> params_;
+  std::map<std::string, std::size_t> index_;
+};
+
+}  // namespace flaml

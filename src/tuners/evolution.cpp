@@ -1,0 +1,73 @@
+#include "tuners/evolution.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace flaml {
+
+EvolutionSearch::EvolutionSearch(const ConfigSpace& space, std::uint64_t seed,
+                                 EvolutionOptions options, bool start_from_default)
+    : space_(&space), options_(options), rng_(seed), first_(start_from_default) {
+  FLAML_REQUIRE(!space.empty(), "evolution needs a non-empty space");
+  FLAML_REQUIRE(options_.population_size >= 4, "population too small");
+}
+
+std::size_t EvolutionSearch::tournament() const {
+  std::size_t best = rng_.uniform_index(population_.size());
+  for (int t = 1; t < options_.tournament_size; ++t) {
+    std::size_t challenger = rng_.uniform_index(population_.size());
+    if (fitness_[challenger] < fitness_[best]) best = challenger;
+  }
+  return best;
+}
+
+Config EvolutionSearch::ask() {
+  if (first_) {
+    first_ = false;
+    return space_->initial_config();
+  }
+  if (population_.size() < static_cast<std::size_t>(options_.population_size)) {
+    return space_->random_config(rng_);
+  }
+  // Parents via tournament selection.
+  const auto& a = population_[tournament()];
+  const auto& b = population_[tournament()];
+  std::vector<double> child(space_->dim());
+  const bool crossover = rng_.bernoulli(options_.crossover_rate);
+  for (std::size_t j = 0; j < child.size(); ++j) {
+    child[j] = crossover ? (rng_.bernoulli(0.5) ? a[j] : b[j]) : a[j];
+    if (rng_.bernoulli(options_.mutation_rate)) {
+      child[j] = clamp(child[j] + rng_.normal() * options_.mutation_sigma, 0.0, 1.0);
+    }
+  }
+  return space_->from_normalized(child);
+}
+
+void EvolutionSearch::tell(const Config& config, double error) {
+  if (!has_best_ || error < best_error_) {
+    best_config_ = config;
+    best_error_ = error;
+    has_best_ = true;
+  }
+  population_.push_back(space_->to_normalized(config));
+  fitness_.push_back(error);
+  if (population_.size() > 2 * static_cast<std::size_t>(options_.population_size)) {
+    // Cull to the best population_size individuals.
+    std::vector<std::size_t> order(population_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t x, std::size_t y) { return fitness_[x] < fitness_[y]; });
+    std::vector<std::vector<double>> new_pop;
+    std::vector<double> new_fit;
+    for (int i = 0; i < options_.population_size; ++i) {
+      new_pop.push_back(std::move(population_[order[static_cast<std::size_t>(i)]]));
+      new_fit.push_back(fitness_[order[static_cast<std::size_t>(i)]]);
+    }
+    population_ = std::move(new_pop);
+    fitness_ = std::move(new_fit);
+  }
+}
+
+}  // namespace flaml

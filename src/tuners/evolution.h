@@ -1,0 +1,52 @@
+// Evolutionary configuration search (the TPOT analogue's inner strategy).
+//
+// Maintains a bounded population of evaluated configurations; children are
+// produced by tournament selection, uniform crossover in normalized space
+// and per-dimension Gaussian mutation. No pipeline construction — the
+// paper's comparison is about search dynamics over the same space.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "tuners/config_space.h"
+
+namespace flaml {
+
+struct EvolutionOptions {
+  int population_size = 20;
+  int tournament_size = 3;
+  double mutation_rate = 0.3;     // per-dimension probability
+  double mutation_sigma = 0.15;   // normalized-space noise
+  double crossover_rate = 0.7;
+};
+
+class EvolutionSearch {
+ public:
+  EvolutionSearch(const ConfigSpace& space, std::uint64_t seed,
+                  EvolutionOptions options = {}, bool start_from_default = true);
+
+  // Random configs until the population is full, then evolved children.
+  Config ask();
+  void tell(const Config& config, double error);
+
+  const Config& best_config() const { return best_config_; }
+  double best_error() const { return best_error_; }
+  bool has_best() const { return has_best_; }
+
+ private:
+  std::size_t tournament() const;
+
+  const ConfigSpace* space_;
+  EvolutionOptions options_;
+  mutable Rng rng_;
+  std::vector<std::vector<double>> population_;  // normalized
+  std::vector<double> fitness_;                  // error, lower better
+  bool first_ = true;
+  Config best_config_;
+  double best_error_ = 0.0;
+  bool has_best_ = false;
+};
+
+}  // namespace flaml

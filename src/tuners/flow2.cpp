@@ -1,0 +1,130 @@
+#include "tuners/flow2.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace flaml {
+
+Flow2::Flow2(const ConfigSpace& space, std::uint64_t seed, Flow2Options options)
+    : space_(&space), options_(options), rng_(seed) {
+  FLAML_REQUIRE(!space.empty(), "FLOW2 needs a non-empty search space");
+  const double d = static_cast<double>(space.dim());
+  step_ = options_.step_scale * std::sqrt(d);
+  step_lower_bound_ =
+      std::max(options_.min_step, space.step_lower_bound(options_.min_step) *
+                                      options_.step_scale);
+  step_ = std::max(step_, step_lower_bound_);
+  // 2^(d-1) consecutive non-improvements trigger a shrink (capped so very
+  // high-dimensional spaces still adapt).
+  double threshold = std::pow(2.0, d - 1.0);
+  stall_threshold_ = static_cast<int>(
+      std::min<double>(options_.max_stall_cap, std::max(1.0, threshold)));
+  incumbent_ = space.to_normalized(space.initial_config());
+}
+
+void Flow2::set_start_point(const Config& config) {
+  FLAML_REQUIRE(!has_incumbent_ && iters_since_restart_ == 0 && !ask_outstanding_,
+                "set_start_point must precede the first ask()");
+  incumbent_ = space_->to_normalized(config);
+}
+
+std::vector<double> Flow2::propose_point(double sign) const {
+  std::vector<double> z(incumbent_.size());
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    z[i] = clamp(incumbent_[i] + sign * step_ * direction_[i], 0.0, 1.0);
+  }
+  return z;
+}
+
+Config Flow2::ask() {
+  FLAML_CHECK_MSG(!ask_outstanding_, "FLOW2: ask() called twice without tell()");
+  ask_outstanding_ = true;
+  switch (phase_) {
+    case Phase::Init:
+      pending_ = incumbent_;
+      break;
+    case Phase::Forward:
+      direction_ = rng_.unit_sphere(static_cast<int>(space_->dim()));
+      pending_ = propose_point(+1.0);
+      break;
+    case Phase::Backward:
+      pending_ = propose_point(-1.0);
+      break;
+  }
+  return space_->from_normalized(pending_);
+}
+
+void Flow2::tell(double error) {
+  FLAML_CHECK_MSG(ask_outstanding_, "FLOW2: tell() without a pending ask()");
+  ask_outstanding_ = false;
+  ++iters_since_restart_;
+
+  const bool first = !has_incumbent_;
+  const bool improved = first || error < incumbent_error_;
+
+  if (improved) {
+    incumbent_ = pending_;
+    incumbent_error_ = error;
+    has_incumbent_ = true;
+    best_config_ = space_->from_normalized(incumbent_);
+    best_error_ = error;
+    has_best_ = true;
+    best_iter_since_restart_ = iters_since_restart_;
+    consecutive_no_improvement_ = 0;
+    phase_ = Phase::Forward;
+    return;
+  }
+
+  // Non-improving trial.
+  if (phase_ == Phase::Forward) {
+    // Try the opposite direction next.
+    phase_ = Phase::Backward;
+  } else {
+    // Backward (or Init, impossible non-first) also failed: new direction.
+    phase_ = Phase::Forward;
+  }
+  ++consecutive_no_improvement_;
+
+  if (adapt_ && consecutive_no_improvement_ > stall_threshold_) {
+    // Reduction ratio: total iterations since restart over iterations taken
+    // to find the current best since restart (paper §4.2); always > 1.
+    double ratio = static_cast<double>(iters_since_restart_) /
+                   static_cast<double>(std::max<long>(1, best_iter_since_restart_));
+    ratio = clamp(ratio, 1.1, 4.0);
+    step_ /= ratio;
+    consecutive_no_improvement_ = 0;
+    if (step_ <= step_lower_bound_) {
+      step_ = step_lower_bound_;
+      converged_ = true;
+    }
+  }
+}
+
+void Flow2::update_incumbent_error(double error) {
+  FLAML_CHECK_MSG(has_incumbent_, "no incumbent to update");
+  incumbent_error_ = error;
+  best_error_ = error;
+}
+
+void Flow2::restart() {
+  ++n_restarts_;
+  std::vector<double> z(space_->dim());
+  for (auto& v : z) v = rng_.uniform();
+  incumbent_ = z;
+  has_incumbent_ = false;
+  has_best_ = false;
+  best_error_ = 0.0;
+  phase_ = Phase::Init;
+  ask_outstanding_ = false;
+  const double d = static_cast<double>(space_->dim());
+  step_ = std::max(options_.step_scale * std::sqrt(d), step_lower_bound_);
+  consecutive_no_improvement_ = 0;
+  iters_since_restart_ = 0;
+  best_iter_since_restart_ = 0;
+  converged_ = false;
+}
+
+}  // namespace flaml

@@ -1,0 +1,109 @@
+// FLOW2: frugal randomized direct search (Wu, Wang & Huang 2020; paper
+// §4.2 "Step 2").
+//
+// The search walks in the normalized [0,1]^d space of a ConfigSpace:
+//   * start from the LOW-COST initial configuration,
+//   * at each iteration sample a random direction u on the unit sphere and
+//     propose incumbent + step·u; if that does not improve, propose the
+//     opposite direction incumbent − step·u,
+//   * move the incumbent on improvement,
+//   * after more than `2^(d-1)` consecutive non-improving iterations shrink
+//     the step by the reduction ratio (total iterations since restart over
+//     iterations to reach the current best), until the step reaches its
+//     lower bound — then the search has CONVERGED,
+//   * restart() re-seeds the walk from a random point (used by the
+//     controller to escape local optima; it also resets the sample size).
+//
+// Step-size adaptation and convergence bookkeeping are gated behind
+// set_adaptation(true): the paper only adapts once the learner has reached
+// the full training-data size. The tuner is comparison-based: only the
+// relative order of errors matters, which is what allows the sample-size
+// coupling in the AutoML layer.
+#pragma once
+
+#include <optional>
+
+#include "common/rng.h"
+#include "tuners/config_space.h"
+
+namespace flaml {
+
+struct Flow2Options {
+  // Initial step = step_scale * sqrt(d) in normalized space.
+  double step_scale = 0.1;
+  // Consecutive non-improving iterations before a shrink: 2^(d-1), capped.
+  int max_stall_cap = 512;
+  // Hard floor for the step lower bound.
+  double min_step = 1e-4;
+};
+
+class Flow2 {
+ public:
+  Flow2(const ConfigSpace& space, std::uint64_t seed, Flow2Options options = {});
+
+  // Override the walk's starting configuration (default: the space's
+  // low-cost initial config). Must be called before the first ask().
+  void set_start_point(const Config& config);
+
+  // Next configuration to evaluate. The first ask() returns the low-cost
+  // initial config (or the restart point after restart()).
+  Config ask();
+  // Report the error of the config returned by the most recent ask().
+  void tell(double error);
+
+  bool converged() const { return converged_; }
+  const Config& best_config() const { return best_config_; }
+  double best_error() const { return best_error_; }
+  bool has_best() const { return has_best_; }
+  double step() const { return step_; }
+  int n_restarts() const { return n_restarts_; }
+
+  // Gate step-size adaptation / convergence (enabled at full sample size).
+  void set_adaptation(bool enabled) { adapt_ = enabled; }
+
+  // Re-anchor the incumbent's error after it was re-evaluated at a larger
+  // sample size (the controller keeps h fixed and doubles s; the old error
+  // is no longer comparable).
+  void update_incumbent_error(double error);
+
+  // Restart from a fresh random point; clears incumbent, step and stall
+  // statistics but keeps nothing else. best_config()/best_error() reset to
+  // the new walk (the caller owns the global best).
+  void restart();
+
+  const ConfigSpace& space() const { return *space_; }
+
+ private:
+  enum class Phase { Init, Forward, Backward };
+
+  std::vector<double> propose_point(double sign) const;
+
+  const ConfigSpace* space_;
+  Flow2Options options_;
+  Rng rng_;
+
+  std::vector<double> incumbent_;   // normalized
+  double incumbent_error_ = 0.0;
+  bool has_incumbent_ = false;
+
+  Config best_config_;
+  double best_error_ = 0.0;
+  bool has_best_ = false;
+
+  Phase phase_ = Phase::Init;
+  std::vector<double> direction_;   // current sphere direction
+  std::vector<double> pending_;     // normalized point of the outstanding ask
+  bool ask_outstanding_ = false;
+
+  double step_ = 0.0;
+  double step_lower_bound_ = 0.0;
+  int stall_threshold_ = 1;
+  int consecutive_no_improvement_ = 0;
+  long iters_since_restart_ = 0;
+  long best_iter_since_restart_ = 0;
+  bool adapt_ = true;
+  bool converged_ = false;
+  int n_restarts_ = 0;
+};
+
+}  // namespace flaml

@@ -1,0 +1,59 @@
+#include "tuners/grid_search.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace flaml {
+
+RandomizedGridSearch::RandomizedGridSearch(const ConfigSpace& space,
+                                           std::uint64_t seed, int points_per_dim,
+                                           bool start_from_default)
+    : space_(&space),
+      rng_(seed),
+      points_per_dim_(points_per_dim),
+      first_(start_from_default) {
+  FLAML_REQUIRE(!space.empty(), "grid search needs a non-empty space");
+  FLAML_REQUIRE(points_per_dim >= 2, "points_per_dim must be >= 2");
+  dims_.reserve(space.dim());
+  for (const auto& p : space.params()) {
+    int k = p.type == ParamDomain::Type::Categorical
+                ? static_cast<int>(p.categories.size())
+                : points_per_dim_;
+    dims_.push_back(k);
+    // Cap the enumerable grid size to keep the visited set bounded.
+    if (grid_size_ < (std::size_t{1} << 40)) grid_size_ *= static_cast<std::size_t>(k);
+  }
+}
+
+Config RandomizedGridSearch::ask() {
+  if (first_) {
+    first_ = false;
+    return space_->initial_config();
+  }
+  if (exhausted()) return space_->random_config(rng_);
+
+  // Rejection-sample an unvisited cell (cheap: the grid is large relative
+  // to the number of trials an AutoML budget allows).
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::uint64_t key = 0;
+    std::vector<double> z(space_->dim());
+    for (std::size_t j = 0; j < space_->dim(); ++j) {
+      int cell = static_cast<int>(rng_.uniform_index(static_cast<std::uint64_t>(dims_[j])));
+      key = key * 1000003ULL + static_cast<std::uint64_t>(cell);
+      z[j] = (static_cast<double>(cell) + 0.5) / static_cast<double>(dims_[j]);
+    }
+    if (visited_.insert(key).second) return space_->from_normalized(z);
+  }
+  return space_->random_config(rng_);
+}
+
+void RandomizedGridSearch::tell(const Config& config, double error) {
+  if (!has_best_ || error < best_error_) {
+    best_config_ = config;
+    best_error_ = error;
+    has_best_ = true;
+  }
+}
+
+}  // namespace flaml

@@ -1,0 +1,45 @@
+// Randomized grid search (the H2O AutoML analogue's inner strategy).
+//
+// Each numeric parameter is discretized into `points_per_dim` values in
+// normalized space (log-aware through ConfigSpace); categorical parameters
+// contribute all their categories. Grid cells are visited in random order
+// without repetition.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "tuners/config_space.h"
+
+namespace flaml {
+
+class RandomizedGridSearch {
+ public:
+  RandomizedGridSearch(const ConfigSpace& space, std::uint64_t seed,
+                       int points_per_dim = 5, bool start_from_default = true);
+
+  // Next unvisited grid cell (uniformly at random); after the grid is
+  // exhausted falls back to uniform random samples.
+  Config ask();
+  void tell(const Config& config, double error);
+
+  bool exhausted() const { return visited_.size() >= grid_size_; }
+  const Config& best_config() const { return best_config_; }
+  double best_error() const { return best_error_; }
+  bool has_best() const { return has_best_; }
+
+ private:
+  const ConfigSpace* space_;
+  Rng rng_;
+  int points_per_dim_;
+  std::size_t grid_size_ = 1;
+  std::vector<int> dims_;  // grid resolution per parameter
+  std::unordered_set<std::uint64_t> visited_;
+  bool first_ = true;
+  Config best_config_;
+  double best_error_ = 0.0;
+  bool has_best_ = false;
+};
+
+}  // namespace flaml

@@ -1,0 +1,107 @@
+#include "tuners/hyperband.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace flaml {
+
+BohbScheduler::BohbScheduler(const ConfigSpace& space, std::size_t min_fidelity,
+                             std::size_t max_fidelity, std::uint64_t seed,
+                             HyperbandOptions options)
+    : space_(&space),
+      options_(options),
+      rng_(seed),
+      tpe_(space, seed ^ 0xb0b5ULL),
+      min_fidelity_(min_fidelity),
+      max_fidelity_(max_fidelity) {
+  FLAML_REQUIRE(options_.eta > 1.0, "eta must be > 1");
+  FLAML_REQUIRE(min_fidelity >= 1 && min_fidelity <= max_fidelity,
+                "bad fidelity range");
+  s_max_ = static_cast<int>(std::floor(
+      std::log(static_cast<double>(max_fidelity) / static_cast<double>(min_fidelity)) /
+      std::log(options_.eta)));
+  bracket_ = s_max_;
+  start_bracket();
+}
+
+void BohbScheduler::start_bracket() {
+  const double eta = options_.eta;
+  const int s = bracket_;
+  const int n = static_cast<int>(std::ceil(static_cast<double>(s_max_ + 1) /
+                                           static_cast<double>(s + 1) *
+                                           std::pow(eta, s)));
+  fidelity_ = std::max(
+      min_fidelity_,
+      static_cast<std::size_t>(std::lround(static_cast<double>(max_fidelity_) *
+                                           std::pow(eta, -s))));
+  rung_ = 0;
+  next_slot_ = 0;
+  rung_entries_.clear();
+  rung_entries_.resize(static_cast<std::size_t>(std::max(1, n)));
+  for (auto& e : rung_entries_) {
+    e.config = options_.model_based ? tpe_.ask() : space_->random_config(rng_);
+  }
+}
+
+void BohbScheduler::advance_rung() {
+  const double eta = options_.eta;
+  // Promote the top 1/eta finished configs to the next rung.
+  std::vector<Entry> done;
+  for (auto& e : rung_entries_) {
+    if (e.done) done.push_back(std::move(e));
+  }
+  std::size_t keep = static_cast<std::size_t>(
+      std::floor(static_cast<double>(done.size()) / eta));
+  if (keep == 0 || fidelity_ >= max_fidelity_) {
+    // Bracket finished; move to the next one (cycled).
+    bracket_ = bracket_ == 0 ? s_max_ : bracket_ - 1;
+    start_bracket();
+    return;
+  }
+  std::sort(done.begin(), done.end(),
+            [](const Entry& a, const Entry& b) { return a.error < b.error; });
+  done.resize(keep);
+  for (auto& e : done) e.done = false;
+  rung_entries_ = std::move(done);
+  fidelity_ = std::min(max_fidelity_,
+                       static_cast<std::size_t>(std::lround(
+                           static_cast<double>(fidelity_) * eta)));
+  ++rung_;
+  next_slot_ = 0;
+}
+
+BohbScheduler::Assignment BohbScheduler::next() {
+  while (next_slot_ >= rung_entries_.size()) advance_rung();
+  Assignment a;
+  a.config = rung_entries_[next_slot_].config;
+  a.fidelity = fidelity_;
+  a.bracket = bracket_;
+  a.rung = rung_;
+  a.slot = next_slot_;
+  ++next_slot_;
+  return a;
+}
+
+void BohbScheduler::report(const Assignment& assignment, double error) {
+  // Stale reports from a previous rung/bracket are ignored.
+  if (assignment.bracket != bracket_ || assignment.rung != rung_ ||
+      assignment.slot >= rung_entries_.size()) {
+    return;
+  }
+  Entry& e = rung_entries_[assignment.slot];
+  e.error = error;
+  e.done = true;
+  if (assignment.fidelity >= max_fidelity_) {
+    // Full-fidelity observation: feed the TPE model and the global best.
+    tpe_.tell(assignment.config, error);
+    if (!has_best_ || error < best_error_) {
+      best_config_ = assignment.config;
+      best_error_ = error;
+      has_best_ = true;
+    }
+  }
+}
+
+}  // namespace flaml

@@ -1,0 +1,81 @@
+// Hyperband successive-halving scheduler with optional TPE proposals
+// (= BOHB, the HpBandSter analogue; Falkner et al. 2018, Li et al. 2017).
+//
+// Fidelity is the training sample size, matching how HpBandSter is used in
+// the paper's comparison (same search space and resampling as FLAML).
+// Brackets are generated in the classic geometry: bracket s starts
+// n = ceil((s_max+1)/(s+1)) * eta^s configs at fidelity max_f * eta^-s and
+// promotes the top 1/eta at each rung. Brackets run sequentially and cycle
+// until the caller's budget ends.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "tuners/config_space.h"
+#include "tuners/tpe.h"
+
+namespace flaml {
+
+struct HyperbandOptions {
+  double eta = 3.0;
+  // Use TPE (trained on full-fidelity observations) for new proposals; when
+  // false, proposals are uniform random (plain Hyperband).
+  bool model_based = true;
+};
+
+class BohbScheduler {
+ public:
+  struct Assignment {
+    Config config;
+    std::size_t fidelity = 0;  // training sample size for this evaluation
+    int bracket = 0;
+    int rung = 0;
+    std::size_t slot = 0;  // internal index; pass back to report()
+  };
+
+  BohbScheduler(const ConfigSpace& space, std::size_t min_fidelity,
+                std::size_t max_fidelity, std::uint64_t seed,
+                HyperbandOptions options = {});
+
+  // Next evaluation to run. Never exhausts: brackets repeat indefinitely.
+  Assignment next();
+  // Report the validation error of an assignment returned by next().
+  void report(const Assignment& assignment, double error);
+
+  const Config& best_config() const { return best_config_; }
+  double best_error() const { return best_error_; }
+  bool has_best() const { return has_best_; }
+
+ private:
+  struct Entry {
+    Config config;
+    double error = 0.0;
+    bool done = false;
+  };
+
+  void start_bracket();
+  void advance_rung();
+
+  const ConfigSpace* space_;
+  HyperbandOptions options_;
+  Rng rng_;
+  Tpe tpe_;
+  std::size_t min_fidelity_;
+  std::size_t max_fidelity_;
+  int s_max_ = 0;
+
+  int bracket_ = 0;        // current bracket index s (counts down)
+  int rung_ = 0;           // rung within the bracket
+  std::size_t fidelity_ = 0;
+  std::vector<Entry> rung_entries_;
+  std::size_t next_slot_ = 0;
+
+  Config best_config_;
+  double best_error_ = 0.0;
+  bool has_best_ = false;
+};
+
+}  // namespace flaml

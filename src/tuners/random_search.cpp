@@ -1,0 +1,29 @@
+#include "tuners/random_search.h"
+
+#include "common/error.h"
+
+namespace flaml {
+
+RandomSearch::RandomSearch(const ConfigSpace& space, std::uint64_t seed,
+                           bool start_from_default)
+    : space_(&space), rng_(seed), first_(start_from_default) {
+  FLAML_REQUIRE(!space.empty(), "random search needs a non-empty space");
+}
+
+Config RandomSearch::ask() {
+  if (first_) {
+    first_ = false;
+    return space_->initial_config();
+  }
+  return space_->random_config(rng_);
+}
+
+void RandomSearch::tell(const Config& config, double error) {
+  if (!has_best_ || error < best_error_) {
+    best_config_ = config;
+    best_error_ = error;
+    has_best_ = true;
+  }
+}
+
+}  // namespace flaml

@@ -1,0 +1,37 @@
+// Uniform random search over a ConfigSpace (the cloud-automl analogue's
+// inner strategy and a common sanity baseline).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "tuners/config_space.h"
+
+namespace flaml {
+
+class RandomSearch {
+ public:
+  // When start_from_default, the first proposal is the space's (low-cost)
+  // initial config; otherwise every proposal is a uniform sample — the
+  // faithful model of external AutoML services that do not know this
+  // library's cheap starting points.
+  RandomSearch(const ConfigSpace& space, std::uint64_t seed,
+               bool start_from_default = true);
+
+  Config ask();
+  void tell(const Config& config, double error);
+
+  const Config& best_config() const { return best_config_; }
+  double best_error() const { return best_error_; }
+  bool has_best() const { return has_best_; }
+
+ private:
+  const ConfigSpace* space_;
+  Rng rng_;
+  bool first_ = true;
+  Config best_config_;
+  double best_error_ = 0.0;
+  bool has_best_ = false;
+};
+
+}  // namespace flaml

@@ -1,0 +1,90 @@
+#include "tuners/tpe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace flaml {
+
+Tpe::Tpe(const ConfigSpace& space, std::uint64_t seed, TpeOptions options)
+    : space_(&space), options_(options), rng_(seed) {
+  FLAML_REQUIRE(!space.empty(), "TPE needs a non-empty search space");
+  FLAML_REQUIRE(options_.gamma > 0.0 && options_.gamma < 1.0, "gamma in (0,1)");
+}
+
+double Tpe::kde_log_density(const std::vector<std::size_t>& members,
+                            const std::vector<double>& z) const {
+  // Product of per-dimension KDEs (diagonal bandwidth), log space.
+  const std::size_t d = z.size();
+  const double n = static_cast<double>(members.size());
+  double log_density = 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    // Scott-style bandwidth over the member values of this dimension.
+    double m = 0.0;
+    for (std::size_t idx : members) m += points_[idx][j];
+    m /= n;
+    double var = 0.0;
+    for (std::size_t idx : members) {
+      double diff = points_[idx][j] - m;
+      var += diff * diff;
+    }
+    var /= std::max(1.0, n - 1.0);
+    double bw = std::max(options_.min_bandwidth,
+                         1.06 * std::sqrt(var) * std::pow(n, -0.2));
+    double sum = 0.0;
+    for (std::size_t idx : members) {
+      double u = (z[j] - points_[idx][j]) / bw;
+      sum += std::exp(-0.5 * u * u);
+    }
+    sum = std::max(sum / (n * bw * std::sqrt(2.0 * M_PI)), 1e-300);
+    log_density += std::log(sum);
+  }
+  return log_density;
+}
+
+Config Tpe::ask() {
+  if (points_.size() < static_cast<std::size_t>(options_.n_startup)) {
+    return space_->random_config(rng_);
+  }
+  // Split observations into good / bad by error quantile.
+  std::vector<std::size_t> order(points_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return errors_[a] < errors_[b]; });
+  std::size_t n_good = std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::ceil(options_.gamma *
+                                            static_cast<double>(order.size()))));
+  n_good = std::min(n_good, order.size() - 1);
+  std::vector<std::size_t> good(order.begin(),
+                                order.begin() + static_cast<std::ptrdiff_t>(n_good));
+  std::vector<std::size_t> bad(order.begin() + static_cast<std::ptrdiff_t>(n_good),
+                               order.end());
+
+  // Sample candidates around good points, score by l(x)/g(x).
+  const std::size_t d = space_->dim();
+  std::vector<double> best_z;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (int c = 0; c < options_.n_candidates; ++c) {
+    const auto& center = points_[good[rng_.uniform_index(good.size())]];
+    std::vector<double> z(d);
+    for (std::size_t j = 0; j < d; ++j) {
+      z[j] = clamp(center[j] + rng_.normal() * 0.1, 0.0, 1.0);
+    }
+    double score = kde_log_density(good, z) - kde_log_density(bad, z);
+    if (score > best_score) {
+      best_score = score;
+      best_z = std::move(z);
+    }
+  }
+  return space_->from_normalized(best_z);
+}
+
+void Tpe::tell(const Config& config, double error) {
+  points_.push_back(space_->to_normalized(config));
+  errors_.push_back(error);
+}
+
+}  // namespace flaml

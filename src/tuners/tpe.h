@@ -1,0 +1,49 @@
+// Tree-structured Parzen Estimator (Bergstra et al. 2011), the surrogate
+// used by our auto-sklearn-analogue baseline and by BOHB's model-based
+// proposals.
+//
+// Observations are kept in normalized space. After a random startup phase
+// the observations are split into "good" (top gamma fraction by error) and
+// "bad"; candidates are sampled around good points and ranked by the
+// density ratio l(x)/g(x) estimated with per-dimension Gaussian KDEs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "tuners/config_space.h"
+
+namespace flaml {
+
+struct TpeOptions {
+  int n_startup = 10;       // random proposals before the model kicks in
+  int n_candidates = 24;    // candidates scored per ask
+  double gamma = 0.25;      // fraction of observations considered "good"
+  double min_bandwidth = 0.03;
+};
+
+class Tpe {
+ public:
+  Tpe(const ConfigSpace& space, std::uint64_t seed, TpeOptions options = {});
+
+  // Propose a configuration (no pending-ask restriction).
+  Config ask();
+  // Record an observation (any configuration, not only asked ones).
+  void tell(const Config& config, double error);
+
+  std::size_t n_observations() const { return points_.size(); }
+  const ConfigSpace& space() const { return *space_; }
+
+ private:
+  double kde_log_density(const std::vector<std::size_t>& members,
+                         const std::vector<double>& z) const;
+
+  const ConfigSpace* space_;
+  TpeOptions options_;
+  Rng rng_;
+  std::vector<std::vector<double>> points_;  // normalized
+  std::vector<double> errors_;
+};
+
+}  // namespace flaml

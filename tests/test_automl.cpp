@@ -1,0 +1,404 @@
+#include "automl/automl.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "data/generators.h"
+#include "data/split.h"
+#include "metrics/metrics.h"
+
+namespace flaml {
+namespace {
+
+Dataset binary_data(std::size_t n = 800, std::uint64_t seed = 21) {
+  SyntheticSpec spec;
+  spec.task = Task::BinaryClassification;
+  spec.n_rows = n;
+  spec.n_features = 8;
+  spec.class_sep = 1.2;
+  spec.nonlinearity = 0.5;
+  spec.seed = seed;
+  return make_classification(spec);
+}
+
+AutoMLOptions quick_options(double budget = 1.0) {
+  AutoMLOptions options;
+  options.time_budget_seconds = budget;
+  options.initial_sample_size = 100;
+  options.seed = 5;
+  return options;
+}
+
+TEST(AutoML, FitFindsUsefulModel) {
+  Dataset data = binary_data();
+  Rng rng(1);
+  auto split = holdout_split(DataView(data), 0.3, rng);
+  // Re-wrap the training rows as a standalone dataset view for fit().
+  AutoML automl;
+  automl.fit(data, quick_options(1.0));
+  ASSERT_TRUE(automl.fitted());
+  Predictions pred = automl.predict(split.test);
+  EXPECT_GT(roc_auc(pred.prob1(), split.test.labels()), 0.75);
+  EXPECT_FALSE(automl.best_learner().empty());
+  EXPECT_FALSE(automl.history().empty());
+}
+
+TEST(AutoML, HistoryIsBudgetBounded) {
+  Dataset data = binary_data(600);
+  AutoML automl;
+  AutoMLOptions options = quick_options(0.5);
+  automl.fit(data, options);
+  const TrialHistory& history = automl.history();
+  ASSERT_FALSE(history.empty());
+  for (const auto& r : history) {
+    EXPECT_GT(r.cost, 0.0);
+    EXPECT_GT(r.finished_at, 0.0);
+  }
+  // Total elapsed should not wildly exceed the budget (allow overrun of the
+  // final trial).
+  EXPECT_LT(history.back().finished_at, 0.5 * 4 + 1.0);
+}
+
+TEST(AutoML, BestErrorMatchesHistoryMinimum) {
+  Dataset data = binary_data(600);
+  AutoML automl;
+  automl.fit(data, quick_options(0.6));
+  double min_error = std::numeric_limits<double>::infinity();
+  for (const auto& r : automl.history()) min_error = std::min(min_error, r.error);
+  EXPECT_DOUBLE_EQ(automl.best_error(), min_error);
+}
+
+TEST(AutoML, FirstTrialIsFastestLearnerCheapConfig) {
+  Dataset data = binary_data(600);
+  AutoML automl;
+  automl.fit(data, quick_options(0.4));
+  const TrialHistory& history = automl.history();
+  ASSERT_FALSE(history.empty());
+  EXPECT_EQ(history.front().learner, "lgbm");
+  EXPECT_DOUBLE_EQ(history.front().config.at("tree_num"), 4.0);
+  EXPECT_DOUBLE_EQ(history.front().config.at("leaf_num"), 4.0);
+}
+
+TEST(AutoML, EstimatorListRestrictsLearners) {
+  Dataset data = binary_data(500);
+  AutoML automl;
+  AutoMLOptions options = quick_options(0.5);
+  options.estimator_list = {"rf", "extra_tree"};
+  automl.fit(data, options);
+  for (const auto& r : automl.history()) {
+    EXPECT_TRUE(r.learner == "rf" || r.learner == "extra_tree") << r.learner;
+  }
+}
+
+TEST(AutoML, UnknownEstimatorRejected) {
+  Dataset data = binary_data(300);
+  AutoML automl;
+  AutoMLOptions options = quick_options(0.2);
+  options.estimator_list = {"nope"};
+  EXPECT_THROW(automl.fit(data, options), InvalidArgument);
+}
+
+TEST(AutoML, CustomMetricIsOptimized) {
+  Dataset data = binary_data(500);
+  AutoML automl;
+  AutoMLOptions options = quick_options(0.4);
+  // Offset makes the custom metric's value range recognizable.
+  options.custom_metric = ErrorMetric(
+      "my_logloss", [](const Predictions& p, const std::vector<double>& y) {
+        return 0.125 + log_loss_multi(p.values, p.n_classes, y);
+      });
+  automl.fit(data, options);
+  EXPECT_TRUE(automl.fitted());
+  EXPECT_GE(automl.best_error(), 0.125);  // the custom metric was used
+}
+
+TEST(AutoML, CustomLearnerParticipates) {
+  // Paper §3 API: add_learner with a custom estimator.
+  class ConstantLearner final : public Learner {
+   public:
+    const std::string& name() const override {
+      static const std::string n = "constant";
+      return n;
+    }
+    bool supports(Task task) const override {
+      return task == Task::BinaryClassification;
+    }
+    ConfigSpace space(Task, std::size_t) const override {
+      ConfigSpace s;
+      s.add_float("p", 0.01, 0.99, 0.5);
+      return s;
+    }
+    std::unique_ptr<Model> train(const TrainContext&, const Config& config) const override {
+      class ConstantModel final : public Model {
+       public:
+        explicit ConstantModel(double p) : p_(p) {}
+        Predictions predict(const DataView& view) const override {
+          Predictions pred;
+          pred.task = Task::BinaryClassification;
+          pred.n_classes = 2;
+          pred.values.resize(view.n_rows() * 2);
+          for (std::size_t i = 0; i < view.n_rows(); ++i) {
+            pred.values[i * 2] = 1.0 - p_;
+            pred.values[i * 2 + 1] = p_;
+          }
+          return pred;
+        }
+
+       private:
+        double p_;
+      };
+      return std::make_unique<ConstantModel>(config.at("p"));
+    }
+    double initial_cost_multiplier() const override { return 1.0; }
+  };
+
+  Dataset data = binary_data(400);
+  AutoML automl;
+  automl.add_learner(std::make_shared<ConstantLearner>());
+  AutoMLOptions options = quick_options(0.5);
+  options.estimator_list = {"constant", "lgbm"};
+  automl.fit(data, options);
+  bool constant_tried = false;
+  for (const auto& r : automl.history()) {
+    if (r.learner == "constant") constant_tried = true;
+  }
+  EXPECT_TRUE(constant_tried);
+}
+
+TEST(AutoML, SampleSizeGrowsOverTime) {
+  SyntheticSpec spec;
+  spec.task = Task::BinaryClassification;
+  spec.n_rows = 4000;
+  spec.n_features = 10;
+  spec.seed = 31;
+  Dataset data = make_classification(spec);
+  AutoML automl;
+  AutoMLOptions options = quick_options(2.0);
+  options.initial_sample_size = 200;
+  automl.fit(data, options);
+  std::size_t min_s = data.n_rows(), max_s = 0;
+  for (const auto& r : automl.history()) {
+    min_s = std::min(min_s, r.sample_size);
+    max_s = std::max(max_s, r.sample_size);
+  }
+  EXPECT_EQ(min_s, 200u);
+  EXPECT_GT(max_s, 200u);  // sample size was doubled at least once
+}
+
+TEST(AutoML, FullDataAblationNeverSamples) {
+  Dataset data = binary_data(1500);
+  AutoML automl;
+  AutoMLOptions options = quick_options(0.5);
+  options.sample_policy = SamplePolicy::FullData;
+  automl.fit(data, options);
+  for (const auto& r : automl.history()) {
+    EXPECT_GE(r.sample_size, 1200u);  // full size (minus holdout if any)
+  }
+}
+
+TEST(AutoML, RoundRobinAblationCyclesLearners) {
+  Dataset data = binary_data(600);
+  AutoML automl;
+  AutoMLOptions options = quick_options(1.0);
+  options.learner_choice = LearnerChoice::RoundRobin;
+  options.estimator_list = {"lgbm", "rf"};
+  automl.fit(data, options);
+  const TrialHistory& history = automl.history();
+  ASSERT_GE(history.size(), 4u);
+  // After the calibration trial, learners alternate.
+  for (std::size_t i = 2; i + 1 < std::min<std::size_t>(history.size(), 8); i += 2) {
+    EXPECT_NE(history[i].learner, history[i + 1].learner);
+  }
+}
+
+TEST(AutoML, StartingPointsSeedTheWalk) {
+  Dataset data = binary_data(400);
+  AutoML automl;
+  AutoMLOptions options = quick_options(0.3);
+  options.estimator_list = {"lgbm"};
+  Config warm;
+  warm["tree_num"] = 64;
+  warm["leaf_num"] = 32;
+  warm["min_child_weight"] = 1.0;
+  warm["learning_rate"] = 0.2;
+  warm["subsample"] = 0.9;
+  warm["reg_alpha"] = 1e-8;
+  warm["reg_lambda"] = 0.5;
+  warm["max_bin"] = 127;
+  warm["colsample_bytree"] = 0.9;
+  options.starting_points["lgbm"] = warm;
+  automl.fit(data, options);
+  ASSERT_FALSE(automl.history().empty());
+  // The very first lgbm trial must be the warm-start config, not tree_num=4.
+  EXPECT_DOUBLE_EQ(automl.history().front().config.at("tree_num"), 64.0);
+  EXPECT_DOUBLE_EQ(automl.history().front().config.at("max_bin"), 127.0);
+}
+
+TEST(AutoML, TargetErrorStopsSearchEarly) {
+  Dataset data = binary_data(600);
+  AutoML automl;
+  AutoMLOptions options = quick_options(5.0);  // generous budget
+  options.target_error = 0.5;                  // trivially reachable (1 - auc)
+  WallClock clock;
+  automl.fit(data, options);
+  // Must stop long before the 5s budget once the target is met.
+  EXPECT_LT(clock.now(), 2.5);
+  EXPECT_LE(automl.best_error(), 0.5);
+}
+
+TEST(AutoML, EciGreedyChoiceRuns) {
+  Dataset data = binary_data(500);
+  AutoML automl;
+  AutoMLOptions options = quick_options(0.5);
+  options.learner_choice = LearnerChoice::EciGreedy;
+  automl.fit(data, options);
+  EXPECT_TRUE(automl.fitted());
+  EXPECT_GE(automl.history().size(), 2u);
+}
+
+TEST(AutoML, ParallelSearchProducesValidHistory) {
+  Dataset data = binary_data(800);
+  AutoML automl;
+  AutoMLOptions options = quick_options(0.8);
+  options.n_parallel = 3;
+  automl.fit(data, options);
+  EXPECT_TRUE(automl.fitted());
+  const TrialHistory& history = automl.history();
+  ASSERT_GE(history.size(), 3u);
+  // Iterations are sequential, best errors non-increasing.
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    EXPECT_EQ(history[i].iteration, static_cast<int>(i + 1));
+    EXPECT_LE(history[i].best_error_so_far, best + 1e-12);
+    best = history[i].best_error_so_far;
+  }
+  Predictions pred = automl.predict(DataView(data));
+  EXPECT_EQ(pred.n_rows(), data.n_rows());
+}
+
+TEST(AutoML, ParallelSearchFindsComparableModel) {
+  Dataset data = binary_data(800, 77);
+  AutoML seq, par;
+  AutoMLOptions options = quick_options(0.8);
+  seq.fit(data, options);
+  options.n_parallel = 2;
+  par.fit(data, options);
+  // Both must clearly beat chance; exact equality isn't expected.
+  EXPECT_LT(seq.best_error(), 0.4);
+  EXPECT_LT(par.best_error(), 0.4);
+}
+
+TEST(AutoML, InvalidParallelRejected) {
+  Dataset data = binary_data(100);
+  AutoML automl;
+  AutoMLOptions options = quick_options(0.1);
+  options.n_parallel = 0;
+  EXPECT_THROW(automl.fit(data, options), InvalidArgument);
+}
+
+TEST(AutoML, ForcedResamplingHonored) {
+  Dataset data = binary_data(400);
+  AutoML automl;
+  AutoMLOptions options = quick_options(0.4);
+  options.resampling = ResamplingPolicy::ForceCV;
+  automl.fit(data, options);
+  EXPECT_EQ(automl.resampling_used(), Resampling::CV);
+
+  AutoML automl2;
+  options.resampling = ResamplingPolicy::ForceHoldout;
+  automl2.fit(data, options);
+  EXPECT_EQ(automl2.resampling_used(), Resampling::Holdout);
+}
+
+TEST(AutoML, AutoResamplingUsesPaperRule) {
+  Dataset data = binary_data(400);
+  AutoML automl;
+  AutoMLOptions options = quick_options(0.3);
+  // Paper-equivalent budget = 0.3 / 0.0001 = 3000s -> CV for this size.
+  options.budget_scale = 0.0001;
+  automl.fit(data, options);
+  EXPECT_EQ(automl.resampling_used(), Resampling::CV);
+}
+
+TEST(AutoML, RegressionTask) {
+  Dataset data = make_friedman1(900, 8, 0.5, 41);
+  AutoML automl;
+  AutoMLOptions options = quick_options(1.0);
+  automl.fit(data, options);
+  Predictions pred = automl.predict(DataView(data));
+  EXPECT_GT(r2(pred.values, data.labels()), 0.5);
+}
+
+TEST(AutoML, MulticlassTask) {
+  SyntheticSpec spec;
+  spec.task = Task::MultiClassification;
+  spec.n_classes = 4;
+  spec.n_rows = 600;
+  spec.n_features = 8;
+  spec.class_sep = 1.5;
+  spec.seed = 43;
+  Dataset data = make_classification(spec);
+  AutoML automl;
+  automl.fit(data, quick_options(1.0));
+  Predictions pred = automl.predict(DataView(data));
+  EXPECT_GT(accuracy_multi(pred.values, 4, data.labels()), 0.6);
+}
+
+TEST(AutoML, EnsembleOptionBlendsModels) {
+  Dataset data = binary_data(500);
+  AutoML automl;
+  AutoMLOptions options = quick_options(1.0);
+  options.enable_ensemble = true;
+  automl.fit(data, options);
+  Predictions pred = automl.predict(DataView(data));
+  for (std::size_t i = 0; i < pred.n_rows(); ++i) {
+    EXPECT_NEAR(pred.prob(i, 0) + pred.prob(i, 1), 1.0, 1e-6);
+  }
+  EXPECT_GT(roc_auc(pred.prob1(), data.labels()), 0.7);
+}
+
+TEST(AutoML, PredictBeforeFitRejected) {
+  AutoML automl;
+  Dataset data = binary_data(100);
+  EXPECT_THROW(automl.predict(DataView(data)), InvalidArgument);
+}
+
+TEST(AutoML, PerLearnerBestPopulated) {
+  Dataset data = binary_data(500);
+  AutoML automl;
+  automl.fit(data, quick_options(0.8));
+  auto per_learner = automl.per_learner_best();
+  EXPECT_GE(per_learner.size(), 5u);
+  bool some_finite = false;
+  for (const auto& [name, error] : per_learner) {
+    if (std::isfinite(error)) some_finite = true;
+  }
+  EXPECT_TRUE(some_finite);
+}
+
+TEST(AutoML, TinyBudgetStillProducesModel) {
+  Dataset data = binary_data(300);
+  AutoML automl;
+  AutoMLOptions options = quick_options(0.02);
+  automl.fit(data, options);
+  EXPECT_TRUE(automl.fitted());
+  Predictions pred = automl.predict(DataView(data));
+  EXPECT_EQ(pred.n_rows(), 300u);
+}
+
+TEST(AutoML, DuplicateCustomLearnerRejected) {
+  AutoML automl;
+  automl.add_learner(builtin_learner("lgbm"));
+  EXPECT_THROW(automl.add_learner(builtin_learner("lgbm")), InvalidArgument);
+}
+
+TEST(AutoML, InvalidOptionsRejected) {
+  Dataset data = binary_data(100);
+  AutoML automl;
+  AutoMLOptions options;
+  options.time_budget_seconds = 0.0;
+  EXPECT_THROW(automl.fit(data, options), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace flaml

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+#include "tuners/evolution.h"
+#include "tuners/grid_search.h"
+#include "tuners/random_search.h"
+
+namespace flaml {
+namespace {
+
+ConfigSpace demo_space() {
+  ConfigSpace space;
+  space.add_float("x", 0.0, 1.0, 0.2);
+  space.add_int("n", 1, 100, 1, /*log=*/false);
+  space.add_categorical("c", {"a", "b"}, 0);
+  return space;
+}
+
+TEST(RandomSearch, FirstProposalIsInitialConfig) {
+  ConfigSpace space = demo_space();
+  RandomSearch tuner(space, 1);
+  Config first = tuner.ask();
+  EXPECT_DOUBLE_EQ(first.at("x"), 0.2);
+  EXPECT_DOUBLE_EQ(first.at("n"), 1.0);
+}
+
+TEST(RandomSearch, TracksBest) {
+  ConfigSpace space = demo_space();
+  RandomSearch tuner(space, 2);
+  for (int i = 0; i < 20; ++i) {
+    Config c = tuner.ask();
+    tuner.tell(c, std::fabs(c.at("x") - 0.5));
+  }
+  EXPECT_TRUE(tuner.has_best());
+  EXPECT_LT(tuner.best_error(), 0.3);
+  EXPECT_NEAR(tuner.best_config().at("x"), 0.5, 0.3);
+}
+
+TEST(RandomSearch, ProposalsVary) {
+  ConfigSpace space = demo_space();
+  RandomSearch tuner(space, 3);
+  tuner.ask();
+  std::set<double> xs;
+  for (int i = 0; i < 30; ++i) xs.insert(tuner.ask().at("x"));
+  EXPECT_GT(xs.size(), 25u);
+}
+
+TEST(GridSearch, FirstProposalIsInitialConfig) {
+  ConfigSpace space = demo_space();
+  RandomizedGridSearch tuner(space, 1);
+  EXPECT_DOUBLE_EQ(tuner.ask().at("x"), 0.2);
+}
+
+TEST(GridSearch, VisitsDistinctCells) {
+  ConfigSpace space;
+  space.add_float("x", 0.0, 1.0, 0.5);
+  space.add_categorical("c", {"a", "b"}, 0);
+  RandomizedGridSearch tuner(space, 2, /*points_per_dim=*/3);
+  tuner.ask();  // initial
+  std::set<std::pair<double, double>> seen;
+  // Grid size = 3 * 2 = 6 cells.
+  for (int i = 0; i < 6; ++i) {
+    Config c = tuner.ask();
+    seen.insert({c.at("x"), c.at("c")});
+  }
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_TRUE(tuner.exhausted());
+}
+
+TEST(GridSearch, FallsBackToRandomWhenExhausted) {
+  ConfigSpace space;
+  space.add_categorical("c", {"a", "b"}, 0);
+  space.add_categorical("d", {"u", "v"}, 0);
+  RandomizedGridSearch tuner(space, 3, 2);
+  for (int i = 0; i < 10; ++i) tuner.ask();  // more than 4 cells
+  SUCCEED();
+}
+
+TEST(GridSearch, GridValuesAreCellMidpoints) {
+  ConfigSpace space;
+  space.add_float("x", 0.0, 1.0, 0.5);
+  RandomizedGridSearch tuner(space, 4, 5);
+  tuner.ask();
+  std::set<double> values;
+  for (int i = 0; i < 5; ++i) values.insert(tuner.ask().at("x"));
+  for (double v : values) {
+    bool is_mid = false;
+    for (int cell = 0; cell < 5; ++cell) {
+      if (std::fabs(v - (cell + 0.5) / 5.0) < 1e-9) is_mid = true;
+    }
+    EXPECT_TRUE(is_mid) << v;
+  }
+}
+
+TEST(Evolution, FirstProposalIsInitialConfig) {
+  ConfigSpace space = demo_space();
+  EvolutionSearch tuner(space, 1);
+  EXPECT_DOUBLE_EQ(tuner.ask().at("x"), 0.2);
+}
+
+TEST(Evolution, ImprovesOnSimpleObjective) {
+  ConfigSpace space;
+  space.add_float("x", 0.0, 1.0, 0.0);
+  space.add_float("y", 0.0, 1.0, 0.0);
+  EvolutionSearch tuner(space, 5);
+  double best = 1e9;
+  for (int i = 0; i < 300; ++i) {
+    Config c = tuner.ask();
+    double err = std::fabs(c.at("x") - 0.8) + std::fabs(c.at("y") - 0.2);
+    best = std::min(best, err);
+    tuner.tell(c, err);
+  }
+  EXPECT_LT(best, 0.1);
+  EXPECT_LT(tuner.best_error(), 0.1);
+}
+
+TEST(Evolution, PopulationCullingKeepsBest) {
+  ConfigSpace space;
+  space.add_float("x", 0.0, 1.0, 0.0);
+  EvolutionOptions options;
+  options.population_size = 6;
+  EvolutionSearch tuner(space, 7, options);
+  for (int i = 0; i < 100; ++i) {
+    Config c = tuner.ask();
+    tuner.tell(c, std::fabs(c.at("x") - 0.5));
+  }
+  EXPECT_LT(tuner.best_error(), 0.2);
+}
+
+TEST(Evolution, RejectsTinyPopulation) {
+  ConfigSpace space = demo_space();
+  EvolutionOptions options;
+  options.population_size = 2;
+  EXPECT_THROW(EvolutionSearch(space, 1, options), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace flaml

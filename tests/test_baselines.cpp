@@ -1,0 +1,129 @@
+#include "automl/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "metrics/metrics.h"
+
+namespace flaml {
+namespace {
+
+Dataset binary_data(std::size_t n = 600) {
+  SyntheticSpec spec;
+  spec.task = Task::BinaryClassification;
+  spec.n_rows = n;
+  spec.n_features = 6;
+  spec.class_sep = 1.4;
+  spec.seed = 51;
+  return make_classification(spec);
+}
+
+class BaselineKindTest : public ::testing::TestWithParam<BaselineKind> {};
+
+TEST_P(BaselineKindTest, FitsWithinBudgetAndPredicts) {
+  Dataset data = binary_data();
+  BaselineAutoML automl(GetParam());
+  BaselineOptions options;
+  options.time_budget_seconds = 0.6;
+  options.min_fidelity = 100;
+  options.seed = 3;
+  automl.fit(data, options);
+  ASSERT_TRUE(automl.fitted());
+  EXPECT_FALSE(automl.history().empty());
+  EXPECT_FALSE(automl.best_learner().empty());
+  Predictions pred = automl.predict(DataView(data));
+  EXPECT_EQ(pred.n_rows(), data.n_rows());
+  EXPECT_GT(roc_auc(pred.prob1(), data.labels()), 0.6);
+  EXPECT_GT(automl.search_seconds(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, BaselineKindTest,
+                         ::testing::Values(BaselineKind::Bohb, BaselineKind::Tpe,
+                                           BaselineKind::Grid,
+                                           BaselineKind::Evolution,
+                                           BaselineKind::Random));
+
+TEST(Baselines, Names) {
+  EXPECT_STREQ(baseline_name(BaselineKind::Bohb), "bohb");
+  EXPECT_STREQ(baseline_name(BaselineKind::Tpe), "bo-tpe");
+  EXPECT_STREQ(baseline_name(BaselineKind::Grid), "grid");
+  EXPECT_STREQ(baseline_name(BaselineKind::Evolution), "evolution");
+  EXPECT_STREQ(baseline_name(BaselineKind::Random), "random");
+}
+
+TEST(Baselines, BohbUsesVaryingSampleSizes) {
+  SyntheticSpec spec;
+  spec.task = Task::BinaryClassification;
+  spec.n_rows = 3000;
+  spec.n_features = 6;
+  spec.seed = 53;
+  Dataset data = make_classification(spec);
+  BaselineAutoML automl(BaselineKind::Bohb);
+  BaselineOptions options;
+  options.time_budget_seconds = 1.0;
+  options.min_fidelity = 150;
+  options.force_holdout = true;
+  automl.fit(data, options);
+  std::size_t min_s = data.n_rows();
+  for (const auto& r : automl.history()) min_s = std::min(min_s, r.sample_size);
+  // Hyperband's first rung runs at a reduced fidelity (how far the brackets
+  // get within the budget varies, so we only assert low-fidelity trials).
+  EXPECT_LT(min_s, 2700u);
+}
+
+TEST(Baselines, FullDataMethodsUseFullSampleOnly) {
+  Dataset data = binary_data(800);
+  for (BaselineKind kind : {BaselineKind::Tpe, BaselineKind::Random}) {
+    BaselineAutoML automl(kind);
+    BaselineOptions options;
+    options.time_budget_seconds = 0.4;
+    options.force_holdout = true;
+    automl.fit(data, options);
+    for (const auto& r : automl.history()) {
+      EXPECT_EQ(r.sample_size, 720u);  // 800 minus 10% holdout
+    }
+  }
+}
+
+TEST(Baselines, GridRoundRobinsLearnerOrder) {
+  Dataset data = binary_data(500);
+  BaselineAutoML automl(BaselineKind::Grid);
+  BaselineOptions options;
+  options.time_budget_seconds = 0.8;
+  options.estimator_list = {"lgbm", "rf"};
+  options.seed = 7;
+  automl.fit(data, options);
+  const TrialHistory& history = automl.history();
+  ASSERT_GE(history.size(), 4u);
+  for (std::size_t i = 0; i + 1 < std::min<std::size_t>(history.size(), 6); i += 2) {
+    EXPECT_EQ(history[i].learner, "lgbm");
+    EXPECT_EQ(history[i + 1].learner, "rf");
+  }
+}
+
+TEST(Baselines, EstimatorListValidation) {
+  Dataset data = binary_data(200);
+  BaselineAutoML automl(BaselineKind::Random);
+  BaselineOptions options;
+  options.time_budget_seconds = 0.1;
+  options.estimator_list = {"nope"};
+  EXPECT_THROW(automl.fit(data, options), InvalidArgument);
+}
+
+TEST(Baselines, ConflictingResamplingRejected) {
+  Dataset data = binary_data(200);
+  BaselineAutoML automl(BaselineKind::Random);
+  BaselineOptions options;
+  options.force_cv = true;
+  options.force_holdout = true;
+  EXPECT_THROW(automl.fit(data, options), InvalidArgument);
+}
+
+TEST(Baselines, PredictBeforeFitRejected) {
+  BaselineAutoML automl(BaselineKind::Random);
+  Dataset data = binary_data(100);
+  EXPECT_THROW(automl.predict(DataView(data)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace flaml

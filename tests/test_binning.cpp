@@ -1,0 +1,134 @@
+#include "tree/binning.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace flaml {
+namespace {
+
+const float kNaN = std::numeric_limits<float>::quiet_NaN();
+
+Dataset numeric_data(std::vector<float> values) {
+  Dataset data(Task::Regression, {{"x", ColumnType::Numeric, 0}});
+  data.set_column(0, std::move(values));
+  std::vector<double> labels(data.column(0).size(), 0.0);
+  data.set_labels(std::move(labels));
+  return data;
+}
+
+TEST(BinMapper, DistinctValuesGetOwnBins) {
+  Dataset data = numeric_data({1.0f, 2.0f, 3.0f, 1.0f, 2.0f});
+  BinMapper mapper = BinMapper::fit(DataView(data), 255);
+  const FeatureBins& fb = mapper.feature(0);
+  EXPECT_EQ(fb.n_value_bins, 3);
+  EXPECT_EQ(fb.bin_for(1.0f), 0);
+  EXPECT_EQ(fb.bin_for(2.0f), 1);
+  EXPECT_EQ(fb.bin_for(3.0f), 2);
+}
+
+TEST(BinMapper, ValuesBetweenEdgesBinUp) {
+  Dataset data = numeric_data({1.0f, 2.0f, 3.0f});
+  BinMapper mapper = BinMapper::fit(DataView(data), 255);
+  const FeatureBins& fb = mapper.feature(0);
+  EXPECT_EQ(fb.bin_for(1.5f), 1);   // (1, 2] -> bin of value 2
+  EXPECT_EQ(fb.bin_for(0.5f), 0);   // below min
+  EXPECT_EQ(fb.bin_for(99.0f), 2);  // above max clamps to last bin
+}
+
+TEST(BinMapper, MissingGetsReservedBin) {
+  Dataset data = numeric_data({1.0f, kNaN, 3.0f});
+  BinMapper mapper = BinMapper::fit(DataView(data), 255);
+  const FeatureBins& fb = mapper.feature(0);
+  EXPECT_EQ(fb.bin_for(kNaN), fb.missing_bin());
+  EXPECT_EQ(fb.missing_bin(), fb.n_value_bins);
+  EXPECT_EQ(fb.n_bins(), fb.n_value_bins + 1);
+}
+
+TEST(BinMapper, QuantileBinningRespectsMaxBin) {
+  std::vector<float> values(10000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<float>(i);
+  }
+  Dataset data = numeric_data(std::move(values));
+  BinMapper mapper = BinMapper::fit(DataView(data), 64);
+  EXPECT_LE(mapper.feature(0).n_value_bins, 64);
+  EXPECT_GE(mapper.feature(0).n_value_bins, 32);
+}
+
+TEST(BinMapper, QuantileBinsBalanced) {
+  std::vector<float> values(8192);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<float>(i);
+  }
+  Dataset data = numeric_data(std::move(values));
+  BinMapper mapper = BinMapper::fit(DataView(data), 16);
+  BinnedMatrix binned = mapper.encode(DataView(data));
+  std::vector<int> counts(static_cast<std::size_t>(mapper.feature(0).n_bins()), 0);
+  for (std::size_t i = 0; i < binned.n_rows(); ++i) counts[binned.bin(i, 0)] += 1;
+  for (int b = 0; b < mapper.feature(0).n_value_bins; ++b) {
+    EXPECT_GT(counts[static_cast<std::size_t>(b)], 8192 / 32);
+  }
+}
+
+TEST(BinMapper, CategoricalMapsCodeToBin) {
+  Dataset data(Task::Regression, {{"c", ColumnType::Categorical, 4}});
+  data.set_column(0, {0.0f, 3.0f, 1.0f, 2.0f});
+  data.set_labels({0, 0, 0, 0});
+  BinMapper mapper = BinMapper::fit(DataView(data), 255);
+  const FeatureBins& fb = mapper.feature(0);
+  EXPECT_EQ(fb.n_value_bins, 4);
+  EXPECT_EQ(fb.bin_for(2.0f), 2);
+  EXPECT_EQ(fb.bin_for(kNaN), 4);
+}
+
+TEST(BinMapper, ConstantColumnSingleBin) {
+  Dataset data = numeric_data({5.0f, 5.0f, 5.0f});
+  BinMapper mapper = BinMapper::fit(DataView(data), 255);
+  EXPECT_EQ(mapper.feature(0).n_value_bins, 1);
+  EXPECT_EQ(mapper.feature(0).bin_for(5.0f), 0);
+}
+
+TEST(BinMapper, AllMissingColumnHandled) {
+  Dataset data = numeric_data({kNaN, kNaN});
+  BinMapper mapper = BinMapper::fit(DataView(data), 255);
+  EXPECT_EQ(mapper.feature(0).bin_for(kNaN), mapper.feature(0).missing_bin());
+}
+
+TEST(BinMapper, EncodeMatchesBinFor) {
+  Dataset data = numeric_data({3.0f, 1.0f, kNaN, 2.0f, 1.0f});
+  BinMapper mapper = BinMapper::fit(DataView(data), 255);
+  BinnedMatrix binned = mapper.encode(DataView(data));
+  ASSERT_EQ(binned.n_rows(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(binned.bin(i, 0),
+              static_cast<std::uint16_t>(mapper.feature(0).bin_for(data.value(i, 0))));
+  }
+}
+
+TEST(BinMapper, ThresholdSeparatesBins) {
+  Dataset data = numeric_data({1.0f, 5.0f, 9.0f});
+  BinMapper mapper = BinMapper::fit(DataView(data), 255);
+  const FeatureBins& fb = mapper.feature(0);
+  // Split "bin <= 0" must separate 1.0 (left) from 5.0 and 9.0 (right).
+  float thr = fb.threshold_for(0);
+  EXPECT_LE(1.0f, thr);
+  EXPECT_GT(5.0f, thr);
+}
+
+TEST(BinMapper, RejectsBadMaxBin) {
+  Dataset data = numeric_data({1.0f, 2.0f});
+  EXPECT_THROW(BinMapper::fit(DataView(data), 1), InvalidArgument);
+}
+
+TEST(BinMapper, SubviewBinning) {
+  Dataset data = numeric_data({1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f});
+  DataView subset(data, {0, 2, 4});
+  BinMapper mapper = BinMapper::fit(subset, 255);
+  EXPECT_EQ(mapper.feature(0).n_value_bins, 3);  // 1, 3, 5 observed
+  BinnedMatrix binned = mapper.encode(subset);
+  EXPECT_EQ(binned.n_rows(), 3u);
+}
+
+}  // namespace
+}  // namespace flaml

@@ -1,0 +1,64 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.h"
+
+namespace flaml {
+namespace {
+
+TEST(VirtualClock, StartsAtGivenTime) {
+  VirtualClock clock(5.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 5.0);
+}
+
+TEST(VirtualClock, AdvanceAccumulates) {
+  VirtualClock clock;
+  clock.advance(1.5);
+  clock.advance(2.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 4.0);
+}
+
+TEST(VirtualClock, SetMovesForward) {
+  VirtualClock clock;
+  clock.set(10.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 10.0);
+}
+
+TEST(VirtualClock, RejectsBackwardMotion) {
+  VirtualClock clock(3.0);
+  EXPECT_THROW(clock.advance(-1.0), InternalError);
+  EXPECT_THROW(clock.set(2.0), InternalError);
+}
+
+TEST(WallClock, IsMonotonic) {
+  WallClock clock;
+  double t1 = clock.now();
+  double t2 = clock.now();
+  EXPECT_GE(t2, t1);
+}
+
+TEST(WallClock, MeasuresSleep) {
+  WallClock clock;
+  double t1 = clock.now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double elapsed = clock.now() - t1;
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 2.0);
+}
+
+TEST(Stopwatch, TracksVirtualClock) {
+  VirtualClock clock;
+  Stopwatch watch(clock);
+  clock.advance(2.0);
+  EXPECT_DOUBLE_EQ(watch.elapsed(), 2.0);
+  watch.restart();
+  EXPECT_DOUBLE_EQ(watch.elapsed(), 0.0);
+  clock.advance(1.0);
+  EXPECT_DOUBLE_EQ(watch.elapsed(), 1.0);
+}
+
+}  // namespace
+}  // namespace flaml

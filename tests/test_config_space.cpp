@@ -1,0 +1,159 @@
+#include "tuners/config_space.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace flaml {
+namespace {
+
+ConfigSpace demo_space() {
+  ConfigSpace space;
+  space.add_int("tree_num", 4, 32768, 4, /*log=*/true, /*cost_related=*/true);
+  space.add_float("learning_rate", 0.01, 1.0, 0.1, /*log=*/true);
+  space.add_float("subsample", 0.6, 1.0, 1.0, /*log=*/false);
+  space.add_categorical("criterion", {"gini", "entropy"}, 0);
+  return space;
+}
+
+TEST(ConfigSpace, DimCountsAllParams) {
+  EXPECT_EQ(demo_space().dim(), 4u);
+}
+
+TEST(ConfigSpace, InitialConfigUsesLowCostValues) {
+  Config init = demo_space().initial_config();
+  EXPECT_DOUBLE_EQ(init.at("tree_num"), 4.0);
+  EXPECT_DOUBLE_EQ(init.at("learning_rate"), 0.1);
+  EXPECT_DOUBLE_EQ(init.at("criterion"), 0.0);
+}
+
+TEST(ConfigSpace, NormalizationRoundTrip) {
+  ConfigSpace space = demo_space();
+  Config c;
+  c["tree_num"] = 128;
+  c["learning_rate"] = 0.05;
+  c["subsample"] = 0.8;
+  c["criterion"] = 1;
+  Config back = space.from_normalized(space.to_normalized(c));
+  EXPECT_DOUBLE_EQ(back.at("tree_num"), 128.0);
+  EXPECT_NEAR(back.at("learning_rate"), 0.05, 1e-9);
+  EXPECT_NEAR(back.at("subsample"), 0.8, 1e-9);
+  EXPECT_DOUBLE_EQ(back.at("criterion"), 1.0);
+}
+
+TEST(ConfigSpace, FromNormalizedClampsAndRounds) {
+  ConfigSpace space = demo_space();
+  std::vector<double> z{-0.5, 2.0, 0.5, 0.99};
+  Config c = space.from_normalized(z);
+  EXPECT_DOUBLE_EQ(c.at("tree_num"), 4.0);        // clamped to lo
+  EXPECT_DOUBLE_EQ(c.at("learning_rate"), 1.0);   // clamped to hi
+  EXPECT_DOUBLE_EQ(c.at("subsample"), 0.8);       // linear midpoint
+  EXPECT_DOUBLE_EQ(c.at("criterion"), 1.0);       // last bucket
+}
+
+TEST(ConfigSpace, IntValuesAreIntegral) {
+  ConfigSpace space = demo_space();
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    Config c = space.random_config(rng);
+    double v = c.at("tree_num");
+    EXPECT_DOUBLE_EQ(v, std::floor(v));
+    EXPECT_GE(v, 4.0);
+    EXPECT_LE(v, 32768.0);
+  }
+}
+
+TEST(ConfigSpace, LogScaleCoversOrdersOfMagnitude) {
+  ConfigSpace space = demo_space();
+  Rng rng(2);
+  int small = 0, large = 0;
+  for (int i = 0; i < 500; ++i) {
+    Config c = space.random_config(rng);
+    if (c.at("tree_num") < 100) ++small;
+    if (c.at("tree_num") > 4000) ++large;
+  }
+  // Log-uniform: both tails populated.
+  EXPECT_GT(small, 100);
+  EXPECT_GT(large, 100);
+}
+
+TEST(ConfigSpace, CategoricalBucketsMapCorrectly) {
+  ConfigSpace space;
+  space.add_categorical("c", {"a", "b", "c", "d"}, 0);
+  for (int bucket = 0; bucket < 4; ++bucket) {
+    std::vector<double> z{(bucket + 0.5) / 4.0};
+    EXPECT_DOUBLE_EQ(space.from_normalized(z).at("c"), bucket);
+  }
+}
+
+TEST(ConfigSpace, DuplicateNameRejected) {
+  ConfigSpace space;
+  space.add_float("x", 0.0, 1.0, 0.5);
+  EXPECT_THROW(space.add_float("x", 0.0, 1.0, 0.5), InvalidArgument);
+}
+
+TEST(ConfigSpace, BadRangesRejected) {
+  ConfigSpace space;
+  EXPECT_THROW(space.add_float("a", 1.0, 0.0, 0.5), InvalidArgument);  // lo > hi
+  EXPECT_THROW(space.add_float("b", 0.0, 1.0, 2.0), InvalidArgument);  // init outside
+  EXPECT_THROW(space.add_float("c", 0.0, 1.0, 0.5, /*log=*/true),
+               InvalidArgument);  // log with lo = 0
+  EXPECT_THROW(space.add_categorical("d", {"one"}, 0), InvalidArgument);
+}
+
+TEST(ConfigSpace, IndexOfAndContains) {
+  ConfigSpace space = demo_space();
+  EXPECT_EQ(space.index_of("learning_rate"), 1u);
+  EXPECT_TRUE(space.contains("subsample"));
+  EXPECT_FALSE(space.contains("nope"));
+  EXPECT_THROW(space.index_of("nope"), InvalidArgument);
+}
+
+TEST(ConfigSpace, ToNormalizedRejectsMissingParam) {
+  ConfigSpace space = demo_space();
+  Config c;
+  c["tree_num"] = 4;
+  EXPECT_THROW(space.to_normalized(c), InvalidArgument);
+}
+
+TEST(ConfigSpace, StepLowerBoundReflectsCostParams) {
+  ConfigSpace space = demo_space();
+  double bound = space.step_lower_bound();
+  // Moving tree_num from 4 to 5 in log space over [4, 32768]:
+  double expected = std::log(1.25) / (std::log(32768.0) - std::log(4.0)) *
+                    std::sqrt(4.0);
+  EXPECT_NEAR(bound, expected, 1e-9);
+}
+
+TEST(ConfigSpace, StepLowerBoundFallsBack) {
+  ConfigSpace space;
+  space.add_float("x", 0.0, 1.0, 0.5);
+  EXPECT_DOUBLE_EQ(space.step_lower_bound(1e-3), 1e-3);
+}
+
+TEST(ConfigSpace, ConfigToStringResolvesCategories) {
+  ConfigSpace space = demo_space();
+  Config c = space.initial_config();
+  std::string s = config_to_string(c, space);
+  EXPECT_NE(s.find("tree_num=4"), std::string::npos);
+  EXPECT_NE(s.find("criterion=gini"), std::string::npos);
+}
+
+TEST(ConfigSpace, RandomConfigWithinBounds) {
+  ConfigSpace space = demo_space();
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    Config c = space.random_config(rng);
+    EXPECT_GE(c.at("learning_rate"), 0.01);
+    EXPECT_LE(c.at("learning_rate"), 1.0);
+    EXPECT_GE(c.at("subsample"), 0.6);
+    EXPECT_LE(c.at("subsample"), 1.0);
+    double crit = c.at("criterion");
+    EXPECT_TRUE(crit == 0.0 || crit == 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace flaml

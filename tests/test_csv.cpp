@@ -1,0 +1,143 @@
+#include "data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace flaml {
+namespace {
+
+TEST(Csv, ParsesNumericRegression) {
+  std::istringstream in("a,b,target\n1.5,2,3.5\n4,5,6\n");
+  CsvOptions options;
+  options.task = Task::Regression;
+  Dataset data = read_csv(in, options);
+  EXPECT_EQ(data.n_rows(), 2u);
+  EXPECT_EQ(data.n_cols(), 2u);
+  EXPECT_FLOAT_EQ(data.value(0, 0), 1.5f);
+  EXPECT_DOUBLE_EQ(data.label(1), 6.0);
+}
+
+TEST(Csv, LabelColumnByName) {
+  std::istringstream in("y,a\n1,10\n0,20\n");
+  CsvOptions options;
+  options.task = Task::BinaryClassification;
+  options.label_column = "y";
+  Dataset data = read_csv(in, options);
+  EXPECT_EQ(data.n_cols(), 1u);
+  EXPECT_DOUBLE_EQ(data.label(0), 1.0);
+  EXPECT_FLOAT_EQ(data.value(1, 0), 20.0f);
+}
+
+TEST(Csv, UnknownLabelColumnRejected) {
+  std::istringstream in("a,b\n1,2\n");
+  CsvOptions options;
+  options.label_column = "missing";
+  EXPECT_THROW(read_csv(in, options), InvalidArgument);
+}
+
+TEST(Csv, CategoricalColumnsDictionaryEncoded) {
+  std::istringstream in("color,size,y\nred,1,0\nblue,2,1\nred,3,1\n");
+  CsvOptions options;
+  options.task = Task::BinaryClassification;
+  Dataset data = read_csv(in, options);
+  EXPECT_EQ(data.column_info(0).type, ColumnType::Categorical);
+  EXPECT_EQ(data.column_info(0).cardinality, 2);
+  EXPECT_FLOAT_EQ(data.value(0, 0), 0.0f);  // red = 0 (first appearance)
+  EXPECT_FLOAT_EQ(data.value(1, 0), 1.0f);  // blue = 1
+  EXPECT_FLOAT_EQ(data.value(2, 0), 0.0f);
+  EXPECT_EQ(data.column_info(1).type, ColumnType::Numeric);
+}
+
+TEST(Csv, EmptyCellsBecomeMissing) {
+  std::istringstream in("a,b,y\n1,,0\n,2,1\n");
+  CsvOptions options;
+  options.task = Task::BinaryClassification;
+  Dataset data = read_csv(in, options);
+  EXPECT_TRUE(Dataset::is_missing(data.value(0, 1)));
+  EXPECT_TRUE(Dataset::is_missing(data.value(1, 0)));
+  EXPECT_FALSE(Dataset::is_missing(data.value(0, 0)));
+}
+
+TEST(Csv, StringLabelsForClassification) {
+  std::istringstream in("a,y\n1,cat\n2,dog\n3,cat\n");
+  CsvOptions options;
+  options.task = Task::BinaryClassification;
+  Dataset data = read_csv(in, options);
+  EXPECT_DOUBLE_EQ(data.label(0), 0.0);
+  EXPECT_DOUBLE_EQ(data.label(1), 1.0);
+  EXPECT_DOUBLE_EQ(data.label(2), 0.0);
+}
+
+TEST(Csv, StringLabelForRegressionRejected) {
+  std::istringstream in("a,y\n1,tall\n");
+  CsvOptions options;
+  options.task = Task::Regression;
+  EXPECT_THROW(read_csv(in, options), InvalidArgument);
+}
+
+TEST(Csv, RaggedRowRejected) {
+  std::istringstream in("a,b,y\n1,2,0\n1,2\n");
+  EXPECT_THROW(read_csv(in, CsvOptions{}), InvalidArgument);
+}
+
+TEST(Csv, EmptyStreamRejected) {
+  std::istringstream in("");
+  EXPECT_THROW(read_csv(in, CsvOptions{}), InvalidArgument);
+}
+
+TEST(Csv, HeaderOnlyRejected) {
+  std::istringstream in("a,y\n");
+  EXPECT_THROW(read_csv(in, CsvOptions{}), InvalidArgument);
+}
+
+TEST(Csv, MissingLabelRejected) {
+  std::istringstream in("a,y\n1,\n");
+  EXPECT_THROW(read_csv(in, CsvOptions{}), InvalidArgument);
+}
+
+TEST(Csv, SkipsBlankLines) {
+  std::istringstream in("a,y\n1,2\n\n3,4\n");
+  CsvOptions options;
+  options.task = Task::Regression;
+  Dataset data = read_csv(in, options);
+  EXPECT_EQ(data.n_rows(), 2u);
+}
+
+TEST(Csv, WriteReadRoundTrip) {
+  std::istringstream in("a,b,y\n1.5,2.25,3\n4,5,6\n7,8,9\n");
+  CsvOptions options;
+  options.task = Task::Regression;
+  Dataset data = read_csv(in, options);
+
+  std::ostringstream out;
+  write_csv(out, DataView(data));
+  std::istringstream in2(out.str());
+  CsvOptions options2;
+  options2.task = Task::Regression;
+  options2.label_column = "label";
+  Dataset data2 = read_csv(in2, options2);
+  ASSERT_EQ(data2.n_rows(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_FLOAT_EQ(data2.value(i, 0), data.value(i, 0));
+    EXPECT_FLOAT_EQ(data2.value(i, 1), data.value(i, 1));
+    EXPECT_DOUBLE_EQ(data2.label(i), data.label(i));
+  }
+}
+
+TEST(Csv, CustomDelimiter) {
+  std::istringstream in("a;y\n1;2\n");
+  CsvOptions options;
+  options.delimiter = ';';
+  options.task = Task::Regression;
+  Dataset data = read_csv(in, options);
+  EXPECT_EQ(data.n_rows(), 1u);
+  EXPECT_DOUBLE_EQ(data.label(0), 2.0);
+}
+
+TEST(Csv, MissingFileRejected) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path.csv", CsvOptions{}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace flaml

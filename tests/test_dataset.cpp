@@ -1,0 +1,185 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace flaml {
+namespace {
+
+const float kNaN = std::numeric_limits<float>::quiet_NaN();
+
+Dataset small_binary() {
+  Dataset data(Task::BinaryClassification,
+               {{"a", ColumnType::Numeric, 0}, {"b", ColumnType::Categorical, 3}});
+  data.add_row({1.0f, 0.0f}, 0.0);
+  data.add_row({2.0f, 1.0f}, 1.0);
+  data.add_row({3.0f, 2.0f}, 1.0);
+  data.add_row({4.0f, 0.0f}, 0.0);
+  return data;
+}
+
+TEST(Dataset, AddRowGrowsRows) {
+  Dataset data = small_binary();
+  EXPECT_EQ(data.n_rows(), 4u);
+  EXPECT_EQ(data.n_cols(), 2u);
+  EXPECT_EQ(data.n_classes(), 2);
+  EXPECT_NO_THROW(data.validate());
+}
+
+TEST(Dataset, ValueAndLabelAccess) {
+  Dataset data = small_binary();
+  EXPECT_FLOAT_EQ(data.value(1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(data.value(2, 1), 2.0f);
+  EXPECT_DOUBLE_EQ(data.label(3), 0.0);
+}
+
+TEST(Dataset, RejectsWrongRowWidth) {
+  Dataset data = small_binary();
+  EXPECT_THROW(data.add_row({1.0f}, 0.0), InvalidArgument);
+}
+
+TEST(Dataset, RejectsEmptyColumnList) {
+  EXPECT_THROW(Dataset(Task::Regression, {}), InvalidArgument);
+}
+
+TEST(Dataset, RejectsBadCategoricalCardinality) {
+  EXPECT_THROW(Dataset(Task::Regression, {{"c", ColumnType::Categorical, 0}}),
+               InvalidArgument);
+}
+
+TEST(Dataset, ValidateCatchesBadCategoryCode) {
+  Dataset data(Task::Regression, {{"c", ColumnType::Categorical, 2}});
+  data.add_row({5.0f}, 1.0);  // code 5 out of range [0, 2)
+  EXPECT_THROW(data.validate(), InvalidArgument);
+}
+
+TEST(Dataset, ValidateCatchesNonIntegerLabelForClassification) {
+  Dataset data(Task::BinaryClassification, {{"a", ColumnType::Numeric, 0}});
+  data.add_row({1.0f}, 0.5);
+  EXPECT_THROW(data.validate(), InvalidArgument);
+}
+
+TEST(Dataset, ValidateCatchesNonFiniteRegressionLabel) {
+  Dataset data(Task::Regression, {{"a", ColumnType::Numeric, 0}});
+  data.add_row({1.0f}, std::numeric_limits<double>::infinity());
+  EXPECT_THROW(data.validate(), InvalidArgument);
+}
+
+TEST(Dataset, MissingValuesAllowed) {
+  Dataset data(Task::Regression, {{"a", ColumnType::Numeric, 0},
+                                  {"c", ColumnType::Categorical, 2}});
+  data.add_row({kNaN, kNaN}, 1.0);
+  data.add_row({1.0f, 1.0f}, 2.0);
+  EXPECT_NO_THROW(data.validate());
+  EXPECT_TRUE(Dataset::is_missing(data.value(0, 0)));
+  EXPECT_TRUE(Dataset::is_missing(data.value(0, 1)));
+}
+
+TEST(Dataset, BulkColumnConstruction) {
+  Dataset data(Task::Regression, {{"x", ColumnType::Numeric, 0},
+                                  {"y", ColumnType::Numeric, 0}});
+  data.set_column(0, {1.0f, 2.0f, 3.0f});
+  data.set_column(1, {4.0f, 5.0f, 6.0f});
+  data.set_labels({0.1, 0.2, 0.3});
+  EXPECT_NO_THROW(data.validate());
+  EXPECT_EQ(data.n_rows(), 3u);
+}
+
+TEST(Dataset, BulkColumnLengthMismatchRejected) {
+  Dataset data(Task::Regression, {{"x", ColumnType::Numeric, 0},
+                                  {"y", ColumnType::Numeric, 0}});
+  data.set_column(0, {1.0f, 2.0f, 3.0f});
+  EXPECT_THROW(data.set_column(1, {4.0f}), InvalidArgument);
+}
+
+TEST(Dataset, ClassPriors) {
+  Dataset data = small_binary();
+  auto priors = data.class_priors();
+  ASSERT_EQ(priors.size(), 2u);
+  EXPECT_DOUBLE_EQ(priors[0], 0.5);
+  EXPECT_DOUBLE_EQ(priors[1], 0.5);
+}
+
+TEST(Dataset, ClassPriorsRejectedForRegression) {
+  Dataset data(Task::Regression, {{"a", ColumnType::Numeric, 0}});
+  data.add_row({1.0f}, 2.0);
+  EXPECT_THROW(data.class_priors(), InvalidArgument);
+}
+
+TEST(Dataset, MultiClassCount) {
+  Dataset data(Task::MultiClassification, {{"a", ColumnType::Numeric, 0}});
+  for (int i = 0; i < 6; ++i) data.add_row({static_cast<float>(i)}, i % 3);
+  EXPECT_EQ(data.n_classes(), 3);
+  EXPECT_NO_THROW(data.validate());
+}
+
+TEST(DataView, FullViewCoversAllRows) {
+  Dataset data = small_binary();
+  DataView view(data);
+  EXPECT_EQ(view.n_rows(), 4u);
+  EXPECT_EQ(view.row_index(2), 2u);
+  EXPECT_DOUBLE_EQ(view.label(1), 1.0);
+}
+
+TEST(DataView, SubsetView) {
+  Dataset data = small_binary();
+  DataView view(data, {3, 1});
+  EXPECT_EQ(view.n_rows(), 2u);
+  EXPECT_FLOAT_EQ(view.value(0, 0), 4.0f);
+  EXPECT_DOUBLE_EQ(view.label(1), 1.0);
+}
+
+TEST(DataView, PrefixTruncates) {
+  Dataset data = small_binary();
+  DataView view(data, {2, 0, 3, 1});
+  DataView p = view.prefix(2);
+  EXPECT_EQ(p.n_rows(), 2u);
+  EXPECT_EQ(p.row_index(0), 2u);
+  EXPECT_EQ(p.row_index(1), 0u);
+}
+
+TEST(DataView, PrefixClampsToSize) {
+  Dataset data = small_binary();
+  DataView view(data);
+  EXPECT_EQ(view.prefix(100).n_rows(), 4u);
+}
+
+TEST(DataView, LabelsMaterialized) {
+  Dataset data = small_binary();
+  DataView view(data, {1, 2});
+  auto labels = view.labels();
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_DOUBLE_EQ(labels[0], 1.0);
+  EXPECT_DOUBLE_EQ(labels[1], 1.0);
+}
+
+TEST(Dataset, MaterializeCopiesRowsAndSchema) {
+  Dataset data = small_binary();
+  DataView view(data, {3, 1});
+  Dataset copy = materialize(view);
+  EXPECT_EQ(copy.n_rows(), 2u);
+  EXPECT_EQ(copy.n_cols(), 2u);
+  EXPECT_EQ(copy.column_info(1).type, ColumnType::Categorical);
+  EXPECT_FLOAT_EQ(copy.value(0, 0), 4.0f);
+  EXPECT_DOUBLE_EQ(copy.label(1), 1.0);
+  EXPECT_NO_THROW(copy.validate());
+}
+
+TEST(Dataset, MaterializeEmptyRejected) {
+  Dataset data = small_binary();
+  DataView view(data, std::vector<std::uint32_t>{});
+  EXPECT_THROW(materialize(view), InvalidArgument);
+}
+
+TEST(Dataset, TaskNames) {
+  EXPECT_STREQ(task_name(Task::BinaryClassification), "binary");
+  EXPECT_STREQ(task_name(Task::MultiClassification), "multiclass");
+  EXPECT_STREQ(task_name(Task::Regression), "regression");
+  EXPECT_TRUE(is_classification(Task::BinaryClassification));
+  EXPECT_FALSE(is_classification(Task::Regression));
+}
+
+}  // namespace
+}  // namespace flaml

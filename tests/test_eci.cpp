@@ -1,0 +1,139 @@
+#include "automl/eci.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/error.h"
+
+namespace flaml {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Eci, ColdStartUsesInitialEci1) {
+  EciState state;
+  state.initial_eci1 = 3.5;
+  EXPECT_DOUBLE_EQ(state.eci1(), 3.5);
+  EXPECT_FALSE(state.tried());
+}
+
+TEST(Eci, ColdStartWithoutCalibrationRejected) {
+  EciState state;
+  EXPECT_THROW(state.eci1(), InternalError);
+}
+
+TEST(Eci, FirstTrialSetsBookkeeping) {
+  EciState state;
+  state.record(2.0, 0.4);
+  EXPECT_TRUE(state.tried());
+  EXPECT_DOUBLE_EQ(state.k0, 2.0);
+  EXPECT_DOUBLE_EQ(state.k1, 2.0);  // best update at total 2.0
+  EXPECT_DOUBLE_EQ(state.k2, 0.0);
+  EXPECT_DOUBLE_EQ(state.best_error, 0.4);
+  // ECI1 = max(K0-K1, K1-K2) = max(0, 2) = 2.
+  EXPECT_DOUBLE_EQ(state.eci1(), 2.0);
+}
+
+TEST(Eci, Eci1TracksRecentImprovementCosts) {
+  EciState state;
+  state.record(1.0, 0.5);   // best @ K0 = 1
+  state.record(1.0, 0.6);   // no improvement, K0 = 2
+  state.record(1.0, 0.4);   // best @ K0 = 3: K2 = 1, K1 = 3
+  EXPECT_DOUBLE_EQ(state.k1, 3.0);
+  EXPECT_DOUBLE_EQ(state.k2, 1.0);
+  // ECI1 = max(K0-K1, K1-K2) = max(0, 2) = 2.
+  EXPECT_DOUBLE_EQ(state.eci1(), 2.0);
+  state.record(1.0, 0.45);  // no improvement, K0 = 4
+  // ECI1 = max(4-3, 3-1) = 2.
+  EXPECT_DOUBLE_EQ(state.eci1(), 2.0);
+  state.record(1.5, 0.48);  // K0 = 5.5 -> max(2.5, 2) = 2.5
+  EXPECT_DOUBLE_EQ(state.eci1(), 2.5);
+}
+
+TEST(Eci, FailedTrialsRaiseEci1) {
+  // Self-correction: consecutive failures grow K0 - K1.
+  EciState state;
+  state.record(1.0, 0.5);
+  double before = state.eci1();
+  for (int i = 0; i < 5; ++i) state.record(1.0, 0.9);
+  EXPECT_GT(state.eci1(), before);
+}
+
+TEST(Eci, Eci2IsTwiceLastCost) {
+  EciState state;
+  state.record(3.0, 0.5);
+  EXPECT_DOUBLE_EQ(state.eci2(2.0, true), 6.0);
+  state.record(5.0, 0.6);
+  EXPECT_DOUBLE_EQ(state.eci2(2.0, true), 10.0);
+}
+
+TEST(Eci, Eci2InfiniteAtFullSampleSize) {
+  EciState state;
+  state.record(3.0, 0.5);
+  EXPECT_EQ(state.eci2(2.0, false), kInf);
+}
+
+TEST(Eci, Eci2InfiniteBeforeFirstTrial) {
+  EciState state;
+  state.initial_eci1 = 1.0;
+  EXPECT_EQ(state.eci2(2.0, true), kInf);
+}
+
+TEST(Eci, GlobalBestLearnerUsesMinRule) {
+  // Case (a): the learner holds the global best -> ECI = min(ECI1, ECI2).
+  EciState state;
+  state.record(1.0, 0.3);
+  double eci = state.eci(/*global_best=*/0.3, 2.0, true);
+  EXPECT_DOUBLE_EQ(eci, std::min(state.eci1(), state.eci2(2.0, true)));
+}
+
+TEST(Eci, LaggingLearnerPaysGapCost) {
+  // Case (b): δ = prev_best - best, τ = K0 - K2; gap term = Δ τ / δ.
+  EciState state;
+  state.record(1.0, 0.5);   // K1 = 1
+  state.record(1.0, 0.4);   // improvement: K2 = 1, K1 = 2, δ = 0.1
+  // Global best is 0.2: Δ = 0.4 - 0.2 = 0.2; τ = K0 - K2 = 1.
+  // gap cost = 0.2 * 1 / 0.1 = 2. min(ECI1, ECI2) = min(1, 2) = 1.
+  double eci = state.eci(0.2, 2.0, true);
+  EXPECT_DOUBLE_EQ(eci, 2.0);
+}
+
+TEST(Eci, SingleBestUsesErrorAsDelta) {
+  // Special case δ = 0 (only one best ever): δ = ε_l, τ = total cost.
+  EciState state;
+  state.record(2.0, 0.5);
+  // Δ = 0.5 - 0.3 = 0.2, δ = 0.5, τ = 2 -> gap = 0.2*2/0.5 = 0.8.
+  // min(ECI1, ECI2) = min(2, 4) = 2 -> ECI = max(0.8, 2) = 2.
+  EXPECT_DOUBLE_EQ(state.eci(0.3, 2.0, true), 2.0);
+}
+
+TEST(Eci, GapCostDominatesWhenFarBehind) {
+  EciState state;
+  state.record(1.0, 0.9);
+  state.record(1.0, 0.85);  // δ = 0.05, τ = 1
+  // Δ = 0.85 - 0.05 = 0.8 -> gap = 0.8 / 0.05 = 16 > base.
+  double eci = state.eci(0.05, 2.0, true);
+  EXPECT_NEAR(eci, 16.0, 1e-9);
+}
+
+TEST(Eci, RecordRejectsNonPositiveCost) {
+  EciState state;
+  EXPECT_THROW(state.record(0.0, 0.5), InternalError);
+}
+
+TEST(Eci, HarmonicMeanPropertyOfInverseSampling) {
+  // The expected ECI under probability ∝ 1/ECI equals the harmonic mean
+  // (paper §4.2 Step 1) — verified numerically here as documentation.
+  std::vector<double> ecis{1.0, 2.0, 4.0};
+  double inv_sum = 0.0;
+  for (double e : ecis) inv_sum += 1.0 / e;
+  double expectation = 0.0;
+  for (double e : ecis) expectation += e * (1.0 / e) / inv_sum;
+  double harmonic = 3.0 / inv_sum;
+  EXPECT_NEAR(expectation, harmonic, 1e-12);
+  EXPECT_LT(harmonic, (1.0 + 2.0 + 4.0) / 3.0);  // below the arithmetic mean
+}
+
+}  // namespace
+}  // namespace flaml

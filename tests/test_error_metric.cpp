@@ -1,0 +1,121 @@
+#include "metrics/error_metric.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/scaled_score.h"
+
+namespace flaml {
+namespace {
+
+Predictions binary_preds(std::vector<double> prob1) {
+  Predictions p;
+  p.task = Task::BinaryClassification;
+  p.n_classes = 2;
+  for (double v : prob1) {
+    p.values.push_back(1.0 - v);
+    p.values.push_back(v);
+  }
+  return p;
+}
+
+TEST(ErrorMetric, AucErrorIsOneMinusAuc) {
+  ErrorMetric metric = ErrorMetric::by_name("auc");
+  Predictions p = binary_preds({0.1, 0.9});
+  std::vector<double> y{0, 1};
+  EXPECT_DOUBLE_EQ(metric(p, y), 0.0);
+  Predictions bad = binary_preds({0.9, 0.1});
+  EXPECT_DOUBLE_EQ(metric(bad, y), 1.0);
+}
+
+TEST(ErrorMetric, DefaultsPerTask) {
+  EXPECT_EQ(ErrorMetric::default_for(Task::BinaryClassification).name(), "auc");
+  EXPECT_EQ(ErrorMetric::default_for(Task::MultiClassification).name(), "log_loss");
+  EXPECT_EQ(ErrorMetric::default_for(Task::Regression).name(), "r2");
+}
+
+TEST(ErrorMetric, R2ErrorIsOneMinusR2) {
+  ErrorMetric metric = ErrorMetric::by_name("r2");
+  Predictions p;
+  p.task = Task::Regression;
+  p.values = {1.0, 2.0, 3.0};
+  std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(metric(p, y), 0.0);
+}
+
+TEST(ErrorMetric, MseOnRegression) {
+  ErrorMetric metric = ErrorMetric::by_name("mse");
+  Predictions p;
+  p.task = Task::Regression;
+  p.values = {2.0};
+  std::vector<double> y{0.0};
+  EXPECT_DOUBLE_EQ(metric(p, y), 4.0);
+}
+
+TEST(ErrorMetric, TaskMismatchRejected) {
+  ErrorMetric metric = ErrorMetric::by_name("mse");
+  Predictions p = binary_preds({0.5});
+  std::vector<double> y{1};
+  EXPECT_THROW(metric(p, y), InvalidArgument);
+}
+
+TEST(ErrorMetric, UnknownNameRejected) {
+  EXPECT_THROW(ErrorMetric::by_name("nope"), InvalidArgument);
+}
+
+TEST(ErrorMetric, CustomMetricCallable) {
+  ErrorMetric custom("always_half",
+                     [](const Predictions&, const std::vector<double>&) { return 0.5; });
+  Predictions p;
+  p.task = Task::Regression;
+  p.values = {1.0};
+  std::vector<double> y{1.0};
+  EXPECT_DOUBLE_EQ(custom(p, y), 0.5);
+  EXPECT_EQ(custom.name(), "always_half");
+}
+
+TEST(ErrorMetric, AccuracyMetric) {
+  ErrorMetric metric = ErrorMetric::by_name("accuracy");
+  Predictions p = binary_preds({0.9, 0.2});
+  std::vector<double> y{1, 1};
+  EXPECT_DOUBLE_EQ(metric(p, y), 0.5);
+}
+
+TEST(Predictions, Prob1Extraction) {
+  Predictions p = binary_preds({0.3, 0.7});
+  auto prob1 = p.prob1();
+  ASSERT_EQ(prob1.size(), 2u);
+  EXPECT_DOUBLE_EQ(prob1[0], 0.3);
+  EXPECT_DOUBLE_EQ(prob1[1], 0.7);
+  EXPECT_EQ(p.n_rows(), 2u);
+}
+
+TEST(Predictions, Prob1RejectedForMulticlass) {
+  Predictions p;
+  p.task = Task::MultiClassification;
+  p.n_classes = 3;
+  p.values = {0.2, 0.3, 0.5};
+  EXPECT_THROW(p.prob1(), InvalidArgument);
+}
+
+TEST(ScaledScore, CalibrationEndpoints) {
+  ScoreCalibration cal{0.5, 0.1};
+  EXPECT_DOUBLE_EQ(scaled_score(0.5, cal), 0.0);   // prior predictor
+  EXPECT_DOUBLE_EQ(scaled_score(0.1, cal), 1.0);   // tuned reference
+  EXPECT_GT(scaled_score(0.05, cal), 1.0);         // beats the reference
+  EXPECT_LT(scaled_score(0.7, cal), 0.0);          // worse than the prior
+}
+
+TEST(ScaledScore, DegenerateCalibrationBounded) {
+  ScoreCalibration cal{0.3, 0.3};  // reference no better than prior
+  double s = scaled_score(0.2, cal);
+  EXPECT_TRUE(std::isfinite(s));
+  EXPECT_GT(s, 0.0);
+}
+
+TEST(ScaledScore, MonotoneInError) {
+  ScoreCalibration cal{0.5, 0.1};
+  EXPECT_GT(scaled_score(0.2, cal), scaled_score(0.3, cal));
+}
+
+}  // namespace
+}  // namespace flaml

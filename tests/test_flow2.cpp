@@ -1,0 +1,212 @@
+#include "tuners/flow2.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace flaml {
+namespace {
+
+ConfigSpace box_space(int d) {
+  ConfigSpace space;
+  for (int i = 0; i < d; ++i) {
+    space.add_float("x" + std::to_string(i), 0.0, 1.0, 0.1);
+  }
+  return space;
+}
+
+// Convex objective with minimum at (0.7, ..., 0.7).
+double sphere_error(const Config& c, int d) {
+  double err = 0.0;
+  for (int i = 0; i < d; ++i) {
+    double v = c.at("x" + std::to_string(i));
+    err += (v - 0.7) * (v - 0.7);
+  }
+  return err;
+}
+
+TEST(Flow2, FirstAskReturnsLowCostInit) {
+  ConfigSpace space = box_space(3);
+  Flow2 tuner(space, 1);
+  Config first = tuner.ask();
+  EXPECT_DOUBLE_EQ(first.at("x0"), 0.1);
+  EXPECT_DOUBLE_EQ(first.at("x1"), 0.1);
+}
+
+TEST(Flow2, ImprovesOnConvexObjective) {
+  const int d = 4;
+  ConfigSpace space = box_space(d);
+  Flow2 tuner(space, 7);
+  double first_error = -1.0;
+  for (int iter = 0; iter < 400; ++iter) {
+    Config c = tuner.ask();
+    double err = sphere_error(c, d);
+    if (iter == 0) first_error = err;
+    tuner.tell(err);
+  }
+  EXPECT_TRUE(tuner.has_best());
+  EXPECT_LT(tuner.best_error(), first_error * 0.2);
+}
+
+TEST(Flow2, BackwardDirectionTriedAfterFailure) {
+  ConfigSpace space = box_space(2);
+  Flow2 tuner(space, 3);
+  Config init = tuner.ask();
+  tuner.tell(1.0);  // incumbent = init
+  Config forward = tuner.ask();
+  tuner.tell(2.0);  // worse -> next ask must be the mirrored point
+  Config backward = tuner.ask();
+  auto zi = space.to_normalized(init);
+  auto zf = space.to_normalized(forward);
+  auto zb = space.to_normalized(backward);
+  for (std::size_t j = 0; j < zi.size(); ++j) {
+    // When not clamped, zb - zi == -(zf - zi).
+    double fwd_step = zf[j] - zi[j];
+    double bwd_step = zb[j] - zi[j];
+    if (zf[j] > 0.0 && zf[j] < 1.0 && zb[j] > 0.0 && zb[j] < 1.0) {
+      EXPECT_NEAR(bwd_step, -fwd_step, 1e-9);
+    }
+  }
+}
+
+TEST(Flow2, MoveOnImprovement) {
+  ConfigSpace space = box_space(2);
+  Flow2 tuner(space, 5);
+  Config init = tuner.ask();
+  tuner.tell(1.0);
+  Config proposal = tuner.ask();
+  tuner.tell(0.5);  // improvement: incumbent moves to proposal
+  EXPECT_EQ(tuner.best_config(), proposal);
+  EXPECT_DOUBLE_EQ(tuner.best_error(), 0.5);
+}
+
+TEST(Flow2, StepShrinksUnderStallAndConverges) {
+  ConfigSpace space = box_space(1);  // stall threshold = 2^0 = 1
+  Flow2 tuner(space, 9);
+  tuner.set_adaptation(true);
+  double initial_step = tuner.step();
+  Config c = tuner.ask();
+  tuner.tell(0.1);  // incumbent set
+  // Everything else fails: step must shrink and eventually converge.
+  for (int i = 0; i < 200 && !tuner.converged(); ++i) {
+    tuner.ask();
+    tuner.tell(1.0);
+  }
+  EXPECT_TRUE(tuner.converged());
+  EXPECT_LT(tuner.step(), initial_step);
+  (void)c;
+}
+
+TEST(Flow2, NoAdaptationMeansNoConvergence) {
+  ConfigSpace space = box_space(1);
+  Flow2 tuner(space, 11);
+  tuner.set_adaptation(false);  // not at full sample size yet
+  tuner.ask();
+  tuner.tell(0.1);
+  for (int i = 0; i < 300; ++i) {
+    tuner.ask();
+    tuner.tell(1.0);
+  }
+  EXPECT_FALSE(tuner.converged());
+}
+
+TEST(Flow2, RestartResetsWalk) {
+  ConfigSpace space = box_space(2);
+  Flow2 tuner(space, 13);
+  tuner.ask();
+  tuner.tell(0.3);
+  double step_before = tuner.step();
+  tuner.set_adaptation(true);
+  for (int i = 0; i < 100 && !tuner.converged(); ++i) {
+    tuner.ask();
+    tuner.tell(1.0);
+  }
+  tuner.restart();
+  EXPECT_FALSE(tuner.converged());
+  EXPECT_FALSE(tuner.has_best());
+  EXPECT_EQ(tuner.n_restarts(), 1);
+  EXPECT_GE(tuner.step(), step_before * 0.99);
+  // The walk continues from a random point.
+  Config after = tuner.ask();
+  tuner.tell(0.5);
+  EXPECT_TRUE(tuner.has_best());
+  EXPECT_EQ(tuner.best_config(), after);
+}
+
+TEST(Flow2, DoubleAskRejected) {
+  ConfigSpace space = box_space(2);
+  Flow2 tuner(space, 15);
+  tuner.ask();
+  EXPECT_THROW(tuner.ask(), InternalError);
+}
+
+TEST(Flow2, TellWithoutAskRejected) {
+  ConfigSpace space = box_space(2);
+  Flow2 tuner(space, 17);
+  EXPECT_THROW(tuner.tell(0.5), InternalError);
+}
+
+TEST(Flow2, UpdateIncumbentErrorReanchors) {
+  ConfigSpace space = box_space(2);
+  Flow2 tuner(space, 19);
+  tuner.ask();
+  tuner.tell(0.5);
+  tuner.update_incumbent_error(0.8);  // re-evaluated at larger sample size
+  EXPECT_DOUBLE_EQ(tuner.best_error(), 0.8);
+  // A proposal with error 0.7 (< 0.8) must now count as improvement.
+  tuner.ask();
+  tuner.tell(0.7);
+  EXPECT_DOUBLE_EQ(tuner.best_error(), 0.7);
+}
+
+// Cost-bounded proposals: with a cost-related parameter, the first config
+// is the cheapest one, and proposal cost grows only progressively (the
+// step size bounds the move in normalized space).
+TEST(Flow2, ProposalsStartCheapAndMoveGradually) {
+  ConfigSpace space;
+  space.add_int("tree_num", 4, 32768, 4, true, true);
+  space.add_float("learning_rate", 0.01, 1.0, 0.1, true);
+  Flow2 tuner(space, 21);
+  Config first = tuner.ask();
+  EXPECT_DOUBLE_EQ(first.at("tree_num"), 4.0);
+  tuner.tell(0.5);
+  // Next proposals stay within one step of the incumbent in normalized
+  // space: tree_num can grow by at most a factor determined by the step.
+  double max_ratio = std::exp(tuner.step() *
+                              (std::log(32768.0) - std::log(4.0)));
+  for (int i = 0; i < 20; ++i) {
+    Config c = tuner.ask();
+    EXPECT_LE(c.at("tree_num"), 4.0 * max_ratio * 1.5);
+    tuner.tell(1.0);  // never accept: incumbent stays at init
+  }
+}
+
+TEST(Flow2, StartPointOverridesInit) {
+  ConfigSpace space = box_space(2);
+  Flow2 tuner(space, 23);
+  Config warm;
+  warm["x0"] = 0.8;
+  warm["x1"] = 0.4;
+  tuner.set_start_point(warm);
+  Config first = tuner.ask();
+  EXPECT_NEAR(first.at("x0"), 0.8, 1e-9);
+  EXPECT_NEAR(first.at("x1"), 0.4, 1e-9);
+}
+
+TEST(Flow2, StartPointAfterAskRejected) {
+  ConfigSpace space = box_space(2);
+  Flow2 tuner(space, 25);
+  tuner.ask();
+  Config warm = space.initial_config();
+  EXPECT_THROW(tuner.set_start_point(warm), InvalidArgument);
+}
+
+TEST(Flow2, EmptySpaceRejected) {
+  ConfigSpace space;
+  EXPECT_THROW(Flow2(space, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace flaml

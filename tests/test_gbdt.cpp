@@ -1,0 +1,229 @@
+#include "boosting/gbdt.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "data/generators.h"
+#include "data/split.h"
+#include "metrics/metrics.h"
+
+namespace flaml {
+namespace {
+
+Dataset binary_data(std::size_t n = 600, std::uint64_t seed = 1) {
+  SyntheticSpec spec;
+  spec.task = Task::BinaryClassification;
+  spec.n_rows = n;
+  spec.n_features = 8;
+  spec.class_sep = 1.5;
+  spec.seed = seed;
+  return make_classification(spec);
+}
+
+TEST(Gbdt, BinaryClassifierBeatsChance) {
+  Dataset data = binary_data();
+  Rng rng(1);
+  auto split = holdout_split(DataView(data), 0.3, rng);
+  GBDTParams params;
+  params.n_trees = 30;
+  params.max_leaves = 15;
+  GBDTModel model = train_gbdt(split.train, nullptr, params);
+  Predictions pred = model.predict(split.test);
+  double auc = roc_auc(pred.prob1(), split.test.labels());
+  EXPECT_GT(auc, 0.85);
+}
+
+TEST(Gbdt, ProbabilitiesAreValid) {
+  Dataset data = binary_data(300);
+  GBDTParams params;
+  params.n_trees = 10;
+  GBDTModel model = train_gbdt(DataView(data), nullptr, params);
+  Predictions pred = model.predict(DataView(data));
+  for (std::size_t i = 0; i < pred.n_rows(); ++i) {
+    EXPECT_GE(pred.prob(i, 0), 0.0);
+    EXPECT_GE(pred.prob(i, 1), 0.0);
+    EXPECT_NEAR(pred.prob(i, 0) + pred.prob(i, 1), 1.0, 1e-9);
+  }
+}
+
+TEST(Gbdt, MulticlassProbabilitiesSumToOne) {
+  SyntheticSpec spec;
+  spec.task = Task::MultiClassification;
+  spec.n_classes = 5;
+  spec.n_rows = 400;
+  spec.n_features = 6;
+  Dataset data = make_classification(spec);
+  GBDTParams params;
+  params.n_trees = 8;
+  GBDTModel model = train_gbdt(DataView(data), nullptr, params);
+  EXPECT_EQ(model.n_outputs(), 5);
+  Predictions pred = model.predict(DataView(data));
+  for (std::size_t i = 0; i < pred.n_rows(); ++i) {
+    double sum = 0.0;
+    for (int c = 0; c < 5; ++c) sum += pred.prob(i, c);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  double acc = accuracy_multi(pred.values, 5, data.labels());
+  EXPECT_GT(acc, 0.6);
+}
+
+TEST(Gbdt, RegressionFitsFriedman) {
+  Dataset data = make_friedman1(800, 8, 0.5, 3);
+  Rng rng(2);
+  auto split = holdout_split(DataView(data), 0.25, rng);
+  GBDTParams params;
+  params.n_trees = 60;
+  params.max_leaves = 15;
+  params.learning_rate = 0.15;
+  GBDTModel model = train_gbdt(split.train, nullptr, params);
+  Predictions pred = model.predict(split.test);
+  EXPECT_GT(r2(pred.values, split.test.labels()), 0.7);
+}
+
+// More boosting rounds never increase training loss (a monotone-descent
+// property of gradient boosting with a fixed learning rate).
+TEST(Gbdt, TrainingLossMonotoneInRounds) {
+  Dataset data = binary_data(400, 5);
+  DataView view(data);
+  auto objective = make_objective(Task::BinaryClassification, 2);
+  double prev = std::numeric_limits<double>::infinity();
+  for (int rounds : {1, 5, 20, 60}) {
+    GBDTParams params;
+    params.n_trees = rounds;
+    params.max_leaves = 7;
+    params.seed = 42;
+    GBDTModel model = train_gbdt(view, nullptr, params);
+    double loss = objective->loss(model.raw_scores(view), data.labels());
+    EXPECT_LE(loss, prev + 1e-9) << rounds << " rounds";
+    prev = loss;
+  }
+}
+
+TEST(Gbdt, EarlyStoppingTruncatesModel) {
+  // Needs label noise so validation loss actually stops improving.
+  SyntheticSpec spec;
+  spec.task = Task::BinaryClassification;
+  spec.n_rows = 500;
+  spec.n_features = 8;
+  spec.label_noise = 0.25;
+  spec.seed = 7;
+  Dataset data = make_classification(spec);
+  Rng rng(3);
+  auto split = holdout_split(DataView(data), 0.3, rng);
+  GBDTParams params;
+  params.n_trees = 200;
+  params.max_leaves = 31;
+  params.learning_rate = 0.3;
+  params.early_stopping_rounds = 5;
+  GBDTModel model = train_gbdt(split.train, &split.test, params);
+  EXPECT_LT(model.n_iterations(), 200u);
+  EXPECT_GE(model.n_iterations(), 1u);
+}
+
+TEST(Gbdt, EarlyStoppingRequiresValidationView) {
+  Dataset data = binary_data(100);
+  GBDTParams params;
+  params.early_stopping_rounds = 5;
+  EXPECT_THROW(train_gbdt(DataView(data), nullptr, params), InvalidArgument);
+}
+
+TEST(Gbdt, SerializationRoundTripsPredictions) {
+  Dataset data = binary_data(300, 9);
+  GBDTParams params;
+  params.n_trees = 12;
+  params.max_leaves = 9;
+  GBDTModel model = train_gbdt(DataView(data), nullptr, params);
+  GBDTModel restored = GBDTModel::from_string(model.to_string());
+  EXPECT_EQ(restored.n_iterations(), model.n_iterations());
+  Predictions a = model.predict(DataView(data));
+  Predictions b = restored.predict(DataView(data));
+  ASSERT_EQ(a.values.size(), b.values.size());
+  for (std::size_t i = 0; i < a.values.size(); ++i) {
+    EXPECT_NEAR(a.values[i], b.values[i], 1e-9);
+  }
+}
+
+TEST(Gbdt, SerializationRejectsGarbage) {
+  EXPECT_THROW(GBDTModel::from_string("not a model"), InvalidArgument);
+}
+
+TEST(Gbdt, SubsamplingStillLearns) {
+  Dataset data = binary_data(600, 11);
+  Rng rng(4);
+  auto split = holdout_split(DataView(data), 0.3, rng);
+  GBDTParams params;
+  params.n_trees = 40;
+  params.subsample = 0.7;
+  params.colsample_bytree = 0.8;
+  params.colsample_bylevel = 0.8;
+  GBDTModel model = train_gbdt(split.train, nullptr, params);
+  Predictions pred = model.predict(split.test);
+  EXPECT_GT(roc_auc(pred.prob1(), split.test.labels()), 0.8);
+}
+
+TEST(Gbdt, ObliviousStyleLearns) {
+  Dataset data = binary_data(500, 13);
+  Rng rng(5);
+  auto split = holdout_split(DataView(data), 0.3, rng);
+  GBDTParams params;
+  params.n_trees = 30;
+  params.tree_style = TreeStyle::Oblivious;
+  params.oblivious_depth = 4;
+  params.learning_rate = 0.2;
+  GBDTModel model = train_gbdt(split.train, nullptr, params);
+  Predictions pred = model.predict(split.test);
+  EXPECT_GT(roc_auc(pred.prob1(), split.test.labels()), 0.8);
+}
+
+TEST(Gbdt, DeterministicForSeed) {
+  Dataset data = binary_data(200, 17);
+  GBDTParams params;
+  params.n_trees = 5;
+  params.subsample = 0.8;
+  params.seed = 123;
+  GBDTModel a = train_gbdt(DataView(data), nullptr, params);
+  GBDTModel b = train_gbdt(DataView(data), nullptr, params);
+  EXPECT_EQ(a.to_string(), b.to_string());
+}
+
+TEST(Gbdt, TimeCapStopsTraining) {
+  Dataset data = binary_data(2000, 19);
+  GBDTParams params;
+  params.n_trees = 100000;  // far more than the cap allows
+  params.max_leaves = 63;
+  params.max_seconds = 0.1;
+  GBDTModel model = train_gbdt(DataView(data), nullptr, params);
+  EXPECT_LT(model.n_iterations(), 100000u);
+  EXPECT_GE(model.n_iterations(), 1u);
+}
+
+TEST(Gbdt, CostScalesWithSampleSize) {
+  // Observation 3: cost is ~linear in sample size. We check monotonicity
+  // (not exact linearity, which is noisy at small scale).
+  Dataset data = binary_data(4000, 23);
+  DataView view(data);
+  auto time_for = [&](std::size_t n) {
+    WallClock clock;
+    GBDTParams params;
+    params.n_trees = 20;
+    params.max_leaves = 31;
+    train_gbdt(view.prefix(n), nullptr, params);
+    return clock.now();
+  };
+  double t_small = time_for(500);
+  double t_large = time_for(4000);
+  EXPECT_GT(t_large, t_small);
+}
+
+TEST(Gbdt, RejectsInvalidParams) {
+  Dataset data = binary_data(100);
+  GBDTParams params;
+  params.n_trees = 0;
+  EXPECT_THROW(train_gbdt(DataView(data), nullptr, params), InvalidArgument);
+  params.n_trees = 10;
+  params.max_leaves = 1;
+  EXPECT_THROW(train_gbdt(DataView(data), nullptr, params), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace flaml

@@ -1,0 +1,201 @@
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace flaml {
+namespace {
+
+TEST(MakeClassification, ShapeMatchesSpec) {
+  SyntheticSpec spec;
+  spec.task = Task::BinaryClassification;
+  spec.n_rows = 500;
+  spec.n_features = 12;
+  Dataset data = make_classification(spec);
+  EXPECT_EQ(data.n_rows(), 500u);
+  EXPECT_EQ(data.n_cols(), 12u);
+  EXPECT_EQ(data.n_classes(), 2);
+  EXPECT_NO_THROW(data.validate());
+}
+
+TEST(MakeClassification, DeterministicForSeed) {
+  SyntheticSpec spec;
+  spec.n_rows = 100;
+  spec.n_features = 5;
+  spec.seed = 77;
+  Dataset a = make_classification(spec);
+  Dataset b = make_classification(spec);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_FLOAT_EQ(a.value(i, 0), b.value(i, 0));
+    EXPECT_DOUBLE_EQ(a.label(i), b.label(i));
+  }
+}
+
+TEST(MakeClassification, SeedChangesData) {
+  SyntheticSpec spec;
+  spec.n_rows = 100;
+  spec.n_features = 5;
+  spec.seed = 1;
+  Dataset a = make_classification(spec);
+  spec.seed = 2;
+  Dataset b = make_classification(spec);
+  int diff = 0;
+  for (std::size_t i = 0; i < 100; ++i) diff += a.value(i, 0) != b.value(i, 0);
+  EXPECT_GT(diff, 90);
+}
+
+class MultiClassGenTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiClassGenTest, AllClassesPresent) {
+  SyntheticSpec spec;
+  spec.task = Task::MultiClassification;
+  spec.n_classes = GetParam();
+  spec.n_rows = 400;
+  spec.n_features = 8;
+  Dataset data = make_classification(spec);
+  EXPECT_EQ(data.n_classes(), GetParam());
+  std::set<int> classes;
+  for (std::size_t i = 0; i < data.n_rows(); ++i) {
+    classes.insert(static_cast<int>(data.label(i)));
+  }
+  EXPECT_EQ(classes.size(), static_cast<std::size_t>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Classes, MultiClassGenTest, ::testing::Values(2, 3, 5, 10));
+
+TEST(MakeClassification, ImbalanceSkewsPriors) {
+  SyntheticSpec spec;
+  spec.n_rows = 2000;
+  spec.n_features = 5;
+  spec.imbalance = 0.8;
+  Dataset data = make_classification(spec);
+  auto priors = data.class_priors();
+  EXPECT_GT(priors[0], 0.7);
+}
+
+TEST(MakeClassification, EveryClassHasAtLeastTwoRows) {
+  SyntheticSpec spec;
+  spec.task = Task::MultiClassification;
+  spec.n_classes = 8;
+  spec.n_rows = 60;
+  spec.n_features = 4;
+  spec.imbalance = 0.9;
+  Dataset data = make_classification(spec);
+  std::vector<int> counts(8, 0);
+  for (std::size_t i = 0; i < data.n_rows(); ++i) {
+    counts[static_cast<std::size_t>(data.label(i))] += 1;
+  }
+  for (int c : counts) EXPECT_GE(c, 2);
+}
+
+TEST(MakeRegression, ShapeAndFiniteLabels) {
+  SyntheticSpec spec;
+  spec.task = Task::Regression;
+  spec.n_rows = 300;
+  spec.n_features = 7;
+  Dataset data = make_regression(spec);
+  EXPECT_EQ(data.n_rows(), 300u);
+  for (std::size_t i = 0; i < data.n_rows(); ++i) {
+    EXPECT_TRUE(std::isfinite(data.label(i)));
+  }
+}
+
+TEST(MakeRegression, NoiseIncreasesLabelVariance) {
+  SyntheticSpec spec;
+  spec.task = Task::Regression;
+  spec.n_rows = 1000;
+  spec.n_features = 5;
+  spec.label_noise = 0.0;
+  spec.seed = 5;
+  Dataset clean = make_regression(spec);
+  spec.label_noise = 1.0;
+  Dataset noisy = make_regression(spec);
+  // Same latent function, extra noise => strictly larger variance.
+  auto var = [](const Dataset& d) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < d.n_rows(); ++i) m += d.label(i);
+    m /= static_cast<double>(d.n_rows());
+    double v = 0.0;
+    for (std::size_t i = 0; i < d.n_rows(); ++i) {
+      v += (d.label(i) - m) * (d.label(i) - m);
+    }
+    return v;
+  };
+  EXPECT_GT(var(noisy), var(clean));
+}
+
+TEST(MakeFriedman1, MatchesFormulaWithoutNoise) {
+  Dataset data = make_friedman1(50, 5, 0.0, 9);
+  for (std::size_t i = 0; i < data.n_rows(); ++i) {
+    double x0 = data.value(i, 0), x1 = data.value(i, 1), x2 = data.value(i, 2),
+           x3 = data.value(i, 3), x4 = data.value(i, 4);
+    double expected = 10.0 * std::sin(M_PI * x0 * x1) + 20.0 * (x2 - 0.5) * (x2 - 0.5) +
+                      10.0 * x3 + 5.0 * x4;
+    EXPECT_NEAR(data.label(i), expected, 1e-4);
+  }
+}
+
+TEST(MakeFriedman1, RequiresFiveFeatures) {
+  EXPECT_THROW(make_friedman1(50, 4, 0.1, 1), InvalidArgument);
+}
+
+TEST(MakePiecewise, ProducesDiscreteLevelsWithoutNoise) {
+  Dataset data = make_piecewise(500, 3, 5, 0.0, 21);
+  std::set<double> levels;
+  for (std::size_t i = 0; i < data.n_rows(); ++i) levels.insert(data.label(i));
+  // With 5 boxes there are at most 2^5 distinct sums; far fewer in practice.
+  EXPECT_LE(levels.size(), 32u);
+  EXPECT_GE(levels.size(), 2u);
+}
+
+TEST(BinifyColumns, ConvertsRequestedFraction) {
+  SyntheticSpec spec;
+  spec.n_rows = 400;
+  spec.n_features = 10;
+  Dataset data = make_classification(spec);
+  Rng rng(3);
+  binify_columns(data, 0.5, rng);
+  int categorical = 0;
+  for (std::size_t c = 0; c < data.n_cols(); ++c) {
+    if (data.column_info(c).type == ColumnType::Categorical) {
+      ++categorical;
+      EXPECT_GE(data.column_info(c).cardinality, 3);
+      EXPECT_LE(data.column_info(c).cardinality, 12);
+    }
+  }
+  EXPECT_EQ(categorical, 5);
+  EXPECT_NO_THROW(data.validate());
+}
+
+TEST(InjectMissing, ApproximatelyRequestedFraction) {
+  SyntheticSpec spec;
+  spec.n_rows = 1000;
+  spec.n_features = 8;
+  Dataset data = make_classification(spec);
+  Rng rng(5);
+  inject_missing(data, 0.1, rng);
+  std::size_t missing = 0, total = 0;
+  for (std::size_t c = 0; c < data.n_cols(); ++c) {
+    for (float v : data.column(c)) {
+      missing += Dataset::is_missing(v) ? 1u : 0u;
+      ++total;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(missing) / static_cast<double>(total), 0.1, 0.02);
+  EXPECT_NO_THROW(data.validate());
+}
+
+TEST(MakeSynthetic, DispatchesOnTask) {
+  SyntheticSpec spec;
+  spec.task = Task::Regression;
+  spec.n_rows = 50;
+  spec.n_features = 5;
+  EXPECT_EQ(make_synthetic(spec).task(), Task::Regression);
+  spec.task = Task::BinaryClassification;
+  EXPECT_EQ(make_synthetic(spec).task(), Task::BinaryClassification);
+}
+
+}  // namespace
+}  // namespace flaml

@@ -1,0 +1,122 @@
+#include "tuners/hyperband.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.h"
+
+namespace flaml {
+namespace {
+
+ConfigSpace box_space() {
+  ConfigSpace space;
+  space.add_float("x", 0.0, 1.0, 0.5);
+  space.add_float("y", 0.0, 1.0, 0.5);
+  return space;
+}
+
+TEST(Bohb, FirstBracketStartsAtLowFidelity) {
+  ConfigSpace space = box_space();
+  BohbScheduler scheduler(space, 100, 10000, 1);
+  auto a = scheduler.next();
+  EXPECT_LT(a.fidelity, 10000u);
+  EXPECT_GE(a.fidelity, 100u);
+  EXPECT_EQ(a.rung, 0);
+}
+
+TEST(Bohb, FidelityGrowsAcrossRungs) {
+  ConfigSpace space = box_space();
+  BohbScheduler scheduler(space, 100, 8100, 2);  // s_max = 4 with eta=3
+  std::map<int, std::size_t> rung_fidelity;
+  for (int i = 0; i < 200; ++i) {
+    auto a = scheduler.next();
+    if (a.bracket == 4) {  // first bracket only
+      auto it = rung_fidelity.find(a.rung);
+      if (it == rung_fidelity.end()) {
+        rung_fidelity[a.rung] = a.fidelity;
+      } else {
+        EXPECT_EQ(it->second, a.fidelity);
+      }
+    }
+    scheduler.report(a, 0.5);
+  }
+  ASSERT_GE(rung_fidelity.size(), 2u);
+  std::size_t prev = 0;
+  for (const auto& [rung, fidelity] : rung_fidelity) {
+    EXPECT_GT(fidelity, prev);
+    prev = fidelity;
+  }
+}
+
+TEST(Bohb, PromotionKeepsBestConfigs) {
+  ConfigSpace space = box_space();
+  BohbScheduler scheduler(space, 100, 900, 3);  // s_max = 2
+  // Run rung 0 of the first bracket; configs with smaller x get smaller
+  // error, so promoted rung-1 configs must have small x.
+  std::vector<double> promoted_x;
+  for (int i = 0; i < 300; ++i) {
+    auto a = scheduler.next();
+    if (a.bracket == 2 && a.rung == 1) promoted_x.push_back(a.config.at("x"));
+    if (a.bracket != 2) break;
+    scheduler.report(a, a.config.at("x"));
+  }
+  ASSERT_FALSE(promoted_x.empty());
+  for (double x : promoted_x) EXPECT_LT(x, 0.8);
+}
+
+TEST(Bohb, FullFidelityObservationsSetBest) {
+  ConfigSpace space = box_space();
+  BohbScheduler scheduler(space, 50, 100, 4);
+  bool saw_full = false;
+  for (int i = 0; i < 100; ++i) {
+    auto a = scheduler.next();
+    double err = a.config.at("x");
+    scheduler.report(a, err);
+    if (a.fidelity >= 100) saw_full = true;
+  }
+  EXPECT_TRUE(saw_full);
+  EXPECT_TRUE(scheduler.has_best());
+}
+
+TEST(Bohb, CyclesBracketsForever) {
+  ConfigSpace space = box_space();
+  BohbScheduler scheduler(space, 100, 900, 5);
+  for (int i = 0; i < 500; ++i) {
+    auto a = scheduler.next();
+    scheduler.report(a, 0.5);
+  }
+  SUCCEED();  // no deadlock / exhaustion
+}
+
+TEST(Bohb, RejectsBadFidelityRange) {
+  ConfigSpace space = box_space();
+  EXPECT_THROW(BohbScheduler(space, 1000, 100, 1), InvalidArgument);
+  EXPECT_THROW(BohbScheduler(space, 0, 100, 1), InvalidArgument);
+}
+
+TEST(Bohb, StaleReportIgnored) {
+  ConfigSpace space = box_space();
+  BohbScheduler scheduler(space, 100, 900, 6);
+  auto a = scheduler.next();
+  auto stale = a;
+  stale.bracket += 1;
+  scheduler.report(stale, 0.1);  // must not crash or corrupt state
+  scheduler.report(a, 0.2);
+  SUCCEED();
+}
+
+TEST(PlainHyperband, RandomProposalsWithoutModel) {
+  ConfigSpace space = box_space();
+  HyperbandOptions options;
+  options.model_based = false;
+  BohbScheduler scheduler(space, 100, 900, 7, options);
+  for (int i = 0; i < 100; ++i) {
+    auto a = scheduler.next();
+    scheduler.report(a, 0.5);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace flaml

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "boosting/gbdt.h"
+#include "data/generators.h"
+#include "forest/forest.h"
+
+namespace flaml {
+namespace {
+
+// Data where ONLY feature 0 carries signal; 1..4 are pure noise.
+Dataset single_signal_data(Task task, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ColumnInfo> cols(5);
+  for (int f = 0; f < 5; ++f) {
+    cols[static_cast<std::size_t>(f)].name = "f" + std::to_string(f);
+  }
+  Dataset data(task, std::move(cols));
+  std::vector<std::vector<float>> values(5, std::vector<float>(600));
+  std::vector<double> labels(600);
+  for (std::size_t i = 0; i < 600; ++i) {
+    for (int f = 0; f < 5; ++f) {
+      values[static_cast<std::size_t>(f)][i] = static_cast<float>(rng.normal());
+    }
+    double x = values[0][i];
+    labels[i] = task == Task::Regression ? 3.0 * x
+                                         : (x > 0.0 ? 1.0 : 0.0);
+  }
+  for (int f = 0; f < 5; ++f) {
+    data.set_column(static_cast<std::size_t>(f), std::move(values[static_cast<std::size_t>(f)]));
+  }
+  data.set_labels(std::move(labels));
+  return data;
+}
+
+TEST(FeatureImportance, GbdtIdentifiesSignalFeature) {
+  Dataset data = single_signal_data(Task::BinaryClassification, 3);
+  GBDTParams params;
+  params.n_trees = 20;
+  params.max_leaves = 7;
+  GBDTModel model = train_gbdt(DataView(data), nullptr, params);
+  auto gains = model.feature_importance(5);
+  ASSERT_EQ(gains.size(), 5u);
+  double total = std::accumulate(gains.begin(), gains.end(), 0.0);
+  ASSERT_GT(total, 0.0);
+  EXPECT_GT(gains[0] / total, 0.8) << "signal feature must dominate";
+}
+
+TEST(FeatureImportance, GbdtRegression) {
+  Dataset data = single_signal_data(Task::Regression, 5);
+  GBDTParams params;
+  params.n_trees = 15;
+  GBDTModel model = train_gbdt(DataView(data), nullptr, params);
+  auto gains = model.feature_importance(5);
+  EXPECT_EQ(std::max_element(gains.begin(), gains.end()) - gains.begin(), 0);
+}
+
+TEST(FeatureImportance, ForestIdentifiesSignalFeature) {
+  Dataset data = single_signal_data(Task::BinaryClassification, 7);
+  ForestParams params;
+  params.n_trees = 15;
+  params.max_features = 0.6;
+  ForestModel model = train_forest(DataView(data), params);
+  auto gains = model.feature_importance(5);
+  double total = std::accumulate(gains.begin(), gains.end(), 0.0);
+  ASSERT_GT(total, 0.0);
+  EXPECT_GT(gains[0] / total, 0.6);
+}
+
+TEST(FeatureImportance, GainsSurviveSerialization) {
+  Dataset data = single_signal_data(Task::Regression, 9);
+  GBDTParams params;
+  params.n_trees = 5;
+  GBDTModel model = train_gbdt(DataView(data), nullptr, params);
+  GBDTModel back = GBDTModel::from_string(model.to_string());
+  auto a = model.feature_importance(5);
+  auto b = back.feature_importance(5);
+  for (std::size_t f = 0; f < 5; ++f) EXPECT_NEAR(a[f], b[f], 1e-6);
+}
+
+TEST(FeatureImportance, LeafOnlyTreeHasZeroGains) {
+  Tree tree;
+  std::vector<double> gains(3, 0.0);
+  tree.add_feature_gains(gains);
+  for (double g : gains) EXPECT_DOUBLE_EQ(g, 0.0);
+}
+
+}  // namespace
+}  // namespace flaml

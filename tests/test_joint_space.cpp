@@ -1,0 +1,71 @@
+#include "automl/joint_space.h"
+
+#include <gtest/gtest.h>
+
+#include "learners/registry.h"
+
+namespace flaml {
+namespace {
+
+TEST(JointSpace, ContainsLearnerChoiceAndPrefixedParams) {
+  JointSpace joint(default_learners(Task::BinaryClassification),
+                   Task::BinaryClassification, 5000);
+  const ConfigSpace& space = joint.space();
+  EXPECT_TRUE(space.contains("learner"));
+  EXPECT_TRUE(space.contains("lgbm.tree_num"));
+  EXPECT_TRUE(space.contains("xgboost.tree_num"));
+  EXPECT_TRUE(space.contains("rf.criterion"));
+  EXPECT_TRUE(space.contains("lr.C"));
+  EXPECT_TRUE(space.contains("catboost.early_stop_rounds"));
+}
+
+TEST(JointSpace, SplitRecoversLearnerAndConfig) {
+  auto learners = default_learners(Task::BinaryClassification);
+  JointSpace joint(learners, Task::BinaryClassification, 5000);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    Config jc = joint.space().random_config(rng);
+    auto [idx, config] = joint.split(jc);
+    ASSERT_LT(idx, learners.size());
+    // The split config must exactly match the learner's own space params.
+    ConfigSpace own = learners[idx]->space(Task::BinaryClassification, 5000);
+    EXPECT_EQ(config.size(), own.dim());
+    for (const auto& p : own.params()) {
+      ASSERT_TRUE(config.count(p.name)) << p.name;
+    }
+  }
+}
+
+TEST(JointSpace, SplitValuesComeFromJointConfig) {
+  auto learners = default_learners(Task::Regression);
+  JointSpace joint(learners, Task::Regression, 1000);
+  Config jc = joint.space().initial_config();
+  jc["learner"] = 0;  // lgbm
+  jc["lgbm.tree_num"] = 77;
+  auto [idx, config] = joint.split(jc);
+  EXPECT_EQ(learners[idx]->name(), "lgbm");
+  EXPECT_DOUBLE_EQ(config.at("tree_num"), 77.0);
+}
+
+TEST(JointSpace, RegressionExcludesLr) {
+  JointSpace joint(default_learners(Task::Regression), Task::Regression, 1000);
+  EXPECT_FALSE(joint.space().contains("lr.C"));
+}
+
+TEST(JointSpace, SingleLearnerWorks) {
+  std::vector<LearnerPtr> one{builtin_learner("lgbm")};
+  JointSpace joint(one, Task::Regression, 1000);
+  Config jc = joint.space().initial_config();
+  auto [idx, config] = joint.split(jc);
+  EXPECT_EQ(idx, 0u);
+  EXPECT_TRUE(config.count("tree_num"));
+}
+
+TEST(JointSpace, MissingLearnerKeyRejected) {
+  JointSpace joint(default_learners(Task::Regression), Task::Regression, 1000);
+  Config jc;
+  EXPECT_THROW(joint.split(jc), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace flaml

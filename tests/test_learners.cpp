@@ -1,0 +1,140 @@
+#include "learners/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "metrics/metrics.h"
+
+namespace flaml {
+namespace {
+
+Dataset tiny(Task task, std::uint64_t seed = 31) {
+  SyntheticSpec spec;
+  spec.task = task;
+  spec.n_classes = task == Task::MultiClassification ? 3 : 2;
+  spec.n_rows = 200;
+  spec.n_features = 5;
+  spec.seed = seed;
+  return make_synthetic(spec);
+}
+
+TEST(Registry, AllSixBuiltinsPresent) {
+  auto all = builtin_learners();
+  ASSERT_EQ(all.size(), 6u);
+  for (const char* name : {"lgbm", "xgboost", "catboost", "rf", "extra_tree", "lr"}) {
+    EXPECT_NO_THROW(builtin_learner(name));
+  }
+  EXPECT_THROW(builtin_learner("mystery"), InvalidArgument);
+}
+
+TEST(Registry, DefaultsExcludeLrForRegression) {
+  auto regression = default_learners(Task::Regression);
+  EXPECT_EQ(regression.size(), 5u);
+  for (const auto& l : regression) EXPECT_NE(l->name(), "lr");
+  EXPECT_EQ(default_learners(Task::BinaryClassification).size(), 6u);
+}
+
+TEST(Registry, CostMultipliersMatchAppendixConstants) {
+  EXPECT_DOUBLE_EQ(builtin_learner("lgbm")->initial_cost_multiplier(), 1.0);
+  EXPECT_DOUBLE_EQ(builtin_learner("xgboost")->initial_cost_multiplier(), 1.6);
+  EXPECT_DOUBLE_EQ(builtin_learner("extra_tree")->initial_cost_multiplier(), 1.9);
+  EXPECT_DOUBLE_EQ(builtin_learner("rf")->initial_cost_multiplier(), 2.0);
+  EXPECT_DOUBLE_EQ(builtin_learner("catboost")->initial_cost_multiplier(), 15.0);
+  EXPECT_DOUBLE_EQ(builtin_learner("lr")->initial_cost_multiplier(), 160.0);
+}
+
+TEST(Spaces, Table5RangesAndInits) {
+  // LightGBM: 9 params, tree/leaf capped by min(32768, S), bold inits.
+  ConfigSpace lgbm = builtin_learner("lgbm")->space(Task::BinaryClassification, 1000);
+  EXPECT_EQ(lgbm.dim(), 9u);
+  const ParamDomain& tree = lgbm.param(lgbm.index_of("tree_num"));
+  EXPECT_DOUBLE_EQ(tree.hi, 1000.0);  // min(32768, S) with S = 1000
+  EXPECT_DOUBLE_EQ(tree.init, 4.0);
+  EXPECT_TRUE(tree.cost_related);
+  const ParamDomain& mcw = lgbm.param(lgbm.index_of("min_child_weight"));
+  EXPECT_DOUBLE_EQ(mcw.lo, 0.01);
+  EXPECT_DOUBLE_EQ(mcw.hi, 20.0);
+  EXPECT_DOUBLE_EQ(mcw.init, 20.0);  // bold = 20
+  EXPECT_TRUE(lgbm.contains("max_bin"));
+
+  ConfigSpace xgb = builtin_learner("xgboost")->space(Task::BinaryClassification, 1000);
+  EXPECT_EQ(xgb.dim(), 9u);
+  EXPECT_TRUE(xgb.contains("colsample_bylevel"));
+  EXPECT_FALSE(xgb.contains("max_bin"));
+
+  ConfigSpace cat = builtin_learner("catboost")->space(Task::Regression, 1000);
+  EXPECT_EQ(cat.dim(), 2u);
+  const ParamDomain& esr = cat.param(cat.index_of("early_stop_rounds"));
+  EXPECT_DOUBLE_EQ(esr.lo, 10.0);
+  EXPECT_DOUBLE_EQ(esr.hi, 150.0);
+  EXPECT_DOUBLE_EQ(esr.init, 10.0);
+
+  ConfigSpace rf = builtin_learner("rf")->space(Task::BinaryClassification, 100000);
+  EXPECT_EQ(rf.dim(), 3u);
+  EXPECT_DOUBLE_EQ(rf.param(rf.index_of("tree_num")).hi, 2048.0);  // min(2048, S)
+  EXPECT_TRUE(rf.contains("criterion"));
+
+  ConfigSpace rf_reg = builtin_learner("rf")->space(Task::Regression, 100000);
+  EXPECT_FALSE(rf_reg.contains("criterion"));  // MSE criterion, not tunable
+
+  ConfigSpace lr = builtin_learner("lr")->space(Task::BinaryClassification, 1000);
+  EXPECT_EQ(lr.dim(), 1u);
+  EXPECT_DOUBLE_EQ(lr.param(0).lo, 0.03125);
+  EXPECT_DOUBLE_EQ(lr.param(0).hi, 32768.0);
+}
+
+TEST(Spaces, LrRejectsRegression) {
+  EXPECT_FALSE(builtin_learner("lr")->supports(Task::Regression));
+  EXPECT_THROW(builtin_learner("lr")->space(Task::Regression, 100), InvalidArgument);
+}
+
+class LearnerTrainTest
+    : public ::testing::TestWithParam<std::tuple<const char*, Task>> {};
+
+TEST_P(LearnerTrainTest, InitialConfigTrainsAndPredicts) {
+  auto [name, task] = GetParam();
+  LearnerPtr learner = builtin_learner(name);
+  if (!learner->supports(task)) GTEST_SKIP();
+  Dataset data = tiny(task);
+  ConfigSpace space = learner->space(task, data.n_rows());
+  TrainContext ctx;
+  ctx.train = DataView(data);
+  ctx.seed = 1;
+  auto model = learner->train(ctx, space.initial_config());
+  Predictions pred = model->predict(DataView(data));
+  EXPECT_EQ(pred.n_rows(), data.n_rows());
+  if (is_classification(task)) {
+    for (std::size_t i = 0; i < pred.n_rows(); ++i) {
+      double sum = 0.0;
+      for (int c = 0; c < pred.n_classes; ++c) sum += pred.prob(i, c);
+      EXPECT_NEAR(sum, 1.0, 1e-6);
+    }
+  }
+}
+
+TEST_P(LearnerTrainTest, RandomConfigsTrainWithoutThrowing) {
+  auto [name, task] = GetParam();
+  LearnerPtr learner = builtin_learner(name);
+  if (!learner->supports(task)) GTEST_SKIP();
+  Dataset data = tiny(task, 37);
+  ConfigSpace space = learner->space(task, data.n_rows());
+  Rng rng(7);
+  for (int i = 0; i < 3; ++i) {
+    TrainContext ctx;
+    ctx.train = DataView(data);
+    ctx.seed = static_cast<std::uint64_t>(i);
+    ctx.max_seconds = 0.5;  // keep big random configs bounded
+    EXPECT_NO_THROW(learner->train(ctx, space.random_config(rng)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, LearnerTrainTest,
+    ::testing::Combine(::testing::Values("lgbm", "xgboost", "catboost", "rf",
+                                         "extra_tree", "lr"),
+                       ::testing::Values(Task::BinaryClassification,
+                                         Task::MultiClassification,
+                                         Task::Regression)));
+
+}  // namespace
+}  // namespace flaml

@@ -1,0 +1,195 @@
+#include "linear/linear_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators.h"
+#include "data/split.h"
+#include "linear/lbfgs.h"
+#include "metrics/metrics.h"
+
+namespace flaml {
+namespace {
+
+TEST(Lbfgs, MinimizesQuadratic) {
+  // f(x) = (x0-3)^2 + 2 (x1+1)^2
+  ObjectiveFn fn = [](const std::vector<double>& x, std::vector<double>& g) {
+    g.resize(2);
+    g[0] = 2.0 * (x[0] - 3.0);
+    g[1] = 4.0 * (x[1] + 1.0);
+    return (x[0] - 3.0) * (x[0] - 3.0) + 2.0 * (x[1] + 1.0) * (x[1] + 1.0);
+  };
+  std::vector<double> x{0.0, 0.0};
+  LbfgsResult result = lbfgs_minimize(fn, x);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(x[0], 3.0, 1e-5);
+  EXPECT_NEAR(x[1], -1.0, 1e-5);
+  EXPECT_NEAR(result.objective, 0.0, 1e-9);
+}
+
+TEST(Lbfgs, MinimizesRosenbrockApproximately) {
+  ObjectiveFn fn = [](const std::vector<double>& x, std::vector<double>& g) {
+    double a = 1.0 - x[0];
+    double b = x[1] - x[0] * x[0];
+    g.resize(2);
+    g[0] = -2.0 * a - 400.0 * x[0] * b;
+    g[1] = 200.0 * b;
+    return a * a + 100.0 * b * b;
+  };
+  std::vector<double> x{-1.2, 1.0};
+  LbfgsOptions options;
+  options.max_iterations = 500;
+  LbfgsResult result = lbfgs_minimize(fn, x, options);
+  EXPECT_LT(result.objective, 1e-6);
+  EXPECT_NEAR(x[0], 1.0, 1e-2);
+}
+
+TEST(Encoder, StandardizesNumericColumns) {
+  Dataset data(Task::Regression, {{"x", ColumnType::Numeric, 0}});
+  data.set_column(0, {0.0f, 2.0f, 4.0f, 6.0f});
+  data.set_labels({0, 0, 0, 0});
+  FeatureEncoder enc = FeatureEncoder::fit(DataView(data));
+  EXPECT_EQ(enc.dim(), 1u);
+  auto matrix = enc.encode(DataView(data));
+  double sum = 0.0, sum_sq = 0.0;
+  for (double v : matrix) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum, 0.0, 1e-6);
+  EXPECT_NEAR(sum_sq / 4.0, 1.0, 1e-6);
+}
+
+TEST(Encoder, OneHotForCategorical) {
+  Dataset data(Task::Regression, {{"c", ColumnType::Categorical, 3}});
+  data.set_column(0, {0.0f, 2.0f});
+  data.set_labels({0, 0});
+  FeatureEncoder enc = FeatureEncoder::fit(DataView(data));
+  EXPECT_EQ(enc.dim(), 3u);
+  std::vector<double> row;
+  enc.encode_row(DataView(data), 0, row);
+  EXPECT_DOUBLE_EQ(row[0], 1.0);
+  EXPECT_DOUBLE_EQ(row[1], 0.0);
+  EXPECT_DOUBLE_EQ(row[2], 0.0);
+  enc.encode_row(DataView(data), 1, row);
+  EXPECT_DOUBLE_EQ(row[2], 1.0);
+}
+
+TEST(Encoder, MissingEncodesAsZero) {
+  Dataset data(Task::Regression, {{"x", ColumnType::Numeric, 0},
+                                  {"c", ColumnType::Categorical, 2}});
+  const float kNaN = std::numeric_limits<float>::quiet_NaN();
+  data.add_row({1.0f, 0.0f}, 0.0);
+  data.add_row({3.0f, 1.0f}, 0.0);
+  data.add_row({kNaN, kNaN}, 0.0);
+  FeatureEncoder enc = FeatureEncoder::fit(DataView(data));
+  std::vector<double> row;
+  enc.encode_row(DataView(data), 2, row);
+  for (double v : row) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Linear, LogisticSeparatesLinearData) {
+  SyntheticSpec spec;
+  spec.task = Task::BinaryClassification;
+  spec.n_rows = 600;
+  spec.n_features = 6;
+  spec.nonlinearity = 0.0;
+  spec.class_sep = 1.5;
+  spec.seed = 3;
+  Dataset data = make_classification(spec);
+  Rng rng(1);
+  auto split = holdout_split(DataView(data), 0.3, rng);
+  LinearParams params;
+  params.c = 10.0;
+  LinearModel model = train_linear(split.train, params);
+  Predictions pred = model.predict(split.test);
+  EXPECT_GT(roc_auc(pred.prob1(), split.test.labels()), 0.9);
+}
+
+TEST(Linear, SoftmaxMulticlass) {
+  SyntheticSpec spec;
+  spec.task = Task::MultiClassification;
+  spec.n_classes = 4;
+  spec.n_rows = 500;
+  spec.n_features = 6;
+  spec.nonlinearity = 0.0;
+  spec.class_sep = 2.0;
+  spec.n_clusters_per_class = 1;  // keep classes linearly separable
+  spec.seed = 5;
+  Dataset data = make_classification(spec);
+  LinearParams params;
+  LinearModel model = train_linear(DataView(data), params);
+  Predictions pred = model.predict(DataView(data));
+  for (std::size_t i = 0; i < pred.n_rows(); ++i) {
+    double sum = 0.0;
+    for (int c = 0; c < 4; ++c) sum += pred.prob(i, c);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  EXPECT_GT(accuracy_multi(pred.values, 4, data.labels()), 0.8);
+}
+
+TEST(Linear, RidgeRecoversLinearFunction) {
+  // y = 2 x0 - 3 x1 + 1, no noise.
+  Dataset data(Task::Regression, {{"x0", ColumnType::Numeric, 0},
+                                  {"x1", ColumnType::Numeric, 0}});
+  Rng rng(7);
+  std::vector<float> x0(200), x1(200);
+  std::vector<double> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    x0[i] = static_cast<float>(rng.normal());
+    x1[i] = static_cast<float>(rng.normal());
+    y[i] = 2.0 * x0[i] - 3.0 * x1[i] + 1.0;
+  }
+  Dataset d = data;
+  d.set_column(0, std::move(x0));
+  d.set_column(1, std::move(x1));
+  d.set_labels(std::move(y));
+  LinearParams params;
+  params.c = 1e6;  // effectively unregularized
+  LinearModel model = train_linear(DataView(d), params);
+  Predictions pred = model.predict(DataView(d));
+  EXPECT_GT(r2(pred.values, d.labels()), 0.999);
+}
+
+TEST(Linear, StrongRegularizationShrinksPredictionSpread) {
+  SyntheticSpec spec;
+  spec.task = Task::BinaryClassification;
+  spec.n_rows = 300;
+  spec.n_features = 5;
+  spec.seed = 9;
+  Dataset data = make_classification(spec);
+  auto spread = [&](double c) {
+    LinearParams params;
+    params.c = c;
+    LinearModel model = train_linear(DataView(data), params);
+    Predictions pred = model.predict(DataView(data));
+    double lo = 1.0, hi = 0.0;
+    for (std::size_t i = 0; i < pred.n_rows(); ++i) {
+      lo = std::min(lo, pred.prob(i, 1));
+      hi = std::max(hi, pred.prob(i, 1));
+    }
+    return hi - lo;
+  };
+  EXPECT_LT(spread(1e-4), spread(100.0));
+}
+
+TEST(Linear, RejectsNonPositiveC) {
+  Dataset data(Task::Regression, {{"x", ColumnType::Numeric, 0}});
+  data.set_column(0, {1.0f, 2.0f});
+  data.set_labels({1.0, 2.0});
+  LinearParams params;
+  params.c = 0.0;
+  EXPECT_THROW(train_linear(DataView(data), params), InvalidArgument);
+}
+
+TEST(Linear, PredictBeforeTrainRejected) {
+  Dataset data(Task::Regression, {{"x", ColumnType::Numeric, 0}});
+  data.set_column(0, {1.0f});
+  data.set_labels({1.0});
+  LinearModel model;
+  EXPECT_THROW(model.predict(DataView(data)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace flaml

@@ -1,0 +1,133 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace flaml {
+namespace {
+
+TEST(Sigmoid, KnownValues) {
+  EXPECT_DOUBLE_EQ(sigmoid(0.0), 0.5);
+  EXPECT_NEAR(sigmoid(2.0), 1.0 / (1.0 + std::exp(-2.0)), 1e-12);
+}
+
+TEST(Sigmoid, Symmetry) {
+  for (double x : {0.1, 1.0, 5.0, 30.0}) {
+    EXPECT_NEAR(sigmoid(x) + sigmoid(-x), 1.0, 1e-12);
+  }
+}
+
+TEST(Sigmoid, ExtremeValuesDontOverflow) {
+  EXPECT_NEAR(sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(sigmoid(-1000.0), 0.0, 1e-12);
+}
+
+TEST(Log1pExp, MatchesNaiveInSafeRange) {
+  for (double x : {-5.0, -1.0, 0.0, 1.0, 5.0}) {
+    EXPECT_NEAR(log1pexp(x), std::log1p(std::exp(x)), 1e-12);
+  }
+}
+
+TEST(Log1pExp, LargeArgumentIsIdentity) { EXPECT_DOUBLE_EQ(log1pexp(100.0), 100.0); }
+
+TEST(LogSumExp, MatchesDirectComputation) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  double direct = std::log(std::exp(1.0) + std::exp(2.0) + std::exp(3.0));
+  EXPECT_NEAR(logsumexp(x), direct, 1e-12);
+}
+
+TEST(LogSumExp, StableForLargeValues) {
+  std::vector<double> x{1000.0, 1000.0};
+  EXPECT_NEAR(logsumexp(x), 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(Softmax, SumsToOne) {
+  std::vector<double> x{1.0, -2.0, 0.5, 3.0};
+  softmax_inplace(x);
+  double sum = 0.0;
+  for (double v : x) {
+    EXPECT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(MeanVariance, SmallExample) {
+  std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(x), 2.5);
+  EXPECT_NEAR(variance(x), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Variance, SingleValueIsZero) {
+  std::vector<double> x{42.0};
+  EXPECT_DOUBLE_EQ(variance(x), 0.0);
+}
+
+TEST(HarmonicMean, KnownValue) {
+  std::vector<double> x{1.0, 2.0, 4.0};
+  EXPECT_NEAR(harmonic_mean(x), 3.0 / (1.0 + 0.5 + 0.25), 1e-12);
+}
+
+TEST(HarmonicMean, DominatedBySmallest) {
+  std::vector<double> x{0.001, 100.0, 100.0};
+  EXPECT_LT(harmonic_mean(x), 0.003);
+}
+
+TEST(HarmonicMean, RejectsNonPositive) {
+  std::vector<double> x{1.0, 0.0};
+  EXPECT_THROW(harmonic_mean(x), InternalError);
+}
+
+class QuantileTest : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(QuantileTest, LinearInterpolation) {
+  std::vector<double> x{10.0, 20.0, 30.0, 40.0, 50.0};
+  auto [q, expected] = GetParam();
+  EXPECT_NEAR(quantile(x, q), expected, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Points, QuantileTest,
+    ::testing::Values(std::make_pair(0.0, 10.0), std::make_pair(0.25, 20.0),
+                      std::make_pair(0.5, 30.0), std::make_pair(0.75, 40.0),
+                      std::make_pair(1.0, 50.0), std::make_pair(0.1, 14.0)));
+
+TEST(Quantile, UnsortedInput) {
+  std::vector<double> x{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(x, 0.5), 3.0);
+}
+
+TEST(Clamp, Basics) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(ApproxEqual, RelativeTolerance) {
+  EXPECT_TRUE(approx_equal(1e9, 1e9 + 1.0, 1e-8));
+  EXPECT_FALSE(approx_equal(1.0, 1.1, 1e-8));
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  std::vector<double> a{1.0, 2.0, 3.0};
+  std::vector<double> b{2.0, 4.0, 6.0};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAntiCorrelation) {
+  std::vector<double> a{1.0, 2.0, 3.0};
+  std::vector<double> b{3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(a, b), -1.0, 1e-12);
+}
+
+TEST(Pearson, DegenerateIsZero) {
+  std::vector<double> a{1.0, 1.0, 1.0};
+  std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(a, b), 0.0);
+}
+
+}  // namespace
+}  // namespace flaml

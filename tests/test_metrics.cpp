@@ -1,0 +1,191 @@
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace flaml {
+namespace {
+
+TEST(RocAuc, PerfectRankingIsOne) {
+  std::vector<double> scores{0.1, 0.2, 0.8, 0.9};
+  std::vector<double> labels{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 1.0);
+}
+
+TEST(RocAuc, InvertedRankingIsZero) {
+  std::vector<double> scores{0.9, 0.8, 0.2, 0.1};
+  std::vector<double> labels{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 0.0);
+}
+
+TEST(RocAuc, RandomScoresNearHalf) {
+  Rng rng(1);
+  std::vector<double> scores(5000), labels(5000);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = rng.uniform();
+    labels[i] = rng.bernoulli(0.4) ? 1.0 : 0.0;
+  }
+  EXPECT_NEAR(roc_auc(scores, labels), 0.5, 0.03);
+}
+
+TEST(RocAuc, AllTiedScoresIsHalf) {
+  std::vector<double> scores{0.5, 0.5, 0.5, 0.5};
+  std::vector<double> labels{0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 0.5);
+}
+
+// AUC is invariant under strictly monotone transforms of the scores.
+class AucMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AucMonotoneTest, InvariantUnderMonotoneTransform) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> scores(200), labels(200);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    labels[i] = rng.bernoulli(0.5) ? 1.0 : 0.0;
+    scores[i] = labels[i] + rng.normal();
+  }
+  double base = roc_auc(scores, labels);
+  std::vector<double> transformed = scores;
+  for (double& s : transformed) s = std::exp(0.3 * s) + 7.0;
+  EXPECT_NEAR(roc_auc(transformed, labels), base, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AucMonotoneTest, ::testing::Range(1, 6));
+
+TEST(RocAuc, RejectsSingleClass) {
+  std::vector<double> scores{0.1, 0.2};
+  std::vector<double> labels{1, 1};
+  EXPECT_THROW(roc_auc(scores, labels), InvalidArgument);
+}
+
+TEST(RocAuc, RejectsNonBinaryLabels) {
+  std::vector<double> scores{0.1, 0.2};
+  std::vector<double> labels{0, 2};
+  EXPECT_THROW(roc_auc(scores, labels), InvalidArgument);
+}
+
+TEST(LogLossBinary, PerfectPredictionNearZero) {
+  std::vector<double> p{0.999999, 0.000001};
+  std::vector<double> y{1, 0};
+  EXPECT_LT(log_loss_binary(p, y), 1e-5);
+}
+
+TEST(LogLossBinary, HalfProbabilityIsLog2) {
+  std::vector<double> p{0.5, 0.5};
+  std::vector<double> y{1, 0};
+  EXPECT_NEAR(log_loss_binary(p, y), std::log(2.0), 1e-12);
+}
+
+TEST(LogLossBinary, ClipsExtremeProbabilities) {
+  std::vector<double> p{0.0, 1.0};
+  std::vector<double> y{1, 0};
+  double loss = log_loss_binary(p, y);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 10.0);
+}
+
+// The expected log-loss is minimized when predicting the true conditional
+// probability (propriety of the scoring rule).
+TEST(LogLossBinary, MinimizedAtTrueProbability) {
+  Rng rng(3);
+  const double true_p = 0.7;
+  std::vector<double> y(20000);
+  for (auto& v : y) v = rng.bernoulli(true_p) ? 1.0 : 0.0;
+  auto loss_at = [&](double q) {
+    std::vector<double> p(y.size(), q);
+    return log_loss_binary(p, y);
+  };
+  double at_truth = loss_at(true_p);
+  EXPECT_LT(at_truth, loss_at(0.5));
+  EXPECT_LT(at_truth, loss_at(0.9));
+}
+
+TEST(LogLossMulti, UniformIsLogK) {
+  std::vector<double> probs{1.0 / 3, 1.0 / 3, 1.0 / 3, 1.0 / 3, 1.0 / 3, 1.0 / 3};
+  std::vector<double> labels{0, 2};
+  EXPECT_NEAR(log_loss_multi(probs, 3, labels), std::log(3.0), 1e-12);
+}
+
+TEST(LogLossMulti, ShapeMismatchRejected) {
+  std::vector<double> probs{0.5, 0.5};
+  std::vector<double> labels{0, 1};
+  EXPECT_THROW(log_loss_multi(probs, 3, labels), InvalidArgument);
+}
+
+TEST(Accuracy, MultiArgmax) {
+  std::vector<double> probs{0.7, 0.2, 0.1, 0.1, 0.8, 0.1, 0.3, 0.3, 0.4};
+  std::vector<double> labels{0, 1, 0};
+  EXPECT_NEAR(accuracy_multi(probs, 3, labels), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Accuracy, BinaryThreshold) {
+  std::vector<double> p{0.6, 0.4, 0.5};
+  std::vector<double> y{1, 0, 1};
+  EXPECT_NEAR(accuracy_binary(p, y), 1.0, 1e-12);  // 0.5 rounds to class 1
+}
+
+TEST(RegressionMetrics, PerfectPrediction) {
+  std::vector<double> pred{1.0, 2.0, 3.0};
+  std::vector<double> truth{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mse(pred, truth), 0.0);
+  EXPECT_DOUBLE_EQ(mae(pred, truth), 0.0);
+  EXPECT_DOUBLE_EQ(r2(pred, truth), 1.0);
+}
+
+TEST(RegressionMetrics, KnownValues) {
+  std::vector<double> pred{2.0, 4.0};
+  std::vector<double> truth{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(mse(pred, truth), 2.5);
+  EXPECT_DOUBLE_EQ(rmse(pred, truth), std::sqrt(2.5));
+  EXPECT_DOUBLE_EQ(mae(pred, truth), 1.5);
+}
+
+TEST(R2, MeanPredictorIsZero) {
+  std::vector<double> truth{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> pred(4, 2.5);
+  EXPECT_DOUBLE_EQ(r2(pred, truth), 0.0);
+}
+
+TEST(R2, WorseThanMeanIsNegative) {
+  std::vector<double> truth{1.0, 2.0, 3.0};
+  std::vector<double> pred{3.0, 2.0, 1.0};
+  EXPECT_LT(r2(pred, truth), 0.0);
+}
+
+TEST(R2, ConstantTruthEdgeCase) {
+  std::vector<double> truth{5.0, 5.0};
+  std::vector<double> exact{5.0, 5.0};
+  std::vector<double> wrong{4.0, 6.0};
+  EXPECT_DOUBLE_EQ(r2(exact, truth), 1.0);
+  EXPECT_DOUBLE_EQ(r2(wrong, truth), 0.0);
+}
+
+TEST(QError, AtLeastOne) {
+  EXPECT_DOUBLE_EQ(q_error(10.0, 10.0), 1.0);
+  EXPECT_GE(q_error(3.0, 7.0), 1.0);
+}
+
+TEST(QError, SymmetricInOverAndUnderEstimation) {
+  EXPECT_DOUBLE_EQ(q_error(10.0, 100.0), q_error(100.0, 10.0));
+  EXPECT_DOUBLE_EQ(q_error(10.0, 100.0), 10.0);
+}
+
+TEST(QError, FloorsSmallValues) {
+  EXPECT_DOUBLE_EQ(q_error(0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q_error(0.5, 8.0), 8.0);  // pred floored to 1
+}
+
+TEST(QErrorQuantile, MedianOfKnownSet) {
+  std::vector<double> pred{1, 2, 4, 8, 16};
+  std::vector<double> truth{1, 1, 1, 1, 1};
+  // q-errors: 1, 2, 4, 8, 16
+  EXPECT_DOUBLE_EQ(q_error_quantile(pred, truth, 0.5), 4.0);
+  EXPECT_DOUBLE_EQ(q_error_quantile(pred, truth, 1.0), 16.0);
+}
+
+}  // namespace
+}  // namespace flaml

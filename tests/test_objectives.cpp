@@ -1,0 +1,121 @@
+#include "boosting/objectives.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace flaml {
+namespace {
+
+// Property: the analytic gradient of each objective matches the finite
+// difference of its loss, per output column.
+class ObjectiveGradientTest
+    : public ::testing::TestWithParam<std::pair<Task, int>> {};
+
+TEST_P(ObjectiveGradientTest, GradientsMatchFiniteDifferences) {
+  auto [task, n_classes] = GetParam();
+  auto objective = make_objective(task, n_classes);
+  const int k = objective->n_outputs();
+  const std::size_t n = 8;
+  Rng rng(5);
+
+  std::vector<double> labels(n);
+  for (auto& y : labels) {
+    y = is_classification(task)
+            ? static_cast<double>(rng.uniform_index(
+                  static_cast<std::uint64_t>(task == Task::BinaryClassification
+                                                 ? 2
+                                                 : n_classes)))
+            : rng.normal();
+  }
+  std::vector<double> scores(n * static_cast<std::size_t>(k));
+  for (auto& s : scores) s = rng.normal();
+
+  const double eps = 1e-6;
+  std::vector<double> grad, hess;
+  for (int c = 0; c < k; ++c) {
+    objective->gradients(scores, labels, c, grad, hess);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<double> plus = scores, minus = scores;
+      std::size_t idx = i * static_cast<std::size_t>(k) + static_cast<std::size_t>(c);
+      plus[idx] += eps;
+      minus[idx] -= eps;
+      // loss() is the mean over n examples; the per-example gradient is
+      // therefore n * d(mean loss)/d(score).
+      double fd = (objective->loss(plus, labels) - objective->loss(minus, labels)) /
+                  (2.0 * eps) * static_cast<double>(n);
+      EXPECT_NEAR(grad[i], fd, 1e-4) << "output " << c << " example " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tasks, ObjectiveGradientTest,
+    ::testing::Values(std::make_pair(Task::Regression, 0),
+                      std::make_pair(Task::BinaryClassification, 2),
+                      std::make_pair(Task::MultiClassification, 3),
+                      std::make_pair(Task::MultiClassification, 5)));
+
+TEST(Objectives, HessiansNonNegative) {
+  for (auto [task, k] : {std::make_pair(Task::Regression, 0),
+                         std::make_pair(Task::BinaryClassification, 2),
+                         std::make_pair(Task::MultiClassification, 4)}) {
+    auto objective = make_objective(task, k);
+    Rng rng(7);
+    std::size_t n = 20;
+    std::vector<double> labels(n, 0.0);
+    if (is_classification(task)) {
+      for (auto& y : labels) {
+        y = static_cast<double>(rng.uniform_index(
+            static_cast<std::uint64_t>(std::max(2, k))));
+      }
+    }
+    std::vector<double> scores(n * static_cast<std::size_t>(objective->n_outputs()));
+    for (auto& s : scores) s = rng.normal() * 3.0;
+    std::vector<double> grad, hess;
+    for (int c = 0; c < objective->n_outputs(); ++c) {
+      objective->gradients(scores, labels, c, grad, hess);
+      for (double h : hess) EXPECT_GT(h, 0.0);
+    }
+  }
+}
+
+TEST(Objectives, BaseScoresMinimizeConstantLoss) {
+  // For the logistic objective the optimal constant score is the log-odds;
+  // perturbing it in either direction must not reduce the loss.
+  auto objective = make_objective(Task::BinaryClassification, 2);
+  std::vector<double> labels{1, 1, 1, 0, 0, 1, 0, 1, 1, 0};
+  auto base = objective->base_scores(labels);
+  ASSERT_EQ(base.size(), 1u);
+  auto loss_at = [&](double s) {
+    std::vector<double> scores(labels.size(), s);
+    return objective->loss(scores, labels);
+  };
+  double at_base = loss_at(base[0]);
+  EXPECT_LE(at_base, loss_at(base[0] + 0.1) + 1e-12);
+  EXPECT_LE(at_base, loss_at(base[0] - 0.1) + 1e-12);
+}
+
+TEST(Objectives, TransformShapes) {
+  auto reg = make_objective(Task::Regression, 0);
+  Predictions p = reg->transform({1.0, 2.0});
+  EXPECT_EQ(p.task, Task::Regression);
+  EXPECT_EQ(p.values.size(), 2u);
+
+  auto multi = make_objective(Task::MultiClassification, 3);
+  Predictions pm = multi->transform({0.1, 0.2, 0.3, 1.0, -1.0, 0.0});
+  EXPECT_EQ(pm.n_classes, 3);
+  EXPECT_EQ(pm.n_rows(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    double sum = 0.0;
+    for (int c = 0; c < 3; ++c) sum += pm.prob(i, c);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Objectives, SoftmaxRequiresAtLeastTwoClasses) {
+  EXPECT_THROW(make_objective(Task::MultiClassification, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace flaml

@@ -1,0 +1,146 @@
+#include "selest/harness.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace flaml::selest {
+namespace {
+
+TEST(Tables, ShapesAndDeterminism) {
+  for (TableFamily family : {TableFamily::Forest, TableFamily::Power,
+                             TableFamily::Tpch, TableFamily::Higgs,
+                             TableFamily::Weather}) {
+    Table a = make_table(family, 500, 3, 9);
+    EXPECT_EQ(a.n_rows(), 500u);
+    EXPECT_EQ(a.n_cols(), 3u);
+    Table b = make_table(family, 500, 3, 9);
+    EXPECT_DOUBLE_EQ(a.columns[0][0], b.columns[0][0]);
+    for (const auto& col : a.columns) {
+      for (double v : col) EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+TEST(Tables, PowerIsHeavyTailed) {
+  Table t = make_table(TableFamily::Power, 20000, 1, 3);
+  double max_v = 0.0, sum = 0.0;
+  for (double v : t.columns[0]) {
+    max_v = std::max(max_v, v);
+    sum += v;
+  }
+  double mean = sum / 20000.0;
+  EXPECT_GT(max_v, mean * 10.0);  // heavy tail: max far above mean
+}
+
+TEST(Tables, FamilyNames) {
+  EXPECT_STREQ(family_name(TableFamily::Forest), "Forest");
+  EXPECT_STREQ(family_name(TableFamily::Tpch), "TPCH");
+}
+
+TEST(Workload, CountMatchesBruteForceDefinition) {
+  Table t = make_table(TableFamily::Forest, 300, 2, 5);
+  RangeQuery q;
+  q.lo = {-1.0, -std::numeric_limits<double>::infinity()};
+  q.hi = {1.0, std::numeric_limits<double>::infinity()};
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < 300; ++i) {
+    double v = t.columns[0][i];
+    if (v >= -1.0 && v <= 1.0) ++expected;
+  }
+  EXPECT_EQ(count_matches(t, q), expected);
+}
+
+TEST(Workload, GeneratedQueriesAreLabeled) {
+  Table t = make_table(TableFamily::Forest, 400, 3, 7);
+  WorkloadOptions options;
+  options.n_queries = 100;
+  auto queries = make_workload(t, options);
+  ASSERT_EQ(queries.size(), 100u);
+  for (const auto& q : queries) {
+    EXPECT_EQ(count_matches(t, q), q.count);
+    EXPECT_LE(q.count, 400u);
+  }
+}
+
+TEST(Workload, SelectivitiesAreSkewed) {
+  Table t = make_table(TableFamily::Forest, 1000, 3, 11);
+  WorkloadOptions options;
+  options.n_queries = 300;
+  auto queries = make_workload(t, options);
+  std::size_t narrow = 0, wide = 0;
+  for (const auto& q : queries) {
+    if (q.count < 10) ++narrow;
+    if (q.count > 300) ++wide;
+  }
+  EXPECT_GT(narrow, 10u);  // both tails populated
+  EXPECT_GE(wide, 5u);
+}
+
+TEST(Workload, DatasetEncodesBoundsAndLogLabels) {
+  Table t = make_table(TableFamily::Power, 300, 2, 13);
+  WorkloadOptions options;
+  options.n_queries = 50;
+  auto queries = make_workload(t, options);
+  Dataset data = workload_to_dataset(t, queries);
+  EXPECT_EQ(data.n_rows(), 50u);
+  EXPECT_EQ(data.n_cols(), 4u);  // lo/hi per dimension
+  for (std::size_t i = 0; i < 50; ++i) {
+    double expected = std::log(static_cast<double>(std::max<std::size_t>(queries[i].count, 1)));
+    EXPECT_NEAR(data.label(i), expected, 1e-9);
+  }
+}
+
+TEST(Workload, CardinalityHelpers) {
+  std::vector<double> logs{0.0, std::log(100.0), -5.0};
+  auto cards = predicted_cardinalities(logs);
+  EXPECT_DOUBLE_EQ(cards[0], 1.0);
+  EXPECT_NEAR(cards[1], 100.0, 1e-9);
+  EXPECT_DOUBLE_EQ(cards[2], 1.0);  // floored
+}
+
+TEST(Harness, Table4InstanceListComplete) {
+  auto instances = table4_instances();
+  ASSERT_EQ(instances.size(), 10u);
+  EXPECT_EQ(instances.front().name, "2D-Forest");
+  EXPECT_EQ(instances.back().name, "10D-Forest");
+  EXPECT_EQ(instances.back().n_dims, 10);
+}
+
+TEST(Harness, ManualConfigurationRuns) {
+  SelestInstance instance;
+  instance.name = "test-2d";
+  instance.family = TableFamily::Forest;
+  instance.n_dims = 2;
+  instance.table_rows = 2000;
+  instance.train_queries = 300;
+  instance.test_queries = 100;
+  instance.seed = 5;
+  SelestData data = make_selest_data(instance);
+  EXPECT_EQ(data.train.n_rows(), 300u);
+  EXPECT_EQ(data.test.n_rows(), 100u);
+  SelestResult manual = run_manual(data, 1);
+  EXPECT_GE(manual.q95, 1.0);
+  EXPECT_LT(manual.q95, 1000.0);
+}
+
+TEST(Harness, FlamlBeatsTrivialQError) {
+  SelestInstance instance;
+  instance.name = "test-2d";
+  instance.family = TableFamily::Forest;
+  instance.n_dims = 2;
+  instance.table_rows = 2000;
+  instance.train_queries = 400;
+  instance.test_queries = 100;
+  instance.seed = 6;
+  SelestData data = make_selest_data(instance);
+  SelestResult result = run_flaml(data, 1.0, 3);
+  EXPECT_GE(result.q95, 1.0);
+  // A constant predictor would have q95 in the hundreds on this workload;
+  // any learned model must be far better.
+  EXPECT_LT(result.q95, 100.0);
+  EXPECT_GT(result.search_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace flaml::selest

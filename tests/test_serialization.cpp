@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "automl/automl.h"
+#include "data/generators.h"
+#include "forest/forest.h"
+#include "linear/linear_model.h"
+#include "tree/tree_io.h"
+
+namespace flaml {
+namespace {
+
+Dataset binary_data(std::size_t n = 300, std::uint64_t seed = 61) {
+  SyntheticSpec spec;
+  spec.task = Task::BinaryClassification;
+  spec.n_rows = n;
+  spec.n_features = 6;
+  spec.seed = seed;
+  return make_classification(spec);
+}
+
+TEST(TreeIo, RoundTripsPlainTree) {
+  Tree tree;
+  tree.node(0).feature = 2;
+  tree.node(0).threshold = 1.5f;
+  tree.node(0).missing_left = true;
+  auto [l, r] = tree.split_leaf(0);
+  tree.node(static_cast<std::size_t>(l)).leaf_value = -3.25;
+  tree.node(static_cast<std::size_t>(r)).leaf_value = 7.5;
+
+  std::stringstream ss;
+  write_tree(ss, tree);
+  Tree back = read_tree(ss);
+  ASSERT_EQ(back.n_nodes(), 3u);
+  EXPECT_EQ(back.node(0).feature, 2);
+  EXPECT_TRUE(back.node(0).missing_left);
+  EXPECT_DOUBLE_EQ(back.node(1).leaf_value, -3.25);
+  EXPECT_DOUBLE_EQ(back.node(2).leaf_value, 7.5);
+}
+
+TEST(TreeIo, RoundTripsLeafDistributions) {
+  Tree tree;
+  tree.node(0).feature = 0;
+  tree.split_leaf(0);
+  tree.leaf_distributions().assign(3, {});
+  tree.leaf_distributions()[1] = {0.25, 0.75};
+  tree.leaf_distributions()[2] = {0.9, 0.1};
+
+  std::stringstream ss;
+  write_tree(ss, tree);
+  Tree back = read_tree(ss);
+  ASSERT_EQ(back.leaf_distributions().size(), 3u);
+  EXPECT_TRUE(back.leaf_distributions()[0].empty());
+  ASSERT_EQ(back.leaf_distributions()[1].size(), 2u);
+  EXPECT_DOUBLE_EQ(back.leaf_distributions()[1][1], 0.75);
+}
+
+TEST(TreeIo, RejectsGarbage) {
+  std::stringstream ss("hello world");
+  EXPECT_THROW(read_tree(ss), InvalidArgument);
+}
+
+TEST(ForestIo, PredictionsSurviveRoundTrip) {
+  Dataset data = binary_data();
+  ForestParams params;
+  params.n_trees = 8;
+  params.max_features = 0.7;
+  ForestModel model = train_forest(DataView(data), params);
+
+  std::stringstream ss;
+  model.save(ss);
+  ForestModel back = ForestModel::load(ss);
+  EXPECT_EQ(back.n_trees(), model.n_trees());
+  Predictions a = model.predict(DataView(data));
+  Predictions b = back.predict(DataView(data));
+  ASSERT_EQ(a.values.size(), b.values.size());
+  for (std::size_t i = 0; i < a.values.size(); ++i) {
+    EXPECT_NEAR(a.values[i], b.values[i], 1e-9);
+  }
+}
+
+TEST(ForestIo, RegressionRoundTrip) {
+  Dataset data = make_friedman1(200, 6, 0.3, 5);
+  ForestParams params;
+  params.n_trees = 5;
+  ForestModel model = train_forest(DataView(data), params);
+  std::stringstream ss;
+  model.save(ss);
+  ForestModel back = ForestModel::load(ss);
+  Predictions a = model.predict(DataView(data));
+  Predictions b = back.predict(DataView(data));
+  for (std::size_t i = 0; i < a.values.size(); ++i) {
+    EXPECT_NEAR(a.values[i], b.values[i], 1e-9);
+  }
+}
+
+TEST(LinearIo, PredictionsSurviveRoundTrip) {
+  Dataset data = binary_data();
+  LinearParams params;
+  params.c = 2.0;
+  LinearModel model = train_linear(DataView(data), params);
+  std::stringstream ss;
+  model.save(ss);
+  LinearModel back = LinearModel::load(ss);
+  Predictions a = model.predict(DataView(data));
+  Predictions b = back.predict(DataView(data));
+  for (std::size_t i = 0; i < a.values.size(); ++i) {
+    EXPECT_NEAR(a.values[i], b.values[i], 1e-12);
+  }
+}
+
+TEST(LinearIo, HandlesCategoricalEncoder) {
+  Dataset data(Task::BinaryClassification, {{"x", ColumnType::Numeric, 0},
+                                            {"c", ColumnType::Categorical, 3}});
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    float code = static_cast<float>(i % 3);
+    data.add_row({static_cast<float>(rng.normal()), code}, code == 1.0f ? 1.0 : 0.0);
+  }
+  LinearModel model = train_linear(DataView(data), LinearParams{});
+  std::stringstream ss;
+  model.save(ss);
+  LinearModel back = LinearModel::load(ss);
+  Predictions a = model.predict(DataView(data));
+  Predictions b = back.predict(DataView(data));
+  for (std::size_t i = 0; i < a.values.size(); ++i) {
+    EXPECT_NEAR(a.values[i], b.values[i], 1e-12);
+  }
+}
+
+class AutoMlIoTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AutoMlIoTest, BestModelRoundTripsPerLearner) {
+  Dataset data = binary_data(300, 71);
+  AutoML automl;
+  AutoMLOptions options;
+  options.time_budget_seconds = 0.3;
+  options.initial_sample_size = 100;
+  options.estimator_list = {GetParam()};
+  options.seed = 3;
+  automl.fit(data, options);
+
+  std::stringstream ss;
+  automl.save_best_model(ss);
+  auto model = load_automl_model(ss);
+  Predictions a = automl.predict(DataView(data));
+  Predictions b = model->predict(DataView(data));
+  ASSERT_EQ(a.values.size(), b.values.size());
+  for (std::size_t i = 0; i < a.values.size(); ++i) {
+    EXPECT_NEAR(a.values[i], b.values[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Learners, AutoMlIoTest,
+                         ::testing::Values("lgbm", "xgboost", "catboost", "rf",
+                                           "extra_tree", "lr"));
+
+TEST(AutoMlIo, SaveBeforeFitRejected) {
+  AutoML automl;
+  std::stringstream ss;
+  EXPECT_THROW(automl.save_best_model(ss), InvalidArgument);
+}
+
+TEST(AutoMlIo, LoadRejectsBadHeader) {
+  std::stringstream ss("not-a-model v9 lgbm");
+  EXPECT_THROW(load_automl_model(ss), InvalidArgument);
+}
+
+TEST(AutoMlIo, HistoryCsvHasHeaderAndRows) {
+  Dataset data = binary_data(200, 73);
+  AutoML automl;
+  AutoMLOptions options;
+  options.time_budget_seconds = 0.2;
+  options.initial_sample_size = 100;
+  automl.fit(data, options);
+  std::stringstream ss;
+  write_history_csv(ss, automl.history());
+  std::string line;
+  std::getline(ss, line);
+  EXPECT_EQ(line,
+            "iteration,finished_at,learner,sample_size,cost,error,best_error,config");
+  std::size_t rows = 0;
+  while (std::getline(ss, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, automl.history().size());
+}
+
+TEST(ModelIo, DefaultModelSaveUnsupported) {
+  class Dummy final : public Model {
+   public:
+    Predictions predict(const DataView&) const override { return {}; }
+  };
+  Dummy dummy;
+  std::stringstream ss;
+  EXPECT_THROW(dummy.save(ss), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace flaml

@@ -1,0 +1,183 @@
+#include "data/split.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/generators.h"
+
+namespace flaml {
+namespace {
+
+Dataset binary_data(std::size_t n, double imbalance = 0.0) {
+  SyntheticSpec spec;
+  spec.task = Task::BinaryClassification;
+  spec.n_rows = n;
+  spec.n_features = 4;
+  spec.imbalance = imbalance;
+  spec.seed = 99;
+  return make_classification(spec);
+}
+
+TEST(Shuffle, IsPermutation) {
+  Dataset data = binary_data(200);
+  Rng rng(1);
+  auto idx = shuffled_indices(data, rng);
+  std::set<std::uint32_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 200u);
+  EXPECT_EQ(*unique.rbegin(), 199u);
+}
+
+TEST(StratifiedShuffle, IsPermutation) {
+  Dataset data = binary_data(300);
+  Rng rng(2);
+  auto idx = stratified_shuffled_indices(data, rng);
+  std::set<std::uint32_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 300u);
+}
+
+TEST(StratifiedShuffle, PrefixesPreserveClassRatio) {
+  Dataset data = binary_data(1000, /*imbalance=*/0.6);
+  Rng rng(3);
+  auto idx = stratified_shuffled_indices(data, rng);
+  double full_pos = 0.0;
+  for (std::uint32_t r : idx) full_pos += data.label(r);
+  full_pos /= 1000.0;
+  for (std::size_t prefix : {50u, 100u, 250u, 500u}) {
+    double pos = 0.0;
+    for (std::size_t i = 0; i < prefix; ++i) pos += data.label(idx[i]);
+    pos /= static_cast<double>(prefix);
+    EXPECT_NEAR(pos, full_pos, 0.06) << "prefix " << prefix;
+  }
+}
+
+TEST(StratifiedShuffle, RejectsRegression) {
+  Dataset data = make_friedman1(100, 5, 0.1, 7);
+  Rng rng(4);
+  EXPECT_THROW(stratified_shuffled_indices(data, rng), InvalidArgument);
+}
+
+TEST(TaskShuffle, DispatchesByTask) {
+  Dataset reg = make_friedman1(50, 5, 0.1, 7);
+  Dataset cls = binary_data(50);
+  Rng rng(5);
+  EXPECT_EQ(task_shuffled_indices(reg, rng).size(), 50u);
+  EXPECT_EQ(task_shuffled_indices(cls, rng).size(), 50u);
+}
+
+TEST(Holdout, SplitsAreDisjointAndCover) {
+  Dataset data = binary_data(200);
+  Rng rng(6);
+  auto split = holdout_split(DataView(data), 0.25, rng);
+  std::set<std::uint32_t> train(split.train.rows().begin(), split.train.rows().end());
+  std::set<std::uint32_t> test(split.test.rows().begin(), split.test.rows().end());
+  EXPECT_EQ(train.size() + test.size(), 200u);
+  for (std::uint32_t r : test) EXPECT_EQ(train.count(r), 0u);
+}
+
+TEST(Holdout, RatioApproximatelyRespected) {
+  Dataset data = binary_data(1000);
+  Rng rng(7);
+  auto split = holdout_split(DataView(data), 0.2, rng);
+  EXPECT_NEAR(static_cast<double>(split.test.n_rows()) / 1000.0, 0.2, 0.03);
+}
+
+TEST(Holdout, StratifiedForClassification) {
+  Dataset data = binary_data(1000, 0.7);
+  Rng rng(8);
+  auto split = holdout_split(DataView(data), 0.2, rng);
+  auto ratio = [&](const DataView& v) {
+    double pos = 0.0;
+    for (std::size_t i = 0; i < v.n_rows(); ++i) pos += v.label(i);
+    return pos / static_cast<double>(v.n_rows());
+  };
+  EXPECT_NEAR(ratio(split.train), ratio(split.test), 0.05);
+}
+
+TEST(Holdout, RejectsBadRatio) {
+  Dataset data = binary_data(50);
+  Rng rng(9);
+  EXPECT_THROW(holdout_split(DataView(data), 0.0, rng), InvalidArgument);
+  EXPECT_THROW(holdout_split(DataView(data), 1.0, rng), InvalidArgument);
+}
+
+class KFoldTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KFoldTest, FoldsAreDisjointAndCover) {
+  const int k = GetParam();
+  Dataset data = binary_data(331);
+  Rng rng(10);
+  auto folds = kfold_split(DataView(data), k, rng);
+  ASSERT_EQ(folds.size(), static_cast<std::size_t>(k));
+  std::set<std::uint32_t> all_valid;
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.train.n_rows() + fold.valid.n_rows(), 331u);
+    std::set<std::uint32_t> train(fold.train.rows().begin(), fold.train.rows().end());
+    for (std::uint32_t r : fold.valid.rows()) {
+      EXPECT_EQ(train.count(r), 0u);
+      EXPECT_TRUE(all_valid.insert(r).second) << "row in two validation folds";
+    }
+  }
+  EXPECT_EQ(all_valid.size(), 331u);
+}
+
+TEST_P(KFoldTest, FoldSizesBalanced) {
+  const int k = GetParam();
+  Dataset data = binary_data(500);
+  Rng rng(11);
+  auto folds = kfold_split(DataView(data), k, rng);
+  std::size_t min_size = 500, max_size = 0;
+  for (const auto& fold : folds) {
+    min_size = std::min(min_size, fold.valid.n_rows());
+    max_size = std::max(max_size, fold.valid.n_rows());
+  }
+  EXPECT_LE(max_size - min_size, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KFoldTest, ::testing::Values(2, 3, 5, 10));
+
+TEST(KFold, StratifiedClassBalance) {
+  Dataset data = binary_data(600, 0.7);
+  Rng rng(12);
+  auto folds = kfold_split(DataView(data), 5, rng);
+  double full_pos = 0.0;
+  for (std::size_t i = 0; i < data.n_rows(); ++i) full_pos += data.label(i);
+  full_pos /= static_cast<double>(data.n_rows());
+  for (const auto& fold : folds) {
+    double pos = 0.0;
+    for (std::size_t i = 0; i < fold.valid.n_rows(); ++i) pos += fold.valid.label(i);
+    pos /= static_cast<double>(fold.valid.n_rows());
+    EXPECT_NEAR(pos, full_pos, 0.05);
+  }
+}
+
+TEST(KFold, WorksOnSubview) {
+  Dataset data = binary_data(100);
+  Rng rng(13);
+  std::vector<std::uint32_t> rows;
+  for (std::uint32_t r = 0; r < 50; ++r) rows.push_back(r * 2);
+  auto folds = kfold_split(DataView(data, rows), 5, rng);
+  for (const auto& fold : folds) {
+    for (std::uint32_t r : fold.valid.rows()) EXPECT_EQ(r % 2, 0u);
+  }
+}
+
+TEST(KFold, RejectsBadK) {
+  Dataset data = binary_data(50);
+  Rng rng(14);
+  EXPECT_THROW(kfold_split(DataView(data), 1, rng), InvalidArgument);
+}
+
+TEST(KFold, RegressionFolds) {
+  Dataset data = make_friedman1(120, 6, 0.1, 3);
+  Rng rng(15);
+  auto folds = kfold_split(DataView(data), 4, rng);
+  EXPECT_EQ(folds.size(), 4u);
+  std::size_t total = 0;
+  for (const auto& fold : folds) total += fold.valid.n_rows();
+  EXPECT_EQ(total, 120u);
+}
+
+}  // namespace
+}  // namespace flaml

@@ -1,0 +1,87 @@
+#include "data/suite.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace flaml {
+namespace {
+
+TEST(Suite, HasAllThreeGroups) {
+  EXPECT_GE(suite_group(SuiteGroup::Binary).size(), 10u);
+  EXPECT_GE(suite_group(SuiteGroup::MultiClass).size(), 8u);
+  EXPECT_GE(suite_group(SuiteGroup::Regression).size(), 6u);
+}
+
+TEST(Suite, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& e : benchmark_suite()) {
+    EXPECT_TRUE(names.insert(e.name).second) << "duplicate " << e.name;
+  }
+}
+
+TEST(Suite, LookupByName) {
+  const SuiteEntry& e = suite_entry("higgs");
+  EXPECT_EQ(e.group, SuiteGroup::Binary);
+  EXPECT_THROW(suite_entry("nope"), InvalidArgument);
+}
+
+TEST(Suite, GroupNames) {
+  EXPECT_STREQ(suite_group_name(SuiteGroup::Binary), "binary");
+  EXPECT_STREQ(suite_group_name(SuiteGroup::MultiClass), "multiclass");
+  EXPECT_STREQ(suite_group_name(SuiteGroup::Regression), "regression");
+}
+
+class SuiteMaterializeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteMaterializeTest, MaterializesAtSmallScale) {
+  const SuiteEntry& entry = suite_entry(GetParam());
+  Dataset data = make_suite_dataset(entry, 0.2);
+  EXPECT_GE(data.n_rows(), 200u);
+  EXPECT_NO_THROW(data.validate());
+  switch (entry.group) {
+    case SuiteGroup::Binary:
+      EXPECT_EQ(data.task(), Task::BinaryClassification);
+      break;
+    case SuiteGroup::MultiClass:
+      EXPECT_EQ(data.task(), Task::MultiClassification);
+      EXPECT_GE(data.n_classes(), 3);
+      break;
+    case SuiteGroup::Regression:
+      EXPECT_EQ(data.task(), Task::Regression);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEntries, SuiteMaterializeTest,
+    ::testing::Values("blood-transfusion", "australian", "credit-g", "kc1", "phoneme",
+                      "christine", "amazon-employee", "adult", "aps-failure", "higgs",
+                      "miniboone", "airlines", "car", "vehicle", "mfeat-factors",
+                      "segment", "shuttle", "connect-4", "helena", "jannis",
+                      "covertype", "dionis", "bng-echomonths", "pol", "houses",
+                      "house-16h", "fried", "mv", "poker", "bng-pbc"));
+
+TEST(Suite, RowScaleScalesRows) {
+  const SuiteEntry& entry = suite_entry("higgs");
+  Dataset small = make_suite_dataset(entry, 0.05);
+  Dataset big = make_suite_dataset(entry, 0.2);
+  EXPECT_LT(small.n_rows(), big.n_rows());
+}
+
+TEST(Suite, DeterministicMaterialization) {
+  const SuiteEntry& entry = suite_entry("adult");
+  Dataset a = make_suite_dataset(entry, 0.1);
+  Dataset b = make_suite_dataset(entry, 0.1);
+  ASSERT_EQ(a.n_rows(), b.n_rows());
+  for (std::size_t i = 0; i < a.n_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(a.label(i), b.label(i));
+  }
+}
+
+TEST(Suite, RejectsNonPositiveScale) {
+  EXPECT_THROW(make_suite_dataset(suite_entry("higgs"), 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace flaml

@@ -1,0 +1,119 @@
+#include "tuners/tpe.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "tuners/random_search.h"
+
+namespace flaml {
+namespace {
+
+ConfigSpace box_space(int d) {
+  ConfigSpace space;
+  for (int i = 0; i < d; ++i) {
+    space.add_float("x" + std::to_string(i), 0.0, 1.0, 0.5);
+  }
+  return space;
+}
+
+double sphere_error(const Config& c, int d) {
+  double err = 0.0;
+  for (int i = 0; i < d; ++i) {
+    double v = c.at("x" + std::to_string(i));
+    err += (v - 0.3) * (v - 0.3);
+  }
+  return err;
+}
+
+TEST(Tpe, ProposalsStayInBounds) {
+  ConfigSpace space = box_space(3);
+  Tpe tuner(space, 1);
+  for (int i = 0; i < 100; ++i) {
+    Config c = tuner.ask();
+    for (int j = 0; j < 3; ++j) {
+      double v = c.at("x" + std::to_string(j));
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+    tuner.tell(c, sphere_error(c, 3));
+  }
+  EXPECT_EQ(tuner.n_observations(), 100u);
+}
+
+TEST(Tpe, ModelPhaseConcentratesNearGoodRegion) {
+  const int d = 2;
+  ConfigSpace space = box_space(d);
+  Tpe tuner(space, 3);
+  for (int i = 0; i < 150; ++i) {
+    Config c = tuner.ask();
+    tuner.tell(c, sphere_error(c, d));
+  }
+  // After the model kicks in, proposals should concentrate near (0.3, 0.3).
+  double mean_dist = 0.0;
+  const int probes = 40;
+  for (int i = 0; i < probes; ++i) {
+    Config c = tuner.ask();
+    mean_dist += std::sqrt(sphere_error(c, d));
+    tuner.tell(c, sphere_error(c, d));
+  }
+  mean_dist /= probes;
+  // Uniform sampling would give mean distance ~0.45; TPE must do better.
+  EXPECT_LT(mean_dist, 0.3);
+}
+
+TEST(Tpe, BeatsRandomSearchOnBudget) {
+  const int d = 3;
+  const int budget = 120;
+  ConfigSpace space = box_space(d);
+
+  double best_tpe = 1e9;
+  Tpe tpe(space, 5);
+  for (int i = 0; i < budget; ++i) {
+    Config c = tpe.ask();
+    double e = sphere_error(c, d);
+    best_tpe = std::min(best_tpe, e);
+    tpe.tell(c, e);
+  }
+
+  double best_random = 1e9;
+  RandomSearch random(space, 5);
+  for (int i = 0; i < budget; ++i) {
+    Config c = random.ask();
+    double e = sphere_error(c, d);
+    best_random = std::min(best_random, e);
+    random.tell(c, e);
+  }
+  EXPECT_LE(best_tpe, best_random * 1.5);  // at least comparable, usually better
+}
+
+TEST(Tpe, HandlesCategoricalDims) {
+  ConfigSpace space;
+  space.add_categorical("c", {"a", "b", "c"}, 0);
+  space.add_float("x", 0.0, 1.0, 0.5);
+  Tpe tuner(space, 7);
+  // Category "b" is good, others bad.
+  for (int i = 0; i < 80; ++i) {
+    Config c = tuner.ask();
+    double err = (c.at("c") == 1.0 ? 0.0 : 1.0) + std::fabs(c.at("x") - 0.5);
+    tuner.tell(c, err);
+  }
+  int good = 0;
+  for (int i = 0; i < 30; ++i) {
+    Config c = tuner.ask();
+    good += c.at("c") == 1.0 ? 1 : 0;
+    tuner.tell(c, c.at("c") == 1.0 ? 0.0 : 1.0);
+  }
+  EXPECT_GT(good, 15);
+}
+
+TEST(Tpe, RejectsBadGamma) {
+  ConfigSpace space = box_space(1);
+  TpeOptions options;
+  options.gamma = 1.5;
+  EXPECT_THROW(Tpe(space, 1, options), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace flaml

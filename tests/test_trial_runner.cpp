@@ -1,0 +1,211 @@
+#include "automl/trial_runner.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "learners/registry.h"
+
+namespace flaml {
+namespace {
+
+Dataset binary_data(std::size_t n = 400) {
+  SyntheticSpec spec;
+  spec.task = Task::BinaryClassification;
+  spec.n_rows = n;
+  spec.n_features = 6;
+  spec.seed = 4;
+  return make_classification(spec);
+}
+
+TEST(ResamplingRule, SmallDataLargeBudgetIsCV) {
+  // 10k x 28 with a 1-hour budget: rate = 280k/h < 10M/h and n < 100K.
+  EXPECT_EQ(propose_resampling(10000, 28, 3600.0), Resampling::CV);
+}
+
+TEST(ResamplingRule, SmallBudgetIsHoldout) {
+  // Same data with a 1-minute budget: rate = 16.8M/h > 10M/h.
+  EXPECT_EQ(propose_resampling(10000, 28, 60.0), Resampling::Holdout);
+}
+
+TEST(ResamplingRule, HugeDataIsHoldout) {
+  EXPECT_EQ(propose_resampling(500000, 10, 36000.0), Resampling::Holdout);
+}
+
+TEST(ResamplingRule, ThresholdBoundary) {
+  // Exactly at 100K instances: not < 100K -> holdout.
+  EXPECT_EQ(propose_resampling(100000, 1, 1e9), Resampling::Holdout);
+  EXPECT_EQ(propose_resampling(99999, 1, 1e9), Resampling::CV);
+}
+
+TEST(TrialRunner, HoldoutReservesValidationRows) {
+  Dataset data = binary_data(500);
+  TrialRunner::Options options;
+  options.resampling = Resampling::Holdout;
+  options.holdout_ratio = 0.1;
+  TrialRunner runner(data, ErrorMetric::default_for(data.task()), options);
+  EXPECT_EQ(runner.max_sample_size(), 450u);
+}
+
+TEST(TrialRunner, CvUsesAllRows) {
+  Dataset data = binary_data(500);
+  TrialRunner::Options options;
+  options.resampling = Resampling::CV;
+  TrialRunner runner(data, ErrorMetric::default_for(data.task()), options);
+  EXPECT_EQ(runner.max_sample_size(), 500u);
+}
+
+class RunnerModeTest : public ::testing::TestWithParam<Resampling> {};
+
+TEST_P(RunnerModeTest, TrialReturnsFiniteErrorAndPositiveCost) {
+  Dataset data = binary_data(400);
+  TrialRunner::Options options;
+  options.resampling = GetParam();
+  TrialRunner runner(data, ErrorMetric::default_for(data.task()), options);
+  LearnerPtr learner = builtin_learner("lgbm");
+  Config config = learner->space(data.task(), runner.max_sample_size()).initial_config();
+  TrialResult result = runner.run(*learner, config, 200);
+  EXPECT_TRUE(result.ok);
+  EXPECT_GE(result.error, 0.0);
+  EXPECT_LE(result.error, 1.0);  // 1 - auc
+  EXPECT_GT(result.cost, 0.0);
+}
+
+TEST_P(RunnerModeTest, BiggerConfigCostsMore) {
+  Dataset data = binary_data(1500);
+  TrialRunner::Options options;
+  options.resampling = GetParam();
+  TrialRunner runner(data, ErrorMetric::default_for(data.task()), options);
+  LearnerPtr learner = builtin_learner("lgbm");
+  ConfigSpace space = learner->space(data.task(), runner.max_sample_size());
+  Config cheap = space.initial_config();
+  Config expensive = cheap;
+  expensive["tree_num"] = 120;
+  expensive["leaf_num"] = 63;
+  TrialResult r_cheap = runner.run(*learner, cheap, 1000);
+  TrialResult r_costly = runner.run(*learner, expensive, 1000);
+  EXPECT_GT(r_costly.cost, r_cheap.cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, RunnerModeTest,
+                         ::testing::Values(Resampling::CV, Resampling::Holdout));
+
+TEST(TrialRunner, SampleSizeClampedToMax) {
+  Dataset data = binary_data(300);
+  TrialRunner::Options options;
+  options.resampling = Resampling::Holdout;
+  TrialRunner runner(data, ErrorMetric::default_for(data.task()), options);
+  LearnerPtr learner = builtin_learner("lgbm");
+  Config config = learner->space(data.task(), runner.max_sample_size()).initial_config();
+  TrialResult result = runner.run(*learner, config, 100000);
+  EXPECT_TRUE(result.ok);
+}
+
+TEST(TrialRunner, LargerSampleImprovesHoldoutError) {
+  // Observation 1: error decreases (or stays) with sample size. Checked in
+  // expectation on an easy dataset with a clear margin.
+  SyntheticSpec spec;
+  spec.task = Task::BinaryClassification;
+  spec.n_rows = 3000;
+  spec.n_features = 8;
+  spec.class_sep = 1.2;
+  spec.nonlinearity = 0.6;
+  spec.seed = 12;
+  Dataset data = make_classification(spec);
+  TrialRunner::Options options;
+  options.resampling = Resampling::Holdout;
+  TrialRunner runner(data, ErrorMetric::default_for(data.task()), options);
+  LearnerPtr learner = builtin_learner("lgbm");
+  ConfigSpace space = learner->space(data.task(), runner.max_sample_size());
+  Config config = space.initial_config();
+  config["tree_num"] = 40;
+  config["leaf_num"] = 15;
+  TrialResult small = runner.run(*learner, config, 100);
+  TrialResult large = runner.run(*learner, config, 2700);
+  EXPECT_LT(large.error, small.error + 0.02);
+}
+
+TEST(TrialRunner, FailingLearnerReportsNotOk) {
+  class ThrowingLearner final : public Learner {
+   public:
+    const std::string& name() const override {
+      static const std::string n = "thrower";
+      return n;
+    }
+    bool supports(Task) const override { return true; }
+    ConfigSpace space(Task, std::size_t) const override {
+      ConfigSpace s;
+      s.add_float("x", 0.0, 1.0, 0.5);
+      return s;
+    }
+    std::unique_ptr<Model> train(const TrainContext&, const Config&) const override {
+      throw std::runtime_error("synthetic failure");
+    }
+    double initial_cost_multiplier() const override { return 1.0; }
+  };
+  Dataset data = binary_data(100);
+  TrialRunner::Options options;
+  TrialRunner runner(data, ErrorMetric::default_for(data.task()), options);
+  ThrowingLearner learner;
+  Config config;
+  config["x"] = 0.5;
+  TrialResult result = runner.run(learner, config, 50);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(std::isinf(result.error));
+  EXPECT_GT(result.cost, 0.0);
+}
+
+TEST(TrialRunner, TrainFinalProducesWorkingModel) {
+  Dataset data = binary_data(300);
+  TrialRunner::Options options;
+  TrialRunner runner(data, ErrorMetric::default_for(data.task()), options);
+  LearnerPtr learner = builtin_learner("lgbm");
+  Config config = learner->space(data.task(), runner.max_sample_size()).initial_config();
+  auto model = runner.train_final(*learner, config);
+  Predictions pred = model->predict(DataView(data));
+  EXPECT_EQ(pred.n_rows(), 300u);
+}
+
+TEST(TrialRunner, RejectsTinySample) {
+  Dataset data = binary_data(100);
+  TrialRunner::Options options;
+  TrialRunner runner(data, ErrorMetric::default_for(data.task()), options);
+  LearnerPtr learner = builtin_learner("lgbm");
+  Config config = learner->space(data.task(), 90).initial_config();
+  EXPECT_THROW(runner.run(*learner, config, 1), InvalidArgument);
+}
+
+TEST(TrialRunner, DeadlineKillsTrialButNotFinalRetrain) {
+  // A config far too big for the deadline: the TRIAL reports failure
+  // (killed-trial semantics), while train_final with the same cap returns a
+  // truncated-but-usable model (safety-cap semantics).
+  SyntheticSpec spec;
+  spec.task = Task::BinaryClassification;
+  spec.n_rows = 4000;
+  spec.n_features = 20;
+  spec.seed = 77;
+  Dataset data = make_classification(spec);
+  TrialRunner::Options options;
+  options.resampling = Resampling::Holdout;
+  TrialRunner runner(data, ErrorMetric::default_for(data.task()), options);
+  LearnerPtr learner = builtin_learner("lgbm");
+  ConfigSpace space = learner->space(data.task(), runner.max_sample_size());
+  Config huge = space.initial_config();
+  huge["tree_num"] = 4000;
+  huge["leaf_num"] = 255;
+  TrialResult trial = runner.run(*learner, huge, runner.max_sample_size(), 0.05);
+  EXPECT_FALSE(trial.ok);
+  EXPECT_TRUE(std::isinf(trial.error));
+  EXPECT_GE(trial.cost, 0.04);  // the budget was still spent
+
+  auto model = runner.train_final(*learner, huge, 0.05);
+  Predictions pred = model->predict(DataView(data));
+  EXPECT_EQ(pred.n_rows(), data.n_rows());
+}
+
+TEST(TrialRunner, ResamplingNames) {
+  EXPECT_STREQ(resampling_name(Resampling::CV), "cv");
+  EXPECT_STREQ(resampling_name(Resampling::Holdout), "holdout");
+}
+
+}  // namespace
+}  // namespace flaml

@@ -1,0 +1,157 @@
+// Sample-weight support across the learners: a heavily up-weighted subset
+// must dominate training while metrics stay unweighted.
+#include <gtest/gtest.h>
+
+#include "boosting/gbdt.h"
+#include "data/generators.h"
+#include "forest/forest.h"
+#include "linear/linear_model.h"
+#include "metrics/metrics.h"
+
+namespace flaml {
+namespace {
+
+// Two clusters with CONTRADICTORY labels in overlapping x-region; the
+// up-weighted group decides the learned boundary.
+Dataset conflicted_binary(double weight_group_a) {
+  Dataset data(Task::BinaryClassification, {{"x", ColumnType::Numeric, 0}});
+  std::vector<float> x;
+  std::vector<double> y, w;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    float v = static_cast<float>(rng.normal());
+    // group A says: label = (x > 0); group B says the opposite.
+    x.push_back(v);
+    y.push_back(v > 0 ? 1.0 : 0.0);
+    w.push_back(weight_group_a);
+    x.push_back(v);
+    y.push_back(v > 0 ? 0.0 : 1.0);
+    w.push_back(1.0);
+  }
+  data.set_column(0, std::move(x));
+  data.set_labels(std::move(y));
+  data.set_weights(std::move(w));
+  data.validate();
+  return data;
+}
+
+// Accuracy of "label = (x > 0)" convention on predictions.
+double group_a_agreement(const Predictions& pred, const Dataset& data) {
+  int agree = 0, total = 0;
+  for (std::size_t i = 0; i < pred.n_rows(); i += 2) {  // group A rows are even
+    double x = data.value(i, 0);
+    int predicted = pred.prob(i, 1) >= 0.5 ? 1 : 0;
+    int group_a_label = x > 0 ? 1 : 0;
+    agree += predicted == group_a_label ? 1 : 0;
+    ++total;
+  }
+  return static_cast<double>(agree) / total;
+}
+
+TEST(SampleWeights, DatasetValidation) {
+  Dataset data(Task::Regression, {{"x", ColumnType::Numeric, 0}});
+  data.set_column(0, {1.0f, 2.0f});
+  data.set_labels({1.0, 2.0});
+  data.set_weights({1.0});  // wrong length
+  EXPECT_THROW(data.validate(), InvalidArgument);
+  data.set_weights({1.0, -1.0});  // non-positive
+  EXPECT_THROW(data.validate(), InvalidArgument);
+  data.set_weights({1.0, 2.5});
+  EXPECT_NO_THROW(data.validate());
+  EXPECT_DOUBLE_EQ(data.weight(1), 2.5);
+  EXPECT_DOUBLE_EQ(Dataset(Task::Regression, {{"y", ColumnType::Numeric, 0}}).weight(0),
+                   1.0);
+}
+
+TEST(SampleWeights, ViewAndMaterializePropagate) {
+  Dataset data(Task::Regression, {{"x", ColumnType::Numeric, 0}});
+  data.set_column(0, {1.0f, 2.0f, 3.0f});
+  data.set_labels({1, 2, 3});
+  data.set_weights({1.0, 2.0, 3.0});
+  DataView view(data, {2, 0});
+  auto w = view.weights();
+  EXPECT_DOUBLE_EQ(w[0], 3.0);
+  EXPECT_DOUBLE_EQ(w[1], 1.0);
+  Dataset copy = materialize(view);
+  EXPECT_TRUE(copy.has_weights());
+  EXPECT_DOUBLE_EQ(copy.weight(0), 3.0);
+}
+
+TEST(SampleWeights, GbdtFollowsUpweightedGroup) {
+  Dataset data = conflicted_binary(20.0);
+  GBDTParams params;
+  params.n_trees = 20;
+  params.max_leaves = 7;
+  GBDTModel model = train_gbdt(DataView(data), nullptr, params);
+  EXPECT_GT(group_a_agreement(model.predict(DataView(data)), data), 0.9);
+}
+
+TEST(SampleWeights, GbdtBalancedWeightsStayAmbivalent) {
+  Dataset data = conflicted_binary(1.0);
+  GBDTParams params;
+  params.n_trees = 20;
+  params.max_leaves = 7;
+  GBDTModel model = train_gbdt(DataView(data), nullptr, params);
+  Predictions pred = model.predict(DataView(data));
+  // With perfectly contradictory evidence every probability stays near 0.5.
+  for (std::size_t i = 0; i < pred.n_rows(); ++i) {
+    EXPECT_NEAR(pred.prob(i, 1), 0.5, 0.2);
+  }
+}
+
+TEST(SampleWeights, ForestClassificationFollowsUpweightedGroup) {
+  Dataset data = conflicted_binary(20.0);
+  ForestParams params;
+  params.n_trees = 15;
+  ForestModel model = train_forest(DataView(data), params);
+  EXPECT_GT(group_a_agreement(model.predict(DataView(data)), data), 0.85);
+}
+
+TEST(SampleWeights, ForestRegressionWeightedMean) {
+  // Same x for all rows, conflicting targets 0 and 12 with weights 3:1:
+  // the single-leaf prediction must be the weighted mean 9.
+  Dataset data(Task::Regression, {{"x", ColumnType::Numeric, 0}});
+  std::vector<float> x(100, 1.0f);
+  std::vector<double> y, w;
+  for (int i = 0; i < 100; ++i) {
+    y.push_back(i % 2 == 0 ? 12.0 : 0.0);
+    w.push_back(i % 2 == 0 ? 3.0 : 1.0);
+  }
+  data.set_column(0, std::move(x));
+  data.set_labels(std::move(y));
+  data.set_weights(std::move(w));
+  ForestParams params;
+  params.n_trees = 3;
+  params.extra_trees = true;  // no bootstrap: deterministic mean
+  ForestModel model = train_forest(DataView(data), params);
+  Predictions pred = model.predict(DataView(data));
+  EXPECT_NEAR(pred.values[0], 9.0, 1e-6);
+}
+
+TEST(SampleWeights, LinearFollowsUpweightedGroup) {
+  Dataset data = conflicted_binary(25.0);
+  LinearParams params;
+  params.c = 10.0;
+  LinearModel model = train_linear(DataView(data), params);
+  EXPECT_GT(group_a_agreement(model.predict(DataView(data)), data), 0.9);
+}
+
+TEST(SampleWeights, UniformWeightsMatchUnweighted) {
+  SyntheticSpec spec;
+  spec.task = Task::BinaryClassification;
+  spec.n_rows = 300;
+  spec.n_features = 5;
+  spec.seed = 9;
+  Dataset plain = make_classification(spec);
+  Dataset weighted = make_classification(spec);
+  weighted.set_weights(std::vector<double>(300, 1.0));
+  GBDTParams params;
+  params.n_trees = 10;
+  params.seed = 77;
+  GBDTModel a = train_gbdt(DataView(plain), nullptr, params);
+  GBDTModel b = train_gbdt(DataView(weighted), nullptr, params);
+  EXPECT_EQ(a.to_string(), b.to_string());
+}
+
+}  // namespace
+}  // namespace flaml
