@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full pre-merge check: build + test Release, ASan+UBSan, and TSan.
+#
+# Usage:
+#   scripts/check.sh            # all three configurations
+#   scripts/check.sh tsan       # a single preset (release|asan|ubsan|tsan)
+#   FLAML_CHECK_JOBS=8 scripts/check.sh
+#
+# Each configuration runs the whole ctest suite, including the `stress`
+# label; sanitizer configs halt on the first report, so a clean exit means
+# zero findings.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="${FLAML_CHECK_JOBS:-$(nproc)}"
+presets=("${@:-release}")
+if [ "$#" -eq 0 ]; then
+  presets=(release asan ubsan tsan)
+fi
+
+for preset in "${presets[@]}"; do
+  echo "==== [$preset] configure ===="
+  cmake --preset "$preset"
+  echo "==== [$preset] build ===="
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "==== [$preset] test ===="
+  ctest --preset "$preset" -j "$jobs"
+done
+
+echo "All checks passed: ${presets[*]}"

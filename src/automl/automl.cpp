@@ -12,6 +12,23 @@
 
 namespace flaml {
 
+namespace {
+
+// Per-trial seed salt: FNV-1a of the learner name mixed with the learner's
+// own proposal index. A pure function of (learner, per-learner trial count),
+// so a trial's training seed does not depend on how concurrent trials of
+// OTHER learners interleave — the keystone of parallel-search determinism.
+std::uint64_t trial_salt(const std::string& learner, std::uint64_t index) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char ch : learner) {
+    h = (h ^ static_cast<unsigned char>(ch)) * 0x100000001b3ULL;
+  }
+  h ^= index + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h == 0 ? 1 : h;  // 0 means "use the runner's internal counter"
+}
+
+}  // namespace
+
 AutoML::AutoML() = default;
 
 void AutoML::add_learner(LearnerPtr learner) {
@@ -85,6 +102,7 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
   runner_options.cv_folds = options.cv_folds;
   runner_options.holdout_ratio = options.holdout_ratio;
   runner_options.seed = options.seed;
+  runner_options.cost_model = options.trial_cost_model;
   runner_ = std::make_unique<TrialRunner>(data, metric, runner_options);
   const std::size_t full_size = runner_->max_sample_size();
 
@@ -152,9 +170,11 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
   struct Proposal {
     Config config;
     bool grow_sample = false;
+    std::uint64_t seed_salt = 0;
   };
   auto propose = [&](LearnerState& state) {
     Proposal p;
+    p.seed_salt = trial_salt(state.learner->name(), ++state.n_proposed);
     const bool can_grow = options.sample_policy == SamplePolicy::Adaptive &&
                           state.sample_size < full_size;
     if (state.eci.tried() && can_grow &&
@@ -230,10 +250,13 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
                      << " cost=" << trial.cost;
   };
 
-  auto pick_learner = [&]() -> std::size_t {
+  // `pending` = trials launched but not yet committed (0 in serial mode):
+  // round-robin rotates over the slot index iteration + pending so that a
+  // parallel launch sequence visits learners in exactly the serial order.
+  auto pick_learner = [&](std::size_t pending) -> std::size_t {
     if (!calibrated) return fastest;  // appendix rule: fastest learner first
     if (options.learner_choice == LearnerChoice::RoundRobin) {
-      return static_cast<std::size_t>(iteration) % states_.size();
+      return (static_cast<std::size_t>(iteration) + pending) % states_.size();
     }
     return choose_learner(rng, options.learner_choice == LearnerChoice::EciGreedy, c);
   };
@@ -241,15 +264,20 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
   auto target_reached = [&]() {
     return options.target_error >= 0.0 && best_error_ <= options.target_error;
   };
+  auto iterations_left = [&](std::size_t pending) {
+    return options.max_iterations == 0 ||
+           static_cast<std::size_t>(iteration) + pending < options.max_iterations;
+  };
 
   if (options.n_parallel <= 1) {
-    while (clock.now() < budget && !target_reached()) {
-      LearnerState& state = states_[pick_learner()];
+    while (clock.now() < budget && !target_reached() && iterations_left(0)) {
+      LearnerState& state = states_[pick_learner(0)];
       Proposal proposal = propose(state);
       const double remaining = budget - clock.now();
       if (remaining <= 0.0) break;
       TrialResult trial = runner_->run(*state.learner, proposal.config,
-                                       state.sample_size, remaining);
+                                       state.sample_size, remaining,
+                                       proposal.seed_salt);
       commit(state, proposal, trial);
     }
   } else {
@@ -269,29 +297,37 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
 
     auto launch_one = [&]() -> bool {
       const double remaining = budget - clock.now();
-      if (remaining <= 0.0) return false;
+      if (remaining <= 0.0 || !iterations_left(inflight.size())) return false;
       for (int attempt = 0; attempt < 16; ++attempt) {
-        std::size_t idx = pick_learner();
-        if (busy[idx]) continue;  // one outstanding trial per learner
+        std::size_t idx = pick_learner(inflight.size());
+        if (busy[idx]) {
+          // One outstanding trial per learner. Round-robin always maps the
+          // current slot to the same learner, so retrying cannot help.
+          if (options.learner_choice == LearnerChoice::RoundRobin) return false;
+          continue;
+        }
         LearnerState& state = states_[idx];
         Proposal proposal = propose(state);
         busy[idx] = true;
         const Learner* learner = state.learner.get();
         const std::size_t sample_size = state.sample_size;
         Config config = proposal.config;
+        const std::uint64_t salt = proposal.seed_salt;
         InFlight entry;
         entry.state_idx = idx;
         entry.proposal = std::move(proposal);
-        entry.future = pool.submit([this, learner, config, sample_size, remaining] {
-          return runner_->run(*learner, config, sample_size, remaining);
-        });
+        entry.future =
+            pool.submit([this, learner, config, sample_size, remaining, salt] {
+              return runner_->run(*learner, config, sample_size, remaining, salt);
+            });
         inflight.push_back(std::move(entry));
         return true;
       }
       return false;
     };
 
-    while (clock.now() < budget && !target_reached()) {
+    while (clock.now() < budget && !target_reached() &&
+           (!inflight.empty() || iterations_left(0))) {
       // The calibration trial runs alone (its cost seeds every ECI).
       const int cap = calibrated ? options.n_parallel : 1;
       while (static_cast<int>(inflight.size()) < cap && launch_one()) {

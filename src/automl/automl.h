@@ -83,6 +83,16 @@ struct AutoMLOptions {
   // threshold"). Negative = disabled.
   double target_error = -1.0;
 
+  // Stop after this many finished trials (0 = unlimited). Unlike the wall
+  // budget this is deterministic, which the stress suite relies on: with a
+  // trial_cost_model set and the same seed, the whole search is a pure
+  // function of the options.
+  std::size_t max_iterations = 0;
+
+  // Testing/simulation: deterministic trial costs instead of measured
+  // wall-clock seconds (see TrialCostModel in trial_runner.h).
+  TrialCostModel trial_cost_model;
+
   std::uint64_t seed = 1;
 };
 
@@ -132,6 +142,10 @@ class AutoML {
     std::size_t sample_size = 0;
     double best_error = std::numeric_limits<double>::infinity();
     Config best_config;
+    // Trials proposed for this learner so far; combined with the learner
+    // name it salts the per-trial training seed, making each learner's
+    // trial sequence independent of the global (parallel) launch order.
+    std::uint64_t n_proposed = 0;
   };
 
   std::size_t choose_learner(Rng& rng, bool greedy, double c) const;

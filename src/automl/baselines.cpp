@@ -88,6 +88,12 @@ void BaselineAutoML::fit(const Dataset& data, const BaselineOptions& options) {
     return std::max(budget - clock.now(), 0.0) + 0.5 * budget;
   };
 
+  auto keep_going = [&]() {
+    return clock.now() < budget &&
+           (options.max_iterations == 0 ||
+            static_cast<std::size_t>(iteration) < options.max_iterations);
+  };
+
   auto run_trial = [&](std::size_t learner_idx, const Config& config,
                        std::size_t sample_size) {
     ++iteration;
@@ -115,7 +121,7 @@ void BaselineAutoML::fit(const Dataset& data, const BaselineOptions& options) {
     case BaselineKind::Bohb: {
       const std::size_t min_f = std::min(std::max<std::size_t>(options.min_fidelity, 10), full);
       BohbScheduler scheduler(joint.space(), min_f, full, tuner_seed);
-      while (clock.now() < budget) {
+      while (keep_going()) {
         auto assignment = scheduler.next();
         auto [idx, config] = joint.split(assignment.config);
         TrialResult trial = run_trial(idx, config, assignment.fidelity);
@@ -125,7 +131,7 @@ void BaselineAutoML::fit(const Dataset& data, const BaselineOptions& options) {
     }
     case BaselineKind::Tpe: {
       Tpe tuner(joint.space(), tuner_seed);
-      while (clock.now() < budget) {
+      while (keep_going()) {
         Config jc = tuner.ask();
         auto [idx, config] = joint.split(jc);
         TrialResult trial = run_trial(idx, config, full);
@@ -146,7 +152,7 @@ void BaselineAutoML::fit(const Dataset& data, const BaselineOptions& options) {
             std::make_unique<RandomizedGridSearch>(*spaces.back(), tuner_seed + i, 5, /*start_from_default=*/false));
       }
       std::size_t turn = 0;
-      while (clock.now() < budget) {
+      while (keep_going()) {
         std::size_t idx = turn % lineup.size();
         ++turn;
         Config config = grids[idx]->ask();
@@ -157,7 +163,7 @@ void BaselineAutoML::fit(const Dataset& data, const BaselineOptions& options) {
     }
     case BaselineKind::Evolution: {
       EvolutionSearch tuner(joint.space(), tuner_seed, {}, /*start_from_default=*/false);
-      while (clock.now() < budget) {
+      while (keep_going()) {
         Config jc = tuner.ask();
         auto [idx, config] = joint.split(jc);
         TrialResult trial = run_trial(idx, config, full);
@@ -167,7 +173,7 @@ void BaselineAutoML::fit(const Dataset& data, const BaselineOptions& options) {
     }
     case BaselineKind::Random: {
       RandomSearch tuner(joint.space(), tuner_seed, /*start_from_default=*/false);
-      while (clock.now() < budget) {
+      while (keep_going()) {
         Config jc = tuner.ask();
         auto [idx, config] = joint.split(jc);
         TrialResult trial = run_trial(idx, config, full);

@@ -30,6 +30,9 @@ const char* baseline_name(BaselineKind kind);
 
 struct BaselineOptions {
   double time_budget_seconds = 60.0;
+  // Hard cap on finished trials (0 = unlimited). Gives tests a termination
+  // condition that does not depend on wall-clock speed (e.g. under TSan).
+  std::size_t max_iterations = 0;
   std::string metric;  // empty = task default
   std::vector<std::string> estimator_list;
   // Resampling: Auto applies FLAML's step-0 rule (fair shared setup).

@@ -53,12 +53,14 @@ TrialRunner::TrialRunner(const Dataset& data, ErrorMetric metric, Options option
 }
 
 TrialResult TrialRunner::run(const Learner& learner, const Config& config,
-                             std::size_t sample_size, double max_seconds) {
+                             std::size_t sample_size, double max_seconds,
+                             std::uint64_t seed_salt) {
   FLAML_REQUIRE(sample_size >= 2, "sample size must be >= 2");
   sample_size = std::min(sample_size, train_view_.n_rows());
   const double start = clock_.now();
   TrialResult result;
-  const std::uint64_t trial_id = trial_counter_.fetch_add(1) + 1;
+  const std::uint64_t trial_id =
+      seed_salt != 0 ? seed_salt : trial_counter_.fetch_add(1) + 1;
   try {
     DataView sample = train_view_.prefix(sample_size);
     if (options_.resampling == Resampling::Holdout) {
@@ -105,7 +107,9 @@ TrialResult TrialRunner::run(const Learner& learner, const Config& config,
     result.ok = false;
     result.error = std::numeric_limits<double>::infinity();
   }
-  result.cost = std::max(clock_.now() - start, 1e-9);
+  result.cost = options_.cost_model
+                    ? std::max(options_.cost_model(learner, config, sample_size), 1e-9)
+                    : std::max(clock_.now() - start, 1e-9);
   return result;
 }
 

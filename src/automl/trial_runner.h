@@ -13,6 +13,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <optional>
 
@@ -41,6 +42,14 @@ struct TrialResult {
   bool ok = true;      // false if the learner threw
 };
 
+// Deterministic substitute for measured wall-clock trial cost (tests and
+// simulation): κ(χ) = model(learner, config, sample_size). Replacing the
+// clock makes the whole search — including ECI bookkeeping and the
+// sample-size schedule — a pure function of the seed, which is what lets
+// the stress suite compare parallel and serial runs record by record.
+using TrialCostModel = std::function<double(
+    const Learner& learner, const Config& config, std::size_t sample_size)>;
+
 class TrialRunner {
  public:
   struct Options {
@@ -48,6 +57,8 @@ class TrialRunner {
     int cv_folds = 5;
     double holdout_ratio = 0.1;
     std::uint64_t seed = 1;
+    // When set, trial cost comes from the model instead of the wall clock.
+    TrialCostModel cost_model;
   };
 
   TrialRunner(const Dataset& data, ErrorMetric metric, Options options);
@@ -62,9 +73,15 @@ class TrialRunner {
 
   // Evaluate (learner, config) on the first `sample_size` rows.
   // `max_seconds` caps the training time of each model fit (0 = unlimited).
+  // `seed_salt` selects the training seed: 0 draws a fresh id from an
+  // internal counter (seed depends on global call order); a nonzero salt
+  // makes the trial seed a pure function of (runner seed, salt), so callers
+  // that derive the salt from per-learner state get order-independent —
+  // hence parallel-vs-serial reproducible — trials.
   // Thread-safe: concurrent run() calls are allowed (parallel search mode).
   TrialResult run(const Learner& learner, const Config& config,
-                  std::size_t sample_size, double max_seconds = 0.0);
+                  std::size_t sample_size, double max_seconds = 0.0,
+                  std::uint64_t seed_salt = 0);
 
   // Train a final model on ALL available training rows (used to retrain the
   // best configuration at the end of fit()). `max_seconds` caps the fit

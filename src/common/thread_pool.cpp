@@ -2,8 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 
 namespace flaml {
+
+namespace {
+// Identifies the pool the current thread is a worker of (nullptr on
+// non-worker threads). Lets parallel_for detect re-entrant calls from its
+// own workers and degrade to an inline loop instead of deadlocking.
+thread_local const ThreadPool* t_worker_of = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t n) {
   if (n == 0) n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -11,32 +19,51 @@ ThreadPool::ThreadPool(std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) workers_.emplace_back([this] { worker_loop(); });
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  FLAML_CHECK_MSG(!on_worker_thread(), "shutdown() from a pool worker thread");
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (joined_) return;
     stop_ = true;
+    cv_.notify_all();
   }
-  cv_.notify_all();
   for (auto& w : workers_) w.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  joined_ = true;
 }
 
+bool ThreadPool::stopped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stop_;
+}
+
+bool ThreadPool::on_worker_thread() const { return t_worker_of == this; }
+
 void ThreadPool::worker_loop() {
+  t_worker_of = this;
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
+      // Drain-before-exit: tasks queued before the stop flag still run.
+      if (stop_ && queue_.empty()) break;
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
   }
+  t_worker_of = nullptr;
 }
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  if (n == 1 || workers_.size() == 1) {
+  if (n == 1 || workers_.size() == 1 || on_worker_thread()) {
+    // Inline fallback: trivial sizes, a single-worker pool (no speedup), or
+    // a nested call from one of our own workers (submitting and blocking
+    // here could deadlock once every worker does the same).
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -53,7 +80,29 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
       }
     }));
   }
-  for (auto& f : futures) f.get();
+  // The calling thread helps instead of idling: one core fewer wasted, and
+  // a 2-worker pool still makes progress when one worker is stuck behind an
+  // unrelated long task.
+  std::exception_ptr first_error;
+  try {
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      fn(i);
+    }
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      // Keep waiting for the remaining shards (they reference local state);
+      // rethrow the first failure once everything has stopped.
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace flaml

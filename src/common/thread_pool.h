@@ -1,6 +1,16 @@
 // Fixed-size thread pool used by the optional parallel search mode of the
 // AutoML controller (paper appendix: multiple search threads sampled by ECI)
 // and by the forest trainers for per-tree parallelism.
+//
+// Shutdown contract (verified under TSan by tests/stress/stress_thread_pool):
+//   * shutdown() (and the destructor) first marks the pool stopped under the
+//     queue mutex, then joins the workers; workers drain every task that was
+//     queued before the stop flag was set, so accepted work always runs.
+//   * submit() after shutdown began throws InvalidArgument instead of
+//     enqueueing a task that could never run (the enqueue/destroy race).
+//   * The condition variable is only notified while the queue mutex is held:
+//     a notify after unlocking could touch a condition variable whose pool is
+//     already mid-destruction on another thread.
 #pragma once
 
 #include <condition_variable>
@@ -10,6 +20,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/error.h"
 
 namespace flaml {
 
@@ -24,7 +36,18 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  // Stop accepting new tasks, run everything already queued, join workers.
+  // Idempotent; called by the destructor. Must not be called from a worker
+  // thread of this pool (a worker cannot join itself).
+  void shutdown();
+
+  // True once shutdown() has begun; submit() will throw from then on.
+  bool stopped() const;
+
   // Enqueue a task; the returned future rethrows any exception on get().
+  // Throws InvalidArgument if the pool is (being) shut down. Note: blocking
+  // on a future from inside a worker of the same pool can deadlock once all
+  // workers block; use parallel_for for nested parallelism instead.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -32,23 +55,28 @@ class ThreadPool {
     std::future<R> fut = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      FLAML_REQUIRE(!stop_, "submit() on a stopped ThreadPool");
       queue_.emplace_back([task] { (*task)(); });
+      cv_.notify_one();  // under the lock — see the shutdown contract above
     }
-    cv_.notify_one();
     return fut;
   }
 
   // Run fn(i) for i in [0, n) across the pool and wait for completion.
+  // Safe to call from inside one of this pool's own workers: the nested call
+  // runs inline on the calling thread instead of deadlocking on the queue.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
   void worker_loop();
+  bool on_worker_thread() const;
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+  bool joined_ = false;  // workers joined (shutdown completed)
 };
 
 }  // namespace flaml

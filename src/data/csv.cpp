@@ -20,7 +20,8 @@ std::vector<std::string> split_line(const std::string& line, char delim) {
   return cells;
 }
 
-bool parse_float(const std::string& s, float& out) {
+template <typename T>
+bool parse_number(const std::string& s, T& out) {
   if (s.empty()) return false;
   const char* begin = s.data();
   const char* end = s.data() + s.size();
@@ -30,6 +31,8 @@ bool parse_float(const std::string& s, float& out) {
   auto [ptr, ec] = std::from_chars(begin, end, out);
   return ec == std::errc() && ptr == end;
 }
+
+bool parse_float(const std::string& s, float& out) { return parse_number(s, out); }
 
 std::string trim(const std::string& s) {
   std::size_t b = s.find_first_not_of(" \t\r\n");
@@ -125,9 +128,11 @@ Dataset read_csv(std::istream& in, const CsvOptions& options) {
   for (std::size_t r = 0; r < raw.size(); ++r) {
     const std::string cell = trim(raw[r][label_col]);
     FLAML_REQUIRE(!cell.empty(), "missing label on data row " << r + 2);
-    float v;
-    if (parse_float(cell, v)) {
-      labels[r] = static_cast<double>(v);
+    // Labels parse at double precision: going through float would truncate
+    // regression targets and break the write→read round trip.
+    double v;
+    if (parse_number(cell, v)) {
+      labels[r] = v;
     } else {
       FLAML_REQUIRE(is_classification(options.task),
                     "non-numeric regression label '" << cell << "'");
@@ -149,6 +154,22 @@ Dataset read_csv_file(const std::string& path, const CsvOptions& options) {
   return read_csv(in, options);
 }
 
+namespace {
+
+// Shortest representation that parses back to the exact same value
+// (std::to_chars without a precision argument guarantees round-tripping).
+// Streaming with the default 6-digit precision would corrupt floats on a
+// write→read round trip; see the CSV fuzz property test.
+template <typename T>
+void write_number(std::ostream& out, T v) {
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  FLAML_CHECK(ec == std::errc());
+  out.write(buf, ptr - buf);
+}
+
+}  // namespace
+
 void write_csv(std::ostream& out, const DataView& view, char delimiter) {
   const Dataset& data = view.data();
   for (std::size_t c = 0; c < data.n_cols(); ++c) {
@@ -158,13 +179,11 @@ void write_csv(std::ostream& out, const DataView& view, char delimiter) {
   for (std::size_t i = 0; i < view.n_rows(); ++i) {
     for (std::size_t c = 0; c < data.n_cols(); ++c) {
       float v = view.value(i, c);
-      if (Dataset::is_missing(v)) {
-        out << delimiter;
-      } else {
-        out << v << delimiter;
-      }
+      if (!Dataset::is_missing(v)) write_number(out, v);
+      out << delimiter;
     }
-    out << view.label(i) << '\n';
+    write_number(out, view.label(i));
+    out << '\n';
   }
 }
 

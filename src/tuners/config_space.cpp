@@ -124,8 +124,9 @@ double ConfigSpace::denormalize_value(const ParamDomain& p, double z) const {
   } else {
     v = p.lo + z * (p.hi - p.lo);
   }
-  if (p.type == ParamDomain::Type::Int) v = clamp(std::round(v), p.lo, p.hi);
-  return v;
+  if (p.type == ParamDomain::Type::Int) v = std::round(v);
+  // exp/round can land one ulp outside the domain at the endpoints.
+  return clamp(v, p.lo, p.hi);
 }
 
 std::vector<double> ConfigSpace::to_normalized(const Config& config) const {

@@ -1,0 +1,215 @@
+// Parallel-search determinism stress (the tentpole test of the sanitizer
+// PR): with a fixed seed, salted per-learner trial seeds and a deterministic
+// trial cost model, a parallel AutoML search must be reproducible — and
+// under round-robin learner choice, its trial history must be record-for-
+// record IDENTICAL to the serial run, for any n_parallel. Run under TSan to
+// catch the races that would silently break these properties.
+#include "automl/automl.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "data/generators.h"
+#include "support/prop.h"
+#include "support/stub_learner.h"
+
+namespace flaml {
+namespace {
+
+Dataset tiny_binary(std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.task = Task::BinaryClassification;
+  spec.n_rows = 100;
+  spec.n_features = 5;
+  spec.seed = seed;
+  return make_classification(spec);
+}
+
+// Deterministic cost: a pure function of (learner, config, sample size), so
+// the ECI bookkeeping — and through it the whole search — is seed-pure.
+TrialCostModel stub_cost_model() {
+  return [](const Learner& learner, const Config& config, std::size_t sample_size) {
+    return learner.initial_cost_multiplier() *
+           (0.05 + 0.001 * static_cast<double>(sample_size) +
+            0.002 * config.at("units"));
+  };
+}
+
+void add_stub_lineup(AutoML& automl) {
+  automl.add_learner(std::make_shared<testing::StubLearner>("stub_fast", 1.0));
+  automl.add_learner(std::make_shared<testing::StubLearner>("stub_mid", 1.9));
+  automl.add_learner(std::make_shared<testing::StubLearner>("stub_slow", 15.0));
+}
+
+AutoMLOptions stub_options(std::uint64_t seed, std::size_t max_iterations) {
+  AutoMLOptions options;
+  options.time_budget_seconds = 1e6;  // iteration budget terminates, not time
+  options.max_iterations = max_iterations;
+  options.initial_sample_size = 16;
+  options.resampling = ResamplingPolicy::ForceHoldout;
+  options.estimator_list = {"stub_fast", "stub_mid", "stub_slow"};
+  options.trial_cost_model = stub_cost_model();
+  options.seed = seed;
+  return options;
+}
+
+TrialHistory run_search(const Dataset& data, const AutoMLOptions& options) {
+  AutoML automl;
+  add_stub_lineup(automl);
+  automl.fit(data, options);
+  return automl.history();
+}
+
+void expect_records_equal(const TrialRecord& a, const TrialRecord& b,
+                          const std::string& what) {
+  EXPECT_EQ(a.iteration, b.iteration) << what;
+  EXPECT_EQ(a.learner, b.learner) << what;
+  EXPECT_EQ(a.config, b.config) << what;
+  EXPECT_EQ(a.sample_size, b.sample_size) << what;
+  EXPECT_DOUBLE_EQ(a.error, b.error) << what;
+  EXPECT_DOUBLE_EQ(a.cost, b.cost) << what;
+  EXPECT_DOUBLE_EQ(a.best_error_so_far, b.best_error_so_far) << what;
+  // finished_at is wall-clock and intentionally excluded.
+}
+
+void expect_histories_equal(const TrialHistory& a, const TrialHistory& b,
+                            const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expect_records_equal(a[i], b[i], what + " record " + std::to_string(i));
+  }
+}
+
+std::map<std::string, std::vector<TrialRecord>> by_learner(const TrialHistory& h) {
+  std::map<std::string, std::vector<TrialRecord>> out;
+  for (const auto& r : h) out[r.learner].push_back(r);
+  return out;
+}
+
+// --- The ≥20-seeded-iteration determinism sweep (acceptance criterion) ---
+// Round-robin learner choice removes the only policy-level dependence on
+// global state, so the parallel launch order provably equals the serial
+// order: the histories must match exactly, for every n_parallel.
+FLAML_PROP(ParallelSearchStress, RoundRobinParallelMatchesSerialExactly, 20) {
+  Dataset data = tiny_binary(prop.seed | 1);
+  AutoMLOptions options = stub_options(prop.rng.next(), /*max_iterations=*/12);
+  options.learner_choice = LearnerChoice::RoundRobin;
+
+  AutoML serial;
+  add_stub_lineup(serial);
+  serial.fit(data, options);
+
+  for (int n_parallel : {2, 4, 8}) {
+    AutoMLOptions par_options = options;
+    par_options.n_parallel = n_parallel;
+    AutoML parallel;
+    add_stub_lineup(parallel);
+    parallel.fit(data, par_options);
+
+    const std::string what = "n_parallel=" + std::to_string(n_parallel);
+    expect_histories_equal(serial.history(), parallel.history(), what);
+    // Final best-loss no worse than (here: equal to) the serial run.
+    EXPECT_DOUBLE_EQ(parallel.best_error(), serial.best_error()) << what;
+    EXPECT_EQ(parallel.best_learner(), serial.best_learner()) << what;
+    EXPECT_EQ(parallel.best_config(), serial.best_config()) << what;
+  }
+}
+
+// ECI-proportional sampling consumes shared RNG draws, so the parallel
+// learner sequence legitimately differs from serial — but the run must
+// still be a pure function of the seed: two identical invocations may not
+// diverge by a single bit.
+FLAML_PROP(ParallelSearchStress, EciSamplingParallelIsReproducible, 10) {
+  Dataset data = tiny_binary(prop.seed | 1);
+  AutoMLOptions options = stub_options(prop.rng.next(), /*max_iterations=*/12);
+  options.n_parallel = 4;
+
+  TrialHistory first = run_search(data, options);
+  TrialHistory second = run_search(data, options);
+  ASSERT_FALSE(first.empty());
+  expect_histories_equal(first, second, "repeat run");
+}
+
+// Valid-interleaving property: per-learner trial sequences are independent
+// of the learner-choice policy and of n_parallel (the salted seeds make
+// them a function of the per-learner trial index only). So any parallel
+// history must decompose into per-learner prefixes of a long serial
+// round-robin reference — i.e. it is a valid interleaving of serial
+// per-learner searches.
+FLAML_PROP(ParallelSearchStress, ParallelHistoryIsValidInterleavingOfSerial, 10) {
+  Dataset data = tiny_binary(prop.seed | 1);
+  const std::uint64_t seed = prop.rng.next();
+  const std::size_t n_iter = 10;
+
+  AutoMLOptions ref_options = stub_options(seed, /*max_iterations=*/3 * n_iter);
+  ref_options.learner_choice = LearnerChoice::RoundRobin;
+  auto reference = by_learner(run_search(data, ref_options));
+
+  for (int n_parallel : {2, 4, 8}) {
+    AutoMLOptions options = stub_options(seed, n_iter);
+    options.n_parallel = n_parallel;  // EciSampling (the default policy)
+    TrialHistory history = run_search(data, options);
+    ASSERT_EQ(history.size(), n_iter);
+
+    // Global bookkeeping is consistent regardless of interleaving.
+    double running_best = std::numeric_limits<double>::infinity();
+    for (const auto& r : history) {
+      running_best = std::min(running_best, r.error);
+      EXPECT_DOUBLE_EQ(r.best_error_so_far, running_best);
+    }
+
+    for (const auto& [learner, records] : by_learner(history)) {
+      const auto it = reference.find(learner);
+      ASSERT_NE(it, reference.end()) << learner;
+      ASSERT_LE(records.size(), it->second.size()) << learner;
+      for (std::size_t i = 0; i < records.size(); ++i) {
+        const auto& par = records[i];
+        const auto& ref = it->second[i];
+        const std::string what =
+            learner + " trial " + std::to_string(i) + " n_parallel=" +
+            std::to_string(n_parallel);
+        EXPECT_EQ(par.config, ref.config) << what;
+        EXPECT_EQ(par.sample_size, ref.sample_size) << what;
+        EXPECT_DOUBLE_EQ(par.error, ref.error) << what;
+        EXPECT_DOUBLE_EQ(par.cost, ref.cost) << what;
+      }
+    }
+  }
+}
+
+// Real learners end-to-end: the salted trial seeds make actual GBDT/forest
+// training deterministic too. Fewer cases — real training is the expensive
+// part under TSan.
+FLAML_PROP(ParallelSearchStress, RealLearnersRoundRobinDeterminism, 3) {
+  Dataset data = tiny_binary(prop.seed | 1);
+  AutoMLOptions options;
+  options.time_budget_seconds = 1e6;
+  options.max_iterations = 6;
+  options.initial_sample_size = 32;
+  options.resampling = ResamplingPolicy::ForceHoldout;
+  options.estimator_list = {"lgbm", "rf"};
+  options.learner_choice = LearnerChoice::RoundRobin;
+  options.trial_cost_model = [](const Learner& learner, const Config&,
+                                std::size_t sample_size) {
+    return learner.initial_cost_multiplier() *
+           (0.1 + 0.001 * static_cast<double>(sample_size));
+  };
+  options.seed = prop.rng.next();
+
+  AutoML serial;
+  serial.fit(data, options);
+
+  AutoMLOptions par_options = options;
+  par_options.n_parallel = 2;
+  AutoML parallel;
+  parallel.fit(data, par_options);
+
+  expect_histories_equal(serial.history(), parallel.history(), "real learners");
+  EXPECT_DOUBLE_EQ(parallel.best_error(), serial.best_error());
+}
+
+}  // namespace
+}  // namespace flaml

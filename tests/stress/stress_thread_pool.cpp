@@ -1,0 +1,136 @@
+// Stress tests for ThreadPool, designed to be run under TSan/ASan/UBSan
+// (docs/TESTING.md). They hammer the shutdown/enqueue ordering, nested
+// parallel_for, and exception paths that the unit tests only touch once.
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "support/prop.h"
+
+namespace flaml {
+namespace {
+
+FLAML_PROP(ThreadPoolStress, ParallelForCoversEveryIndexOnce, 25) {
+  const std::size_t workers = 1 + prop.rng.uniform_index(8);
+  const std::size_t n = prop.rng.uniform_index(512);
+  ThreadPool pool(workers);
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i << " of " << n;
+  }
+}
+
+FLAML_PROP(ThreadPoolStress, ConcurrentSubmittersAllTasksRun, 10) {
+  const std::size_t workers = 2 + prop.rng.uniform_index(4);
+  const int submitters = 2 + static_cast<int>(prop.rng.uniform_index(4));
+  const int per_thread = 50;
+  ThreadPool pool(workers);
+  std::atomic<int> ran{0};
+  std::vector<std::thread> threads;
+  std::vector<std::vector<std::future<void>>> futures(submitters);
+  for (int t = 0; t < submitters; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < per_thread; ++i) {
+        futures[t].push_back(pool.submit([&ran] { ran.fetch_add(1); }));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (auto& fs : futures) {
+    for (auto& f : fs) f.get();
+  }
+  EXPECT_EQ(ran.load(), submitters * per_thread);
+}
+
+// The shutdown-ordering contract: a submitter racing the destructor either
+// gets its task executed (accepted before stop) or an InvalidArgument
+// (rejected after stop) — never a dropped task, a hang, or a torn queue.
+FLAML_PROP(ThreadPoolStress, ShutdownRacingSubmitNeverDropsWork, 15) {
+  const std::size_t workers = 1 + prop.rng.uniform_index(4);
+  auto pool = std::make_unique<ThreadPool>(workers);
+  std::atomic<int> accepted{0};
+  std::atomic<int> executed{0};
+  std::atomic<bool> go{false};
+  const int submitters = 3;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < submitters; ++t) {
+    threads.emplace_back([&] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < 200; ++i) {
+        try {
+          pool->submit([&executed] { executed.fetch_add(1); });
+          accepted.fetch_add(1);
+        } catch (const InvalidArgument&) {
+          return;  // pool shut down — expected
+        }
+      }
+    });
+  }
+  go.store(true);
+  // Let the submitters get going, then tear the pool down mid-stream.
+  std::this_thread::yield();
+  pool->shutdown();
+  const int accepted_at_shutdown = accepted.load();
+  EXPECT_GE(executed.load(), accepted_at_shutdown);
+  for (auto& th : threads) th.join();
+  // Every accepted task ran before shutdown() returned; tasks accepted
+  // after the count was read only add to `executed`.
+  EXPECT_GE(executed.load(), accepted.load());
+  pool.reset();
+  EXPECT_EQ(executed.load(), accepted.load());
+}
+
+TEST(ThreadPoolStress, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_TRUE(pool.stopped());
+  EXPECT_THROW(pool.submit([] {}), InvalidArgument);
+  pool.shutdown();  // idempotent
+}
+
+TEST(ThreadPoolStress, NestedParallelForFromWorkerRunsInline) {
+  ThreadPool pool(3);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(6, [&](std::size_t) {
+    // Re-entrant call from a worker thread: must run inline, not deadlock.
+    pool.parallel_for(10, [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 60);
+}
+
+FLAML_PROP(ThreadPoolStress, ParallelForPropagatesFirstException, 10) {
+  ThreadPool pool(2 + prop.rng.uniform_index(3));
+  const std::size_t n = 64;
+  const std::size_t bad = prop.rng.uniform_index(n);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(n,
+                        [&](std::size_t i) {
+                          ran.fetch_add(1);
+                          if (i == bad) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  EXPECT_GE(ran.load(), 1);
+  // The pool survives the exception and stays usable.
+  auto f = pool.submit([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+}
+
+TEST(ThreadPoolStress, RapidConstructDestroyCycles) {
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    ThreadPool pool(1 + cycle % 4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i) pool.submit([&ran] { ran.fetch_add(1); });
+    // Destructor must drain the queue: every accepted task runs.
+    pool.shutdown();
+    EXPECT_EQ(ran.load(), 8);
+  }
+}
+
+}  // namespace
+}  // namespace flaml

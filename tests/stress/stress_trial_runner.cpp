@@ -1,0 +1,135 @@
+// Concurrency stress for TrialRunner::run (parallel search mode): many
+// threads evaluating trials against one shared runner must neither race
+// (run under TSan) nor change any result relative to serial execution.
+#include "automl/trial_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "data/generators.h"
+#include "learners/registry.h"
+#include "support/prop.h"
+#include "support/stub_learner.h"
+
+namespace flaml {
+namespace {
+
+Dataset tiny_binary(std::uint64_t seed, std::size_t n_rows = 120) {
+  SyntheticSpec spec;
+  spec.task = Task::BinaryClassification;
+  spec.n_rows = n_rows;
+  spec.n_features = 5;
+  spec.seed = seed;
+  return make_classification(spec);
+}
+
+struct TrialKey {
+  std::uint64_t salt;
+  std::size_t sample_size;
+  double slope;
+};
+
+// Concurrent salted runs must produce bitwise the same (error, cost) as the
+// same trials run serially: the salt pins the training seed and the cost
+// model pins the cost, so thread scheduling can contribute nothing.
+FLAML_PROP(TrialRunnerStress, ConcurrentRunsMatchSerialRuns, 8) {
+  Dataset data = tiny_binary(prop.seed | 1);
+  TrialRunner::Options options;
+  options.resampling = prop.rng.bernoulli(0.5) ? Resampling::Holdout : Resampling::CV;
+  options.cv_folds = 3;
+  options.seed = prop.rng.next();
+  options.cost_model = [](const Learner&, const Config& config,
+                          std::size_t sample_size) {
+    return 0.01 + 0.001 * static_cast<double>(sample_size) + config.at("slope");
+  };
+  TrialRunner runner(data, ErrorMetric::default_for(Task::BinaryClassification),
+                     options);
+  testing::StubLearner learner("stub", 1.0);
+  ConfigSpace space = learner.space(Task::BinaryClassification, data.n_rows());
+
+  // Generate a batch of distinct trials.
+  const int n_trials = 24;
+  std::vector<TrialKey> keys;
+  std::vector<Config> configs;
+  for (int i = 0; i < n_trials; ++i) {
+    Config config = space.random_config(prop.rng);
+    config["slope"] = std::abs(config["slope"]) + 0.1;  // keep cost positive
+    TrialKey key;
+    key.salt = prop.rng.next() | 1;
+    // Floor of 12 rows: every fold of a 3-fold CV split stays non-empty.
+    key.sample_size = 12 + prop.rng.uniform_index(runner.max_sample_size() - 11);
+    key.slope = config.at("slope");
+    keys.push_back(key);
+    configs.push_back(std::move(config));
+  }
+
+  // Parallel pass: threads grab trials off a shared counter.
+  std::vector<TrialResult> parallel_results(n_trials);
+  std::atomic<std::size_t> next{0};
+  const int n_threads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < n_threads; ++t) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= static_cast<std::size_t>(n_trials)) return;
+        parallel_results[i] = runner.run(learner, configs[i], keys[i].sample_size,
+                                         /*max_seconds=*/0.0, keys[i].salt);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Serial pass over the same trials, in a different order for good measure.
+  for (int i = n_trials - 1; i >= 0; --i) {
+    TrialResult serial = runner.run(learner, configs[i], keys[i].sample_size,
+                                    /*max_seconds=*/0.0, keys[i].salt);
+    EXPECT_TRUE(serial.ok);
+    EXPECT_TRUE(parallel_results[i].ok);
+    EXPECT_DOUBLE_EQ(serial.error, parallel_results[i].error) << "trial " << i;
+    EXPECT_DOUBLE_EQ(serial.cost, parallel_results[i].cost) << "trial " << i;
+  }
+}
+
+// Same hammering with a real learner: races in the tree/GBDT training path
+// would surface here under TSan even though each thread trains its own model.
+TEST(TrialRunnerStress, ConcurrentRealLearnerTrials) {
+  Dataset data = tiny_binary(99, 150);
+  TrialRunner::Options options;
+  options.resampling = Resampling::Holdout;
+  options.seed = 7;
+  TrialRunner runner(data, ErrorMetric::default_for(Task::BinaryClassification),
+                     options);
+  LearnerPtr lgbm = builtin_learner("lgbm");
+  ConfigSpace space = lgbm->space(Task::BinaryClassification, data.n_rows());
+  const Config config = space.initial_config();
+
+  std::vector<TrialResult> results(12);
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= results.size()) return;
+        results[i] = runner.run(*lgbm, config, 64, /*max_seconds=*/0.0,
+                                /*seed_salt=*/i + 1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].ok) << "trial " << i;
+    EXPECT_GT(results[i].cost, 0.0);
+    // Same salt ⇒ same result, also when recomputed on this thread.
+    TrialResult again = runner.run(*lgbm, config, 64, 0.0, i + 1);
+    EXPECT_DOUBLE_EQ(again.error, results[i].error) << "trial " << i;
+  }
+}
+
+}  // namespace
+}  // namespace flaml

@@ -1,0 +1,113 @@
+// Seeded property-test helper over GTest (docs/TESTING.md).
+//
+// A property runs N cases, each with its own deterministic Rng whose seed is
+// derived from (base seed, property name, case index). On failure the case's
+// seed is printed so the exact case can be replayed in isolation:
+//
+//   FLAML_PROP(Flow2Prop, ProposalsStayInBounds, 50) {
+//     ConfigSpace space = random_space(prop.rng);
+//     ...
+//     EXPECT_LE(value, hi) << "seed " << prop.seed;
+//   }
+//
+// Environment knobs:
+//   FLAML_PROP_SEED=<u64>       vary the base seed of every property sweep
+//                               (CI can rotate it; default is fixed).
+//   FLAML_PROP_CASE_SEED=<u64>  replay a single failing case: every property
+//                               runs exactly one case with this seed.
+//   FLAML_PROP_CASES=<int>      override the per-property case count
+//                               (e.g. 10000 for a long fuzzing soak).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "common/rng.h"
+
+namespace flaml::testing {
+
+// One generated test case: a deterministic generator plus the seed that
+// reproduces it.
+struct PropCase {
+  Rng rng;
+  std::uint64_t seed = 0;
+  int index = 0;
+  int n_cases = 0;
+};
+
+namespace detail {
+
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline std::uint64_t fnv1a(const char* s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (; *s; ++s) h = (h ^ static_cast<unsigned char>(*s)) * 0x100000001b3ULL;
+  return h;
+}
+
+inline bool env_u64(const char* name, std::uint64_t& out) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  out = std::strtoull(v, nullptr, 0);
+  return true;
+}
+
+}  // namespace detail
+
+// Runs `body(prop)` for each generated case; stops at the first failing case
+// and prints how to replay it. `body` is any callable taking PropCase&.
+template <typename Body>
+void run_prop(const char* property_name, int n_cases, Body&& body) {
+  std::uint64_t base = 0xf1a01dea5ULL;  // fixed default: CI is reproducible
+  detail::env_u64("FLAML_PROP_SEED", base);
+
+  std::uint64_t replay_seed = 0;
+  const bool replay = detail::env_u64("FLAML_PROP_CASE_SEED", replay_seed);
+
+  std::uint64_t cases_override = 0;
+  if (detail::env_u64("FLAML_PROP_CASES", cases_override) && cases_override > 0) {
+    n_cases = static_cast<int>(cases_override);
+  }
+  if (replay) n_cases = 1;
+
+  const std::uint64_t name_hash = detail::fnv1a(property_name);
+  for (int i = 0; i < n_cases; ++i) {
+    const std::uint64_t case_seed =
+        replay ? replay_seed
+               : detail::splitmix64(base ^ name_hash ^ static_cast<std::uint64_t>(i));
+    std::ostringstream trace;
+    trace << property_name << " case " << i << "/" << n_cases
+          << " — replay with FLAML_PROP_CASE_SEED=" << case_seed;
+    SCOPED_TRACE(trace.str());
+    PropCase prop{Rng(case_seed), case_seed, i, n_cases};
+    body(prop);
+    if (::testing::Test::HasFailure()) {
+      ADD_FAILURE() << "property " << property_name << " failed; replay just "
+                    << "this case with FLAML_PROP_CASE_SEED=" << case_seed;
+      return;  // later cases would only repeat the noise
+    }
+  }
+}
+
+}  // namespace flaml::testing
+
+// Defines a GTest test that sweeps `n_cases` seeded cases over the property
+// body. Inside the body, `prop` is a flaml::testing::PropCase: use prop.rng
+// for all randomness so the printed seed reproduces the case exactly.
+#define FLAML_PROP(suite_name, prop_name, n_cases)                             \
+  static void FlamlProp_##suite_name##_##prop_name(::flaml::testing::PropCase& prop); \
+  TEST(suite_name, prop_name) {                                                \
+    ::flaml::testing::run_prop(#suite_name "." #prop_name, (n_cases),          \
+                               &FlamlProp_##suite_name##_##prop_name);         \
+  }                                                                            \
+  static void FlamlProp_##suite_name##_##prop_name(                            \
+      [[maybe_unused]] ::flaml::testing::PropCase& prop)

@@ -1,0 +1,82 @@
+// A deliberately cheap, fully deterministic Learner for concurrency and
+// determinism tests. Training is microseconds, yet the validation error is a
+// nontrivial pure function of (config, sample size, training seed), so the
+// FLOW2 walk, the ECI bookkeeping and the sample-size schedule all evolve as
+// they would with a real learner — without paying for real training under
+// TSan. Used by tests/stress/.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "learners/learner.h"
+
+namespace flaml::testing {
+
+class StubModel final : public Model {
+ public:
+  StubModel(double slope, double bias) : slope_(slope), bias_(bias) {}
+
+  Predictions predict(const DataView& view) const override {
+    Predictions pred;
+    pred.task = Task::BinaryClassification;
+    pred.n_classes = 2;
+    pred.values.resize(view.n_rows() * 2);
+    for (std::size_t i = 0; i < view.n_rows(); ++i) {
+      const float x = view.value(i, 0);
+      const double raw = Dataset::is_missing(x) ? bias_ : slope_ * x + bias_;
+      const double p1 = 1.0 / (1.0 + std::exp(-raw));
+      pred.values[i * 2] = 1.0 - p1;
+      pred.values[i * 2 + 1] = p1;
+    }
+    return pred;
+  }
+
+ private:
+  double slope_;
+  double bias_;
+};
+
+class StubLearner final : public Learner {
+ public:
+  StubLearner(std::string name, double cost_multiplier)
+      : name_(std::move(name)), cost_multiplier_(cost_multiplier) {}
+
+  const std::string& name() const override { return name_; }
+  bool supports(Task task) const override {
+    return task == Task::BinaryClassification;
+  }
+
+  ConfigSpace space(Task, std::size_t) const override {
+    ConfigSpace s;
+    s.add_float("slope", -4.0, 4.0, 0.5);
+    s.add_int("units", 4, 256, 4, /*log_scale=*/true, /*cost_related=*/true);
+    return s;
+  }
+
+  std::unique_ptr<Model> train(const TrainContext& ctx,
+                               const Config& config) const override {
+    // The "fit": slope from the config, bias from a deterministic mix of the
+    // training seed, the config and the sample size. Different seeds/configs
+    // land on different errors, so the search dynamics stay nontrivial.
+    std::uint64_t h = ctx.seed * 0x9e3779b97f4a7c15ULL;
+    h ^= static_cast<std::uint64_t>(ctx.train.n_rows()) * 0x100000001b3ULL;
+    h ^= static_cast<std::uint64_t>(
+        std::llround(config.at("units") * 1024.0 + config.at("slope") * 4096.0));
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 29;
+    const double jitter =
+        static_cast<double>(h >> 11) / 9007199254740992.0;  // [0, 1)
+    return std::make_unique<StubModel>(config.at("slope"), jitter - 0.5);
+  }
+
+  double initial_cost_multiplier() const override { return cost_multiplier_; }
+
+ private:
+  std::string name_;
+  double cost_multiplier_;
+};
+
+}  // namespace flaml::testing

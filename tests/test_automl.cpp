@@ -357,6 +357,97 @@ TEST(AutoML, EnsembleOptionBlendsModels) {
   EXPECT_GT(roc_auc(pred.prob1(), data.labels()), 0.7);
 }
 
+// A learner whose validation error never depends on the config: FLOW²
+// improves exactly once per walk and then stalls, so the tuner converges
+// and restarts on a short, deterministic schedule.
+class FlatLearner final : public Learner {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "flat";
+    return n;
+  }
+  bool supports(Task task) const override {
+    return task == Task::BinaryClassification;
+  }
+  ConfigSpace space(Task, std::size_t) const override {
+    ConfigSpace s;
+    s.add_float("x", 0.01, 0.99, 0.5);
+    return s;
+  }
+  std::unique_ptr<Model> train(const TrainContext&, const Config&) const override {
+    class FlatModel final : public Model {
+     public:
+      Predictions predict(const DataView& view) const override {
+        Predictions pred;
+        pred.task = Task::BinaryClassification;
+        pred.n_classes = 2;
+        pred.values.resize(view.n_rows() * 2);
+        for (std::size_t i = 0; i < view.n_rows(); ++i) {
+          pred.values[i * 2] = 0.45;
+          pred.values[i * 2 + 1] = 0.55;
+        }
+        return pred;
+      }
+    };
+    return std::make_unique<FlatModel>();
+  }
+  double initial_cost_multiplier() const override { return 1.0; }
+};
+
+TEST(AutoML, MaxIterationsBoundsSearchExactly) {
+  Dataset data = binary_data(200, 41);
+  for (int n_parallel : {1, 3}) {
+    AutoML automl;
+    automl.add_learner(std::make_shared<FlatLearner>());
+    AutoMLOptions options;
+    options.time_budget_seconds = 1e6;  // the iteration cap terminates
+    options.max_iterations = 9;
+    options.initial_sample_size = 50;
+    options.estimator_list = {"flat"};
+    options.n_parallel = n_parallel;
+    options.seed = 11;
+    automl.fit(data, options);
+    EXPECT_EQ(automl.history().size(), 9u) << "n_parallel=" << n_parallel;
+    EXPECT_TRUE(automl.fitted());
+  }
+}
+
+TEST(AutoML, SampleSizeResetsToInitialOnTunerRestart) {
+  Dataset data = binary_data(100, 43);
+  AutoML automl;
+  automl.add_learner(std::make_shared<FlatLearner>());
+  AutoMLOptions options;
+  options.time_budget_seconds = 1e6;
+  options.max_iterations = 60;
+  options.initial_sample_size = 16;
+  options.resampling = ResamplingPolicy::ForceHoldout;
+  options.estimator_list = {"flat"};
+  // Deterministic unit cost keeps the grow/converge/restart schedule fixed.
+  options.trial_cost_model = [](const Learner&, const Config&, std::size_t) {
+    return 1.0;
+  };
+  options.seed = 13;
+  automl.fit(data, options);
+
+  const TrialHistory& history = automl.history();
+  ASSERT_EQ(history.size(), 60u);
+  // The sample size must have grown to the full training size, converged
+  // there, and been reset by at least one restart — every reset landing
+  // exactly on the initial sample size.
+  std::size_t max_seen = 0;
+  int n_resets = 0;
+  for (std::size_t i = 1; i < history.size(); ++i) {
+    max_seen = std::max(max_seen, history[i - 1].sample_size);
+    if (history[i].sample_size < history[i - 1].sample_size) {
+      ++n_resets;
+      EXPECT_EQ(history[i].sample_size, 16u) << "reset at record " << i;
+      EXPECT_GT(history[i - 1].sample_size, 16u);
+    }
+  }
+  EXPECT_GE(n_resets, 1) << "the walk never restarted";
+  EXPECT_GT(max_seen, 16u) << "the sample size never grew";
+}
+
 TEST(AutoML, PredictBeforeFitRejected) {
   AutoML automl;
   Dataset data = binary_data(100);

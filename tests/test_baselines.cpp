@@ -89,12 +89,16 @@ TEST(Baselines, GridRoundRobinsLearnerOrder) {
   Dataset data = binary_data(500);
   BaselineAutoML automl(BaselineKind::Grid);
   BaselineOptions options;
-  options.time_budget_seconds = 0.8;
+  // Iteration-capped, not time-capped: the trial count must not depend on
+  // machine speed (this test was flaky under TSan's slowdown otherwise).
+  options.time_budget_seconds = 60.0;
+  options.max_iterations = 6;
   options.estimator_list = {"lgbm", "rf"};
   options.seed = 7;
   automl.fit(data, options);
   const TrialHistory& history = automl.history();
   ASSERT_GE(history.size(), 4u);
+  EXPECT_EQ(history.size(), 6u);
   for (std::size_t i = 0; i + 1 < std::min<std::size_t>(history.size(), 6); i += 2) {
     EXPECT_EQ(history[i].learner, "lgbm");
     EXPECT_EQ(history[i + 1].learner, "rf");

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
 #include <sstream>
+
+#include "data/generators.h"
+#include "support/prop.h"
 
 namespace flaml {
 namespace {
@@ -137,6 +142,76 @@ TEST(Csv, CustomDelimiter) {
 
 TEST(Csv, MissingFileRejected) {
   EXPECT_THROW(read_csv_file("/nonexistent/path.csv", CsvOptions{}), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip fuzz (tests/support/prop.h): random synthetic datasets survive
+// write_csv → read_csv with every float/double bit intact. write_csv uses
+// std::to_chars shortest representations, so equality here is exact, not
+// approximate.
+
+std::uint32_t float_bits(float v) {
+  std::uint32_t b;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+FLAML_PROP(CsvProp, RandomDatasetRoundTripsBitwise, 30) {
+  SyntheticSpec spec;
+  switch (prop.rng.uniform_index(3)) {
+    case 0:
+      spec.task = Task::Regression;
+      break;
+    case 1:
+      spec.task = Task::BinaryClassification;
+      break;
+    default:
+      spec.task = Task::MultiClassification;
+      spec.n_classes = 3 + static_cast<int>(prop.rng.uniform_index(3));
+      break;
+  }
+  spec.n_rows = 5 + prop.rng.uniform_index(56);
+  spec.n_features = 1 + static_cast<int>(prop.rng.uniform_index(8));
+  spec.label_noise = prop.rng.uniform(0.0, 0.2);
+  if (prop.rng.bernoulli(0.5)) spec.missing_fraction = prop.rng.uniform(0.0, 0.3);
+  if (prop.rng.bernoulli(0.3)) {
+    spec.categorical_fraction = prop.rng.uniform(0.0, 0.5);
+  }
+  spec.seed = prop.rng.next() | 1;
+  Dataset data = make_synthetic(spec);
+
+  std::ostringstream out;
+  write_csv(out, DataView(data));
+
+  std::istringstream in(out.str());
+  CsvOptions options;
+  options.task = spec.task;
+  options.label_column = "label";
+  Dataset parsed = read_csv(in, options);
+
+  ASSERT_EQ(parsed.n_rows(), data.n_rows());
+  ASSERT_EQ(parsed.n_cols(), data.n_cols());
+  for (std::size_t r = 0; r < data.n_rows(); ++r) {
+    for (std::size_t c = 0; c < data.n_cols(); ++c) {
+      const float a = data.value(r, c);
+      const float b = parsed.value(r, c);
+      if (Dataset::is_missing(a)) {
+        EXPECT_TRUE(Dataset::is_missing(b)) << "row " << r << " col " << c;
+      } else {
+        EXPECT_EQ(float_bits(a), float_bits(b))
+            << "row " << r << " col " << c << ": " << a << " vs " << b;
+      }
+    }
+    EXPECT_EQ(double_bits(data.label(r)), double_bits(parsed.label(r)))
+        << "label row " << r << ": " << data.label(r) << " vs "
+        << parsed.label(r);
+  }
 }
 
 }  // namespace

@@ -2,9 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
+#include <map>
+#include <vector>
 
 #include "common/error.h"
+#include "common/rng.h"
+#include "learners/registry.h"
+#include "support/prop.h"
 
 namespace flaml {
 namespace {
@@ -133,6 +139,113 @@ TEST(Eci, HarmonicMeanPropertyOfInverseSampling) {
   double harmonic = 3.0 / inv_sum;
   EXPECT_NEAR(expectation, harmonic, 1e-12);
   EXPECT_LT(harmonic, (1.0 + 2.0 + 4.0) / 3.0);  // below the arithmetic mean
+}
+
+// ---------------------------------------------------------------------------
+// Seeded property tests (tests/support/prop.h).
+
+// ECI(l) stays strictly positive — and the cost totals stay ordered — after
+// ANY sequence of recorded trials. A zero or negative ECI would break the
+// ∝ 1/ECI sampling weights (paper §4.2 Step 1).
+FLAML_PROP(EciProp, EciStaysPositiveUnderRandomHistories, 40) {
+  EciState state;
+  state.initial_eci1 = prop.rng.uniform(1e-6, 100.0);
+  EXPECT_GT(state.eci1(), 0.0);  // cold start included
+
+  const int n_records = 1 + static_cast<int>(prop.rng.uniform_index(40));
+  double prev_best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < n_records; ++i) {
+    const double cost = prop.rng.uniform(1e-6, 5.0);
+    // Mix clear improvements, ties and regressions.
+    const double error = prop.rng.bernoulli(0.3) ? prop.rng.uniform(0.0, 10.0)
+                                                 : prop.rng.uniform();
+    state.record(cost, error);
+
+    EXPECT_GE(state.k0, state.k1);
+    EXPECT_GE(state.k1, state.k2);
+    EXPECT_GE(state.k2, 0.0);
+    EXPECT_LE(state.best_error, prev_best) << "best error must not regress";
+    prev_best = state.best_error;
+
+    EXPECT_GT(state.eci1(), 0.0) << "after record " << i;
+    const double c = prop.rng.uniform(1.0, 4.0);
+    EXPECT_GT(state.eci2(c, true), 0.0);
+    EXPECT_GT(state.eci2(c, false), 0.0);  // +inf at full size: still positive
+    // Against any global best at or below this learner's own best.
+    const double global_best = state.best_error * prop.rng.uniform();
+    EXPECT_GT(state.eci(global_best, c, true), 0.0) << "after record " << i;
+    EXPECT_GT(state.eci(state.best_error, c, true), 0.0) << "holder case";
+  }
+}
+
+TEST(Eci, ColdStartMultipliersMatchPaper) {
+  // Appendix cold-start rule: ECI1 of an untried learner = multiplier × the
+  // fastest learner's smallest observed cost, with these exact multipliers.
+  const std::map<std::string, double> expected = {
+      {"lgbm", 1.0},  {"xgboost", 1.6},  {"extra_tree", 1.9},
+      {"rf", 2.0},    {"catboost", 15.0}, {"lr", 160.0},
+  };
+  for (const auto& [name, multiplier] : expected) {
+    LearnerPtr learner = builtin_learner(name);
+    ASSERT_NE(learner, nullptr) << name;
+    EXPECT_DOUBLE_EQ(learner->initial_cost_multiplier(), multiplier) << name;
+  }
+}
+
+// The cold-start multiple influences ECI1 exactly once: before the first
+// recorded trial. From the first record() on, eci1() is a pure function of
+// the trial history, whatever initial_eci1 was.
+FLAML_PROP(EciProp, ColdStartAppliedExactlyOnce, 20) {
+  EciState a, b;
+  a.initial_eci1 = prop.rng.uniform(1e-3, 10.0);
+  b.initial_eci1 = a.initial_eci1 * prop.rng.uniform(2.0, 100.0);
+  EXPECT_NE(a.eci1(), b.eci1());  // cold start: the multiple is in effect
+
+  const int n_records = 1 + static_cast<int>(prop.rng.uniform_index(10));
+  for (int i = 0; i < n_records; ++i) {
+    const double cost = prop.rng.uniform(1e-3, 2.0);
+    const double error = prop.rng.uniform();
+    a.record(cost, error);
+    b.record(cost, error);
+    EXPECT_DOUBLE_EQ(a.eci1(), b.eci1()) << "record " << i;
+    EXPECT_DOUBLE_EQ(a.eci(0.1, 2.0, true), b.eci(0.1, 2.0, true));
+  }
+}
+
+// Drawing learners with weights 1/ECI(l) yields empirical frequencies
+// proportional to 1/ECI — the frugal-sampling rule the controller relies on.
+FLAML_PROP(EciProp, SamplingFrequencyProportionalToInverseEci, 10) {
+  const int n_learners = 2 + static_cast<int>(prop.rng.uniform_index(4));
+  std::vector<double> ecis;
+  for (int l = 0; l < n_learners; ++l) {
+    EciState state;
+    const int n_records = 1 + static_cast<int>(prop.rng.uniform_index(8));
+    for (int i = 0; i < n_records; ++i) {
+      state.record(prop.rng.uniform(0.01, 3.0), prop.rng.uniform());
+    }
+    ecis.push_back(state.eci(state.best_error * 0.5, 2.0, true));
+    ASSERT_GT(ecis.back(), 0.0);
+    ASSERT_TRUE(std::isfinite(ecis.back()));
+  }
+
+  std::vector<double> weights;
+  double inv_sum = 0.0;
+  for (double e : ecis) {
+    weights.push_back(1.0 / e);
+    inv_sum += 1.0 / e;
+  }
+
+  const int n_draws = 20000;
+  std::vector<int> counts(ecis.size(), 0);
+  for (int i = 0; i < n_draws; ++i) ++counts[prop.rng.categorical(weights)];
+
+  for (std::size_t l = 0; l < ecis.size(); ++l) {
+    const double expected = weights[l] / inv_sum;
+    const double observed = static_cast<double>(counts[l]) / n_draws;
+    const double sigma = std::sqrt(expected * (1.0 - expected) / n_draws);
+    EXPECT_NEAR(observed, expected, 4.0 * sigma + 1e-3)
+        << "learner " << l << " eci " << ecis[l];
+  }
 }
 
 }  // namespace

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/error.h"
+#include "support/prop.h"
 
 namespace flaml {
 namespace {
@@ -206,6 +208,181 @@ TEST(Flow2, StartPointAfterAskRejected) {
 TEST(Flow2, EmptySpaceRejected) {
   ConfigSpace space;
   EXPECT_THROW(Flow2(space, 1), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded property tests (tests/support/prop.h).
+
+// Per-parameter bounds remembered while building a random space, so the
+// proposals can be checked without reaching into ConfigSpace internals.
+struct ParamBounds {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool integral = false;  // int param or categorical index
+};
+
+ConfigSpace random_space(testing::PropCase& prop, std::vector<ParamBounds>& bounds,
+                         std::vector<std::string>& names) {
+  ConfigSpace space;
+  const int d = 1 + static_cast<int>(prop.rng.uniform_index(5));
+  for (int i = 0; i < d; ++i) {
+    const std::string name = "p" + std::to_string(i);
+    names.push_back(name);
+    ParamBounds b;
+    switch (prop.rng.uniform_index(4)) {
+      case 0: {  // linear float
+        b.lo = prop.rng.uniform(-10.0, 0.0);
+        b.hi = b.lo + prop.rng.uniform(0.5, 20.0);
+        space.add_float(name, b.lo, b.hi, prop.rng.uniform(b.lo, b.hi));
+        break;
+      }
+      case 1: {  // log float
+        b.lo = prop.rng.uniform(1e-4, 0.1);
+        b.hi = b.lo * prop.rng.uniform(10.0, 1e4);
+        space.add_float(name, b.lo, b.hi, b.lo, /*log_scale=*/true);
+        break;
+      }
+      case 2: {  // log int, sometimes cost-related
+        b.lo = static_cast<double>(1 + prop.rng.uniform_index(4));
+        b.hi = b.lo + static_cast<double>(1 + prop.rng.uniform_index(1000));
+        b.integral = true;
+        space.add_int(name, b.lo, b.hi, b.lo, /*log_scale=*/true,
+                      /*cost_related=*/prop.rng.bernoulli(0.5));
+        break;
+      }
+      default: {  // categorical: the Config value is the category index
+        const int n = 2 + static_cast<int>(prop.rng.uniform_index(4));
+        std::vector<std::string> cats;
+        for (int c = 0; c < n; ++c) cats.push_back("c" + std::to_string(c));
+        b.lo = 0.0;
+        b.hi = static_cast<double>(n - 1);
+        b.integral = true;
+        space.add_categorical(name, std::move(cats),
+                              static_cast<int>(prop.rng.uniform_index(n)));
+        break;
+      }
+    }
+    bounds.push_back(b);
+  }
+  return space;
+}
+
+// Every +u / −u proposal — including clamped ones — lands inside the space:
+// numeric params within [lo, hi], int and categorical values integral.
+FLAML_PROP(Flow2Prop, ProposalsStayInBounds, 40) {
+  std::vector<ParamBounds> bounds;
+  std::vector<std::string> names;
+  ConfigSpace space = random_space(prop, bounds, names);
+  Flow2 tuner(space, prop.rng.next());
+  tuner.set_adaptation(prop.rng.bernoulli(0.5));
+  for (int iter = 0; iter < 60; ++iter) {
+    Config c = tuner.ask();
+    for (std::size_t j = 0; j < names.size(); ++j) {
+      const double v = c.at(names[j]);
+      EXPECT_GE(v, bounds[j].lo) << names[j] << " iter " << iter;
+      EXPECT_LE(v, bounds[j].hi) << names[j] << " iter " << iter;
+      if (bounds[j].integral) {
+        EXPECT_DOUBLE_EQ(v, std::round(v)) << names[j] << " iter " << iter;
+      }
+    }
+    tuner.tell(prop.rng.uniform());
+  }
+}
+
+// The step size decays only after MORE than 2^(d-1) consecutive
+// non-improvements (and only while adaptation is on); any improvement resets
+// the stall counter. A mirror model predicts on every tell() whether the
+// step may shrink, and by how much (reduction ratio clamped to [1.1, 4]).
+FLAML_PROP(Flow2Prop, StepDecaysOnlyAfterStallThreshold, 30) {
+  const int d = 1 + static_cast<int>(prop.rng.uniform_index(4));
+  ConfigSpace space;
+  for (int i = 0; i < d; ++i) {
+    space.add_float("x" + std::to_string(i), 0.0, 1.0, 0.5);
+  }
+  Flow2 tuner(space, prop.rng.next());
+  const int threshold = std::max(1, 1 << (d - 1));  // matches 2^(d-1)
+
+  bool adapt = true;
+  tuner.set_adaptation(adapt);
+  int stall = 0;
+  double incumbent_error = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < 300; ++iter) {
+    if (prop.rng.bernoulli(0.05)) {  // the controller toggles this at sample
+      adapt = !adapt;                // growth; the stall rule must respect it
+      tuner.set_adaptation(adapt);
+    }
+    const double before = tuner.step();
+    tuner.ask();
+    const double error = prop.rng.uniform();
+    const bool improved = error < incumbent_error;
+    tuner.tell(error);
+    const double after = tuner.step();
+
+    if (improved) {
+      incumbent_error = error;
+      stall = 0;
+      EXPECT_DOUBLE_EQ(after, before) << "improvement must not change the step";
+    } else {
+      // The stall counter always advances; only the SHRINK is gated on
+      // adaptation. With adaptation off the counter can sail past the
+      // threshold, and the next non-improving tell with adaptation on
+      // shrinks immediately.
+      ++stall;
+      if (adapt && stall > threshold) {
+        stall = 0;
+        EXPECT_LE(after, before) << "iter " << iter;
+        EXPECT_GE(after, before / 4.0 * (1.0 - 1e-12))
+            << "shrink ratio above the clamp, iter " << iter;
+        if (after == before) {
+          // Only possible when the step is pinned at its lower bound.
+          EXPECT_TRUE(tuner.converged()) << "iter " << iter;
+        }
+      } else {
+        EXPECT_DOUBLE_EQ(after, before)
+            << "early shrink at stall " << stall << "/" << threshold
+            << ", iter " << iter;
+      }
+    }
+  }
+}
+
+// restart() resets the whole walk: restart count bumps, convergence and best
+// clear, and the step returns exactly to its initial value so the fresh walk
+// explores at full range again.
+FLAML_PROP(Flow2Prop, RestartResetsTheWalk, 25) {
+  const int d = 1 + static_cast<int>(prop.rng.uniform_index(4));
+  ConfigSpace space;
+  for (int i = 0; i < d; ++i) {
+    space.add_float("x" + std::to_string(i), 0.0, 1.0, 0.5);
+  }
+  Flow2 tuner(space, prop.rng.next());
+  const double initial_step = tuner.step();
+
+  tuner.ask();
+  tuner.tell(0.1);  // set an incumbent, then stall the walk until it shrinks
+  for (int i = 0; i < 400 && !(tuner.step() < initial_step); ++i) {
+    tuner.ask();
+    tuner.tell(1.0);
+  }
+  ASSERT_LT(tuner.step(), initial_step);
+  const int restarts_before = tuner.n_restarts();
+
+  tuner.restart();
+  EXPECT_EQ(tuner.n_restarts(), restarts_before + 1);
+  EXPECT_FALSE(tuner.converged());
+  EXPECT_FALSE(tuner.has_best());
+  EXPECT_DOUBLE_EQ(tuner.step(), initial_step);
+
+  // The fresh walk starts from the (random) restart point and works again.
+  Config first = tuner.ask();
+  for (int i = 0; i < d; ++i) {
+    const double v = first.at("x" + std::to_string(i));
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  tuner.tell(0.5);
+  EXPECT_TRUE(tuner.has_best());
+  EXPECT_EQ(tuner.best_config(), first);
 }
 
 }  // namespace
