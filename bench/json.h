@@ -1,0 +1,55 @@
+// Minimal JSON value, writer and recursive-descent parser for the bench
+// binaries that emit machine-readable results (BENCH_tree.json). Supports
+// the JSON subset the benches need: null, bool, finite numbers, strings,
+// arrays, objects (insertion-ordered). Parsing throws std::runtime_error
+// with an offset on malformed input, which is what --check relies on.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace flaml::bench {
+
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  static JsonValue make_null() { return JsonValue{}; }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double x);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array();
+  static JsonValue make_object();
+
+  bool is_null() const { return type == Type::Null; }
+  bool is_bool() const { return type == Type::Bool; }
+  bool is_number() const { return type == Type::Number; }
+  bool is_string() const { return type == Type::String; }
+  bool is_array() const { return type == Type::Array; }
+  bool is_object() const { return type == Type::Object; }
+
+  // Object lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+  // Append/overwrite a key (object) — returns the stored value.
+  JsonValue& set(const std::string& key, JsonValue value);
+  // Append to an array — returns the stored value.
+  JsonValue& push(JsonValue value);
+};
+
+// Serialize with 2-space indentation and '\n' line ends; numbers use up to
+// 17 significant digits so doubles round-trip.
+std::string dump_json(const JsonValue& value);
+
+// Parse a complete JSON document (trailing whitespace allowed). Throws
+// std::runtime_error on any syntax error.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace flaml::bench

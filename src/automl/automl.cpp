@@ -62,6 +62,7 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
   FLAML_REQUIRE(options.sample_multiplier > 1.0, "sample multiplier must be > 1");
   FLAML_REQUIRE(options.budget_scale > 0.0, "budget_scale must be positive");
   FLAML_REQUIRE(options.n_parallel >= 1, "n_parallel must be >= 1");
+  FLAML_REQUIRE(options.n_threads >= 1, "n_threads must be >= 1");
   data.validate();
   data_ = &data;
   history_.clear();
@@ -102,6 +103,7 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
   runner_options.cv_folds = options.cv_folds;
   runner_options.holdout_ratio = options.holdout_ratio;
   runner_options.seed = options.seed;
+  runner_options.n_threads = options.n_threads;
   runner_options.cost_model = options.trial_cost_model;
   runner_ = std::make_unique<TrialRunner>(data, metric, runner_options);
   const std::size_t full_size = runner_->max_sample_size();
@@ -366,6 +368,7 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
         DataView all_rows(data);
         ctx.train = all_rows.prefix(std::max<std::size_t>(best_sample_size_, 2));
         ctx.seed = options.seed;
+        ctx.n_threads = options.n_threads;
         best_model_ = state.learner->train(ctx, best_config_);
       }
       break;

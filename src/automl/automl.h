@@ -73,6 +73,13 @@ struct AutoMLOptions {
   // still wall-clock per trial, so total CPU spent is ~n_parallel × budget.
   int n_parallel = 1;
 
+  // Intra-trial worker threads: each model fit parallelizes histogram
+  // build, split finding, bagging and prediction over up to n_threads on
+  // the process-wide shared pool. Orthogonal to n_parallel (which runs
+  // whole trials concurrently); the two compose. Any value produces
+  // bit-identical models and search history.
+  int n_threads = 1;
+
   // Warm-start configurations per learner name: FLOW2 starts its walk from
   // this config instead of the low-cost default (e.g. the best config of a
   // previous fit on related data).

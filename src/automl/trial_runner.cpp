@@ -70,6 +70,7 @@ TrialResult TrialRunner::run(const Learner& learner, const Config& config,
       ctx.max_seconds = max_seconds;
       ctx.fail_on_deadline = true;
       ctx.seed = options_.seed ^ (trial_id * 0x9e3779b97f4a7c15ULL);
+      ctx.n_threads = options_.n_threads;
       auto model = learner.train(ctx, config);
       result.error = metric_(model->predict(holdout_view_), holdout_view_.labels());
     } else {
@@ -90,6 +91,7 @@ TrialResult TrialRunner::run(const Learner& learner, const Config& config,
         ctx.max_seconds = per_fold_cap;
         ctx.fail_on_deadline = true;
         ctx.seed = options_.seed ^ (trial_id * 0x9e3779b97f4a7c15ULL);
+        ctx.n_threads = options_.n_threads;
         auto model = learner.train(ctx, config);
         total_error += metric_(model->predict(fold.valid), fold.valid.labels());
       }
@@ -121,6 +123,7 @@ std::unique_ptr<Model> TrialRunner::train_final(const Learner& learner,
   ctx.valid = options_.resampling == Resampling::Holdout ? &holdout_view_ : nullptr;
   ctx.max_seconds = max_seconds;
   ctx.seed = options_.seed;
+  ctx.n_threads = options_.n_threads;
   return learner.train(ctx, config);
 }
 

@@ -57,6 +57,9 @@ class TrialRunner {
     int cv_folds = 5;
     double holdout_ratio = 0.1;
     std::uint64_t seed = 1;
+    // Intra-trial worker threads handed to every TrainContext (1 = serial;
+    // models are bit-identical for any value).
+    int n_threads = 1;
     // When set, trial cost comes from the model instead of the wall clock.
     TrialCostModel cost_model;
   };

@@ -8,6 +8,7 @@
 
 #include "common/clock.h"
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "tree/tree_io.h"
 
 namespace flaml {
@@ -22,7 +23,7 @@ void GBDTModel::add_tree(Tree tree, double learning_rate) {
   scales_.push_back(learning_rate);
 }
 
-std::vector<double> GBDTModel::raw_scores(const DataView& view) const {
+std::vector<double> GBDTModel::raw_scores(const DataView& view, int n_threads) const {
   const std::size_t n = view.n_rows();
   const std::size_t k = base_scores_.size();
   std::vector<double> scores(n * k);
@@ -30,20 +31,25 @@ std::vector<double> GBDTModel::raw_scores(const DataView& view) const {
     for (std::size_t c = 0; c < k; ++c) scores[i * k + c] = base_scores_[c];
   }
   const Dataset& data = view.data();
-  for (std::size_t t = 0; t < trees_.size(); ++t) {
-    const std::size_t c = t % k;
-    const Tree& tree = trees_[t];
-    const double scale = scales_[t];
-    for (std::size_t i = 0; i < n; ++i) {
-      scores[i * k + c] += scale * tree.predict_row(data, view.row_index(i));
+  ThreadPool* pool = n_threads > 1 ? &shared_pool() : nullptr;
+  // Rows sharded, trees in order within each shard: every score cell sums
+  // its trees in the same order as the serial loop, bit for bit.
+  sharded_for(pool, n_threads, n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t t = 0; t < trees_.size(); ++t) {
+      const std::size_t c = t % k;
+      const Tree& tree = trees_[t];
+      const double scale = scales_[t];
+      for (std::size_t i = begin; i < end; ++i) {
+        scores[i * k + c] += scale * tree.predict_row(data, view.row_index(i));
+      }
     }
-  }
+  });
   return scores;
 }
 
-Predictions GBDTModel::predict(const DataView& view) const {
+Predictions GBDTModel::predict(const DataView& view, int n_threads) const {
   auto objective = make_objective(task_, n_classes_);
-  return objective->transform(raw_scores(view));
+  return objective->transform(raw_scores(view, n_threads));
 }
 
 void GBDTModel::truncate(std::size_t n_keep) {
@@ -175,6 +181,8 @@ GBDTModel train_gbdt(const DataView& train, const DataView* valid,
   gp.colsample_bylevel = params.colsample_bylevel;
   gp.style = params.tree_style;
   gp.oblivious_depth = params.oblivious_depth;
+  gp.n_threads = params.n_threads;
+  ThreadPool* score_pool = params.n_threads > 1 ? &shared_pool() : nullptr;
 
   std::vector<int> all_features(dataset.n_cols());
   std::iota(all_features.begin(), all_features.end(), 0);
@@ -218,17 +226,26 @@ GBDTModel train_gbdt(const DataView& train, const DataView* valid,
         }
       }
       Tree tree = grower.grow(rows, grad, hess, features, gp, rng);
-      // Update training scores.
-      for (std::size_t i = 0; i < n; ++i) {
-        scores[i * static_cast<std::size_t>(n_outputs) + static_cast<std::size_t>(c)] +=
-            params.learning_rate * tree.predict_row(dataset, train.row_index(i));
-      }
+      // Update training scores (one add per row: order-independent).
+      sharded_for(score_pool, params.n_threads, n,
+                  [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) {
+                      scores[i * static_cast<std::size_t>(n_outputs) +
+                             static_cast<std::size_t>(c)] +=
+                          params.learning_rate *
+                          tree.predict_row(dataset, train.row_index(i));
+                    }
+                  });
       if (use_es) {
-        for (std::size_t i = 0; i < valid->n_rows(); ++i) {
-          valid_scores[i * static_cast<std::size_t>(n_outputs) +
-                       static_cast<std::size_t>(c)] +=
-              params.learning_rate * tree.predict_row(dataset, valid->row_index(i));
-        }
+        sharded_for(score_pool, params.n_threads, valid->n_rows(),
+                    [&](std::size_t begin, std::size_t end) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        valid_scores[i * static_cast<std::size_t>(n_outputs) +
+                                     static_cast<std::size_t>(c)] +=
+                            params.learning_rate *
+                            tree.predict_row(dataset, valid->row_index(i));
+                      }
+                    });
       }
       model.add_tree(std::move(tree), params.learning_rate);
     }

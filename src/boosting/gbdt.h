@@ -47,6 +47,10 @@ struct GBDTParams {
   double max_seconds = 0.0;
   bool fail_on_deadline = false;
   std::uint64_t seed = 0;
+  // Intra-trial parallelism (histogram build, split finding, score updates)
+  // on the shared_pool(). Boosting is sequential across trees, so threads
+  // work inside each tree; any value yields the bit-identical model.
+  int n_threads = 1;
 };
 
 class GBDTModel {
@@ -64,10 +68,12 @@ class GBDTModel {
   // Append the tree for output column k of the current iteration.
   void add_tree(Tree tree, double learning_rate);
 
-  // Raw additive scores, row-major n × n_outputs.
-  std::vector<double> raw_scores(const DataView& view) const;
+  // Raw additive scores, row-major n × n_outputs. Row-sharded over
+  // n_threads; each row accumulates its trees in tree order, so any thread
+  // count gives bit-identical scores.
+  std::vector<double> raw_scores(const DataView& view, int n_threads = 1) const;
   // Probabilities / targets.
-  Predictions predict(const DataView& view) const;
+  Predictions predict(const DataView& view, int n_threads = 1) const;
 
   // Human-readable text serialization (round-trips via load()).
   void save(std::ostream& out) const;

@@ -59,17 +59,26 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  parallel_for(n, workers_.size() + 1, fn);
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t max_threads,
+                              const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  if (n == 1 || workers_.size() == 1 || on_worker_thread()) {
-    // Inline fallback: trivial sizes, a single-worker pool (no speedup), or
-    // a nested call from one of our own workers (submitting and blocking
-    // here could deadlock once every worker does the same).
+  // Shards submitted to the pool; the calling thread is the +1.
+  const std::size_t helpers =
+      std::min({workers_.size(), n, max_threads > 0 ? max_threads - 1 : 0});
+  if (n == 1 || workers_.size() == 1 || helpers == 0 || on_worker_thread()) {
+    // Inline fallback: trivial sizes, a single-worker pool (no speedup), a
+    // concurrency cap of 1, or a nested call from one of our own workers
+    // (submitting and blocking here could deadlock once every worker does
+    // the same).
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
   std::atomic<std::size_t> next{0};
   std::vector<std::future<void>> futures;
-  std::size_t shards = std::min(workers_.size(), n);
+  std::size_t shards = helpers;
   futures.reserve(shards);
   for (std::size_t w = 0; w < shards; ++w) {
     futures.push_back(submit([&] {
@@ -103,6 +112,31 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     }
   }
   if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& shared_pool() {
+  // Floor of 8 so the parallel code paths (and their TSan coverage) are real
+  // even on 1-2 core machines; per-call concurrency is capped by callers.
+  static ThreadPool pool(
+      std::max<std::size_t>(8, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+void sharded_for(ThreadPool* pool, int n_threads, std::size_t n,
+                 const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t shards =
+      std::min<std::size_t>(n, n_threads <= 1 ? 1 : static_cast<std::size_t>(n_threads));
+  if (pool == nullptr || shards <= 1) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t chunk = (n + shards - 1) / shards;
+  pool->parallel_for(shards, shards, [&](std::size_t s) {
+    const std::size_t begin = s * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin < end) fn(begin, end);
+  });
 }
 
 }  // namespace flaml

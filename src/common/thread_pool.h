@@ -67,6 +67,14 @@ class ThreadPool {
   // runs inline on the calling thread instead of deadlocking on the queue.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  // Same, but with at most `max_threads` threads working concurrently
+  // (counting the calling thread, which always helps). max_threads <= 1
+  // degrades to an inline loop. This is the primitive behind the per-trial
+  // n_threads knob: one shared pool serves every trial, each capping its
+  // own slice of it.
+  void parallel_for(std::size_t n, std::size_t max_threads,
+                    const std::function<void(std::size_t)>& fn);
+
  private:
   void worker_loop();
   bool on_worker_thread() const;
@@ -78,5 +86,26 @@ class ThreadPool {
   bool stop_ = false;
   bool joined_ = false;  // workers joined (shutdown completed)
 };
+
+// Process-wide pool for intra-trial data parallelism (histogram builds,
+// split finding, tree bagging, row-sharded prediction). Lazily constructed
+// on first use with max(8, hardware_concurrency) workers so that the
+// deterministic parallel==serial contract can be exercised even on small
+// machines; per-call concurrency is capped by the caller's n_threads via
+// parallel_for(n, max_threads, fn). Distinct from the trial-level pool the
+// AutoML controller creates per fit(): a trial running on a controller
+// worker fans its inner loops out here, while work that reaches this pool's
+// own workers degrades to inline loops (nested-parallel_for contract), so
+// trial-level and intra-trial parallelism compose without deadlock.
+ThreadPool& shared_pool();
+
+// Split [0, n) into at most max(1, n_threads) contiguous shards and run
+// fn(begin, end) on each, using `pool` when non-null and more than one
+// shard results (serial inline otherwise). fn must be safe to run
+// concurrently on disjoint ranges, and callers must not let results depend
+// on shard boundaries — write per-index (or per-shard) outputs and reduce
+// them in a fixed order afterwards to preserve bit-exact determinism.
+void sharded_for(ThreadPool* pool, int n_threads, std::size_t n,
+                 const std::function<void(std::size_t, std::size_t)>& fn);
 
 }  // namespace flaml

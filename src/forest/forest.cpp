@@ -7,32 +7,39 @@
 
 #include "common/clock.h"
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "tree/grower.h"
 #include "tree/tree_io.h"
 
 namespace flaml {
 
-Predictions ForestModel::predict(const DataView& view) const {
+Predictions ForestModel::predict(const DataView& view, int n_threads) const {
   FLAML_REQUIRE(!trees_.empty(), "predict on an untrained forest");
   const std::size_t n = view.n_rows();
   const Dataset& data = view.data();
+  ThreadPool* pool = n_threads > 1 ? &shared_pool() : nullptr;
   Predictions out;
   out.task = task_;
+  // Rows are sharded across threads; within a shard every row accumulates
+  // its trees in tree order, so the float sums match the serial path bit
+  // for bit.
   if (is_classification(task_)) {
     out.n_classes = n_classes_;
     out.values.assign(n * static_cast<std::size_t>(n_classes_), 0.0);
-    for (const Tree& tree : trees_) {
-      const auto& dists = tree.leaf_distributions();
-      for (std::size_t i = 0; i < n; ++i) {
-        std::int32_t leaf = tree.leaf_index(data, view.row_index(i));
-        const auto& dist = dists[static_cast<std::size_t>(leaf)];
-        FLAML_CHECK(!dist.empty());
-        for (int c = 0; c < n_classes_; ++c) {
-          out.values[i * static_cast<std::size_t>(n_classes_) +
-                     static_cast<std::size_t>(c)] += dist[static_cast<std::size_t>(c)];
+    sharded_for(pool, n_threads, n, [&](std::size_t begin, std::size_t end) {
+      for (const Tree& tree : trees_) {
+        const auto& dists = tree.leaf_distributions();
+        for (std::size_t i = begin; i < end; ++i) {
+          std::int32_t leaf = tree.leaf_index(data, view.row_index(i));
+          const auto& dist = dists[static_cast<std::size_t>(leaf)];
+          FLAML_CHECK(!dist.empty());
+          for (int c = 0; c < n_classes_; ++c) {
+            out.values[i * static_cast<std::size_t>(n_classes_) +
+                       static_cast<std::size_t>(c)] += dist[static_cast<std::size_t>(c)];
+          }
         }
       }
-    }
+    });
     const double inv = 1.0 / static_cast<double>(trees_.size());
     for (double& v : out.values) v *= inv;
     // Smooth toward uniform so no class has exactly zero probability (a
@@ -43,11 +50,13 @@ Predictions ForestModel::predict(const DataView& view) const {
   } else {
     out.n_classes = 0;
     out.values.assign(n, 0.0);
-    for (const Tree& tree : trees_) {
-      for (std::size_t i = 0; i < n; ++i) {
-        out.values[i] += tree.predict_row(data, view.row_index(i));
+    sharded_for(pool, n_threads, n, [&](std::size_t begin, std::size_t end) {
+      for (const Tree& tree : trees_) {
+        for (std::size_t i = begin; i < end; ++i) {
+          out.values[i] += tree.predict_row(data, view.row_index(i));
+        }
       }
-    }
+    });
     const double inv = 1.0 / static_cast<double>(trees_.size());
     for (double& v : out.values) v *= inv;
   }
@@ -101,6 +110,37 @@ ForestModel train_forest(const DataView& train, const ForestParams& params) {
 
   ForestModel model(task, dataset.n_classes());
 
+  // Each tree gets its own rng stream, derived serially up front, so tree t
+  // draws the same bootstrap sample and split randomness whether trees are
+  // trained one by one or concurrently.
+  std::vector<Rng> tree_rngs;
+  tree_rngs.reserve(static_cast<std::size_t>(params.n_trees));
+  for (int t = 0; t < params.n_trees; ++t) tree_rngs.push_back(rng.split());
+
+  std::vector<Tree> trees(static_cast<std::size_t>(params.n_trees));
+  std::vector<char> built(static_cast<std::size_t>(params.n_trees), 0);
+  ThreadPool* pool = params.n_threads > 1 ? &shared_pool() : nullptr;
+  auto train_trees = [&](const std::function<void(int)>& build_tree) {
+    // build_tree checks the deadline itself (so parallel workers stop too)
+    // and leaves built[t] == 0 when it runs out of time.
+    if (pool != nullptr && params.n_trees > 1) {
+      pool->parallel_for(static_cast<std::size_t>(params.n_trees),
+                         static_cast<std::size_t>(params.n_threads),
+                         [&](std::size_t t) { build_tree(static_cast<int>(t)); });
+    } else {
+      for (int t = 0; t < params.n_trees; ++t) build_tree(t);
+    }
+  };
+  auto sample_rows = [&](Rng& tree_rng) {
+    std::vector<std::uint32_t> rows(n);
+    if (params.extra_trees) {
+      std::iota(rows.begin(), rows.end(), 0u);
+    } else {
+      for (auto& r : rows) r = static_cast<std::uint32_t>(tree_rng.uniform_index(n));
+    }
+    return rows;
+  };
+
   const bool weighted = dataset.has_weights();
   if (is_classification(task)) {
     std::vector<int> labels(n);
@@ -113,16 +153,15 @@ ForestModel train_forest(const DataView& train, const ForestParams& params) {
     gp.max_features = params.max_features;
     gp.criterion = params.criterion;
     gp.extra_random = params.extra_trees;
-    for (int t = 0; t < params.n_trees; ++t) {
-      if (out_of_time(t)) break;
-      std::vector<std::uint32_t> rows(n);
-      if (params.extra_trees) {
-        std::iota(rows.begin(), rows.end(), 0u);
-      } else {
-        for (auto& r : rows) r = static_cast<std::uint32_t>(rng.uniform_index(n));
-      }
-      model.add_tree(grower.grow(rows, labels, weights, gp, rng));
-    }
+    gp.n_threads = params.n_threads;
+    train_trees([&](int t) {
+      if (out_of_time(t)) return;
+      Rng& tree_rng = tree_rngs[static_cast<std::size_t>(t)];
+      std::vector<std::uint32_t> rows = sample_rows(tree_rng);
+      trees[static_cast<std::size_t>(t)] =
+          grower.grow(rows, labels, weights, gp, tree_rng);
+      built[static_cast<std::size_t>(t)] = 1;
+    });
   } else {
     // Regression: gradient grower with grad = -w·y, hess = w makes splits
     // maximize (weighted) variance reduction and leaves predict the
@@ -141,18 +180,24 @@ ForestModel train_forest(const DataView& train, const ForestParams& params) {
     gp.reg_lambda = 1e-9;
     gp.reg_alpha = 0.0;
     gp.colsample_bylevel = params.max_features;
+    gp.n_threads = params.n_threads;
     std::vector<int> features(dataset.n_cols());
     std::iota(features.begin(), features.end(), 0);
-    for (int t = 0; t < params.n_trees; ++t) {
-      if (out_of_time(t)) break;
-      std::vector<std::uint32_t> rows(n);
-      if (params.extra_trees) {
-        std::iota(rows.begin(), rows.end(), 0u);
-      } else {
-        for (auto& r : rows) r = static_cast<std::uint32_t>(rng.uniform_index(n));
-      }
-      model.add_tree(grower.grow(rows, grad, hess, features, gp, rng));
-    }
+    train_trees([&](int t) {
+      if (out_of_time(t)) return;
+      Rng& tree_rng = tree_rngs[static_cast<std::size_t>(t)];
+      std::vector<std::uint32_t> rows = sample_rows(tree_rng);
+      trees[static_cast<std::size_t>(t)] =
+          grower.grow(rows, grad, hess, features, gp, tree_rng);
+      built[static_cast<std::size_t>(t)] = 1;
+    });
+  }
+  // Keep the contiguous prefix of finished trees: a deadline skip at tree t
+  // invalidates everything after it (those trees may be half a schedule
+  // ahead), matching the serial early-break semantics.
+  for (int t = 0; t < params.n_trees; ++t) {
+    if (!built[static_cast<std::size_t>(t)]) break;
+    model.add_tree(std::move(trees[static_cast<std::size_t>(t)]));
   }
   return model;
 }

@@ -35,6 +35,11 @@ struct ForestParams {
   double max_seconds = 0.0;
   bool fail_on_deadline = false;
   std::uint64_t seed = 0;
+  // Trees trained concurrently on the shared_pool(). Each tree draws from
+  // its own pre-derived rng stream, so any n_threads yields the identical
+  // forest (deadline-limited runs excepted: wall-clock cutoffs are
+  // inherently schedule-dependent).
+  int n_threads = 1;
 };
 
 class ForestModel {
@@ -48,7 +53,9 @@ class ForestModel {
   const Tree& tree(std::size_t i) const { return trees_[i]; }
   void add_tree(Tree tree) { trees_.push_back(std::move(tree)); }
 
-  Predictions predict(const DataView& view) const;
+  // Row-sharded over n_threads; per-row accumulation stays in tree order,
+  // so any thread count gives bit-identical predictions.
+  Predictions predict(const DataView& view, int n_threads = 1) const;
 
   // Text serialization (round-trips via load()).
   void save(std::ostream& out) const;

@@ -11,14 +11,16 @@ namespace {
 
 class ForestModelWrapper final : public Model {
  public:
-  explicit ForestModelWrapper(ForestModel model) : model_(std::move(model)) {}
+  explicit ForestModelWrapper(ForestModel model, int n_threads = 1)
+      : model_(std::move(model)), n_threads_(n_threads) {}
   Predictions predict(const DataView& view) const override {
-    return model_.predict(view);
+    return model_.predict(view, n_threads_);
   }
   void save(std::ostream& out) const override { model_.save(out); }
 
  private:
   ForestModel model_;
+  int n_threads_;
 };
 
 double get(const Config& config, const std::string& name) {
@@ -52,6 +54,7 @@ ForestParams forest_params(const TrainContext& ctx, const Config& config,
   params.max_seconds = ctx.max_seconds;
   params.fail_on_deadline = ctx.fail_on_deadline;
   params.seed = ctx.seed;
+  params.n_threads = ctx.n_threads;
   return params;
 }
 
@@ -80,7 +83,8 @@ ConfigSpace RandomForestLearner::space(Task task, std::size_t full_size) const {
 std::unique_ptr<Model> RandomForestLearner::train(const TrainContext& ctx,
                                                   const Config& config) const {
   return std::make_unique<ForestModelWrapper>(
-      train_forest(ctx.train, forest_params(ctx, config, /*extra_trees=*/false)));
+      train_forest(ctx.train, forest_params(ctx, config, /*extra_trees=*/false)),
+      ctx.n_threads);
 }
 
 const std::string& ExtraTreesLearner::name() const {
@@ -95,7 +99,8 @@ ConfigSpace ExtraTreesLearner::space(Task task, std::size_t full_size) const {
 std::unique_ptr<Model> ExtraTreesLearner::train(const TrainContext& ctx,
                                                 const Config& config) const {
   return std::make_unique<ForestModelWrapper>(
-      train_forest(ctx.train, forest_params(ctx, config, /*extra_trees=*/true)));
+      train_forest(ctx.train, forest_params(ctx, config, /*extra_trees=*/true)),
+      ctx.n_threads);
 }
 
 }  // namespace flaml

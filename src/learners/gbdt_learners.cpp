@@ -12,15 +12,17 @@ namespace {
 
 class GbdtModelWrapper final : public Model {
  public:
-  explicit GbdtModelWrapper(GBDTModel model) : model_(std::move(model)) {}
+  explicit GbdtModelWrapper(GBDTModel model, int n_threads = 1)
+      : model_(std::move(model)), n_threads_(n_threads) {}
   Predictions predict(const DataView& view) const override {
-    return model_.predict(view);
+    return model_.predict(view, n_threads_);
   }
   void save(std::ostream& out) const override { model_.save(out); }
   const GBDTModel& inner() const { return model_; }
 
  private:
   GBDTModel model_;
+  int n_threads_;
 };
 
 double get(const Config& config, const std::string& name) {
@@ -98,7 +100,9 @@ std::unique_ptr<Model> LightGbmLearner::train(const TrainContext& ctx,
   params.max_seconds = ctx.max_seconds;
   params.fail_on_deadline = ctx.fail_on_deadline;
   params.seed = ctx.seed;
-  return std::make_unique<GbdtModelWrapper>(train_gbdt(ctx.train, nullptr, params));
+  params.n_threads = ctx.n_threads;
+  return std::make_unique<GbdtModelWrapper>(train_gbdt(ctx.train, nullptr, params),
+                                            ctx.n_threads);
 }
 
 // ----------------------------------------------------------------- XGBoost
@@ -127,7 +131,9 @@ std::unique_ptr<Model> XgboostLearner::train(const TrainContext& ctx,
   params.max_seconds = ctx.max_seconds;
   params.fail_on_deadline = ctx.fail_on_deadline;
   params.seed = ctx.seed;
-  return std::make_unique<GbdtModelWrapper>(train_gbdt(ctx.train, nullptr, params));
+  params.n_threads = ctx.n_threads;
+  return std::make_unique<GbdtModelWrapper>(train_gbdt(ctx.train, nullptr, params),
+                                            ctx.n_threads);
 }
 
 // ---------------------------------------------------------------- CatBoost
@@ -164,10 +170,11 @@ std::unique_ptr<Model> CatBoostLearner::train(const TrainContext& ctx,
   params.max_seconds = ctx.max_seconds;
   params.fail_on_deadline = ctx.fail_on_deadline;
   params.seed = ctx.seed;
+  params.n_threads = ctx.n_threads;
 
   if (ctx.valid != nullptr && ctx.valid->n_rows() > 0) {
     return std::make_unique<GbdtModelWrapper>(
-        train_gbdt(ctx.train, ctx.valid, params));
+        train_gbdt(ctx.train, ctx.valid, params), ctx.n_threads);
   }
   // No validation data supplied: carve an internal 10% holdout (CatBoost
   // behaves similarly when given eval_fraction).
@@ -175,7 +182,8 @@ std::unique_ptr<Model> CatBoostLearner::train(const TrainContext& ctx,
   if (n < 20) {
     params.early_stopping_rounds = 0;
     params.n_trees = 50;
-    return std::make_unique<GbdtModelWrapper>(train_gbdt(ctx.train, nullptr, params));
+    return std::make_unique<GbdtModelWrapper>(
+        train_gbdt(ctx.train, nullptr, params), ctx.n_threads);
   }
   std::vector<std::uint32_t> train_rows, valid_rows;
   for (std::size_t i = 0; i < n; ++i) {
@@ -183,7 +191,8 @@ std::unique_ptr<Model> CatBoostLearner::train(const TrainContext& ctx,
   }
   DataView train_view(ctx.train.data(), std::move(train_rows));
   DataView valid_view(ctx.train.data(), std::move(valid_rows));
-  return std::make_unique<GbdtModelWrapper>(train_gbdt(train_view, &valid_view, params));
+  return std::make_unique<GbdtModelWrapper>(
+      train_gbdt(train_view, &valid_view, params), ctx.n_threads);
 }
 
 }  // namespace flaml

@@ -39,6 +39,10 @@ struct TrainContext {
   // model (safety cap for final retrains).
   bool fail_on_deadline = false;
   std::uint64_t seed = 0;
+  // Intra-trial worker threads for learners that support them (tree
+  // learners parallelize histogram build / split finding / prediction).
+  // Any value must produce the bit-identical model; 1 = serial.
+  int n_threads = 1;
 };
 
 class Learner {

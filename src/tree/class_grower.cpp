@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
+#include "tree/histogram.h"
 
 namespace flaml {
 
@@ -60,11 +62,9 @@ class ClassGrowContext {
         weights_(weights),
         params_(params),
         rng_(rng),
-        buffer_(rows) {
-    offsets_.resize(mapper.n_features() + 1, 0);
-    for (std::size_t f = 0; f < mapper.n_features(); ++f) {
-      offsets_[f + 1] = offsets_[f] + static_cast<std::size_t>(mapper.feature(f).n_bins());
-    }
+        pool_(params.n_threads > 1 ? &shared_pool() : nullptr),
+        buffer_(rows),
+        offsets_(histogram_offsets(mapper)) {
     all_features_.resize(mapper.n_features());
     for (std::size_t f = 0; f < mapper.n_features(); ++f) {
       all_features_[f] = static_cast<int>(f);
@@ -172,36 +172,13 @@ class ClassGrowContext {
     return weights_.empty() ? 1.0 : weights_[pos];
   }
 
+  HistParallel par() const { return HistParallel{pool_, params_.n_threads}; }
+
   // Remove a child's rows from an inherited parent histogram (in place).
   void remove_rows_from_hist(const ClassLeaf& child, std::vector<double>& hist) const {
-    for (std::size_t f = 0; f < mapper_.n_features(); ++f) {
-      const auto& col = binned_.feature(f);
-      double* base = hist.data() + offsets_[f] * static_cast<std::size_t>(k_);
-      for (std::size_t i = child.begin; i < child.begin + child.count; ++i) {
-        std::uint32_t pos = buffer_[i];
-        base[static_cast<std::size_t>(col[pos]) * static_cast<std::size_t>(k_) +
-             static_cast<std::size_t>(labels_[pos])] -= row_weight(pos);
-      }
-    }
-  }
-
-  // Accumulate one feature's weighted class counts for a (small) leaf into
-  // scratch_counts_; returns its data pointer. Layout matches the per-leaf
-  // histogram slice: [bin * k + class].
-  const double* fill_feature_counts(const ClassLeaf& leaf, int f) {
-    const FeatureBins& fb = mapper_.feature(static_cast<std::size_t>(f));
-    const std::size_t cells =
-        static_cast<std::size_t>(fb.n_bins()) * static_cast<std::size_t>(k_);
-    if (scratch_counts_.size() < cells) scratch_counts_.resize(cells);
-    std::fill(scratch_counts_.begin(),
-              scratch_counts_.begin() + static_cast<std::ptrdiff_t>(cells), 0.0);
-    const auto& col = binned_.feature(static_cast<std::size_t>(f));
-    for (std::size_t i = leaf.begin; i < leaf.begin + leaf.count; ++i) {
-      std::uint32_t pos = buffer_[i];
-      scratch_counts_[static_cast<std::size_t>(col[pos]) * static_cast<std::size_t>(k_) +
-                      static_cast<std::size_t>(labels_[pos])] += row_weight(pos);
-    }
-    return scratch_counts_.data();
+    remove_rows_from_class_histogram(binned_, offsets_, k_,
+                                     buffer_.data() + child.begin, child.count,
+                                     labels_, weights_, hist, par());
   }
 
   std::vector<double> count_classes(const ClassLeaf& leaf) const {
@@ -213,16 +190,8 @@ class ClassGrowContext {
   }
 
   void build_hist(ClassLeaf& leaf) const {
-    leaf.hist.assign(offsets_.back() * static_cast<std::size_t>(k_), 0.0);
-    for (std::size_t f = 0; f < mapper_.n_features(); ++f) {
-      const auto& col = binned_.feature(f);
-      double* base = leaf.hist.data() + offsets_[f] * static_cast<std::size_t>(k_);
-      for (std::size_t i = leaf.begin; i < leaf.begin + leaf.count; ++i) {
-        std::uint32_t pos = buffer_[i];
-        base[static_cast<std::size_t>(col[pos]) * static_cast<std::size_t>(k_) +
-             static_cast<std::size_t>(labels_[pos])] += row_weight(pos);
-      }
-    }
+    build_class_histogram(binned_, offsets_, k_, buffer_.data() + leaf.begin,
+                          leaf.count, labels_, weights_, leaf.hist, par());
   }
 
   std::vector<int> sampled_features() {
@@ -239,20 +208,28 @@ class ClassGrowContext {
     return sampled;
   }
 
-  ClassSplit find_best_split(ClassLeaf& leaf) {
+  // Per-evaluation scratch. The serial path reuses one instance across
+  // features; each parallel shard owns its own so evaluations never share
+  // mutable state.
+  struct SplitScratch {
+    std::vector<double> left_counts;
+    std::vector<double> right_counts;
+    std::vector<double> compact_counts;  // gathered [bin*k+class] for small leaves
+  };
+
+  // Best split of a single feature. `random_bin` carries the pre-drawn
+  // extra-trees threshold (-1 = feature skipped / not extra-random), so the
+  // evaluation itself is pure and can run on any thread.
+  ClassSplit eval_feature_split(const ClassLeaf& leaf, int f, int random_bin,
+                                double parent_imp, SplitScratch& scratch) const {
     ClassSplit best;
-    if (leaf.count < 2 * static_cast<std::size_t>(params_.min_samples_leaf)) return best;
-    // The impurity total is the WEIGHTED class mass, not the row count.
-    double parent_total = 0.0;
-    for (double c : leaf.class_counts) parent_total += c;
-    const double parent_imp =
-        weighted_impurity(leaf.class_counts, parent_total, params_.criterion);
-    if (parent_imp <= params_.min_gain) return best;  // pure leaf
+    const std::size_t k = static_cast<std::size_t>(k_);
+    scratch.left_counts.assign(k, 0.0);
+    scratch.right_counts.assign(k, 0.0);
+    std::vector<double>& left_counts = scratch.left_counts;
+    std::vector<double>& right_counts = scratch.right_counts;
 
-    std::vector<double> left_counts(static_cast<std::size_t>(k_));
-    std::vector<double> right_counts(static_cast<std::size_t>(k_));
-
-    auto consider = [&](int f, int bin, bool categorical, bool missing_left,
+    auto consider = [&](int bin, bool categorical, bool missing_left,
                         bool missing_only) {
       double nl = 0.0, nr = 0.0;
       for (int c = 0; c < k_; ++c) {
@@ -268,79 +245,134 @@ class ClassGrowContext {
       }
     };
 
-    for (int f : sampled_features()) {
-      const FeatureBins& fb = mapper_.feature(static_cast<std::size_t>(f));
-      const double* hist =
-          leaf.hist.empty()
-              ? fill_feature_counts(leaf, f)
-              : leaf.hist.data() +
-                    offsets_[static_cast<std::size_t>(f)] * static_cast<std::size_t>(k_);
-      auto bin_counts = [&](int b, int c) {
-        return hist[static_cast<std::size_t>(b) * static_cast<std::size_t>(k_) +
-                    static_cast<std::size_t>(c)];
-      };
-      const int miss_bin = fb.missing_bin();
+    const FeatureBins& fb = mapper_.feature(static_cast<std::size_t>(f));
+    const double* hist;
+    if (leaf.hist.empty()) {
+      fill_feature_class_counts(binned_.feature(static_cast<std::size_t>(f)),
+                                fb.n_bins(), k_, buffer_.data() + leaf.begin,
+                                leaf.count, labels_, weights_,
+                                scratch.compact_counts);
+      hist = scratch.compact_counts.data();
+    } else {
+      hist = leaf.hist.data() + offsets_[static_cast<std::size_t>(f)] * k;
+    }
+    auto bin_counts = [&](int b, int c) {
+      return hist[static_cast<std::size_t>(b) * k + static_cast<std::size_t>(c)];
+    };
+    const int miss_bin = fb.missing_bin();
 
-      if (fb.type == ColumnType::Categorical) {
-        for (int b = 0; b < fb.n_value_bins; ++b) {
-          double n_b = 0.0;
-          for (int c = 0; c < k_; ++c) n_b += bin_counts(b, c);
-          if (n_b == 0.0) continue;
-          for (int c = 0; c < k_; ++c) {
-            left_counts[static_cast<std::size_t>(c)] = bin_counts(b, c);
-            right_counts[static_cast<std::size_t>(c)] =
-                leaf.class_counts[static_cast<std::size_t>(c)] - bin_counts(b, c);
-          }
-          consider(f, b, true, false, false);
-        }
-        continue;
-      }
-
-      if (params_.extra_random) {
-        // One random threshold among bins that have mass on both sides.
-        if (fb.n_value_bins < 2) continue;
-        int b = static_cast<int>(rng_.uniform_index(
-            static_cast<std::uint64_t>(fb.n_value_bins - 1)));
-        std::fill(left_counts.begin(), left_counts.end(), 0.0);
-        for (int bb = 0; bb <= b; ++bb) {
-          for (int c = 0; c < k_; ++c) {
-            left_counts[static_cast<std::size_t>(c)] += bin_counts(bb, c);
-          }
-        }
+    if (fb.type == ColumnType::Categorical) {
+      for (int b = 0; b < fb.n_value_bins; ++b) {
+        double n_b = 0.0;
+        for (int c = 0; c < k_; ++c) n_b += bin_counts(b, c);
+        if (n_b == 0.0) continue;
         for (int c = 0; c < k_; ++c) {
+          left_counts[static_cast<std::size_t>(c)] = bin_counts(b, c);
           right_counts[static_cast<std::size_t>(c)] =
-              leaf.class_counts[static_cast<std::size_t>(c)] -
-              left_counts[static_cast<std::size_t>(c)];
+              leaf.class_counts[static_cast<std::size_t>(c)] - bin_counts(b, c);
         }
-        consider(f, b, false, false, false);
-        continue;
+        consider(b, true, false, false);
       }
+      return best;
+    }
 
-      // Full scan; missing goes right (missing-left variant adds little for
-      // forests and doubles the scan cost).
-      std::fill(left_counts.begin(), left_counts.end(), 0.0);
-      for (int b = 0; b + 1 < fb.n_value_bins; ++b) {
+    if (params_.extra_random) {
+      // One pre-drawn random threshold; < 0 means the feature had fewer than
+      // two value bins and contributes no candidate.
+      if (random_bin < 0) return best;
+      for (int bb = 0; bb <= random_bin; ++bb) {
         for (int c = 0; c < k_; ++c) {
-          left_counts[static_cast<std::size_t>(c)] += bin_counts(b, c);
+          left_counts[static_cast<std::size_t>(c)] += bin_counts(bb, c);
         }
-        for (int c = 0; c < k_; ++c) {
-          right_counts[static_cast<std::size_t>(c)] =
-              leaf.class_counts[static_cast<std::size_t>(c)] -
-              left_counts[static_cast<std::size_t>(c)];
-        }
-        consider(f, b, false, false, false);
       }
-      // Missing-vs-known split when missing has mass.
-      double n_miss = 0.0;
-      for (int c = 0; c < k_; ++c) n_miss += bin_counts(miss_bin, c);
-      if (n_miss > 0.0) {
-        for (int c = 0; c < k_; ++c) {
-          right_counts[static_cast<std::size_t>(c)] = bin_counts(miss_bin, c);
-          left_counts[static_cast<std::size_t>(c)] =
-              leaf.class_counts[static_cast<std::size_t>(c)] -
-              right_counts[static_cast<std::size_t>(c)];
+      for (int c = 0; c < k_; ++c) {
+        right_counts[static_cast<std::size_t>(c)] =
+            leaf.class_counts[static_cast<std::size_t>(c)] -
+            left_counts[static_cast<std::size_t>(c)];
+      }
+      consider(random_bin, false, false, false);
+      return best;
+    }
+
+    // Full scan; missing goes right (missing-left variant adds little for
+    // forests and doubles the scan cost).
+    for (int b = 0; b + 1 < fb.n_value_bins; ++b) {
+      for (int c = 0; c < k_; ++c) {
+        left_counts[static_cast<std::size_t>(c)] += bin_counts(b, c);
+      }
+      for (int c = 0; c < k_; ++c) {
+        right_counts[static_cast<std::size_t>(c)] =
+            leaf.class_counts[static_cast<std::size_t>(c)] -
+            left_counts[static_cast<std::size_t>(c)];
+      }
+      consider(b, false, false, false);
+    }
+    // Missing-vs-known split when missing has mass.
+    double n_miss = 0.0;
+    for (int c = 0; c < k_; ++c) n_miss += bin_counts(miss_bin, c);
+    if (n_miss > 0.0) {
+      for (int c = 0; c < k_; ++c) {
+        right_counts[static_cast<std::size_t>(c)] = bin_counts(miss_bin, c);
+        left_counts[static_cast<std::size_t>(c)] =
+            leaf.class_counts[static_cast<std::size_t>(c)] -
+            right_counts[static_cast<std::size_t>(c)];
+      }
+      consider(-1, false, false, true);
+    }
+    return best;
+  }
+
+  ClassSplit find_best_split(ClassLeaf& leaf) {
+    ClassSplit best;
+    if (leaf.count < 2 * static_cast<std::size_t>(params_.min_samples_leaf)) return best;
+    // The impurity total is the WEIGHTED class mass, not the row count.
+    double parent_total = 0.0;
+    for (double c : leaf.class_counts) parent_total += c;
+    const double parent_imp =
+        weighted_impurity(leaf.class_counts, parent_total, params_.criterion);
+    if (parent_imp <= params_.min_gain) return best;  // pure leaf
+
+    const std::vector<int> feats = sampled_features();
+    // Extra-trees thresholds come from the shared rng, so they are drawn
+    // here, serially and in feature order, before any fan-out: the rng
+    // stream is then identical no matter how evaluation is scheduled.
+    std::vector<int> random_bins;
+    if (params_.extra_random) {
+      random_bins.assign(feats.size(), -1);
+      for (std::size_t i = 0; i < feats.size(); ++i) {
+        const FeatureBins& fb = mapper_.feature(static_cast<std::size_t>(feats[i]));
+        if (fb.type != ColumnType::Categorical && fb.n_value_bins >= 2) {
+          random_bins[i] = static_cast<int>(rng_.uniform_index(
+              static_cast<std::uint64_t>(fb.n_value_bins - 1)));
         }
-        consider(f, -1, false, false, true);
+      }
+    }
+    auto random_bin_at = [&](std::size_t i) {
+      return random_bins.empty() ? -1 : random_bins[i];
+    };
+
+    // Parallel only for leaves with a retained histogram: compact-scan
+    // leaves are by definition small, and the gather would dominate.
+    if (pool_ != nullptr && !leaf.hist.empty() && feats.size() >= 2) {
+      std::vector<ClassSplit> per_feature(feats.size());
+      sharded_for(pool_, params_.n_threads, feats.size(),
+                  [&](std::size_t begin, std::size_t end) {
+                    SplitScratch scratch;
+                    for (std::size_t i = begin; i < end; ++i) {
+                      per_feature[i] = eval_feature_split(
+                          leaf, feats[i], random_bin_at(i), parent_imp, scratch);
+                    }
+                  });
+      // Fixed-order reduction with strict `>`: keeps the lowest-feature-index
+      // winner on ties, exactly like the serial accumulating scan.
+      for (const ClassSplit& cand : per_feature) {
+        if (cand.valid() && cand.gain > best.gain) best = cand;
+      }
+    } else {
+      for (std::size_t i = 0; i < feats.size(); ++i) {
+        ClassSplit cand = eval_feature_split(leaf, feats[i], random_bin_at(i),
+                                             parent_imp, split_scratch_);
+        if (cand.valid() && cand.gain > best.gain) best = cand;
       }
     }
     return best;
@@ -398,11 +430,12 @@ class ClassGrowContext {
   const std::vector<double>& weights_;
   const ClassGrowerParams& params_;
   Rng& rng_;
+  ThreadPool* pool_;  // null = serial growth
   std::vector<std::uint32_t> buffer_;
   std::vector<std::uint32_t> scratch_;
-  std::vector<double> scratch_counts_;
   std::vector<std::size_t> offsets_;
   std::vector<int> all_features_;
+  SplitScratch split_scratch_;  // serial-path evaluation scratch
 };
 
 }  // namespace

@@ -5,16 +5,17 @@
 #include <limits>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
+#include "tree/histogram.h"
 
 namespace flaml {
 
 namespace {
 
-struct HistEntry {
-  double g = 0.0;
-  double h = 0.0;
-  std::uint32_t n = 0;
-};
+// Split searches on leaves below this row count run serially: their scan
+// cost is dwarfed by the parallel_for handoff. Depends only on the leaf, so
+// serial and parallel runs agree on the path taken.
+constexpr std::size_t kMinRowsForParallelFind = 256;
 
 double thresholded(double g, double alpha) {
   if (g > alpha) return g - alpha;
@@ -65,39 +66,18 @@ class GrowContext {
         features_(features),
         params_(params),
         rng_(rng),
-        buffer_(rows) {
-    offsets_.resize(mapper.n_features() + 1, 0);
-    for (std::size_t f = 0; f < mapper.n_features(); ++f) {
-      offsets_[f + 1] = offsets_[f] + static_cast<std::size_t>(mapper.feature(f).n_bins());
-    }
-  }
+        pool_(params.n_threads > 1 ? &shared_pool() : nullptr),
+        buffer_(rows),
+        offsets_(histogram_offsets(mapper)) {}
 
   std::size_t hist_size() const { return offsets_.back(); }
 
-  void build_hist(const LeafState& leaf, std::vector<HistEntry>& hist) const {
-    hist.assign(hist_size(), HistEntry{});
-    for (int f : features_) {
-      const auto& col = binned_.feature(static_cast<std::size_t>(f));
-      HistEntry* base = hist.data() + offsets_[static_cast<std::size_t>(f)];
-      for (std::size_t i = leaf.begin; i < leaf.begin + leaf.count; ++i) {
-        std::uint32_t pos = buffer_[i];
-        HistEntry& e = base[col[pos]];
-        e.g += grad_[pos];
-        e.h += hess_[pos];
-        e.n += 1;
-      }
-    }
-  }
+  HistParallel par() const { return {pool_, params_.n_threads}; }
 
-  static void subtract_hist(const std::vector<HistEntry>& parent,
-                            const std::vector<HistEntry>& child,
-                            std::vector<HistEntry>& out) {
-    out.resize(parent.size());
-    for (std::size_t i = 0; i < parent.size(); ++i) {
-      out[i].g = parent[i].g - child[i].g;
-      out[i].h = parent[i].h - child[i].h;
-      out[i].n = parent[i].n - child[i].n;
-    }
+  void build_hist(const LeafState& leaf, std::vector<HistEntry>& hist) const {
+    build_gradient_histogram(binned_, offsets_, features_,
+                             buffer_.data() + leaf.begin, leaf.count, grad_,
+                             hess_, hist, par());
   }
 
   // Candidate features for one split search (colsample_bylevel).
@@ -180,7 +160,25 @@ class GrowContext {
 
   SplitInfo find_best_split(const LeafState& leaf, const std::vector<int>& feats) const {
     SplitInfo best;
-    for (int f : feats) best_feature_split(leaf, f, best);
+    if (pool_ != nullptr && feats.size() >= 2 && leaf.count >= kMinRowsForParallelFind) {
+      // Feature-block parallel: evaluate every feature independently, then
+      // reduce in feature order. Strict `>` in both the per-feature scan and
+      // the reduction keeps the first (lowest feature index, lowest bin)
+      // candidate on ties — exactly what the serial accumulating scan keeps
+      // — so the result is independent of thread count.
+      std::vector<SplitInfo> per_feature(feats.size());
+      sharded_for(pool_, params_.n_threads, feats.size(),
+                  [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) {
+                      best_feature_split(leaf, feats[i], per_feature[i]);
+                    }
+                  });
+      for (const SplitInfo& cand : per_feature) {
+        if (cand.gain > best.gain) best = cand;
+      }
+    } else {
+      for (int f : feats) best_feature_split(leaf, f, best);
+    }
     if (best.gain < params_.min_gain) best = SplitInfo{};
     return best;
   }
@@ -303,19 +301,11 @@ class GrowContext {
       } else if (left.count <= right.count) {
         build_hist(left, left.hist);
         right.hist = std::move(leaf.hist);
-        for (std::size_t j = 0; j < right.hist.size(); ++j) {
-          right.hist[j].g -= left.hist[j].g;
-          right.hist[j].h -= left.hist[j].h;
-          right.hist[j].n -= left.hist[j].n;
-        }
+        subtract_gradient_histogram_inplace(right.hist, left.hist);
       } else {
         build_hist(right, right.hist);
         left.hist = std::move(leaf.hist);
-        for (std::size_t j = 0; j < left.hist.size(); ++j) {
-          left.hist[j].g -= right.hist[j].g;
-          left.hist[j].h -= right.hist[j].h;
-          left.hist[j].n -= right.hist[j].n;
-        }
+        subtract_gradient_histogram_inplace(left.hist, right.hist);
       }
 
       left.best = find_best_split(left, level_features());
@@ -358,9 +348,19 @@ class GrowContext {
     for (int d = 0; d < params_.oblivious_depth; ++d) {
       // One shared split for the whole level: maximize the summed gain.
       std::vector<int> feats = level_features();
-      SplitInfo best_shared;
-      double best_total = params_.min_gain;
-      for (int f : feats) {
+      // Each feature's best level-summed candidate, evaluated independently
+      // (bin ascending, strict `>`), then reduced in feature order below —
+      // the parallel run picks the same earliest maximum as the serial scan.
+      struct SharedCand {
+        double total = 0.0;
+        int bin = -1;
+        bool categorical = false;
+      };
+      std::vector<SharedCand> cands(feats.size());
+      auto eval_feature = [&](std::size_t fi) {
+        const int f = feats[fi];
+        SharedCand& cand = cands[fi];
+        cand.total = params_.min_gain;
         // Evaluate every bin candidate's total (level-summed) gain.
         // Per-leaf prefix sums over bins make this O(leaves × bins) per
         // feature instead of O(leaves × bins²).
@@ -368,7 +368,7 @@ class GrowContext {
         const bool categorical = fb.type == ColumnType::Categorical;
         const int n_candidates =
             categorical ? fb.n_value_bins : fb.n_value_bins - 1;
-        if (n_candidates <= 0) continue;
+        if (n_candidates <= 0) return;
         std::vector<double> total_gain(static_cast<std::size_t>(n_candidates), 0.0);
         for (const auto& leaf : level) {
           if (leaf.count == 0) continue;
@@ -399,12 +399,26 @@ class GrowContext {
           }
         }
         for (int b = 0; b < n_candidates; ++b) {
-          if (total_gain[static_cast<std::size_t>(b)] > best_total) {
-            best_total = total_gain[static_cast<std::size_t>(b)];
-            best_shared.feature = f;
-            best_shared.bin = b;
-            best_shared.categorical = categorical;
+          if (total_gain[static_cast<std::size_t>(b)] > cand.total) {
+            cand.total = total_gain[static_cast<std::size_t>(b)];
+            cand.bin = b;
+            cand.categorical = categorical;
           }
+        }
+      };
+      ThreadPool* pool = feats.size() >= 2 ? pool_ : nullptr;
+      sharded_for(pool, params_.n_threads, feats.size(),
+                  [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t fi = begin; fi < end; ++fi) eval_feature(fi);
+                  });
+      SplitInfo best_shared;
+      double best_total = params_.min_gain;
+      for (std::size_t fi = 0; fi < feats.size(); ++fi) {
+        if (cands[fi].bin >= 0 && cands[fi].total > best_total) {
+          best_total = cands[fi].total;
+          best_shared.feature = feats[fi];
+          best_shared.bin = cands[fi].bin;
+          best_shared.categorical = cands[fi].categorical;
         }
       }
       if (!best_shared.valid()) break;
@@ -432,11 +446,11 @@ class GrowContext {
           if (left.count <= right.count) {
             if (left.count > 0) build_hist(left, left.hist);
             else left.hist.assign(hist_size(), HistEntry{});
-            subtract_hist(leaf.hist, left.hist, right.hist);
+            subtract_gradient_histogram(leaf.hist, left.hist, right.hist);
           } else {
             if (right.count > 0) build_hist(right, right.hist);
             else right.hist.assign(hist_size(), HistEntry{});
-            subtract_hist(leaf.hist, right.hist, left.hist);
+            subtract_gradient_histogram(leaf.hist, right.hist, left.hist);
           }
         }
         next.push_back(std::move(left));
@@ -460,6 +474,7 @@ class GrowContext {
   const std::vector<int>& features_;
   const GrowerParams& params_;
   Rng& rng_;
+  ThreadPool* pool_;  // null = serial growth
   std::vector<std::uint32_t> buffer_;
   std::vector<std::uint32_t> scratch_;
   std::vector<std::size_t> offsets_;

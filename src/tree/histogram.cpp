@@ -1,0 +1,145 @@
+#include "tree/histogram.h"
+
+#include <algorithm>
+
+namespace flaml {
+
+namespace {
+
+// Below this row count a parallel build costs more in task handoff than the
+// scan itself; the cutoff depends only on the data, so serial and parallel
+// callers take the same path for the same leaf.
+constexpr std::size_t kMinRowsForParallelBuild = 512;
+
+}  // namespace
+
+std::vector<std::size_t> histogram_offsets(const BinMapper& mapper) {
+  std::vector<std::size_t> offsets(mapper.n_features() + 1, 0);
+  for (std::size_t f = 0; f < mapper.n_features(); ++f) {
+    offsets[f + 1] = offsets[f] + static_cast<std::size_t>(mapper.feature(f).n_bins());
+  }
+  return offsets;
+}
+
+void build_gradient_histogram(const BinnedMatrix& binned,
+                              const std::vector<std::size_t>& offsets,
+                              const std::vector<int>& features,
+                              const std::uint32_t* rows, std::size_t count,
+                              const std::vector<double>& grad,
+                              const std::vector<double>& hess,
+                              std::vector<HistEntry>& hist,
+                              const HistParallel& par) {
+  hist.assign(offsets.back(), HistEntry{});
+  auto fill_feature = [&](int f) {
+    const auto& col = binned.feature(static_cast<std::size_t>(f));
+    HistEntry* base = hist.data() + offsets[static_cast<std::size_t>(f)];
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint32_t pos = rows[i];
+      HistEntry& e = base[col[pos]];
+      e.g += grad[pos];
+      e.h += hess[pos];
+      e.n += 1;
+    }
+  };
+  ThreadPool* pool =
+      count >= kMinRowsForParallelBuild && features.size() >= 2 ? par.pool : nullptr;
+  sharded_for(pool, par.n_threads, features.size(),
+              [&](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) fill_feature(features[i]);
+              });
+}
+
+void subtract_gradient_histogram(const std::vector<HistEntry>& parent,
+                                 const std::vector<HistEntry>& child,
+                                 std::vector<HistEntry>& out) {
+  out.resize(parent.size());
+  for (std::size_t i = 0; i < parent.size(); ++i) {
+    out[i].g = parent[i].g - child[i].g;
+    out[i].h = parent[i].h - child[i].h;
+    out[i].n = parent[i].n - child[i].n;
+  }
+}
+
+void subtract_gradient_histogram_inplace(std::vector<HistEntry>& parent,
+                                         const std::vector<HistEntry>& child) {
+  for (std::size_t i = 0; i < parent.size(); ++i) {
+    parent[i].g -= child[i].g;
+    parent[i].h -= child[i].h;
+    parent[i].n -= child[i].n;
+  }
+}
+
+void build_class_histogram(const BinnedMatrix& binned,
+                           const std::vector<std::size_t>& offsets,
+                           int n_classes, const std::uint32_t* rows,
+                           std::size_t count, const std::vector<int>& labels,
+                           const std::vector<double>& weights,
+                           std::vector<double>& hist, const HistParallel& par) {
+  const std::size_t k = static_cast<std::size_t>(n_classes);
+  hist.assign(offsets.back() * k, 0.0);
+  auto fill_feature = [&](std::size_t f) {
+    const auto& col = binned.feature(f);
+    double* base = hist.data() + offsets[f] * k;
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint32_t pos = rows[i];
+      base[static_cast<std::size_t>(col[pos]) * k +
+           static_cast<std::size_t>(labels[pos])] +=
+          weights.empty() ? 1.0 : weights[pos];
+    }
+  };
+  const std::size_t n_features = binned.n_features();
+  ThreadPool* pool =
+      count >= kMinRowsForParallelBuild && n_features >= 2 ? par.pool : nullptr;
+  sharded_for(pool, par.n_threads, n_features,
+              [&](std::size_t begin, std::size_t end) {
+                for (std::size_t f = begin; f < end; ++f) fill_feature(f);
+              });
+}
+
+void remove_rows_from_class_histogram(const BinnedMatrix& binned,
+                                      const std::vector<std::size_t>& offsets,
+                                      int n_classes, const std::uint32_t* rows,
+                                      std::size_t count,
+                                      const std::vector<int>& labels,
+                                      const std::vector<double>& weights,
+                                      std::vector<double>& hist,
+                                      const HistParallel& par) {
+  const std::size_t k = static_cast<std::size_t>(n_classes);
+  auto drain_feature = [&](std::size_t f) {
+    const auto& col = binned.feature(f);
+    double* base = hist.data() + offsets[f] * k;
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint32_t pos = rows[i];
+      base[static_cast<std::size_t>(col[pos]) * k +
+           static_cast<std::size_t>(labels[pos])] -=
+          weights.empty() ? 1.0 : weights[pos];
+    }
+  };
+  const std::size_t n_features = binned.n_features();
+  ThreadPool* pool =
+      count >= kMinRowsForParallelBuild && n_features >= 2 ? par.pool : nullptr;
+  sharded_for(pool, par.n_threads, n_features,
+              [&](std::size_t begin, std::size_t end) {
+                for (std::size_t f = begin; f < end; ++f) drain_feature(f);
+              });
+}
+
+void fill_feature_class_counts(const std::vector<std::uint16_t>& col,
+                               int n_bins, int n_classes,
+                               const std::uint32_t* rows, std::size_t count,
+                               const std::vector<int>& labels,
+                               const std::vector<double>& weights,
+                               std::vector<double>& out) {
+  const std::size_t k = static_cast<std::size_t>(n_classes);
+  const std::size_t cells = static_cast<std::size_t>(n_bins) * k;
+  if (out.size() < cells) out.resize(cells);
+  std::fill(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(cells), 0.0);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t pos = rows[i];
+    out[static_cast<std::size_t>(col[pos]) * k +
+        static_cast<std::size_t>(labels[pos])] +=
+        weights.empty() ? 1.0 : weights[pos];
+  }
+}
+
+}  // namespace flaml

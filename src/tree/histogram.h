@@ -1,0 +1,97 @@
+// Histogram construction for the tree growers, extracted so that the two
+// layouts — the gradient-pair layout of grower.cpp and the per-class slice
+// layout of class_grower.cpp — share one implementation and can be tested
+// (and parallelized) in isolation.
+//
+// Layouts, with offsets[f] = first bin slot of feature f:
+//   * gradient: hist[offsets[f] + bin] is a (g, h, n) triple;
+//   * class:    hist[(offsets[f] + bin) * k + c] is the weighted count of
+//               class c in bin `bin` of feature f.
+//
+// Parallelism contract: builds shard over FEATURES, never rows. Each
+// feature's slice [offsets[f], offsets[f+1]) is a disjoint memory region,
+// and within a feature the rows are always accumulated in buffer order on a
+// single thread — so the parallel build is race-free and bit-identical to
+// the serial build for every thread count. Subtraction is element-wise and
+// deterministic by construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "tree/binning.h"
+
+namespace flaml {
+
+struct HistEntry {
+  double g = 0.0;
+  double h = 0.0;
+  std::uint32_t n = 0;
+};
+
+// Per-feature start slots: offsets[f] sums n_bins() of features before f;
+// offsets.back() is the total bin count.
+std::vector<std::size_t> histogram_offsets(const BinMapper& mapper);
+
+// Intra-build parallelism: a null pool (or n_threads <= 1) means serial.
+struct HistParallel {
+  ThreadPool* pool = nullptr;
+  int n_threads = 1;
+};
+
+// Accumulate (grad, hess, count) per bin for `features` over the rows
+// rows[0..count). hist is resized and zeroed. grad/hess are indexed by row
+// position (the values stored in `rows`), not by rows' index.
+void build_gradient_histogram(const BinnedMatrix& binned,
+                              const std::vector<std::size_t>& offsets,
+                              const std::vector<int>& features,
+                              const std::uint32_t* rows, std::size_t count,
+                              const std::vector<double>& grad,
+                              const std::vector<double>& hess,
+                              std::vector<HistEntry>& hist,
+                              const HistParallel& par = {});
+
+// out = parent - child, element-wise.
+void subtract_gradient_histogram(const std::vector<HistEntry>& parent,
+                                 const std::vector<HistEntry>& child,
+                                 std::vector<HistEntry>& out);
+
+// parent -= child in place (the larger sibling inherits the parent buffer).
+void subtract_gradient_histogram_inplace(std::vector<HistEntry>& parent,
+                                         const std::vector<HistEntry>& child);
+
+// Weighted class-count histogram over ALL mapper features (class trees do
+// per-split feature sampling instead of per-tree). Empty weights = 1.0 per
+// row. hist is resized and zeroed to offsets.back() * n_classes.
+void build_class_histogram(const BinnedMatrix& binned,
+                           const std::vector<std::size_t>& offsets,
+                           int n_classes, const std::uint32_t* rows,
+                           std::size_t count, const std::vector<int>& labels,
+                           const std::vector<double>& weights,
+                           std::vector<double>& hist,
+                           const HistParallel& par = {});
+
+// Remove the rows' mass from an inherited parent histogram in place — the
+// class-layout analogue of subtract: afterwards hist equals a direct build
+// over the remaining sibling rows (up to float summation order).
+void remove_rows_from_class_histogram(const BinnedMatrix& binned,
+                                      const std::vector<std::size_t>& offsets,
+                                      int n_classes, const std::uint32_t* rows,
+                                      std::size_t count,
+                                      const std::vector<int>& labels,
+                                      const std::vector<double>& weights,
+                                      std::vector<double>& hist,
+                                      const HistParallel& par = {});
+
+// One feature's slice in compact scratch layout [bin * k + c]: the
+// small-leaf path that retains no histogram rebuilds exactly this on
+// demand. out is resized/zeroed to n_bins * n_classes.
+void fill_feature_class_counts(const std::vector<std::uint16_t>& col,
+                               int n_bins, int n_classes,
+                               const std::uint32_t* rows, std::size_t count,
+                               const std::vector<int>& labels,
+                               const std::vector<double>& weights,
+                               std::vector<double>& out);
+
+}  // namespace flaml

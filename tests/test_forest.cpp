@@ -78,24 +78,30 @@ TEST(Forest, ExtraTreesLearns) {
 }
 
 TEST(Forest, MoreTreesReduceVariance) {
-  // Two forests with different seeds agree more with many trees than few.
+  // Forests with different seeds agree more with many trees than few.
+  // Averaged over several seed pairs: any single pair can invert by luck.
   Dataset data = binary_data(400, 11);
   DataView view(data);
   auto avg_disagreement = [&](int n_trees) {
-    ForestParams a, b;
-    a.n_trees = b.n_trees = n_trees;
-    a.max_features = b.max_features = 0.5;
-    a.seed = 100;
-    b.seed = 200;
-    Predictions pa = train_forest(view, a).predict(view);
-    Predictions pb = train_forest(view, b).predict(view);
-    double diff = 0.0;
-    for (std::size_t i = 0; i < pa.values.size(); ++i) {
-      diff += std::fabs(pa.values[i] - pb.values[i]);
+    double total = 0.0;
+    int pairs = 0;
+    for (std::uint64_t seed = 100; seed <= 900; seed += 200, ++pairs) {
+      ForestParams a, b;
+      a.n_trees = b.n_trees = n_trees;
+      a.max_features = b.max_features = 0.5;
+      a.seed = seed;
+      b.seed = seed + 100;
+      Predictions pa = train_forest(view, a).predict(view);
+      Predictions pb = train_forest(view, b).predict(view);
+      double diff = 0.0;
+      for (std::size_t i = 0; i < pa.values.size(); ++i) {
+        diff += std::fabs(pa.values[i] - pb.values[i]);
+      }
+      total += diff / static_cast<double>(pa.values.size());
     }
-    return diff / static_cast<double>(pa.values.size());
+    return total / static_cast<double>(pairs);
   };
-  EXPECT_LT(avg_disagreement(40), avg_disagreement(2));
+  EXPECT_LT(avg_disagreement(40), avg_disagreement(1));
 }
 
 TEST(Forest, EntropyCriterionWorks) {
