@@ -28,7 +28,7 @@
 #include "common/rng.h"
 #include "data/generators.h"
 #include "forest/forest.h"
-#include "json.h"
+#include "common/json.h"
 #include "tree/class_grower.h"
 #include "tree/grower.h"
 #include "tree/histogram.h"

@@ -1,0 +1,46 @@
+// Traced run: a small AutoML fit with structured search tracing enabled.
+//
+// Every decision the search makes — learner proposals with the full ECI
+// vector, FLOW² moves, sample-size doublings, trial outcomes — is written
+// as one JSON object per line to a JSONL file. Inspect it afterwards:
+//
+//   ./traced_run trace.jsonl [max_trials]
+//   ./trace_inspect trace.jsonl            # timeline + best-error curve
+//   ./trace_inspect --check trace.jsonl    # schema validation (CI mode)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "automl/automl.h"
+#include "data/suite.h"
+#include "observe/trace.h"
+
+using namespace flaml;
+
+int main(int argc, char** argv) {
+  const std::string trace_path = argc > 1 ? argv[1] : "trace.jsonl";
+  const std::size_t max_trials =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 30;
+
+  Dataset data = make_suite_dataset(suite_entry("adult"), 0.2);
+
+  AutoML automl;
+  AutoMLOptions options;
+  options.time_budget_seconds = 60.0;
+  options.max_iterations = max_trials;  // deterministic stopping for CI
+  options.seed = 7;
+  // The one line that turns tracing on:
+  options.trace_sink = std::make_shared<observe::JsonlTraceSink>(trace_path);
+  automl.fit(data, options);
+
+  std::printf("ran %zu trials; best %s, validation error %.4f\n",
+              automl.history().size(), automl.best_learner().c_str(),
+              automl.best_error());
+  std::printf("metrics: %zu trials ok, %zu killed, %zu failed\n",
+              static_cast<std::size_t>(automl.metrics().value("trials_ok")),
+              static_cast<std::size_t>(automl.metrics().value("trials_killed")),
+              static_cast<std::size_t>(automl.metrics().value("trials_failed")));
+  std::printf("trace written to %s — render it with tools/trace_inspect\n",
+              trace_path.c_str());
+  return 0;
+}

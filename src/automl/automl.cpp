@@ -73,9 +73,11 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
   best_error_ = std::numeric_limits<double>::infinity();
   best_learner_.clear();
   best_config_.clear();
+  metrics_.clear();
 
   const Task task = data.task();
   Rng rng(options.seed);
+  observe::Tracer tracer(options.trace_sink);
 
   // --- Metric ---
   ErrorMetric metric = options.custom_metric.has_value()
@@ -83,6 +85,19 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
                            : (options.metric.empty()
                                   ? ErrorMetric::default_for(task)
                                   : ErrorMetric::by_name(options.metric));
+
+  if (tracer) {
+    JsonValue fields = JsonValue::make_object();
+    fields.set("task", JsonValue::make_string(task_name(task)));
+    fields.set("metric", JsonValue::make_string(metric.name()));
+    fields.set("budget_seconds", JsonValue::make_number(options.time_budget_seconds));
+    fields.set("n_parallel", JsonValue::make_number(options.n_parallel));
+    fields.set("n_threads", JsonValue::make_number(options.n_threads));
+    fields.set("max_iterations",
+               JsonValue::make_number(static_cast<double>(options.max_iterations)));
+    fields.set("seed", JsonValue::make_number(static_cast<double>(options.seed)));
+    tracer.emit("run_started", std::move(fields));
+  }
 
   // --- Step 0: resampling strategy proposer ---
   Resampling resampling;
@@ -97,6 +112,18 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
       break;
   }
   resampling_used_ = resampling;
+  if (tracer) {
+    JsonValue fields = JsonValue::make_object();
+    fields.set("n_rows", JsonValue::make_number(static_cast<double>(data.n_rows())));
+    fields.set("n_cols", JsonValue::make_number(static_cast<double>(data.n_cols())));
+    fields.set("budget_seconds",
+               JsonValue::make_number(options.time_budget_seconds /
+                                      options.budget_scale));
+    fields.set("chosen", JsonValue::make_string(resampling_name(resampling)));
+    fields.set("forced",
+               JsonValue::make_bool(options.resampling != ResamplingPolicy::Auto));
+    tracer.emit("resampling_proposed", std::move(fields));
+  }
 
   TrialRunner::Options runner_options;
   runner_options.resampling = resampling;
@@ -105,6 +132,7 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
   runner_options.seed = options.seed;
   runner_options.n_threads = options.n_threads;
   runner_options.cost_model = options.trial_cost_model;
+  runner_options.tracer = tracer;
   runner_ = std::make_unique<TrialRunner>(data, metric, runner_options);
   const std::size_t full_size = runner_->max_sample_size();
 
@@ -144,6 +172,7 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
     state.learner = learner;
     state.space = std::make_unique<ConfigSpace>(learner->space(task, full_size));
     state.tuner = std::make_unique<Flow2>(*state.space, rng.next());
+    state.tuner->set_tracer(tracer.with("learner", learner->name()));
     if (auto it = options.starting_points.find(learner->name());
         it != options.starting_points.end()) {
       state.tuner->set_start_point(it->second);
@@ -173,23 +202,77 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
     Config config;
     bool grow_sample = false;
     std::uint64_t seed_salt = 0;
+    std::uint64_t trial_index = 0;  // per-learner, 1-based
   };
   auto propose = [&](LearnerState& state) {
     Proposal p;
-    p.seed_salt = trial_salt(state.learner->name(), ++state.n_proposed);
+    p.trial_index = ++state.n_proposed;
+    p.seed_salt = trial_salt(state.learner->name(), p.trial_index);
     const bool can_grow = options.sample_policy == SamplePolicy::Adaptive &&
                           state.sample_size < full_size;
     if (state.eci.tried() && can_grow &&
         state.eci.eci1() >= state.eci.eci2(c, can_grow) && state.tuner->has_best()) {
       p.grow_sample = true;
+      const std::size_t previous = state.sample_size;
       state.sample_size = std::min(
           full_size, static_cast<std::size_t>(std::lround(
                          static_cast<double>(state.sample_size) * c)));
       p.config = state.tuner->best_config();
+      metrics_.add("sample_doublings");
+      if (tracer) {
+        JsonValue fields = JsonValue::make_object();
+        fields.set("learner", JsonValue::make_string(state.learner->name()));
+        fields.set("from", JsonValue::make_number(static_cast<double>(previous)));
+        fields.set("to",
+                   JsonValue::make_number(static_cast<double>(state.sample_size)));
+        tracer.emit("sample_doubled", std::move(fields));
+      }
     } else {
       p.config = state.tuner->ask();
     }
     return p;
+  };
+
+  // One entry per learner: the full ECI / ECI1 / ECI2 picture the proposer
+  // decided from (infinities encode "not computable yet" before the
+  // cold-start calibration, and "cannot grow" for ECI2).
+  auto eci_vector_json = [&]() {
+    JsonValue arr = JsonValue::make_array();
+    for (const auto& s : states_) {
+      const bool can_grow = s.sample_size < runner_->max_sample_size();
+      const bool known = s.eci.tried() || s.eci.initial_eci1 > 0.0;
+      const double inf = std::numeric_limits<double>::infinity();
+      JsonValue e = JsonValue::make_object();
+      e.set("learner", JsonValue::make_string(s.learner->name()));
+      e.set("eci", observe::json_error_field(
+                       known ? s.eci.eci(best_error_, c, can_grow) : inf));
+      e.set("eci1", observe::json_error_field(known ? s.eci.eci1() : inf));
+      e.set("eci2", observe::json_error_field(known ? s.eci.eci2(c, can_grow) : inf));
+      e.set("best_error", observe::json_error_field(s.eci.best_error));
+      e.set("n_trials", JsonValue::make_number(s.eci.n_trials));
+      e.set("sample_size",
+            JsonValue::make_number(static_cast<double>(s.sample_size)));
+      arr.push(std::move(e));
+    }
+    return arr;
+  };
+  auto trace_learner_proposed = [&](std::size_t idx, std::size_t slot) {
+    if (!tracer) return;
+    const char* mode = "cold_start";
+    if (calibrated) {
+      switch (options.learner_choice) {
+        case LearnerChoice::RoundRobin: mode = "round_robin"; break;
+        case LearnerChoice::EciGreedy: mode = "eci_greedy"; break;
+        case LearnerChoice::EciSampling:
+        default: mode = "eci_sampling"; break;
+      }
+    }
+    JsonValue fields = JsonValue::make_object();
+    fields.set("slot", JsonValue::make_number(static_cast<double>(slot)));
+    fields.set("learner", JsonValue::make_string(states_[idx].learner->name()));
+    fields.set("mode", JsonValue::make_string(mode));
+    fields.set("eci", eci_vector_json());
+    tracer.emit("learner_proposed", std::move(fields));
   };
 
   // --- Step 3 bookkeeping after a trial finished ---
@@ -208,6 +291,7 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
     // FairChance); the sample size resets with the restart.
     if (state.tuner->converged() && state.sample_size >= full_size) {
       state.tuner->restart();
+      metrics_.add("flow2_restarts");
       if (options.sample_policy == SamplePolicy::Adaptive) {
         state.sample_size = init_sample;
         state.tuner->set_adaptation(init_sample >= full_size);
@@ -218,11 +302,44 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
       state.best_error = trial.error;
       state.best_config = proposal.config;
     }
-    if (trial.ok && trial.error < best_error_) {
+    const bool improved_global = trial.ok && trial.error < best_error_;
+    if (improved_global) {
       best_error_ = trial.error;
       best_config_ = proposal.config;
       best_learner_ = state.learner->name();
       best_sample_size_ = state.sample_size;
+      metrics_.set("best_error", best_error_);
+      metrics_.set("time_to_best_seconds", clock.now());
+      metrics_.set("iteration_of_best", iteration);
+    }
+    metrics_.add("trials_total");
+    metrics_.add("trials." + state.learner->name());
+    switch (trial.status) {
+      case TrialStatus::Ok: metrics_.add("trials_ok"); break;
+      case TrialStatus::Killed: metrics_.add("trials_killed"); break;
+      case TrialStatus::Failed: metrics_.add("trials_failed"); break;
+    }
+    metrics_.observe("trial_cost", trial.cost);
+    if (trial.ok) metrics_.observe("trial_error", trial.error);
+    if (tracer) {
+      JsonValue config = JsonValue::make_object();
+      for (const auto& [name, value] : proposal.config) {
+        config.set(name, JsonValue::make_number(value));
+      }
+      JsonValue fields = JsonValue::make_object();
+      fields.set("iteration", JsonValue::make_number(iteration));
+      fields.set("learner", JsonValue::make_string(state.learner->name()));
+      fields.set("trial",
+                 JsonValue::make_number(static_cast<double>(proposal.trial_index)));
+      fields.set("sample_size",
+                 JsonValue::make_number(static_cast<double>(state.sample_size)));
+      fields.set("config", std::move(config));
+      fields.set("error", observe::json_error_field(trial.error));
+      fields.set("cost", JsonValue::make_number(trial.cost));
+      fields.set("status", JsonValue::make_string(trial_status_name(trial.status)));
+      fields.set("improved", JsonValue::make_bool(improved_global));
+      fields.set("best_error_so_far", observe::json_error_field(best_error_));
+      tracer.emit("trial_finished", std::move(fields));
     }
 
     TrialRecord record;
@@ -273,7 +390,9 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
 
   if (options.n_parallel <= 1) {
     while (clock.now() < budget && !target_reached() && iterations_left(0)) {
-      LearnerState& state = states_[pick_learner(0)];
+      const std::size_t idx = pick_learner(0);
+      trace_learner_proposed(idx, static_cast<std::size_t>(iteration));
+      LearnerState& state = states_[idx];
       Proposal proposal = propose(state);
       const double remaining = budget - clock.now();
       if (remaining <= 0.0) break;
@@ -308,6 +427,8 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
           if (options.learner_choice == LearnerChoice::RoundRobin) return false;
           continue;
         }
+        trace_learner_proposed(idx,
+                               static_cast<std::size_t>(iteration) + inflight.size());
         LearnerState& state = states_[idx];
         Proposal proposal = propose(state);
         busy[idx] = true;
@@ -393,6 +514,25 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
     double total = 0.0;
     for (double w : ensemble_weights_) total += w;
     for (double& w : ensemble_weights_) w /= total;
+  }
+
+  if (tracer) {
+    JsonValue config = JsonValue::make_object();
+    for (const auto& [name, value] : best_config_) {
+      config.set(name, JsonValue::make_number(value));
+    }
+    JsonValue fields = JsonValue::make_object();
+    fields.set("n_trials",
+               JsonValue::make_number(static_cast<double>(history_.size())));
+    fields.set("best_learner", JsonValue::make_string(best_learner_));
+    fields.set("best_error", observe::json_error_field(best_error_));
+    fields.set("best_config", std::move(config));
+    fields.set("best_sample_size",
+               JsonValue::make_number(static_cast<double>(best_sample_size_)));
+    fields.set("resampling", JsonValue::make_string(resampling_name(resampling)));
+    fields.set("elapsed_seconds", JsonValue::make_number(clock.now()));
+    fields.set("metrics", metrics_.to_json());
+    tracer.emit("run_summary", std::move(fields));
   }
 }
 

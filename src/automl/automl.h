@@ -24,6 +24,8 @@
 #include "automl/history.h"
 #include "automl/trial_runner.h"
 #include "learners/registry.h"
+#include "observe/metrics.h"
+#include "observe/trace.h"
 #include "tuners/flow2.h"
 
 namespace flaml {
@@ -100,6 +102,16 @@ struct AutoMLOptions {
   // wall-clock seconds (see TrialCostModel in trial_runner.h).
   TrialCostModel trial_cost_model;
 
+  // Structured search tracing (src/observe): every decision the paper
+  // describes — learner proposals with the full ECI vector, FLOW2 moves,
+  // sample-size doublings, trial outcomes — is emitted to this sink, plus a
+  // run_summary event when fit() finishes. Null (the default) disables
+  // tracing; the search loop then pays only a null check. With
+  // n_parallel > 1 the sink receives events from multiple threads (the
+  // provided sinks are thread-safe). See docs/TESTING.md for the schema and
+  // tools/trace_inspect for rendering/validating a JSONL trace.
+  observe::TraceSinkPtr trace_sink;
+
   std::uint64_t seed = 1;
 };
 
@@ -134,6 +146,11 @@ class AutoML {
   std::size_t best_sample_size() const { return best_sample_size_; }
   Resampling resampling_used() const { return resampling_used_; }
   const TrialHistory& history() const { return history_; }
+  // Search metrics of the last fit(): trial counters (total/ok/killed/
+  // failed, per learner), sample doublings, FLOW2 restarts, trial cost and
+  // error histograms, time-to-best. Always populated (independent of
+  // trace_sink); reset at the start of every fit.
+  const observe::MetricsRegistry& metrics() const { return metrics_; }
   // Best error achieved by each learner (learner name -> error), for the
   // Figure 4 per-learner trajectories.
   std::vector<std::pair<std::string, double>> per_learner_best() const;
@@ -172,6 +189,7 @@ class AutoML {
   std::size_t best_sample_size_ = 0;
   Resampling resampling_used_ = Resampling::Holdout;
   TrialHistory history_;
+  observe::MetricsRegistry metrics_;
 };
 
 // Load a model saved by AutoML::save_best_model. The learner is resolved

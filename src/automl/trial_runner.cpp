@@ -8,17 +8,40 @@
 
 namespace flaml {
 
+namespace {
+
+// Salted trial ids (derived from per-learner state by the AutoML layer)
+// and counter-issued ids (seed_salt == 0 call paths) must never collide:
+// a collision hands two distinct trials the identical training seed and
+// silently breaks the parallel==serial determinism contract. The domains
+// are separated with a tag bit — salted ids always carry it, counter ids
+// never do.
+constexpr std::uint64_t kSaltedTrialTag = 1ULL << 63;
+
+}  // namespace
+
 const char* resampling_name(Resampling r) {
   return r == Resampling::CV ? "cv" : "holdout";
+}
+
+const char* trial_status_name(TrialStatus status) {
+  switch (status) {
+    case TrialStatus::Ok: return "ok";
+    case TrialStatus::Killed: return "killed";
+    case TrialStatus::Failed:
+    default: return "failed";
+  }
 }
 
 Resampling propose_resampling(std::size_t n_instances, std::size_t n_features,
                               double budget_seconds) {
   FLAML_REQUIRE(budget_seconds > 0.0, "budget must be positive");
   const double budget_hours = budget_seconds / 3600.0;
-  const double rate =
+  const double cell_rate =
       static_cast<double>(n_instances) * static_cast<double>(n_features) / budget_hours;
-  if (n_instances < 100000 && rate < 10e6) return Resampling::CV;
+  if (n_instances < kCvMaxInstances && cell_rate < kCvMaxCellRatePerHour) {
+    return Resampling::CV;
+  }
   return Resampling::Holdout;
 }
 
@@ -60,7 +83,16 @@ TrialResult TrialRunner::run(const Learner& learner, const Config& config,
   const double start = clock_.now();
   TrialResult result;
   const std::uint64_t trial_id =
-      seed_salt != 0 ? seed_salt : trial_counter_.fetch_add(1) + 1;
+      seed_salt != 0 ? (seed_salt | kSaltedTrialTag)
+                     : ((trial_counter_.fetch_add(1) + 1) & ~kSaltedTrialTag);
+  if (options_.tracer) {
+    JsonValue fields = JsonValue::make_object();
+    fields.set("learner", JsonValue::make_string(learner.name()));
+    fields.set("sample_size",
+               JsonValue::make_number(static_cast<double>(sample_size)));
+    fields.set("max_seconds", JsonValue::make_number(std::max(max_seconds, 0.0)));
+    options_.tracer.emit("trial_started", std::move(fields));
+  }
   try {
     DataView sample = train_view_.prefix(sample_size);
     if (options_.resampling == Resampling::Holdout) {
@@ -82,6 +114,9 @@ TrialResult TrialRunner::run(const Learner& learner, const Config& config,
       if (k < 2) k = 2;
       auto folds = kfold_split(sample, k, fold_rng);
       double total_error = 0.0;
+      // max_seconds == 0 means UNLIMITED (the TrainContext contract), so an
+      // unlimited trial budget must map to an unlimited per-fold cap — not
+      // to a zero cap that would kill every fold instantly.
       const double per_fold_cap =
           max_seconds > 0.0 ? max_seconds / static_cast<double>(k) : 0.0;
       for (const auto& fold : folds) {
@@ -102,11 +137,13 @@ TrialResult TrialRunner::run(const Learner& learner, const Config& config,
     FLAML_LOG(Debug) << "trial killed at deadline for learner '" << learner.name()
                      << "'";
     result.ok = false;
+    result.status = TrialStatus::Killed;
     result.error = std::numeric_limits<double>::infinity();
   } catch (const std::exception& e) {
     FLAML_LOG(Warn) << "trial failed for learner '" << learner.name()
                     << "': " << e.what();
     result.ok = false;
+    result.status = TrialStatus::Failed;
     result.error = std::numeric_limits<double>::infinity();
   }
   result.cost = options_.cost_model

@@ -22,6 +22,7 @@
 #include "data/split.h"
 #include "learners/learner.h"
 #include "metrics/error_metric.h"
+#include "observe/trace.h"
 
 namespace flaml {
 
@@ -29,17 +30,32 @@ enum class Resampling { CV, Holdout };
 
 const char* resampling_name(Resampling r);
 
-// Paper §4.2 Step 0: cross-validation iff the data has fewer than 100K
-// instances AND instances × features / budget_hours < 10M. `budget_seconds`
-// should be the paper-equivalent budget (benches divide the real scaled-down
-// budget by their budget scale).
+// Paper §4.2 Step 0 thresholds: cross-validation iff BOTH hold, holdout
+// otherwise. Named so the rule reads as the paper states it (the cell rate
+// was once the literal `10e6`, which is 1e7 but is routinely misread as
+// 1e6 — see tests/test_trial_runner.cpp for the boundary coverage).
+inline constexpr std::size_t kCvMaxInstances = 100000;       // n < 100K
+inline constexpr double kCvMaxCellRatePerHour = 1e7;         // n·d/hours < 10M
+
+// `budget_seconds` should be the paper-equivalent budget (benches divide
+// the real scaled-down budget by their budget scale).
 Resampling propose_resampling(std::size_t n_instances, std::size_t n_features,
                               double budget_seconds);
 
+// How a trial ended: Ok = a model was trained and scored; Killed = the fit
+// overran max_seconds and was aborted (DeadlineExceeded); Failed = the
+// learner threw anything else. Killed/Failed trials report an infinite
+// error but their cost is still charged, so the ECI bookkeeping keeps
+// de-prioritizing learners that burn budget without finishing.
+enum class TrialStatus { Ok, Killed, Failed };
+
+const char* trial_status_name(TrialStatus status);
+
 struct TrialResult {
-  double error = 0.0;  // validation error \tilde{ε}(χ)
-  double cost = 0.0;   // seconds κ(χ)
-  bool ok = true;      // false if the learner threw
+  double error = 0.0;  // validation error \tilde{ε}(χ); +inf unless ok
+  double cost = 0.0;   // seconds κ(χ); charged even for killed/failed trials
+  bool ok = true;      // status == TrialStatus::Ok
+  TrialStatus status = TrialStatus::Ok;
 };
 
 // Deterministic substitute for measured wall-clock trial cost (tests and
@@ -62,6 +78,10 @@ class TrialRunner {
     int n_threads = 1;
     // When set, trial cost comes from the model instead of the wall clock.
     TrialCostModel cost_model;
+    // Off by default. When attached, run() emits trial_started events —
+    // from the calling thread, so in parallel search mode the sink sees
+    // concurrent emissions (sinks are thread-safe by contract).
+    observe::Tracer tracer;
   };
 
   TrialRunner(const Dataset& data, ErrorMetric metric, Options options);
@@ -75,12 +95,18 @@ class TrialRunner {
   const Dataset& data() const { return *data_; }
 
   // Evaluate (learner, config) on the first `sample_size` rows.
-  // `max_seconds` caps the training time of each model fit (0 = unlimited).
+  // `max_seconds` caps the training time of each model fit — 0 means
+  // UNLIMITED (see TrainContext::max_seconds), so a zero budget never kills
+  // a trial; in CV mode the cap is split evenly across the k folds, and an
+  // unlimited budget maps to an unlimited per-fold cap.
   // `seed_salt` selects the training seed: 0 draws a fresh id from an
   // internal counter (seed depends on global call order); a nonzero salt
   // makes the trial seed a pure function of (runner seed, salt), so callers
   // that derive the salt from per-learner state get order-independent —
-  // hence parallel-vs-serial reproducible — trials.
+  // hence parallel-vs-serial reproducible — trials. The two id domains are
+  // disjoint (salted ids carry a tag bit the counter ids never set), so a
+  // counter-issued id can NEVER collide with a caller salt and silently
+  // reuse another trial's training seed.
   // Thread-safe: concurrent run() calls are allowed (parallel search mode).
   TrialResult run(const Learner& learner, const Config& config,
                   std::size_t sample_size, double max_seconds = 0.0,

@@ -1,10 +1,10 @@
-#include "json.h"
+#include "common/json.h"
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
-namespace flaml::bench {
+namespace flaml {
 
 JsonValue JsonValue::make_bool(bool b) {
   JsonValue v;
@@ -46,6 +46,14 @@ const JsonValue* JsonValue::find(const std::string& key) const {
     if (k == key) return &v;
   }
   return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* value = find(key);
+  if (value == nullptr) {
+    throw std::runtime_error("missing JSON object key '" + key + "'");
+  }
+  return *value;
 }
 
 JsonValue& JsonValue::set(const std::string& key, JsonValue value) {
@@ -102,6 +110,35 @@ void dump_number(double x, std::string& out) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.17g", x);
   out += buf;
+}
+
+void dump_value_compact(const JsonValue& v, std::string& out) {
+  switch (v.type) {
+    case JsonValue::Type::Null: out += "null"; break;
+    case JsonValue::Type::Bool: out += v.boolean ? "true" : "false"; break;
+    case JsonValue::Type::Number: dump_number(v.number, out); break;
+    case JsonValue::Type::String: dump_string(v.str, out); break;
+    case JsonValue::Type::Array: {
+      out += '[';
+      for (std::size_t i = 0; i < v.array.size(); ++i) {
+        if (i > 0) out += ',';
+        dump_value_compact(v.array[i], out);
+      }
+      out += ']';
+      break;
+    }
+    case JsonValue::Type::Object: {
+      out += '{';
+      for (std::size_t i = 0; i < v.object.size(); ++i) {
+        if (i > 0) out += ',';
+        dump_string(v.object[i].first, out);
+        out += ':';
+        dump_value_compact(v.object[i].second, out);
+      }
+      out += '}';
+      break;
+    }
+  }
 }
 
 void dump_value(const JsonValue& v, int depth, std::string& out) {
@@ -325,8 +362,14 @@ std::string dump_json(const JsonValue& value) {
   return out;
 }
 
+std::string dump_json_compact(const JsonValue& value) {
+  std::string out;
+  dump_value_compact(value, out);
+  return out;
+}
+
 JsonValue parse_json(const std::string& text) {
   return Parser(text).parse_document();
 }
 
-}  // namespace flaml::bench
+}  // namespace flaml

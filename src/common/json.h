@@ -1,6 +1,7 @@
-// Minimal JSON value, writer and recursive-descent parser for the bench
-// binaries that emit machine-readable results (BENCH_tree.json). Supports
-// the JSON subset the benches need: null, bool, finite numbers, strings,
+// Minimal JSON value, writer and recursive-descent parser shared by the
+// observability layer (src/observe: JSONL traces, run summaries) and the
+// bench binaries that emit machine-readable results (BENCH_tree.json).
+// Supports the subset those need: null, bool, finite numbers, strings,
 // arrays, objects (insertion-ordered). Parsing throws std::runtime_error
 // with an offset on malformed input, which is what --check relies on.
 #pragma once
@@ -10,7 +11,7 @@
 #include <utility>
 #include <vector>
 
-namespace flaml::bench {
+namespace flaml {
 
 struct JsonValue {
   enum class Type { Null, Bool, Number, String, Array, Object };
@@ -38,18 +39,33 @@ struct JsonValue {
 
   // Object lookup; nullptr when absent or not an object.
   const JsonValue* find(const std::string& key) const;
+  // Object lookup; throws std::runtime_error when absent or not an object.
+  const JsonValue& at(const std::string& key) const;
   // Append/overwrite a key (object) — returns the stored value.
   JsonValue& set(const std::string& key, JsonValue value);
   // Append to an array — returns the stored value.
   JsonValue& push(JsonValue value);
 };
 
-// Serialize with 2-space indentation and '\n' line ends; numbers use up to
+// Serialize with 2-space indentation and a trailing '\n'; numbers use up to
 // 17 significant digits so doubles round-trip.
 std::string dump_json(const JsonValue& value);
+
+// Serialize on a single line with no whitespace (the JSONL form the trace
+// sinks write: one event per line). No trailing newline.
+std::string dump_json_compact(const JsonValue& value);
 
 // Parse a complete JSON document (trailing whitespace allowed). Throws
 // std::runtime_error on any syntax error.
 JsonValue parse_json(const std::string& text);
 
+}  // namespace flaml
+
+namespace flaml::bench {
+// The benches predate the promotion of this header from bench/ to
+// src/common/; keep their flaml::bench::JsonValue spelling working.
+using flaml::JsonValue;
+using flaml::dump_json;
+using flaml::dump_json_compact;
+using flaml::parse_json;
 }  // namespace flaml::bench

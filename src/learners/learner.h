@@ -31,12 +31,18 @@ struct TrainContext {
   DataView train;
   // Validation rows for learners with early stopping (may be null).
   const DataView* valid = nullptr;
-  // Wall-clock cap for this single training call (0 = unlimited); the
-  // substitute for killing an overrunning trial.
+  // Wall-clock cap for this single training call; the substitute for
+  // killing an overrunning trial. CONTRACT: 0 means UNLIMITED — there is no
+  // way to request a zero-second fit, and with an unlimited cap
+  // fail_on_deadline is irrelevant because the deadline can never fire.
+  // Learners must implement exactly this rule (the trial runner relies on
+  // it when it divides an unlimited trial budget into per-fold caps: 0 / k
+  // folds must stay "unlimited", not become "kill immediately").
   double max_seconds = 0.0;
-  // true: exceeding max_seconds throws DeadlineExceeded (kill semantics for
-  // search trials). false: training stops early and returns the partial
-  // model (safety cap for final retrains).
+  // Only meaningful when max_seconds > 0. true: exceeding max_seconds
+  // throws DeadlineExceeded (kill semantics for search trials). false:
+  // training stops early and returns the partial model (safety cap for
+  // final retrains).
   bool fail_on_deadline = false;
   std::uint64_t seed = 0;
   // Intra-trial worker threads for learners that support them (tree

@@ -1,0 +1,102 @@
+#include "observe/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace flaml::observe {
+
+namespace {
+
+// Nearest-rank quantile on a sorted sample vector.
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+void MetricsRegistry::add(const std::string& name, double delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  scalars_[name] += delta;
+}
+
+void MetricsRegistry::set(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  scalars_[name] = value;
+}
+
+void MetricsRegistry::observe(const std::string& name, double sample) {
+  FLAML_REQUIRE(std::isfinite(sample),
+                "histogram sample for '" << name << "' must be finite");
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_[name].push_back(sample);
+}
+
+double MetricsRegistry::value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = scalars_.find(name);
+  return it == scalars_.end() ? 0.0 : it->second;
+}
+
+HistogramStats MetricsRegistry::histogram(const std::string& name) const {
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = samples_.find(name);
+    if (it == samples_.end()) return {};
+    sorted = it->second;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  HistogramStats stats;
+  stats.n = sorted.size();
+  stats.min = sorted.front();
+  stats.max = sorted.back();
+  for (double v : sorted) stats.sum += v;
+  stats.mean = stats.sum / static_cast<double>(stats.n);
+  stats.p50 = quantile(sorted, 0.5);
+  stats.p90 = quantile(sorted, 0.9);
+  return stats;
+}
+
+JsonValue MetricsRegistry::to_json() const {
+  std::map<std::string, double> scalars;
+  std::vector<std::string> histogram_names;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    scalars = scalars_;
+    for (const auto& [name, values] : samples_) {
+      if (!values.empty()) histogram_names.push_back(name);
+    }
+  }
+  JsonValue out = JsonValue::make_object();
+  JsonValue& counters = out.set("counters", JsonValue::make_object());
+  for (const auto& [name, value] : scalars) {
+    counters.set(name, JsonValue::make_number(value));
+  }
+  JsonValue& histograms = out.set("histograms", JsonValue::make_object());
+  for (const auto& name : histogram_names) {
+    const HistogramStats stats = histogram(name);
+    JsonValue h = JsonValue::make_object();
+    h.set("n", JsonValue::make_number(static_cast<double>(stats.n)));
+    h.set("min", JsonValue::make_number(stats.min));
+    h.set("max", JsonValue::make_number(stats.max));
+    h.set("sum", JsonValue::make_number(stats.sum));
+    h.set("mean", JsonValue::make_number(stats.mean));
+    h.set("p50", JsonValue::make_number(stats.p50));
+    h.set("p90", JsonValue::make_number(stats.p90));
+    histograms.set(name, std::move(h));
+  }
+  return out;
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  scalars_.clear();
+  samples_.clear();
+}
+
+}  // namespace flaml::observe

@@ -1,0 +1,61 @@
+// Lightweight run metrics for the AutoML search: named counters, gauges and
+// histograms, aggregated by the controller while it commits trials and
+// snapshotted into the run_summary trace event at the end of fit().
+//
+// Counters the controller maintains (docs/TESTING.md):
+//   trials_total / trials_ok / trials_killed / trials_failed
+//   trials.<learner>        trials committed per learner
+//   sample_doublings        sample-size growth decisions
+//   flow2_restarts          tuner restarts (FairChance escapes)
+// Gauges: best_error, time_to_best_seconds, iteration_of_best.
+// Histograms: trial_cost (all trials), trial_error (successful only).
+// Kill rate = trials_killed / trials_total; derived by consumers.
+//
+// Thread-safe (a single mutex): cheap at search granularity — hundreds to
+// thousands of trials per run, never inside a model fit's hot loop.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace flaml::observe {
+
+struct HistogramStats {
+  std::size_t n = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  // Counters accumulate; gauges overwrite; histograms keep raw samples.
+  void add(const std::string& name, double delta = 1.0);
+  void set(const std::string& name, double value);
+  void observe(const std::string& name, double sample);
+
+  // 0 when the counter/gauge was never touched.
+  double value(const std::string& name) const;
+  // Zeroed stats when the histogram was never observed.
+  HistogramStats histogram(const std::string& name) const;
+
+  // {"counters": {name: value}, "histograms": {name: {n, min, max, sum,
+  //  mean, p50, p90}}} — insertion order is the map's sorted key order.
+  JsonValue to_json() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, double> scalars_;
+  std::map<std::string, std::vector<double>> samples_;
+};
+
+}  // namespace flaml::observe

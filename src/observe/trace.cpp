@@ -1,0 +1,139 @@
+#include "observe/trace.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace flaml::observe {
+
+JsonValue to_json(const TraceEvent& event) {
+  JsonValue v = JsonValue::make_object();
+  v.set("t", JsonValue::make_number(event.time));
+  v.set("type", JsonValue::make_string(event.type));
+  FLAML_CHECK_MSG(event.fields.is_object() || event.fields.is_null(),
+                  "trace event fields must be a JSON object");
+  if (event.fields.is_object()) {
+    for (const auto& [key, value] : event.fields.object) {
+      v.set(key, value);
+    }
+  }
+  return v;
+}
+
+TraceEvent event_from_json(const JsonValue& value) {
+  FLAML_REQUIRE(value.is_object(), "trace event must be a JSON object");
+  const JsonValue* type = value.find("type");
+  const JsonValue* time = value.find("t");
+  FLAML_REQUIRE(type != nullptr && type->is_string(),
+                "trace event is missing the string field 'type'");
+  FLAML_REQUIRE(time != nullptr && time->is_number(),
+                "trace event is missing the number field 't'");
+  TraceEvent event;
+  event.type = type->str;
+  event.time = time->number;
+  event.fields = JsonValue::make_object();
+  for (const auto& [key, field] : value.object) {
+    if (key == "type" || key == "t") continue;
+    event.fields.set(key, field);
+  }
+  return event;
+}
+
+JsonValue json_error_field(double error) {
+  if (std::isfinite(error)) return JsonValue::make_number(error);
+  return JsonValue::make_string("inf");
+}
+
+double error_field_value(const JsonValue& value) {
+  if (value.is_number()) return value.number;
+  FLAML_REQUIRE(value.is_string() && value.str == "inf",
+                "error field must be a finite number or \"inf\"");
+  return std::numeric_limits<double>::infinity();
+}
+
+void MemoryTraceSink::emit(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(event);
+}
+
+std::vector<TraceEvent> MemoryTraceSink::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::vector<TraceEvent> MemoryTraceSink::of_type(const std::string& type) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  for (const auto& event : events_) {
+    if (event.type == type) out.push_back(event);
+  }
+  return out;
+}
+
+std::size_t MemoryTraceSink::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+JsonlTraceSink::JsonlTraceSink(std::ostream& out) : out_(&out) {}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path);
+  FLAML_REQUIRE(file->good(), "cannot open trace file '" << path << "' for writing");
+  out_ = file.get();
+  owned_ = std::move(file);
+}
+
+JsonlTraceSink::~JsonlTraceSink() = default;
+
+void JsonlTraceSink::emit(const TraceEvent& event) {
+  const std::string line = dump_json_compact(to_json(event));
+  std::lock_guard<std::mutex> lock(mutex_);
+  *out_ << line << '\n';
+  out_->flush();
+  ++n_events_;
+}
+
+std::size_t JsonlTraceSink::n_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return n_events_;
+}
+
+Tracer::Tracer(TraceSinkPtr sink) : sink_(std::move(sink)) {
+  if (sink_ != nullptr) clock_ = std::make_shared<WallClock>();
+}
+
+Tracer Tracer::with(std::string key, std::string value) const {
+  Tracer out = *this;
+  if (sink_ != nullptr) out.context_.emplace_back(std::move(key), std::move(value));
+  return out;
+}
+
+void Tracer::emit(const char* type, JsonValue fields) const {
+  if (sink_ == nullptr) return;
+  TraceEvent event;
+  event.type = type;
+  event.time = clock_->now();
+  if (!fields.is_object()) fields = JsonValue::make_object();
+  // Context fields go first so every event of a tuner leads with its
+  // learner; explicit fields win on a key clash (set() overwrites).
+  if (!context_.empty()) {
+    JsonValue merged = JsonValue::make_object();
+    for (const auto& [key, value] : context_) {
+      merged.set(key, JsonValue::make_string(value));
+    }
+    for (auto& [key, value] : fields.object) {
+      merged.set(key, std::move(value));
+    }
+    fields = std::move(merged);
+  }
+  event.fields = std::move(fields);
+  sink_->emit(event);
+}
+
+double Tracer::now() const { return clock_ == nullptr ? 0.0 : clock_->now(); }
+
+}  // namespace flaml::observe

@@ -1,0 +1,133 @@
+// Structured trial tracing for the AutoML search loop.
+//
+// The paper's contribution is *how* the search spends its budget — ECI-driven
+// learner choice, FLOW2 moves, sample-size doubling — so the reproduction
+// emits every one of those decisions as a structured TraceEvent when a sink
+// is attached (AutoMLOptions::trace_sink). With no sink attached the search
+// loop only pays a null-pointer check: event payloads are built inside
+// `if (tracer)` guards.
+//
+// Event schema (field set per type; docs/TESTING.md documents it in full):
+//   run_started          task, metric, resampling, budget_seconds, learners,
+//                        n_parallel, seed
+//   resampling_proposed  n_rows, n_cols, budget_seconds, chosen, forced
+//   learner_proposed     slot, learner, mode, eci: [{learner, eci, eci1,
+//                        eci2, best_error, n_trials, sample_size}, ...]
+//   sample_doubled       learner, from, to
+//   trial_started        learner, sample_size, max_seconds
+//   trial_finished       iteration, learner, trial, sample_size, config,
+//                        error, cost, status (ok|killed|failed), improved,
+//                        best_error_so_far
+//   flow2_tell           learner, phase, error, improved, step, stall
+//   flow2_shrink         learner, step_before, step_after, ratio
+//   flow2_converged      learner, step
+//   flow2_restart        learner, n_restarts, step
+//   run_summary          n_trials, best_learner, best_error, best_config,
+//                        elapsed_seconds, metrics (registry snapshot)
+//
+// Sinks must be thread-safe: with n_parallel > 1 the trial runner emits
+// trial_started from pool threads while the controller emits from its own.
+// Infinite errors (killed/failed trials) are encoded as the string "inf"
+// because JSON numbers must be finite; json_error_field()/error_field_value()
+// convert in both directions.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/json.h"
+
+namespace flaml::observe {
+
+struct TraceEvent {
+  std::string type;
+  double time = 0.0;  // seconds since the run (Tracer) started
+  JsonValue fields;   // object payload; never holds "type"/"t" keys
+};
+
+// JSONL form: {"t": <time>, "type": "...", ...fields}. event_from_json
+// accepts any object with a string "type" and a number "t".
+JsonValue to_json(const TraceEvent& event);
+TraceEvent event_from_json(const JsonValue& value);
+
+// Encode a possibly-infinite validation error for a JSON field.
+JsonValue json_error_field(double error);
+// Decode it back: numbers pass through, the string "inf" maps to +infinity.
+double error_field_value(const JsonValue& value);
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  // Must be safe to call from multiple threads concurrently.
+  virtual void emit(const TraceEvent& event) = 0;
+};
+
+using TraceSinkPtr = std::shared_ptr<TraceSink>;
+
+// Accumulates events in memory; the introspection backend tests and the
+// metrics assertions use. snapshot() copies under the lock.
+class MemoryTraceSink final : public TraceSink {
+ public:
+  void emit(const TraceEvent& event) override;
+  std::vector<TraceEvent> snapshot() const;
+  std::vector<TraceEvent> of_type(const std::string& type) const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+// Writes one compact JSON object per line (JSONL), flushing on every event
+// so a crashed run still leaves a readable trace prefix.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  // Borrow an existing stream (kept open; caller owns lifetime).
+  explicit JsonlTraceSink(std::ostream& out);
+  // Open `path` for writing; throws InvalidArgument when that fails.
+  explicit JsonlTraceSink(const std::string& path);
+  ~JsonlTraceSink() override;
+
+  void emit(const TraceEvent& event) override;
+  std::size_t n_events() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* out_;
+  std::size_t n_events_ = 0;
+};
+
+// The cheap handle the search threads through the controller, trial runner
+// and tuners. A default-constructed Tracer is "off": operator bool is false
+// and emit() is a no-op. Timestamps are seconds since construction (= run
+// start). Copies share the sink and the time origin.
+class Tracer {
+ public:
+  Tracer() = default;
+  explicit Tracer(TraceSinkPtr sink);
+
+  explicit operator bool() const { return sink_ != nullptr; }
+
+  // Returns a tracer that stamps `key: value` into every event it emits —
+  // how per-learner FLOW2 tuners get their "learner" field without knowing
+  // about the lineup.
+  Tracer with(std::string key, std::string value) const;
+
+  // `fields` must be a JSON object (or null for field-less events).
+  void emit(const char* type, JsonValue fields) const;
+  void emit(const char* type) const { emit(type, JsonValue::make_object()); }
+
+  double now() const;
+
+ private:
+  TraceSinkPtr sink_;
+  std::shared_ptr<WallClock> clock_;
+  std::vector<std::pair<std::string, std::string>> context_;
+};
+
+}  // namespace flaml::observe

@@ -1,0 +1,208 @@
+#include "observe/trace_check.h"
+
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace flaml::observe {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class Checker {
+ public:
+  explicit Checker(TraceCheckResult& result) : result_(result) {}
+
+  void run() {
+    result_.best_error = kInf;
+    if (result_.events.empty()) {
+      fail(0, "trace is empty");
+      return;
+    }
+    for (std::size_t i = 0; i < result_.events.size(); ++i) {
+      check_event(i, result_.events[i]);
+    }
+    if (result_.events.front().type != "run_started") {
+      fail(0, "first event must be run_started, got '" +
+                  result_.events.front().type + "'");
+    }
+    const std::size_t n_summaries = count("run_summary");
+    if (n_summaries != 1) {
+      fail(result_.events.size() - 1,
+           "expected exactly one run_summary event, got " +
+               std::to_string(n_summaries));
+    } else if (result_.events.back().type != "run_summary") {
+      fail(result_.events.size() - 1, "run_summary must be the last event");
+    }
+    if (count("trial_started") != count("trial_finished")) {
+      fail(result_.events.size() - 1,
+           "trial_started count (" + std::to_string(count("trial_started")) +
+               ") != trial_finished count (" +
+               std::to_string(count("trial_finished")) + ")");
+    }
+  }
+
+ private:
+  std::size_t count(const std::string& type) const {
+    const auto it = result_.by_type.find(type);
+    return it == result_.by_type.end() ? 0 : it->second;
+  }
+
+  void fail(std::size_t index, const std::string& what) {
+    result_.errors.push_back("event " + std::to_string(index) + ": " + what);
+  }
+
+  const JsonValue* require(std::size_t index, const TraceEvent& event,
+                           const char* key, JsonValue::Type type) {
+    const JsonValue* field = event.fields.find(key);
+    if (field == nullptr || field->type != type) {
+      fail(index, event.type + " is missing the required field '" +
+                      std::string(key) + "'");
+      return nullptr;
+    }
+    return field;
+  }
+
+  // An error-like field: finite number, or the string "inf".
+  bool read_error_field(std::size_t index, const TraceEvent& event,
+                        const char* key, double& out) {
+    const JsonValue* field = event.fields.find(key);
+    if (field != nullptr &&
+        (field->is_number() || (field->is_string() && field->str == "inf"))) {
+      out = error_field_value(*field);
+      return true;
+    }
+    fail(index, event.type + " field '" + std::string(key) +
+                    "' must be a number or \"inf\"");
+    return false;
+  }
+
+  void check_event(std::size_t index, const TraceEvent& event) {
+    ++result_.by_type[event.type];
+    if (!(event.time >= 0.0)) {
+      fail(index, "timestamp must be >= 0, got " + std::to_string(event.time));
+    }
+    if (event.type == "trial_finished") {
+      check_trial_finished(index, event);
+    } else if (event.type == "learner_proposed") {
+      check_learner_proposed(index, event);
+    } else if (event.type == "sample_doubled") {
+      const JsonValue* from = require(index, event, "from", JsonValue::Type::Number);
+      const JsonValue* to = require(index, event, "to", JsonValue::Type::Number);
+      require(index, event, "learner", JsonValue::Type::String);
+      if (from != nullptr && to != nullptr && !(from->number < to->number)) {
+        fail(index, "sample_doubled must grow the sample");
+      }
+    } else if (event.type == "trial_started") {
+      require(index, event, "learner", JsonValue::Type::String);
+      require(index, event, "sample_size", JsonValue::Type::Number);
+    } else if (event.type == "run_summary") {
+      check_run_summary(index, event);
+    }
+  }
+
+  void check_trial_finished(std::size_t index, const TraceEvent& event) {
+    ++result_.n_trials;
+    require(index, event, "learner", JsonValue::Type::String);
+    require(index, event, "iteration", JsonValue::Type::Number);
+    require(index, event, "sample_size", JsonValue::Type::Number);
+    require(index, event, "cost", JsonValue::Type::Number);
+    const JsonValue* status = require(index, event, "status", JsonValue::Type::String);
+    double error = kInf;
+    if (!read_error_field(index, event, "error", error)) return;
+    if (status == nullptr) return;
+    if (status->str != "ok" && status->str != "killed" && status->str != "failed") {
+      fail(index, "unknown trial status '" + status->str + "'");
+      return;
+    }
+    if ((status->str == "ok") != std::isfinite(error)) {
+      fail(index, "trial error must be finite exactly when status is ok");
+    }
+    if (status->str == "ok") result_.best_error = std::min(result_.best_error, error);
+  }
+
+  void check_learner_proposed(std::size_t index, const TraceEvent& event) {
+    require(index, event, "learner", JsonValue::Type::String);
+    const JsonValue* eci = require(index, event, "eci", JsonValue::Type::Array);
+    if (eci == nullptr) return;
+    if (eci->array.empty()) {
+      fail(index, "learner_proposed eci vector is empty");
+      return;
+    }
+    for (const JsonValue& entry : eci->array) {
+      if (!entry.is_object() || entry.find("learner") == nullptr ||
+          entry.find("eci") == nullptr || entry.find("eci1") == nullptr ||
+          entry.find("eci2") == nullptr) {
+        fail(index, "eci vector entries need learner/eci/eci1/eci2");
+        return;
+      }
+    }
+  }
+
+  void check_run_summary(std::size_t index, const TraceEvent& event) {
+    const JsonValue* n = require(index, event, "n_trials", JsonValue::Type::Number);
+    require(index, event, "best_learner", JsonValue::Type::String);
+    require(index, event, "metrics", JsonValue::Type::Object);
+    if (n != nullptr &&
+        static_cast<std::size_t>(n->number) != result_.n_trials) {
+      fail(index, "run_summary n_trials (" + std::to_string(n->number) +
+                      ") != trial_finished count (" +
+                      std::to_string(result_.n_trials) + ")");
+    }
+    double best = kInf;
+    if (read_error_field(index, event, "best_error", best)) {
+      // Exact match: both sides round-trip through the same double values.
+      if (!(best == result_.best_error ||
+            (std::isinf(best) && std::isinf(result_.best_error)))) {
+        fail(index, "run_summary best_error does not match the running "
+                    "minimum over successful trials");
+      }
+    }
+  }
+
+  TraceCheckResult& result_;
+};
+
+}  // namespace
+
+TraceCheckResult check_trace_events(const std::vector<TraceEvent>& events) {
+  TraceCheckResult result;
+  result.events = events;
+  Checker(result).run();
+  return result;
+}
+
+TraceCheckResult check_trace(std::istream& in) {
+  TraceCheckResult result;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      result.events.push_back(event_from_json(parse_json(line)));
+    } catch (const std::exception& e) {
+      result.errors.push_back("line " + std::to_string(line_no) + ": " + e.what());
+    }
+  }
+  if (!result.errors.empty()) return result;  // line numbers beat indices
+  Checker(result).run();
+  return result;
+}
+
+TraceCheckResult check_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    TraceCheckResult result;
+    result.errors.push_back("cannot open trace file '" + path + "'");
+    return result;
+  }
+  return check_trace(in);
+}
+
+}  // namespace flaml::observe

@@ -1,0 +1,50 @@
+// Trace validation shared by `tools/trace_inspect --check`, the unit tests
+// and the stress suite: parse a JSONL trace and verify the structural
+// invariants every AutoML::fit run must satisfy (see the schema in
+// trace.h / docs/TESTING.md).
+//
+// Checked invariants:
+//   * every line is a JSON object with a string "type" and a number "t" ≥ 0;
+//   * the first event is run_started; exactly one run_summary event exists
+//     and it is the last event;
+//   * trial_started and trial_finished counts match (every launched trial
+//     is committed);
+//   * every trial_finished carries learner/iteration/sample_size/cost, a
+//     status in {ok, killed, failed}, and an error that is finite exactly
+//     when status == ok;
+//   * every learner_proposed carries the full per-learner ECI vector with
+//     numeric eci/eci1 (eci2 and best_error may be "inf");
+//   * every sample_doubled grows the sample (from < to);
+//   * run_summary's n_trials equals the number of trial_finished events and
+//     its best_error equals the running minimum over successful trials.
+// Unknown event types are allowed (forward compatibility) but counted.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "observe/trace.h"
+
+namespace flaml::observe {
+
+struct TraceCheckResult {
+  bool ok() const { return errors.empty(); }
+
+  std::vector<std::string> errors;
+  std::vector<TraceEvent> events;               // parsed, in file order
+  std::map<std::string, std::size_t> by_type;   // event counts per type
+  std::size_t n_trials = 0;                     // trial_finished events
+  double best_error = 0.0;  // running min over successful trials (inf if none)
+};
+
+// Validate already-parsed events (the in-memory sink path).
+TraceCheckResult check_trace_events(const std::vector<TraceEvent>& events);
+
+// Parse one JSONL document per line, then validate. Parse failures are
+// reported as errors with their line number; blank lines are ignored.
+TraceCheckResult check_trace(std::istream& in);
+TraceCheckResult check_trace_file(const std::string& path);
+
+}  // namespace flaml::observe

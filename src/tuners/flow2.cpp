@@ -8,6 +8,18 @@
 
 namespace flaml {
 
+namespace {
+
+const char* phase_name(int phase) {
+  switch (phase) {
+    case 0: return "init";
+    case 1: return "forward";
+    default: return "backward";
+  }
+}
+
+}  // namespace
+
 Flow2::Flow2(const ConfigSpace& space, std::uint64_t seed, Flow2Options options)
     : space_(&space), options_(options), rng_(seed) {
   FLAML_REQUIRE(!space.empty(), "FLOW2 needs a non-empty search space");
@@ -65,6 +77,18 @@ void Flow2::tell(double error) {
   const bool first = !has_incumbent_;
   const bool improved = first || error < incumbent_error_;
 
+  if (tracer_) {
+    JsonValue fields = JsonValue::make_object();
+    fields.set("phase", JsonValue::make_string(phase_name(static_cast<int>(phase_))));
+    fields.set("error", observe::json_error_field(error));
+    fields.set("improved", JsonValue::make_bool(improved));
+    fields.set("step", JsonValue::make_number(step_));
+    fields.set("stall",
+               JsonValue::make_number(improved ? 0.0
+                                               : consecutive_no_improvement_ + 1.0));
+    tracer_.emit("flow2_tell", std::move(fields));
+  }
+
   if (improved) {
     incumbent_ = pending_;
     incumbent_error_ = error;
@@ -94,11 +118,24 @@ void Flow2::tell(double error) {
     double ratio = static_cast<double>(iters_since_restart_) /
                    static_cast<double>(std::max<long>(1, best_iter_since_restart_));
     ratio = clamp(ratio, 1.1, 4.0);
+    const double step_before = step_;
     step_ /= ratio;
     consecutive_no_improvement_ = 0;
     if (step_ <= step_lower_bound_) {
       step_ = step_lower_bound_;
       converged_ = true;
+    }
+    if (tracer_) {
+      JsonValue fields = JsonValue::make_object();
+      fields.set("step_before", JsonValue::make_number(step_before));
+      fields.set("step_after", JsonValue::make_number(step_));
+      fields.set("ratio", JsonValue::make_number(ratio));
+      tracer_.emit("flow2_shrink", std::move(fields));
+      if (converged_) {
+        JsonValue conv = JsonValue::make_object();
+        conv.set("step", JsonValue::make_number(step_));
+        tracer_.emit("flow2_converged", std::move(conv));
+      }
     }
   }
 }
@@ -116,7 +153,10 @@ void Flow2::restart() {
   incumbent_ = z;
   has_incumbent_ = false;
   has_best_ = false;
-  best_error_ = 0.0;
+  // +inf, never 0.0: a caller reading best_error() between the restart and
+  // the next improvement must see "no best yet", not a perfect score.
+  best_error_ = std::numeric_limits<double>::infinity();
+  incumbent_error_ = std::numeric_limits<double>::infinity();
   phase_ = Phase::Init;
   ask_outstanding_ = false;
   const double d = static_cast<double>(space_->dim());
@@ -125,6 +165,12 @@ void Flow2::restart() {
   iters_since_restart_ = 0;
   best_iter_since_restart_ = 0;
   converged_ = false;
+  if (tracer_) {
+    JsonValue fields = JsonValue::make_object();
+    fields.set("n_restarts", JsonValue::make_number(n_restarts_));
+    fields.set("step", JsonValue::make_number(step_));
+    tracer_.emit("flow2_restart", std::move(fields));
+  }
 }
 
 }  // namespace flaml

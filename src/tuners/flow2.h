@@ -21,9 +21,11 @@
 // coupling in the AutoML layer.
 #pragma once
 
+#include <limits>
 #include <optional>
 
 #include "common/rng.h"
+#include "observe/trace.h"
 #include "tuners/config_space.h"
 
 namespace flaml {
@@ -53,7 +55,13 @@ class Flow2 {
 
   bool converged() const { return converged_; }
   const Config& best_config() const { return best_config_; }
-  double best_error() const { return best_error_; }
+  // Best error of the CURRENT walk; +inf until the walk has a best (freshly
+  // constructed, or after restart() and before the next tell()). Callers
+  // must not treat the post-restart value as a real score — gate on
+  // has_best() when a finite error is required.
+  double best_error() const {
+    return has_best_ ? best_error_ : std::numeric_limits<double>::infinity();
+  }
   bool has_best() const { return has_best_; }
   double step() const { return step_; }
   int n_restarts() const { return n_restarts_; }
@@ -68,8 +76,15 @@ class Flow2 {
 
   // Restart from a fresh random point; clears incumbent, step and stall
   // statistics but keeps nothing else. best_config()/best_error() reset to
-  // the new walk (the caller owns the global best).
+  // the new walk — best_error() reads +inf again until the next improvement
+  // (the caller owns the global best).
   void restart();
+
+  // Attach a tracer (off by default): the walk emits flow2_tell on every
+  // tell(), flow2_shrink on a step reduction, flow2_converged when the step
+  // hits its lower bound and flow2_restart on restart(). The controller
+  // scopes the tracer with the learner name (Tracer::with).
+  void set_tracer(observe::Tracer tracer) { tracer_ = std::move(tracer); }
 
   const ConfigSpace& space() const { return *space_; }
 
@@ -83,11 +98,13 @@ class Flow2 {
   Rng rng_;
 
   std::vector<double> incumbent_;   // normalized
-  double incumbent_error_ = 0.0;
+  double incumbent_error_ = std::numeric_limits<double>::infinity();
   bool has_incumbent_ = false;
 
   Config best_config_;
-  double best_error_ = 0.0;
+  // +inf whenever !has_best_ (never 0.0 — a 0.0 sentinel reads as a perfect
+  // score to anyone polling best_error() right after a restart).
+  double best_error_ = std::numeric_limits<double>::infinity();
   bool has_best_ = false;
 
   Phase phase_ = Phase::Init;
@@ -104,6 +121,7 @@ class Flow2 {
   bool adapt_ = true;
   bool converged_ = false;
   int n_restarts_ = 0;
+  observe::Tracer tracer_;
 };
 
 }  // namespace flaml

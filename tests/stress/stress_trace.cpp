@@ -1,0 +1,151 @@
+// Concurrent tracing stress: with n_parallel > 1 the trace sink is hit from
+// pool threads (trial_started) and the controller thread at once, and the
+// metrics registry is updated while proposals are being traced. Run under
+// TSan (`ctest --preset tsan -L stress`) to catch sink races; in Release it
+// doubles as a schema check for parallel traces.
+#include "observe/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "automl/automl.h"
+#include "data/generators.h"
+#include "observe/trace_check.h"
+#include "support/prop.h"
+#include "support/stub_learner.h"
+
+namespace flaml {
+namespace {
+
+using observe::JsonlTraceSink;
+using observe::MemoryTraceSink;
+using observe::TraceEvent;
+
+Dataset tiny_binary(std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.task = Task::BinaryClassification;
+  spec.n_rows = 100;
+  spec.n_features = 5;
+  spec.seed = seed;
+  return make_classification(spec);
+}
+
+AutoMLOptions stub_options(std::uint64_t seed, std::size_t max_iterations) {
+  AutoMLOptions options;
+  options.time_budget_seconds = 1e6;
+  options.max_iterations = max_iterations;
+  options.initial_sample_size = 16;
+  options.resampling = ResamplingPolicy::ForceHoldout;
+  options.estimator_list = {"stub_fast", "stub_mid", "stub_slow"};
+  options.trial_cost_model = [](const Learner& learner, const Config& config,
+                                std::size_t sample_size) {
+    return learner.initial_cost_multiplier() *
+           (0.05 + 0.001 * static_cast<double>(sample_size) +
+            0.002 * config.at("units"));
+  };
+  options.seed = seed;
+  return options;
+}
+
+void add_stub_lineup(AutoML& automl) {
+  automl.add_learner(std::make_shared<testing::StubLearner>("stub_fast", 1.0));
+  automl.add_learner(std::make_shared<testing::StubLearner>("stub_mid", 1.9));
+  automl.add_learner(std::make_shared<testing::StubLearner>("stub_slow", 15.0));
+}
+
+// Raw sink hammer: many threads emitting concurrently into both sink
+// backends; every event must land exactly once and every JSONL line must
+// stay an unbroken record.
+FLAML_PROP(TraceStress, ConcurrentEmissionsLandExactlyOnce, 5) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+
+  MemoryTraceSink memory;
+  std::ostringstream out;
+  JsonlTraceSink jsonl(out);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceEvent event;
+        event.type = "stress";
+        event.time = static_cast<double>(i);
+        event.fields = JsonValue::make_object();
+        event.fields.set("thread", JsonValue::make_number(t));
+        event.fields.set("i", JsonValue::make_number(i));
+        memory.emit(event);
+        jsonl.emit(event);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(memory.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(jsonl.n_events(), static_cast<std::size_t>(kThreads * kPerThread));
+
+  std::istringstream in(out.str());
+  std::string line;
+  std::size_t n_lines = 0;
+  std::vector<int> per_thread(kThreads, 0);
+  while (std::getline(in, line)) {
+    ++n_lines;
+    const JsonValue parsed = parse_json(line);  // throws on a torn line
+    ++per_thread[static_cast<int>(parsed.at("thread").number)];
+  }
+  EXPECT_EQ(n_lines, static_cast<std::size_t>(kThreads * kPerThread));
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(per_thread[t], kPerThread);
+}
+
+// Parallel traced fit: the full pipeline — controller, pool threads, FLOW2
+// tuners and the metrics registry — shares one JSONL sink, and the result
+// must still pass every schema invariant.
+FLAML_PROP(TraceStress, ParallelTracedFitValidates, 5) {
+  Dataset data = tiny_binary(prop.seed | 1);
+  std::ostringstream out;
+  AutoMLOptions options = stub_options(prop.rng.next(), /*max_iterations=*/16);
+  options.n_parallel = 4;
+  options.trace_sink = std::make_shared<JsonlTraceSink>(out);
+
+  AutoML automl;
+  add_stub_lineup(automl);
+  automl.fit(data, options);
+
+  std::istringstream in(out.str());
+  const auto result = observe::check_trace(in);
+  EXPECT_TRUE(result.ok()) << (result.errors.empty() ? "" : result.errors[0]);
+  EXPECT_EQ(result.n_trials, 16u);
+  EXPECT_DOUBLE_EQ(automl.metrics().value("trials_total"), 16.0);
+}
+
+// Tracing must not perturb the search: the parallel==serial determinism
+// contract holds with a sink attached.
+FLAML_PROP(TraceStress, TracedParallelMatchesUntracedSerial, 3) {
+  Dataset data = tiny_binary(prop.seed | 1);
+  AutoMLOptions options = stub_options(prop.rng.next(), /*max_iterations=*/12);
+  options.learner_choice = LearnerChoice::RoundRobin;
+
+  AutoML serial;
+  add_stub_lineup(serial);
+  serial.fit(data, options);
+
+  AutoMLOptions traced = options;
+  traced.n_parallel = 4;
+  traced.trace_sink = std::make_shared<MemoryTraceSink>();
+  AutoML parallel;
+  add_stub_lineup(parallel);
+  parallel.fit(data, traced);
+
+  ASSERT_EQ(serial.history().size(), parallel.history().size());
+  for (std::size_t i = 0; i < serial.history().size(); ++i) {
+    EXPECT_EQ(serial.history()[i].learner, parallel.history()[i].learner) << i;
+    EXPECT_EQ(serial.history()[i].config, parallel.history()[i].config) << i;
+    EXPECT_DOUBLE_EQ(serial.history()[i].error, parallel.history()[i].error) << i;
+  }
+}
+
+}  // namespace
+}  // namespace flaml

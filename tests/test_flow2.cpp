@@ -137,6 +137,39 @@ TEST(Flow2, RestartResetsWalk) {
   EXPECT_EQ(tuner.best_config(), after);
 }
 
+// Regression: restart() used to reset best_error_ to 0.0 — a perfect-score
+// sentinel. Anyone reading best_error() between the restart and the next
+// improvement saw an unbeatable 0.0, so the fresh walk could never register
+// a best again. The reset must be +inf, reported through has_best().
+TEST(Flow2, RestartThenReadBestErrorIsInfinite) {
+  ConfigSpace space = box_space(2);
+  Flow2 tuner(space, 27);
+  tuner.ask();
+  tuner.tell(0.3);
+  ASSERT_TRUE(tuner.has_best());
+  ASSERT_DOUBLE_EQ(tuner.best_error(), 0.3);
+
+  tuner.restart();
+  EXPECT_FALSE(tuner.has_best());
+  EXPECT_TRUE(std::isinf(tuner.best_error()));
+  EXPECT_GT(tuner.best_error(), 0.0);
+
+  // With the stale 0.0 sentinel, 0.9 would never have counted as an
+  // improvement; against +inf it must become the new walk's best.
+  Config first = tuner.ask();
+  tuner.tell(0.9);
+  EXPECT_TRUE(tuner.has_best());
+  EXPECT_DOUBLE_EQ(tuner.best_error(), 0.9);
+  EXPECT_EQ(tuner.best_config(), first);
+}
+
+TEST(Flow2, BestErrorBeforeFirstTellIsInfinite) {
+  ConfigSpace space = box_space(2);
+  Flow2 tuner(space, 29);
+  EXPECT_FALSE(tuner.has_best());
+  EXPECT_TRUE(std::isinf(tuner.best_error()));
+}
+
 TEST(Flow2, DoubleAskRejected) {
   ConfigSpace space = box_space(2);
   Flow2 tuner(space, 15);

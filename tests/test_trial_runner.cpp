@@ -37,6 +37,22 @@ TEST(ResamplingRule, ThresholdBoundary) {
   EXPECT_EQ(propose_resampling(99999, 1, 1e9), Resampling::CV);
 }
 
+TEST(ResamplingRule, CellRateBoundary) {
+  // 50000 rows × 200 features = 1e7 cells. With a 1-hour budget the rate is
+  // exactly kCvMaxCellRatePerHour — not strictly below -> holdout. Doubling
+  // the budget halves the rate to 5e6 -> both conditions hold -> cv.
+  EXPECT_EQ(propose_resampling(50000, 200, 3600.0), Resampling::Holdout);
+  EXPECT_EQ(propose_resampling(50000, 200, 7200.0), Resampling::CV);
+}
+
+TEST(ResamplingRule, ConstantsMatchThePaperThresholds) {
+  // The rate threshold is 10M cells/hour. It was once written as the literal
+  // `10e6` — which IS 1e7, but reads like 1e6; the named constants keep the
+  // rule honest.
+  EXPECT_EQ(kCvMaxInstances, 100000u);
+  EXPECT_DOUBLE_EQ(kCvMaxCellRatePerHour, 1e7);
+}
+
 TEST(TrialRunner, HoldoutReservesValidationRows) {
   Dataset data = binary_data(500);
   TrialRunner::Options options;
@@ -65,6 +81,7 @@ TEST_P(RunnerModeTest, TrialReturnsFiniteErrorAndPositiveCost) {
   Config config = learner->space(data.task(), runner.max_sample_size()).initial_config();
   TrialResult result = runner.run(*learner, config, 200);
   EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.status, TrialStatus::Ok);
   EXPECT_GE(result.error, 0.0);
   EXPECT_LE(result.error, 1.0);  // 1 - auc
   EXPECT_GT(result.cost, 0.0);
@@ -150,8 +167,82 @@ TEST(TrialRunner, FailingLearnerReportsNotOk) {
   config["x"] = 0.5;
   TrialResult result = runner.run(learner, config, 50);
   EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.status, TrialStatus::Failed);
   EXPECT_TRUE(std::isinf(result.error));
   EXPECT_GT(result.cost, 0.0);
+}
+
+// Records every training seed it is handed, then aborts the fit — the seed
+// is all these tests need; no model required.
+class SeedCaptureLearner final : public Learner {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "capture";
+    return n;
+  }
+  bool supports(Task) const override { return true; }
+  ConfigSpace space(Task, std::size_t) const override {
+    ConfigSpace s;
+    s.add_float("x", 0.0, 1.0, 0.5);
+    return s;
+  }
+  std::unique_ptr<Model> train(const TrainContext& ctx, const Config&) const override {
+    seeds.push_back(ctx.seed);
+    throw std::runtime_error("capture only");
+  }
+  double initial_cost_multiplier() const override { return 1.0; }
+
+  mutable std::vector<std::uint64_t> seeds;
+};
+
+TEST(TrialRunner, CounterAndSaltedTrialIdsNeverCollide) {
+  // Regression: the first counter-issued trial id used to be 1 — identical
+  // to a caller's seed_salt == 1 — so the two trials silently trained with
+  // the same seed. The id domains are now disjoint (salted ids carry a tag
+  // bit counter ids never set).
+  Dataset data = binary_data(100);
+  TrialRunner::Options options;
+  TrialRunner runner(data, ErrorMetric::default_for(data.task()), options);
+  SeedCaptureLearner learner;
+  Config config;
+  config["x"] = 0.5;
+  runner.run(learner, config, 50);            // counter-issued id (salt 0)
+  runner.run(learner, config, 50, 0.0, 1);    // caller salt 1
+  ASSERT_EQ(learner.seeds.size(), 2u);
+  EXPECT_NE(learner.seeds[0], learner.seeds[1]);
+}
+
+TEST(TrialRunner, SaltedSeedsReproducibleCounterSeedsDistinct) {
+  Dataset data = binary_data(100);
+  Config config;
+  config["x"] = 0.5;
+  TrialRunner::Options options;
+
+  // The same salt on two fresh runners yields the same training seed (the
+  // parallel==serial contract); successive counter-issued trials never
+  // repeat a seed.
+  TrialRunner runner_a(data, ErrorMetric::default_for(data.task()), options);
+  TrialRunner runner_b(data, ErrorMetric::default_for(data.task()), options);
+  SeedCaptureLearner cap_a;
+  SeedCaptureLearner cap_b;
+  runner_a.run(cap_a, config, 50, 0.0, 42);
+  runner_b.run(cap_b, config, 50, 0.0, 42);
+  ASSERT_EQ(cap_a.seeds.size(), 1u);
+  ASSERT_EQ(cap_b.seeds.size(), 1u);
+  EXPECT_EQ(cap_a.seeds[0], cap_b.seeds[0]);
+
+  SeedCaptureLearner counter_cap;
+  runner_a.run(counter_cap, config, 50);
+  runner_a.run(counter_cap, config, 50);
+  ASSERT_EQ(counter_cap.seeds.size(), 2u);
+  EXPECT_NE(counter_cap.seeds[0], counter_cap.seeds[1]);
+  EXPECT_NE(counter_cap.seeds[0], cap_a.seeds[0]);
+}
+
+TEST(TrialRunner, StatusNames) {
+  EXPECT_STREQ(trial_status_name(TrialStatus::Ok), "ok");
+  EXPECT_STREQ(trial_status_name(TrialStatus::Killed), "killed");
+  EXPECT_STREQ(trial_status_name(TrialStatus::Failed), "failed");
 }
 
 TEST(TrialRunner, TrainFinalProducesWorkingModel) {
@@ -194,6 +285,7 @@ TEST(TrialRunner, DeadlineKillsTrialButNotFinalRetrain) {
   huge["leaf_num"] = 255;
   TrialResult trial = runner.run(*learner, huge, runner.max_sample_size(), 0.05);
   EXPECT_FALSE(trial.ok);
+  EXPECT_EQ(trial.status, TrialStatus::Killed);
   EXPECT_TRUE(std::isinf(trial.error));
   EXPECT_GE(trial.cost, 0.04);  // the budget was still spent
 

@@ -1,0 +1,179 @@
+// Inspect a JSONL search trace written by AutoML::fit with a JsonlTraceSink
+// (AutoMLOptions::trace_sink). Renders a run timeline and the best-error
+// curve, or validates the trace's structural invariants.
+//
+//   trace_inspect trace.jsonl            # summary + timeline + curve
+//   trace_inspect --check trace.jsonl    # validate only; exit 1 on errors
+//
+// --check is what CI runs on the traced-fit artifact: it re-parses every
+// line and enforces the schema in src/observe/trace_check.h (run_started
+// first, one terminal run_summary, paired trial starts/finishes, status and
+// error-field consistency, ECI vectors present on proposals, run_summary
+// totals matching the events).
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "observe/trace_check.h"
+
+namespace {
+
+using flaml::JsonValue;
+using flaml::observe::TraceCheckResult;
+using flaml::observe::TraceEvent;
+
+double number_or(const TraceEvent& event, const char* key, double fallback) {
+  const JsonValue* field = event.fields.find(key);
+  return field != nullptr && field->is_number() ? field->number : fallback;
+}
+
+std::string string_or(const TraceEvent& event, const char* key,
+                      const std::string& fallback) {
+  const JsonValue* field = event.fields.find(key);
+  return field != nullptr && field->is_string() ? field->str : fallback;
+}
+
+double error_or_inf(const TraceEvent& event, const char* key) {
+  const JsonValue* field = event.fields.find(key);
+  if (field == nullptr) return std::numeric_limits<double>::infinity();
+  try {
+    return flaml::observe::error_field_value(*field);
+  } catch (const std::exception&) {
+    return std::numeric_limits<double>::infinity();
+  }
+}
+
+void print_summary(const TraceCheckResult& result) {
+  std::printf("trace: %zu events", result.events.size());
+  bool first = true;
+  for (const auto& [type, count] : result.by_type) {
+    std::printf("%s %s=%zu", first ? " (" : ",", type.c_str(), count);
+    first = false;
+  }
+  std::printf("%s\n", first ? "" : ")");
+  for (const auto& event : result.events) {
+    if (event.type != "run_summary") continue;
+    const double best = error_or_inf(event, "best_error");
+    std::printf("run: %zu trials, best %s = %s (error %.6g) in %.2fs\n",
+                result.n_trials, string_or(event, "best_learner", "?").c_str(),
+                string_or(event, "resampling", "?").c_str(), best,
+                number_or(event, "elapsed_seconds", 0.0));
+  }
+}
+
+void print_timeline(const TraceCheckResult& result) {
+  std::printf("\n%5s %8s %-14s %8s %12s %10s %-7s\n", "iter", "t(s)", "learner",
+              "sample", "error", "cost", "status");
+  for (const auto& event : result.events) {
+    if (event.type == "sample_doubled") {
+      std::printf("      %8.3f %-14s sample %g -> %g\n", event.time,
+                  string_or(event, "learner", "?").c_str(),
+                  number_or(event, "from", 0.0), number_or(event, "to", 0.0));
+      continue;
+    }
+    if (event.type == "flow2_restart") {
+      std::printf("      %8.3f %-14s FLOW2 restart #%g\n", event.time,
+                  string_or(event, "learner", "?").c_str(),
+                  number_or(event, "n_restarts", 0.0));
+      continue;
+    }
+    if (event.type != "trial_finished") continue;
+    const double error = error_or_inf(event, "error");
+    const bool improved = [&] {
+      const JsonValue* f = event.fields.find("improved");
+      return f != nullptr && f->is_bool() && f->boolean;
+    }();
+    char error_text[32];
+    if (std::isfinite(error)) {
+      std::snprintf(error_text, sizeof(error_text), "%12.6g", error);
+    } else {
+      std::snprintf(error_text, sizeof(error_text), "%12s", "inf");
+    }
+    std::printf("%5.0f %8.3f %-14s %8.0f %s %10.4g %-7s%s\n",
+                number_or(event, "iteration", 0.0), event.time,
+                string_or(event, "learner", "?").c_str(),
+                number_or(event, "sample_size", 0.0), error_text,
+                number_or(event, "cost", 0.0),
+                string_or(event, "status", "?").c_str(), improved ? "  *best" : "");
+  }
+}
+
+// Anytime performance: one row per global-best improvement, bar length
+// scaled to the error range on a log-ish scale (what Figure 1-style
+// anytime curves read off).
+void print_best_curve(const TraceCheckResult& result) {
+  struct Point {
+    double iteration;
+    double time;
+    double error;
+  };
+  std::vector<Point> points;
+  for (const auto& event : result.events) {
+    if (event.type != "trial_finished") continue;
+    const JsonValue* improved = event.fields.find("improved");
+    if (improved == nullptr || !improved->is_bool() || !improved->boolean) continue;
+    points.push_back({number_or(event, "iteration", 0.0), event.time,
+                      error_or_inf(event, "best_error_so_far")});
+  }
+  if (points.empty()) {
+    std::printf("\nno successful trials — no best-error curve\n");
+    return;
+  }
+  double lo = points.back().error, hi = points.front().error;
+  std::printf("\nbest-error curve (%zu improvements):\n", points.size());
+  constexpr int kWidth = 50;
+  for (const auto& p : points) {
+    int bar = kWidth;
+    if (hi > lo) {
+      bar = 1 + static_cast<int>((p.error - lo) / (hi - lo) *
+                                 static_cast<double>(kWidth - 1));
+    }
+    std::printf("%5.0f %8.3fs %12.6g |", p.iteration, p.time, p.error);
+    for (int i = 0; i < bar; ++i) std::putchar('#');
+    std::putchar('\n');
+  }
+}
+
+int usage() {
+  std::fprintf(stderr, "usage: trace_inspect [--check] <trace.jsonl>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check_only = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check_only = true;
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  const TraceCheckResult result = flaml::observe::check_trace_file(path);
+  if (!result.ok()) {
+    std::fprintf(stderr, "trace check FAILED: %s\n", path.c_str());
+    for (const auto& error : result.errors) {
+      std::fprintf(stderr, "  %s\n", error.c_str());
+    }
+    return 1;
+  }
+  if (check_only) {
+    std::printf("trace OK: %zu events, %zu trials\n", result.events.size(),
+                result.n_trials);
+    return 0;
+  }
+  print_summary(result);
+  print_timeline(result);
+  print_best_curve(result);
+  return 0;
+}
