@@ -4,9 +4,14 @@
 // vector, FLOW² moves, sample-size doublings, trial outcomes — is written
 // as one JSON object per line to a JSONL file. Inspect it afterwards:
 //
-//   ./traced_run trace.jsonl [max_trials]
+//   ./traced_run trace.jsonl [max_trials] [checkpoint.ckpt]
 //   ./trace_inspect trace.jsonl            # timeline + best-error curve
 //   ./trace_inspect --check trace.jsonl    # schema validation (CI mode)
+//
+// With a third argument the run also checkpoints every 5 trials (the
+// crash-safe src/resume format) and snapshots the finished fit — including
+// the best-model blob — to the same path; CI uploads it as a sample
+// artifact next to the trace.
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +26,7 @@ int main(int argc, char** argv) {
   const std::string trace_path = argc > 1 ? argv[1] : "trace.jsonl";
   const std::size_t max_trials =
       argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 30;
+  const std::string checkpoint_path = argc > 3 ? argv[3] : "";
 
   Dataset data = make_suite_dataset(suite_entry("adult"), 0.2);
 
@@ -31,7 +37,19 @@ int main(int argc, char** argv) {
   options.seed = 7;
   // The one line that turns tracing on:
   options.trace_sink = std::make_shared<observe::JsonlTraceSink>(trace_path);
+  if (!checkpoint_path.empty()) {
+    options.checkpoint_path = checkpoint_path;
+    options.checkpoint_every_n_trials = 5;
+  }
   automl.fit(data, options);
+  if (!checkpoint_path.empty()) {
+    // Replace the last mid-search checkpoint with the post-fit snapshot
+    // (same format, plus the best-model blob).
+    automl.checkpoint_to_file(checkpoint_path);
+    std::printf("checkpoint written to %s — resume with "
+                "AutoML::resume_from_file\n",
+                checkpoint_path.c_str());
+  }
 
   std::printf("ran %zu trials; best %s, validation error %.4f\n",
               automl.history().size(), automl.best_learner().c_str(),

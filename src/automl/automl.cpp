@@ -58,11 +58,30 @@ std::size_t AutoML::choose_learner(Rng& rng, bool greedy, double c) const {
 }
 
 void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
+  run_search(data, options, nullptr);
+}
+
+void AutoML::resume_from(const Dataset& data, const AutoMLOptions& options,
+                         const resume::SearchCheckpoint& checkpoint) {
+  run_search(data, options, &checkpoint);
+}
+
+void AutoML::resume_from_file(const Dataset& data, const AutoMLOptions& options,
+                              const std::string& path) {
+  const resume::SearchCheckpoint checkpoint = resume::SearchCheckpoint::load(path);
+  run_search(data, options, &checkpoint);
+}
+
+void AutoML::run_search(const Dataset& data, const AutoMLOptions& options,
+                        const resume::SearchCheckpoint* checkpoint) {
   FLAML_REQUIRE(options.time_budget_seconds > 0.0, "time budget must be positive");
   FLAML_REQUIRE(options.sample_multiplier > 1.0, "sample multiplier must be > 1");
   FLAML_REQUIRE(options.budget_scale > 0.0, "budget_scale must be positive");
   FLAML_REQUIRE(options.n_parallel >= 1, "n_parallel must be >= 1");
   FLAML_REQUIRE(options.n_threads >= 1, "n_threads must be >= 1");
+  FLAML_REQUIRE(options.checkpoint_every_n_trials == 0 ||
+                    !options.checkpoint_path.empty(),
+                "checkpoint_every_n_trials needs a checkpoint_path");
   data.validate();
   data_ = &data;
   history_.clear();
@@ -73,10 +92,17 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
   best_error_ = std::numeric_limits<double>::infinity();
   best_learner_.clear();
   best_config_.clear();
+  best_sample_size_ = 0;
   metrics_.clear();
+  iteration_ = 0;
+  calibrated_ = false;
+  elapsed_offset_ = 0.0;
+  elapsed_seconds_ = 0.0;
+  seed_ = options.seed;
 
   const Task task = data.task();
-  Rng rng(options.seed);
+  rng_ = Rng(options.seed);
+  Rng& rng = rng_;
   observe::Tracer tracer(options.trace_sink);
 
   // --- Metric ---
@@ -85,6 +111,7 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
                            : (options.metric.empty()
                                   ? ErrorMetric::default_for(task)
                                   : ErrorMetric::by_name(options.metric));
+  metric_name_ = metric.name();
 
   if (tracer) {
     JsonValue fields = JsonValue::make_object();
@@ -96,6 +123,7 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
     fields.set("max_iterations",
                JsonValue::make_number(static_cast<double>(options.max_iterations)));
     fields.set("seed", JsonValue::make_number(static_cast<double>(options.seed)));
+    fields.set("resumed", JsonValue::make_bool(checkpoint != nullptr));
     tracer.emit("run_started", std::move(fields));
   }
 
@@ -194,8 +222,83 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
   const double budget = options.time_budget_seconds;
   const double c = options.sample_multiplier;
   WallClock clock;
-  int iteration = 0;
-  bool calibrated = false;
+  // Budget accounting that survives a crash: `elapsed()` includes the time
+  // already spent before the checkpoint this run resumed from.
+  auto elapsed = [&]() { return clock.now() + elapsed_offset_; };
+
+  // --- Restore a checkpointed search (resume_from) ---
+  // Everything constructed above is a deterministic function of (data,
+  // options): metric, split, runner, lineup, spaces. The checkpoint supplies
+  // the mutable state on top, after its fingerprint is cross-checked — a
+  // checkpoint from a different search must throw, never silently diverge.
+  if (checkpoint != nullptr) {
+    const resume::SearchCheckpoint& ckpt = *checkpoint;
+    FLAML_PARSE_REQUIRE(ckpt.task == task_name(task),
+                        "checkpoint task '" << ckpt.task << "' != '"
+                                            << task_name(task) << "'");
+    FLAML_PARSE_REQUIRE(ckpt.metric == metric.name(),
+                        "checkpoint metric '" << ckpt.metric << "' != '"
+                                              << metric.name() << "'");
+    FLAML_PARSE_REQUIRE(ckpt.seed == options.seed,
+                        "checkpoint seed does not match options.seed");
+    FLAML_PARSE_REQUIRE(ckpt.resampling == resampling_name(resampling),
+                        "checkpoint resampling '" << ckpt.resampling << "' != '"
+                                                  << resampling_name(resampling)
+                                                  << "'");
+    FLAML_PARSE_REQUIRE(ckpt.learners.size() == states_.size(),
+                        "checkpoint has " << ckpt.learners.size()
+                                          << " learners, this search has "
+                                          << states_.size());
+    runner_->from_json(ckpt.runner);
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+      LearnerState& state = states_[i];
+      const resume::LearnerCheckpoint& saved = ckpt.learners[i];
+      FLAML_PARSE_REQUIRE(saved.name == state.learner->name(),
+                          "checkpoint learner " << i << " is '" << saved.name
+                                                << "', lineup has '"
+                                                << state.learner->name() << "'");
+      state.eci = EciState::from_json(saved.eci);
+      state.tuner->from_json(saved.tuner);
+      FLAML_PARSE_REQUIRE(saved.sample_size <= full_size,
+                          "checkpoint sample_size for '"
+                              << saved.name << "' exceeds the training size");
+      state.sample_size = saved.sample_size;
+      state.best_error = saved.best_error;
+      state.best_config = saved.best_config;
+      state.n_proposed = saved.n_proposed;
+      state.tuner->set_adaptation(state.sample_size >= full_size);
+    }
+    iteration_ = static_cast<int>(ckpt.iteration);
+    calibrated_ = ckpt.calibrated;
+    elapsed_offset_ = ckpt.elapsed_seconds;
+    elapsed_seconds_ = ckpt.elapsed_seconds;
+    resume::restore_rng_value(rng_, ckpt.rng);
+    best_learner_ = ckpt.best_learner;
+    best_error_ = ckpt.best_error;
+    best_sample_size_ = ckpt.best_sample_size;
+    best_config_ = ckpt.best_config;
+    history_ = ckpt.history;
+    metrics_.state_from_json(ckpt.metrics);
+    for (const resume::PendingTrial& p : ckpt.pending) {
+      // Re-derive the salt the original launch used: a pure function of
+      // (learner, per-learner index), so a tampered salt is detectable.
+      FLAML_PARSE_REQUIRE(p.seed_salt == trial_salt(p.learner, p.trial_index),
+                          "pending trial seed_salt does not match its learner "
+                          "and index");
+      FLAML_PARSE_REQUIRE(p.sample_size <= full_size,
+                          "pending trial sample_size exceeds the training size");
+      bool found = false;
+      for (const LearnerState& state : states_) {
+        if (state.learner->name() != p.learner) continue;
+        found = true;
+        FLAML_PARSE_REQUIRE(p.trial_index <= state.n_proposed,
+                            "pending trial_index exceeds the learner's "
+                            "proposal count");
+      }
+      FLAML_PARSE_REQUIRE(found, "pending trial learner '" << p.learner
+                                                           << "' not in lineup");
+    }
+  }
 
   // --- Step 2: hyperparameter & sample size proposer (for one learner) ---
   struct Proposal {
@@ -259,7 +362,7 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
   auto trace_learner_proposed = [&](std::size_t idx, std::size_t slot) {
     if (!tracer) return;
     const char* mode = "cold_start";
-    if (calibrated) {
+    if (calibrated_) {
       switch (options.learner_choice) {
         case LearnerChoice::RoundRobin: mode = "round_robin"; break;
         case LearnerChoice::EciGreedy: mode = "eci_greedy"; break;
@@ -278,7 +381,8 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
   // --- Step 3 bookkeeping after a trial finished ---
   auto commit = [&](LearnerState& state, const Proposal& proposal,
                     const TrialResult& trial) {
-    ++iteration;
+    ++iteration_;
+    elapsed_seconds_ = elapsed();
     state.eci.record(trial.cost, trial.error);
     if (proposal.grow_sample) {
       state.tuner->update_incumbent_error(trial.error);
@@ -309,8 +413,8 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
       best_learner_ = state.learner->name();
       best_sample_size_ = state.sample_size;
       metrics_.set("best_error", best_error_);
-      metrics_.set("time_to_best_seconds", clock.now());
-      metrics_.set("iteration_of_best", iteration);
+      metrics_.set("time_to_best_seconds", elapsed_seconds_);
+      metrics_.set("iteration_of_best", iteration_);
     }
     metrics_.add("trials_total");
     metrics_.add("trials." + state.learner->name());
@@ -327,7 +431,7 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
         config.set(name, JsonValue::make_number(value));
       }
       JsonValue fields = JsonValue::make_object();
-      fields.set("iteration", JsonValue::make_number(iteration));
+      fields.set("iteration", JsonValue::make_number(iteration_));
       fields.set("learner", JsonValue::make_string(state.learner->name()));
       fields.set("trial",
                  JsonValue::make_number(static_cast<double>(proposal.trial_index)));
@@ -343,8 +447,8 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
     }
 
     TrialRecord record;
-    record.iteration = iteration;
-    record.finished_at = clock.now();
+    record.iteration = iteration_;
+    record.finished_at = elapsed_seconds_;
     record.learner = state.learner->name();
     record.config = proposal.config;
     record.sample_size = state.sample_size;
@@ -353,7 +457,7 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
     record.best_error_so_far = best_error_;
     history_.push_back(std::move(record));
 
-    if (!calibrated) {
+    if (!calibrated_) {
       // Calibrate cold-start ECI1 of the other learners from the fastest
       // learner's first (smallest) cost.
       const double base_cost =
@@ -362,9 +466,9 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
         other.eci.initial_eci1 =
             base_cost * other.learner->initial_cost_multiplier();
       }
-      calibrated = true;
+      calibrated_ = true;
     }
-    FLAML_LOG(Debug) << "iter " << iteration << " learner=" << state.learner->name()
+    FLAML_LOG(Debug) << "iter " << iteration_ << " learner=" << state.learner->name()
                      << " s=" << state.sample_size << " err=" << trial.error
                      << " cost=" << trial.cost;
   };
@@ -373,9 +477,9 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
   // round-robin rotates over the slot index iteration + pending so that a
   // parallel launch sequence visits learners in exactly the serial order.
   auto pick_learner = [&](std::size_t pending) -> std::size_t {
-    if (!calibrated) return fastest;  // appendix rule: fastest learner first
+    if (!calibrated_) return fastest;  // appendix rule: fastest learner first
     if (options.learner_choice == LearnerChoice::RoundRobin) {
-      return (static_cast<std::size_t>(iteration) + pending) % states_.size();
+      return (static_cast<std::size_t>(iteration_) + pending) % states_.size();
     }
     return choose_learner(rng, options.learner_choice == LearnerChoice::EciGreedy, c);
   };
@@ -385,21 +489,85 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
   };
   auto iterations_left = [&](std::size_t pending) {
     return options.max_iterations == 0 ||
-           static_cast<std::size_t>(iteration) + pending < options.max_iterations;
+           static_cast<std::size_t>(iteration_) + pending < options.max_iterations;
+  };
+
+  // Runs after every commit: write the checkpoint when one is due, then
+  // fire the test hook. `pending` = trials launched but not yet committed
+  // at this boundary (what a resume must re-run first).
+  auto after_commit = [&](const std::vector<resume::PendingTrial>& pending) {
+    if (options.checkpoint_every_n_trials > 0 &&
+        static_cast<std::size_t>(iteration_) %
+                options.checkpoint_every_n_trials ==
+            0) {
+      make_checkpoint(pending, false).save(options.checkpoint_path);
+    }
+    if (options.on_trial_committed) {
+      options.on_trial_committed(static_cast<std::size_t>(iteration_));
+    }
+  };
+
+  // A proposal reconstructed from (or destined for) a checkpoint's pending
+  // list. Launch order is the commit order, so resume re-runs these FIFO.
+  auto to_pending = [&](const LearnerState& state, const Proposal& proposal,
+                        std::size_t sample_size) {
+    resume::PendingTrial p;
+    p.learner = state.learner->name();
+    p.trial_index = proposal.trial_index;
+    p.seed_salt = proposal.seed_salt;
+    p.grow_sample = proposal.grow_sample;
+    p.sample_size = sample_size;
+    p.config = proposal.config;
+    return p;
+  };
+  auto from_pending = [&](const resume::PendingTrial& p) {
+    Proposal proposal;
+    proposal.config = p.config;
+    proposal.grow_sample = p.grow_sample;
+    proposal.seed_salt = p.seed_salt;
+    proposal.trial_index = p.trial_index;
+    return proposal;
+  };
+  auto state_index = [&](const std::string& learner) {
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+      if (states_[i].learner->name() == learner) return i;
+    }
+    FLAML_CHECK_MSG(false, "learner '" << learner << "' vanished from lineup");
+    return states_.size();
   };
 
   if (options.n_parallel <= 1) {
-    while (clock.now() < budget && !target_reached() && iterations_left(0)) {
+    if (checkpoint != nullptr && !checkpoint->pending.empty()) {
+      // Trials that were in flight when the checkpoint was written (the
+      // original run was parallel): re-run them first, in launch order —
+      // commits happen in exactly the order the parallel controller would
+      // have consumed them.
+      std::vector<resume::PendingTrial> queue = checkpoint->pending;
+      while (!queue.empty()) {
+        const resume::PendingTrial p = queue.front();
+        queue.erase(queue.begin());
+        LearnerState& state = states_[state_index(p.learner)];
+        Proposal proposal = from_pending(p);
+        const double remaining = std::max(budget - elapsed(), 0.0);
+        TrialResult trial = runner_->run(*state.learner, proposal.config,
+                                         p.sample_size, remaining,
+                                         proposal.seed_salt);
+        commit(state, proposal, trial);
+        after_commit(queue);
+      }
+    }
+    while (elapsed() < budget && !target_reached() && iterations_left(0)) {
       const std::size_t idx = pick_learner(0);
-      trace_learner_proposed(idx, static_cast<std::size_t>(iteration));
+      trace_learner_proposed(idx, static_cast<std::size_t>(iteration_));
       LearnerState& state = states_[idx];
       Proposal proposal = propose(state);
-      const double remaining = budget - clock.now();
+      const double remaining = budget - elapsed();
       if (remaining <= 0.0) break;
       TrialResult trial = runner_->run(*state.learner, proposal.config,
                                        state.sample_size, remaining,
                                        proposal.seed_salt);
       commit(state, proposal, trial);
+      after_commit({});
     }
   } else {
     // Parallel mode (paper appendix): up to n_parallel trials in flight, at
@@ -410,14 +578,57 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
     struct InFlight {
       std::size_t state_idx = 0;
       Proposal proposal;
+      std::size_t sample_size = 0;  // at launch (== commit-time state value)
       std::future<TrialResult> future;
     };
     ThreadPool pool(static_cast<std::size_t>(options.n_parallel));
     std::vector<InFlight> inflight;
     std::vector<bool> busy(states_.size(), false);
 
+    // The still-uncommitted launches, for the checkpoint written after each
+    // commit: a resume re-runs exactly these before proposing anything new.
+    auto inflight_pending = [&]() {
+      std::vector<resume::PendingTrial> pending;
+      pending.reserve(inflight.size());
+      for (const InFlight& entry : inflight) {
+        pending.push_back(to_pending(states_[entry.state_idx], entry.proposal,
+                                     entry.sample_size));
+      }
+      return pending;
+    };
+
+    auto launch = [&](std::size_t idx, Proposal proposal,
+                      std::size_t sample_size, double remaining) {
+      busy[idx] = true;
+      const Learner* learner = states_[idx].learner.get();
+      Config config = proposal.config;
+      const std::uint64_t salt = proposal.seed_salt;
+      InFlight entry;
+      entry.state_idx = idx;
+      entry.proposal = std::move(proposal);
+      entry.sample_size = sample_size;
+      entry.future =
+          pool.submit([this, learner, config, sample_size, remaining, salt] {
+            return runner_->run(*learner, config, sample_size, remaining, salt);
+          });
+      inflight.push_back(std::move(entry));
+    };
+
+    if (checkpoint != nullptr) {
+      // Re-launch the trials that were in flight when the checkpoint was
+      // written, in their original launch order; the commit loop below
+      // consumes them FIFO exactly as the uninterrupted run would have.
+      for (const resume::PendingTrial& p : checkpoint->pending) {
+        const std::size_t idx = state_index(p.learner);
+        FLAML_PARSE_REQUIRE(!busy[idx], "two pending trials for learner '"
+                                            << p.learner << "'");
+        launch(idx, from_pending(p), p.sample_size,
+               std::max(budget - elapsed(), 0.0));
+      }
+    }
+
     auto launch_one = [&]() -> bool {
-      const double remaining = budget - clock.now();
+      const double remaining = budget - elapsed();
       if (remaining <= 0.0 || !iterations_left(inflight.size())) return false;
       for (int attempt = 0; attempt < 16; ++attempt) {
         std::size_t idx = pick_learner(inflight.size());
@@ -428,31 +639,19 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
           continue;
         }
         trace_learner_proposed(idx,
-                               static_cast<std::size_t>(iteration) + inflight.size());
+                               static_cast<std::size_t>(iteration_) + inflight.size());
         LearnerState& state = states_[idx];
         Proposal proposal = propose(state);
-        busy[idx] = true;
-        const Learner* learner = state.learner.get();
-        const std::size_t sample_size = state.sample_size;
-        Config config = proposal.config;
-        const std::uint64_t salt = proposal.seed_salt;
-        InFlight entry;
-        entry.state_idx = idx;
-        entry.proposal = std::move(proposal);
-        entry.future =
-            pool.submit([this, learner, config, sample_size, remaining, salt] {
-              return runner_->run(*learner, config, sample_size, remaining, salt);
-            });
-        inflight.push_back(std::move(entry));
+        launch(idx, std::move(proposal), state.sample_size, remaining);
         return true;
       }
       return false;
     };
 
-    while (clock.now() < budget && !target_reached() &&
+    while (elapsed() < budget && !target_reached() &&
            (!inflight.empty() || iterations_left(0))) {
       // The calibration trial runs alone (its cost seeds every ECI).
-      const int cap = calibrated ? options.n_parallel : 1;
+      const int cap = calibrated_ ? options.n_parallel : 1;
       while (static_cast<int>(inflight.size()) < cap && launch_one()) {
       }
       if (inflight.empty()) break;
@@ -461,11 +660,15 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
       TrialResult trial = front.future.get();
       busy[front.state_idx] = false;
       commit(states_[front.state_idx], front.proposal, trial);
+      after_commit(inflight_pending());
     }
-    for (auto& entry : inflight) {
-      TrialResult trial = entry.future.get();
-      busy[entry.state_idx] = false;
-      commit(states_[entry.state_idx], entry.proposal, trial);
+    while (!inflight.empty()) {
+      InFlight front = std::move(inflight.front());
+      inflight.erase(inflight.begin());
+      TrialResult trial = front.future.get();
+      busy[front.state_idx] = false;
+      commit(states_[front.state_idx], front.proposal, trial);
+      after_commit(inflight_pending());
     }
   }
 
@@ -530,10 +733,68 @@ void AutoML::fit(const Dataset& data, const AutoMLOptions& options) {
     fields.set("best_sample_size",
                JsonValue::make_number(static_cast<double>(best_sample_size_)));
     fields.set("resampling", JsonValue::make_string(resampling_name(resampling)));
-    fields.set("elapsed_seconds", JsonValue::make_number(clock.now()));
+    fields.set("elapsed_seconds", JsonValue::make_number(elapsed()));
     fields.set("metrics", metrics_.to_json());
     tracer.emit("run_summary", std::move(fields));
   }
+  elapsed_seconds_ = elapsed();
+}
+
+resume::SearchCheckpoint AutoML::make_checkpoint(
+    const std::vector<resume::PendingTrial>& pending, bool include_model) const {
+  resume::SearchCheckpoint ckpt;
+  ckpt.task = task_name(data_->task());
+  ckpt.metric = metric_name_;
+  ckpt.seed = seed_;
+  ckpt.resampling = resampling_name(resampling_used_);
+  ckpt.iteration = static_cast<std::uint64_t>(iteration_);
+  ckpt.calibrated = calibrated_;
+  ckpt.elapsed_seconds = elapsed_seconds_;
+  ckpt.rng = resume::json_rng(rng_);
+  // The checkpoint's best is the SEARCH-found best: when no trial succeeded,
+  // best_learner_ may still name the fallback (fastest learner, initial
+  // config) after fit() returns — a resume re-derives that fallback itself.
+  if (std::isfinite(best_error_)) {
+    ckpt.best_learner = best_learner_;
+    ckpt.best_error = best_error_;
+    ckpt.best_sample_size = best_sample_size_;
+    ckpt.best_config = best_config_;
+  }
+  for (const LearnerState& state : states_) {
+    resume::LearnerCheckpoint l;
+    l.name = state.learner->name();
+    l.eci = state.eci.to_json();
+    l.tuner = state.tuner->to_json();
+    l.sample_size = state.sample_size;
+    l.best_error = state.best_error;
+    l.best_config = state.best_config;
+    l.n_proposed = state.n_proposed;
+    ckpt.learners.push_back(std::move(l));
+  }
+  ckpt.pending = pending;
+  ckpt.history = history_;
+  ckpt.runner = runner_->to_json();
+  ckpt.metrics = metrics_.state_to_json();
+  if (include_model && best_model_ != nullptr && ensemble_models_.empty()) {
+    try {
+      std::ostringstream blob;
+      save_best_model(blob);
+      ckpt.model_blob = blob.str();
+    } catch (const InvalidArgument&) {
+      // Custom learners without model serialization still get a full search
+      // checkpoint — just no predictor blob (same as ensemble mode).
+    }
+  }
+  return ckpt;
+}
+
+resume::SearchCheckpoint AutoML::checkpoint_to() const {
+  FLAML_REQUIRE(runner_ != nullptr, "checkpoint_to() before fit()");
+  return make_checkpoint({}, true);
+}
+
+void AutoML::checkpoint_to_file(const std::string& path) const {
+  checkpoint_to().save(path);
 }
 
 Predictions AutoML::predict(const DataView& view) const {

@@ -26,6 +26,7 @@
 #include "learners/registry.h"
 #include "observe/metrics.h"
 #include "observe/trace.h"
+#include "resume/checkpoint.h"
 #include "tuners/flow2.h"
 
 namespace flaml {
@@ -67,6 +68,14 @@ struct AutoMLOptions {
 
   // Optional stacked-ensemble post-processing (paper appendix): blend the
   // per-learner best models, weighted by validation error.
+  //
+  // Interaction with checkpointing: a blended ensemble is NOT serializable
+  // (save_best_model throws; each member would need its own blob plus the
+  // weights). Mid-search checkpoints are unaffected — they never carry a
+  // model — and resuming re-trains the ensemble when the resumed fit()
+  // finishes; but a post-fit checkpoint_to() omits the model blob when the
+  // ensemble is enabled, so such a checkpoint restores the search state
+  // only, not the predictor.
   bool enable_ensemble = false;
 
   // Parallel search threads (paper appendix): when > 1, up to n_parallel
@@ -112,6 +121,24 @@ struct AutoMLOptions {
   // tools/trace_inspect for rendering/validating a JSONL trace.
   observe::TraceSinkPtr trace_sink;
 
+  // Crash-safe checkpointing (src/resume/checkpoint.h): when both are set,
+  // fit() atomically rewrites `checkpoint_path` after every
+  // checkpoint_every_n_trials-th committed trial (write to "<path>.tmp",
+  // rename into place — a crash mid-write never clobbers the previous
+  // checkpoint). Resume with AutoML::resume_from_file(), passing the SAME
+  // dataset and options: the resumed search replays in-flight trials and
+  // continues, producing the identical trial history and best model as the
+  // never-interrupted run (tests/stress/stress_resume.cpp proves this at
+  // every trial boundary). 0 / empty (the defaults) disable the writer.
+  std::string checkpoint_path;
+  std::size_t checkpoint_every_n_trials = 0;
+
+  // Test hook: invoked after every committed trial, AFTER any due
+  // checkpoint write, with the 1-based iteration number. Throwing from it
+  // aborts fit() — the kill-anywhere replay suite simulates a crash at
+  // trial boundary k by throwing on the k-th call.
+  std::function<void(std::size_t iteration)> on_trial_committed;
+
   std::uint64_t seed = 1;
 };
 
@@ -128,6 +155,24 @@ class AutoML {
   // time budget. `data` must outlive this object (views are kept for
   // prediction-time schema checks).
   void fit(const Dataset& data, const AutoMLOptions& options);
+
+  // Continue a search from a checkpoint, as if the original fit() had never
+  // been interrupted. Pass the SAME dataset and options as the original run
+  // (the checkpoint's task/metric/seed/resampling/lineup fingerprint is
+  // cross-checked and a mismatch throws SerializationError); already-spent
+  // budget carries over, so a resumed run stops at the same total
+  // time_budget_seconds / max_iterations as the original would have.
+  void resume_from(const Dataset& data, const AutoMLOptions& options,
+                   const resume::SearchCheckpoint& checkpoint);
+  void resume_from_file(const Dataset& data, const AutoMLOptions& options,
+                        const std::string& path);
+
+  // Snapshot the state after fit() returned (no in-flight trials), e.g. to
+  // warm-start a later run with a larger budget. Includes the best-model
+  // blob (loadable with load_automl_model) unless the ensemble is enabled
+  // (see enable_ensemble) or the model does not support serialization.
+  resume::SearchCheckpoint checkpoint_to() const;
+  void checkpoint_to_file(const std::string& path) const;
 
   // Predict with the best model found. fit() must have been called.
   Predictions predict(const DataView& view) const;
@@ -174,6 +219,13 @@ class AutoML {
 
   std::size_t choose_learner(Rng& rng, bool greedy, double c) const;
 
+  // fit() and resume_from() share this; `checkpoint` restores the search
+  // state after the (deterministic) setup phase and before the loop.
+  void run_search(const Dataset& data, const AutoMLOptions& options,
+                  const resume::SearchCheckpoint* checkpoint);
+  resume::SearchCheckpoint make_checkpoint(
+      const std::vector<resume::PendingTrial>& pending, bool include_model) const;
+
   std::vector<LearnerPtr> extra_learners_;
 
   // Fit results.
@@ -190,6 +242,16 @@ class AutoML {
   Resampling resampling_used_ = Resampling::Holdout;
   TrialHistory history_;
   observe::MetricsRegistry metrics_;
+
+  // Search-loop state promoted to members so it can be checkpointed mid-fit
+  // and restored on resume (formerly fit() locals).
+  Rng rng_{1};                   // controller stream (learner sampling)
+  int iteration_ = 0;            // committed trials
+  bool calibrated_ = false;      // cold-start ECI1s seeded
+  double elapsed_offset_ = 0.0;  // budget spent before this fit (resume)
+  double elapsed_seconds_ = 0.0; // total elapsed at the last commit
+  std::string metric_name_;
+  std::uint64_t seed_ = 1;
 };
 
 // Load a model saved by AutoML::save_best_model. The learner is resolved

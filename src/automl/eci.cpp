@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "resume/serial_util.h"
 
 namespace flaml {
 
@@ -61,6 +62,40 @@ double EciState::eci(double global_best_error, double c, bool can_grow) const {
   const double gap = best_error - global_best_error;
   const double gap_cost = gap * tau / delta;
   return std::max(gap_cost, base);
+}
+
+JsonValue EciState::to_json() const {
+  JsonValue out = JsonValue::make_object();
+  out.set("k0", resume::json_double(k0));
+  out.set("k1", resume::json_double(k1));
+  out.set("k2", resume::json_double(k2));
+  out.set("best_error", resume::json_double(best_error));
+  out.set("prev_best_error", resume::json_double(prev_best_error));
+  out.set("last_trial_cost", resume::json_double(last_trial_cost));
+  out.set("n_trials", JsonValue::make_number(n_trials));
+  out.set("initial_eci1", resume::json_double(initial_eci1));
+  return out;
+}
+
+EciState EciState::from_json(const JsonValue& value) {
+  EciState state;
+  state.k0 = resume::req_finite(value, "k0");
+  state.k1 = resume::req_finite(value, "k1");
+  state.k2 = resume::req_finite(value, "k2");
+  // Cost totals are cumulative and ordered: k2 <= k1 <= k0, all >= 0.
+  FLAML_PARSE_REQUIRE(state.k2 >= 0.0 && state.k2 <= state.k1 && state.k1 <= state.k0,
+                      "eci cost totals must satisfy 0 <= k2 <= k1 <= k0");
+  state.best_error = resume::req_double(value, "best_error");
+  state.prev_best_error = resume::req_double(value, "prev_best_error");
+  FLAML_PARSE_REQUIRE(!std::isnan(state.best_error) && !std::isnan(state.prev_best_error),
+                      "eci best errors must not be NaN");
+  state.last_trial_cost = resume::req_finite(value, "last_trial_cost");
+  FLAML_PARSE_REQUIRE(state.last_trial_cost >= 0.0,
+                      "eci last_trial_cost must be >= 0");
+  state.n_trials =
+      static_cast<int>(resume::req_int(value, "n_trials", 0, 1000000000));
+  state.initial_eci1 = resume::req_finite(value, "initial_eci1");
+  return state;
 }
 
 }  // namespace flaml

@@ -16,6 +16,8 @@
 
 #include <limits>
 
+#include "common/json.h"
+
 namespace flaml {
 
 struct EciState {
@@ -44,6 +46,13 @@ struct EciState {
   double eci2(double c, bool can_grow) const;
   // Combined ECI against the global best error.
   double eci(double global_best_error, double c, bool can_grow) const;
+
+  // Checkpoint/resume (src/resume): the full bookkeeping round-trips
+  // exactly, so a resumed search computes bit-identical ECI values.
+  // from_json throws SerializationError on missing/ill-typed/out-of-range
+  // fields (a corrupt checkpoint must never produce a silently-wrong state).
+  JsonValue to_json() const;
+  static EciState from_json(const JsonValue& value);
 };
 
 }  // namespace flaml

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "resume/serial_util.h"
 
 namespace flaml {
 
@@ -162,6 +163,45 @@ std::unique_ptr<Model> TrialRunner::train_final(const Learner& learner,
   ctx.seed = options_.seed;
   ctx.n_threads = options_.n_threads;
   return learner.train(ctx, config);
+}
+
+JsonValue TrialRunner::to_json() const {
+  JsonValue out = JsonValue::make_object();
+  out.set("trial_counter", resume::json_u64(trial_counter_.load()));
+  out.set("seed", resume::json_u64(options_.seed));
+  out.set("resampling",
+          JsonValue::make_string(resampling_name(options_.resampling)));
+  out.set("cv_folds", JsonValue::make_number(options_.cv_folds));
+  out.set("holdout_ratio", resume::json_double(options_.holdout_ratio));
+  out.set("max_sample_size", resume::json_size(max_sample_size()));
+  return out;
+}
+
+void TrialRunner::from_json(const JsonValue& value) {
+  // The fingerprint must match THIS runner: the trial seed is a pure
+  // function of (runner seed, trial id), and the sample prefixes depend on
+  // the split — resuming onto a different dataset or resampling setup would
+  // silently re-score every remaining trial.
+  FLAML_PARSE_REQUIRE(resume::req_u64(value, "seed") == options_.seed,
+                      "checkpoint runner seed does not match this runner");
+  FLAML_PARSE_REQUIRE(resume::req_string(value, "resampling") ==
+                          resampling_name(options_.resampling),
+                      "checkpoint resampling does not match this runner");
+  FLAML_PARSE_REQUIRE(
+      resume::req_int(value, "cv_folds", 2, 1000000) == options_.cv_folds,
+      "checkpoint cv_folds does not match this runner");
+  FLAML_PARSE_REQUIRE(resume::req_finite(value, "holdout_ratio") ==
+                          options_.holdout_ratio,
+                      "checkpoint holdout_ratio does not match this runner");
+  FLAML_PARSE_REQUIRE(
+      resume::req_size(value, "max_sample_size",
+                       std::numeric_limits<std::size_t>::max() >> 1) ==
+          max_sample_size(),
+      "checkpoint max_sample_size does not match this runner's dataset");
+  const std::uint64_t counter = resume::req_u64(value, "trial_counter");
+  FLAML_PARSE_REQUIRE((counter & kSaltedTrialTag) == 0,
+                      "checkpoint trial_counter has the salted-id tag bit set");
+  trial_counter_.store(counter);
 }
 
 }  // namespace flaml

@@ -18,6 +18,7 @@
 #include <optional>
 
 #include "common/clock.h"
+#include "common/json.h"
 #include "common/rng.h"
 #include "data/split.h"
 #include "learners/learner.h"
@@ -118,6 +119,16 @@ class TrialRunner {
   // most one extra budget's worth of time.
   std::unique_ptr<Model> train_final(const Learner& learner, const Config& config,
                                      double max_seconds = 0.0);
+
+  // Checkpoint/resume (src/resume): the runner's only mutable state is the
+  // trial-id counter (everything else is rebuilt deterministically from the
+  // dataset + options by the constructor). The snapshot also carries a
+  // compatibility fingerprint — seed, resampling, folds/ratio and
+  // max_sample_size — and from_json rejects a checkpoint whose fingerprint
+  // does not match THIS runner (resuming against a different dataset or
+  // split would silently change every trial seed). Throws SerializationError.
+  JsonValue to_json() const;
+  void from_json(const JsonValue& value);
 
  private:
   const Dataset* data_;

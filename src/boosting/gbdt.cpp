@@ -88,12 +88,21 @@ GBDTModel GBDTModel::load(std::istream& in) {
   std::size_t n_base = 0;
   in >> task_int >> n_classes >> n_base;
   FLAML_REQUIRE(in.good() && n_base >= 1, "truncated GBDT model");
+  // Untrusted input: validate the enum and cap the counts before allocating.
+  FLAML_REQUIRE(task_int >= 0 && task_int <= 2,
+                "corrupt GBDT model: unknown task " << task_int);
+  FLAML_REQUIRE(n_classes >= 0 && n_classes <= 1'000'000,
+                "corrupt GBDT model: class count " << n_classes);
+  FLAML_REQUIRE(n_base <= 1'000'000,
+                "corrupt GBDT model: oversized base-score count " << n_base);
   std::vector<double> base(n_base);
   for (auto& b : base) in >> b;
   GBDTModel model(static_cast<Task>(task_int), n_classes, std::move(base));
   std::size_t n_trees = 0;
   in >> n_trees;
   FLAML_REQUIRE(in.good(), "truncated GBDT model");
+  FLAML_REQUIRE(n_trees <= 10'000'000,
+                "corrupt GBDT model: oversized tree count " << n_trees);
   for (std::size_t t = 0; t < n_trees; ++t) {
     double scale = 0.0;
     in >> scale;

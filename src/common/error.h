@@ -32,6 +32,15 @@ class DeadlineExceeded : public std::runtime_error {
   explicit DeadlineExceeded(const std::string& msg) : std::runtime_error(msg) {}
 };
 
+// Thrown when a serialized artifact (search checkpoint, model blob, trace)
+// is truncated, corrupt, or written by an incompatible format version. Every
+// loader validates before it allocates or indexes, so adversarial input can
+// only ever produce this exception — never UB or an unbounded allocation.
+class SerializationError : public std::runtime_error {
+ public:
+  explicit SerializationError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
 namespace detail {
 
 [[noreturn]] inline void fail_check(const char* expr, const char* file, int line,
@@ -47,6 +56,10 @@ namespace detail {
   os << "invalid argument: requirement (" << expr << ") not met";
   if (!msg.empty()) os << " — " << msg;
   throw InvalidArgument(os.str());
+}
+
+[[noreturn]] inline void fail_parse(const std::string& msg) {
+  throw SerializationError("corrupt serialized data — " + msg);
 }
 
 }  // namespace detail
@@ -75,5 +88,18 @@ namespace detail {
       std::ostringstream os_;                                             \
       os_ << msg;                                                         \
       ::flaml::detail::fail_require(#expr, os_.str());                    \
+    }                                                                     \
+  } while (false)
+
+// Loader validation of untrusted serialized input; throws SerializationError
+// on failure. Use for anything read back from disk (checkpoints, model
+// files): the caller may be handed a truncated or bit-flipped file and must
+// get a typed error, not UB.
+#define FLAML_PARSE_REQUIRE(expr, msg)                                    \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream os_;                                             \
+      os_ << msg;                                                         \
+      ::flaml::detail::fail_parse(os_.str());                             \
     }                                                                     \
   } while (false)

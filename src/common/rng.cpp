@@ -129,4 +129,24 @@ std::size_t Rng::categorical(const std::vector<double>& weights) {
 
 Rng Rng::split() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
 
+Rng::State Rng::snapshot() const {
+  State state;
+  for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.has_cached_normal = has_cached_normal_;
+  state.cached_normal = cached_normal_;
+  return state;
+}
+
+void Rng::restore(const State& state) {
+  // An all-zero state is xoshiro's one forbidden fixed point (the stream
+  // would be constant 0 forever); no snapshot() can produce it, so seeing
+  // one means the caller deserialized garbage.
+  FLAML_REQUIRE(state.s[0] != 0 || state.s[1] != 0 || state.s[2] != 0 ||
+                    state.s[3] != 0,
+                "all-zero RNG state is invalid");
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 }  // namespace flaml

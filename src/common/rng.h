@@ -60,6 +60,17 @@ class Rng {
   // Derive an independent child generator (stable across platforms).
   Rng split();
 
+  // Exact engine state for checkpoint/resume: the 4 xoshiro256** words plus
+  // the cached Box–Muller normal. restore() resumes the stream bit-for-bit
+  // where snapshot() left it.
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+  State snapshot() const;
+  void restore(const State& state);
+
  private:
   std::uint64_t s_[4];
   bool has_cached_normal_ = false;

@@ -84,6 +84,13 @@ ForestModel ForestModel::load(std::istream& in) {
   std::size_t n_trees = 0;
   in >> task_int >> n_classes >> n_trees;
   FLAML_REQUIRE(in.good() && n_trees >= 1, "truncated forest model");
+  // Untrusted input: validate the enum and cap the counts before allocating.
+  FLAML_REQUIRE(task_int >= 0 && task_int <= 2,
+                "corrupt forest model: unknown task " << task_int);
+  FLAML_REQUIRE(n_classes >= 0 && n_classes <= 1'000'000,
+                "corrupt forest model: class count " << n_classes);
+  FLAML_REQUIRE(n_trees <= 10'000'000,
+                "corrupt forest model: oversized tree count " << n_trees);
   ForestModel model(static_cast<Task>(task_int), n_classes);
   for (std::size_t t = 0; t < n_trees; ++t) model.add_tree(read_tree(in));
   return model;

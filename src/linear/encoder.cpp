@@ -77,6 +77,14 @@ FeatureEncoder FeatureEncoder::load(std::istream& in) {
   std::size_t n_plans = 0, dim = 0;
   in >> n_plans >> dim;
   FLAML_REQUIRE(in.good() && n_plans >= 1, "truncated encoder");
+  // Untrusted input: cap the counts before allocating, and bound every
+  // plan's output range by dim — encode_row writes at
+  // [offset, offset + cardinality), so an oversized offset or cardinality
+  // from a corrupted stream would write out of bounds.
+  FLAML_REQUIRE(n_plans <= 10'000'000,
+                "corrupt encoder: oversized column count " << n_plans);
+  FLAML_REQUIRE(dim <= 100'000'000,
+                "corrupt encoder: oversized dimension " << dim);
   FeatureEncoder enc;
   enc.plans_.resize(n_plans);
   enc.dim_ = dim;
@@ -84,6 +92,15 @@ FeatureEncoder FeatureEncoder::load(std::istream& in) {
     int cat = 0;
     in >> cat >> p.offset >> p.cardinality >> p.mean >> p.inv_std;
     p.type = cat ? ColumnType::Categorical : ColumnType::Numeric;
+    FLAML_REQUIRE(p.cardinality >= 0,
+                  "corrupt encoder: negative cardinality " << p.cardinality);
+    const std::size_t width =
+        p.type == ColumnType::Categorical ? static_cast<std::size_t>(p.cardinality)
+                                          : 1;
+    FLAML_REQUIRE(p.offset <= dim && width <= dim - p.offset,
+                  "corrupt encoder: column range [" << p.offset << ", "
+                      << p.offset << "+" << width << ") exceeds dimension "
+                      << dim);
   }
   FLAML_REQUIRE(in.good(), "truncated encoder plans");
   return enc;

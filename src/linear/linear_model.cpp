@@ -84,6 +84,15 @@ LinearModel LinearModel::load(std::istream& in) {
   std::size_t n_weights = 0;
   in >> task_int >> model.n_classes_ >> model.n_outputs_ >> n_weights;
   FLAML_REQUIRE(in.good() && n_weights >= 1, "truncated linear model");
+  // Untrusted input: validate the enum and cap the counts before allocating.
+  FLAML_REQUIRE(task_int >= 0 && task_int <= 2,
+                "corrupt linear model: unknown task " << task_int);
+  FLAML_REQUIRE(model.n_classes_ >= 0 && model.n_classes_ <= 1'000'000,
+                "corrupt linear model: class count " << model.n_classes_);
+  FLAML_REQUIRE(model.n_outputs_ >= 1 && model.n_outputs_ <= 1'000'000,
+                "corrupt linear model: output count " << model.n_outputs_);
+  FLAML_REQUIRE(n_weights <= 100'000'000,
+                "corrupt linear model: oversized weight count " << n_weights);
   model.task_ = static_cast<Task>(task_int);
   model.weights_.resize(n_weights);
   for (double& w : model.weights_) in >> w;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "resume/serial_util.h"
 
 namespace flaml::observe {
 
@@ -91,6 +92,66 @@ JsonValue MetricsRegistry::to_json() const {
     histograms.set(name, std::move(h));
   }
   return out;
+}
+
+JsonValue MetricsRegistry::state_to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonValue out = JsonValue::make_object();
+  JsonValue& scalars = out.set("scalars", JsonValue::make_object());
+  for (const auto& [name, value] : scalars_) {
+    scalars.set(name, resume::json_double(value));
+  }
+  JsonValue& samples = out.set("samples", JsonValue::make_object());
+  for (const auto& [name, values] : samples_) {
+    JsonValue arr = JsonValue::make_array();
+    for (double v : values) arr.push(resume::json_double(v));
+    samples.set(name, std::move(arr));
+  }
+  return out;
+}
+
+void MetricsRegistry::state_from_json(const JsonValue& value) {
+  // Caps bound what a corrupt checkpoint can make us allocate: the search
+  // keeps a handful of metric names and one sample per trial.
+  constexpr std::size_t kMaxNames = 100000;
+  constexpr std::size_t kMaxSamples = 10000000;
+  const JsonValue& scalars = resume::req_object(value, "scalars");
+  FLAML_PARSE_REQUIRE(scalars.object.size() <= kMaxNames,
+                      "metrics scalar map too large");
+  const JsonValue& samples = resume::req_object(value, "samples");
+  FLAML_PARSE_REQUIRE(samples.object.size() <= kMaxNames,
+                      "metrics sample map too large");
+  std::map<std::string, double> new_scalars;
+  for (const auto& [name, v] : scalars.object) {
+    FLAML_PARSE_REQUIRE(!name.empty(), "metrics scalar name must be non-empty");
+    const bool inserted =
+        new_scalars.emplace(name, resume::double_value(v, name.c_str())).second;
+    FLAML_PARSE_REQUIRE(inserted, "duplicate metrics scalar '" << name << "'");
+  }
+  std::map<std::string, std::vector<double>> new_samples;
+  for (const auto& [name, arr] : samples.object) {
+    FLAML_PARSE_REQUIRE(!name.empty(), "metrics histogram name must be non-empty");
+    FLAML_PARSE_REQUIRE(arr.is_array(),
+                        "metrics histogram '" << name << "' must be an array");
+    FLAML_PARSE_REQUIRE(arr.array.size() <= kMaxSamples,
+                        "metrics histogram '" << name << "' too large");
+    std::vector<double> values;
+    values.reserve(arr.array.size());
+    for (const JsonValue& sample : arr.array) {
+      // observe() only ever stores finite samples; mirror that on load.
+      const double decoded = resume::double_value(sample, name.c_str());
+      FLAML_PARSE_REQUIRE(std::isfinite(decoded),
+                          "metrics histogram '" << name
+                                                << "' sample must be finite");
+      values.push_back(decoded);
+    }
+    const bool inserted = new_samples.emplace(name, std::move(values)).second;
+    FLAML_PARSE_REQUIRE(inserted,
+                        "duplicate metrics histogram '" << name << "'");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  scalars_ = std::move(new_scalars);
+  samples_ = std::move(new_samples);
 }
 
 void MetricsRegistry::clear() {

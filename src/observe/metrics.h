@@ -50,6 +50,14 @@ class MetricsRegistry {
   //  mean, p50, p90}}} — insertion order is the map's sorted key order.
   JsonValue to_json() const;
 
+  // Checkpoint/resume (src/resume): unlike to_json(), which summarizes
+  // histograms to stats, the state form keeps the RAW samples so a resumed
+  // run's final percentiles equal the uninterrupted run's. state_from_json
+  // replaces the registry contents; throws SerializationError on corrupt
+  // input.
+  JsonValue state_to_json() const;
+  void state_from_json(const JsonValue& value);
+
   void clear();
 
  private:

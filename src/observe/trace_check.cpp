@@ -39,11 +39,40 @@ class Checker {
     } else if (result_.events.back().type != "run_summary") {
       fail(result_.events.size() - 1, "run_summary must be the last event");
     }
-    if (count("trial_started") != count("trial_finished")) {
-      fail(result_.events.size() - 1,
-           "trial_started count (" + std::to_string(count("trial_started")) +
-               ") != trial_finished count (" +
-               std::to_string(count("trial_finished")) + ")");
+    check_segments();
+  }
+
+  // Started/finished accounting, per SEGMENT. A segment starts at each
+  // run_started event; a multi-segment trace is the stitched JSONL of a
+  // crash-and-resume sequence (each killed fit() plus the final resumed
+  // one). A killed segment may have launched trials it never committed, so
+  // it is allowed started >= finished — the resume re-runs those, emitting
+  // fresh trial_started events in its own segment. The FINAL segment ran to
+  // completion and must balance exactly.
+  void check_segments() {
+    std::vector<std::size_t> begins;
+    for (std::size_t i = 0; i < result_.events.size(); ++i) {
+      if (result_.events[i].type == "run_started") begins.push_back(i);
+    }
+    if (begins.empty()) return;  // already failed "first event" above
+    begins.push_back(result_.events.size());
+    for (std::size_t s = 0; s + 1 < begins.size(); ++s) {
+      std::size_t started = 0;
+      std::size_t finished = 0;
+      for (std::size_t i = begins[s]; i < begins[s + 1]; ++i) {
+        if (result_.events[i].type == "trial_started") ++started;
+        if (result_.events[i].type == "trial_finished") ++finished;
+      }
+      const bool final_segment = s + 2 == begins.size();
+      const bool balanced = final_segment ? started == finished
+                                          : started >= finished;
+      if (!balanced) {
+        fail(begins[s], "segment " + std::to_string(s) + ": trial_started count (" +
+                            std::to_string(started) + ") " +
+                            (final_segment ? "!=" : "<") +
+                            " trial_finished count (" + std::to_string(finished) +
+                            ")");
+      }
     }
   }
 

@@ -7,8 +7,12 @@
 //   * every line is a JSON object with a string "type" and a number "t" ≥ 0;
 //   * the first event is run_started; exactly one run_summary event exists
 //     and it is the last event;
-//   * trial_started and trial_finished counts match (every launched trial
-//     is committed);
+//   * trial_started and trial_finished counts balance PER SEGMENT, where a
+//     segment starts at each run_started event: the final segment must
+//     match exactly (every launched trial is committed), earlier segments —
+//     fits killed mid-search and stitched together with their resumed
+//     continuation (src/resume) — may have launched trials they never got
+//     to commit (started >= finished; the resume re-runs them);
 //   * every trial_finished carries learner/iteration/sample_size/cost, a
 //     status in {ok, killed, failed}, and an error that is finite exactly
 //     when status == ok;

@@ -1,0 +1,118 @@
+// Crash-safe search checkpointing (the resume subsystem).
+//
+// A SearchCheckpoint is the COMPLETE state of an AutoML search at a trial
+// boundary: per-learner ECI bookkeeping and FLOW2 walk state, current
+// sample sizes, the controller RNG stream, elapsed-budget accounting, the
+// full trial history, the trial-runner counter, the metrics registry and —
+// for post-fit snapshots — the best model blob (the save_best_model
+// format). The contract, proven by tests/stress/stress_resume.cpp: a search
+// killed at ANY trial boundary and resumed from its last checkpoint
+// produces the identical trial history, best error and run-summary totals
+// as the never-interrupted run, serial and parallel.
+//
+// On-disk format (version 1):
+//   flaml-checkpoint v1 <nbytes> <fnv64hex>\n
+//   <exactly nbytes bytes of compact JSON payload>
+// The FNV-1a 64 checksum covers the payload bytes, so ANY truncation or bit
+// flip — including ones that would still parse as valid JSON — surfaces as
+// a SerializationError, never as a silently different search. Writes go to
+// "<path>.tmp" and are renamed into place, so a crash mid-write leaves the
+// previous checkpoint intact.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "automl/history.h"
+#include "common/json.h"
+#include "resume/serial_util.h"
+
+namespace flaml::resume {
+
+inline constexpr int kCheckpointVersion = 1;
+
+// FNV-1a 64-bit over a byte range (the payload checksum).
+std::uint64_t fnv1a64(const char* data, std::size_t n);
+
+// Binary blob <-> lowercase hex (model blobs inside the JSON payload).
+std::string encode_blob(const std::string& bytes);
+std::string decode_blob(const std::string& hex);  // throws SerializationError
+
+// A trial that was launched but not yet committed when the checkpoint was
+// written (parallel search keeps up to n_parallel of these in flight).
+// Resume re-runs exactly these — same config, sample size and seed salt, in
+// the original launch order — before proposing anything new, which is what
+// stitches the controller's decision sequence back together.
+struct PendingTrial {
+  std::string learner;
+  std::uint64_t trial_index = 0;  // per-learner, 1-based
+  std::uint64_t seed_salt = 0;    // never 0 (0 = runner-counter domain)
+  bool grow_sample = false;
+  std::size_t sample_size = 0;
+  ConfigMap config;
+};
+
+struct LearnerCheckpoint {
+  std::string name;
+  JsonValue eci;    // EciState::to_json()
+  JsonValue tuner;  // Flow2::to_json()
+  std::size_t sample_size = 0;
+  double best_error = std::numeric_limits<double>::infinity();
+  ConfigMap best_config;
+  std::uint64_t n_proposed = 0;
+};
+
+struct SearchCheckpoint {
+  int version = kCheckpointVersion;
+
+  // Compatibility fingerprint: resume_from rejects a checkpoint whose task,
+  // metric, seed, resampling or learner lineup differs from the options it
+  // is resumed with (the search would silently diverge otherwise).
+  std::string task;
+  std::string metric;
+  std::uint64_t seed = 1;
+  std::string resampling;
+
+  // Controller state.
+  std::uint64_t iteration = 0;  // committed trials == history.size()
+  bool calibrated = false;
+  double elapsed_seconds = 0.0;  // budget already spent before the resume
+  JsonValue rng;                 // controller stream (json_rng)
+
+  // Global best.
+  std::string best_learner;  // empty = no successful trial yet
+  double best_error = std::numeric_limits<double>::infinity();
+  std::size_t best_sample_size = 0;
+  ConfigMap best_config;
+
+  std::vector<LearnerCheckpoint> learners;
+  std::vector<PendingTrial> pending;
+  TrialHistory history;
+  JsonValue runner;   // TrialRunner::to_json()
+  JsonValue metrics;  // MetricsRegistry::state_to_json()
+
+  // save_best_model bytes (empty = none: mid-search snapshot, or ensemble
+  // mode, whose blended models are not serializable).
+  std::string model_blob;
+
+  JsonValue to_json() const;
+  // Strict: throws SerializationError on any missing/ill-typed/out-of-range
+  // field or violated cross-field invariant.
+  static SearchCheckpoint from_json(const JsonValue& payload);
+
+  // Atomic file I/O in the checksummed container format above.
+  void save(const std::string& path) const;
+  static SearchCheckpoint load(const std::string& path);
+};
+
+// Container layer, exposed separately so tests can corrupt payloads:
+// serialize wraps a payload in the header+checksum envelope; parse verifies
+// the envelope and returns the payload (SerializationError on any damage).
+std::string serialize_checkpoint(const JsonValue& payload);
+JsonValue parse_checkpoint(const std::string& text);
+void write_checkpoint_file(const std::string& path, const JsonValue& payload);
+JsonValue read_checkpoint_file(const std::string& path);
+
+}  // namespace flaml::resume

@@ -7,6 +7,14 @@
 
 namespace flaml {
 
+namespace {
+// Caps on untrusted counts, far above anything a real model contains: a
+// corrupted stream must produce a typed error, never a multi-gigabyte
+// allocation or an unbounded loop.
+constexpr std::size_t kMaxNodes = 10'000'000;
+constexpr std::size_t kMaxDistSize = 1'000'000;
+}  // namespace
+
 void write_tree(std::ostream& out, const Tree& tree) {
   out << tree.n_nodes() << '\n';
   for (std::size_t i = 0; i < tree.n_nodes(); ++i) {
@@ -32,6 +40,9 @@ Tree read_tree(std::istream& in) {
   std::size_t n_nodes = 0;
   in >> n_nodes;
   FLAML_REQUIRE(in.good() && n_nodes >= 1, "truncated tree: node count");
+  FLAML_REQUIRE(n_nodes <= kMaxNodes,
+                "corrupt tree: node count " << n_nodes << " exceeds "
+                                            << kMaxNodes);
   std::vector<TreeNode> nodes(n_nodes);
   for (auto& n : nodes) {
     int cat = 0, miss = 0;
@@ -39,6 +50,10 @@ Tree read_tree(std::istream& in) {
         miss >> n.leaf_value >> n.split_gain;
     n.categorical = cat != 0;
     n.missing_left = miss != 0;
+    // Internal nodes index a feature column at prediction time; a negative
+    // index from a corrupted stream would read out of bounds.
+    FLAML_REQUIRE(n.is_leaf() || n.feature >= 0,
+                  "corrupt tree: internal node with negative feature index");
   }
   FLAML_REQUIRE(in.good(), "truncated tree: nodes");
   Tree tree = Tree::from_nodes(std::move(nodes));
@@ -46,6 +61,8 @@ Tree read_tree(std::istream& in) {
   std::size_t n_dists = 0;
   in >> n_dists;
   FLAML_REQUIRE(in.good(), "truncated tree: distribution count");
+  FLAML_REQUIRE(n_dists <= tree.n_nodes(),
+                "corrupt tree: more leaf distributions than nodes");
   if (n_dists > 0) {
     tree.leaf_distributions().assign(tree.n_nodes(), {});
     for (std::size_t d = 0; d < n_dists; ++d) {
@@ -53,6 +70,9 @@ Tree read_tree(std::istream& in) {
       in >> node >> k;
       FLAML_REQUIRE(in.good() && node < tree.n_nodes() && k >= 1,
                     "truncated tree: distribution header");
+      FLAML_REQUIRE(k <= kMaxDistSize,
+                    "corrupt tree: distribution size " << k << " exceeds "
+                                                       << kMaxDistSize);
       std::vector<double> dist(k);
       for (auto& p : dist) in >> p;
       FLAML_REQUIRE(in.good(), "truncated tree: distribution values");

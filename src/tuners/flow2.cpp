@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/math_util.h"
+#include "resume/serial_util.h"
 
 namespace flaml {
 
@@ -171,6 +172,139 @@ void Flow2::restart() {
     fields.set("step", JsonValue::make_number(step_));
     tracer_.emit("flow2_restart", std::move(fields));
   }
+}
+
+namespace {
+
+JsonValue point_to_json(const std::vector<double>& z) {
+  JsonValue out = JsonValue::make_array();
+  for (double v : z) out.push(resume::json_double(v));
+  return out;
+}
+
+// A normalized point of exactly `dim` coordinates in [0,1] (direction
+// vectors relax the range: unit-sphere coordinates live in [-1,1]).
+std::vector<double> point_from_json(const JsonValue& obj, const char* key,
+                                    std::size_t dim, double lo, double hi) {
+  const JsonValue& arr = resume::req_array(obj, key, dim);
+  FLAML_PARSE_REQUIRE(arr.array.size() == dim,
+                      "field '" << key << "' must have exactly " << dim
+                                << " coordinates, got " << arr.array.size());
+  std::vector<double> z(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    const JsonValue& v = arr.array[i];
+    FLAML_PARSE_REQUIRE(v.is_number() && std::isfinite(v.number) &&
+                            v.number >= lo && v.number <= hi,
+                        "field '" << key << "' coordinate " << i
+                                  << " out of [" << lo << ", " << hi << "]");
+    z[i] = v.number;
+  }
+  return z;
+}
+
+}  // namespace
+
+JsonValue Flow2::to_json() const {
+  JsonValue out = JsonValue::make_object();
+  out.set("dim", resume::json_size(space_->dim()));
+  out.set("rng", resume::json_rng(rng_));
+  out.set("incumbent", point_to_json(incumbent_));
+  out.set("incumbent_error", resume::json_double(incumbent_error_));
+  out.set("has_incumbent", JsonValue::make_bool(has_incumbent_));
+  out.set("best_config", resume::json_config(best_config_));
+  out.set("best_error", resume::json_double(best_error_));
+  out.set("has_best", JsonValue::make_bool(has_best_));
+  out.set("phase", JsonValue::make_string(phase_name(static_cast<int>(phase_))));
+  out.set("direction", point_to_json(direction_));
+  out.set("pending", point_to_json(pending_));
+  out.set("ask_outstanding", JsonValue::make_bool(ask_outstanding_));
+  out.set("step", resume::json_double(step_));
+  out.set("step_lower_bound", resume::json_double(step_lower_bound_));
+  out.set("stall_threshold", JsonValue::make_number(stall_threshold_));
+  out.set("consecutive_no_improvement",
+          JsonValue::make_number(consecutive_no_improvement_));
+  out.set("iters_since_restart",
+          JsonValue::make_number(static_cast<double>(iters_since_restart_)));
+  out.set("best_iter_since_restart",
+          JsonValue::make_number(static_cast<double>(best_iter_since_restart_)));
+  out.set("adapt", JsonValue::make_bool(adapt_));
+  out.set("converged", JsonValue::make_bool(converged_));
+  out.set("n_restarts", JsonValue::make_number(n_restarts_));
+  return out;
+}
+
+void Flow2::from_json(const JsonValue& value) {
+  const std::size_t dim = space_->dim();
+  // The walk state only makes sense over the space this tuner was built
+  // for; a dimension or step-bound mismatch means the checkpoint belongs to
+  // a different search space (e.g. a different learner or dataset size).
+  FLAML_PARSE_REQUIRE(resume::req_size(value, "dim", 1 << 20) == dim,
+                      "flow2 state dimension does not match the search space");
+  const double saved_lower = resume::req_finite(value, "step_lower_bound");
+  FLAML_PARSE_REQUIRE(saved_lower == step_lower_bound_,
+                      "flow2 step_lower_bound mismatch (different space/options)");
+  const int saved_stall = static_cast<int>(
+      resume::req_int(value, "stall_threshold", 1, options_.max_stall_cap));
+  FLAML_PARSE_REQUIRE(saved_stall == stall_threshold_,
+                      "flow2 stall_threshold mismatch (different space/options)");
+
+  resume::restore_rng(rng_, value, "rng");
+  incumbent_ = point_from_json(value, "incumbent", dim, 0.0, 1.0);
+  incumbent_error_ = resume::req_double(value, "incumbent_error");
+  has_incumbent_ = resume::req_bool(value, "has_incumbent");
+  best_config_ = resume::req_config(value, "best_config");
+  for (const auto& [name, v] : best_config_) {
+    FLAML_PARSE_REQUIRE(space_->contains(name),
+                        "flow2 best_config parameter '" << name
+                                                        << "' not in the space");
+    FLAML_PARSE_REQUIRE(std::isfinite(v),
+                        "flow2 best_config value for '" << name
+                                                        << "' must be finite");
+  }
+  best_error_ = resume::req_double(value, "best_error");
+  has_best_ = resume::req_bool(value, "has_best");
+  FLAML_PARSE_REQUIRE(has_best_ == std::isfinite(best_error_),
+                      "flow2 best_error must be finite exactly when has_best");
+
+  const std::string& phase = resume::req_string(value, "phase");
+  if (phase == "init") {
+    phase_ = Phase::Init;
+  } else if (phase == "forward") {
+    phase_ = Phase::Forward;
+  } else if (phase == "backward") {
+    phase_ = Phase::Backward;
+  } else {
+    FLAML_PARSE_REQUIRE(false, "unknown flow2 phase '" << phase << "'");
+  }
+
+  // Direction / pending are empty before the first sphere draw and `dim`
+  // coordinates afterwards.
+  const std::size_t dir_size = resume::req_array(value, "direction", dim).array.size();
+  direction_ = dir_size == 0 ? std::vector<double>()
+                             : point_from_json(value, "direction", dim, -1.0, 1.0);
+  const std::size_t pending_size =
+      resume::req_array(value, "pending", dim).array.size();
+  pending_ = pending_size == 0 ? std::vector<double>()
+                               : point_from_json(value, "pending", dim, 0.0, 1.0);
+  ask_outstanding_ = resume::req_bool(value, "ask_outstanding");
+  FLAML_PARSE_REQUIRE(!ask_outstanding_ || pending_size == dim,
+                      "flow2 outstanding ask without a pending point");
+
+  step_ = resume::req_finite(value, "step");
+  FLAML_PARSE_REQUIRE(step_ > 0.0, "flow2 step must be positive");
+  // Not capped by stall_threshold_: with adaptation off (sub-full sample
+  // sizes) the stall counter grows without triggering a shrink.
+  consecutive_no_improvement_ = static_cast<int>(
+      resume::req_int(value, "consecutive_no_improvement", 0, 1 << 30));
+  iters_since_restart_ = static_cast<long>(
+      resume::req_int(value, "iters_since_restart", 0, 1LL << 40));
+  best_iter_since_restart_ = static_cast<long>(
+      resume::req_int(value, "best_iter_since_restart", 0, 1LL << 40));
+  FLAML_PARSE_REQUIRE(best_iter_since_restart_ <= iters_since_restart_,
+                      "flow2 best iteration is after the iteration counter");
+  adapt_ = resume::req_bool(value, "adapt");
+  converged_ = resume::req_bool(value, "converged");
+  n_restarts_ = static_cast<int>(resume::req_int(value, "n_restarts", 0, 1 << 30));
 }
 
 }  // namespace flaml

@@ -86,6 +86,16 @@ class Flow2 {
   // scopes the tracer with the learner name (Tracer::with).
   void set_tracer(observe::Tracer tracer) { tracer_ = std::move(tracer); }
 
+  // Checkpoint/resume (src/resume): the complete walk state — incumbent,
+  // step size, direction phase, stall/restart counters and the direction-
+  // seed RNG stream — round-trips exactly, so a restored tuner continues
+  // the walk bit-for-bit. from_json overwrites this tuner's state; the
+  // tuner must have been constructed over the SAME ConfigSpace (dimension
+  // and derived step bounds are cross-checked). Throws SerializationError
+  // on any missing/ill-typed/inconsistent field.
+  JsonValue to_json() const;
+  void from_json(const JsonValue& value);
+
   const ConfigSpace& space() const { return *space_; }
 
  private:

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <sstream>
+#include <vector>
 
 #include "data/generators.h"
 #include "support/prop.h"
@@ -145,6 +148,115 @@ TEST(Csv, MissingFileRejected) {
 }
 
 // ---------------------------------------------------------------------------
+// Loader edge cases: line endings, trailing fields/newlines, and the
+// non-finite cell spellings std::from_chars accepts.
+// ---------------------------------------------------------------------------
+
+TEST(Csv, CrlfLineEndingsParse) {
+  std::istringstream in("a,y\r\n1.5,2\r\n3,4\r\n");
+  CsvOptions options;
+  options.task = Task::Regression;
+  Dataset data = read_csv(in, options);
+  ASSERT_EQ(data.n_rows(), 2u);
+  EXPECT_EQ(data.column_info(0).name, "a");  // no stray \r in the header
+  EXPECT_FLOAT_EQ(data.value(0, 0), 1.5f);
+  EXPECT_DOUBLE_EQ(data.label(1), 4.0);
+}
+
+TEST(Csv, MissingTrailingNewlineParses) {
+  std::istringstream in("a,y\n1,2\n3,4");  // file ends mid-line
+  CsvOptions options;
+  options.task = Task::Regression;
+  Dataset data = read_csv(in, options);
+  ASSERT_EQ(data.n_rows(), 2u);
+  EXPECT_DOUBLE_EQ(data.label(1), 4.0);
+}
+
+TEST(Csv, EmptyTrailingFieldIsMissingFeature) {
+  // The label is the FIRST column, so a line ending in the delimiter has an
+  // empty final feature cell — a missing value, not a ragged row.
+  std::istringstream in("y,a\n1,\n2,3\n");
+  CsvOptions options;
+  options.task = Task::Regression;
+  options.label_column = "y";
+  Dataset data = read_csv(in, options);
+  ASSERT_EQ(data.n_rows(), 2u);
+  EXPECT_TRUE(Dataset::is_missing(data.value(0, 0)));
+  EXPECT_FLOAT_EQ(data.value(1, 0), 3.0f);
+}
+
+TEST(Csv, EmptyTrailingLabelRejected) {
+  // Same shape but the label is the LAST column: the empty cell is now a
+  // missing label, which is an error, not a missing value.
+  std::istringstream in("a,y\n1,\n");
+  CsvOptions options;
+  options.task = Task::Regression;
+  EXPECT_THROW(read_csv(in, options), InvalidArgument);
+}
+
+TEST(Csv, NanCellIsMissingValue) {
+  // std::from_chars parses "nan" as a float NaN, which is the dataset's
+  // missing-value encoding — same meaning as an empty cell.
+  std::istringstream in("a,b,y\nnan,1,2\nNaN,3,4\n");
+  CsvOptions options;
+  options.task = Task::Regression;
+  Dataset data = read_csv(in, options);
+  ASSERT_EQ(data.n_rows(), 2u);
+  EXPECT_TRUE(Dataset::is_missing(data.value(0, 0)));
+  EXPECT_TRUE(Dataset::is_missing(data.value(1, 0)));
+  EXPECT_EQ(data.column_info(0).type, ColumnType::Numeric);
+}
+
+TEST(Csv, InfCellParsesAsInfiniteFeature) {
+  std::istringstream in("a,y\ninf,1\n-inf,2\n3,4\n");
+  CsvOptions options;
+  options.task = Task::Regression;
+  Dataset data = read_csv(in, options);
+  ASSERT_EQ(data.n_rows(), 3u);
+  EXPECT_EQ(data.column_info(0).type, ColumnType::Numeric);
+  EXPECT_TRUE(std::isinf(data.value(0, 0)));
+  EXPECT_GT(data.value(0, 0), 0.0f);
+  EXPECT_TRUE(std::isinf(data.value(1, 0)));
+  EXPECT_LT(data.value(1, 0), 0.0f);
+}
+
+TEST(Csv, NonFiniteRegressionLabelRejected) {
+  {
+    std::istringstream in("a,y\n1,nan\n");
+    CsvOptions options;
+    options.task = Task::Regression;
+    EXPECT_THROW(read_csv(in, options), InvalidArgument);
+  }
+  {
+    std::istringstream in("a,y\n1,inf\n");
+    CsvOptions options;
+    options.task = Task::Regression;
+    EXPECT_THROW(read_csv(in, options), InvalidArgument);
+  }
+}
+
+TEST(Csv, MissingValuesSurviveWriteReadRoundTrip) {
+  std::istringstream in("a,b,y\n1,,2\n,3,4\n");
+  CsvOptions options;
+  options.task = Task::Regression;
+  Dataset data = read_csv(in, options);
+
+  std::ostringstream out;
+  write_csv(out, DataView(data));
+  std::istringstream in2(out.str());
+  CsvOptions options2;
+  options2.task = Task::Regression;
+  options2.label_column = "label";
+  Dataset back = read_csv(in2, options2);
+  ASSERT_EQ(back.n_rows(), 2u);
+  EXPECT_TRUE(Dataset::is_missing(back.value(0, 1)));
+  EXPECT_TRUE(Dataset::is_missing(back.value(1, 0)));
+  EXPECT_FLOAT_EQ(back.value(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(back.value(1, 1), 3.0f);
+}
+
+
+// ---------------------------------------------------------------------------
 // Round-trip fuzz (tests/support/prop.h): random synthetic datasets survive
 // write_csv → read_csv with every float/double bit intact. write_csv uses
 // std::to_chars shortest representations, so equality here is exact, not
@@ -211,6 +323,52 @@ FLAML_PROP(CsvProp, RandomDatasetRoundTripsBitwise, 30) {
     EXPECT_EQ(double_bits(data.label(r)), double_bits(parsed.label(r)))
         << "label row " << r << ": " << data.label(r) << " vs "
         << parsed.label(r);
+  }
+}
+
+// Adversarial float bit patterns — subnormals, extremes, negative zero,
+// values whose default 6-digit stream form would NOT round-trip — must
+// survive write_csv's shortest-form std::to_chars encoding bitwise.
+FLAML_PROP(CsvProp, ExtremeFloatsRoundTripBitwise, 40) {
+  std::vector<float> pool = {
+      0.0f,
+      -0.0f,
+      std::numeric_limits<float>::min(),
+      std::numeric_limits<float>::denorm_min(),
+      -std::numeric_limits<float>::denorm_min(),
+      std::numeric_limits<float>::max(),
+      std::numeric_limits<float>::lowest(),
+      std::numeric_limits<float>::epsilon(),
+      0.1f,
+      1.0f / 3.0f,
+      16777217.0f,  // just past the last exactly-representable integer
+  };
+  // Plus random bit patterns, rejecting NaN (NaN is the missing encoding)
+  // and inf.
+  while (pool.size() < 16) {
+    std::uint32_t bits = static_cast<std::uint32_t>(prop.rng.next());
+    float v;
+    std::memcpy(&v, &bits, sizeof v);
+    if (std::isnan(v) || std::isinf(v)) continue;
+    pool.push_back(v);
+  }
+
+  Dataset data(Task::Regression, {{"x", ColumnType::Numeric, 0}});
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    data.add_row({pool[i]}, static_cast<double>(i));
+  }
+
+  std::ostringstream out;
+  write_csv(out, DataView(data));
+  std::istringstream in(out.str());
+  CsvOptions options;
+  options.task = Task::Regression;
+  options.label_column = "label";
+  Dataset back = read_csv(in, options);
+  ASSERT_EQ(back.n_rows(), pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_EQ(float_bits(back.value(i, 0)), float_bits(pool[i]))
+        << "value " << pool[i] << " (seed " << prop.seed << ")";
   }
 }
 

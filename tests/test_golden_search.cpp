@@ -1,0 +1,105 @@
+// Golden end-to-end search regression: a fixed-seed stub-lineup search is a
+// pure function of its options, so its ENTIRE trial history — every learner
+// choice, config, sample size and the exact double bits of every error and
+// cost — can be pinned as one FNV-1a digest. Any unintended change to the
+// proposer, FLOW2, the ECI bookkeeping, the RNG, the sample schedule or the
+// trial runner shows up here as a digest mismatch, with the full history
+// printed for diffing.
+//
+// If a change to the search loop is INTENTIONAL, re-pin the constants below
+// from the test's failure output and call the change out in the PR.
+#include "automl/automl.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "support/resume_test_util.h"
+
+namespace flaml {
+namespace {
+
+using testing::add_resume_lineup;
+using testing::resume_options;
+using testing::resume_tiny_binary;
+
+std::uint64_t fnv1a_append(std::uint64_t h, const std::string& s) {
+  for (unsigned char c : s) h = (h ^ c) * 0x100000001b3ULL;
+  return h;
+}
+
+std::string double_hex(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  std::ostringstream os;
+  os << std::hex << bits;
+  return os.str();
+}
+
+// Canonical, platform-independent rendering of one trial record (excluding
+// the wall-clock finished_at), digested with FNV-1a 64.
+std::string canonical_history(const TrialHistory& history) {
+  std::ostringstream os;
+  for (const TrialRecord& r : history) {
+    os << r.iteration << '|' << r.learner << '|';
+    for (const auto& [name, value] : r.config) {
+      os << name << '=' << double_hex(value) << ',';
+    }
+    os << '|' << r.sample_size << '|' << double_hex(r.error) << '|'
+       << double_hex(r.cost) << '|' << double_hex(r.best_error_so_far) << '\n';
+  }
+  return os.str();
+}
+
+std::uint64_t history_digest(const TrialHistory& history) {
+  return fnv1a_append(0xcbf29ce484222325ULL, canonical_history(history));
+}
+
+void expect_golden(const AutoML& automl, std::uint64_t expected_digest,
+                   const std::string& expected_best_learner,
+                   const std::string& what) {
+  const std::uint64_t digest = history_digest(automl.history());
+  EXPECT_EQ(automl.best_learner(), expected_best_learner) << what;
+  std::ostringstream got;
+  got << std::hex << digest;
+  std::ostringstream want;
+  want << std::hex << expected_digest;
+  EXPECT_EQ(got.str(), want.str())
+      << what << ": the search history changed. If intentional, re-pin the "
+      << "digest. Full history:\n"
+      << canonical_history(automl.history());
+}
+
+// Pinned digests of the seed-42, 15-trial stub search (serial and
+// n_parallel=2). Re-pin ONLY for intentional search-behavior changes.
+constexpr std::uint64_t kSerialDigest = 0xfdd0fbff7852ce12ULL;
+constexpr const char* kSerialBestLearner = "stub_fast";
+constexpr std::uint64_t kParallelDigest = 0x2ef12b227d53ce3eULL;
+constexpr const char* kParallelBestLearner = "stub_fast";
+
+TEST(GoldenSearch, SerialHistoryDigestIsPinned) {
+  const Dataset data = resume_tiny_binary(1001);
+  AutoML automl;
+  add_resume_lineup(automl);
+  automl.fit(data, resume_options(42, 15));
+  ASSERT_EQ(automl.history().size(), 15u);
+  expect_golden(automl, kSerialDigest, kSerialBestLearner, "serial golden");
+}
+
+TEST(GoldenSearch, ParallelHistoryDigestIsPinned) {
+  const Dataset data = resume_tiny_binary(1001);
+  AutoMLOptions options = resume_options(42, 15);
+  options.n_parallel = 2;
+  AutoML automl;
+  add_resume_lineup(automl);
+  automl.fit(data, options);
+  ASSERT_EQ(automl.history().size(), 15u);
+  expect_golden(automl, kParallelDigest, kParallelBestLearner,
+                "parallel golden");
+}
+
+}  // namespace
+}  // namespace flaml

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "automl/automl.h"
+#include "boosting/gbdt.h"
 #include "data/generators.h"
 #include "forest/forest.h"
 #include "linear/linear_model.h"
@@ -195,6 +196,193 @@ TEST(ModelIo, DefaultModelSaveUnsupported) {
   Dummy dummy;
   std::stringstream ss;
   EXPECT_THROW(dummy.save(ss), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial loader inputs: every loader consumes untrusted streams, so a
+// truncated, corrupted or oversized input must surface as InvalidArgument —
+// never UB, an out-of-bounds access or a multi-gigabyte allocation. Run
+// under ASan/UBSan via the sanitizer presets.
+// ---------------------------------------------------------------------------
+
+TEST(TreeIoAdversarial, OversizedNodeCountRejected) {
+  // Must throw on the count alone, before attempting the allocation.
+  std::stringstream ss("99999999999999999\n");
+  EXPECT_THROW(read_tree(ss), InvalidArgument);
+}
+
+TEST(TreeIoAdversarial, NegativeFeatureOnInternalNodeRejected) {
+  // Node 0 is internal (children 1, 2) but its feature index is -1: predict
+  // would read column -1.
+  std::stringstream ss(
+      "3\n"
+      "1 2 -1 0 0.5 -1 0 0 1\n"
+      "-1 -1 -1 0 0 -1 0 1.0 0\n"
+      "-1 -1 -1 0 0 -1 0 2.0 0\n"
+      "0\n");
+  EXPECT_THROW(read_tree(ss), InvalidArgument);
+}
+
+TEST(TreeIoAdversarial, ChildIndexOutOfRangeRejected) {
+  std::stringstream ss(
+      "2\n"
+      "1 5 0 0 0.5 -1 0 0 1\n"
+      "-1 -1 -1 0 0 -1 0 1.0 0\n"
+      "0\n");
+  EXPECT_THROW(read_tree(ss), InvalidArgument);
+}
+
+TEST(TreeIoAdversarial, CorruptedLeafDistributionsRejected) {
+  // More distributions than nodes.
+  std::stringstream more("1\n-1 -1 -1 0 0 -1 0 1.0 0\n2\n0 2 0.5 0.5\n0 2 0.5 0.5\n");
+  EXPECT_THROW(read_tree(more), InvalidArgument);
+  // Distribution attached to an out-of-range node.
+  std::stringstream bad_node("1\n-1 -1 -1 0 0 -1 0 1.0 0\n1\n7 2 0.5 0.5\n");
+  EXPECT_THROW(read_tree(bad_node), InvalidArgument);
+  // Oversized distribution length: typed error before the allocation.
+  std::stringstream huge("1\n-1 -1 -1 0 0 -1 0 1.0 0\n1\n0 99999999999999\n");
+  EXPECT_THROW(read_tree(huge), InvalidArgument);
+}
+
+TEST(TreeIoAdversarial, EveryTruncationRejected) {
+  Tree tree;
+  tree.node(0).feature = 1;
+  tree.node(0).threshold = 0.25f;
+  tree.split_leaf(0);
+  tree.leaf_distributions().assign(3, {});
+  tree.leaf_distributions()[1] = {0.25, 0.75};
+  std::stringstream full;
+  write_tree(full, tree);
+  const std::string text = full.str();
+  for (std::size_t n = 0; n < text.size(); ++n) {
+    std::stringstream damaged(text.substr(0, n));
+    EXPECT_THROW(read_tree(damaged), InvalidArgument)
+        << "prefix of " << n << " / " << text.size() << " bytes parsed";
+  }
+}
+
+TEST(GbdtIoAdversarial, CorruptHeadersRejected) {
+  {
+    std::stringstream ss("gbdt v1 7 2 1 0.0 0\n");  // task 7 does not exist
+    EXPECT_THROW(GBDTModel::load(ss), InvalidArgument);
+  }
+  {
+    std::stringstream ss("gbdt v1 0 -3 1 0.0 0\n");  // negative class count
+    EXPECT_THROW(GBDTModel::load(ss), InvalidArgument);
+  }
+  {
+    std::stringstream ss("gbdt v1 0 2 99999999999999\n");  // oversized bases
+    EXPECT_THROW(GBDTModel::load(ss), InvalidArgument);
+  }
+  {
+    std::stringstream ss("gbdt v1 0 2 1 0.0 99999999999999\n");  // tree count
+    EXPECT_THROW(GBDTModel::load(ss), InvalidArgument);
+  }
+  {
+    std::stringstream ss("gbdt v2 0 2 1 0.0 0\n");  // unknown version
+    EXPECT_THROW(GBDTModel::load(ss), InvalidArgument);
+  }
+}
+
+TEST(ForestIoAdversarial, CorruptHeadersRejected) {
+  {
+    std::stringstream ss("forest v1 9 2 1\n");  // task 9 does not exist
+    EXPECT_THROW(ForestModel::load(ss), InvalidArgument);
+  }
+  {
+    std::stringstream ss("forest v1 0 -1 1\n");  // negative class count
+    EXPECT_THROW(ForestModel::load(ss), InvalidArgument);
+  }
+  {
+    std::stringstream ss("forest v1 0 2 99999999999999\n");  // tree count
+    EXPECT_THROW(ForestModel::load(ss), InvalidArgument);
+  }
+}
+
+TEST(ForestIoAdversarial, TruncationSweepRejected) {
+  Dataset data = binary_data(120, 83);
+  ForestParams params;
+  params.n_trees = 3;
+  ForestModel model = train_forest(DataView(data), params);
+  std::stringstream full;
+  model.save(full);
+  const std::string text = full.str();
+  // Every 7th prefix keeps the sweep fast while still covering every
+  // structural section of the format.
+  for (std::size_t n = 0; n < text.size(); n += 7) {
+    std::stringstream damaged(text.substr(0, n));
+    EXPECT_THROW(ForestModel::load(damaged), InvalidArgument)
+        << "prefix of " << n << " / " << text.size() << " bytes parsed";
+  }
+}
+
+TEST(LinearIoAdversarial, CorruptHeadersRejected) {
+  {
+    std::stringstream ss("linear v1 5 2 1 1 0.0\n");  // task 5 does not exist
+    EXPECT_THROW(LinearModel::load(ss), InvalidArgument);
+  }
+  {
+    std::stringstream ss("linear v1 0 2 1 99999999999999\n");  // weight count
+    EXPECT_THROW(LinearModel::load(ss), InvalidArgument);
+  }
+  {
+    std::stringstream ss("linear v1 0 2 0 1 0.0\n");  // zero outputs
+    EXPECT_THROW(LinearModel::load(ss), InvalidArgument);
+  }
+}
+
+TEST(LinearIoAdversarial, EncoderRangeOverflowRejected) {
+  // A categorical plan whose [offset, offset + cardinality) range exceeds
+  // the encoder dimension: encode_row would write out of bounds (this is a
+  // regression test for exactly that heap overflow).
+  {
+    std::stringstream ss(
+        "linear v1 0 2 1 1 0.5\n"
+        "encoder v1\n1 1\n1 0 5 0 1\n");  // cardinality 5 into dim 1
+    EXPECT_THROW(LinearModel::load(ss), InvalidArgument);
+  }
+  {
+    std::stringstream ss(
+        "linear v1 0 2 1 1 0.5\n"
+        "encoder v1\n1 1\n0 3 0 0 1\n");  // numeric offset 3 into dim 1
+    EXPECT_THROW(LinearModel::load(ss), InvalidArgument);
+  }
+  {
+    std::stringstream ss(
+        "linear v1 0 2 1 1 0.5\n"
+        "encoder v1\n1 4\n1 0 -2 0 1\n");  // negative cardinality
+    EXPECT_THROW(LinearModel::load(ss), InvalidArgument);
+  }
+  {
+    std::stringstream ss(
+        "linear v1 0 2 1 1 0.5\n"
+        "encoder v1\n99999999999999 1\n");  // oversized plan count
+    EXPECT_THROW(LinearModel::load(ss), InvalidArgument);
+  }
+}
+
+TEST(AutoMlIoAdversarial, WrongLearnerNameRejected) {
+  std::stringstream ss("flaml-model v1 no_such_learner\n");
+  EXPECT_THROW(load_automl_model(ss), InvalidArgument);
+}
+
+TEST(AutoMlIoAdversarial, TruncatedModelBlobRejected) {
+  Dataset data = binary_data(200, 91);
+  AutoMLOptions options;
+  options.time_budget_seconds = 1e6;
+  options.max_iterations = 3;
+  options.estimator_list = {"lgbm"};
+  options.resampling = ResamplingPolicy::ForceHoldout;
+  AutoML automl;
+  automl.fit(data, options);
+  std::stringstream full;
+  automl.save_best_model(full);
+  const std::string text = full.str();
+  for (std::size_t n = 0; n < text.size(); n += 11) {
+    std::stringstream damaged(text.substr(0, n));
+    EXPECT_THROW(load_automl_model(damaged), InvalidArgument)
+        << "prefix of " << n << " / " << text.size() << " bytes parsed";
+  }
 }
 
 }  // namespace
