@@ -161,6 +161,8 @@ void AutoML::run_search(const Dataset& data, const AutoMLOptions& options,
   runner_options.n_threads = options.n_threads;
   runner_options.cost_model = options.trial_cost_model;
   runner_options.tracer = tracer;
+  runner_options.reuse_binned_data = options.reuse_binned_data;
+  runner_options.metrics = &metrics_;
   runner_ = std::make_unique<TrialRunner>(data, metric, runner_options);
   const std::size_t full_size = runner_->max_sample_size();
 
@@ -383,7 +385,7 @@ void AutoML::run_search(const Dataset& data, const AutoMLOptions& options,
                     const TrialResult& trial) {
     ++iteration_;
     elapsed_seconds_ = elapsed();
-    state.eci.record(trial.cost, trial.error);
+    state.eci.record(trial.cost, trial.error, trial.ok);
     if (proposal.grow_sample) {
       state.tuner->update_incumbent_error(trial.error);
     } else {

@@ -58,6 +58,15 @@ struct AutoMLOptions {
   int cv_folds = 5;
   double holdout_ratio = 0.1;
 
+  // Cross-trial binned-substrate cache (src/automl/substrate_cache.h): the
+  // trial runner fits+encodes each (sample rows, max_bin) histogram
+  // substrate once and shares it across trials, instead of every tree fit
+  // re-binning from scratch. Byte-identical search either way — pinned by
+  // the golden digest tests — so turning it off only trades speed for a
+  // smaller resident footprint. Counters surface in metrics() under
+  // "substrate_cache.*".
+  bool reuse_binned_data = true;
+
   // Paper-equivalent budget used by the resampling rule = real budget /
   // budget_scale (benches run at scaled-down budgets; the rule's thresholds
   // are calibrated for paper-scale budgets).
@@ -231,6 +240,9 @@ class AutoML {
   // Fit results.
   const Dataset* data_ = nullptr;
   std::vector<LearnerState> states_;
+  // Declared before runner_: the runner's substrate cache holds a pointer
+  // to this registry, so the registry must outlive the runner.
+  observe::MetricsRegistry metrics_;
   std::unique_ptr<TrialRunner> runner_;
   std::unique_ptr<Model> best_model_;
   std::vector<std::unique_ptr<Model>> ensemble_models_;
@@ -241,7 +253,6 @@ class AutoML {
   std::size_t best_sample_size_ = 0;
   Resampling resampling_used_ = Resampling::Holdout;
   TrialHistory history_;
-  observe::MetricsRegistry metrics_;
 
   // Search-loop state promoted to members so it can be checkpointed mid-fit
   // and restored on resume (formerly fit() locals).

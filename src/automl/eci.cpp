@@ -14,10 +14,11 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kMinEci = 1e-9;
 }  // namespace
 
-void EciState::record(double cost, double error) {
+void EciState::record(double cost, double error, bool ok) {
   FLAML_CHECK_MSG(cost > 0.0, "trial cost must be positive");
   k0 += cost;
   last_trial_cost = cost;
+  if (ok) last_ok_cost = cost;
   ++n_trials;
   if (error < best_error) {
     prev_best_error = best_error;
@@ -38,7 +39,13 @@ double EciState::eci1() const {
 double EciState::eci2(double c, bool can_grow) const {
   if (!can_grow) return kInf;
   if (!tried()) return kInf;  // must try the initial config first
-  return std::max(c * last_trial_cost, kMinEci);
+  // κ = the last COMPLETED trial's cost (§4.2: ECI2 = c·κ with κ the cost
+  // of the current config). A killed/failed trial's charge is how long an
+  // aborted fit ran, not what a finished one costs; falling back to it
+  // only when the learner has never completed a trial keeps ECI2 finite so
+  // such learners are still comparable (and de-prioritized via ECI1).
+  const double kappa = last_ok_cost > 0.0 ? last_ok_cost : last_trial_cost;
+  return std::max(c * kappa, kMinEci);
 }
 
 double EciState::eci(double global_best_error, double c, bool can_grow) const {
@@ -72,6 +79,7 @@ JsonValue EciState::to_json() const {
   out.set("best_error", resume::json_double(best_error));
   out.set("prev_best_error", resume::json_double(prev_best_error));
   out.set("last_trial_cost", resume::json_double(last_trial_cost));
+  out.set("last_ok_cost", resume::json_double(last_ok_cost));
   out.set("n_trials", JsonValue::make_number(n_trials));
   out.set("initial_eci1", resume::json_double(initial_eci1));
   return out;
@@ -92,6 +100,10 @@ EciState EciState::from_json(const JsonValue& value) {
   state.last_trial_cost = resume::req_finite(value, "last_trial_cost");
   FLAML_PARSE_REQUIRE(state.last_trial_cost >= 0.0,
                       "eci last_trial_cost must be >= 0");
+  state.last_ok_cost = resume::req_finite(value, "last_ok_cost");
+  // An Ok cost is one of the charged costs, so it can never exceed the total.
+  FLAML_PARSE_REQUIRE(state.last_ok_cost >= 0.0 && state.last_ok_cost <= state.k0,
+                      "eci last_ok_cost must be in [0, k0]");
   state.n_trials =
       static_cast<int>(resume::req_int(value, "n_trials", 0, 1000000000));
   state.initial_eci1 = resume::req_finite(value, "initial_eci1");

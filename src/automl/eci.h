@@ -31,6 +31,12 @@ struct EciState {
   double prev_best_error = std::numeric_limits<double>::infinity();
   // Cost of the learner's current configuration (κ_l = last trial's cost).
   double last_trial_cost = 0.0;
+  // κ_l as ECI2 wants it: the cost of the most recent trial that actually
+  // FINISHED (status Ok). A killed trial's charged cost is the budget it
+  // burned before the kill at its own sample size — using it as κ in
+  // ECI2 = c·κ would estimate the doubling cost from an aborted fit.
+  // 0 until the learner has an Ok trial.
+  double last_ok_cost = 0.0;
   int n_trials = 0;
   // Cold-start ECI1 (multiplier × fastest learner's smallest cost);
   // negative until initialized.
@@ -39,7 +45,10 @@ struct EciState {
   bool tried() const { return n_trials > 0; }
 
   // Record a finished trial of cost `cost` with validation error `error`.
-  void record(double cost, double error);
+  // `ok` = the trial trained and scored a model (TrialStatus::Ok); killed
+  // and failed trials pass false so their charged-but-unfinished cost never
+  // becomes the κ of ECI2.
+  void record(double cost, double error, bool ok = true);
 
   double eci1() const;
   // c = sample-size multiplier; at full sample size pass can_grow = false.

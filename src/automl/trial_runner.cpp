@@ -19,7 +19,65 @@ namespace {
 // never do.
 constexpr std::uint64_t kSaltedTrialTag = 1ULL << 63;
 
+// Domain separator for the k-fold partition rng: folds for a given
+// (sample_size, k) are a pure function of (runner seed, this salt), which
+// is what lets the substrate cache memoize them.
+constexpr std::uint64_t kFoldSeedSalt = 0xc5f01d5ULL;
+
+// Domain separator for per-fold training seeds: fold f trains with
+// seed ^ ((f+1) * salt) so folds of one CV trial no longer share a seed,
+// while fold "none" (holdout, f = -1 conceptually) keeps the unsalted
+// value — holdout trials and their pinned golden digests are untouched.
+constexpr std::uint64_t kFoldSeedMix = 0xbf58476d1ce4e5b9ULL;
+
+// Per-class row counts (regression: one pseudo-class holding every row);
+// the only input fold sizes depend on.
+std::vector<std::size_t> class_row_counts(const DataView& view) {
+  if (is_classification(view.data().task())) {
+    std::vector<std::size_t> counts(
+        static_cast<std::size_t>(view.data().n_classes()), 0);
+    for (std::size_t i = 0; i < view.n_rows(); ++i) {
+      ++counts[static_cast<std::size_t>(view.label(i))];
+    }
+    return counts;
+  }
+  return {view.n_rows()};
+}
+
+// Mirrors fold_assignment's dealing (row j of a class goes to fold j % k):
+// fold f receives ceil((n_c - f) / k) rows of a class with n_c > f members.
+bool cv_k_usable(const std::vector<std::size_t>& class_counts, std::size_t n,
+                 int k) {
+  if (k < 2 || n < static_cast<std::size_t>(k)) return false;
+  const std::size_t uk = static_cast<std::size_t>(k);
+  std::size_t max_fold = 0;      // fold 0 is always the largest
+  std::size_t last_fold = 0;     // fold k-1 is always the smallest
+  for (std::size_t n_c : class_counts) {
+    max_fold += (n_c + uk - 1) / uk;
+    if (n_c >= uk) last_fold += (n_c - (uk - 1) + uk - 1) / uk;
+  }
+  // Every fold non-empty (enough that the smallest is) and the largest
+  // fold's complement — the smallest TRAIN side — still trains a model.
+  return last_fold >= 1 && n - max_fold >= 2;
+}
+
 }  // namespace
+
+int choose_cv_k(const DataView& view, int requested_k) {
+  const std::size_t n = view.n_rows();
+  if (n < 3) return 0;  // no split leaves >= 2 train rows + a valid row
+  const std::vector<std::size_t> counts = class_row_counts(view);
+  const int n_int = static_cast<int>(std::min<std::size_t>(
+      n, static_cast<std::size_t>(std::numeric_limits<int>::max())));
+  const int base = std::clamp(requested_k, 2, n_int);
+  for (int k = base; k <= n_int; ++k) {
+    if (cv_k_usable(counts, n, k)) return k;
+  }
+  for (int k = base - 1; k >= 2; --k) {
+    if (cv_k_usable(counts, n, k)) return k;
+  }
+  return 0;
+}
 
 const char* resampling_name(Resampling r) {
   return r == Resampling::CV ? "cv" : "holdout";
@@ -69,10 +127,31 @@ TrialRunner::TrialRunner(const Dataset& data, ErrorMetric metric, Options option
     std::vector<std::uint32_t> holdout_rows(shuffled.rows().begin() +
                                                 static_cast<std::ptrdiff_t>(n_train),
                                             shuffled.rows().end());
+    // Validate up front instead of letting a 1-row training view surface
+    // later as an opaque trainer error on every single trial.
+    if (n_train < 2) {
+      std::ostringstream os;
+      os << "holdout resampling on " << data.n_rows()
+         << " rows leaves only " << n_train
+         << " training row(s); need at least 2 (use more data or CV)";
+      throw DatasetTooSmall(os.str());
+    }
     train_view_ = DataView(data, std::move(train_rows));
     holdout_view_ = DataView(data, std::move(holdout_rows));
   } else {
     train_view_ = shuffled;
+    if (choose_cv_k(train_view_, options_.cv_folds) == 0) {
+      std::ostringstream os;
+      os << "cross-validation on " << data.n_rows()
+         << " rows: no fold count yields non-empty folds with >= 2 training "
+            "rows per fold (use more data or holdout)";
+      throw DatasetTooSmall(os.str());
+    }
+  }
+  if (options_.reuse_binned_data) {
+    substrate_cache_ = std::make_unique<SubstrateCache>(
+        &train_view_, options_.seed ^ kFoldSeedSalt, options_.tracer,
+        options_.metrics);
   }
 }
 
@@ -96,6 +175,7 @@ TrialResult TrialRunner::run(const Learner& learner, const Config& config,
   }
   try {
     DataView sample = train_view_.prefix(sample_size);
+    SubstrateCache* cache = substrate_cache_.get();
     if (options_.resampling == Resampling::Holdout) {
       TrainContext ctx;
       ctx.train = sample;
@@ -104,30 +184,62 @@ TrialResult TrialRunner::run(const Learner& learner, const Config& config,
       ctx.fail_on_deadline = true;
       ctx.seed = options_.seed ^ (trial_id * 0x9e3779b97f4a7c15ULL);
       ctx.n_threads = options_.n_threads;
+      if (cache != nullptr) {
+        ctx.substrate = [cache, sample_size](int max_bin) {
+          return cache->prefix(sample_size, max_bin);
+        };
+      }
       auto model = learner.train(ctx, config);
       result.error = metric_(model->predict(holdout_view_), holdout_view_.labels());
     } else {
-      // k-fold CV over the sample; average fold errors.
-      Rng fold_rng(options_.seed ^ 0xc5f01d5ULL);
-      int k = options_.cv_folds;
-      // Guard tiny samples: k can never exceed the sample size.
-      k = std::min<int>(k, static_cast<int>(sample.n_rows()));
-      if (k < 2) k = 2;
-      auto folds = kfold_split(sample, k, fold_rng);
+      // k-fold CV over the sample; average fold errors. The fold count is
+      // chosen analytically so every fold is non-empty and trainable —
+      // naive clamping to the sample size can still deal empty folds under
+      // stratification (e.g. 3 rows with class counts {2, 1} at k = 3).
+      const int k = choose_cv_k(sample, options_.cv_folds);
+      if (k == 0) {
+        // Inside the try: surfaces as a cleanly Failed trial, not a crash.
+        std::ostringstream os;
+        os << "no usable fold count for a " << sample.n_rows() << "-row sample";
+        throw DatasetTooSmall(os.str());
+      }
+      std::shared_ptr<const std::vector<Fold>> shared_folds;
+      std::vector<Fold> local_folds;
+      if (cache != nullptr) {
+        shared_folds = cache->folds(sample.n_rows(), k);
+      } else {
+        Rng fold_rng(options_.seed ^ kFoldSeedSalt);
+        local_folds = kfold_split(sample, k, fold_rng);
+      }
+      const std::vector<Fold>& folds =
+          shared_folds != nullptr ? *shared_folds : local_folds;
       double total_error = 0.0;
       // max_seconds == 0 means UNLIMITED (the TrainContext contract), so an
       // unlimited trial budget must map to an unlimited per-fold cap — not
       // to a zero cap that would kill every fold instantly.
       const double per_fold_cap =
           max_seconds > 0.0 ? max_seconds / static_cast<double>(k) : 0.0;
-      for (const auto& fold : folds) {
+      for (std::size_t f = 0; f < folds.size(); ++f) {
+        const Fold& fold = folds[f];
         TrainContext ctx;
         ctx.train = fold.train;
         ctx.valid = &fold.valid;
         ctx.max_seconds = per_fold_cap;
         ctx.fail_on_deadline = true;
-        ctx.seed = options_.seed ^ (trial_id * 0x9e3779b97f4a7c15ULL);
+        // Salt the training seed with the fold index: without it every
+        // fold of a CV trial trains with the IDENTICAL seed, so seeded
+        // randomness (bootstraps, column sampling) is correlated across
+        // folds and the averaged error under-estimates variance.
+        ctx.seed = options_.seed ^ (trial_id * 0x9e3779b97f4a7c15ULL) ^
+                   ((static_cast<std::uint64_t>(f) + 1) * kFoldSeedMix);
         ctx.n_threads = options_.n_threads;
+        if (cache != nullptr) {
+          const std::size_t n_sample = sample.n_rows();
+          const int fold_index = static_cast<int>(f);
+          ctx.substrate = [cache, n_sample, k, fold_index](int max_bin) {
+            return cache->fold_train(n_sample, k, fold_index, max_bin);
+          };
+        }
         auto model = learner.train(ctx, config);
         total_error += metric_(model->predict(fold.valid), fold.valid.labels());
       }
@@ -162,6 +274,12 @@ std::unique_ptr<Model> TrialRunner::train_final(const Learner& learner,
   ctx.max_seconds = max_seconds;
   ctx.seed = options_.seed;
   ctx.n_threads = options_.n_threads;
+  if (SubstrateCache* cache = substrate_cache_.get()) {
+    // The full training view is the n_rows prefix of itself, so the final
+    // retrain reuses the search's largest-sample substrate when one exists.
+    const std::size_t n = train_view_.n_rows();
+    ctx.substrate = [cache, n](int max_bin) { return cache->prefix(n, max_bin); };
+  }
   return learner.train(ctx, config);
 }
 

@@ -17,12 +17,14 @@
 #include <memory>
 #include <optional>
 
+#include "automl/substrate_cache.h"
 #include "common/clock.h"
 #include "common/json.h"
 #include "common/rng.h"
 #include "data/split.h"
 #include "learners/learner.h"
 #include "metrics/error_metric.h"
+#include "observe/metrics.h"
 #include "observe/trace.h"
 
 namespace flaml {
@@ -42,6 +44,15 @@ inline constexpr double kCvMaxCellRatePerHour = 1e7;         // n·d/hours < 10M
 // the real scaled-down budget by their budget scale).
 Resampling propose_resampling(std::size_t n_instances, std::size_t n_features,
                               double budget_seconds);
+
+// Pick a usable fold count for k-fold CV over `view`: every fold non-empty
+// and every fold's TRAIN side at least 2 rows (the trainers' floor). Fold
+// sizes under the stratified dealing are a pure function of (per-class row
+// counts, k) — never the shuffle — so usability is decided analytically.
+// Prefers requested_k clamped to [2, n]; failing that, the nearest usable k
+// above it, then below. Returns 0 when NO k in [2, n] works (e.g. a 3-row
+// classification view with class counts {2, 1}).
+int choose_cv_k(const DataView& view, int requested_k);
 
 // How a trial ended: Ok = a model was trained and scored; Killed = the fit
 // overran max_seconds and was aborted (DeadlineExceeded); Failed = the
@@ -83,8 +94,20 @@ class TrialRunner {
     // from the calling thread, so in parallel search mode the sink sees
     // concurrent emissions (sinks are thread-safe by contract).
     observe::Tracer tracer;
+    // Serve trials a shared cross-trial binned substrate (substrate_cache.h)
+    // instead of letting every histogram fit re-bin its rows. Byte-identical
+    // either way (the determinism contract the golden tests pin); off only
+    // trades speed for a smaller resident footprint.
+    bool reuse_binned_data = true;
+    // When set, the substrate cache mirrors its hit/miss/bytes counters
+    // here (names prefixed "substrate_cache."). May be null.
+    observe::MetricsRegistry* metrics = nullptr;
   };
 
+  // Throws DatasetTooSmall when the resampling setup cannot produce a
+  // trainable split: holdout leaving fewer than 2 training rows, or a CV
+  // view where no fold count yields non-empty folds with >= 2 training
+  // rows per fold.
   TrialRunner(const Dataset& data, ErrorMetric metric, Options options);
 
   // Number of rows available for training samples (full data minus the
@@ -130,6 +153,10 @@ class TrialRunner {
   JsonValue to_json() const;
   void from_json(const JsonValue& value);
 
+  // Null when Options::reuse_binned_data is off. Exposed for tests and
+  // benches that assert on hit/miss/bytes counters.
+  const SubstrateCache* substrate_cache() const { return substrate_cache_.get(); }
+
  private:
   const Dataset* data_;
   ErrorMetric metric_;
@@ -138,6 +165,9 @@ class TrialRunner {
   WallClock clock_;
   DataView train_view_;    // shuffled; samples are prefixes of this
   DataView holdout_view_;  // empty when resampling == CV
+  // Built in the constructor (reuse_binned_data); no checkpoint state —
+  // contents are rebuilt on demand, a resumed run just starts cold.
+  std::unique_ptr<SubstrateCache> substrate_cache_;
   std::atomic<std::uint64_t> trial_counter_{0};
 };
 

@@ -51,6 +51,10 @@ struct GBDTParams {
   // on the shared_pool(). Boosting is sequential across trees, so threads
   // work inside each tree; any value yields the bit-identical model.
   int n_threads = 1;
+  // Optional prebuilt fit+encode of exactly the training rows at max_bin
+  // (tree/binning.h). Null return or a rows/max_bin mismatch falls back to
+  // a fresh fit; either way the model is byte-identical.
+  SubstrateProvider substrate;
 };
 
 class GBDTModel {

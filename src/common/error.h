@@ -18,6 +18,17 @@ class InvalidArgument : public std::invalid_argument {
   explicit InvalidArgument(const std::string& msg) : std::invalid_argument(msg) {}
 };
 
+// Thrown when a dataset (or a resampling carve of it) leaves too few rows
+// to train on — e.g. a holdout split whose training side would be a single
+// row, or a view where no cross-validation fold count yields non-empty
+// folds with >= 2 training rows per fold. Subclasses InvalidArgument so
+// existing catch sites keep working; typed so callers can tell "your data
+// is too small for this resampling setup" apart from other bad arguments.
+class DatasetTooSmall : public InvalidArgument {
+ public:
+  explicit DatasetTooSmall(const std::string& msg) : InvalidArgument(msg) {}
+};
+
 // Thrown when an internal invariant is violated; indicates a library bug.
 class InternalError : public std::logic_error {
  public:

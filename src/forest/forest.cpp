@@ -112,8 +112,18 @@ ForestModel train_forest(const DataView& train, const ForestParams& params) {
     return built >= 1;
   };
 
-  BinMapper mapper = BinMapper::fit(train, params.max_bin);
-  BinnedMatrix binned = mapper.encode(train);
+  // Shared cross-trial substrate when available for exactly these rows at
+  // this max_bin; otherwise fit fresh. Byte-identical either way.
+  std::shared_ptr<const BinnedSubstrate> shared =
+      params.substrate ? params.substrate(params.max_bin) : nullptr;
+  if (shared != nullptr && (shared->max_bin != params.max_bin ||
+                            shared->binned.n_rows() != train.n_rows())) {
+    shared = nullptr;
+  }
+  BinnedSubstrate local;
+  if (shared == nullptr) local = build_substrate(train, params.max_bin);
+  const BinMapper& mapper = shared ? shared->mapper : local.mapper;
+  const BinnedMatrix& binned = shared ? shared->binned : local.binned;
 
   ForestModel model(task, dataset.n_classes());
 

@@ -40,6 +40,10 @@ struct ForestParams {
   // forest (deadline-limited runs excepted: wall-clock cutoffs are
   // inherently schedule-dependent).
   int n_threads = 1;
+  // Optional prebuilt fit+encode of exactly the training rows at max_bin
+  // (tree/binning.h). Null return or a rows/max_bin mismatch falls back to
+  // a fresh fit; either way the model is byte-identical.
+  SubstrateProvider substrate;
 };
 
 class ForestModel {

@@ -55,6 +55,7 @@ ForestParams forest_params(const TrainContext& ctx, const Config& config,
   params.fail_on_deadline = ctx.fail_on_deadline;
   params.seed = ctx.seed;
   params.n_threads = ctx.n_threads;
+  params.substrate = ctx.substrate;
   return params;
 }
 

@@ -101,6 +101,7 @@ std::unique_ptr<Model> LightGbmLearner::train(const TrainContext& ctx,
   params.fail_on_deadline = ctx.fail_on_deadline;
   params.seed = ctx.seed;
   params.n_threads = ctx.n_threads;
+  params.substrate = ctx.substrate;
   return std::make_unique<GbdtModelWrapper>(train_gbdt(ctx.train, nullptr, params),
                                             ctx.n_threads);
 }
@@ -132,6 +133,7 @@ std::unique_ptr<Model> XgboostLearner::train(const TrainContext& ctx,
   params.fail_on_deadline = ctx.fail_on_deadline;
   params.seed = ctx.seed;
   params.n_threads = ctx.n_threads;
+  params.substrate = ctx.substrate;
   return std::make_unique<GbdtModelWrapper>(train_gbdt(ctx.train, nullptr, params),
                                             ctx.n_threads);
 }
@@ -173,6 +175,7 @@ std::unique_ptr<Model> CatBoostLearner::train(const TrainContext& ctx,
   params.n_threads = ctx.n_threads;
 
   if (ctx.valid != nullptr && ctx.valid->n_rows() > 0) {
+    params.substrate = ctx.substrate;
     return std::make_unique<GbdtModelWrapper>(
         train_gbdt(ctx.train, ctx.valid, params), ctx.n_threads);
   }
@@ -182,9 +185,13 @@ std::unique_ptr<Model> CatBoostLearner::train(const TrainContext& ctx,
   if (n < 20) {
     params.early_stopping_rounds = 0;
     params.n_trees = 50;
+    params.substrate = ctx.substrate;
     return std::make_unique<GbdtModelWrapper>(
         train_gbdt(ctx.train, nullptr, params), ctx.n_threads);
   }
+  // Internal 90/10 carve: training runs on a subset of ctx.train's rows, so
+  // the provider's substrate (keyed to ctx.train exactly) does not apply;
+  // the trainer's row-count guard would reject it anyway.
   std::vector<std::uint32_t> train_rows, valid_rows;
   for (std::size_t i = 0; i < n; ++i) {
     (i % 10 == 9 ? valid_rows : train_rows).push_back(ctx.train.row_index(i));

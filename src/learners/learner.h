@@ -13,6 +13,7 @@
 
 #include "data/dataset.h"
 #include "metrics/error_metric.h"
+#include "tree/binning.h"
 #include "tuners/config_space.h"
 
 namespace flaml {
@@ -49,6 +50,12 @@ struct TrainContext {
   // learners parallelize histogram build / split finding / prediction).
   // Any value must produce the bit-identical model; 1 = serial.
   int n_threads = 1;
+  // Optional cross-trial binned-substrate provider (tree/binning.h). When
+  // set, histogram trainers ask it for a prebuilt fit+encode of exactly
+  // ctx.train's rows instead of re-binning; a null return — or a substrate
+  // whose rows/max_bin do not match — falls back to a fresh fit, so a
+  // provider can never change the trained model, only skip redundant work.
+  SubstrateProvider substrate;
 };
 
 class Learner {

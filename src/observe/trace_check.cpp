@@ -130,6 +130,16 @@ class Checker {
     } else if (event.type == "trial_started") {
       require(index, event, "learner", JsonValue::Type::String);
       require(index, event, "sample_size", JsonValue::Type::Number);
+    } else if (event.type == "substrate_cache") {
+      const JsonValue* scope =
+          require(index, event, "scope", JsonValue::Type::String);
+      require(index, event, "sample_size", JsonValue::Type::Number);
+      require(index, event, "max_bin", JsonValue::Type::Number);
+      require(index, event, "bytes", JsonValue::Type::Number);
+      if (scope != nullptr && scope->str != "prefix" && scope->str != "fold") {
+        fail(index, "substrate_cache scope must be 'prefix' or 'fold', got '" +
+                        scope->str + "'");
+      }
     } else if (event.type == "run_summary") {
       check_run_summary(index, event);
     }

@@ -282,8 +282,8 @@ JsonValue parse_checkpoint(const std::string& text) {
   header >> magic >> version >> nbytes >> checksum_hex;
   FLAML_PARSE_REQUIRE(!header.fail(), "malformed checkpoint header");
   FLAML_PARSE_REQUIRE(magic == kMagic, "not a flaml checkpoint file");
-  FLAML_PARSE_REQUIRE(version == "v1", "unsupported checkpoint version '"
-                                           << version << "'");
+  FLAML_PARSE_REQUIRE(version == "v" + std::to_string(kCheckpointVersion),
+                      "unsupported checkpoint version '" << version << "'");
   FLAML_PARSE_REQUIRE(nbytes <= kMaxPayloadBytes, "checkpoint payload too large");
   const std::string payload_bytes = text.substr(eol + 1);
   FLAML_PARSE_REQUIRE(payload_bytes.size() == nbytes,

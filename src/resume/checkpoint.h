@@ -10,8 +10,9 @@
 // produces the identical trial history, best error and run-summary totals
 // as the never-interrupted run, serial and parallel.
 //
-// On-disk format (version 1):
-//   flaml-checkpoint v1 <nbytes> <fnv64hex>\n
+// On-disk format (version 2; v2 added the per-learner eci last_ok_cost
+// field — no silent migration, v1 files are rejected):
+//   flaml-checkpoint v2 <nbytes> <fnv64hex>\n
 //   <exactly nbytes bytes of compact JSON payload>
 // The FNV-1a 64 checksum covers the payload bytes, so ANY truncation or bit
 // flip — including ones that would still parse as valid JSON — surfaces as
@@ -31,7 +32,7 @@
 
 namespace flaml::resume {
 
-inline constexpr int kCheckpointVersion = 1;
+inline constexpr int kCheckpointVersion = 2;
 
 // FNV-1a 64-bit over a byte range (the payload checksum).
 std::uint64_t fnv1a64(const char* data, std::size_t n);

@@ -73,6 +73,37 @@ BinMapper BinMapper::fit(const DataView& view, int max_bin) {
   return mapper;
 }
 
+std::size_t BinnedSubstrate::bytes() const {
+  return binned.n_rows() * binned.n_features() * sizeof(std::uint16_t);
+}
+
+BinnedSubstrate build_substrate(const DataView& view, int max_bin) {
+  BinnedSubstrate substrate;
+  substrate.mapper = BinMapper::fit(view, max_bin);
+  substrate.binned = substrate.mapper.encode(view);
+  substrate.max_bin = max_bin;
+  return substrate;
+}
+
+BinnedView::BinnedView(const BinnedMatrix& matrix, std::size_t n_rows)
+    : matrix_(&matrix), n_rows_(n_rows) {
+  FLAML_REQUIRE(n_rows <= matrix.n_rows(),
+                "BinnedView of " << n_rows << " rows over a " << matrix.n_rows()
+                                 << "-row matrix");
+}
+
+BinnedMatrix BinnedView::materialize() const {
+  FLAML_REQUIRE(matrix_ != nullptr, "materialize() on an empty BinnedView");
+  BinnedMatrix out(n_rows_, matrix_->n_features());
+  for (std::size_t f = 0; f < matrix_->n_features(); ++f) {
+    const auto& src = matrix_->feature(f);
+    auto& dst = out.feature(f);
+    std::copy(src.begin(), src.begin() + static_cast<std::ptrdiff_t>(n_rows_),
+              dst.begin());
+  }
+  return out;
+}
+
 BinnedMatrix BinMapper::encode(const DataView& view) const {
   FLAML_REQUIRE(view.n_cols() == features_.size(), "schema mismatch in encode");
   BinnedMatrix binned(view.n_rows(), features_.size());

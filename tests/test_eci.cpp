@@ -74,6 +74,52 @@ TEST(Eci, Eci2IsTwiceLastCost) {
   EXPECT_DOUBLE_EQ(state.eci2(2.0, true), 10.0);
 }
 
+TEST(Eci, Eci2IgnoresKilledTrialCost) {
+  // §4.2: ECI2 = c·κ with κ the cost of the learner's current config. A
+  // killed trial's charged cost is how long the aborted fit ran before the
+  // kill, not what a finished fit costs — it must not become κ.
+  EciState state;
+  state.record(3.0, 0.5);                 // Ok: κ = 3
+  state.record(0.2, kInf, /*ok=*/false);  // killed early, charged 0.2
+  EXPECT_DOUBLE_EQ(state.eci2(2.0, true), 6.0)
+      << "killed trial's charge must not shrink ECI2";
+  state.record(4.0, 0.6);  // next Ok trial takes over as κ
+  EXPECT_DOUBLE_EQ(state.eci2(2.0, true), 8.0);
+}
+
+TEST(Eci, Eci2FallsBackToChargedCostWhenNeverOk) {
+  // A learner whose every trial was killed/failed still needs a finite,
+  // positive ECI2 so the 1/ECI sampling weights stay well defined; the
+  // charged cost of the most recent attempt is the only estimate available.
+  EciState state;
+  state.record(0.5, kInf, /*ok=*/false);
+  state.record(0.7, kInf, /*ok=*/false);
+  EXPECT_DOUBLE_EQ(state.eci2(2.0, true), 1.4);
+  EXPECT_TRUE(std::isfinite(state.eci2(2.0, true)));
+  // Failed trials still count toward the totals and raise ECI1.
+  EXPECT_DOUBLE_EQ(state.k0, 1.2);
+  // The combined ECI is usable too (best_error still infinite -> base rule).
+  EXPECT_GT(state.eci(0.3, 2.0, true), 0.0);
+}
+
+TEST(Eci, LastOkCostRoundTripsThroughJson) {
+  EciState state;
+  state.record(3.0, 0.5);
+  state.record(0.2, kInf, /*ok=*/false);
+  EciState restored = EciState::from_json(state.to_json());
+  EXPECT_DOUBLE_EQ(restored.last_ok_cost, 3.0);
+  EXPECT_DOUBLE_EQ(restored.last_trial_cost, 0.2);
+  EXPECT_DOUBLE_EQ(restored.eci2(2.0, true), state.eci2(2.0, true));
+}
+
+TEST(Eci, FromJsonRejectsOkCostAboveTotal) {
+  EciState state;
+  state.record(1.0, 0.5);
+  JsonValue json = state.to_json();
+  json.set("last_ok_cost", JsonValue::make_number(2.5));  // > k0
+  EXPECT_THROW(EciState::from_json(json), SerializationError);
+}
+
 TEST(Eci, Eci2InfiniteAtFullSampleSize) {
   EciState state;
   state.record(3.0, 0.5);

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <sstream>
@@ -99,6 +100,85 @@ TEST(GoldenSearch, ParallelHistoryDigestIsPinned) {
   ASSERT_EQ(automl.history().size(), 15u);
   expect_golden(automl, kParallelDigest, kParallelBestLearner,
                 "parallel golden");
+}
+
+// ---------------------------------------------------------------------------
+// Substrate-cache transparency goldens: with REAL tree learners (the stub
+// lineup never bins data), the search history with reuse_binned_data on must
+// be digest-identical to the history with it off. The cache serves shared
+// BinMapper fits keyed by the exact row set, so any divergence here means a
+// cached substrate differed from a fresh fit+encode — a correctness bug, not
+// something to re-pin.
+
+// Pure function of (learner, config, sample size): both runs being compared
+// see identical search decisions, so a history divergence can only come from
+// the trained models themselves.
+TrialCostModel real_cost_model() {
+  return [](const Learner& learner, const Config& config,
+            std::size_t sample_size) {
+    double config_sum = 0.0;
+    for (const auto& [name, value] : config) config_sum += std::abs(value);
+    return learner.initial_cost_multiplier() *
+               (0.05 + 0.001 * static_cast<double>(sample_size)) +
+           1e-6 * config_sum;
+  };
+}
+
+AutoMLOptions real_options(bool reuse_binned_data, ResamplingPolicy resampling,
+                           std::size_t n_parallel) {
+  AutoMLOptions options;
+  options.time_budget_seconds = 1e6;  // iteration budget terminates, not time
+  options.max_iterations = 10;
+  options.initial_sample_size = 32;
+  options.resampling = resampling;
+  options.estimator_list = {"lgbm", "rf"};
+  options.trial_cost_model = real_cost_model();
+  options.seed = 7;
+  options.n_parallel = n_parallel;
+  options.reuse_binned_data = reuse_binned_data;
+  return options;
+}
+
+void expect_cache_transparent(ResamplingPolicy resampling,
+                              std::size_t n_parallel, const std::string& what) {
+  const Dataset data = resume_tiny_binary(2024);
+  AutoML cached;
+  cached.fit(data, real_options(true, resampling, n_parallel));
+  AutoML fresh;
+  fresh.fit(data, real_options(false, resampling, n_parallel));
+  ASSERT_FALSE(cached.history().empty()) << what;
+  std::ostringstream got;
+  got << std::hex << history_digest(cached.history());
+  std::ostringstream want;
+  want << std::hex << history_digest(fresh.history());
+  EXPECT_EQ(got.str(), want.str())
+      << what << ": reuse_binned_data changed the search history — the "
+      << "substrate cache must be byte-transparent.\nCached history:\n"
+      << canonical_history(cached.history()) << "Fresh history:\n"
+      << canonical_history(fresh.history());
+  EXPECT_EQ(cached.best_learner(), fresh.best_learner()) << what;
+  EXPECT_DOUBLE_EQ(cached.best_error(), fresh.best_error()) << what;
+  // The cached run actually exercised the cache; the fresh run never built one.
+  EXPECT_GT(cached.metrics().value("substrate_cache.hits"), 0.0) << what;
+  EXPECT_DOUBLE_EQ(fresh.metrics().value("substrate_cache.hits"), 0.0) << what;
+}
+
+TEST(GoldenSearch, SubstrateCacheTransparentHoldoutSerial) {
+  expect_cache_transparent(ResamplingPolicy::ForceHoldout, 1,
+                           "holdout serial");
+}
+
+TEST(GoldenSearch, SubstrateCacheTransparentCvSerial) {
+  expect_cache_transparent(ResamplingPolicy::ForceCV, 1, "cv serial");
+}
+
+TEST(GoldenSearch, SubstrateCacheTransparentHoldoutParallel) {
+  expect_cache_transparent(ResamplingPolicy::ForceHoldout, 2,
+                           "holdout parallel");
+}
+
+TEST(GoldenSearch, SubstrateCacheTransparentCvParallel) {
+  expect_cache_transparent(ResamplingPolicy::ForceCV, 2, "cv parallel");
 }
 
 }  // namespace

@@ -199,7 +199,7 @@ JsonValue small_payload() {
 
 TEST(ResumeContainer, SerializeParseRoundTrip) {
   const std::string text = resume::serialize_checkpoint(small_payload());
-  ASSERT_EQ(text.rfind("flaml-checkpoint v1 ", 0), 0u) << text;
+  ASSERT_EQ(text.rfind("flaml-checkpoint v2 ", 0), 0u) << text;
   const JsonValue payload = resume::parse_checkpoint(text);
   EXPECT_EQ(payload.at("hello").str, "world");
   EXPECT_DOUBLE_EQ(payload.at("n").number, 3.0);
@@ -233,15 +233,17 @@ TEST(ResumeContainer, HeaderTamperingThrows) {
   ASSERT_NE(newline, std::string::npos);
   const std::string payload = text.substr(newline + 1);
 
-  EXPECT_THROW(resume::parse_checkpoint("flaml-model v1 1 0\n" + payload),
+  EXPECT_THROW(resume::parse_checkpoint("flaml-model v2 1 0\n" + payload),
                SerializationError);
+  // A non-current version (the retired v1 here) must be rejected, not
+  // silently migrated.
   EXPECT_THROW(
-      resume::parse_checkpoint("flaml-checkpoint v2 " +
+      resume::parse_checkpoint("flaml-checkpoint v1 " +
                                std::to_string(payload.size()) + " 0\n" + payload),
       SerializationError);
   // Declared length shorter / longer than the actual payload.
   EXPECT_THROW(
-      resume::parse_checkpoint("flaml-checkpoint v1 " +
+      resume::parse_checkpoint("flaml-checkpoint v2 " +
                                std::to_string(payload.size() - 1) + " 0\n" +
                                payload),
       SerializationError);
@@ -249,7 +251,7 @@ TEST(ResumeContainer, HeaderTamperingThrows) {
   EXPECT_THROW(resume::parse_checkpoint(text + "x"), SerializationError);
   // Absurd declared size must not allocate.
   EXPECT_THROW(
-      resume::parse_checkpoint("flaml-checkpoint v1 99999999999999 0\n"),
+      resume::parse_checkpoint("flaml-checkpoint v2 99999999999999 0\n"),
       SerializationError);
 }
 
@@ -300,7 +302,7 @@ TEST(ResumeCheckpoint, PayloadFieldCorruptionThrows) {
 
   {
     JsonValue bad = payload;
-    bad.set("version", JsonValue::make_number(2.0));
+    bad.set("version", JsonValue::make_number(3.0));
     EXPECT_THROW(resume::SearchCheckpoint::from_json(bad), SerializationError);
   }
   {

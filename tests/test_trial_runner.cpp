@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "data/generators.h"
 #include "learners/registry.h"
 
@@ -297,6 +299,171 @@ TEST(TrialRunner, DeadlineKillsTrialButNotFinalRetrain) {
 TEST(TrialRunner, ResamplingNames) {
   EXPECT_STREQ(resampling_name(Resampling::CV), "cv");
   EXPECT_STREQ(resampling_name(Resampling::Holdout), "holdout");
+}
+
+// --- Tiny datasets (2–5 rows): construction either fails with the typed
+// DatasetTooSmall or yields a runner whose trials actually work. ---
+
+// n rows of a trivially learnable binary problem with the requested class
+// counts (hand-built: the synthetic generators are unreliable below ~10
+// rows and these tests need EXACT class counts).
+Dataset tiny_binary(const std::vector<int>& class_counts) {
+  Dataset data(Task::BinaryClassification,
+               {{"x", ColumnType::Numeric, 0}, {"y", ColumnType::Numeric, 0}});
+  float v = 0.0f;
+  for (std::size_t label = 0; label < class_counts.size(); ++label) {
+    for (int i = 0; i < class_counts[label]; ++i) {
+      v += 1.0f;
+      data.add_row({v, label == 0 ? -v : v}, static_cast<double>(label));
+    }
+  }
+  return data;
+}
+
+Dataset tiny_regression(int n) {
+  Dataset data(Task::Regression, {{"x", ColumnType::Numeric, 0}});
+  for (int i = 0; i < n; ++i) {
+    data.add_row({static_cast<float>(i)}, static_cast<double>(i));
+  }
+  return data;
+}
+
+TEST(TrialRunnerTiny, HoldoutOnTwoRowsThrowsTyped) {
+  // 2 rows: 1 goes to the holdout set, leaving a 1-row training view that
+  // no trainer accepts. Regression: this used to construct fine and then
+  // fail opaquely inside every single trial.
+  Dataset data = tiny_binary({1, 1});
+  TrialRunner::Options options;
+  options.resampling = Resampling::Holdout;
+  EXPECT_THROW(
+      TrialRunner(data, ErrorMetric::default_for(data.task()), options),
+      DatasetTooSmall);
+}
+
+TEST(TrialRunnerTiny, CvOnTwoRowsThrowsTyped) {
+  Dataset data = tiny_binary({1, 1});
+  TrialRunner::Options options;
+  options.resampling = Resampling::CV;
+  EXPECT_THROW(
+      TrialRunner(data, ErrorMetric::default_for(data.task()), options),
+      DatasetTooSmall);
+}
+
+TEST(TrialRunnerTiny, CvWithNoUsableFoldCountThrowsTyped) {
+  // 3 rows, class counts {2, 1}: the stratified dealing gives fold sizes
+  // {2, 1} at k=2 (train side 1 row) and an EMPTY fold at k=3 — no k works.
+  // This used to surface as an InternalError from kfold_split's
+  // FLAML_CHECK; now it is a typed construction-time rejection.
+  Dataset data = tiny_binary({2, 1});
+  TrialRunner::Options options;
+  options.resampling = Resampling::CV;
+  EXPECT_THROW(
+      TrialRunner(data, ErrorMetric::default_for(data.task()), options),
+      DatasetTooSmall);
+}
+
+TEST(TrialRunnerTiny, ChooseCvKMatchesTheAnalyticRule) {
+  Dataset reg3 = tiny_regression(3);
+  // 3 regression rows: k=2 folds {2,1} leaves a 1-row train side; k=3
+  // (leave-one-out) leaves 2 — the only usable count.
+  EXPECT_EQ(choose_cv_k(DataView(reg3), 5), 3);
+  Dataset cls = tiny_binary({2, 1});
+  EXPECT_EQ(choose_cv_k(DataView(cls), 5), 0);
+  Dataset reg2 = tiny_regression(2);
+  EXPECT_EQ(choose_cv_k(DataView(reg2), 5), 0);
+  Dataset balanced = tiny_binary({3, 3});
+  // k=2: folds {2+2, 1+1} = {4, 2}? No: per class ceil(3/2)=2 to fold 0,
+  // 1 to fold 1 -> {4, 2}, train sides {2, 4} — usable.
+  EXPECT_EQ(choose_cv_k(DataView(balanced), 2), 2);
+  Dataset big = tiny_regression(100);
+  EXPECT_EQ(choose_cv_k(DataView(big), 5), 5);  // normal sizes: requested k
+}
+
+class TinyModeTest : public ::testing::TestWithParam<Resampling> {};
+
+TEST_P(TinyModeTest, ViableTinySizesProduceWorkingTrials) {
+  // 4- and 5-row balanced binary sets are small but legal in both modes:
+  // construction succeeds and a trial over the full sample completes
+  // (Ok or a clean Failed — never a crash or an InternalError).
+  for (int per_class : {2, 3}) {
+    Dataset data = tiny_binary({per_class, per_class});
+    TrialRunner::Options options;
+    options.resampling = GetParam();
+    options.holdout_ratio = 0.25;
+    TrialRunner runner(data, ErrorMetric::default_for(data.task()), options);
+    LearnerPtr learner = builtin_learner("rf");
+    Config config =
+        learner->space(data.task(), runner.max_sample_size()).initial_config();
+    TrialResult result =
+        runner.run(*learner, config, runner.max_sample_size());
+    EXPECT_GT(result.cost, 0.0);
+    if (result.ok) {
+      EXPECT_TRUE(std::isfinite(result.error));
+    } else {
+      EXPECT_EQ(result.status, TrialStatus::Failed);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, TinyModeTest,
+                         ::testing::Values(Resampling::CV, Resampling::Holdout));
+
+// --- CV fold seeds (regression: every fold used to train with the
+// IDENTICAL seed, correlating per-fold randomness) ---
+
+TEST(TrialRunner, CvFoldsTrainWithDistinctSeeds) {
+  Dataset data = binary_data(100);
+  TrialRunner::Options options;
+  options.resampling = Resampling::CV;
+  options.cv_folds = 5;
+  TrialRunner runner(data, ErrorMetric::default_for(data.task()), options);
+
+  // Succeeds (constant model) so all k folds are reached.
+  class SeedListLearner final : public Learner {
+   public:
+    const std::string& name() const override {
+      static const std::string n = "seed_list";
+      return n;
+    }
+    bool supports(Task) const override { return true; }
+    ConfigSpace space(Task, std::size_t) const override {
+      ConfigSpace s;
+      s.add_float("x", 0.0, 1.0, 0.5);
+      return s;
+    }
+    std::unique_ptr<Model> train(const TrainContext& ctx,
+                                 const Config&) const override {
+      seeds.push_back(ctx.seed);
+      class ConstModel final : public Model {
+       public:
+        Predictions predict(const DataView& view) const override {
+          Predictions pred;
+          pred.task = Task::BinaryClassification;
+          pred.n_classes = 2;
+          pred.values.assign(view.n_rows() * 2, 0.5);
+          return pred;
+        }
+      };
+      return std::make_unique<ConstModel>();
+    }
+    double initial_cost_multiplier() const override { return 1.0; }
+    mutable std::vector<std::uint64_t> seeds;
+  };
+
+  SeedListLearner learner;
+  Config config;
+  config["x"] = 0.5;
+  runner.run(learner, config, 100, 0.0, /*seed_salt=*/9);
+  ASSERT_EQ(learner.seeds.size(), 5u);
+  std::set<std::uint64_t> distinct(learner.seeds.begin(), learner.seeds.end());
+  EXPECT_EQ(distinct.size(), 5u) << "folds must not share a training seed";
+
+  // Deterministic: the same salt on a fresh runner reproduces the exact
+  // per-fold seed sequence (the parallel==serial contract extends to folds).
+  TrialRunner runner2(data, ErrorMetric::default_for(data.task()), options);
+  SeedListLearner learner2;
+  runner2.run(learner2, config, 100, 0.0, 9);
+  EXPECT_EQ(learner.seeds, learner2.seeds);
 }
 
 }  // namespace
