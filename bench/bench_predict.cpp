@@ -1,0 +1,357 @@
+// Serving-path benchmark for the compiled prediction engine
+// (src/serve/compiled_model.h). Times batched prediction over GBDT and
+// forest models with both engines — the interpreted tree walker and the
+// compiled flat-table predict_many — at n_threads {1, 2, 4, 8}, and writes
+// machine-readable results to BENCH_predict.json: per-engine latency
+// percentiles (p50/p90/p99 over individual batch calls), rows/sec derived
+// from the median latency, and the single-thread compiled-vs-interpreted
+// speedup per model. Also re-asserts the serving determinism contract on
+// the benchmark models: compiled output must be bit-identical to the
+// interpreted walker, every thread count must match serial, and an
+// artifact serialize/deserialize round trip must not change a single bit.
+//
+// Usage:
+//   bench_predict [--rows=N] [--features=N] [--trees=N] [--leaves=N]
+//                 [--iters=N] [--out=BENCH_predict.json] [--check]
+//                 [--min-speedup=X]
+// --check re-reads the emitted file through the JSON parser, validates its
+// shape and requires the determinism report to be all-true (the ctest
+// smoke test runs this). --min-speedup=X additionally fails the run if any
+// model's single-thread compiled engine is below X times the interpreted
+// rows/sec — release CI passes 2.0, the PR's acceptance floor.
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "args.h"
+#include "boosting/gbdt.h"
+#include "common/clock.h"
+#include "common/json.h"
+#include "data/generators.h"
+#include "forest/forest.h"
+#include "serve/compiled_model.h"
+
+namespace flaml::bench {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+
+struct BenchModel {
+  std::string name;
+  Dataset data;
+  GBDTModel gbdt;
+  ForestModel forest;
+  bool is_gbdt = false;
+  serve::CompiledModel compiled;
+};
+
+Dataset bench_dataset(Task task, std::size_t n_rows, int n_features,
+                      std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.task = task;
+  spec.n_rows = n_rows;
+  spec.n_features = n_features;
+  spec.n_classes = task == Task::MultiClassification ? 4 : 2;
+  spec.categorical_fraction = 0.2;
+  spec.missing_fraction = 0.05;
+  spec.nonlinearity = 0.5;
+  spec.seed = seed;
+  return make_synthetic(spec);
+}
+
+Predictions interpreted_predict(const BenchModel& m, const DataView& view,
+                                int n_threads) {
+  return m.is_gbdt ? m.gbdt.predict(view, n_threads)
+                   : m.forest.predict(view, n_threads);
+}
+
+bool bits_equal(const Predictions& a, const Predictions& b) {
+  if (a.values.size() != b.values.size()) return false;
+  for (std::size_t i = 0; i < a.values.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(a.values[i]) !=
+        std::bit_cast<std::uint64_t>(b.values[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+// Latency distribution of `iters` individual batch calls.
+template <typename Fn>
+JsonValue time_engine(const std::string& engine, int n_threads, std::size_t rows,
+                      int iters, Fn&& fn, double* p50_out) {
+  WallClock clock;
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(iters));
+  fn();  // warm-up: page in the model and spin up the pool
+  for (int i = 0; i < iters; ++i) {
+    Stopwatch timer(clock);
+    fn();
+    latencies.push_back(timer.elapsed());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = percentile(latencies, 50.0);
+  if (p50_out != nullptr) *p50_out = p50;
+
+  JsonValue entry = JsonValue::make_object();
+  entry.set("engine", JsonValue::make_string(engine));
+  entry.set("n_threads", JsonValue::make_number(n_threads));
+  entry.set("latency_p50_s", JsonValue::make_number(p50));
+  entry.set("latency_p90_s", JsonValue::make_number(percentile(latencies, 90.0)));
+  entry.set("latency_p99_s", JsonValue::make_number(percentile(latencies, 99.0)));
+  entry.set("rows_per_sec",
+            JsonValue::make_number(p50 > 0.0 ? static_cast<double>(rows) / p50 : 0.0));
+  std::cerr << "    " << engine << " n_threads=" << n_threads << ": p50=" << p50
+            << " s (" << (p50 > 0.0 ? static_cast<double>(rows) / p50 : 0.0)
+            << " rows/s)\n";
+  return entry;
+}
+
+// One model section: both engines at every thread count, plus the
+// single-thread compiled-vs-interpreted speedup the acceptance floor
+// checks.
+JsonValue bench_model(const BenchModel& m, int iters, double* speedup_out) {
+  std::cerr << "  model " << m.name << "\n";
+  const DataView view(m.data);
+  JsonValue section = JsonValue::make_object();
+  section.set("name", JsonValue::make_string(m.name));
+  section.set("rows", JsonValue::make_number(static_cast<double>(view.n_rows())));
+  section.set("trees", JsonValue::make_number(m.compiled.n_trees()));
+  section.set("nodes", JsonValue::make_number(m.compiled.n_nodes()));
+
+  JsonValue entries = JsonValue::make_array();
+  double interpreted_p50 = 0.0, compiled_p50 = 0.0;
+  for (int n_threads : kThreadCounts) {
+    entries.push(time_engine("interpreted", n_threads, view.n_rows(), iters,
+                             [&] { interpreted_predict(m, view, n_threads); },
+                             n_threads == 1 ? &interpreted_p50 : nullptr));
+  }
+  for (int n_threads : kThreadCounts) {
+    entries.push(time_engine("compiled", n_threads, view.n_rows(), iters,
+                             [&] { m.compiled.predict_many(view, n_threads); },
+                             n_threads == 1 ? &compiled_p50 : nullptr));
+  }
+  section.set("entries", std::move(entries));
+
+  const double speedup =
+      compiled_p50 > 0.0 ? interpreted_p50 / compiled_p50 : 0.0;
+  section.set("compiled_speedup_1t", JsonValue::make_number(speedup));
+  if (speedup_out != nullptr) *speedup_out = speedup;
+  std::cerr << "    compiled 1-thread speedup vs interpreted: " << speedup
+            << "x\n";
+  return section;
+}
+
+// Serving determinism contract on the benchmark models: compiled ==
+// interpreted bits, every thread count == serial, round trip == original.
+JsonValue determinism_report(const std::vector<BenchModel>& models) {
+  JsonValue report = JsonValue::make_object();
+  bool all_ok = true;
+  for (const BenchModel& m : models) {
+    const DataView view(m.data);
+    const Predictions interpreted = interpreted_predict(m, view, 1);
+    const Predictions serial = m.compiled.predict_many(view, 1);
+    bool matches = bits_equal(interpreted, serial);
+    bool threads_ok = true;
+    for (int n_threads : {2, 4, 8}) {
+      threads_ok =
+          threads_ok && bits_equal(serial, m.compiled.predict_many(view, n_threads));
+    }
+    const serve::CompiledModel reloaded =
+        serve::CompiledModel::deserialize(m.compiled.serialize());
+    const bool round_trip_ok = bits_equal(serial, reloaded.predict_many(view, 1));
+
+    JsonValue entry = JsonValue::make_object();
+    entry.set("compiled_matches_interpreted", JsonValue::make_bool(matches));
+    entry.set("threads_match_serial", JsonValue::make_bool(threads_ok));
+    entry.set("round_trip_identical", JsonValue::make_bool(round_trip_ok));
+    report.set(m.name, std::move(entry));
+    if (!(matches && threads_ok && round_trip_ok)) {
+      all_ok = false;
+      std::cerr << "DETERMINISM VIOLATION: " << m.name << "\n";
+    }
+  }
+  report.set("all_identical", JsonValue::make_bool(all_ok));
+  return report;
+}
+
+// Validate the shape --check depends on; throws on any mismatch.
+void check_result_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot reopen " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue root = parse_json(buffer.str());
+  if (!root.is_object()) throw std::runtime_error("root is not an object");
+  for (const char* key : {"rows", "features", "hardware_concurrency"}) {
+    const JsonValue* v = root.find(key);
+    if (v == nullptr || !v->is_number()) {
+      throw std::runtime_error(std::string("missing numeric field '") + key + "'");
+    }
+  }
+  const JsonValue* determinism = root.find("determinism");
+  if (determinism == nullptr || determinism->find("all_identical") == nullptr) {
+    throw std::runtime_error("missing determinism report");
+  }
+  const JsonValue* sections = root.find("sections");
+  if (sections == nullptr || !sections->is_array() || sections->array.empty()) {
+    throw std::runtime_error("missing sections array");
+  }
+  for (const JsonValue& section : sections->array) {
+    if (section.find("compiled_speedup_1t") == nullptr) {
+      throw std::runtime_error("section lacks compiled_speedup_1t");
+    }
+    const JsonValue* entries = section.find("entries");
+    if (entries == nullptr ||
+        entries->array.size() != 2 * std::size(kThreadCounts)) {
+      throw std::runtime_error("section without a full engine × thread sweep");
+    }
+    for (const JsonValue& entry : entries->array) {
+      for (const char* key :
+           {"latency_p50_s", "latency_p90_s", "latency_p99_s", "rows_per_sec"}) {
+        const JsonValue* v = entry.find(key);
+        if (v == nullptr || !v->is_number() || v->number < 0.0) {
+          throw std::runtime_error(std::string("malformed timing field '") + key +
+                                   "'");
+        }
+      }
+    }
+  }
+}
+
+int run(int argc, char** argv) {
+  Args args(argc, argv);
+  const int n_rows = args.get_int("rows", 20000);
+  const int n_features = args.get_int("features", 16);
+  // Defaults model a realistic serving ensemble: 300 trees of at most 32
+  // leaves (LightGBM's num_leaves default is 31).
+  const int n_trees = args.get_int("trees", 300);
+  const int n_leaves = args.get_int("leaves", 32);
+  const int iters = args.get_int("iters", 30);
+  const std::string out_path = args.get_string("out", "BENCH_predict.json");
+  const double min_speedup = args.get_double("min-speedup", 0.0);
+
+  std::cerr << "bench_predict: rows=" << n_rows << " features=" << n_features
+            << " trees=" << n_trees << " leaves=" << n_leaves
+            << " iters=" << iters << "\n";
+
+  std::vector<BenchModel> models;
+  {
+    Dataset data = bench_dataset(Task::BinaryClassification,
+                                 static_cast<std::size_t>(n_rows), n_features,
+                                 0xfee1);
+    GBDTParams params;
+    params.n_trees = n_trees;
+    params.max_leaves = n_leaves;
+    params.seed = 11;
+    GBDTModel gbdt = train_gbdt(DataView(data), nullptr, params);
+    serve::CompiledModel compiled = serve::compile(gbdt);
+    models.push_back(BenchModel{"gbdt_binary", std::move(data), std::move(gbdt),
+                                ForestModel{}, true, std::move(compiled)});
+  }
+  {
+    Dataset data = bench_dataset(Task::Regression,
+                                 static_cast<std::size_t>(n_rows), n_features,
+                                 0xfee2);
+    ForestParams params;
+    params.n_trees = n_trees;
+    params.max_leaves = n_leaves;
+    params.seed = 12;
+    ForestModel forest = train_forest(DataView(data), params);
+    serve::CompiledModel compiled = serve::compile(forest);
+    models.push_back(BenchModel{"forest_regression", std::move(data),
+                                GBDTModel{}, std::move(forest), false,
+                                std::move(compiled)});
+  }
+  {
+    Dataset data = bench_dataset(Task::MultiClassification,
+                                 static_cast<std::size_t>(n_rows), n_features,
+                                 0xfee3);
+    ForestParams params;
+    params.n_trees = n_trees;
+    params.max_leaves = n_leaves;
+    params.seed = 13;
+    ForestModel forest = train_forest(DataView(data), params);
+    serve::CompiledModel compiled = serve::compile(forest);
+    models.push_back(BenchModel{"forest_multiclass", std::move(data),
+                                GBDTModel{}, std::move(forest), false,
+                                std::move(compiled)});
+  }
+
+  JsonValue root = JsonValue::make_object();
+  root.set("benchmark", JsonValue::make_string("predict"));
+  root.set("rows", JsonValue::make_number(n_rows));
+  root.set("features", JsonValue::make_number(n_features));
+  root.set("trees", JsonValue::make_number(n_trees));
+  root.set("iters", JsonValue::make_number(iters));
+  root.set("hardware_concurrency",
+           JsonValue::make_number(std::thread::hardware_concurrency()));
+
+  JsonValue sections = JsonValue::make_array();
+  double worst_speedup = 0.0;
+  bool first = true;
+  for (const BenchModel& m : models) {
+    double speedup = 0.0;
+    sections.push(bench_model(m, iters, &speedup));
+    if (first || speedup < worst_speedup) worst_speedup = speedup;
+    first = false;
+  }
+  root.set("sections", std::move(sections));
+  root.set("determinism", determinism_report(models));
+
+  const std::string serialized = dump_json(root);
+  {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    out << serialized;
+  }
+  std::cerr << "wrote " << out_path << "\n";
+
+  if (args.has("check")) {
+    check_result_file(out_path);
+    const JsonValue* determinism = parse_json(serialized).find("determinism");
+    const JsonValue* all_ok =
+        determinism != nullptr ? determinism->find("all_identical") : nullptr;
+    if (all_ok == nullptr || !all_ok->boolean) {
+      std::cerr << "check failed: compiled predictions diverged\n";
+      return 1;
+    }
+    std::cerr << "check passed\n";
+  }
+  if (min_speedup > 0.0 && worst_speedup < min_speedup) {
+    std::cerr << "check failed: worst compiled 1-thread speedup "
+              << worst_speedup << "x below required " << min_speedup << "x\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace flaml::bench
+
+int main(int argc, char** argv) {
+  try {
+    return flaml::bench::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "bench_predict: " << e.what() << "\n";
+    return 1;
+  }
+}

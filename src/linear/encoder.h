@@ -17,11 +17,22 @@ namespace flaml {
 
 class FeatureEncoder {
  public:
+  struct ColumnPlan {
+    ColumnType type = ColumnType::Numeric;
+    std::size_t offset = 0;  // first output dimension of this column
+    int cardinality = 0;     // categorical width
+    double mean = 0.0;
+    double inv_std = 1.0;
+  };
+
   // Learn means/stds and the one-hot layout from `view`.
   static FeatureEncoder fit(const DataView& view);
 
   // Encoded dimensionality.
   std::size_t dim() const { return dim_; }
+
+  // Per-input-column encoding plans (read by the serving compiler).
+  const std::vector<ColumnPlan>& plans() const { return plans_; }
 
   // Encode one row into `out` (resized to dim()).
   void encode_row(const DataView& view, std::size_t i, std::vector<double>& out) const;
@@ -34,13 +45,6 @@ class FeatureEncoder {
   static FeatureEncoder load(std::istream& in);
 
  private:
-  struct ColumnPlan {
-    ColumnType type = ColumnType::Numeric;
-    std::size_t offset = 0;  // first output dimension of this column
-    int cardinality = 0;     // categorical width
-    double mean = 0.0;
-    double inv_std = 1.0;
-  };
   std::vector<ColumnPlan> plans_;
   std::size_t dim_ = 0;
 };

@@ -30,7 +30,9 @@ class LinearModel {
 
   Task task() const { return task_; }
   int n_classes() const { return n_classes_; }
+  int n_outputs() const { return n_outputs_; }
   const std::vector<double>& weights() const { return weights_; }
+  const FeatureEncoder& encoder() const { return encoder_; }
 
   Predictions predict(const DataView& view) const;
 

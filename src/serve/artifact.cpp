@@ -1,0 +1,98 @@
+#include "serve/artifact.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "resume/checkpoint.h"
+
+namespace flaml::serve {
+
+namespace {
+
+constexpr const char* kMagic = "flaml-compiled";
+
+// Strict 16-digit lowercase hex (the exact shape serialize emits): a looser
+// parse would let bit-flipped checksum characters alias to the same value.
+bool parse_checksum(const std::string& token, std::uint64_t& out) {
+  if (token.size() != 16) return false;
+  out = 0;
+  for (char c : token) {
+    int nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    out = (out << 4) | static_cast<std::uint64_t>(nibble);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string wrap_artifact(const std::string& payload) {
+  std::ostringstream out;
+  out << kMagic << " v" << kArtifactVersion << ' ' << payload.size() << ' ';
+  char checksum[17];
+  std::snprintf(checksum, sizeof(checksum), "%016llx",
+                static_cast<unsigned long long>(
+                    resume::fnv1a64(payload.data(), payload.size())));
+  out << checksum << '\n' << payload;
+  return out.str();
+}
+
+std::string unwrap_artifact(const std::string& text) {
+  const std::size_t eol = text.find('\n');
+  FLAML_PARSE_REQUIRE(eol != std::string::npos, "compiled artifact: header line missing");
+  std::istringstream header(text.substr(0, eol));
+  std::string magic, version, checksum_hex, extra;
+  std::uint64_t nbytes = 0;
+  header >> magic >> version >> nbytes >> checksum_hex;
+  FLAML_PARSE_REQUIRE(!header.fail(), "compiled artifact: malformed header");
+  FLAML_PARSE_REQUIRE(!(header >> extra), "compiled artifact: trailing header tokens");
+  FLAML_PARSE_REQUIRE(magic == kMagic, "not a compiled-model artifact");
+  FLAML_PARSE_REQUIRE(version == "v" + std::to_string(kArtifactVersion),
+                      "unsupported compiled-artifact version '" << version << "'");
+  // Reject absurd declared sizes before the substr below can allocate.
+  FLAML_PARSE_REQUIRE(nbytes <= kMaxArtifactBytes, "compiled artifact: payload too large");
+  std::uint64_t declared = 0;
+  FLAML_PARSE_REQUIRE(parse_checksum(checksum_hex, declared),
+                      "compiled artifact: malformed checksum '" << checksum_hex << "'");
+  std::string payload = text.substr(eol + 1);
+  FLAML_PARSE_REQUIRE(payload.size() == nbytes,
+                      "compiled artifact: payload has " << payload.size()
+                          << " bytes, header declares " << nbytes);
+  const std::uint64_t actual = resume::fnv1a64(payload.data(), payload.size());
+  FLAML_PARSE_REQUIRE(declared == actual, "compiled artifact: checksum mismatch");
+  return payload;
+}
+
+void write_artifact_file(const std::string& path, const std::string& payload) {
+  FLAML_REQUIRE(!path.empty(), "artifact path must be non-empty");
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    FLAML_REQUIRE(out.good(), "cannot open '" << tmp << "' for writing");
+    out << wrap_artifact(payload);
+    out.flush();
+    FLAML_REQUIRE(out.good(), "failed writing artifact to '" << tmp << "'");
+  }
+  // Atomic replace: a crash between write and rename leaves the previous
+  // artifact untouched.
+  FLAML_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+                "failed to rename '" << tmp << "' to '" << path << "'");
+}
+
+std::string read_artifact_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FLAML_PARSE_REQUIRE(in.good(), "cannot open artifact file '" << path << "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  FLAML_PARSE_REQUIRE(!in.bad(), "failed reading artifact file '" << path << "'");
+  return unwrap_artifact(buffer.str());
+}
+
+}  // namespace flaml::serve

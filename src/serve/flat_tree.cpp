@@ -1,0 +1,179 @@
+#include "serve/flat_tree.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace flaml::serve {
+
+void FlatForest::add_tree(const Tree& tree, bool with_dist) {
+  const std::size_t n_nodes = tree.n_nodes();
+  const std::size_t internal_base = n_internal();
+  const std::size_t leaf_base = n_leaves();
+  FLAML_CHECK(with_dist == (dist_width > 0));
+
+  // First pass: assign compact ids — internal nodes and leaves each get
+  // consecutive ids in node-array order.
+  std::vector<std::int32_t> id(n_nodes);
+  std::int32_t next_internal = static_cast<std::int32_t>(internal_base);
+  std::int32_t next_leaf = static_cast<std::int32_t>(leaf_base);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    id[i] = tree.node(i).is_leaf() ? ~next_leaf++ : next_internal++;
+  }
+
+  // Second pass: emit the arrays with children translated to compact ids.
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    const TreeNode& node = tree.node(i);
+    if (node.is_leaf()) {
+      leaf_value.push_back(node.leaf_value);
+      if (with_dist) {
+        const auto& dists = tree.leaf_distributions();
+        FLAML_CHECK_MSG(i < dists.size() &&
+                            dists[i].size() == static_cast<std::size_t>(dist_width),
+                        "leaf " << i << " lacks a " << dist_width
+                                << "-class distribution");
+        leaf_dist.insert(leaf_dist.end(), dists[i].begin(), dists[i].end());
+      }
+      continue;
+    }
+    FLAML_CHECK(node.feature >= 0);
+    feature.push_back(node.feature);
+    threshold.push_back(node.threshold);
+    category.push_back(node.category);
+    flags.push_back(static_cast<std::uint8_t>(
+        (node.categorical ? kNodeCategorical : 0) |
+        (node.missing_left ? kNodeMissingLeft : 0)));
+    left.push_back(id[static_cast<std::size_t>(node.left)]);
+    right.push_back(id[static_cast<std::size_t>(node.right)]);
+  }
+  roots.push_back(id[0]);
+}
+
+void FlatForest::pack() {
+  packed.clear();
+  packed.reserve(feature.size());
+  for (std::size_t i = 0; i < feature.size(); ++i) {
+    // The feature index must leave room for the two flag bits; the loader
+    // cap (kMaxFeatures, 1e8) is far below 2^29 already.
+    FLAML_CHECK((static_cast<std::uint32_t>(feature[i]) >> 29) == 0);
+    PackedNode node;
+    node.feat_flags =
+        (static_cast<std::uint32_t>(feature[i]) << 2) | (flags[i] & kNodeFlagMask);
+    node.aux = (flags[i] & kNodeCategorical) != 0
+                   ? category[i]
+                   : std::bit_cast<std::int32_t>(threshold[i]);
+    node.left = left[i];
+    node.right = right[i];
+    packed.push_back(node);
+  }
+}
+
+namespace {
+
+// One traversal step over the packed table; `row_vals` is the row's dense
+// feature array inside a route_block tile. Bit-compatible with
+// Tree::leaf_index without an isnan test on the numeric path:
+//   missing_left: !(v > t) — true for NaN and for v <= t;
+//   missing_right: v <= t  — false for NaN.
+// Both compare identically to `v <= t` for every finite v, ±0 and ±inf.
+// Categorical nodes still need the explicit NaN test (casting NaN to int
+// is undefined).
+inline std::int32_t step_node(const PackedNode* nodes, std::int32_t idx,
+                              const float* row_vals) {
+  const PackedNode n = nodes[static_cast<std::size_t>(idx)];
+  const float v = row_vals[n.feat_flags >> 2];
+  bool go_left;
+  if ((n.feat_flags & kNodeCategorical) != 0) {
+    go_left = std::isnan(v) ? (n.feat_flags & kNodeMissingLeft) != 0
+                            : static_cast<std::int32_t>(v) == n.aux;
+  } else {
+    const float t = std::bit_cast<float>(n.aux);
+    go_left = (n.feat_flags & kNodeMissingLeft) != 0 ? !(v > t) : v <= t;
+  }
+  return go_left ? n.left : n.right;
+}
+
+}  // namespace
+
+void FlatForest::route_block(std::size_t t, const float* block,
+                             std::size_t stride, std::size_t n,
+                             std::int32_t* out) const {
+  const PackedNode* nodes = packed.data();
+  const std::int32_t root = roots[t];
+  if (root < 0) {  // single-leaf tree
+    for (std::size_t i = 0; i < n; ++i) out[i] = ~root;
+    return;
+  }
+
+  // Plain scalar walks: the out-of-order core already overlaps the
+  // dependent node loads of successive (independent) rows, and measured
+  // throughput beats software lane-interleaving schemes at every model
+  // scale tried — the packed 16-byte nodes plus the row-major tile keep
+  // each step to two L1 lines.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int32_t idx = root;
+    const float* row_vals = block + i * stride;
+    while (idx >= 0) idx = step_node(nodes, idx, row_vals);
+    out[i] = ~idx;
+  }
+}
+
+void FlatForest::validate(std::size_t n_features) const {
+  const std::size_t internal = n_internal();
+  const std::size_t leaves = n_leaves();
+  FLAML_PARSE_REQUIRE(threshold.size() == internal && category.size() == internal &&
+                          flags.size() == internal && left.size() == internal &&
+                          right.size() == internal,
+                      "flat forest: inconsistent node-array lengths");
+  FLAML_PARSE_REQUIRE(dist_width >= 0, "flat forest: negative dist width");
+  const std::size_t want_dist =
+      leaves * static_cast<std::size_t>(dist_width);
+  FLAML_PARSE_REQUIRE(leaf_dist.size() == want_dist,
+                      "flat forest: leaf distribution block is "
+                          << leaf_dist.size() << " values, expected " << want_dist);
+  // Exactly-one-reference counting over roots + children. This both catches
+  // corrupt links and guarantees traversal terminates: a cycle reachable
+  // from a root would require some node on it to be referenced twice (by
+  // the cycle edge and by the path in), and an unreachable subgraph would
+  // leave other nodes unreferenced.
+  std::vector<std::uint8_t> internal_refs(internal, 0);
+  std::vector<std::uint8_t> leaf_refs(leaves, 0);
+  auto take_ref = [&](std::int32_t child) {
+    if (child >= 0) {
+      const std::size_t i = static_cast<std::size_t>(child);
+      FLAML_PARSE_REQUIRE(i < internal,
+                          "flat forest: node reference " << child << " out of range");
+      FLAML_PARSE_REQUIRE(internal_refs[i] == 0,
+                          "flat forest: node " << child << " referenced twice");
+      internal_refs[i] = 1;
+    } else {
+      const std::size_t i = static_cast<std::size_t>(~child);
+      FLAML_PARSE_REQUIRE(i < leaves,
+                          "flat forest: leaf reference " << ~child << " out of range");
+      FLAML_PARSE_REQUIRE(leaf_refs[i] == 0,
+                          "flat forest: leaf " << ~child << " referenced twice");
+      leaf_refs[i] = 1;
+    }
+  };
+  for (std::int32_t root : roots) take_ref(root);
+  for (std::size_t i = 0; i < internal; ++i) {
+    FLAML_PARSE_REQUIRE(feature[i] >= 0 &&
+                            static_cast<std::size_t>(feature[i]) < n_features,
+                        "flat forest: split feature " << feature[i]
+                            << " outside [0, " << n_features << ")");
+    FLAML_PARSE_REQUIRE((flags[i] & ~kNodeFlagMask) == 0,
+                        "flat forest: unknown flag bits in node " << i);
+    take_ref(left[i]);
+    take_ref(right[i]);
+  }
+  for (std::size_t i = 0; i < internal; ++i) {
+    FLAML_PARSE_REQUIRE(internal_refs[i] != 0,
+                        "flat forest: orphaned internal node " << i);
+  }
+  for (std::size_t i = 0; i < leaves; ++i) {
+    FLAML_PARSE_REQUIRE(leaf_refs[i] != 0, "flat forest: orphaned leaf " << i);
+  }
+}
+
+}  // namespace flaml::serve

@@ -1,0 +1,98 @@
+// Flattened struct-of-arrays decision-tree tables — the serving-side
+// representation of trained GBDT / forest / extra-trees models
+// (compiled_model.h).
+//
+// A pointerless Tree walk: the internal nodes of every tree live in one set
+// of parallel arrays (feature, threshold, category, flags, left, right);
+// child entries >= 0 index another internal node, negative entries encode a
+// leaf as ~leaf_id into the dense leaf-payload arrays. Traversal therefore
+// stops on the edge INTO a leaf — one fewer node visit per tree than the
+// interpreted walker — and the per-node footprint drops from
+// sizeof(TreeNode) (48 bytes, plus a heap vector per classification leaf)
+// to 17 bytes across the arrays with all leaf distributions in one
+// contiguous block.
+//
+// Routing is BIT-compatible with Tree::leaf_index: numeric splits go left
+// iff value <= threshold, categorical splits go left iff
+// (int32)value == category, and NaN follows the kNodeMissingLeft flag.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tree/tree.h"
+
+namespace flaml::serve {
+
+// Per-node flag bits.
+inline constexpr std::uint8_t kNodeCategorical = 1u << 0;
+inline constexpr std::uint8_t kNodeMissingLeft = 1u << 1;
+inline constexpr std::uint8_t kNodeFlagMask = kNodeCategorical | kNodeMissingLeft;
+
+// Hot-path node layout: the parallel arrays re-packed into one 16-byte
+// record (4 per cache line), so a traversal step touches a single line
+// instead of five. `aux` holds the threshold's float bits for numeric
+// splits and the category code for categorical ones; `feat_flags` packs
+// the feature index (<< 2) over the two flag bits. Derived, not
+// serialized — pack() rebuilds it from the canonical arrays.
+struct PackedNode {
+  std::uint32_t feat_flags;
+  std::int32_t aux;
+  std::int32_t left;
+  std::int32_t right;
+};
+
+struct FlatForest {
+  // Parallel arrays over the internal nodes of all trees (tree-contiguous).
+  std::vector<std::int32_t> feature;
+  std::vector<float> threshold;
+  std::vector<std::int32_t> category;
+  std::vector<std::uint8_t> flags;
+  // Child links: >= 0 is an internal-node index, < 0 encodes leaf ~child.
+  std::vector<std::int32_t> left;
+  std::vector<std::int32_t> right;
+  // Per-tree entry points (same encoding; a single-leaf tree has ~leaf root).
+  std::vector<std::int32_t> roots;
+  // Dense leaf payloads, indexed by leaf id.
+  std::vector<double> leaf_value;
+  // Row-major n_leaves × dist_width class distributions (classification
+  // forests); empty with dist_width == 0 when unused.
+  std::vector<double> leaf_dist;
+  std::int32_t dist_width = 0;
+  // Derived hot-path table (see PackedNode); rebuilt by pack().
+  std::vector<PackedNode> packed;
+
+  std::size_t n_trees() const { return roots.size(); }
+  std::size_t n_internal() const { return feature.size(); }
+  std::size_t n_leaves() const { return leaf_value.size(); }
+
+  // Flatten `tree` and append it. When with_dist, every leaf must carry a
+  // class distribution of exactly dist_width entries (set dist_width before
+  // the first call).
+  void add_tree(const Tree& tree, bool with_dist);
+
+  // Rebuild the packed hot-path table from the canonical arrays. Call once
+  // after the final add_tree (or after deserializing + validating); the
+  // route_* methods walk the packed table.
+  void pack();
+
+  // Leaf ids for a tile of rows through tree `t`; identical routing to
+  // Tree::leaf_index on the original trees. `block` holds the tile's
+  // feature values row-major (row i's features at block[i * stride ..]),
+  // so every traversal step reads from one hot cache line instead of
+  // scattering across column arrays; out[i] corresponds to row i of the
+  // block. This is the fallback engine for trees the QuickScorer tables
+  // cannot cover (more than 64 leaves); see quick_scorer.h.
+  void route_block(std::size_t t, const float* block, std::size_t stride,
+                   std::size_t n, std::int32_t* out) const;
+
+  // Structural validation of untrusted tables (artifact deserialization):
+  // array lengths consistent, every child/root reference in range, internal
+  // features inside [0, n_features), flags within the known mask, and every
+  // internal node and leaf referenced exactly once — which makes any walk
+  // from a root terminate (a cycle reachable from a root would need a
+  // doubly-referenced node). Throws SerializationError on any violation.
+  void validate(std::size_t n_features) const;
+};
+
+}  // namespace flaml::serve

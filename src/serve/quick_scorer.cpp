@@ -1,0 +1,208 @@
+#include "serve/quick_scorer.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace flaml::serve {
+
+namespace {
+
+// A node's mask entry before it is routed into a per-feature bucket.
+struct BuildNode {
+  std::uint64_t mask;
+  float threshold;
+  std::int32_t category;
+  std::uint32_t tree;
+  bool categorical;
+  bool missing_left;
+};
+
+// In-order leaf enumeration: records each internal node's left-subtree
+// leaf span [lo, hi) in left-to-right leaf order, and the leaf ids in that
+// order. Iterative (explicit stack) so adversarially deep trees cannot
+// overflow the call stack.
+struct SpanWalker {
+  const FlatForest& forest;
+  std::vector<std::int32_t> order;  // bit position -> global leaf id
+  // internal node index -> [lo, hi) of its left subtree's leaf bits
+  std::vector<std::pair<std::int32_t, std::pair<std::size_t, std::size_t>>> spans;
+
+  void walk(std::int32_t root) {
+    // Frames: (node, stage). Stage 0 = descend left, 1 = record span and
+    // descend right.
+    std::vector<std::pair<std::int32_t, int>> stack;
+    std::vector<std::size_t> lo_stack;
+    stack.push_back({root, 0});
+    while (!stack.empty()) {
+      auto [idx, stage] = stack.back();
+      stack.pop_back();
+      if (idx < 0) {
+        order.push_back(~idx);
+        continue;
+      }
+      const std::size_t i = static_cast<std::size_t>(idx);
+      if (stage == 0) {
+        lo_stack.push_back(order.size());
+        stack.push_back({idx, 1});
+        stack.push_back({forest.left[i], 0});
+      } else {
+        const std::size_t lo = lo_stack.back();
+        lo_stack.pop_back();
+        spans.push_back({idx, {lo, order.size()}});
+        stack.push_back({forest.right[i], 0});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+bool QuickScorer::build(const FlatForest& forest, std::size_t n_features) {
+  ok_ = false;
+  n_features_ = n_features;
+  const std::size_t n_trees = forest.n_trees();
+  init_.assign(n_trees, 0);
+  leaf_slot_.assign(n_trees * 64, 0);
+  // The threshold runs are sorted with operator<, which needs non-NaN keys.
+  for (float t : forest.threshold) {
+    if (std::isnan(t)) return false;
+  }
+  std::vector<std::vector<BuildNode>> by_feature(n_features);
+  for (std::size_t t = 0; t < n_trees; ++t) {
+    SpanWalker walker{forest, {}, {}};
+    walker.walk(forest.roots[t]);
+    const std::size_t n_leaves = walker.order.size();
+    if (n_leaves > 64) return false;
+    init_[t] = n_leaves == 64 ? ~0ull : ((1ull << n_leaves) - 1);
+    for (std::size_t b = 0; b < n_leaves; ++b) {
+      leaf_slot_[t * 64 + b] = walker.order[b];
+    }
+    for (const auto& [idx, span] : walker.spans) {
+      std::uint64_t left_bits = 0;
+      for (std::size_t b = span.first; b < span.second; ++b) {
+        left_bits |= 1ull << b;
+      }
+      const std::size_t i = static_cast<std::size_t>(idx);
+      by_feature[static_cast<std::size_t>(forest.feature[i])].push_back(
+          {~left_bits, forest.threshold[i], forest.category[i],
+           static_cast<std::uint32_t>(t),
+           (forest.flags[i] & kNodeCategorical) != 0,
+           (forest.flags[i] & kNodeMissingLeft) != 0});
+    }
+  }
+
+  thr_.clear();
+  num_.clear();
+  cat_code_.clear();
+  cat_.clear();
+  miss_.clear();
+  num_off_.assign(1, 0);
+  cat_off_.assign(1, 0);
+  miss_off_.assign(1, 0);
+  std::vector<BuildNode> num_nodes, cat_nodes;
+  for (std::size_t f = 0; f < n_features; ++f) {
+    num_nodes.clear();
+    cat_nodes.clear();
+    for (const BuildNode& n : by_feature[f]) {
+      (n.categorical ? cat_nodes : num_nodes).push_back(n);
+      if (!n.missing_left) miss_.push_back({n.mask, n.tree});
+    }
+    std::sort(num_nodes.begin(), num_nodes.end(),
+              [](const BuildNode& a, const BuildNode& b) {
+                return a.threshold < b.threshold;
+              });
+    std::sort(cat_nodes.begin(), cat_nodes.end(),
+              [](const BuildNode& a, const BuildNode& b) {
+                return a.category < b.category;
+              });
+    for (const BuildNode& n : num_nodes) {
+      thr_.push_back(n.threshold);
+      num_.push_back({n.mask, n.tree});
+    }
+    for (const BuildNode& n : cat_nodes) {
+      cat_code_.push_back(n.category);
+      cat_.push_back({n.mask, n.tree});
+    }
+    num_off_.push_back(static_cast<std::uint32_t>(thr_.size()));
+    cat_off_.push_back(static_cast<std::uint32_t>(cat_code_.size()));
+    miss_off_.push_back(static_cast<std::uint32_t>(miss_.size()));
+  }
+  ok_ = true;
+  return true;
+}
+
+void QuickScorer::score_row(const float* row_vals, std::uint64_t* bv,
+                            std::int32_t* leaf_out) const {
+  FLAML_CHECK(ok_);
+  const std::size_t n_trees = init_.size();
+  std::memcpy(bv, init_.data(), n_trees * sizeof(std::uint64_t));
+  for (std::size_t f = 0; f < n_features_; ++f) {
+    const float v = row_vals[f];
+    if (std::isnan(v)) [[unlikely]] {
+      // NaN steps right exactly at the nodes whose missing direction is
+      // right — the precomputed miss_ list for this feature.
+      for (std::uint32_t k = miss_off_[f]; k < miss_off_[f + 1]; ++k) {
+        bv[miss_[k].tree] &= miss_[k].mask;
+      }
+      continue;
+    }
+    // Numeric: the row steps right at a node iff v > threshold, and the run
+    // is threshold-ascending, so the applied set is the prefix with
+    // threshold < v. Branchless binary search for its end, then a tight
+    // unconditional apply loop.
+    const std::uint32_t off = num_off_[f];
+    std::uint32_t len = num_off_[f + 1] - off;
+    const float* base = thr_.data() + off;
+    std::uint32_t lo = 0;
+    while (len > 1) {
+      const std::uint32_t half = len / 2;
+      lo += (base[lo + half - 1] < v) ? half : 0;
+      len -= half;
+    }
+    const std::uint32_t cut = off + lo + ((len == 1 && base[lo] < v) ? 1 : 0);
+    const Apply* num = num_.data();
+    for (std::uint32_t k = off; k < cut; ++k) {
+      bv[num[k].tree] &= num[k].mask;
+    }
+    // Categorical: the row steps right iff (int32)v != category; the run is
+    // category-ascending, so the applied set is everything outside the
+    // equal range — two unconditional loops around it. The cast matches
+    // the walker's (step_node) for bit-identical routing.
+    const std::uint32_t coff = cat_off_[f];
+    const std::uint32_t cend = cat_off_[f + 1];
+    if (coff != cend) {
+      const std::int32_t code = static_cast<std::int32_t>(v);
+      const std::int32_t* cats = cat_code_.data();
+      std::uint32_t eq_lo = coff;
+      std::uint32_t r = cend;
+      while (eq_lo < r) {
+        const std::uint32_t m = (eq_lo + r) / 2;
+        if (cats[m] < code) eq_lo = m + 1; else r = m;
+      }
+      std::uint32_t eq_hi = eq_lo;
+      r = cend;
+      while (eq_hi < r) {
+        const std::uint32_t m = (eq_hi + r) / 2;
+        if (cats[m] <= code) eq_hi = m + 1; else r = m;
+      }
+      const Apply* cat = cat_.data();
+      for (std::uint32_t k = coff; k < eq_lo; ++k) {
+        bv[cat[k].tree] &= cat[k].mask;
+      }
+      for (std::uint32_t k = eq_hi; k < cend; ++k) {
+        bv[cat[k].tree] &= cat[k].mask;
+      }
+    }
+  }
+  for (std::size_t t = 0; t < n_trees; ++t) {
+    // Lowest surviving bit = leftmost reachable leaf = the exit leaf.
+    leaf_out[t] = leaf_slot_[t * 64 + static_cast<std::size_t>(
+                                          std::countr_zero(bv[t]))];
+  }
+}
+
+}  // namespace flaml::serve

@@ -1,0 +1,82 @@
+// QuickScorer-style masked ensemble scoring (Lucchese et al., SIGIR'15) —
+// the fast path of the compiled prediction engine.
+//
+// Instead of walking root-to-leaf per tree (a chain of dependent loads),
+// every internal node of every tree becomes an AND-mask over a 64-bit
+// per-tree leaf bitvector: the mask clears the leaves of the node's LEFT
+// subtree and is applied exactly when the row would step RIGHT at that
+// node. After all "false" nodes are applied, the lowest surviving bit of a
+// tree's bitvector is its exit leaf — identical routing to the pointer
+// walk, so downstream accumulation is bit-for-bit the interpreted result.
+//
+// The win is how "false" nodes are found: numeric nodes are grouped by
+// feature and sorted by threshold, so the applied set is exactly the run
+// prefix with threshold < value — one branchless binary search per feature,
+// then a tight unconditional mask-apply loop (no per-node branch, no
+// dependent loads). Categorical nodes are sorted by category; the applied
+// set is everything outside the equal range. NaN values route by the
+// missing-direction flag via a third per-feature list holding the nodes
+// whose missing direction is right.
+//
+// Scope: trees with at most 64 leaves (one u64 bitvector per tree).
+// build() reports false for wider trees — or for non-finite-unsortable
+// (NaN) thresholds — and the caller keeps the flat-table walker
+// (FlatForest::route_block) instead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/flat_tree.h"
+
+namespace flaml::serve {
+
+class QuickScorer {
+ public:
+  // Build the mask tables from a flattened forest. Returns false (leaving
+  // the scorer unusable) when any tree has more than 64 leaves or any
+  // threshold is NaN; callers then fall back to route_block.
+  bool build(const FlatForest& forest, std::size_t n_features);
+
+  bool ok() const { return ok_; }
+  std::size_t n_trees() const { return init_.size(); }
+
+  // Exit leaves for one dense row: leaf_out[t] receives the global leaf id
+  // (an index into FlatForest::leaf_value / leaf_dist) that row_vals
+  // reaches in tree t — exactly the leaf route_block would report.
+  // row_vals must hold the first n_features feature values contiguously.
+  // bv_scratch is caller-owned space for n_trees() bitvectors (per-shard,
+  // so concurrent score_row calls never share state).
+  void score_row(const float* row_vals, std::uint64_t* bv_scratch,
+                 std::int32_t* leaf_out) const;
+
+ private:
+  // One mask application: clear `mask` bits of tree `tree`'s bitvector.
+  // `tree` is widened to u64 so a record is exactly 16 bytes.
+  struct Apply {
+    std::uint64_t mask;
+    std::uint64_t tree;
+  };
+
+  bool ok_ = false;
+  std::size_t n_features_ = 0;
+  // Numeric nodes, feature-major, threshold ascending within a feature.
+  std::vector<float> thr_;
+  std::vector<Apply> num_;               // parallel to thr_
+  std::vector<std::uint32_t> num_off_;   // n_features + 1 offsets
+  // Categorical nodes, feature-major, category ascending within a feature.
+  std::vector<std::int32_t> cat_code_;
+  std::vector<Apply> cat_;               // parallel to cat_code_
+  std::vector<std::uint32_t> cat_off_;
+  // Nodes (numeric + categorical) whose missing direction is RIGHT —
+  // the masks a NaN value applies.
+  std::vector<Apply> miss_;
+  std::vector<std::uint32_t> miss_off_;
+  // Per tree: initial bitvector (low n_leaves bits set).
+  std::vector<std::uint64_t> init_;
+  // Per tree: 64 slots mapping bit position -> global leaf id, in the
+  // tree's left-to-right leaf order.
+  std::vector<std::int32_t> leaf_slot_;
+};
+
+}  // namespace flaml::serve

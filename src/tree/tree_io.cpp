@@ -1,7 +1,9 @@
 #include "tree/tree_io.h"
 
+#include <cstdlib>
 #include <istream>
 #include <ostream>
+#include <string>
 
 #include "common/error.h"
 
@@ -13,6 +15,31 @@ namespace {
 // allocation or an unbounded loop.
 constexpr std::size_t kMaxNodes = 10'000'000;
 constexpr std::size_t kMaxDistSize = 1'000'000;
+
+// Real-valued fields can legitimately be non-finite (the forest growers
+// emit +inf thresholds for splits that send every non-missing row one
+// way), and operator>> cannot parse the "inf"/"nan" tokens operator<<
+// writes for them — so read through strtof/strtod, which can. A token
+// that does not parse in full marks the stream failed, matching the
+// operator>> error contract the callers check.
+template <typename T>
+T read_real(std::istream& in) {
+  std::string token;
+  in >> token;
+  if (token.empty()) {
+    in.setstate(std::ios::failbit);
+    return T(0);
+  }
+  char* end = nullptr;
+  T value;
+  if constexpr (sizeof(T) == sizeof(float)) {
+    value = std::strtof(token.c_str(), &end);
+  } else {
+    value = std::strtod(token.c_str(), &end);
+  }
+  if (end != token.c_str() + token.size()) in.setstate(std::ios::failbit);
+  return value;
+}
 }  // namespace
 
 void write_tree(std::ostream& out, const Tree& tree) {
@@ -46,8 +73,11 @@ Tree read_tree(std::istream& in) {
   std::vector<TreeNode> nodes(n_nodes);
   for (auto& n : nodes) {
     int cat = 0, miss = 0;
-    in >> n.left >> n.right >> n.feature >> cat >> n.threshold >> n.category >>
-        miss >> n.leaf_value >> n.split_gain;
+    in >> n.left >> n.right >> n.feature >> cat;
+    n.threshold = read_real<float>(in);
+    in >> n.category >> miss;
+    n.leaf_value = read_real<double>(in);
+    n.split_gain = read_real<double>(in);
     n.categorical = cat != 0;
     n.missing_left = miss != 0;
     // Internal nodes index a feature column at prediction time; a negative
@@ -74,7 +104,7 @@ Tree read_tree(std::istream& in) {
                     "corrupt tree: distribution size " << k << " exceeds "
                                                        << kMaxDistSize);
       std::vector<double> dist(k);
-      for (auto& p : dist) in >> p;
+      for (auto& p : dist) p = read_real<double>(in);
       FLAML_REQUIRE(in.good(), "truncated tree: distribution values");
       tree.leaf_distributions()[node] = std::move(dist);
     }

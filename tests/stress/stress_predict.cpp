@@ -1,0 +1,135 @@
+// predict_many hammer for the compiled serving engine (docs/TESTING.md):
+// 1..8-thread batched prediction must be byte-identical to serial AND to
+// the interpreted walker, including when many client threads serve the
+// same compiled model concurrently over the process-wide shared_pool().
+// Runs under the `stress` ctest label, so the sanitizer CI's TSan pass
+// covers the row-sharded hot path (standing ROADMAP rule for thread-pool
+// hot paths).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "boosting/gbdt.h"
+#include "common/thread_pool.h"
+#include "data/generators.h"
+#include "forest/forest.h"
+#include "serve/compiled_model.h"
+
+namespace flaml {
+namespace {
+
+Dataset stress_dataset(Task task, std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.task = task;
+  spec.n_rows = 1500;
+  spec.n_features = 10;
+  spec.n_classes = task == Task::MultiClassification ? 4 : 2;
+  spec.categorical_fraction = 0.2;
+  spec.missing_fraction = 0.1;
+  spec.seed = seed;
+  return make_synthetic(spec);
+}
+
+bool bits_equal(const Predictions& a, const Predictions& b) {
+  if (a.values.size() != b.values.size()) return false;
+  for (std::size_t i = 0; i < a.values.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(a.values[i]) !=
+        std::bit_cast<std::uint64_t>(b.values[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(StressPredict, EveryThreadCountMatchesSerialAndInterpreted) {
+  const Dataset data = stress_dataset(Task::BinaryClassification, 0xabc1);
+  GBDTParams params;
+  params.n_trees = 40;
+  params.max_leaves = 24;
+  params.seed = 3;
+  const GBDTModel model = train_gbdt(DataView(data), nullptr, params);
+  const serve::CompiledModel compiled = serve::compile(model);
+
+  const DataView view(data);
+  const Predictions interpreted = model.predict(view, 1);
+  const Predictions serial = compiled.predict_many(view, 1);
+  ASSERT_TRUE(bits_equal(interpreted, serial));
+  for (int threads = 2; threads <= 8; ++threads) {
+    EXPECT_TRUE(bits_equal(serial, compiled.predict_many(view, threads)))
+        << threads << " threads diverged from serial";
+  }
+}
+
+TEST(StressPredict, ConcurrentClientsShareOneCompiledModel) {
+  const Dataset data = stress_dataset(Task::MultiClassification, 0xabc2);
+  ForestParams params;
+  params.n_trees = 24;
+  params.max_leaves = 32;
+  params.seed = 4;
+  const ForestModel model = train_forest(DataView(data), params);
+  const serve::CompiledModel compiled = serve::compile(model);
+
+  const DataView view(data);
+  const Predictions reference = compiled.predict_many(view, 1);
+  ASSERT_TRUE(bits_equal(model.predict(view, 1), reference));
+
+  // 8 client threads × 5 rounds, each round a different n_threads fanning
+  // out on the shared pool — all results must equal the serial reference.
+  constexpr int kClients = 8;
+  constexpr int kRounds = 5;
+  std::vector<int> failures(kClients, 0);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int round = 0; round < kRounds; ++round) {
+        const int threads = 1 + (c + round) % 8;
+        if (!bits_equal(reference, compiled.predict_many(view, threads))) {
+          ++failures[c];
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], 0) << "client " << c << " saw diverging predictions";
+  }
+}
+
+TEST(StressPredict, ConcurrentCompileAndSerializeAreByteStable) {
+  const Dataset data = stress_dataset(Task::Regression, 0xabc3);
+  GBDTParams params;
+  params.n_trees = 12;
+  params.max_leaves = 16;
+  params.seed = 5;
+  const GBDTModel model = train_gbdt(DataView(data), nullptr, params);
+  std::ostringstream saved;
+  model.save(saved);
+  const std::string text = saved.str();
+  const std::string reference = serve::compile(model).serialize();
+
+  constexpr int kClients = 6;
+  std::vector<int> failures(kClients, 0);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int round = 0; round < 3; ++round) {
+        std::istringstream in(text);
+        if (serve::compile_saved(in).serialize() != reference) ++failures[c];
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], 0) << "client " << c << " compiled different bytes";
+  }
+}
+
+}  // namespace
+}  // namespace flaml

@@ -1,0 +1,42 @@
+// Corruption-fuzz helpers shared by the artifact-loader suites
+// (tests/test_resume.cpp, tests/test_compiled_artifact.cpp): sweep every
+// truncation and every bit flip of a serialized container and assert the
+// parser rejects each variant with a typed SerializationError — never UB,
+// never a crash (docs/TESTING.md, "Adversarial artifact loading").
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "common/error.h"
+
+namespace flaml::testing {
+
+// `parse` is called on every proper prefix of `text` (including the empty
+// string) and must throw SerializationError each time.
+inline void expect_every_truncation_throws(
+    const std::string& text, const std::function<void(const std::string&)>& parse) {
+  for (std::size_t n = 0; n < text.size(); ++n) {
+    EXPECT_THROW(parse(text.substr(0, n)), SerializationError)
+        << "truncation to " << n << " of " << text.size() << " bytes parsed";
+  }
+}
+
+// `parse` is called on `text` with each single bit of each byte flipped and
+// must throw SerializationError each time.
+inline void expect_every_bit_flip_throws(
+    const std::string& text, const std::function<void(const std::string&)>& parse) {
+  for (std::size_t byte = 0; byte < text.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = text;
+      damaged[byte] = static_cast<char>(damaged[byte] ^ (1 << bit));
+      EXPECT_THROW(parse(damaged), SerializationError)
+          << "bit " << bit << " of byte " << byte << " flipped undetected";
+    }
+  }
+}
+
+}  // namespace flaml::testing

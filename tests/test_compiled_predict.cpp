@@ -1,0 +1,316 @@
+// Differential prediction suite for the compiled serving engine
+// (src/serve/compiled_model.h) — the PR's headline correctness contract:
+// every learner in the zoo (gbdt ×3 styles, rf, extra_tree, lr), trained on
+// seeded datasets spanning regression / binary / multiclass with dense and
+// NaN-bearing cells, must predict BIT-identically interpreted vs. compiled
+// vs. compiled-after-artifact-round-trip, at every thread count, including
+// empty-batch and single-row edge cases. A seeded property additionally
+// pins missing-value routing: rows whose split feature is NaN at every tree
+// depth position route the same through the interpreted walker and the
+// flat tables.
+#include "serve/compiled_model.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "automl/automl.h"
+#include "boosting/gbdt.h"
+#include "common/error.h"
+#include "data/generators.h"
+#include "forest/forest.h"
+#include "learners/registry.h"
+#include "serve/artifact.h"
+#include "support/prop.h"
+#include "tree/tree.h"
+
+namespace flaml {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+// Bit-level equality: NaN-safe and distinguishes -0.0 from 0.0, which
+// double == would not. Stops at the first differing cell to keep failure
+// output readable.
+void expect_bits_equal(const Predictions& a, const Predictions& b,
+                       const std::string& what) {
+  ASSERT_EQ(static_cast<int>(a.task), static_cast<int>(b.task)) << what;
+  ASSERT_EQ(a.n_classes, b.n_classes) << what;
+  ASSERT_EQ(a.values.size(), b.values.size()) << what;
+  for (std::size_t i = 0; i < a.values.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(a.values[i]),
+              std::bit_cast<std::uint64_t>(b.values[i]))
+        << what << ": value " << i << " differs (" << a.values[i] << " vs "
+        << b.values[i] << ")";
+  }
+}
+
+Dataset make_data(Task task, double missing_fraction, std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.task = task;
+  spec.n_rows = 260;
+  spec.n_features = 8;
+  spec.n_classes = task == Task::MultiClassification ? 3 : 2;
+  spec.categorical_fraction = 0.25;
+  spec.missing_fraction = missing_fraction;
+  spec.seed = seed;
+  return make_synthetic(spec);
+}
+
+// Train with the learner's low-cost initial configuration, with the tree
+// count bumped so the differential covers multi-tree accumulation order.
+std::unique_ptr<Model> train_zoo_model(const Learner& learner, const DataView& view) {
+  Config config = learner.space(view.data().task(), view.n_rows()).initial_config();
+  if (config.count("tree_num")) config["tree_num"] = 20;
+  if (config.count("leaf_num")) config["leaf_num"] = 8;
+  TrainContext ctx;
+  ctx.train = view;
+  ctx.seed = 7;
+  ctx.n_threads = 1;
+  return learner.train(ctx, config);
+}
+
+// The full differential chain for one trained model: interpreted vs
+// compiled (1 and 3 threads) vs payload round-trip vs file round-trip.
+void check_differential(const Model& model, const serve::CompiledModel& compiled,
+                        const DataView& eval, const std::string& what) {
+  const Predictions interpreted = model.predict(eval);
+  expect_bits_equal(interpreted, compiled.predict_many(eval, 1), what + " [compiled]");
+  expect_bits_equal(interpreted, compiled.predict_many(eval, 3),
+                    what + " [compiled, 3 threads]");
+
+  const std::string payload = compiled.serialize();
+  const serve::CompiledModel reloaded = serve::CompiledModel::deserialize(payload);
+  expect_bits_equal(interpreted, reloaded.predict_many(eval, 1),
+                    what + " [round-trip]");
+  EXPECT_EQ(payload, reloaded.serialize()) << what << ": serialize not stable";
+
+  const std::string path = tmp_path("compiled_" + what + ".bin");
+  compiled.save_file(path);
+  expect_bits_equal(interpreted,
+                    serve::CompiledModel::load_file(path).predict_many(eval, 1),
+                    what + " [file round-trip]");
+}
+
+void run_zoo(Task task, double missing_fraction) {
+  const Dataset data =
+      make_data(task, missing_fraction, missing_fraction > 0 ? 0x5ea : 0x5e9);
+  std::vector<std::uint32_t> train_rows, eval_rows;
+  for (std::uint32_t i = 0; i < 200; ++i) train_rows.push_back(i);
+  for (std::uint32_t i = 0; i < data.n_rows(); ++i) eval_rows.push_back(i);
+  const DataView train(data, train_rows);
+  const DataView eval(data, eval_rows);
+
+  for (const LearnerPtr& learner : builtin_learners()) {
+    if (!learner->supports(task)) continue;
+    SCOPED_TRACE(learner->name());
+    std::unique_ptr<Model> model = train_zoo_model(*learner, train);
+    // Compile through the save path — the model wrappers hide the concrete
+    // model types, exactly like a deployment would meet them.
+    std::ostringstream saved;
+    model->save(saved);
+    std::istringstream in(saved.str());
+    const serve::CompiledModel compiled = serve::compile_saved(in);
+    check_differential(*model, compiled, eval,
+                       learner->name() + "_" + task_name(task) +
+                           (missing_fraction > 0 ? "_nan" : "_dense"));
+  }
+}
+
+TEST(CompiledPredictDifferential, RegressionDense) { run_zoo(Task::Regression, 0.0); }
+TEST(CompiledPredictDifferential, RegressionWithNaN) { run_zoo(Task::Regression, 0.15); }
+TEST(CompiledPredictDifferential, BinaryDense) {
+  run_zoo(Task::BinaryClassification, 0.0);
+}
+TEST(CompiledPredictDifferential, BinaryWithNaN) {
+  run_zoo(Task::BinaryClassification, 0.15);
+}
+TEST(CompiledPredictDifferential, MulticlassDense) {
+  run_zoo(Task::MultiClassification, 0.0);
+}
+TEST(CompiledPredictDifferential, MulticlassWithNaN) {
+  run_zoo(Task::MultiClassification, 0.15);
+}
+
+TEST(CompiledPredictEdge, EmptyBatchAndSingleRow) {
+  const Dataset data = make_data(Task::BinaryClassification, 0.1, 11);
+  const DataView all(data);
+  const GBDTParams params = [] {
+    GBDTParams p;
+    p.n_trees = 12;
+    p.max_leaves = 8;
+    return p;
+  }();
+  const GBDTModel model = train_gbdt(all, nullptr, params);
+  const serve::CompiledModel compiled = serve::compile(model);
+
+  // Empty batch: zero rows, correct shape, no dataset access.
+  const Predictions empty = compiled.predict_many(DataView(data, {}), 4);
+  EXPECT_EQ(empty.n_rows(), 0u);
+  EXPECT_EQ(empty.n_classes, 2);
+  EXPECT_TRUE(empty.values.empty());
+
+  // Single row, every thread count (the shard planner's smallest input).
+  const DataView one(data, {5});
+  const Predictions interpreted = model.predict(one);
+  for (int threads = 1; threads <= 8; ++threads) {
+    expect_bits_equal(interpreted, compiled.predict_many(one, threads),
+                      "single row, " + std::to_string(threads) + " threads");
+  }
+}
+
+// Trees wider than 64 leaves exceed the QuickScorer's per-tree bitvector,
+// so compiled prediction falls back to the flat-table walker
+// (FlatForest::route_block) — this differential keeps that engine pinned
+// to the interpreted walker too, NaN cells included.
+TEST(CompiledPredictDifferential, WideTreesUseWalkerFallback) {
+  SyntheticSpec spec;
+  spec.task = Task::BinaryClassification;
+  spec.n_rows = 1200;
+  spec.n_features = 8;
+  spec.categorical_fraction = 0.25;
+  spec.missing_fraction = 0.1;
+  spec.seed = 0x51de;
+  const Dataset data = make_synthetic(spec);
+  const DataView all(data);
+
+  const auto check = [&](const Predictions& interpreted,
+                         const serve::CompiledModel& compiled,
+                         const std::string& what) {
+    expect_bits_equal(interpreted, compiled.predict_many(all, 1),
+                      what + " [compiled]");
+    expect_bits_equal(interpreted, compiled.predict_many(all, 3),
+                      what + " [compiled, 3 threads]");
+    const serve::CompiledModel reloaded =
+        serve::CompiledModel::deserialize(compiled.serialize());
+    expect_bits_equal(interpreted, reloaded.predict_many(all, 1),
+                      what + " [round-trip]");
+  };
+
+  GBDTParams gparams;
+  gparams.n_trees = 10;
+  gparams.max_leaves = 100;  // > 64: QuickScorer build must bow out
+  const GBDTModel gbdt = train_gbdt(all, nullptr, gparams);
+  std::size_t widest = 0;
+  for (const Tree& t : gbdt.trees()) widest = std::max(widest, t.n_leaves());
+  ASSERT_GT(widest, 64u) << "model too small to exercise the fallback";
+  check(gbdt.predict(all), serve::compile(gbdt), "gbdt_wide");
+
+  ForestParams fparams;
+  fparams.n_trees = 8;
+  fparams.max_leaves = 100;
+  const ForestModel forest = train_forest(all, fparams);
+  check(forest.predict(all), serve::compile(forest), "forest_wide");
+}
+
+TEST(CompiledPredictEdge, ViewWithTooFewColumnsThrows) {
+  const Dataset wide = make_data(Task::Regression, 0.0, 3);
+  SyntheticSpec narrow_spec;
+  narrow_spec.task = Task::Regression;
+  narrow_spec.n_rows = 40;
+  narrow_spec.n_features = 2;
+  narrow_spec.seed = 4;
+  const Dataset narrow = make_synthetic(narrow_spec);
+
+  GBDTParams params;
+  params.n_trees = 8;
+  const serve::CompiledModel compiled =
+      serve::compile(train_gbdt(DataView(wide), nullptr, params));
+  if (compiled.n_features() > narrow.n_cols()) {
+    EXPECT_THROW(compiled.predict_many(DataView(narrow), 1), InvalidArgument);
+  }
+}
+
+// Compiling the best-model blob out of a search checkpoint must serve the
+// same bits as the in-memory best model the search produced.
+TEST(CompiledPredictDifferential, CheckpointBlobMatchesAutoML) {
+  const Dataset data = make_data(Task::BinaryClassification, 0.1, 21);
+  AutoMLOptions options;
+  options.time_budget_seconds = 1e6;
+  options.max_iterations = 3;
+  options.estimator_list = {"lgbm"};
+  options.resampling = ResamplingPolicy::ForceHoldout;
+  options.seed = 5;
+
+  AutoML automl;
+  automl.fit(data, options);
+  const std::string path = tmp_path("compiled_from_ckpt.ckpt");
+  automl.checkpoint_to_file(path);
+
+  const serve::CompiledModel compiled = serve::compile_checkpoint_file(path);
+  const DataView all(data);
+  expect_bits_equal(automl.predict(all), compiled.predict_many(all, 2),
+                    "checkpoint blob");
+}
+
+// ---------------------------------------------------------------------------
+// Missing-value routing property (ISSUE 6 satellite): hand-built trees with
+// randomized missing-direction flags, evaluated on rows that are NaN at
+// EVERY depth position — the interpreted walker and the flat tables must
+// route identically. Leaf values are made distinct so value equality is
+// routing equality.
+
+FLAML_PROP(CompiledPredictProp, MissingRoutingMatchesEveryDepth, 60) {
+  // Random tree over 6 numeric features, depth up to 5.
+  const int n_features = 6;
+  Tree tree;
+  std::vector<std::int32_t> leaves = {0};
+  const int n_splits = 1 + static_cast<int>(prop.rng.uniform_index(20));
+  double next_leaf_value = 1.0;
+  for (int s = 0; s < n_splits; ++s) {
+    const std::size_t pick = prop.rng.uniform_index(leaves.size());
+    const std::int32_t target = leaves[pick];
+    leaves.erase(leaves.begin() + static_cast<std::ptrdiff_t>(pick));
+    const auto [left, right] = tree.split_leaf(target);
+    TreeNode& node = tree.node(static_cast<std::size_t>(target));
+    node.feature = static_cast<std::int32_t>(prop.rng.uniform_index(n_features));
+    node.threshold = static_cast<float>(prop.rng.uniform() * 2.0 - 1.0);
+    node.missing_left = prop.rng.uniform() < 0.5;
+    leaves.push_back(left);
+    leaves.push_back(right);
+  }
+  for (std::int32_t leaf : leaves) {
+    // Distinct values: equal predictions <=> equal routing.
+    tree.node(static_cast<std::size_t>(leaf)).leaf_value = next_leaf_value;
+    next_leaf_value += 1.0;
+  }
+
+  GBDTModel model(Task::Regression, 0, {0.0});
+  model.add_tree(tree, 1.0);
+  const serve::CompiledModel compiled = serve::compile(model);
+
+  // Rows with per-cell NaN probability 1/2 hit "split feature missing" at
+  // every depth position across cases; the all-NaN row forces the missing
+  // branch at EVERY level of this tree in this very case.
+  std::vector<ColumnInfo> columns(n_features);
+  Dataset data(Task::Regression, columns);
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  for (int r = 0; r < 40; ++r) {
+    std::vector<float> row(n_features);
+    for (float& v : row) {
+      v = prop.rng.uniform() < 0.5 ? nan
+                                   : static_cast<float>(prop.rng.uniform() * 2.0 - 1.0);
+    }
+    data.add_row(row, 0.0);
+  }
+  data.add_row(std::vector<float>(n_features, nan), 0.0);
+
+  const DataView view(data);
+  const Predictions interpreted = model.predict(view);
+  const Predictions compiled_out = compiled.predict_many(view, 1);
+  ASSERT_EQ(interpreted.values.size(), compiled_out.values.size());
+  for (std::size_t i = 0; i < interpreted.values.size(); ++i) {
+    ASSERT_EQ(interpreted.values[i], compiled_out.values[i])
+        << "row " << i << " routed differently — seed " << prop.seed;
+  }
+}
+
+}  // namespace
+}  // namespace flaml

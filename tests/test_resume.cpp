@@ -22,6 +22,7 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "resume/serial_util.h"
+#include "support/corruption.h"
 #include "support/resume_test_util.h"
 #include "tuners/flow2.h"
 
@@ -30,6 +31,8 @@ namespace {
 
 using testing::add_resume_lineup;
 using testing::arm_kill;
+using testing::expect_every_bit_flip_throws;
+using testing::expect_every_truncation_throws;
 using testing::expect_resumed_equals_reference;
 using testing::KillSignal;
 using testing::resume_options;
@@ -207,24 +210,14 @@ TEST(ResumeContainer, SerializeParseRoundTrip) {
 
 TEST(ResumeContainer, EveryTruncationThrows) {
   const std::string text = resume::serialize_checkpoint(small_payload());
-  for (std::size_t n = 0; n < text.size(); ++n) {
-    EXPECT_THROW(resume::parse_checkpoint(text.substr(0, n)),
-                 SerializationError)
-        << "truncation to " << n << " of " << text.size() << " bytes parsed";
-  }
+  expect_every_truncation_throws(
+      text, [](const std::string& damaged) { resume::parse_checkpoint(damaged); });
 }
 
 TEST(ResumeContainer, EveryBitFlipThrows) {
   const std::string text = resume::serialize_checkpoint(small_payload());
-  for (std::size_t byte = 0; byte < text.size(); ++byte) {
-    for (int bit = 0; bit < 8; ++bit) {
-      std::string damaged = text;
-      damaged[byte] = static_cast<char>(damaged[byte] ^ (1 << bit));
-      if (damaged == text) continue;
-      EXPECT_THROW(resume::parse_checkpoint(damaged), SerializationError)
-          << "bit " << bit << " of byte " << byte << " flipped undetected";
-    }
-  }
+  expect_every_bit_flip_throws(
+      text, [](const std::string& damaged) { resume::parse_checkpoint(damaged); });
 }
 
 TEST(ResumeContainer, HeaderTamperingThrows) {

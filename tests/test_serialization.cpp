@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "automl/automl.h"
@@ -55,6 +56,33 @@ TEST(TreeIo, RoundTripsLeafDistributions) {
   EXPECT_TRUE(back.leaf_distributions()[0].empty());
   ASSERT_EQ(back.leaf_distributions()[1].size(), 2u);
   EXPECT_DOUBLE_EQ(back.leaf_distributions()[1][1], 0.75);
+}
+
+// The forest growers legitimately emit +inf thresholds (splits that send
+// every non-missing row one way); operator>> cannot parse the "inf" token
+// operator<< writes, so the reader goes through strtof/strtod. Regression
+// for the compiled-predict differential suite's NaN-bearing zoo runs.
+TEST(TreeIo, RoundTripsNonFiniteThreshold) {
+  const float inf = std::numeric_limits<float>::infinity();
+  Tree tree;
+  tree.node(0).feature = 1;
+  tree.node(0).threshold = inf;
+  tree.node(0).missing_left = false;
+  auto [l, r] = tree.split_leaf(0);
+  tree.node(static_cast<std::size_t>(l)).feature = 0;
+  tree.node(static_cast<std::size_t>(l)).threshold = -inf;
+  auto [ll, lr] = tree.split_leaf(l);
+  tree.node(static_cast<std::size_t>(ll)).leaf_value = 1.0;
+  tree.node(static_cast<std::size_t>(lr)).leaf_value = 2.0;
+  tree.node(static_cast<std::size_t>(r)).leaf_value = 3.0;
+
+  std::stringstream ss;
+  write_tree(ss, tree);
+  Tree back = read_tree(ss);
+  ASSERT_EQ(back.n_nodes(), 5u);
+  EXPECT_EQ(back.node(0).threshold, inf);
+  EXPECT_EQ(back.node(static_cast<std::size_t>(l)).threshold, -inf);
+  EXPECT_DOUBLE_EQ(back.node(static_cast<std::size_t>(r)).leaf_value, 3.0);
 }
 
 TEST(TreeIo, RejectsGarbage) {
