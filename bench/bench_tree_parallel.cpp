@@ -7,13 +7,21 @@
 // benchmark inputs: every parallel model must serialize byte-identically
 // to its serial reference, and the result records whether that held.
 //
+// Also sweeps the histogram KERNELS (scalar reference vs every available
+// packed kernel, single thread) into a "kernels" section: rows/sec on the
+// gradient build (full row set and a gathered half subset) plus the class
+// build, with every packed result verified bit-identical to scalar.
+//
 // Usage:
 //   bench_tree_parallel [--rows=N] [--features=N] [--repeats=N]
-//                       [--out=BENCH_tree.json] [--check]
+//                       [--out=BENCH_tree.json] [--check] [--min-speedup=X]
 // --check re-reads the emitted file through the JSON parser and validates
-// its shape, which is what the ctest smoke test runs.
+// its shape, which is what the ctest smoke test runs. --min-speedup fails
+// the run unless the best packed kernel beats the scalar gradient build by
+// at least X on one thread (the acceptance floor enforced in release CI).
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <numeric>
@@ -132,6 +140,154 @@ JsonValue bench_section(const std::string& name, int repeats, Fn&& fn) {
   return section;
 }
 
+// Bitwise histogram equality (field-wise: HistEntry has tail padding, so a
+// whole-struct memcmp would read indeterminate bytes).
+bool hist_bits_equal(const std::vector<HistEntry>& a,
+                     const std::vector<HistEntry>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::memcmp(&a[i].g, &b[i].g, sizeof(double)) != 0 ||
+        std::memcmp(&a[i].h, &b[i].h, sizeof(double)) != 0 || a[i].n != b[i].n) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Single-thread kernel sweep: scalar reference vs every available packed
+// kernel on the SAME inputs. Each timing loops the build until the row
+// volume is large enough to dwarf clock noise (the smoke test runs tiny
+// datasets), and every packed histogram is compared bit-for-bit against the
+// scalar one before its timing is trusted.
+JsonValue kernel_sweep(const BenchData& data, int repeats, double& best_speedup,
+                       bool& all_identical) {
+  const std::vector<std::size_t> offsets = histogram_offsets(data.mapper);
+  const std::vector<std::size_t> class_offsets =
+      histogram_offsets(data.class_mapper);
+  const PackedBins packed = PackedBins::pack(data.binned);
+  const PackedBins class_packed = PackedBins::pack(data.class_binned);
+  const bool unit_hess = std::all_of(data.hess.begin(), data.hess.end(),
+                                     [](double v) { return v == 1.0; });
+  // Gathered half subset (every other row): the non-root shape, where rows
+  // no longer equal [0, n) and the kernels take the indirect-load path.
+  std::vector<std::uint32_t> subset;
+  subset.reserve(data.rows.size() / 2);
+  for (std::size_t i = 0; i < data.rows.size(); i += 2) subset.push_back(data.rows[i]);
+  // Loop each measured build so one measurement covers >= ~2M row-visits.
+  const int iters = std::max<int>(
+      1, static_cast<int>(2'000'000 / std::max<std::size_t>(1, data.rows.size())));
+
+  std::vector<HistEntry> scalar_full, scalar_subset, hist;
+  std::vector<double> scalar_class, class_hist;
+  build_gradient_histogram(data.binned, offsets, data.features, data.rows.data(),
+                           data.rows.size(), data.grad, data.hess, scalar_full);
+  build_gradient_histogram(data.binned, offsets, data.features, subset.data(),
+                           subset.size(), data.grad, data.hess, scalar_subset);
+  build_class_histogram(data.class_binned, class_offsets, 3, data.rows.data(),
+                        data.rows.size(), data.labels, {}, scalar_class);
+
+  JsonValue section = JsonValue::make_object();
+  section.set("active", JsonValue::make_string(hist_kernel_name(active_hist_kernel())));
+  section.set("packed_width",
+              JsonValue::make_string(packed.wide() ? "u16" : "u8"));
+  section.set("unit_hess", JsonValue::make_bool(unit_hess));
+  JsonValue entries = JsonValue::make_array();
+
+  double scalar_full_seconds = 0.0;
+  best_speedup = 0.0;
+  all_identical = true;
+  const HistKernel kernels[] = {HistKernel::Scalar, HistKernel::Portable,
+                                HistKernel::Sse2, HistKernel::Avx2};
+  for (HistKernel kernel : kernels) {
+    if (!hist_kernel_available(kernel)) continue;
+    const bool scalar = kernel == HistKernel::Scalar;
+
+    auto grad_build = [&](const std::uint32_t* rows, std::size_t count,
+                          std::vector<HistEntry>& out) {
+      if (scalar) {
+        build_gradient_histogram(data.binned, offsets, data.features, rows,
+                                 count, data.grad, data.hess, out);
+      } else {
+        build_gradient_histogram_packed(packed, offsets, data.features, rows,
+                                        count, data.grad, data.hess, unit_hess,
+                                        out, kernel);
+      }
+    };
+    auto class_build = [&] {
+      if (scalar) {
+        build_class_histogram(data.class_binned, class_offsets, 3,
+                              data.rows.data(), data.rows.size(), data.labels,
+                              {}, class_hist);
+      } else {
+        build_class_histogram_packed(class_packed, class_offsets, 3,
+                                     data.rows.data(), data.rows.size(),
+                                     data.labels, {}, class_hist, kernel);
+      }
+    };
+
+    // Bit-identity gate before timing.
+    bool identical = true;
+    if (!scalar) {
+      grad_build(data.rows.data(), data.rows.size(), hist);
+      identical = identical && hist_bits_equal(hist, scalar_full);
+      grad_build(subset.data(), subset.size(), hist);
+      identical = identical && hist_bits_equal(hist, scalar_subset);
+      class_build();
+      identical = identical && class_hist == scalar_class;
+      if (!identical) {
+        std::cerr << "KERNEL DIVERGENCE: " << hist_kernel_name(kernel)
+                  << " != scalar\n";
+        all_identical = false;
+      }
+    }
+
+    const double full_seconds =
+        best_seconds(repeats, [&] {
+          for (int it = 0; it < iters; ++it) {
+            grad_build(data.rows.data(), data.rows.size(), hist);
+          }
+        }) /
+        iters;
+    const double subset_seconds =
+        best_seconds(repeats, [&] {
+          for (int it = 0; it < iters * 2; ++it) {
+            grad_build(subset.data(), subset.size(), hist);
+          }
+        }) /
+        (iters * 2);
+    const double class_seconds =
+        best_seconds(repeats, [&] {
+          for (int it = 0; it < iters; ++it) class_build();
+        }) /
+        iters;
+    if (scalar) scalar_full_seconds = full_seconds;
+    const double speedup =
+        full_seconds > 0.0 ? scalar_full_seconds / full_seconds : 0.0;
+    if (!scalar) best_speedup = std::max(best_speedup, speedup);
+
+    JsonValue entry = JsonValue::make_object();
+    entry.set("kernel", JsonValue::make_string(hist_kernel_name(kernel)));
+    entry.set("grad_full_seconds", JsonValue::make_number(full_seconds));
+    entry.set("grad_full_rows_per_sec",
+              JsonValue::make_number(full_seconds > 0.0
+                                         ? static_cast<double>(data.rows.size()) /
+                                               full_seconds
+                                         : 0.0));
+    entry.set("grad_subset_seconds", JsonValue::make_number(subset_seconds));
+    entry.set("class_full_seconds", JsonValue::make_number(class_seconds));
+    entry.set("speedup_vs_scalar", JsonValue::make_number(speedup));
+    entry.set("identical_to_scalar", JsonValue::make_bool(identical));
+    entries.push(std::move(entry));
+    std::cerr << "  kernel " << hist_kernel_name(kernel) << ": full "
+              << full_seconds << " s (x" << speedup << "), subset "
+              << subset_seconds << " s, class " << class_seconds << " s\n";
+  }
+  section.set("entries", std::move(entries));
+  section.set("best_speedup_vs_scalar", JsonValue::make_number(best_speedup));
+  section.set("all_identical_to_scalar", JsonValue::make_bool(all_identical));
+  return section;
+}
+
 std::string tree_string(const Tree& tree) {
   std::ostringstream os;
   os.precision(17);
@@ -216,6 +372,28 @@ void check_result_file(const std::string& path) {
   if (sections == nullptr || !sections->is_array() || sections->array.empty()) {
     throw std::runtime_error("missing sections array");
   }
+  const JsonValue* kernels = root.find("kernels");
+  if (kernels == nullptr || kernels->find("best_speedup_vs_scalar") == nullptr ||
+      kernels->find("all_identical_to_scalar") == nullptr) {
+    throw std::runtime_error("missing kernels sweep");
+  }
+  const JsonValue* kernel_entries = kernels->find("entries");
+  if (kernel_entries == nullptr || !kernel_entries->is_array() ||
+      kernel_entries->array.size() < 2) {
+    throw std::runtime_error(
+        "kernels sweep needs the scalar reference plus >= 1 packed kernel");
+  }
+  for (const JsonValue& entry : kernel_entries->array) {
+    for (const char* key :
+         {"grad_full_seconds", "grad_full_rows_per_sec", "grad_subset_seconds",
+          "class_full_seconds", "speedup_vs_scalar"}) {
+      const JsonValue* v = entry.find(key);
+      if (v == nullptr || !v->is_number() || v->number < 0.0) {
+        throw std::runtime_error(std::string("malformed kernel entry field '") +
+                                 key + "'");
+      }
+    }
+  }
   for (const JsonValue& section : sections->array) {
     const JsonValue* entries = section.find("entries");
     if (entries == nullptr || entries->array.size() != std::size(kThreadCounts)) {
@@ -285,6 +463,12 @@ int run(int argc, char** argv) {
     }));
   }
   root.set("sections", std::move(sections));
+
+  std::cerr << "kernel sweep (single thread):\n";
+  double best_kernel_speedup = 0.0;
+  bool kernels_identical = true;
+  root.set("kernels",
+           kernel_sweep(data, repeats, best_kernel_speedup, kernels_identical));
   root.set("determinism", determinism_report(data));
 
   const std::string serialized = dump_json(root);
@@ -307,7 +491,18 @@ int run(int argc, char** argv) {
       std::cerr << "check failed: parallel models diverged from serial\n";
       return 1;
     }
+    if (!kernels_identical) {
+      std::cerr << "check failed: a packed kernel diverged from scalar\n";
+      return 1;
+    }
     std::cerr << "check passed\n";
+  }
+  const double min_speedup = args.get_double("min-speedup", 0.0);
+  if (min_speedup > 0.0 && best_kernel_speedup < min_speedup) {
+    std::cerr << "min-speedup failed: best packed kernel is x"
+              << best_kernel_speedup << " vs scalar, needed x" << min_speedup
+              << "\n";
+    return 1;
   }
   return 0;
 }

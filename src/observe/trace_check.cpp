@@ -136,9 +136,18 @@ class Checker {
       require(index, event, "sample_size", JsonValue::Type::Number);
       require(index, event, "max_bin", JsonValue::Type::Number);
       require(index, event, "bytes", JsonValue::Type::Number);
+      require(index, event, "packed_bytes", JsonValue::Type::Number);
+      const JsonValue* packed_width =
+          require(index, event, "packed_width", JsonValue::Type::String);
       if (scope != nullptr && scope->str != "prefix" && scope->str != "fold") {
         fail(index, "substrate_cache scope must be 'prefix' or 'fold', got '" +
                         scope->str + "'");
+      }
+      if (packed_width != nullptr && packed_width->str != "none" &&
+          packed_width->str != "u8" && packed_width->str != "u16") {
+        fail(index,
+             "substrate_cache packed_width must be none/u8/u16, got '" +
+                 packed_width->str + "'");
       }
     } else if (event.type == "run_summary") {
       check_run_summary(index, event);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "tree/histogram.h"
 
 namespace flaml {
 
@@ -74,13 +75,20 @@ BinMapper BinMapper::fit(const DataView& view, int max_bin) {
 }
 
 std::size_t BinnedSubstrate::bytes() const {
-  return binned.n_rows() * binned.n_features() * sizeof(std::uint16_t);
+  return binned.n_rows() * binned.n_features() * sizeof(std::uint16_t) +
+         packed.bytes();
 }
 
 BinnedSubstrate build_substrate(const DataView& view, int max_bin) {
   BinnedSubstrate substrate;
   substrate.mapper = BinMapper::fit(view, max_bin);
   substrate.binned = substrate.mapper.encode(view);
+  // With the default max_bin = 255 every code fits a byte, so the packed
+  // copy costs half the column matrix — and each trainer that shares this
+  // substrate skips its own per-grower pack.
+  if (packed_bins_enabled()) {
+    substrate.packed = PackedBins::pack(substrate.binned);
+  }
   substrate.max_bin = max_bin;
   return substrate;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "tree/packed_bins.h"
 
 namespace flaml {
 
@@ -74,9 +75,15 @@ class BinMapper {
 struct BinnedSubstrate {
   BinMapper mapper;
   BinnedMatrix binned;
+  // Row-major width-minimal layout of `binned` for the SIMD histogram
+  // kernels (src/tree/histogram.h). Built by build_substrate() unless the
+  // Scalar kernel is forced (packed_bins_enabled() == false), in which case
+  // it stays empty and growers fall back to the column layout — or pack
+  // locally if the kernel changes after the substrate was built.
+  PackedBins packed;
   int max_bin = 0;  // the fit() parameter, for compatibility checks
 
-  // Heap footprint of the encoded matrix (cache accounting).
+  // Heap footprint of the encoded matrix + packed layout (cache accounting).
   std::size_t bytes() const;
 };
 

@@ -51,12 +51,15 @@ struct ClassLeaf {
 
 class ClassGrowContext {
  public:
-  ClassGrowContext(const BinMapper& mapper, const BinnedMatrix& binned, int n_classes,
+  ClassGrowContext(const BinMapper& mapper, const BinnedMatrix& binned,
+                   const PackedBins* packed, HistKernel kernel, int n_classes,
                    const std::vector<std::uint32_t>& rows, const std::vector<int>& labels,
                    const std::vector<double>& weights, const ClassGrowerParams& params,
                    Rng& rng)
       : mapper_(mapper),
         binned_(binned),
+        packed_(packed),
+        kernel_(kernel),
         k_(n_classes),
         labels_(labels),
         weights_(weights),
@@ -176,9 +179,16 @@ class ClassGrowContext {
 
   // Remove a child's rows from an inherited parent histogram (in place).
   void remove_rows_from_hist(const ClassLeaf& child, std::vector<double>& hist) const {
-    remove_rows_from_class_histogram(binned_, offsets_, k_,
-                                     buffer_.data() + child.begin, child.count,
-                                     labels_, weights_, hist, par());
+    if (packed_ != nullptr) {
+      remove_rows_from_class_histogram_packed(
+          *packed_, offsets_, k_, buffer_.data() + child.begin, child.count,
+          labels_, weights_, hist, kernel_, par());
+    } else {
+      remove_rows_from_class_histogram(binned_, offsets_, k_,
+                                       buffer_.data() + child.begin,
+                                       child.count, labels_, weights_, hist,
+                                       par());
+    }
   }
 
   std::vector<double> count_classes(const ClassLeaf& leaf) const {
@@ -190,8 +200,15 @@ class ClassGrowContext {
   }
 
   void build_hist(ClassLeaf& leaf) const {
-    build_class_histogram(binned_, offsets_, k_, buffer_.data() + leaf.begin,
-                          leaf.count, labels_, weights_, leaf.hist, par());
+    if (packed_ != nullptr) {
+      build_class_histogram_packed(*packed_, offsets_, k_,
+                                   buffer_.data() + leaf.begin, leaf.count,
+                                   labels_, weights_, leaf.hist, kernel_,
+                                   par());
+    } else {
+      build_class_histogram(binned_, offsets_, k_, buffer_.data() + leaf.begin,
+                            leaf.count, labels_, weights_, leaf.hist, par());
+    }
   }
 
   std::vector<int> sampled_features() {
@@ -248,10 +265,17 @@ class ClassGrowContext {
     const FeatureBins& fb = mapper_.feature(static_cast<std::size_t>(f));
     const double* hist;
     if (leaf.hist.empty()) {
-      fill_feature_class_counts(binned_.feature(static_cast<std::size_t>(f)),
-                                fb.n_bins(), k_, buffer_.data() + leaf.begin,
-                                leaf.count, labels_, weights_,
-                                scratch.compact_counts);
+      if (packed_ != nullptr) {
+        fill_feature_class_counts_packed(*packed_, f, fb.n_bins(), k_,
+                                         buffer_.data() + leaf.begin,
+                                         leaf.count, labels_, weights_,
+                                         scratch.compact_counts, kernel_);
+      } else {
+        fill_feature_class_counts(binned_.feature(static_cast<std::size_t>(f)),
+                                  fb.n_bins(), k_, buffer_.data() + leaf.begin,
+                                  leaf.count, labels_, weights_,
+                                  scratch.compact_counts);
+      }
       hist = scratch.compact_counts.data();
     } else {
       hist = leaf.hist.data() + offsets_[static_cast<std::size_t>(f)] * k;
@@ -425,6 +449,8 @@ class ClassGrowContext {
 
   const BinMapper& mapper_;
   const BinnedMatrix& binned_;
+  const PackedBins* packed_;  // null = legacy scalar column build
+  HistKernel kernel_;
   int k_;
   const std::vector<int>& labels_;
   const std::vector<double>& weights_;
@@ -441,9 +467,20 @@ class ClassGrowContext {
 }  // namespace
 
 ClassTreeGrower::ClassTreeGrower(const BinMapper& mapper, const BinnedMatrix& binned,
-                                 int n_classes)
-    : mapper_(&mapper), binned_(&binned), n_classes_(n_classes) {
+                                 int n_classes, const PackedBins* packed)
+    : mapper_(&mapper), binned_(&binned), n_classes_(n_classes), packed_(packed) {
   FLAML_REQUIRE(n_classes >= 2, "classification tree needs >= 2 classes");
+  FLAML_REQUIRE(packed == nullptr || (packed->n_rows() == binned.n_rows() &&
+                                      packed->n_features() == binned.n_features()),
+                "packed bins must describe the same matrix as `binned`");
+}
+
+const PackedBins* ClassTreeGrower::packed_or_build() const {
+  if (packed_ != nullptr) return packed_;
+  std::call_once(pack_once_, [this] {
+    owned_packed_ = std::make_unique<PackedBins>(PackedBins::pack(*binned_));
+  });
+  return owned_packed_.get();
 }
 
 Tree ClassTreeGrower::grow(const std::vector<std::uint32_t>& rows,
@@ -462,8 +499,13 @@ Tree ClassTreeGrower::grow(const std::vector<std::uint32_t>& rows,
                 "labels must cover all binned rows");
   FLAML_REQUIRE(weights.empty() || weights.size() == binned_->n_rows(),
                 "weights must cover all binned rows");
-  ClassGrowContext ctx(*mapper_, *binned_, n_classes_, rows, labels, weights,
-                       params, rng);
+  // Resolved once per tree; packed kernels are bit-identical to Scalar, so
+  // the choice never changes the grown tree.
+  const HistKernel kernel = active_hist_kernel();
+  const PackedBins* packed =
+      kernel == HistKernel::Scalar ? nullptr : packed_or_build();
+  ClassGrowContext ctx(*mapper_, *binned_, packed, kernel, n_classes_, rows,
+                       labels, weights, params, rng);
   return ctx.run();
 }
 

@@ -56,11 +56,19 @@ struct LeafState {
 class GrowContext {
  public:
   GrowContext(const BinMapper& mapper, const BinnedMatrix& binned,
+              const PackedBins* packed, HistKernel kernel,
               const std::vector<std::uint32_t>& rows, const std::vector<double>& grad,
               const std::vector<double>& hess, const std::vector<int>& features,
               const GrowerParams& params, Rng& rng)
       : mapper_(mapper),
         binned_(binned),
+        packed_(packed),
+        kernel_(kernel),
+        // hess ≡ 1.0 turns on the kernels' derived-count fast path (MSE
+        // boosting and unweighted ensembles). One O(n_rows) scan per tree.
+        unit_hess_(packed != nullptr &&
+                   std::all_of(hess.begin(), hess.end(),
+                               [](double v) { return v == 1.0; })),
         grad_(grad),
         hess_(hess),
         features_(features),
@@ -75,9 +83,16 @@ class GrowContext {
   HistParallel par() const { return {pool_, params_.n_threads}; }
 
   void build_hist(const LeafState& leaf, std::vector<HistEntry>& hist) const {
-    build_gradient_histogram(binned_, offsets_, features_,
-                             buffer_.data() + leaf.begin, leaf.count, grad_,
-                             hess_, hist, par());
+    if (packed_ != nullptr) {
+      build_gradient_histogram_packed(*packed_, offsets_, features_,
+                                      buffer_.data() + leaf.begin, leaf.count,
+                                      grad_, hess_, unit_hess_, hist, kernel_,
+                                      par());
+    } else {
+      build_gradient_histogram(binned_, offsets_, features_,
+                               buffer_.data() + leaf.begin, leaf.count, grad_,
+                               hess_, hist, par());
+    }
   }
 
   // Candidate features for one split search (colsample_bylevel).
@@ -469,6 +484,9 @@ class GrowContext {
  private:
   const BinMapper& mapper_;
   const BinnedMatrix& binned_;
+  const PackedBins* packed_;  // null = legacy scalar column build
+  HistKernel kernel_;
+  bool unit_hess_;
   const std::vector<double>& grad_;
   const std::vector<double>& hess_;
   const std::vector<int>& features_;
@@ -488,8 +506,22 @@ class GrowContext {
 
 }  // namespace
 
-GradientTreeGrower::GradientTreeGrower(const BinMapper& mapper, const BinnedMatrix& binned)
-    : mapper_(&mapper), binned_(&binned) {}
+GradientTreeGrower::GradientTreeGrower(const BinMapper& mapper,
+                                       const BinnedMatrix& binned,
+                                       const PackedBins* packed)
+    : mapper_(&mapper), binned_(&binned), packed_(packed) {
+  FLAML_REQUIRE(packed == nullptr || (packed->n_rows() == binned.n_rows() &&
+                                      packed->n_features() == binned.n_features()),
+                "packed bins must describe the same matrix as `binned`");
+}
+
+const PackedBins* GradientTreeGrower::packed_or_build() const {
+  if (packed_ != nullptr) return packed_;
+  std::call_once(pack_once_, [this] {
+    owned_packed_ = std::make_unique<PackedBins>(PackedBins::pack(*binned_));
+  });
+  return owned_packed_.get();
+}
 
 Tree GradientTreeGrower::grow(const std::vector<std::uint32_t>& rows,
                               const std::vector<double>& grad,
@@ -500,7 +532,14 @@ Tree GradientTreeGrower::grow(const std::vector<std::uint32_t>& rows,
   FLAML_REQUIRE(!features.empty(), "cannot grow a tree with zero features");
   FLAML_REQUIRE(grad.size() == binned_->n_rows() && hess.size() == binned_->n_rows(),
                 "gradient arrays must cover all binned rows");
-  GrowContext ctx(*mapper_, *binned_, rows, grad, hess, features, params, rng);
+  // Resolved once per tree (env read + cpuid), not per leaf. The packed
+  // kernels are bit-identical to the Scalar reference, so the choice never
+  // changes the grown tree — only how fast the histograms fill.
+  const HistKernel kernel = active_hist_kernel();
+  const PackedBins* packed =
+      kernel == HistKernel::Scalar ? nullptr : packed_or_build();
+  GrowContext ctx(*mapper_, *binned_, packed, kernel, rows, grad, hess,
+                  features, params, rng);
   return ctx.run();
 }
 

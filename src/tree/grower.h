@@ -12,10 +12,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/rng.h"
 #include "tree/binning.h"
+#include "tree/packed_bins.h"
 #include "tree/tree.h"
 
 namespace flaml {
@@ -45,7 +48,13 @@ class GradientTreeGrower {
  public:
   // `mapper`/`binned` describe the training rows (binned once per training
   // run); `view` is the matching raw view used only to fetch raw thresholds.
-  GradientTreeGrower(const BinMapper& mapper, const BinnedMatrix& binned);
+  // `packed` optionally shares a pre-built row-major layout of the SAME
+  // matrix (e.g. from a cached BinnedSubstrate); when null and the active
+  // histogram kernel is not Scalar, the grower packs `binned` itself, once,
+  // on first use (thread-safe — forests grow trees concurrently from one
+  // grower).
+  GradientTreeGrower(const BinMapper& mapper, const BinnedMatrix& binned,
+                     const PackedBins* packed = nullptr);
 
   // Grow one tree on `rows` (positions into the binned matrix) with
   // per-position gradients/hessians (indexed by position, not by row id).
@@ -55,8 +64,13 @@ class GradientTreeGrower {
             const GrowerParams& params, Rng& rng) const;
 
  private:
+  const PackedBins* packed_or_build() const;
+
   const BinMapper* mapper_;
   const BinnedMatrix* binned_;
+  const PackedBins* packed_;
+  mutable std::once_flag pack_once_;
+  mutable std::unique_ptr<PackedBins> owned_packed_;
 };
 
 }  // namespace flaml

@@ -1,0 +1,54 @@
+// Baseline-ISA kernel tables: the portable (plain C++) table and, on x86,
+// the SSE2 table. See hist_kernels_impl.h for why the shared bodies are
+// included inside an anonymous namespace.
+
+#include "tree/hist_kernels.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__SSE2__) || defined(_M_X64) || \
+    (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
+#define FLAML_HIST_HAVE_SSE2 1
+#include <emmintrin.h>
+#endif
+
+namespace flaml {
+namespace histdetail {
+namespace {
+
+#include "tree/hist_kernels_impl.h"
+
+}  // namespace
+
+const KernelFns* portable_fns() {
+  static const KernelFns fns = {
+      &grad_entry<std::uint8_t, PortableOps>,
+      &grad_entry<std::uint16_t, PortableOps>,
+      &class_entry<std::uint8_t>,
+      &class_entry<std::uint16_t>,
+      &fill_entry<std::uint8_t>,
+      &fill_entry<std::uint16_t>,
+  };
+  return &fns;
+}
+
+const KernelFns* sse2_fns() {
+#if defined(FLAML_HIST_HAVE_SSE2)
+  static const KernelFns fns = {
+      &grad_entry<std::uint8_t, PairOps>,
+      &grad_entry<std::uint16_t, PairOps>,
+      &class_entry<std::uint8_t>,
+      &class_entry<std::uint16_t>,
+      &fill_entry<std::uint8_t>,
+      &fill_entry<std::uint16_t>,
+  };
+  return &fns;
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace histdetail
+}  // namespace flaml

@@ -1,0 +1,56 @@
+// AVX2 kernel table. This TU is the only one compiled with -mavx2 (CMake
+// sets FLAML_HIST_COMPILE_AVX2 after a compiler check), so every body here
+// gets VEX encodings and 256-bit autovectorization of the auxiliary passes
+// (the unit-hessian n-fixup sweep). The scatter core itself stays the
+// 128-bit paired (g, h) add: AVX2 has gathers but no scatters, and the
+// paired add is what keeps results bit-identical to the scalar reference —
+// a wider reordering kernel would break the 0-ulp differential contract.
+//
+// Callers must gate on runtime CPU support (hist_kernel_available checks
+// __builtin_cpu_supports("avx2")) before invoking this table.
+
+#include "tree/hist_kernels.h"
+
+#if defined(FLAML_HIST_COMPILE_AVX2)
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <immintrin.h>
+
+#define FLAML_HIST_HAVE_SSE2 1
+
+namespace flaml {
+namespace histdetail {
+namespace {
+
+#include "tree/hist_kernels_impl.h"
+
+}  // namespace
+
+const KernelFns* avx2_fns() {
+  static const KernelFns fns = {
+      &grad_entry<std::uint8_t, PairOps>,
+      &grad_entry<std::uint16_t, PairOps>,
+      &class_entry<std::uint8_t>,
+      &class_entry<std::uint16_t>,
+      &fill_entry<std::uint8_t>,
+      &fill_entry<std::uint16_t>,
+  };
+  return &fns;
+}
+
+}  // namespace histdetail
+}  // namespace flaml
+
+#else  // !FLAML_HIST_COMPILE_AVX2
+
+namespace flaml {
+namespace histdetail {
+
+const KernelFns* avx2_fns() { return nullptr; }
+
+}  // namespace histdetail
+}  // namespace flaml
+
+#endif

@@ -1,6 +1,12 @@
 #include "tree/histogram.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/error.h"
+#include "tree/hist_kernels.h"
 
 namespace flaml {
 
@@ -11,7 +17,103 @@ namespace {
 // callers take the same path for the same leaf.
 constexpr std::size_t kMinRowsForParallelBuild = 512;
 
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+const histdetail::KernelFns* fns_for(HistKernel k) {
+  switch (k) {
+    case HistKernel::Portable:
+      return histdetail::portable_fns();
+    case HistKernel::Sse2:
+      return histdetail::sse2_fns();
+    case HistKernel::Avx2:
+      return histdetail::avx2_fns();
+    case HistKernel::Scalar:
+      break;
+  }
+  return nullptr;
+}
+
+// rows == [0, count) exactly — the root build. Detected per call: the scan
+// is one compare per row vs n_features accumulates per row for the build,
+// and non-root leaves bail out on the first mismatch.
+bool rows_are_iota(const std::uint32_t* rows, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (rows[i] != static_cast<std::uint32_t>(i)) return false;
+  }
+  return true;
+}
+
 }  // namespace
+
+const char* hist_kernel_name(HistKernel k) {
+  switch (k) {
+    case HistKernel::Scalar:
+      return "scalar";
+    case HistKernel::Portable:
+      return "portable";
+    case HistKernel::Sse2:
+      return "sse2";
+    case HistKernel::Avx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool hist_kernel_available(HistKernel k) {
+  switch (k) {
+    case HistKernel::Scalar:
+    case HistKernel::Portable:
+      return true;
+    case HistKernel::Sse2:
+      return histdetail::sse2_fns() != nullptr;
+    case HistKernel::Avx2:
+      return histdetail::avx2_fns() != nullptr && cpu_has_avx2();
+  }
+  return false;
+}
+
+HistKernel best_hist_kernel() {
+  if (hist_kernel_available(HistKernel::Avx2)) return HistKernel::Avx2;
+  if (hist_kernel_available(HistKernel::Sse2)) return HistKernel::Sse2;
+  return HistKernel::Portable;
+}
+
+HistKernel active_hist_kernel() {
+  const char* env = std::getenv("FLAML_HISTOGRAM_KERNEL");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "auto") == 0 ||
+      std::strcmp(env, "simd") == 0) {
+    return best_hist_kernel();
+  }
+  HistKernel forced;
+  if (std::strcmp(env, "scalar") == 0) {
+    forced = HistKernel::Scalar;
+  } else if (std::strcmp(env, "portable") == 0) {
+    forced = HistKernel::Portable;
+  } else if (std::strcmp(env, "sse2") == 0) {
+    forced = HistKernel::Sse2;
+  } else if (std::strcmp(env, "avx2") == 0) {
+    forced = HistKernel::Avx2;
+  } else {
+    FLAML_REQUIRE(false, "FLAML_HISTOGRAM_KERNEL='"
+                             << env
+                             << "' (want auto|simd|scalar|portable|sse2|avx2)");
+    return HistKernel::Scalar;  // unreachable
+  }
+  FLAML_REQUIRE(hist_kernel_available(forced),
+                "FLAML_HISTOGRAM_KERNEL=" << env
+                                          << " is not available on this host");
+  return forced;
+}
+
+bool packed_bins_enabled() {
+  return active_hist_kernel() != HistKernel::Scalar;
+}
 
 std::vector<std::size_t> histogram_offsets(const BinMapper& mapper) {
   std::vector<std::size_t> offsets(mapper.n_features() + 1, 0);
@@ -46,6 +148,42 @@ void build_gradient_histogram(const BinnedMatrix& binned,
   sharded_for(pool, par.n_threads, features.size(),
               [&](std::size_t begin, std::size_t end) {
                 for (std::size_t i = begin; i < end; ++i) fill_feature(features[i]);
+              });
+}
+
+void build_gradient_histogram_packed(
+    const PackedBins& packed, const std::vector<std::size_t>& offsets,
+    const std::vector<int>& features, const std::uint32_t* rows,
+    std::size_t count, const std::vector<double>& grad,
+    const std::vector<double>& hess, bool unit_hess,
+    std::vector<HistEntry>& hist, HistKernel kernel, const HistParallel& par) {
+  const histdetail::KernelFns* fns = fns_for(kernel);
+  FLAML_REQUIRE(fns != nullptr, "'" << hist_kernel_name(kernel)
+                                    << "' is not a packed histogram kernel");
+  hist.assign(offsets.back(), HistEntry{});
+  if (count == 0 || features.empty()) return;
+  histdetail::GradCall call;
+  call.offsets = offsets.data();
+  call.rows = rows;
+  call.count = count;
+  call.grad = grad.data();
+  call.hess = hess.data();
+  call.unit = unit_hess;
+  call.iota = rows_are_iota(rows, count);
+  call.hist = hist.data();
+  const std::size_t stride = packed.n_features();
+  ThreadPool* pool =
+      count >= kMinRowsForParallelBuild && features.size() >= 2 ? par.pool : nullptr;
+  sharded_for(pool, par.n_threads, features.size(),
+              [&](std::size_t begin, std::size_t end) {
+                histdetail::GradCall c = call;
+                c.features = features.data() + begin;
+                c.n_sel = end - begin;
+                if (packed.wide()) {
+                  fns->grad_u16(packed.codes16(), stride, c);
+                } else {
+                  fns->grad_u8(packed.codes8(), stride, c);
+                }
               });
 }
 
@@ -96,6 +234,71 @@ void build_class_histogram(const BinnedMatrix& binned,
               });
 }
 
+namespace {
+
+// Shared body of the packed class build/remove: identical except for the
+// zeroing (build only) and the accumulation sign.
+void run_class_kernel_packed(const PackedBins& packed,
+                             const std::vector<std::size_t>& offsets,
+                             int n_classes, const std::uint32_t* rows,
+                             std::size_t count, const std::vector<int>& labels,
+                             const std::vector<double>& weights, bool negate,
+                             std::vector<double>& hist, HistKernel kernel,
+                             const HistParallel& par) {
+  const histdetail::KernelFns* fns = fns_for(kernel);
+  FLAML_REQUIRE(fns != nullptr, "'" << hist_kernel_name(kernel)
+                                    << "' is not a packed histogram kernel");
+  if (count == 0) return;
+  histdetail::ClassCall call;
+  call.offsets = offsets.data();
+  call.k = static_cast<std::size_t>(n_classes);
+  call.rows = rows;
+  call.count = count;
+  call.labels = labels.data();
+  call.weights = weights.empty() ? nullptr : weights.data();
+  call.negate = negate;
+  call.iota = rows_are_iota(rows, count);
+  call.hist = hist.data();
+  const std::size_t n_features = packed.n_features();
+  ThreadPool* pool =
+      count >= kMinRowsForParallelBuild && n_features >= 2 ? par.pool : nullptr;
+  sharded_for(pool, par.n_threads, n_features,
+              [&](std::size_t begin, std::size_t end) {
+                histdetail::ClassCall c = call;
+                c.f_begin = begin;
+                c.f_end = end;
+                if (packed.wide()) {
+                  fns->cls_u16(packed.codes16(), n_features, c);
+                } else {
+                  fns->cls_u8(packed.codes8(), n_features, c);
+                }
+              });
+}
+
+}  // namespace
+
+void build_class_histogram_packed(const PackedBins& packed,
+                                  const std::vector<std::size_t>& offsets,
+                                  int n_classes, const std::uint32_t* rows,
+                                  std::size_t count,
+                                  const std::vector<int>& labels,
+                                  const std::vector<double>& weights,
+                                  std::vector<double>& hist, HistKernel kernel,
+                                  const HistParallel& par) {
+  hist.assign(offsets.back() * static_cast<std::size_t>(n_classes), 0.0);
+  run_class_kernel_packed(packed, offsets, n_classes, rows, count, labels,
+                          weights, /*negate=*/false, hist, kernel, par);
+}
+
+void remove_rows_from_class_histogram_packed(
+    const PackedBins& packed, const std::vector<std::size_t>& offsets,
+    int n_classes, const std::uint32_t* rows, std::size_t count,
+    const std::vector<int>& labels, const std::vector<double>& weights,
+    std::vector<double>& hist, HistKernel kernel, const HistParallel& par) {
+  run_class_kernel_packed(packed, offsets, n_classes, rows, count, labels,
+                          weights, /*negate=*/true, hist, kernel, par);
+}
+
 void remove_rows_from_class_histogram(const BinnedMatrix& binned,
                                       const std::vector<std::size_t>& offsets,
                                       int n_classes, const std::uint32_t* rows,
@@ -139,6 +342,36 @@ void fill_feature_class_counts(const std::vector<std::uint16_t>& col,
     out[static_cast<std::size_t>(col[pos]) * k +
         static_cast<std::size_t>(labels[pos])] +=
         weights.empty() ? 1.0 : weights[pos];
+  }
+}
+
+void fill_feature_class_counts_packed(const PackedBins& packed, int feature,
+                                      int n_bins, int n_classes,
+                                      const std::uint32_t* rows,
+                                      std::size_t count,
+                                      const std::vector<int>& labels,
+                                      const std::vector<double>& weights,
+                                      std::vector<double>& out,
+                                      HistKernel kernel) {
+  const histdetail::KernelFns* fns = fns_for(kernel);
+  FLAML_REQUIRE(fns != nullptr, "'" << hist_kernel_name(kernel)
+                                    << "' is not a packed histogram kernel");
+  const std::size_t k = static_cast<std::size_t>(n_classes);
+  const std::size_t cells = static_cast<std::size_t>(n_bins) * k;
+  if (out.size() < cells) out.resize(cells);
+  std::fill(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(cells), 0.0);
+  histdetail::FillCall call;
+  call.feature = static_cast<std::size_t>(feature);
+  call.k = k;
+  call.rows = rows;
+  call.count = count;
+  call.labels = labels.data();
+  call.weights = weights.empty() ? nullptr : weights.data();
+  call.out = out.data();
+  if (packed.wide()) {
+    fns->fill_u16(packed.codes16(), packed.n_features(), call);
+  } else {
+    fns->fill_u8(packed.codes8(), packed.n_features(), call);
   }
 }
 

@@ -21,6 +21,7 @@
 
 #include "common/thread_pool.h"
 #include "tree/binning.h"
+#include "tree/packed_bins.h"
 
 namespace flaml {
 
@@ -29,6 +30,34 @@ struct HistEntry {
   double h = 0.0;
   std::uint32_t n = 0;
 };
+
+// Histogram build implementations, selectable via FLAML_HISTOGRAM_KERNEL:
+//   * Scalar   — the legacy column-major reference loop below (no packed
+//                layout); the escape hatch that preserves the pre-kernel
+//                code path byte for byte.
+//   * Portable — packed row-major tiles, plain C++ accumulators.
+//   * Sse2     — packed tiles with a paired 128-bit (g, h) add.
+//   * Avx2     — same algorithm compiled for AVX2 (VEX + wider auxiliary
+//                passes; the scatter core stays the paired add).
+// All four produce bit-identical histograms: Portable/Sse2/Avx2 run the
+// same adds in the same order as Scalar (see hist_kernels.h), which is why
+// the fast path can default on under the existing golden digests.
+enum class HistKernel { Scalar, Portable, Sse2, Avx2 };
+
+const char* hist_kernel_name(HistKernel k);
+// Compile-time AND runtime support (e.g. Avx2 needs both the -mavx2 build
+// and cpuid).
+bool hist_kernel_available(HistKernel k);
+// Fastest available: Avx2 > Sse2 > Portable.
+HistKernel best_hist_kernel();
+// Resolve FLAML_HISTOGRAM_KERNEL: unset/"auto"/"simd" -> best available;
+// "scalar"/"portable"/"sse2"/"avx2" force one (FLAML_REQUIRE on an unknown
+// value or an unavailable forced kernel). Re-reads the environment on every
+// call — growers resolve once per tree, not per leaf.
+HistKernel active_hist_kernel();
+// False only when the active kernel is Scalar: substrates skip building the
+// packed layout entirely when the escape hatch is forced.
+bool packed_bins_enabled();
 
 // Per-feature start slots: offsets[f] sums n_bins() of features before f;
 // offsets.back() is the total bin count.
@@ -52,6 +81,21 @@ void build_gradient_histogram(const BinnedMatrix& binned,
                               std::vector<HistEntry>& hist,
                               const HistParallel& par = {});
 
+// Packed fast path of build_gradient_histogram: identical signature
+// semantics over the row-major PackedBins layout. `unit_hess` asserts that
+// hess[pos] == 1.0 for every addressed row (the caller checks once per
+// tree); the kernel then drops the per-row count update and derives n from
+// the h sums — exact, since they are integer-valued doubles. `kernel` must
+// be a packed kernel (not Scalar) and available. Bit-identical to the
+// scalar build at every thread count.
+void build_gradient_histogram_packed(
+    const PackedBins& packed, const std::vector<std::size_t>& offsets,
+    const std::vector<int>& features, const std::uint32_t* rows,
+    std::size_t count, const std::vector<double>& grad,
+    const std::vector<double>& hess, bool unit_hess,
+    std::vector<HistEntry>& hist, HistKernel kernel,
+    const HistParallel& par = {});
+
 // out = parent - child, element-wise.
 void subtract_gradient_histogram(const std::vector<HistEntry>& parent,
                                  const std::vector<HistEntry>& child,
@@ -72,6 +116,17 @@ void build_class_histogram(const BinnedMatrix& binned,
                            std::vector<double>& hist,
                            const HistParallel& par = {});
 
+// Packed fast path of build_class_histogram (all mapper features, like the
+// scalar build). Bit-identical to the scalar build at every thread count.
+void build_class_histogram_packed(const PackedBins& packed,
+                                  const std::vector<std::size_t>& offsets,
+                                  int n_classes, const std::uint32_t* rows,
+                                  std::size_t count,
+                                  const std::vector<int>& labels,
+                                  const std::vector<double>& weights,
+                                  std::vector<double>& hist, HistKernel kernel,
+                                  const HistParallel& par = {});
+
 // Remove the rows' mass from an inherited parent histogram in place — the
 // class-layout analogue of subtract: afterwards hist equals a direct build
 // over the remaining sibling rows (up to float summation order).
@@ -84,6 +139,14 @@ void remove_rows_from_class_histogram(const BinnedMatrix& binned,
                                       std::vector<double>& hist,
                                       const HistParallel& par = {});
 
+// Packed fast path of remove_rows_from_class_histogram. Accumulates -w,
+// which IEEE-754 guarantees equals the legacy `-=` bit for bit.
+void remove_rows_from_class_histogram_packed(
+    const PackedBins& packed, const std::vector<std::size_t>& offsets,
+    int n_classes, const std::uint32_t* rows, std::size_t count,
+    const std::vector<int>& labels, const std::vector<double>& weights,
+    std::vector<double>& hist, HistKernel kernel, const HistParallel& par = {});
+
 // One feature's slice in compact scratch layout [bin * k + c]: the
 // small-leaf path that retains no histogram rebuilds exactly this on
 // demand. out is resized/zeroed to n_bins * n_classes.
@@ -93,5 +156,18 @@ void fill_feature_class_counts(const std::vector<std::uint16_t>& col,
                                const std::vector<int>& labels,
                                const std::vector<double>& weights,
                                std::vector<double>& out);
+
+// Packed fast path of fill_feature_class_counts. The row-major layout also
+// helps here: the compact small-leaf scan calls this per candidate feature
+// over the SAME small row set, so the rows' packed lines stay hot across
+// features.
+void fill_feature_class_counts_packed(const PackedBins& packed, int feature,
+                                      int n_bins, int n_classes,
+                                      const std::uint32_t* rows,
+                                      std::size_t count,
+                                      const std::vector<int>& labels,
+                                      const std::vector<double>& weights,
+                                      std::vector<double>& out,
+                                      HistKernel kernel);
 
 }  // namespace flaml

@@ -14,6 +14,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <string>
@@ -161,6 +162,90 @@ void expect_cache_transparent(ResamplingPolicy resampling,
   // The cached run actually exercised the cache; the fresh run never built one.
   EXPECT_GT(cached.metrics().value("substrate_cache.hits"), 0.0) << what;
   EXPECT_DOUBLE_EQ(fresh.metrics().value("substrate_cache.hits"), 0.0) << what;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram-kernel goldens: the packed SIMD kernels are documented to be
+// bit-identical to the legacy scalar build (src/tree/histogram.h), so ONE
+// pinned digest must cover every FLAML_HISTOGRAM_KERNEL setting. These runs
+// use real tree learners — the stub lineup never bins data — and pin:
+//   * scalar-forced == the digest (the pre-kernel code path, byte for byte);
+//   * auto (unset) and simd-forced == the SAME digest;
+//   * run-to-run and n_parallel=1 vs 2 determinism under the simd kernels.
+// A mismatch between kernel settings is a kernel correctness bug — never
+// re-pin around it. Re-pin the constants only for intentional changes to the
+// search loop or the tree learners themselves.
+
+// Scoped FLAML_HISTOGRAM_KERNEL override; restores the prior value so kernel
+// goldens cannot leak into later tests.
+class ScopedKernelEnv {
+ public:
+  explicit ScopedKernelEnv(const char* value) {
+    const char* old = std::getenv("FLAML_HISTOGRAM_KERNEL");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value == nullptr) {
+      ::unsetenv("FLAML_HISTOGRAM_KERNEL");
+    } else {
+      ::setenv("FLAML_HISTOGRAM_KERNEL", value, 1);
+    }
+  }
+  ~ScopedKernelEnv() {
+    if (had_old_) {
+      ::setenv("FLAML_HISTOGRAM_KERNEL", old_.c_str(), 1);
+    } else {
+      ::unsetenv("FLAML_HISTOGRAM_KERNEL");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+std::uint64_t real_search_digest(std::size_t n_parallel) {
+  const Dataset data = resume_tiny_binary(2024);
+  AutoML automl;
+  automl.fit(data, real_options(false, ResamplingPolicy::ForceHoldout,
+                                n_parallel));
+  EXPECT_FALSE(automl.history().empty());
+  return history_digest(automl.history());
+}
+
+// Pinned digests of the seed-7 real-learner holdout search. One constant per
+// n_parallel serves every kernel setting.
+constexpr std::uint64_t kRealSerialDigest = 0x4761dfa18c7e2d32ULL;
+constexpr std::uint64_t kRealParallelDigest = 0x7ba5ed9c505cf6f1ULL;
+
+void expect_digest(std::uint64_t got, std::uint64_t want,
+                   const std::string& what) {
+  std::ostringstream g, w;
+  g << std::hex << got;
+  w << std::hex << want;
+  EXPECT_EQ(g.str(), w.str())
+      << what << ": the kernel-golden search history changed. If the search "
+      << "or the learners changed intentionally, re-pin; if only the "
+      << "histogram kernels changed, this is a bit-identity bug.";
+}
+
+TEST(GoldenSearch, ScalarKernelForcedMatchesPinnedDigest) {
+  ScopedKernelEnv env("scalar");
+  expect_digest(real_search_digest(1), kRealSerialDigest, "scalar serial");
+  expect_digest(real_search_digest(2), kRealParallelDigest, "scalar parallel");
+}
+
+TEST(GoldenSearch, SimdKernelMatchesScalarDigestAndIsRunToRunStable) {
+  {
+    ScopedKernelEnv env(nullptr);  // auto: best available packed kernel
+    expect_digest(real_search_digest(1), kRealSerialDigest, "auto serial");
+  }
+  ScopedKernelEnv env("simd");
+  expect_digest(real_search_digest(1), kRealSerialDigest, "simd serial run 1");
+  expect_digest(real_search_digest(1), kRealSerialDigest, "simd serial run 2");
+  expect_digest(real_search_digest(2), kRealParallelDigest,
+                "simd parallel run 1");
+  expect_digest(real_search_digest(2), kRealParallelDigest,
+                "simd parallel run 2");
 }
 
 TEST(GoldenSearch, SubstrateCacheTransparentHoldoutSerial) {

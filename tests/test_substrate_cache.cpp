@@ -17,6 +17,7 @@
 #include "observe/metrics.h"
 #include "observe/trace.h"
 #include "support/prop.h"
+#include "tree/histogram.h"
 
 namespace flaml {
 namespace {
@@ -83,8 +84,14 @@ TEST(SubstrateCache, HitMissAndBytesCounters) {
   const SubstrateCache::Counters c = cache.counters();
   EXPECT_EQ(c.hits, 1u);
   EXPECT_EQ(c.misses, 3u);
-  // 3 substrates of 100/100/50 rows × 5 features × 2 bytes.
-  EXPECT_EQ(c.bytes, (100 + 100 + 50) * 5 * sizeof(std::uint16_t));
+  // 3 substrates of 100/100/50 rows × 5 features: 2-byte columns, plus the
+  // 1-byte packed row-major plane (all codes ≤ 255 here) unless the scalar
+  // kernel escape hatch disabled packing.
+  const std::size_t cells = (100 + 100 + 50) * 5;
+  const std::size_t expected_bytes =
+      cells * sizeof(std::uint16_t) +
+      (packed_bins_enabled() ? cells * sizeof(std::uint8_t) : 0);
+  EXPECT_EQ(c.bytes, expected_bytes);
   EXPECT_DOUBLE_EQ(metrics.value("substrate_cache.hits"), 1.0);
   EXPECT_DOUBLE_EQ(metrics.value("substrate_cache.misses"), 3.0);
   EXPECT_DOUBLE_EQ(metrics.value("substrate_cache.bytes"),
