@@ -1,0 +1,254 @@
+// Search-daemon benchmark (src/server): pushes K independent AutoML jobs
+// through the SearchDaemon at slot counts {1, 2, 4} and compares against
+// running the same K searches sequentially in-process. Writes
+// machine-readable results to BENCH_server.json: wall time, jobs/sec and
+// speedup-vs-sequential per slot count, plus a determinism report — every
+// daemon-scheduled job's trial history (learner, sample size, error/cost
+// bits, best-so-far) must be bit-identical to its sequential reference run,
+// whatever the scheduler's interleaving. Each job uses a deterministic trial
+// cost model so the search is a pure function of its options and seed.
+//
+// Usage:
+//   bench_server [--jobs=K] [--trials=N] [--rows=N] [--features=N]
+//                [--out=BENCH_server.json] [--check]
+// --check re-reads the emitted file through the JSON parser, validates its
+// shape and requires the determinism report to be all-true (the ctest smoke
+// test runs this).
+#include <bit>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "args.h"
+#include "automl/automl.h"
+#include "common/clock.h"
+#include "common/json.h"
+#include "data/generators.h"
+#include "server/daemon.h"
+
+namespace flaml::bench {
+namespace {
+
+constexpr std::size_t kSlotCounts[] = {1, 2, 4};
+
+Dataset job_dataset(std::size_t n_rows, int n_features, std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.task = Task::BinaryClassification;
+  spec.n_rows = n_rows;
+  spec.n_features = n_features;
+  spec.class_sep = 1.1;
+  spec.nonlinearity = 0.4;
+  spec.seed = seed;
+  return make_classification(spec);
+}
+
+// Deterministic trial cost — a pure function of (learner, sample size) — so
+// the ECI bookkeeping, and through it the whole search, is seed-pure and the
+// daemon's interleaving cannot leak into any job's history.
+AutoMLOptions job_options(std::uint64_t seed, std::size_t trials) {
+  AutoMLOptions options;
+  options.time_budget_seconds = 1e6;  // the iteration cap terminates, not time
+  options.max_iterations = trials;
+  options.initial_sample_size = 32;
+  options.resampling = ResamplingPolicy::ForceHoldout;
+  options.estimator_list = {"lgbm", "rf"};
+  options.trial_cost_model = [](const Learner& learner, const Config&,
+                                std::size_t sample_size) {
+    return learner.initial_cost_multiplier() *
+           (0.05 + 0.001 * static_cast<double>(sample_size));
+  };
+  options.seed = seed;
+  return options;
+}
+
+std::string hex_bits(double value) {
+  std::ostringstream out;
+  out << std::hex << std::bit_cast<std::uint64_t>(value);
+  return out.str();
+}
+
+// A bit-exact digest of everything the determinism contract covers:
+// record-for-record history plus the winning model's identity.
+std::string fingerprint(const AutoML& automl) {
+  std::ostringstream out;
+  for (const TrialRecord& record : automl.history()) {
+    out << record.iteration << ':' << record.learner << ':'
+        << record.sample_size << ':' << hex_bits(record.error) << ':'
+        << hex_bits(record.cost) << ':' << hex_bits(record.best_error_so_far)
+        << ';';
+  }
+  out << '|' << automl.best_learner() << ':' << hex_bits(automl.best_error())
+      << ':' << automl.best_sample_size();
+  return out.str();
+}
+
+void check_result_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot reopen " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue root = parse_json(buffer.str());
+  if (!root.is_object()) throw std::runtime_error("root is not an object");
+  for (const char* key : {"jobs", "trials", "sequential_seconds"}) {
+    const JsonValue* v = root.find(key);
+    if (v == nullptr || !v->is_number()) {
+      throw std::runtime_error(std::string("missing numeric field '") + key +
+                               "'");
+    }
+  }
+  const JsonValue* determinism = root.find("determinism");
+  if (determinism == nullptr || determinism->find("all_identical") == nullptr) {
+    throw std::runtime_error("missing determinism report");
+  }
+  if (!determinism->at("all_identical").boolean) {
+    throw std::runtime_error(
+        "daemon-scheduled job histories diverged from sequential runs");
+  }
+  const JsonValue* sections = root.find("sections");
+  if (sections == nullptr || !sections->is_array() ||
+      sections->array.size() != std::size(kSlotCounts)) {
+    throw std::runtime_error("missing or short sections array");
+  }
+  for (const JsonValue& section : sections->array) {
+    for (const char* key :
+         {"slots", "seconds", "jobs_per_sec", "speedup_vs_sequential"}) {
+      const JsonValue* v = section.find(key);
+      if (v == nullptr || !v->is_number() || v->number < 0.0) {
+        throw std::runtime_error(std::string("malformed timing field '") + key +
+                                 "'");
+      }
+    }
+  }
+}
+
+int run(int argc, char** argv) {
+  Args args(argc, argv);
+  const int n_jobs = args.get_int("jobs", 8);
+  const int n_trials = args.get_int("trials", 24);
+  const int n_rows = args.get_int("rows", 400);
+  const int n_features = args.get_int("features", 6);
+  const std::string out_path = args.get_string("out", "BENCH_server.json");
+
+  std::cerr << "bench_server: jobs=" << n_jobs << " trials=" << n_trials
+            << " rows=" << n_rows << " features=" << n_features << "\n";
+
+  std::vector<std::shared_ptr<const Dataset>> datasets;
+  for (int j = 0; j < n_jobs; ++j) {
+    datasets.push_back(std::make_shared<const Dataset>(job_dataset(
+        static_cast<std::size_t>(n_rows), n_features, 0xD00D + j)));
+  }
+  const auto seed_of = [](int j) {
+    return static_cast<std::uint64_t>(7 + j);
+  };
+
+  WallClock clock;
+
+  // Sequential baseline: the same K searches, one at a time, in-process.
+  std::vector<std::string> reference;
+  const double sequential_start = clock.now();
+  {
+    std::vector<std::unique_ptr<AutoML>> runs;
+    for (int j = 0; j < n_jobs; ++j) {
+      runs.push_back(std::make_unique<AutoML>());
+      runs.back()->fit(*datasets[j], job_options(seed_of(j),
+                                                 static_cast<std::size_t>(
+                                                     n_trials)));
+    }
+    for (const auto& run : runs) reference.push_back(fingerprint(*run));
+  }
+  const double sequential_seconds = clock.now() - sequential_start;
+  std::cerr << "  sequential: " << sequential_seconds << "s\n";
+
+  JsonValue sections = JsonValue::make_array();
+  bool all_identical = true;
+  for (std::size_t slots : kSlotCounts) {
+    server::SearchDaemon::Options daemon_options;
+    daemon_options.slots = slots;
+    server::SearchDaemon daemon(daemon_options);
+    const double start = clock.now();
+    std::vector<std::uint64_t> ids;
+    for (int j = 0; j < n_jobs; ++j) {
+      server::JobOptions job;
+      job.name = "bench-" + std::to_string(j);
+      ids.push_back(daemon.submit(
+          datasets[j], job_options(seed_of(j),
+                                   static_cast<std::size_t>(n_trials)),
+          job));
+    }
+    daemon.wait_all();
+    const double seconds = clock.now() - start;
+    std::size_t identical = 0;
+    for (int j = 0; j < n_jobs; ++j) {
+      if (daemon.state(ids[j]) == server::JobState::Finished &&
+          fingerprint(daemon.automl(ids[j])) == reference[j]) {
+        ++identical;
+      }
+    }
+    daemon.shutdown();
+    if (identical != static_cast<std::size_t>(n_jobs)) all_identical = false;
+
+    JsonValue section = JsonValue::make_object();
+    section.set("slots", JsonValue::make_number(static_cast<double>(slots)));
+    section.set("seconds", JsonValue::make_number(seconds));
+    section.set("jobs_per_sec",
+                JsonValue::make_number(seconds > 0.0 ? n_jobs / seconds : 0.0));
+    section.set("speedup_vs_sequential",
+                JsonValue::make_number(
+                    seconds > 0.0 ? sequential_seconds / seconds : 0.0));
+    section.set("identical_jobs",
+                JsonValue::make_number(static_cast<double>(identical)));
+    sections.push(std::move(section));
+    std::cerr << "  slots=" << slots << ": " << seconds << "s (identical "
+              << identical << "/" << n_jobs << ")\n";
+  }
+
+  JsonValue root = JsonValue::make_object();
+  root.set("benchmark", JsonValue::make_string("server"));
+  root.set("jobs", JsonValue::make_number(n_jobs));
+  root.set("trials", JsonValue::make_number(n_trials));
+  root.set("rows", JsonValue::make_number(n_rows));
+  root.set("features", JsonValue::make_number(n_features));
+  root.set("hardware_concurrency",
+           JsonValue::make_number(std::thread::hardware_concurrency()));
+  root.set("sequential_seconds", JsonValue::make_number(sequential_seconds));
+  root.set("sections", std::move(sections));
+  JsonValue determinism = JsonValue::make_object();
+  determinism.set("all_identical", JsonValue::make_bool(all_identical));
+  root.set("determinism", std::move(determinism));
+
+  const std::string serialized = dump_json(root);
+  {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    out << serialized;
+  }
+  std::cerr << "wrote " << out_path << "\n";
+
+  if (args.has("check")) {
+    check_result_file(out_path);
+    std::cerr << "check passed: shape valid, all job histories identical to "
+                 "sequential runs\n";
+  }
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace flaml::bench
+
+int main(int argc, char** argv) {
+  try {
+    return flaml::bench::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "bench_server: " << e.what() << "\n";
+    return 1;
+  }
+}

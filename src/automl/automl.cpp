@@ -29,6 +29,15 @@ std::uint64_t trial_salt(const std::string& learner, std::uint64_t index) {
 
 }  // namespace
 
+const char* search_signal_name(SearchSignal signal) {
+  switch (signal) {
+    case SearchSignal::Run: return "run";
+    case SearchSignal::Preempt: return "preempt";
+    case SearchSignal::Cancel: return "cancel";
+  }
+  return "unknown";
+}
+
 AutoML::AutoML() = default;
 
 void AutoML::add_learner(LearnerPtr learner) {
@@ -98,6 +107,7 @@ void AutoML::run_search(const Dataset& data, const AutoMLOptions& options,
   calibrated_ = false;
   elapsed_offset_ = 0.0;
   elapsed_seconds_ = 0.0;
+  interrupt_ = SearchSignal::Run;
   seed_ = options.seed;
 
   const Task task = data.task();
@@ -223,10 +233,31 @@ void AutoML::run_search(const Dataset& data, const AutoMLOptions& options,
 
   const double budget = options.time_budget_seconds;
   const double c = options.sample_multiplier;
-  WallClock clock;
   // Budget accounting that survives a crash: `elapsed()` includes the time
-  // already spent before the checkpoint this run resumed from.
-  auto elapsed = [&]() { return clock.now() + elapsed_offset_; };
+  // already spent before the checkpoint this run resumed from
+  // (elapsed_offset_, restored below). The time source is injectable
+  // (options.clock; a private steady-clock WallClock by default) and every
+  // reading goes through a BudgetMeter, which accumulates only forward
+  // motion — a source that jumps backwards cannot make the budget math
+  // immortalize the search, and the steady default is immune to
+  // system-time jumps in the first place.
+  WallClock wall_clock;
+  const Clock* clock_source =
+      options.clock != nullptr ? options.clock : &wall_clock;
+  BudgetMeter budget_meter(*clock_source);
+  auto elapsed = [&]() { return budget_meter.elapsed() + elapsed_offset_; };
+
+  // Cooperative yield points: polled at every trial boundary. A Preempt or
+  // Cancel answer stops the search at that boundary (after draining any
+  // in-flight parallel trials) without training a final model.
+  auto poll_control = [&]() {
+    if (!options.search_control) return false;
+    const SearchSignal signal =
+        options.search_control(static_cast<std::size_t>(iteration_));
+    if (signal == SearchSignal::Run) return false;
+    interrupt_ = signal;
+    return true;
+  };
 
   // --- Restore a checkpointed search (resume_from) ---
   // Everything constructed above is a deterministic function of (data,
@@ -559,6 +590,7 @@ void AutoML::run_search(const Dataset& data, const AutoMLOptions& options,
       }
     }
     while (elapsed() < budget && !target_reached() && iterations_left(0)) {
+      if (poll_control()) break;
       const std::size_t idx = pick_learner(0);
       trace_learner_proposed(idx, static_cast<std::size_t>(iteration_));
       LearnerState& state = states_[idx];
@@ -652,6 +684,7 @@ void AutoML::run_search(const Dataset& data, const AutoMLOptions& options,
 
     while (elapsed() < budget && !target_reached() &&
            (!inflight.empty() || iterations_left(0))) {
+      if (poll_control()) break;
       // The calibration trial runs alone (its cost seeds every ECI).
       const int cap = calibrated_ ? options.n_parallel : 1;
       while (static_cast<int>(inflight.size()) < cap && launch_one()) {
@@ -664,6 +697,9 @@ void AutoML::run_search(const Dataset& data, const AutoMLOptions& options,
       commit(states_[front.state_idx], front.proposal, trial);
       after_commit(inflight_pending());
     }
+    // Drain: runs after a normal exit AND after a Preempt/Cancel break, so
+    // an interrupted search always stops at a clean trial boundary with an
+    // empty in-flight list — exactly the state checkpoint_to() snapshots.
     while (!inflight.empty()) {
       InFlight front = std::move(inflight.front());
       inflight.erase(inflight.begin());
@@ -672,6 +708,22 @@ void AutoML::run_search(const Dataset& data, const AutoMLOptions& options,
       commit(states_[front.state_idx], front.proposal, trial);
       after_commit(inflight_pending());
     }
+  }
+
+  if (interrupt_ != SearchSignal::Run) {
+    // Cooperative stop (preempt/cancel): no final model, no ensemble, no
+    // run_summary — the segment may continue later via resume_from().
+    // elapsed_seconds_ keeps its last-commit value so checkpoint_to()
+    // writes exactly what the after-commit auto-writer would have written
+    // at this boundary (the contract stress_resume proves byte-exact).
+    if (tracer) {
+      JsonValue fields = JsonValue::make_object();
+      fields.set("signal", JsonValue::make_string(search_signal_name(interrupt_)));
+      fields.set("iteration", JsonValue::make_number(iteration_));
+      fields.set("elapsed_seconds", JsonValue::make_number(elapsed_seconds_));
+      tracer.emit("run_interrupted", std::move(fields));
+    }
+    return;
   }
 
   // --- Final model ---

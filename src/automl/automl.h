@@ -38,6 +38,17 @@ enum class LearnerChoice { EciSampling, EciGreedy, RoundRobin };
 enum class SamplePolicy { Adaptive, FullData };
 enum class ResamplingPolicy { Auto, ForceCV, ForceHoldout };
 
+// Answer of AutoMLOptions::search_control, polled at every trial boundary
+// (the controller's cooperative yield points). Run continues the search;
+// Preempt stops it cleanly at the boundary — no final model is trained,
+// checkpoint_to() captures the state for a later byte-exact resume_from();
+// Cancel stops the same way but marks the search as abandoned. The search
+// daemon (src/server) is the primary caller: Preempt is how a scheduler
+// evicts a low-priority job mid-flight and resumes it later.
+enum class SearchSignal { Run, Preempt, Cancel };
+
+const char* search_signal_name(SearchSignal signal);
+
 struct AutoMLOptions {
   double time_budget_seconds = 60.0;
   // Empty = the task default (auc / log_loss / r2); or any built-in name.
@@ -148,6 +159,31 @@ struct AutoMLOptions {
   // trial boundary k by throwing on the k-th call.
   std::function<void(std::size_t iteration)> on_trial_committed;
 
+  // Cooperative preemption hook, polled at every trial boundary (before
+  // each new proposal, and after every commit in parallel mode) with the
+  // committed-trial count. Returning Preempt or Cancel stops the search at
+  // that boundary: in-flight parallel trials are drained and committed
+  // first (so the stop point is a clean boundary the checkpoint/resume
+  // machinery already proves byte-exact), then fit() returns WITHOUT
+  // training a final model — fitted() stays false, interrupt_status()
+  // reports the signal, and checkpoint_to() snapshots the state so
+  // resume_from() can continue the search later as if never interrupted.
+  // Null (the default) means the search only stops on budget/target/
+  // iteration limits. Latency is one trial: a signal lands at the next
+  // boundary, exactly like the kill-anywhere contract.
+  std::function<SearchSignal(std::size_t iteration)> search_control;
+
+  // Time source for the budget accounting (elapsed_seconds_ and the
+  // per-trial remaining-budget caps). Null = a private steady-clock
+  // WallClock, which is immune to system-time jumps (NTP steps, suspend);
+  // inject a VirtualClock for deterministic tests, or a per-job clock in
+  // daemon mode so each job is only charged for the time its own segments
+  // actually run. Whatever the source, elapsed time is accumulated through
+  // a BudgetMeter (common/clock.h): only forward motion counts, so even a
+  // misbehaving clock that jumps backwards can neither kill the search
+  // early nor immortalize it. Borrowed; must outlive fit().
+  const Clock* clock = nullptr;
+
   std::uint64_t seed = 1;
 };
 
@@ -194,6 +230,10 @@ class AutoML {
 
   // --- introspection (used by benches, examples and tests) ---
   bool fitted() const { return best_model_ != nullptr; }
+  // How the last fit()/resume_from() ended: Run = ran to its budget/target/
+  // iteration limit (a final model was trained); Preempt/Cancel = stopped
+  // early by options.search_control at a trial boundary (no final model).
+  SearchSignal interrupt_status() const { return interrupt_; }
   const std::string& best_learner() const { return best_learner_; }
   const Config& best_config() const { return best_config_; }
   double best_error() const { return best_error_; }
@@ -261,6 +301,7 @@ class AutoML {
   bool calibrated_ = false;      // cold-start ECI1s seeded
   double elapsed_offset_ = 0.0;  // budget spent before this fit (resume)
   double elapsed_seconds_ = 0.0; // total elapsed at the last commit
+  SearchSignal interrupt_ = SearchSignal::Run;  // how the last fit() ended
   std::string metric_name_;
   std::uint64_t seed_ = 1;
 };

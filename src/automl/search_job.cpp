@@ -1,0 +1,75 @@
+#include "automl/search_job.h"
+
+#include "common/error.h"
+
+namespace flaml {
+
+const char* SearchJob::state_name(State state) {
+  switch (state) {
+    case State::Fresh: return "fresh";
+    case State::Preempted: return "preempted";
+    case State::Finished: return "finished";
+    case State::Cancelled: return "cancelled";
+    case State::Failed: return "failed";
+  }
+  return "unknown";
+}
+
+SearchJob::SearchJob(const Dataset& data, AutoMLOptions options,
+                     std::vector<LearnerPtr> extra_learners)
+    : data_(&data), options_(std::move(options)) {
+  for (auto& learner : extra_learners) {
+    automl_.add_learner(std::move(learner));
+  }
+}
+
+const resume::SearchCheckpoint& SearchJob::checkpoint() const {
+  FLAML_REQUIRE(checkpoint_.has_value(),
+                "checkpoint() on a job in state '" << state_name(state_)
+                                                   << "' (no checkpoint held)");
+  return *checkpoint_;
+}
+
+SearchJob::State SearchJob::run_segment(
+    const std::function<SearchSignal(std::size_t)>& control) {
+  FLAML_REQUIRE(state_ == State::Fresh || state_ == State::Preempted,
+                "run_segment() on a terminal job (state '"
+                    << state_name(state_) << "')");
+  AutoMLOptions options = options_;
+  options.search_control = control;
+  ++segments_;
+  try {
+    if (checkpoint_.has_value()) {
+      // Move the checkpoint out first: resume_from resets the AutoML state,
+      // and a job must never resume twice from the same stale snapshot.
+      const resume::SearchCheckpoint resume_point = std::move(*checkpoint_);
+      checkpoint_.reset();
+      automl_.resume_from(*data_, options, resume_point);
+    } else {
+      automl_.fit(*data_, options);
+    }
+  } catch (const std::exception& e) {
+    state_ = State::Failed;
+    error_ = e.what();
+    return state_;
+  }
+  switch (automl_.interrupt_status()) {
+    case SearchSignal::Run:
+      state_ = State::Finished;
+      break;
+    case SearchSignal::Preempt:
+      // Snapshot for the next segment. The in-flight list is empty (the
+      // controller drains before yielding), so this checkpoint equals the
+      // one the after-commit auto-writer would have produced at this
+      // boundary — the byte-exact-resume contract applies unchanged.
+      checkpoint_ = automl_.checkpoint_to();
+      state_ = State::Preempted;
+      break;
+    case SearchSignal::Cancel:
+      state_ = State::Cancelled;
+      break;
+  }
+  return state_;
+}
+
+}  // namespace flaml

@@ -1,0 +1,87 @@
+// A re-entrant handle over one budgeted AutoML search — the unit the
+// multi-job daemon (src/server) schedules.
+//
+// The AutoML controller runs a search from start to finish inside fit().
+// SearchJob re-cuts that into SEGMENTS: run_segment() runs the search until
+// it either completes or a cooperative control callback asks it to yield at
+// a trial boundary (SearchSignal::Preempt). A preempted job captures a full
+// search checkpoint (src/resume) in memory; the next run_segment() resumes
+// from it and the stitched run is byte-identical to an uninterrupted one —
+// the same kill-anywhere contract tests/stress/stress_resume.cpp proves for
+// crash recovery, reused here for scheduling. Budget accounting composes
+// the same way: each segment measures only its own running time on a
+// steady clock (or AutoMLOptions::clock), and the checkpoint carries the
+// spent budget across segments, so a job is never charged for the time it
+// spends evicted.
+//
+// Thread affinity: a SearchJob is NOT internally synchronized. One thread
+// at a time may call run_segment(); the introspection accessors are safe
+// only between segments (the daemon snapshots progress from inside the
+// control callback, which runs on the segment thread).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "automl/automl.h"
+
+namespace flaml {
+
+class SearchJob {
+ public:
+  // Fresh: never ran. Preempted: yielded at a trial boundary, checkpoint
+  // held, resumable. Finished/Cancelled/Failed: terminal.
+  enum class State { Fresh, Preempted, Finished, Cancelled, Failed };
+
+  static const char* state_name(State state);
+
+  // `data` is borrowed and must outlive the job. `options.search_control`
+  // is ignored (run_segment installs its own per-segment control).
+  SearchJob(const Dataset& data, AutoMLOptions options,
+            std::vector<LearnerPtr> extra_learners = {});
+
+  // Run one segment: from scratch (Fresh) or from the held checkpoint
+  // (Preempted), until the search completes, `control` answers Preempt or
+  // Cancel at a trial boundary, or the search's own budget/target/iteration
+  // limits stop it. A null `control` runs the segment to completion.
+  // Throws InvalidArgument when called on a terminal job; a learner/setup
+  // exception inside the search marks the job Failed (see error()) rather
+  // than propagating.
+  State run_segment(
+      const std::function<SearchSignal(std::size_t iteration)>& control = nullptr);
+
+  State state() const { return state_; }
+  bool terminal() const {
+    return state_ == State::Finished || state_ == State::Cancelled ||
+           state_ == State::Failed;
+  }
+
+  // The underlying search — results (history, best_*, metrics) are
+  // meaningful once terminal; mid-preemption they reflect the last segment.
+  const AutoML& automl() const { return automl_; }
+
+  // Why a Failed job failed (empty otherwise).
+  const std::string& error() const { return error_; }
+
+  // The resume point held between segments (Preempted only).
+  bool has_checkpoint() const { return checkpoint_.has_value(); }
+  const resume::SearchCheckpoint& checkpoint() const;
+
+  // Segments started so far (= 1 + number of resumes attempted).
+  std::size_t segments() const { return segments_; }
+
+  const AutoMLOptions& options() const { return options_; }
+
+ private:
+  const Dataset* data_;
+  AutoMLOptions options_;
+  AutoML automl_;
+  std::optional<resume::SearchCheckpoint> checkpoint_;
+  State state_ = State::Fresh;
+  std::string error_;
+  std::size_t segments_ = 0;
+};
+
+}  // namespace flaml

@@ -11,6 +11,18 @@ double WallClock::now() const {
   return std::chrono::duration<double>(d).count();
 }
 
+BudgetMeter::BudgetMeter(const Clock& clock, double offset)
+    : clock_(&clock), accumulated_(offset), last_now_(clock.now()) {
+  FLAML_CHECK_MSG(offset >= 0.0, "budget offset cannot be negative");
+}
+
+double BudgetMeter::elapsed() {
+  const double now = clock_->now();
+  if (now > last_now_) accumulated_ += now - last_now_;
+  last_now_ = now;
+  return accumulated_;
+}
+
 void VirtualClock::advance(double seconds) {
   FLAML_CHECK_MSG(seconds >= 0.0, "virtual clock cannot move backwards");
   t_ += seconds;

@@ -40,6 +40,30 @@ class VirtualClock final : public Clock {
   double t_;
 };
 
+// Monotone elapsed-time accumulator for budget accounting. Samples the
+// clock on every elapsed() call and accumulates only non-negative deltas,
+// so a source that jumps backwards (a buggy clock, a VM suspend artifact, a
+// wall clock fed by NTP) can never make elapsed() decrease — and after the
+// jump, forward progress counts again immediately instead of stalling until
+// the source re-crosses its old maximum. The AutoML controller routes all
+// of its elapsed_seconds_/elapsed_offset_ budget math through one of these
+// (over a steady-clock WallClock by default, or AutoMLOptions::clock), so a
+// system-time jump can neither kill a search early nor immortalize it.
+class BudgetMeter {
+ public:
+  // `offset` = budget already spent before this meter started (resume).
+  explicit BudgetMeter(const Clock& clock, double offset = 0.0);
+
+  // Monotone non-decreasing; `offset` plus the sum of forward clock motion
+  // observed so far.
+  double elapsed();
+
+ private:
+  const Clock* clock_;
+  double accumulated_;
+  double last_now_;
+};
+
 // Convenience stopwatch over any Clock.
 class Stopwatch {
  public:

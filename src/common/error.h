@@ -18,6 +18,19 @@ class InvalidArgument : public std::invalid_argument {
   explicit InvalidArgument(const std::string& msg) : std::invalid_argument(msg) {}
 };
 
+// Thrown by ThreadPool::submit once shutdown has begun: the task can never
+// run (workers only drain what was queued before the stop flag), so
+// accepting it would silently lose work. Subclasses InvalidArgument so the
+// pre-existing catch sites (and tests) that treated this as a generic bad
+// call keep working; typed so long-running services — the search daemon
+// cancels jobs whose segments race the pool teardown — can tell "the pool
+// is going away" apart from a real API misuse and fail the one task instead
+// of the whole process. try_submit() is the non-throwing spelling.
+class PoolStopped : public InvalidArgument {
+ public:
+  explicit PoolStopped(const std::string& msg) : InvalidArgument(msg) {}
+};
+
 // Thrown when a dataset (or a resampling carve of it) leaves too few rows
 // to train on — e.g. a holdout split whose training side would be a single
 // row, or a view where no cross-validation fold count yields non-empty

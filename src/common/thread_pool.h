@@ -6,8 +6,12 @@
 //   * shutdown() (and the destructor) first marks the pool stopped under the
 //     queue mutex, then joins the workers; workers drain every task that was
 //     queued before the stop flag was set, so accepted work always runs.
-//   * submit() after shutdown began throws InvalidArgument instead of
-//     enqueueing a task that could never run (the enqueue/destroy race).
+//   * submit() after shutdown began throws the typed PoolStopped (an
+//     InvalidArgument subclass) instead of enqueueing a task that could never
+//     run (the enqueue/destroy race); try_submit() is the non-throwing
+//     spelling for callers — like a worker task of this very pool enqueueing
+//     follow-up work while the pool is being torn down — that must treat
+//     "the pool is going away" as an ordinary outcome, not an error.
 //   * The condition variable is only notified while the queue mutex is held:
 //     a notify after unlocking could touch a condition variable whose pool is
 //     already mid-destruction on another thread.
@@ -18,6 +22,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -42,20 +47,39 @@ class ThreadPool {
   void shutdown();
 
   // True once shutdown() has begun; submit() will throw from then on.
+  // Inherently racy as a pre-check (shutdown can begin right after it
+  // returns) — use try_submit() when the answer must be authoritative.
   bool stopped() const;
 
   // Enqueue a task; the returned future rethrows any exception on get().
-  // Throws InvalidArgument if the pool is (being) shut down. Note: blocking
-  // on a future from inside a worker of the same pool can deadlock once all
-  // workers block; use parallel_for for nested parallelism instead.
+  // Throws PoolStopped if the pool is (being) shut down — the stop flag and
+  // the enqueue are checked/performed under one lock hold, so a task is
+  // either visible to the draining workers or rejected, never lost in
+  // between. Note: blocking on a future from inside a worker of the same
+  // pool can deadlock once all workers block; use parallel_for for nested
+  // parallelism instead.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    auto fut = try_submit(std::forward<F>(f));
+    if (!fut.has_value()) {
+      throw PoolStopped("submit() on a stopped ThreadPool");
+    }
+    return std::move(*fut);
+  }
+
+  // Non-throwing submit: nullopt once shutdown has begun. The atomic
+  // check-and-enqueue is the same as submit()'s; only the rejection surface
+  // differs. Safe to call from this pool's own workers (a dying worker's
+  // follow-up enqueue gets a clean rejection instead of racing the drain).
+  template <typename F>
+  auto try_submit(F&& f)
+      -> std::optional<std::future<std::invoke_result_t<F>>> {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      FLAML_REQUIRE(!stop_, "submit() on a stopped ThreadPool");
+      if (stop_) return std::nullopt;
       queue_.emplace_back([task] { (*task)(); });
       cv_.notify_one();  // under the lock — see the shutdown contract above
     }

@@ -149,6 +149,16 @@ class Checker {
              "substrate_cache packed_width must be none/u8/u16, got '" +
                  packed_width->str + "'");
       }
+    } else if (event.type == "run_interrupted") {
+      // Cooperative preempt/cancel at a trial boundary (search daemon).
+      const JsonValue* signal =
+          require(index, event, "signal", JsonValue::Type::String);
+      require(index, event, "iteration", JsonValue::Type::Number);
+      if (signal != nullptr && signal->str != "preempt" &&
+          signal->str != "cancel") {
+        fail(index, "run_interrupted signal must be 'preempt' or 'cancel', "
+                    "got '" + signal->str + "'");
+      }
     } else if (event.type == "run_summary") {
       check_run_summary(index, event);
     }

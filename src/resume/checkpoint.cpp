@@ -1,9 +1,16 @@
 #include "resume/checkpoint.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 #include "common/error.h"
 
@@ -303,24 +310,127 @@ JsonValue parse_checkpoint(const std::string& text) {
   }
 }
 
-void write_checkpoint_file(const std::string& path, const JsonValue& payload) {
-  FLAML_REQUIRE(!path.empty(), "checkpoint path must be non-empty");
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    FLAML_REQUIRE(out.good(), "cannot open '" << tmp << "' for writing");
-    out << serialize_checkpoint(payload);
-    out.flush();
-    FLAML_REQUIRE(out.good(), "failed writing checkpoint to '" << tmp << "'");
+namespace {
+
+// Directory part of `path` ("." when it has none) — where the dir-entry
+// fsync must land for the rename to be durable.
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+// Write `contents` to `path`, fsync'ing the file before close so a crash
+// right after this call cannot leave a zero-length or partially-flushed
+// file behind the data the caller believes is on disk.
+void write_file_synced(const std::string& path, const std::string& contents) {
+#ifndef _WIN32
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  FLAML_REQUIRE(fd >= 0, "cannot open '" << path << "' for writing — "
+                                         << std::strerror(errno));
+  std::size_t written = 0;
+  while (written < contents.size()) {
+    const ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      FLAML_REQUIRE(false, "failed writing checkpoint to '"
+                               << path << "' — " << std::strerror(err));
+    }
+    written += static_cast<std::size_t>(n);
   }
+  // A successful write() only hands the bytes to the page cache; without
+  // the fsync a crash can surface the rename (metadata) WITHOUT the data,
+  // i.e. a valid-looking path holding a truncated checkpoint.
+  const bool synced = ::fsync(fd) == 0;
+  const int sync_err = errno;
+  FLAML_REQUIRE(::close(fd) == 0, "failed closing '" << path << "'");
+  FLAML_REQUIRE(synced, "fsync('" << path << "') failed — "
+                                  << std::strerror(sync_err));
+#else
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  FLAML_REQUIRE(out.good(), "cannot open '" << path << "' for writing");
+  out << contents;
+  out.flush();
+  FLAML_REQUIRE(out.good(), "failed writing checkpoint to '" << path << "'");
+#endif
+}
+
+// fsync the directory holding `path` so the rename's dir entry is durable
+// (without it the rename itself can vanish in a crash, resurrecting the
+// previous checkpoint — or on a fresh path, no checkpoint at all).
+void sync_parent_dir(const std::string& path) {
+#ifndef _WIN32
+  const std::string dir = parent_dir(path);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  // Some filesystems refuse O_RDONLY on directories; best-effort there.
+  if (fd < 0) return;
+  ::fsync(fd);  // best-effort: EINVAL on fs that can't fsync a directory
+  ::close(fd);
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace
+
+void write_checkpoint_file(const std::string& path, const JsonValue& payload,
+                           const std::string& tmp_dir) {
+  FLAML_REQUIRE(!path.empty(), "checkpoint path must be non-empty");
+  // Default tmp location: next to the target, so the rename is same-
+  // filesystem and atomic. A caller-provided tmp_dir (e.g. a fast scratch
+  // mount) may cross filesystems — handled below.
+  const std::string filename_part =
+      path.find_last_of('/') == std::string::npos
+          ? path
+          : path.substr(path.find_last_of('/') + 1);
+  const std::string tmp =
+      tmp_dir.empty() ? path + ".tmp" : tmp_dir + "/" + filename_part + ".tmp";
+  const std::string contents = serialize_checkpoint(payload);
+  write_file_synced(tmp, contents);
   // Atomic replace: a crash between write and rename leaves the previous
   // checkpoint file untouched.
-  FLAML_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
-                "failed to rename '" << tmp << "' to '" << path << "'");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int rename_err = errno;
+    if (rename_err == EXDEV) {
+      // tmp landed on a different filesystem (caller-provided tmp_dir):
+      // rename can't cross mounts, so fall back to a second synced copy in
+      // the TARGET directory and rename that — still atomic at the final
+      // hop, never a direct (tearable) write of the live path.
+      const std::string local_tmp = path + ".tmp";
+      write_file_synced(local_tmp, contents);
+      FLAML_REQUIRE(std::rename(local_tmp.c_str(), path.c_str()) == 0,
+                    "failed to rename '" << local_tmp << "' to '" << path
+                                         << "' — " << std::strerror(errno));
+      std::remove(tmp.c_str());
+    } else {
+      FLAML_REQUIRE(false, "failed to rename '" << tmp << "' to '" << path
+                                                << "' — "
+                                                << std::strerror(rename_err));
+    }
+  }
+  sync_parent_dir(path);
 }
 
 JsonValue read_checkpoint_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    // A leftover "<path>.tmp" with no final file means the writer died (or
+    // was interrupted) mid-checkpoint. The tmp may be half-written, so it
+    // must NEVER be loaded in its place — surface a typed, explicit error
+    // instead of the generic "cannot open" so the operator knows a
+    // checkpoint was lost rather than never written.
+    std::ifstream tmp(path + ".tmp", std::ios::binary);
+    FLAML_PARSE_REQUIRE(!tmp.good(),
+                        "checkpoint file '"
+                            << path << "' is missing but a leftover '" << path
+                            << ".tmp' exists — the writer was interrupted "
+                               "mid-checkpoint; the tmp file may be "
+                               "half-written and will not be loaded");
+  }
   FLAML_PARSE_REQUIRE(in.good(), "cannot open checkpoint file '" << path << "'");
   std::ostringstream buffer;
   buffer << in.rdbuf();

@@ -113,7 +113,17 @@ struct SearchCheckpoint {
 // the envelope and returns the payload (SerializationError on any damage).
 std::string serialize_checkpoint(const JsonValue& payload);
 JsonValue parse_checkpoint(const std::string& text);
-void write_checkpoint_file(const std::string& path, const JsonValue& payload);
+// Durable atomic write: "<path>.tmp" is written and fsync'd, renamed into
+// place, and the directory entry fsync'd — a crash at any point leaves
+// either the previous checkpoint or the new one, never a torn file that a
+// later write()-without-sync could have surfaced. A non-empty `tmp_dir`
+// stages the tmp file there instead; when that crosses a filesystem
+// boundary (rename fails with EXDEV) the write falls back to a second
+// synced copy next to the target. Reading a `path` that is missing while
+// its "<path>.tmp" survives throws a SerializationError naming the tmp —
+// a possibly half-written tmp is never loaded as a checkpoint.
+void write_checkpoint_file(const std::string& path, const JsonValue& payload,
+                           const std::string& tmp_dir = "");
 JsonValue read_checkpoint_file(const std::string& path);
 
 }  // namespace flaml::resume

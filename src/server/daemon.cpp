@@ -1,0 +1,397 @@
+#include "server/daemon.h"
+
+#include <utility>
+
+#include "automl/trial_runner.h"
+#include "common/error.h"
+#include "resume/serial_util.h"
+
+namespace flaml::server {
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Preempted: return "preempted";
+    case JobState::Finished: return "finished";
+    case JobState::Cancelled: return "cancelled";
+    case JobState::Failed: return "failed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool terminal_state(JobState state) {
+  return state == JobState::Finished || state == JobState::Cancelled ||
+         state == JobState::Failed;
+}
+
+}  // namespace
+
+SearchDaemon::SearchDaemon(Options options) : options_(options) {
+  FLAML_REQUIRE(options_.slots > 0, "daemon needs at least one slot");
+  pool_ = std::make_unique<ThreadPool>(options_.slots);
+}
+
+SearchDaemon::~SearchDaemon() { shutdown(); }
+
+std::uint64_t SearchDaemon::submit(std::shared_ptr<const Dataset> data,
+                                   AutoMLOptions automl_options,
+                                   JobOptions job_options,
+                                   std::vector<LearnerPtr> extra_learners) {
+  FLAML_REQUIRE(data != nullptr, "submit() needs a dataset");
+  std::lock_guard<std::mutex> lock(mutex_);
+  FLAML_REQUIRE(!shutdown_, "submit() on a daemon that is shutting down");
+  const std::uint64_t id = next_id_++;
+  Job& job = jobs_[id];
+  job.id = id;
+  job.job_options = std::move(job_options);
+  if (job.job_options.name.empty()) {
+    job.job_options.name = "job-" + std::to_string(id);
+  }
+  job.data = std::move(data);
+  job.trace = std::make_shared<RingTraceSink>(options_.trace_capacity);
+  automl_options.trace_sink = job.trace;
+  automl_options.search_control = nullptr;  // run_segment installs its own
+  job.search = std::make_unique<SearchJob>(*job.data, std::move(automl_options),
+                                           std::move(extra_learners));
+  job.submitted_at = clock_.now();
+  schedule_locked();
+  return id;
+}
+
+bool SearchDaemon::cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Job* job = find_locked(id);
+  if (job == nullptr || terminal_state(job->state)) return false;
+  if (job->state == JobState::Running) {
+    // Delivered at the next trial boundary by control_poll (or, when the
+    // segment is already past its last boundary, applied when it lands).
+    job->signal = SearchSignal::Cancel;
+    return true;
+  }
+  job->state = JobState::Cancelled;
+  if (job->reason.empty()) job->reason = "cancelled";
+  terminal_cv_.notify_all();
+  return true;
+}
+
+bool SearchDaemon::preempt(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Job* job = find_locked(id);
+  if (job == nullptr || job->state != JobState::Running) return false;
+  if (job->signal == SearchSignal::Run) job->signal = SearchSignal::Preempt;
+  return true;
+}
+
+JobState SearchDaemon::state(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Job* job = find_locked(id);
+  FLAML_REQUIRE(job != nullptr, "unknown job id " << id);
+  return job->state;
+}
+
+JsonValue SearchDaemon::status(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Job* job = find_locked(id);
+  FLAML_REQUIRE(job != nullptr, "unknown job id " << id);
+  return status_locked(*job);
+}
+
+JsonValue SearchDaemon::list() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonValue out = JsonValue::make_array();
+  for (const auto& [id, job] : jobs_) out.push(status_locked(job));
+  return out;
+}
+
+JsonValue SearchDaemon::result(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Job* job = find_locked(id);
+  FLAML_REQUIRE(job != nullptr, "unknown job id " << id);
+  FLAML_REQUIRE(job->state == JobState::Finished,
+                "result() on job " << id << " in state '"
+                                   << job_state_name(job->state) << "'");
+  const AutoML& automl = job->search->automl();
+  JsonValue out = JsonValue::make_object();
+  out.set("id", resume::json_size(static_cast<std::size_t>(id)));
+  out.set("best_learner", JsonValue::make_string(automl.best_learner()));
+  out.set("best_config", resume::json_config(automl.best_config()));
+  out.set("best_error", resume::json_double(automl.best_error()));
+  out.set("best_sample_size", resume::json_size(automl.best_sample_size()));
+  out.set("n_trials", resume::json_size(automl.history().size()));
+  out.set("resampling",
+          JsonValue::make_string(resampling_name(automl.resampling_used())));
+  return out;
+}
+
+RingTraceSink::Window SearchDaemon::events(std::uint64_t id,
+                                           std::uint64_t since) const {
+  std::shared_ptr<RingTraceSink> trace;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Job* job = find_locked(id);
+    FLAML_REQUIRE(job != nullptr, "unknown job id " << id);
+    trace = job->trace;
+  }
+  return trace->since(since);
+}
+
+void SearchDaemon::wait(std::uint64_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  FLAML_REQUIRE(find_locked(id) != nullptr, "unknown job id " << id);
+  terminal_cv_.wait(lock, [&] {
+    const Job* job = find_locked(id);
+    return job == nullptr || terminal_state(job->state);
+  });
+}
+
+void SearchDaemon::wait_all() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  terminal_cv_.wait(lock, [&] {
+    for (const auto& [id, job] : jobs_) {
+      if (!terminal_state(job.state)) return false;
+    }
+    return true;
+  });
+}
+
+void SearchDaemon::shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!shutdown_) {
+      shutdown_ = true;
+      for (auto& [id, job] : jobs_) {
+        if (terminal_state(job.state)) continue;
+        if (job.state == JobState::Running) {
+          job.signal = SearchSignal::Cancel;
+        } else {
+          job.state = JobState::Cancelled;
+          if (job.reason.empty()) job.reason = "daemon shutdown";
+        }
+      }
+      terminal_cv_.notify_all();
+    }
+    // Running segments stop at their next trial boundary (control_poll sees
+    // the Cancel signal); wait for the last one to land before joining the
+    // pool so no segment task is left holding a dangling daemon pointer.
+    terminal_cv_.wait(lock, [&] { return running_ == 0; });
+  }
+  pool_->shutdown();
+}
+
+const AutoML& SearchDaemon::automl(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Job* job = find_locked(id);
+  FLAML_REQUIRE(job != nullptr, "unknown job id " << id);
+  FLAML_REQUIRE(terminal_state(job->state),
+                "automl() on job " << id << " in non-terminal state '"
+                                   << job_state_name(job->state) << "'");
+  return job->search->automl();
+}
+
+SearchDaemon::Job* SearchDaemon::find_locked(std::uint64_t id) {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+const SearchDaemon::Job* SearchDaemon::find_locked(std::uint64_t id) const {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+bool SearchDaemon::runnable_locked(const Job& job) const {
+  return job.state == JobState::Queued || job.state == JobState::Preempted;
+}
+
+bool SearchDaemon::peer_waiting_locked(int priority) const {
+  for (const auto& [id, job] : jobs_) {
+    if (runnable_locked(job) && job.job_options.priority >= priority) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SearchDaemon::schedule_locked() {
+  if (shutdown_) return;
+  // Fill free slots: best runnable job first — priority desc, then least
+  // recently scheduled (round-robin within a level), then id asc (the
+  // std::map iterates ids ascending, so the strictly-better scan keeps
+  // submission order among never-scheduled jobs).
+  while (running_ < options_.slots) {
+    Job* best = nullptr;
+    for (auto& [id, job] : jobs_) {
+      if (!runnable_locked(job)) continue;
+      if (best == nullptr ||
+          job.job_options.priority > best->job_options.priority ||
+          (job.job_options.priority == best->job_options.priority &&
+           job.last_scheduled < best->last_scheduled)) {
+        best = &job;
+      }
+    }
+    if (best == nullptr) break;
+    const double deadline = best->job_options.deadline_seconds;
+    if (deadline > 0.0 && clock_.now() - best->submitted_at >= deadline) {
+      best->state = JobState::Cancelled;
+      best->reason = "deadline exceeded";
+      terminal_cv_.notify_all();
+      continue;
+    }
+    start_segment_locked(*best);
+  }
+  // All slots busy: a strictly higher-priority waiter evicts the weakest
+  // running job (its checkpoint requeues it for when a slot frees).
+  int top_waiting = 0;
+  bool any_waiting = false;
+  for (const auto& [id, job] : jobs_) {
+    if (!runnable_locked(job)) continue;
+    if (!any_waiting || job.job_options.priority > top_waiting) {
+      top_waiting = job.job_options.priority;
+      any_waiting = true;
+    }
+  }
+  if (!any_waiting) return;
+  Job* victim = nullptr;
+  for (auto& [id, job] : jobs_) {
+    if (job.state != JobState::Running || job.signal != SearchSignal::Run) {
+      continue;
+    }
+    if (victim == nullptr ||
+        job.job_options.priority < victim->job_options.priority) {
+      victim = &job;
+    }
+  }
+  if (victim != nullptr && top_waiting > victim->job_options.priority) {
+    victim->signal = SearchSignal::Preempt;
+  }
+}
+
+void SearchDaemon::start_segment_locked(Job& job) {
+  job.state = JobState::Running;
+  job.signal = SearchSignal::Run;
+  job.segment_start_trials = job.trials;
+  job.last_scheduled = ++schedule_seq_;
+  ++running_;
+  // `jobs_` is a std::map — node addresses are stable, so the task may hold
+  // the Job reference across the whole segment. shutdown() keeps `this`
+  // alive until running_ drops to zero.
+  auto submitted = pool_->try_submit([this, &job] { run_segment_task(job); });
+  if (!submitted.has_value()) {
+    // Only reachable when the pool is stopping, i.e. mid-shutdown.
+    --running_;
+    job.state = JobState::Cancelled;
+    job.reason = "daemon shutdown";
+    terminal_cv_.notify_all();
+  }
+}
+
+JsonValue SearchDaemon::status_locked(const Job& job) const {
+  JsonValue out = JsonValue::make_object();
+  out.set("id", resume::json_size(static_cast<std::size_t>(job.id)));
+  out.set("name", JsonValue::make_string(job.job_options.name));
+  out.set("state", JsonValue::make_string(job_state_name(job.state)));
+  out.set("priority", JsonValue::make_number(job.job_options.priority));
+  out.set("trials", resume::json_size(job.trials));
+  out.set("best_error", resume::json_double(job.best_error));
+  out.set("best_learner", JsonValue::make_string(job.best_learner));
+  out.set("segments", resume::json_size(job.segments));
+  out.set("preemptions", resume::json_size(job.preemptions));
+  out.set("trace_events", resume::json_size(
+                              static_cast<std::size_t>(job.trace->total())));
+  if (!job.reason.empty()) {
+    out.set("reason", JsonValue::make_string(job.reason));
+  }
+  return out;
+}
+
+void SearchDaemon::snapshot_progress_locked(Job& job) {
+  const AutoML& automl = job.search->automl();
+  job.best_error = automl.best_error();
+  job.best_learner = automl.best_learner();
+  job.segments = job.search->segments();
+}
+
+SearchSignal SearchDaemon::control_poll(Job& job, std::size_t iteration) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  job.trials = iteration;
+  snapshot_progress_locked(job);
+  // Severity order Cancel > Preempt > Run; the test hook (every-boundary
+  // preemption sweeps) composes with the scheduler's own signal.
+  SearchSignal signal = job.signal;
+  if (signal != SearchSignal::Cancel) {
+    const double deadline = job.job_options.deadline_seconds;
+    if (deadline > 0.0 && clock_.now() - job.submitted_at >= deadline) {
+      signal = SearchSignal::Cancel;
+      job.reason = "deadline exceeded";
+    }
+  }
+  if (signal == SearchSignal::Run) {
+    const std::size_t quantum = job.job_options.quantum_trials;
+    if (quantum > 0 && iteration >= job.segment_start_trials + quantum &&
+        peer_waiting_locked(job.job_options.priority)) {
+      signal = SearchSignal::Preempt;
+    }
+  }
+  if (signal != SearchSignal::Cancel && job.job_options.test_control) {
+    const SearchSignal test = job.job_options.test_control(iteration);
+    if (test == SearchSignal::Cancel ||
+        (test == SearchSignal::Preempt && signal == SearchSignal::Run)) {
+      signal = test;
+    }
+  }
+  return signal;
+}
+
+void SearchDaemon::run_segment_task(Job& job) {
+  const auto control = [this, &job](std::size_t iteration) {
+    return control_poll(job, iteration);
+  };
+  SearchJob::State outcome = SearchJob::State::Failed;
+  std::string crash;
+  try {
+    outcome = job.search->run_segment(control);
+  } catch (const std::exception& e) {
+    // run_segment only throws on contract violations (terminal job) —
+    // never expected here, but a worker must not die with it.
+    crash = e.what();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshot_progress_locked(job);
+  switch (outcome) {
+    case SearchJob::State::Finished:
+      job.trials = job.search->automl().history().size();
+      job.state = JobState::Finished;
+      break;
+    case SearchJob::State::Preempted:
+      if (job.signal == SearchSignal::Cancel) {
+        // A cancel landed after the boundary had already answered Preempt;
+        // honor it instead of requeueing.
+        job.state = JobState::Cancelled;
+        if (job.reason.empty()) job.reason = "cancelled";
+      } else {
+        job.state = JobState::Preempted;
+        ++job.preemptions;
+      }
+      break;
+    case SearchJob::State::Cancelled:
+      job.state = JobState::Cancelled;
+      if (job.reason.empty()) job.reason = "cancelled";
+      break;
+    case SearchJob::State::Failed:
+      job.state = JobState::Failed;
+      job.reason = crash.empty() ? job.search->error() : crash;
+      break;
+    case SearchJob::State::Fresh:
+      job.state = JobState::Failed;
+      job.reason = "segment ended in an impossible state";
+      break;
+  }
+  job.signal = SearchSignal::Run;
+  --running_;
+  terminal_cv_.notify_all();
+  schedule_locked();
+}
+
+}  // namespace flaml::server

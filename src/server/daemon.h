@@ -1,0 +1,190 @@
+// The multi-job search daemon core (service layer of ROADMAP's
+// "AutoML-as-a-service").
+//
+// A SearchDaemon schedules many budgeted AutoML searches (SearchJob
+// segments) over one shared common/thread_pool with `slots` workers.
+// Scheduling is cooperative and checkpoint-based:
+//
+//   * Fair-share slots. Runnable jobs (queued or preempted) are granted
+//     slots by (priority desc, submission order). With more runnable jobs
+//     than slots, a running job yields after `quantum_trials` committed
+//     trials of its current segment whenever a peer of equal-or-higher
+//     priority is waiting — round-robin timeslicing at trial granularity.
+//   * Priority preemption. A newly submitted job that strictly outranks a
+//     running one evicts it: the victim receives SearchSignal::Preempt at
+//     its next trial boundary, captures an in-memory checkpoint
+//     (src/resume) and re-enters the queue; the stitched run is
+//     byte-identical to an uninterrupted one (stress_server proves it).
+//   * Budgets and deadlines. Each job's AutoMLOptions::time_budget_seconds
+//     only ticks while its segments run (eviction time is free — the
+//     checkpoint carries spent budget). JobOptions::deadline_seconds is the
+//     opposite: a wall-clock bound from submission, including queue wait;
+//     a job past its deadline is cancelled at its next boundary (or before
+//     its next segment starts).
+//
+// All mutable scheduling state lives behind one mutex. Job progress fields
+// (trials, best error) are snapshotted into the job table from the control
+// callback — which runs on the segment thread at trial boundaries — so
+// status queries never touch a live AutoML from a second thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "automl/search_job.h"
+#include "common/clock.h"
+#include "common/thread_pool.h"
+#include "server/trace_buffer.h"
+
+namespace flaml::server {
+
+// Queued: runnable, never ran. Running: a segment is on a slot. Preempted:
+// runnable, waiting with a checkpoint. Finished/Cancelled/Failed: terminal.
+enum class JobState { Queued, Running, Preempted, Finished, Cancelled, Failed };
+
+const char* job_state_name(JobState state);
+
+// Per-job scheduling knobs (the search knobs live in AutoMLOptions).
+struct JobOptions {
+  std::string name;  // for humans; empty = "job-<id>"
+  // Higher runs first; a STRICTLY higher waiting job preempts a running one.
+  int priority = 0;
+  // Fair-share timeslice: with peers (priority >= ours) waiting, yield the
+  // slot after this many trials in the current segment. 0 = never yield
+  // voluntarily (still preemptible by strictly higher priority).
+  std::size_t quantum_trials = 8;
+  // Cancel the job once this many wall-clock seconds passed since
+  // submission (queue wait included). 0 = no deadline.
+  double deadline_seconds = 0.0;
+  // Test hook, composed with the scheduler's own signal at every trial
+  // boundary (most severe wins; it cannot override a pending Cancel). The
+  // preemption sweeps evict a job at chosen boundaries through this.
+  std::function<SearchSignal(std::size_t iteration)> test_control;
+};
+
+class SearchDaemon {
+ public:
+  struct Options {
+    // Concurrent job segments (worker threads of the daemon's pool).
+    std::size_t slots = 2;
+    // Per-job trace ring capacity (see trace_buffer.h).
+    std::size_t trace_capacity = 4096;
+  };
+
+  explicit SearchDaemon(Options options);
+  ~SearchDaemon();  // shutdown()
+
+  SearchDaemon(const SearchDaemon&) = delete;
+  SearchDaemon& operator=(const SearchDaemon&) = delete;
+
+  // Queue a search. `data` is shared so the daemon outlives caller-side
+  // handles; `automl_options.trace_sink` is replaced by the job's ring
+  // buffer, and `search_control` by the scheduler's own control. Returns
+  // the job id (dense, starting at 1). Throws InvalidArgument after
+  // shutdown() began.
+  std::uint64_t submit(std::shared_ptr<const Dataset> data,
+                       AutoMLOptions automl_options, JobOptions job_options = {},
+                       std::vector<LearnerPtr> extra_learners = {});
+
+  // Cooperative cancel: a running job stops at its next trial boundary, a
+  // waiting one immediately. False when unknown or already terminal.
+  bool cancel(std::uint64_t id);
+
+  // Explicit eviction: ask a RUNNING job to checkpoint and requeue at its
+  // next trial boundary (it resumes automatically when a slot frees —
+  // possibly immediately, when no other job wants the slot). False when
+  // the job is not running.
+  bool preempt(std::uint64_t id);
+
+  JobState state(std::uint64_t id) const;  // throws InvalidArgument: unknown id
+
+  // One status object ({id, name, state, priority, trials, best_error,
+  // best_learner, segments, preemptions, ...}) / the whole table.
+  JsonValue status(std::uint64_t id) const;
+  JsonValue list() const;
+
+  // Search outcome of a FINISHED job ({best_learner, best_config,
+  // best_error, best_sample_size, n_trials, resampling}). Throws
+  // InvalidArgument for non-finished jobs (status() tells why).
+  JsonValue result(std::uint64_t id) const;
+
+  // Streamed progress: the job's retained trace events with seq >= since.
+  RingTraceSink::Window events(std::uint64_t id, std::uint64_t since) const;
+
+  // Block until the job (all jobs) reach a terminal state.
+  void wait(std::uint64_t id);
+  void wait_all();
+
+  // Cancel every non-terminal job, wait for running segments to stop at
+  // their next boundary, stop accepting submissions. Idempotent.
+  void shutdown();
+
+  // Post-completion introspection for tests: the job's search. Only valid
+  // once the job is terminal (the segment thread has released it).
+  const AutoML& automl(std::uint64_t id) const;
+
+  std::size_t slots() const { return options_.slots; }
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    JobOptions job_options;
+    std::shared_ptr<const Dataset> data;
+    std::unique_ptr<SearchJob> search;
+    std::shared_ptr<RingTraceSink> trace;
+    JobState state = JobState::Queued;
+    // Scheduler -> segment request, delivered at the next trial boundary.
+    SearchSignal signal = SearchSignal::Run;
+    double submitted_at = 0.0;  // daemon clock
+    // Global start-order stamp; the scheduler grants a slot to the least
+    // recently scheduled runnable job within a priority level (0 = never
+    // ran, so fresh jobs go first in submission order), which is what makes
+    // the quantum yield a true round-robin instead of the yielding job
+    // winning its own slot back.
+    std::uint64_t last_scheduled = 0;
+    // Progress snapshot, written under the daemon mutex from the segment
+    // thread (control callback / segment end) and read by status queries.
+    std::size_t trials = 0;
+    double best_error = std::numeric_limits<double>::infinity();
+    std::string best_learner;
+    std::size_t segment_start_trials = 0;
+    std::size_t segments = 0;
+    std::size_t preemptions = 0;
+    std::string reason;  // why Cancelled/Failed (empty otherwise)
+  };
+
+  // All *_locked members require mutex_ held.
+  Job* find_locked(std::uint64_t id);
+  const Job* find_locked(std::uint64_t id) const;
+  bool runnable_locked(const Job& job) const;
+  // A runnable job that would be granted a slot before `ahead_of` keeps
+  // the fair-share quantum honest: any waiting peer at >= its priority.
+  bool peer_waiting_locked(int priority) const;
+  void schedule_locked();
+  void start_segment_locked(Job& job);
+  JsonValue status_locked(const Job& job) const;
+  SearchSignal control_poll(Job& job, std::size_t iteration);
+  void run_segment_task(Job& job);
+  void snapshot_progress_locked(Job& job);
+
+  Options options_;
+  WallClock clock_;
+  mutable std::mutex mutex_;
+  std::condition_variable terminal_cv_;
+  // One shared pool; each worker slot runs one job segment at a time.
+  std::unique_ptr<ThreadPool> pool_;
+  std::map<std::uint64_t, Job> jobs_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t schedule_seq_ = 0;
+  std::size_t running_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace flaml::server

@@ -1,0 +1,260 @@
+#include "server/service.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+#include "data/csv.h"
+#include "data/generators.h"
+#include "observe/trace.h"
+#include "resume/serial_util.h"
+
+namespace flaml::server {
+
+namespace {
+
+Task parse_task(const std::string& name) {
+  if (name == "binary") return Task::BinaryClassification;
+  if (name == "multiclass") return Task::MultiClassification;
+  if (name == "regression") return Task::Regression;
+  throw InvalidArgument("unknown task '" + name +
+                        "' (binary|multiclass|regression)");
+}
+
+const JsonValue* opt(const JsonValue& request, const std::string& key) {
+  return request.find(key);
+}
+
+std::string opt_string(const JsonValue& request, const std::string& key,
+                       const std::string& fallback) {
+  const JsonValue* v = opt(request, key);
+  if (v == nullptr) return fallback;
+  FLAML_REQUIRE(v->is_string(), "field '" << key << "' must be a string");
+  return v->str;
+}
+
+double opt_number(const JsonValue& request, const std::string& key,
+                  double fallback) {
+  const JsonValue* v = opt(request, key);
+  if (v == nullptr) return fallback;
+  FLAML_REQUIRE(v->is_number(), "field '" << key << "' must be a number");
+  return v->number;
+}
+
+std::size_t opt_size(const JsonValue& request, const std::string& key,
+                     std::size_t fallback) {
+  const double n = opt_number(request, key, static_cast<double>(fallback));
+  FLAML_REQUIRE(n >= 0, "field '" << key << "' must be >= 0");
+  return static_cast<std::size_t>(n);
+}
+
+std::uint64_t req_id(const JsonValue& request) {
+  const JsonValue* v = opt(request, "id");
+  FLAML_REQUIRE(v != nullptr && v->is_number() && v->number >= 1,
+                "request needs a numeric job \"id\"");
+  return static_cast<std::uint64_t>(v->number);
+}
+
+JsonValue ok_response() {
+  JsonValue out = JsonValue::make_object();
+  out.set("ok", JsonValue::make_bool(true));
+  return out;
+}
+
+JsonValue error_response(const std::string& message) {
+  JsonValue out = JsonValue::make_object();
+  out.set("ok", JsonValue::make_bool(false));
+  out.set("error", JsonValue::make_string(message));
+  return out;
+}
+
+JsonValue window_to_json(const RingTraceSink::Window& window) {
+  JsonValue out = ok_response();
+  JsonValue events = JsonValue::make_array();
+  std::uint64_t seq = window.first;
+  for (const observe::TraceEvent& event : window.events) {
+    JsonValue e = observe::to_json(event);
+    e.set("seq", resume::json_size(static_cast<std::size_t>(seq++)));
+    events.push(std::move(e));
+  }
+  out.set("events", std::move(events));
+  out.set("first", resume::json_size(static_cast<std::size_t>(window.first)));
+  out.set("next", resume::json_size(static_cast<std::size_t>(window.next)));
+  out.set("dropped",
+          resume::json_size(static_cast<std::size_t>(window.dropped)));
+  return out;
+}
+
+}  // namespace
+
+SearchService::SearchService(SearchDaemon& daemon) : daemon_(&daemon) {}
+
+JsonValue SearchService::handle(const JsonValue& request) {
+  try {
+    return dispatch(request);
+  } catch (const std::exception& e) {
+    return error_response(e.what());
+  }
+}
+
+std::string SearchService::handle_line(const std::string& line) {
+  JsonValue request;
+  try {
+    request = parse_json(line);
+  } catch (const std::exception& e) {
+    return dump_json_compact(
+        error_response(std::string("bad request JSON: ") + e.what()));
+  }
+  return dump_json_compact(handle(request));
+}
+
+void SearchService::serve_stream(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (!shutdown_requested_ && std::getline(in, line)) {
+    if (line.empty()) continue;
+    out << handle_line(line) << '\n';
+    out.flush();
+  }
+}
+
+JsonValue SearchService::dispatch(const JsonValue& request) {
+  FLAML_REQUIRE(request.is_object(), "request must be a JSON object");
+  const std::string op = opt_string(request, "op", "");
+  FLAML_REQUIRE(!op.empty(), "request needs an \"op\" field");
+
+  if (op == "ping") {
+    JsonValue out = ok_response();
+    out.set("pong", JsonValue::make_bool(true));
+    out.set("slots", resume::json_size(daemon_->slots()));
+    return out;
+  }
+  if (op == "submit") return op_submit(request);
+  if (op == "status") {
+    JsonValue out = ok_response();
+    out.set("job", daemon_->status(req_id(request)));
+    return out;
+  }
+  if (op == "list") {
+    JsonValue out = ok_response();
+    out.set("jobs", daemon_->list());
+    return out;
+  }
+  if (op == "cancel") {
+    JsonValue out = ok_response();
+    out.set("cancelled", JsonValue::make_bool(daemon_->cancel(req_id(request))));
+    return out;
+  }
+  if (op == "preempt") {
+    JsonValue out = ok_response();
+    out.set("preempted", JsonValue::make_bool(daemon_->preempt(req_id(request))));
+    return out;
+  }
+  if (op == "result") {
+    JsonValue out = ok_response();
+    out.set("result", daemon_->result(req_id(request)));
+    return out;
+  }
+  if (op == "events") {
+    const std::uint64_t since =
+        static_cast<std::uint64_t>(opt_number(request, "since", 0.0));
+    return window_to_json(daemon_->events(req_id(request), since));
+  }
+  if (op == "wait") {
+    const std::uint64_t id = req_id(request);
+    daemon_->wait(id);
+    JsonValue out = ok_response();
+    out.set("job", daemon_->status(id));
+    return out;
+  }
+  if (op == "wait_all") {
+    daemon_->wait_all();
+    JsonValue out = ok_response();
+    out.set("jobs", daemon_->list());
+    return out;
+  }
+  if (op == "shutdown") {
+    daemon_->shutdown();
+    shutdown_requested_ = true;
+    JsonValue out = ok_response();
+    out.set("bye", JsonValue::make_bool(true));
+    return out;
+  }
+  throw InvalidArgument("unknown op '" + op + "'");
+}
+
+std::shared_ptr<const Dataset> SearchService::load_dataset(
+    const JsonValue& request) {
+  std::string key;
+  if (opt(request, "csv") != nullptr) {
+    const std::string path = opt_string(request, "csv", "");
+    const std::string task = opt_string(request, "task", "binary");
+    const std::string label = opt_string(request, "label", "");
+    key = "csv:" + path + "|" + task + "|" + label;
+    auto it = dataset_cache_.find(key);
+    if (it != dataset_cache_.end()) return it->second;
+    CsvOptions csv_options;
+    csv_options.task = parse_task(task);
+    csv_options.label_column = label;
+    auto data =
+        std::make_shared<const Dataset>(read_csv_file(path, csv_options));
+    dataset_cache_.emplace(key, data);
+    return data;
+  }
+  const JsonValue* synthetic = opt(request, "synthetic");
+  FLAML_REQUIRE(synthetic != nullptr,
+                "submit needs either \"csv\" or \"synthetic\"");
+  FLAML_REQUIRE(synthetic->is_object(), "\"synthetic\" must be an object");
+  SyntheticSpec spec;
+  spec.task = parse_task(opt_string(*synthetic, "task", "binary"));
+  spec.n_rows = opt_size(*synthetic, "rows", 600);
+  spec.n_features = static_cast<int>(opt_size(*synthetic, "features", 8));
+  spec.n_classes = static_cast<int>(opt_size(*synthetic, "classes", 2));
+  spec.seed = opt_size(*synthetic, "seed", 1);
+  std::ostringstream fingerprint;
+  fingerprint << "syn:" << task_name(spec.task) << "|" << spec.n_rows << "|"
+              << spec.n_features << "|" << spec.n_classes << "|" << spec.seed;
+  key = fingerprint.str();
+  auto it = dataset_cache_.find(key);
+  if (it != dataset_cache_.end()) return it->second;
+  auto data = std::make_shared<const Dataset>(make_synthetic(spec));
+  dataset_cache_.emplace(key, data);
+  return data;
+}
+
+JsonValue SearchService::op_submit(const JsonValue& request) {
+  std::shared_ptr<const Dataset> data = load_dataset(request);
+
+  AutoMLOptions options;
+  options.time_budget_seconds = opt_number(request, "budget_seconds", 5.0);
+  options.metric = opt_string(request, "metric", "");
+  options.max_iterations = opt_size(request, "max_iterations", 0);
+  options.seed = opt_size(request, "seed", 1);
+  if (const JsonValue* estimators = opt(request, "estimators")) {
+    FLAML_REQUIRE(estimators->is_array(),
+                  "field 'estimators' must be an array of names");
+    for (const JsonValue& name : estimators->array) {
+      FLAML_REQUIRE(name.is_string(), "estimator names must be strings");
+      options.estimator_list.push_back(name.str);
+    }
+  }
+
+  JobOptions job_options;
+  job_options.name = opt_string(request, "name", "");
+  job_options.priority =
+      static_cast<int>(opt_number(request, "priority", 0.0));
+  job_options.quantum_trials = opt_size(request, "quantum_trials", 8);
+  job_options.deadline_seconds = opt_number(request, "deadline_seconds", 0.0);
+
+  std::vector<LearnerPtr> extra_learners;
+  if (customize_) customize_(options, extra_learners);
+
+  const std::uint64_t id = daemon_->submit(std::move(data), std::move(options),
+                                           std::move(job_options),
+                                           std::move(extra_learners));
+  JsonValue out = ok_response();
+  out.set("id", resume::json_size(static_cast<std::size_t>(id)));
+  return out;
+}
+
+}  // namespace flaml::server

@@ -1,0 +1,40 @@
+#include "server/trace_buffer.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace flaml::server {
+
+RingTraceSink::RingTraceSink(std::size_t capacity) : capacity_(capacity) {
+  FLAML_REQUIRE(capacity_ > 0, "trace ring capacity must be positive");
+}
+
+void RingTraceSink::emit(const observe::TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() == capacity_) {
+    events_.pop_front();
+    ++base_;
+  }
+  events_.push_back(event);
+}
+
+RingTraceSink::Window RingTraceSink::since(std::uint64_t since) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Window window;
+  window.next = base_ + events_.size();
+  const std::uint64_t begin = std::max(since, base_);
+  window.first = begin;
+  window.dropped = begin > since ? begin - since : 0;
+  for (std::uint64_t seq = begin; seq < window.next; ++seq) {
+    window.events.push_back(events_[static_cast<std::size_t>(seq - base_)]);
+  }
+  return window;
+}
+
+std::uint64_t RingTraceSink::total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return base_ + events_.size();
+}
+
+}  // namespace flaml::server

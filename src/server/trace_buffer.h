@@ -1,0 +1,51 @@
+// Bounded per-job trace buffer for the search daemon.
+//
+// Each daemon job gets one RingTraceSink as its AutoMLOptions::trace_sink:
+// the search emits the normal src/observe event stream (the same schema
+// tools/trace_inspect validates) and clients page through it with the
+// `events` wire op — {"id", "since": <sequence>} returns every retained
+// event with sequence >= since plus the next cursor, so a client can poll
+// without re-reading or missing anything that is still retained. The ring
+// keeps the most recent `capacity` events; older ones are dropped and
+// reported through Window::dropped so a slow client knows its cursor fell
+// off the tail instead of silently skipping.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "observe/trace.h"
+
+namespace flaml::server {
+
+class RingTraceSink final : public observe::TraceSink {
+ public:
+  explicit RingTraceSink(std::size_t capacity = 4096);
+
+  // Thread-safe (TraceSink contract): the search emits from its segment
+  // thread while clients read windows from the service thread.
+  void emit(const observe::TraceEvent& event) override;
+
+  struct Window {
+    std::vector<observe::TraceEvent> events;
+    std::uint64_t first = 0;    // sequence of events.front() (when any)
+    std::uint64_t next = 0;     // cursor for the following poll
+    std::uint64_t dropped = 0;  // events in [since, first) already evicted
+  };
+
+  // All retained events with sequence >= since.
+  Window since(std::uint64_t since) const;
+
+  // Total events ever emitted (== the next sequence number).
+  std::uint64_t total() const;
+
+ private:
+  mutable std::mutex mutex_;
+  const std::size_t capacity_;
+  std::uint64_t base_ = 0;  // sequence number of events_.front()
+  std::deque<observe::TraceEvent> events_;
+};
+
+}  // namespace flaml::server

@@ -1,0 +1,203 @@
+// Stress tests for the search daemon (src/server), designed to run under
+// TSan (docs/TESTING.md). They drive the acceptance matrix for the daemon:
+// N concurrent jobs over M workers — quantum-sliced, API-preempted and
+// deadline-free — must each produce a trial history byte-identical to a solo
+// uninterrupted run of the same options, including jobs that were explicitly
+// preempted mid-flight and resumed from their checkpoint.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "server/daemon.h"
+#include "support/prop.h"
+#include "support/resume_test_util.h"
+
+namespace flaml::testing {
+namespace {
+
+using server::job_state_name;
+using server::JobOptions;
+using server::JobState;
+using server::SearchDaemon;
+
+std::vector<LearnerPtr> stub_lineup() {
+  return {std::make_shared<StubLearner>("stub_fast", 1.0),
+          std::make_shared<StubLearner>("stub_mid", 1.9),
+          std::make_shared<StubLearner>("stub_slow", 15.0)};
+}
+
+void solo_run(AutoML& automl, const Dataset& data, std::uint64_t seed,
+              std::size_t iterations) {
+  add_resume_lineup(automl);
+  automl.fit(data, resume_options(seed, iterations));
+}
+
+// N jobs × M workers, tight quanta so every job gets sliced repeatedly, and
+// one job additionally evicted through the public preempt() API mid-run.
+// However the scheduler interleaves them, each history must equal its solo
+// reference run — scheduling may never leak into search results.
+FLAML_PROP(ServerStress, NJobsByMWorkersMatchSoloRuns, 6) {
+  const std::size_t slots = 1 + prop.rng.uniform_index(4);
+  const std::size_t n_jobs = 3 + prop.rng.uniform_index(4);
+  const std::size_t iterations = 10;
+  const std::uint64_t base_seed = 400 + 100 * prop.index;
+
+  SearchDaemon::Options daemon_options;
+  daemon_options.slots = slots;
+  SearchDaemon daemon(daemon_options);
+
+  std::vector<std::shared_ptr<const Dataset>> datasets;
+  std::vector<std::uint64_t> ids;
+  for (std::size_t j = 0; j < n_jobs; ++j) {
+    const std::uint64_t seed = base_seed + j;
+    datasets.push_back(
+        std::make_shared<const Dataset>(resume_tiny_binary(seed)));
+    JobOptions job;
+    job.name = "stress-" + std::to_string(j);
+    job.quantum_trials = 1 + prop.rng.uniform_index(3);
+    ids.push_back(daemon.submit(datasets.back(),
+                                resume_options(seed, iterations), job,
+                                stub_lineup()));
+  }
+
+  // Hit job 0 with public-API preemptions while the matrix runs; each hit
+  // evicts it to a checkpoint and the scheduler resumes it later. Capped so
+  // an adversarial interleaving can't starve the job of forward progress.
+  std::atomic<bool> done{false};
+  std::thread preemptor([&] {
+    int hits = 0;
+    while (!done.load() && hits < 4) {
+      if (daemon.preempt(ids.front())) ++hits;
+      std::this_thread::yield();
+    }
+  });
+  daemon.wait_all();
+  done.store(true);
+  preemptor.join();
+
+  for (std::size_t j = 0; j < n_jobs; ++j) {
+    ASSERT_EQ(daemon.state(ids[j]), JobState::Finished)
+        << "job " << j << " seed " << prop.seed;
+    AutoML reference;
+    solo_run(reference, *datasets[j], base_seed + j, iterations);
+    expect_resumed_equals_reference(
+        daemon.automl(ids[j]), reference,
+        "job " + std::to_string(j) + " slots " + std::to_string(slots));
+  }
+  daemon.shutdown();
+}
+
+// The kill-at-every-boundary sweep from tests/test_server.cpp, lifted into
+// the daemon: one job per boundary, each preempted exactly once at its
+// assigned trial boundary via the test_control hook, all running
+// concurrently over a small worker pool. Every resumed job must match solo.
+TEST(ServerStress, PreemptAtEveryBoundarySweepThroughDaemon) {
+  const std::size_t iterations = 8;
+  const std::uint64_t seed = 77;
+  const auto data = std::make_shared<const Dataset>(resume_tiny_binary(seed));
+  AutoML reference;
+  solo_run(reference, *data, seed, iterations);
+
+  SearchDaemon::Options daemon_options;
+  daemon_options.slots = 3;
+  SearchDaemon daemon(daemon_options);
+
+  std::vector<std::uint64_t> ids;
+  for (std::size_t kill_at = 0; kill_at < iterations; ++kill_at) {
+    JobOptions job;
+    job.name = "boundary-" + std::to_string(kill_at);
+    job.quantum_trials = iterations + 1;  // only the hook preempts
+    // One-shot preempt at this job's boundary. The hook runs under the
+    // daemon mutex, so the flag needs no synchronization of its own.
+    auto fired = std::make_shared<bool>(false);
+    job.test_control = [fired, kill_at](std::size_t iteration) {
+      if (!*fired && iteration == kill_at) {
+        *fired = true;
+        return SearchSignal::Preempt;
+      }
+      return SearchSignal::Run;
+    };
+    ids.push_back(daemon.submit(data, resume_options(seed, iterations), job,
+                                stub_lineup()));
+  }
+  daemon.wait_all();
+
+  for (std::size_t kill_at = 0; kill_at < iterations; ++kill_at) {
+    ASSERT_EQ(daemon.state(ids[kill_at]), JobState::Finished)
+        << "boundary " << kill_at;
+    const auto status = daemon.status(ids[kill_at]);
+    EXPECT_GE(status.at("preemptions").number, 1.0) << "boundary " << kill_at;
+    expect_resumed_equals_reference(daemon.automl(ids[kill_at]), reference,
+                                    "boundary " + std::to_string(kill_at));
+  }
+  daemon.shutdown();
+}
+
+// Lifecycle churn: submit/cancel/preempt/status racing from several client
+// threads against running jobs, then a shutdown with work still in flight.
+// No assertion beyond "terminal states are coherent" — under TSan this is
+// a data-race detector for the daemon's locking discipline.
+TEST(ServerStress, ConcurrentClientsAndShutdownRaceCleanly) {
+  const std::uint64_t seed = 91;
+  const auto data = std::make_shared<const Dataset>(resume_tiny_binary(seed));
+
+  SearchDaemon::Options daemon_options;
+  daemon_options.slots = 2;
+  SearchDaemon daemon(daemon_options);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::uint64_t> ids;
+  std::mutex ids_mutex;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(1000 + c);
+      while (!stop.load()) {
+        const std::size_t pick = rng.uniform_index(4);
+        try {
+          if (pick == 0) {
+            JobOptions job;
+            job.quantum_trials = 2;
+            const std::uint64_t id = daemon.submit(
+                data, resume_options(seed, 12), job, stub_lineup());
+            std::lock_guard<std::mutex> lock(ids_mutex);
+            ids.push_back(id);
+          } else {
+            std::uint64_t id = 0;
+            {
+              std::lock_guard<std::mutex> lock(ids_mutex);
+              if (ids.empty()) continue;
+              id = ids[rng.uniform_index(ids.size())];
+            }
+            if (pick == 1) daemon.preempt(id);
+            if (pick == 2) daemon.cancel(id);
+            if (pick == 3) daemon.status(id);
+          }
+        } catch (const InvalidArgument&) {
+          return;  // daemon shut down mid-call — expected
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  daemon.shutdown();
+  stop.store(true);
+  for (auto& t : clients) t.join();
+
+  for (const auto& entry : daemon.list().array) {
+    const JobState state =
+        daemon.state(static_cast<std::uint64_t>(entry.at("id").number));
+    EXPECT_TRUE(state == JobState::Finished || state == JobState::Cancelled ||
+                state == JobState::Failed)
+        << job_state_name(state);
+  }
+}
+
+}  // namespace
+}  // namespace flaml::testing

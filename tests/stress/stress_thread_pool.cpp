@@ -85,6 +85,46 @@ FLAML_PROP(ThreadPoolStress, ShutdownRacingSubmitNeverDropsWork, 15) {
   EXPECT_EQ(executed.load(), accepted.load());
 }
 
+// The daemon pattern under fire: external submitters racing shutdown while
+// accepted tasks themselves try_submit follow-up work from worker threads.
+// Every acceptance (future from submit, engaged optional from try_submit)
+// must execute; every rejection must be typed; nothing may be lost or torn.
+FLAML_PROP(ThreadPoolStress, ShutdownRacingWorkerTrySubmitIsTypedOrRuns, 15) {
+  const std::size_t workers = 1 + prop.rng.uniform_index(4);
+  ThreadPool pool(workers);
+  std::atomic<int> accepted{0};
+  std::atomic<int> executed{0};
+  std::atomic<bool> go{false};
+  const int submitters = 3;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < submitters; ++t) {
+    threads.emplace_back([&] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < 150; ++i) {
+        // Each accepted task re-enqueues once from inside the pool — the
+        // shape of a daemon segment scheduling its successor. A dying
+        // worker's try_submit must return nullopt, never enqueue into a
+        // torn queue or block shutdown.
+        auto chained = pool.try_submit([&pool, &accepted, &executed] {
+          executed.fetch_add(1);
+          auto follow = pool.try_submit([&executed] { executed.fetch_add(1); });
+          if (follow.has_value()) accepted.fetch_add(1);
+        });
+        if (!chained.has_value()) return;  // pool stopped — typed rejection
+        accepted.fetch_add(1);
+      }
+    });
+  }
+  go.store(true);
+  std::this_thread::yield();
+  pool.shutdown();
+  for (auto& th : threads) th.join();
+  EXPECT_THROW(pool.submit([] {}), PoolStopped);
+  // shutdown() drains: by the time both it and the submitters returned,
+  // every accepted task (outer and chained) has run.
+  EXPECT_EQ(executed.load(), accepted.load());
+}
+
 TEST(ThreadPoolStress, SubmitAfterShutdownThrows) {
   ThreadPool pool(2);
   pool.shutdown();

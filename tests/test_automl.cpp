@@ -6,6 +6,7 @@
 #include "data/generators.h"
 #include "data/split.h"
 #include "metrics/metrics.h"
+#include "support/resume_test_util.h"
 
 namespace flaml {
 namespace {
@@ -489,6 +490,59 @@ TEST(AutoML, InvalidOptionsRejected) {
   AutoMLOptions options;
   options.time_budget_seconds = 0.0;
   EXPECT_THROW(automl.fit(data, options), InvalidArgument);
+}
+
+// A time source the test steps from on_trial_committed, including
+// backwards — modeling an NTP step or a paused VM hitting a search that
+// (wrongly) measured its budget off a non-steady clock.
+class SteppingClock final : public Clock {
+ public:
+  double now() const override { return t; }
+  double t = 0.0;
+};
+
+TEST(AutoML, BackwardClockJumpCannotImmortalizeTheBudget) {
+  const Dataset data = testing::resume_tiny_binary(7);
+  AutoML automl;
+  testing::add_resume_lineup(automl);
+  // No iteration cap: only the 5-second budget can stop this search. The
+  // clock advances 1s per committed trial, and jumps back 100s after the
+  // third commit. Origin-subtraction accounting would go ~100 trials over;
+  // clamp-to-max accounting would stall the budget for ~100 trials; the
+  // BudgetMeter charges forward motion only, so the search ends after ~5
+  // trial-seconds of observed progress either side of the jump.
+  AutoMLOptions options = testing::resume_options(7, 0);
+  options.time_budget_seconds = 5.0;
+  SteppingClock clock;
+  options.clock = &clock;
+  options.on_trial_committed = [&](std::size_t iteration) {
+    clock.t += 1.0;
+    if (iteration == 3) clock.t -= 100.0;
+  };
+  automl.fit(data, options);
+  EXPECT_GE(automl.history().size(), 4u);
+  EXPECT_LE(automl.history().size(), 6u);
+  EXPECT_TRUE(automl.fitted());
+}
+
+TEST(AutoML, ForwardClockJumpEndsTheSearchPromptly) {
+  const Dataset data = testing::resume_tiny_binary(8);
+  AutoML automl;
+  testing::add_resume_lineup(automl);
+  AutoMLOptions options = testing::resume_options(8, 0);
+  options.time_budget_seconds = 50.0;
+  SteppingClock clock;
+  options.clock = &clock;
+  // 0.5s per trial, then a suspend/resume-style leap far past the budget:
+  // the very next boundary must stop the search.
+  options.on_trial_committed = [&](std::size_t iteration) {
+    clock.t += 0.5;
+    if (iteration == 3) clock.t += 1000.0;
+  };
+  automl.fit(data, options);
+  EXPECT_GE(automl.history().size(), 3u);
+  EXPECT_LE(automl.history().size(), 4u);
+  EXPECT_TRUE(automl.fitted());
 }
 
 }  // namespace

@@ -49,6 +49,71 @@ TEST(WallClock, MeasuresSleep) {
   EXPECT_LT(elapsed, 2.0);
 }
 
+// A deliberately broken time source: jumps anywhere, including backwards.
+// VirtualClock forbids backward motion by contract, so the BudgetMeter
+// tests need their own. Models a wall clock stepped by NTP or a paused VM.
+class JumpyClock final : public Clock {
+ public:
+  double now() const override { return t; }
+  double t = 0.0;
+};
+
+TEST(BudgetMeter, AccumulatesForwardMotion) {
+  JumpyClock clock;
+  BudgetMeter meter(clock);
+  EXPECT_DOUBLE_EQ(meter.elapsed(), 0.0);
+  clock.t = 1.5;
+  EXPECT_DOUBLE_EQ(meter.elapsed(), 1.5);
+  clock.t = 4.0;
+  EXPECT_DOUBLE_EQ(meter.elapsed(), 4.0);
+}
+
+TEST(BudgetMeter, OffsetCarriesSpentBudget) {
+  JumpyClock clock;
+  clock.t = 7.0;  // a nonzero origin must not be charged
+  BudgetMeter meter(clock, 2.5);
+  EXPECT_DOUBLE_EQ(meter.elapsed(), 2.5);
+  clock.t = 8.0;
+  EXPECT_DOUBLE_EQ(meter.elapsed(), 3.5);
+}
+
+TEST(BudgetMeter, BackwardJumpNeitherRewindsNorStalls) {
+  JumpyClock clock;
+  BudgetMeter meter(clock);
+  clock.t = 3.0;
+  EXPECT_DOUBLE_EQ(meter.elapsed(), 3.0);
+  // The jump itself is free: elapsed never decreases...
+  clock.t = -100.0;
+  EXPECT_DOUBLE_EQ(meter.elapsed(), 3.0);
+  // ...and forward motion counts again immediately — no waiting for the
+  // source to re-cross its old maximum (the clamp-to-max failure mode).
+  clock.t = -99.0;
+  EXPECT_DOUBLE_EQ(meter.elapsed(), 4.0);
+  clock.t = -98.5;
+  EXPECT_DOUBLE_EQ(meter.elapsed(), 4.5);
+}
+
+TEST(BudgetMeter, ForwardJumpCountsInFull) {
+  JumpyClock clock;
+  BudgetMeter meter(clock);
+  clock.t = 1.0;
+  meter.elapsed();
+  clock.t = 5001.0;  // suspend/resume: the gap is real elapsed time
+  EXPECT_DOUBLE_EQ(meter.elapsed(), 5001.0);
+}
+
+TEST(BudgetMeter, UnsampledJumpPairIsInvisible) {
+  JumpyClock clock;
+  BudgetMeter meter(clock);
+  clock.t = 2.0;
+  EXPECT_DOUBLE_EQ(meter.elapsed(), 2.0);
+  // A backward step the meter never observes mid-flight: only the net
+  // motion between samples counts (here: 2.0 -> 1.0, negative, free).
+  clock.t = -50.0;
+  clock.t = 1.0;
+  EXPECT_DOUBLE_EQ(meter.elapsed(), 2.0);
+}
+
 TEST(Stopwatch, TracksVirtualClock) {
   VirtualClock clock;
   Stopwatch watch(clock);

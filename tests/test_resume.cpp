@@ -11,11 +11,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 #include "automl/automl.h"
 #include "automl/eci.h"
@@ -515,6 +520,72 @@ TEST(ResumeWarmStart, ShortFitPlusResumeEqualsLongFit) {
   resumed.resume_from(data, long_options, ckpt);
   expect_resumed_equals_reference(resumed, reference, "warm start 6 -> 12");
 }
+
+// ---------------------------------------------------------------------------
+// Durability of the tmp+rename writer
+// ---------------------------------------------------------------------------
+
+TEST(ResumeDurability, LeftoverTmpNextToAValidCheckpointIsIgnored) {
+  const Dataset data = resume_tiny_binary(61);
+  const std::string path = tmp_path("durability_valid.ckpt");
+  AutoML automl;
+  run_killed_fit(automl, data, resume_options(61, 10), path, 4);
+
+  // A stale half-written tmp beside a VALID final file (a crash during a
+  // LATER checkpoint write, before its rename) must not affect loading.
+  {
+    std::ofstream tmp(path + ".tmp", std::ios::binary);
+    tmp << "flaml-checkpoint v2 99 0\ntruncated mid-wri";
+  }
+  const resume::SearchCheckpoint loaded = resume::SearchCheckpoint::load(path);
+  EXPECT_EQ(loaded.iteration, 4u);
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST(ResumeDurability, HalfWrittenTmpWithoutAFinalFileIsRefused) {
+  const std::string path = tmp_path("durability_orphan.ckpt");
+  std::remove(path.c_str());
+  {
+    std::ofstream tmp(path + ".tmp", std::ios::binary);
+    tmp << "flaml-checkpoint v2 99 0\ntruncated mid-wri";
+  }
+  // The orphaned tmp may hold anything — loading it in place of the missing
+  // final file would resurrect a torn checkpoint. The reader must refuse
+  // with a message naming the real failure, not a generic "cannot open".
+  try {
+    resume::SearchCheckpoint::load(path);
+    FAIL() << "orphaned tmp was loaded (or missing file not reported)";
+  } catch (const SerializationError& e) {
+    EXPECT_NE(std::string(e.what()).find("interrupted"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find(".tmp"), std::string::npos);
+  }
+  std::remove((path + ".tmp").c_str());
+}
+
+#ifndef _WIN32
+TEST(ResumeDurability, CrossFilesystemTmpDirFallsBackToLocalRename) {
+  // /dev/shm is a distinct mount from TempDir on most Linux setups, forcing
+  // the EXDEV copy+rename fallback; where it is not, the test still
+  // verifies the tmp_dir code path end to end.
+  if (::access("/dev/shm", W_OK) != 0) {
+    GTEST_SKIP() << "/dev/shm not writable; cannot exercise cross-fs tmp_dir";
+  }
+  const Dataset data = resume_tiny_binary(62);
+  AutoML automl;
+  add_resume_lineup(automl);
+  automl.fit(data, resume_options(62, 5));
+  const resume::SearchCheckpoint ckpt = automl.checkpoint_to();
+
+  const std::string path = tmp_path("durability_exdev.ckpt");
+  resume::write_checkpoint_file(path, ckpt.to_json(), "/dev/shm");
+  const resume::SearchCheckpoint loaded = resume::SearchCheckpoint::load(path);
+  EXPECT_EQ(loaded.iteration, 5u);
+  // Neither staging file may survive a successful write.
+  EXPECT_NE(::access((path + ".tmp").c_str(), F_OK), 0);
+  EXPECT_NE(::access("/dev/shm/durability_exdev.ckpt.tmp", F_OK), 0);
+}
+#endif  // _WIN32
 
 }  // namespace
 }  // namespace flaml

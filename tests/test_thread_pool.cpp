@@ -50,5 +50,56 @@ TEST(ThreadPool, ManyTasksComplete) {
   EXPECT_EQ(counter.load(), 200);
 }
 
+TEST(ThreadPool, SubmitAfterShutdownThrowsTypedError) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_TRUE(pool.stopped());
+  EXPECT_THROW(pool.submit([] { return 1; }), PoolStopped);
+  // PoolStopped refines InvalidArgument, so existing catch sites still work.
+  try {
+    pool.submit([] { return 1; });
+    FAIL() << "submit() on a stopped pool must throw";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("stopped"), std::string::npos);
+  }
+}
+
+TEST(ThreadPool, TrySubmitAfterShutdownReturnsEmpty) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.stopped());
+  auto before = pool.try_submit([] { return 7; });
+  ASSERT_TRUE(before.has_value());
+  EXPECT_EQ(before->get(), 7);
+  pool.shutdown();
+  auto after = pool.try_submit([] { return 7; });
+  EXPECT_FALSE(after.has_value());
+}
+
+TEST(ThreadPool, WorkerCanTrySubmitFollowUpWork) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  // A worker task enqueueing onto its own pool — the pattern the search
+  // daemon's segment tasks use. While the pool is live it must succeed.
+  auto outer = pool.submit([&] {
+    auto inner = pool.try_submit([&] { ran.fetch_add(1); });
+    EXPECT_TRUE(inner.has_value());
+  });
+  outer.get();
+  pool.shutdown();
+  EXPECT_EQ(ran.load(), 1);  // accepted work always runs before join
+}
+
+TEST(ThreadPool, ShutdownDrainsAcceptedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&] { ran.fetch_add(1); });
+    }
+    pool.shutdown();
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
 }  // namespace
 }  // namespace flaml
