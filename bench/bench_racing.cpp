@@ -1,0 +1,314 @@
+// Anytime-performance benchmark for frugal trial racing
+// (src/automl/racing.h). Runs the SAME real-learner search twice — racing
+// off and racing on — with a deterministic trial cost model, so both runs
+// and their comparison are pure functions of the flags. Emits
+// BENCH_racing.json with the two anytime curves (best validation error as a
+// function of cumulative charged trial cost), per-learner charged cost, the
+// raced-trial count and wall times, plus a check report:
+//   * anytime_within_slack — at every point of the merged cost grid the
+//     racing-on best error is within the configured slack of racing-off
+//     (racing may only give up what its slack explicitly tolerates);
+//   * nonbest_cost_decreased — the charged cost spent on learners OTHER
+//     than the racing-off winner strictly decreased (the budget racing is
+//     supposed to save);
+//   * raced_fired — at least one trial was actually raced.
+//
+// Usage:
+//   bench_racing [--rows=N] [--features=N] [--trials=N] [--seed=N]
+//                [--grace=N] [--slack-rel=X] [--slack-abs=X]
+//                [--out=BENCH_racing.json] [--check]
+// --check re-reads the emitted file, validates its shape and requires all
+// three report booleans (non-zero exit otherwise) — what the ctest smoke
+// runs.
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "args.h"
+#include "automl/automl.h"
+#include "common/clock.h"
+#include "common/json.h"
+#include "data/generators.h"
+
+namespace flaml::bench {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// One point of an anytime curve: after `cost` cumulative charged seconds,
+// the best validation error seen so far was `best`.
+struct CurvePoint {
+  double cost = 0.0;
+  double best = kInf;
+};
+
+std::vector<CurvePoint> anytime_curve(const TrialHistory& history) {
+  std::vector<CurvePoint> curve;
+  double cum = 0.0;
+  for (const TrialRecord& r : history) {
+    cum += r.cost;
+    curve.push_back(CurvePoint{cum, r.best_error_so_far});
+  }
+  return curve;
+}
+
+// Step-function evaluation: the best error once `cost` seconds were charged
+// (inf before the first finished trial; the final best past the end).
+double best_at(const std::vector<CurvePoint>& curve, double cost) {
+  double best = kInf;
+  for (const CurvePoint& p : curve) {
+    if (p.cost > cost) break;
+    best = p.best;
+  }
+  return best;
+}
+
+struct RunResult {
+  TrialHistory history;
+  std::vector<CurvePoint> curve;
+  std::map<std::string, double> learner_cost;  // charged seconds per learner
+  std::string best_learner;
+  double best_error = kInf;
+  double total_cost = 0.0;
+  double n_raced = 0.0;
+  double wall_seconds = 0.0;
+};
+
+RunResult run_search(const Dataset& data, const AutoMLOptions& options) {
+  WallClock clock;
+  Stopwatch timer(clock);
+  AutoML automl;
+  automl.fit(data, options);
+  RunResult result;
+  result.wall_seconds = timer.elapsed();
+  result.history = automl.history();
+  result.curve = anytime_curve(result.history);
+  for (const TrialRecord& r : result.history) {
+    result.learner_cost[r.learner] += r.cost;
+    result.total_cost += r.cost;
+  }
+  result.best_learner = automl.best_learner();
+  result.best_error = automl.best_error();
+  result.n_raced = automl.metrics().value("trials_raced");
+  return result;
+}
+
+JsonValue curve_json(const std::vector<CurvePoint>& curve) {
+  JsonValue out = JsonValue::make_array();
+  for (const CurvePoint& p : curve) {
+    JsonValue point = JsonValue::make_object();
+    point.set("cost", JsonValue::make_number(p.cost));
+    point.set("best_error", JsonValue::make_number(
+                                std::isfinite(p.best) ? p.best : -1.0));
+    out.push(std::move(point));
+  }
+  return out;
+}
+
+JsonValue run_json(const RunResult& run) {
+  JsonValue out = JsonValue::make_object();
+  out.set("best_error", JsonValue::make_number(run.best_error));
+  out.set("best_learner", JsonValue::make_string(run.best_learner));
+  out.set("total_charged_cost", JsonValue::make_number(run.total_cost));
+  out.set("trials_raced", JsonValue::make_number(run.n_raced));
+  out.set("wall_seconds", JsonValue::make_number(run.wall_seconds));
+  JsonValue per_learner = JsonValue::make_object();
+  for (const auto& [learner, cost] : run.learner_cost) {
+    per_learner.set(learner, JsonValue::make_number(cost));
+  }
+  out.set("charged_cost_per_learner", std::move(per_learner));
+  out.set("anytime_curve", curve_json(run.curve));
+  return out;
+}
+
+// Validate the shape --check depends on; throws on any mismatch.
+void check_result_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot reopen " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue root = parse_json(buffer.str());
+  if (!root.is_object()) throw std::runtime_error("root is not an object");
+  for (const char* key : {"rows", "features", "trials", "seed"}) {
+    const JsonValue* v = root.find(key);
+    if (v == nullptr || !v->is_number()) {
+      throw std::runtime_error(std::string("missing numeric field '") + key + "'");
+    }
+  }
+  for (const char* key : {"racing_off", "racing_on"}) {
+    const JsonValue* run = root.find(key);
+    if (run == nullptr || !run->is_object()) {
+      throw std::runtime_error(std::string("missing run section '") + key + "'");
+    }
+    const JsonValue* curve = run->find("anytime_curve");
+    if (curve == nullptr || !curve->is_array() || curve->array.empty()) {
+      throw std::runtime_error(std::string(key) + " lacks an anytime curve");
+    }
+  }
+  const JsonValue* check = root.find("check");
+  if (check == nullptr || check->find("anytime_within_slack") == nullptr ||
+      check->find("nonbest_cost_decreased") == nullptr ||
+      check->find("raced_fired") == nullptr) {
+    throw std::runtime_error("missing check report");
+  }
+}
+
+int run(int argc, char** argv) {
+  Args args(argc, argv);
+  const int n_rows = args.get_int("rows", 2000);
+  const int n_features = args.get_int("features", 12);
+  const int n_trials = args.get_int("trials", 30);
+  const int seed = args.get_int("seed", 2);
+  const int grace = args.get_int("grace", 1);
+  const double slack_rel = args.get_double("slack-rel", 0.0);
+  const double slack_abs = args.get_double("slack-abs", 0.01);
+  const std::string out_path = args.get_string("out", "BENCH_racing.json");
+
+  std::cerr << "bench_racing: rows=" << n_rows << " features=" << n_features
+            << " trials=" << n_trials << " seed=" << seed << " grace=" << grace
+            << " slack_rel=" << slack_rel << " slack_abs=" << slack_abs << "\n";
+
+  SyntheticSpec spec;
+  spec.task = Task::BinaryClassification;
+  spec.n_rows = static_cast<std::size_t>(n_rows);
+  spec.n_features = n_features;
+  spec.seed = 0xace5ULL + static_cast<std::uint64_t>(seed);
+  const Dataset data = make_classification(spec);
+
+  AutoMLOptions options;
+  options.time_budget_seconds = 1e6;  // iteration budget terminates, not time
+  options.max_iterations = static_cast<std::size_t>(n_trials);
+  options.initial_sample_size = 64;
+  options.resampling = ResamplingPolicy::ForceHoldout;
+  options.estimator_list = {"lgbm", "rf"};
+  options.seed = static_cast<std::uint64_t>(seed);
+  // Deterministic modeled costs: the anytime comparison is then a pure
+  // function of the flags (measured wall time is reported separately).
+  options.trial_cost_model = [](const Learner& learner, const Config& config,
+                                std::size_t sample_size) {
+    double config_sum = 0.0;
+    for (const auto& [name, value] : config) config_sum += std::abs(value);
+    return learner.initial_cost_multiplier() *
+               (0.05 + 0.001 * static_cast<double>(sample_size)) +
+           1e-6 * config_sum;
+  };
+
+  const RunResult off = run_search(data, options);
+
+  AutoMLOptions racing_options = options;
+  racing_options.racing.enabled = true;
+  racing_options.racing.grace_iterations = grace;
+  racing_options.racing.slack_rel = slack_rel;
+  racing_options.racing.slack_abs = slack_abs;
+  const RunResult on = run_search(data, racing_options);
+
+  // --- Check 1: anytime performance within slack. On the merged cost grid
+  // (from the first point where BOTH runs have a finished trial), the
+  // racing-on best error may exceed racing-off only by the configured
+  // slack — the exact tolerance the kill rule was told to accept.
+  std::vector<double> grid;
+  for (const CurvePoint& p : off.curve) grid.push_back(p.cost);
+  for (const CurvePoint& p : on.curve) grid.push_back(p.cost);
+  bool anytime_within_slack = true;
+  double max_regret = 0.0;
+  for (double c : grid) {
+    const double best_off = best_at(off.curve, c);
+    const double best_on = best_at(on.curve, c);
+    if (!std::isfinite(best_off) || !std::isfinite(best_on)) continue;
+    const double tolerance = slack_abs + slack_rel * std::fabs(best_off);
+    const double regret = best_on - best_off;
+    max_regret = std::max(max_regret, regret);
+    if (regret > tolerance) anytime_within_slack = false;
+  }
+
+  // --- Check 2: racing spent strictly less charged budget on the learners
+  // that did NOT win the racing-off search.
+  double nonbest_off = 0.0;
+  double nonbest_on = 0.0;
+  for (const auto& [learner, cost] : off.learner_cost) {
+    if (learner != off.best_learner) nonbest_off += cost;
+  }
+  for (const auto& [learner, cost] : on.learner_cost) {
+    if (learner != off.best_learner) nonbest_on += cost;
+  }
+  const bool nonbest_cost_decreased = nonbest_on < nonbest_off;
+
+  // --- Check 3: racing actually fired.
+  const bool raced_fired = on.n_raced >= 1.0;
+
+  std::cerr << "  racing off: best " << off.best_error << " (" << off.best_learner
+            << "), charged " << off.total_cost << " s\n";
+  std::cerr << "  racing on:  best " << on.best_error << " (" << on.best_learner
+            << "), charged " << on.total_cost << " s, raced " << on.n_raced
+            << "\n";
+  std::cerr << "  max anytime regret " << max_regret << " (within slack: "
+            << (anytime_within_slack ? "yes" : "NO") << "), non-best cost "
+            << nonbest_off << " -> " << nonbest_on << " (decreased: "
+            << (nonbest_cost_decreased ? "yes" : "NO") << ")\n";
+
+  JsonValue root = JsonValue::make_object();
+  root.set("benchmark", JsonValue::make_string("racing"));
+  root.set("rows", JsonValue::make_number(n_rows));
+  root.set("features", JsonValue::make_number(n_features));
+  root.set("trials", JsonValue::make_number(n_trials));
+  root.set("seed", JsonValue::make_number(seed));
+  root.set("hardware_concurrency",
+           JsonValue::make_number(std::thread::hardware_concurrency()));
+  JsonValue racing = JsonValue::make_object();
+  racing.set("grace_iterations", JsonValue::make_number(grace));
+  racing.set("slack_rel", JsonValue::make_number(slack_rel));
+  racing.set("slack_abs", JsonValue::make_number(slack_abs));
+  root.set("racing", std::move(racing));
+  root.set("racing_off", run_json(off));
+  root.set("racing_on", run_json(on));
+  JsonValue check = JsonValue::make_object();
+  check.set("anytime_within_slack", JsonValue::make_bool(anytime_within_slack));
+  check.set("max_anytime_regret", JsonValue::make_number(max_regret));
+  check.set("nonbest_cost_off", JsonValue::make_number(nonbest_off));
+  check.set("nonbest_cost_on", JsonValue::make_number(nonbest_on));
+  check.set("nonbest_cost_decreased",
+            JsonValue::make_bool(nonbest_cost_decreased));
+  check.set("raced_fired", JsonValue::make_bool(raced_fired));
+  root.set("check", std::move(check));
+
+  const std::string serialized = dump_json(root);
+  {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    out << serialized;
+  }
+  std::cerr << "wrote " << out_path << "\n";
+
+  if (args.has("check")) {
+    check_result_file(out_path);
+    if (!anytime_within_slack || !nonbest_cost_decreased || !raced_fired) {
+      std::cerr << "check failed: racing must stay within slack, cut non-best "
+                   "learner cost, and actually race\n";
+      return 1;
+    }
+    std::cerr << "check passed\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace flaml::bench
+
+int main(int argc, char** argv) {
+  try {
+    return flaml::bench::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "bench_racing: " << e.what() << "\n";
+    return 1;
+  }
+}

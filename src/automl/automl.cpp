@@ -103,6 +103,7 @@ void AutoML::run_search(const Dataset& data, const AutoMLOptions& options,
   best_config_.clear();
   best_sample_size_ = 0;
   metrics_.clear();
+  racing_monitor_.clear();
   iteration_ = 0;
   calibrated_ = false;
   elapsed_offset_ = 0.0;
@@ -175,6 +176,12 @@ void AutoML::run_search(const Dataset& data, const AutoMLOptions& options,
   runner_options.metrics = &metrics_;
   runner_ = std::make_unique<TrialRunner>(data, metric, runner_options);
   const std::size_t full_size = runner_->max_sample_size();
+
+  // Racing applies only under holdout resampling: CV per-fold curves are
+  // not comparable to a fixed-holdout envelope, so a CV search silently
+  // runs with racing off even when options.racing.enabled is set.
+  const bool racing_on =
+      options.racing.enabled && resampling == Resampling::Holdout;
 
   // --- Learner lineup ---
   std::vector<LearnerPtr> lineup;
@@ -312,6 +319,14 @@ void AutoML::run_search(const Dataset& data, const AutoMLOptions& options,
     best_config_ = ckpt.best_config;
     history_ = ckpt.history;
     metrics_.state_from_json(ckpt.metrics);
+    // Semantic validation (monotone envelopes, finite losses, no duplicate
+    // keys) lives in RacingMonitor::from_json — checkpoint.cpp only checks
+    // structure, because flaml_resume cannot link against flaml_automl.
+    if (ckpt.racing.is_object()) {
+      racing_monitor_.from_json(ckpt.racing);
+    } else {
+      racing_monitor_.clear();
+    }
     for (const resume::PendingTrial& p : ckpt.pending) {
       // Re-derive the salt the original launch used: a pure function of
       // (learner, per-learner index), so a tampered salt is detectable.
@@ -412,8 +427,11 @@ void AutoML::run_search(const Dataset& data, const AutoMLOptions& options,
   };
 
   // --- Step 3 bookkeeping after a trial finished ---
+  // `run_sample` is the launch-time sample size the trial actually trained
+  // on (commit-time state.sample_size may differ after a FLOW2 restart);
+  // it keys the racing envelope the trial's curve feeds.
   auto commit = [&](LearnerState& state, const Proposal& proposal,
-                    const TrialResult& trial) {
+                    const TrialResult& trial, std::size_t run_sample) {
     ++iteration_;
     elapsed_seconds_ = elapsed();
     state.eci.record(trial.cost, trial.error, trial.ok);
@@ -455,9 +473,15 @@ void AutoML::run_search(const Dataset& data, const AutoMLOptions& options,
       case TrialStatus::Ok: metrics_.add("trials_ok"); break;
       case TrialStatus::Killed: metrics_.add("trials_killed"); break;
       case TrialStatus::Failed: metrics_.add("trials_failed"); break;
+      case TrialStatus::Raced: metrics_.add("trials_raced"); break;
     }
     metrics_.observe("trial_cost", trial.cost);
     if (trial.ok) metrics_.observe("trial_error", trial.error);
+    if (racing_on && trial.ok && !trial.curve.empty()) {
+      // Only completed trials set envelopes: a raced trial's truncated curve
+      // would otherwise look artificially strong at its kill point.
+      racing_monitor_.record(state.learner->name(), run_sample, trial.curve);
+    }
     if (tracer) {
       JsonValue config = JsonValue::make_object();
       for (const auto& [name, value] : proposal.config) {
@@ -473,6 +497,8 @@ void AutoML::run_search(const Dataset& data, const AutoMLOptions& options,
       fields.set("config", std::move(config));
       fields.set("error", observe::json_error_field(trial.error));
       fields.set("cost", JsonValue::make_number(trial.cost));
+      fields.set("elapsed_seconds",
+                 JsonValue::make_number(trial.elapsed_seconds));
       fields.set("status", JsonValue::make_string(trial_status_name(trial.status)));
       fields.set("improved", JsonValue::make_bool(improved_global));
       fields.set("best_error_so_far", observe::json_error_field(best_error_));
@@ -540,10 +566,33 @@ void AutoML::run_search(const Dataset& data, const AutoMLOptions& options,
     }
   };
 
+  // Launch-time racing plan: a snapshot of the incumbent envelope for this
+  // (learner, sample size). A trial races against exactly the envelopes
+  // known when it LAUNCHED, never ones committed while it runs — that makes
+  // racing decisions a pure function of the (deterministic) launch/commit
+  // interleaving, and is also what a checkpoint's pending list must carry so
+  // a resumed re-run of an in-flight trial races the same envelope.
+  auto racing_plan_for = [&](const std::string& learner,
+                             std::size_t sample_size) {
+    RacingPlan plan;
+    if (!racing_on) return plan;
+    plan.enabled = true;
+    plan.options = options.racing;
+    plan.envelope = racing_monitor_.envelope(learner, sample_size);
+    return plan;
+  };
+  auto plan_from_pending = [&](const resume::PendingTrial& p) {
+    RacingPlan plan;
+    plan.enabled = p.racing_enabled;
+    plan.options = options.racing;
+    plan.envelope = p.envelope;
+    return plan;
+  };
+
   // A proposal reconstructed from (or destined for) a checkpoint's pending
   // list. Launch order is the commit order, so resume re-runs these FIFO.
   auto to_pending = [&](const LearnerState& state, const Proposal& proposal,
-                        std::size_t sample_size) {
+                        std::size_t sample_size, const RacingPlan& plan) {
     resume::PendingTrial p;
     p.learner = state.learner->name();
     p.trial_index = proposal.trial_index;
@@ -551,6 +600,8 @@ void AutoML::run_search(const Dataset& data, const AutoMLOptions& options,
     p.grow_sample = proposal.grow_sample;
     p.sample_size = sample_size;
     p.config = proposal.config;
+    p.racing_enabled = plan.enabled;
+    p.envelope = plan.envelope;
     return p;
   };
   auto from_pending = [&](const resume::PendingTrial& p) {
@@ -581,11 +632,12 @@ void AutoML::run_search(const Dataset& data, const AutoMLOptions& options,
         queue.erase(queue.begin());
         LearnerState& state = states_[state_index(p.learner)];
         Proposal proposal = from_pending(p);
+        const RacingPlan plan = plan_from_pending(p);
         const double remaining = std::max(budget - elapsed(), 0.0);
         TrialResult trial = runner_->run(*state.learner, proposal.config,
                                          p.sample_size, remaining,
-                                         proposal.seed_salt);
-        commit(state, proposal, trial);
+                                         proposal.seed_salt, &plan);
+        commit(state, proposal, trial, p.sample_size);
         after_commit(queue);
       }
     }
@@ -595,12 +647,15 @@ void AutoML::run_search(const Dataset& data, const AutoMLOptions& options,
       trace_learner_proposed(idx, static_cast<std::size_t>(iteration_));
       LearnerState& state = states_[idx];
       Proposal proposal = propose(state);
+      const std::size_t run_sample = state.sample_size;
+      const RacingPlan plan =
+          racing_plan_for(state.learner->name(), run_sample);
       const double remaining = budget - elapsed();
       if (remaining <= 0.0) break;
       TrialResult trial = runner_->run(*state.learner, proposal.config,
-                                       state.sample_size, remaining,
-                                       proposal.seed_salt);
-      commit(state, proposal, trial);
+                                       run_sample, remaining,
+                                       proposal.seed_salt, &plan);
+      commit(state, proposal, trial, run_sample);
       after_commit({});
     }
   } else {
@@ -613,6 +668,7 @@ void AutoML::run_search(const Dataset& data, const AutoMLOptions& options,
       std::size_t state_idx = 0;
       Proposal proposal;
       std::size_t sample_size = 0;  // at launch (== commit-time state value)
+      RacingPlan plan;              // envelope snapshot at launch
       std::future<TrialResult> future;
     };
     ThreadPool pool(static_cast<std::size_t>(options.n_parallel));
@@ -626,13 +682,14 @@ void AutoML::run_search(const Dataset& data, const AutoMLOptions& options,
       pending.reserve(inflight.size());
       for (const InFlight& entry : inflight) {
         pending.push_back(to_pending(states_[entry.state_idx], entry.proposal,
-                                     entry.sample_size));
+                                     entry.sample_size, entry.plan));
       }
       return pending;
     };
 
     auto launch = [&](std::size_t idx, Proposal proposal,
-                      std::size_t sample_size, double remaining) {
+                      std::size_t sample_size, double remaining,
+                      RacingPlan plan) {
       busy[idx] = true;
       const Learner* learner = states_[idx].learner.get();
       Config config = proposal.config;
@@ -641,9 +698,14 @@ void AutoML::run_search(const Dataset& data, const AutoMLOptions& options,
       entry.state_idx = idx;
       entry.proposal = std::move(proposal);
       entry.sample_size = sample_size;
-      entry.future =
-          pool.submit([this, learner, config, sample_size, remaining, salt] {
-            return runner_->run(*learner, config, sample_size, remaining, salt);
+      entry.plan = plan;  // kept for the checkpoint's pending list
+      entry.future = pool.submit(
+          // The worker races against its own copy of the plan — the
+          // inflight vector may reallocate while the trial runs.
+          [this, learner, config, sample_size, remaining, salt,
+           plan = std::move(plan)] {
+            return runner_->run(*learner, config, sample_size, remaining, salt,
+                                &plan);
           });
       inflight.push_back(std::move(entry));
     };
@@ -657,7 +719,7 @@ void AutoML::run_search(const Dataset& data, const AutoMLOptions& options,
         FLAML_PARSE_REQUIRE(!busy[idx], "two pending trials for learner '"
                                             << p.learner << "'");
         launch(idx, from_pending(p), p.sample_size,
-               std::max(budget - elapsed(), 0.0));
+               std::max(budget - elapsed(), 0.0), plan_from_pending(p));
       }
     }
 
@@ -676,7 +738,9 @@ void AutoML::run_search(const Dataset& data, const AutoMLOptions& options,
                                static_cast<std::size_t>(iteration_) + inflight.size());
         LearnerState& state = states_[idx];
         Proposal proposal = propose(state);
-        launch(idx, std::move(proposal), state.sample_size, remaining);
+        const std::size_t run_sample = state.sample_size;
+        launch(idx, std::move(proposal), run_sample, remaining,
+               racing_plan_for(state.learner->name(), run_sample));
         return true;
       }
       return false;
@@ -694,7 +758,8 @@ void AutoML::run_search(const Dataset& data, const AutoMLOptions& options,
       inflight.erase(inflight.begin());
       TrialResult trial = front.future.get();
       busy[front.state_idx] = false;
-      commit(states_[front.state_idx], front.proposal, trial);
+      commit(states_[front.state_idx], front.proposal, trial,
+             front.sample_size);
       after_commit(inflight_pending());
     }
     // Drain: runs after a normal exit AND after a Preempt/Cancel break, so
@@ -705,7 +770,8 @@ void AutoML::run_search(const Dataset& data, const AutoMLOptions& options,
       inflight.erase(inflight.begin());
       TrialResult trial = front.future.get();
       busy[front.state_idx] = false;
-      commit(states_[front.state_idx], front.proposal, trial);
+      commit(states_[front.state_idx], front.proposal, trial,
+             front.sample_size);
       after_commit(inflight_pending());
     }
   }
@@ -829,6 +895,7 @@ resume::SearchCheckpoint AutoML::make_checkpoint(
   ckpt.history = history_;
   ckpt.runner = runner_->to_json();
   ckpt.metrics = metrics_.state_to_json();
+  ckpt.racing = racing_monitor_.to_json();
   if (include_model && best_model_ != nullptr && ensemble_models_.empty()) {
     try {
       std::ostringstream blob;

@@ -69,6 +69,18 @@ struct AutoMLOptions {
   int cv_folds = 5;
   double holdout_ratio = 0.1;
 
+  // Frugal trial racing (src/automl/racing.h), default OFF. When enabled
+  // (holdout resampling only; CV trials are never raced), iterative
+  // learners stream per-iteration validation losses, and a trial whose
+  // curve is dominated by the per-(learner, sample-size) incumbent envelope
+  // beyond the configured slack is killed with TrialStatus::Raced — its
+  // partial cost is charged (and, being not-ok, never becomes the learner's
+  // κ under the ECI last_ok_cost rule). Racing legitimately changes the
+  // search history: with `racing.enabled == false` the search is
+  // byte-identical to the pre-racing goldens; racing-on runs pin their own
+  // golden digests (tests/test_racing.cpp).
+  RacingOptions racing;
+
   // Cross-trial binned-substrate cache (src/automl/substrate_cache.h): the
   // trial runner fits+encodes each (sample rows, max_bin) histogram
   // substrate once and shares it across trials, instead of every tree fit
@@ -284,6 +296,9 @@ class AutoML {
   // to this registry, so the registry must outlive the runner.
   observe::MetricsRegistry metrics_;
   std::unique_ptr<TrialRunner> runner_;
+  // Racing envelopes (racing.h): mutated only on the controller thread at
+  // commit time; snapshotted into each trial's RacingPlan at launch.
+  RacingMonitor racing_monitor_;
   std::unique_ptr<Model> best_model_;
   std::vector<std::unique_ptr<Model>> ensemble_models_;
   std::vector<double> ensemble_weights_;

@@ -1,0 +1,143 @@
+#include "automl/racing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "resume/serial_util.h"
+
+namespace flaml {
+
+bool racing_dominated(const RacingOptions& options,
+                      const std::vector<double>& envelope,
+                      std::size_t iteration, double running_best) {
+  if (envelope.empty() || iteration == 0) return false;
+  if (options.grace_iterations > 0 &&
+      iteration <= static_cast<std::size_t>(options.grace_iterations)) {
+    return false;
+  }
+  const std::size_t idx = std::min(iteration, envelope.size()) - 1;
+  const double ref = envelope[idx];
+  if (!std::isfinite(ref) || !std::isfinite(running_best)) return false;
+  const double threshold =
+      ref + options.slack_abs + options.slack_rel * std::fabs(ref);
+  return running_best > threshold;
+}
+
+namespace {
+
+std::vector<double> running_min(const std::vector<double>& curve) {
+  std::vector<double> out;
+  out.reserve(curve.size());
+  double best = std::numeric_limits<double>::infinity();
+  for (double v : curve) {
+    best = std::min(best, v);
+    out.push_back(best);
+  }
+  return out;
+}
+
+// Caps on what a corrupt checkpoint can make from_json allocate.
+constexpr std::size_t kMaxEnvelopes = 100000;
+constexpr std::size_t kMaxCurvePoints = 1u << 20;
+
+}  // namespace
+
+void RacingMonitor::record(const std::string& learner, std::size_t sample_size,
+                           const std::vector<double>& curve) {
+  if (curve.empty()) return;
+  std::vector<double> env = running_min(curve);
+  const double final_best = env.back();
+  if (!std::isfinite(final_best)) return;
+  Entry* entry = find(learner, sample_size);
+  if (entry == nullptr) {
+    entries_.push_back(Entry{learner, sample_size, std::move(env), final_best});
+    return;
+  }
+  if (final_best < entry->best) {
+    entry->curve = std::move(env);
+    entry->best = final_best;
+  }
+}
+
+std::vector<double> RacingMonitor::envelope(const std::string& learner,
+                                            std::size_t sample_size) const {
+  const Entry* entry = find(learner, sample_size);
+  return entry != nullptr ? entry->curve : std::vector<double>{};
+}
+
+JsonValue RacingMonitor::to_json() const {
+  JsonValue out = JsonValue::make_object();
+  JsonValue envelopes = JsonValue::make_array();
+  for (const Entry& entry : entries_) {
+    JsonValue e = JsonValue::make_object();
+    e.set("learner", JsonValue::make_string(entry.learner));
+    e.set("sample_size", resume::json_size(entry.sample_size));
+    e.set("best", resume::json_double(entry.best));
+    JsonValue curve = JsonValue::make_array();
+    for (double v : entry.curve) curve.push(resume::json_double(v));
+    e.set("curve", std::move(curve));
+    envelopes.push(std::move(e));
+  }
+  out.set("envelopes", std::move(envelopes));
+  return out;
+}
+
+void RacingMonitor::from_json(const JsonValue& value) {
+  FLAML_PARSE_REQUIRE(value.is_object(), "racing state must be an object");
+  const JsonValue& envelopes =
+      resume::req_array(value, "envelopes", kMaxEnvelopes);
+  std::vector<Entry> loaded;
+  loaded.reserve(envelopes.array.size());
+  for (const JsonValue& e : envelopes.array) {
+    FLAML_PARSE_REQUIRE(e.is_object(), "racing envelope must be an object");
+    Entry entry;
+    entry.learner = resume::req_string(e, "learner");
+    FLAML_PARSE_REQUIRE(!entry.learner.empty(),
+                        "racing envelope learner name empty");
+    entry.sample_size = resume::req_size(e, "sample_size",
+                                         std::numeric_limits<std::size_t>::max() / 2);
+    entry.best = resume::req_finite(e, "best");
+    const JsonValue& curve = resume::req_array(e, "curve", kMaxCurvePoints);
+    FLAML_PARSE_REQUIRE(!curve.array.empty(), "racing envelope curve empty");
+    entry.curve.reserve(curve.array.size());
+    double prev = std::numeric_limits<double>::infinity();
+    for (const JsonValue& v : curve.array) {
+      const double x = resume::double_value(v, "racing envelope curve point");
+      FLAML_PARSE_REQUIRE(std::isfinite(x),
+                          "racing envelope curve point not finite");
+      FLAML_PARSE_REQUIRE(x <= prev,
+                          "racing envelope curve not monotone non-increasing");
+      entry.curve.push_back(x);
+      prev = x;
+    }
+    FLAML_PARSE_REQUIRE(entry.best == entry.curve.back(),
+                        "racing envelope best != final curve point");
+    for (const Entry& seen : loaded) {
+      FLAML_PARSE_REQUIRE(seen.learner != entry.learner ||
+                              seen.sample_size != entry.sample_size,
+                          "duplicate racing envelope key");
+    }
+    loaded.push_back(std::move(entry));
+  }
+  entries_ = std::move(loaded);
+}
+
+RacingMonitor::Entry* RacingMonitor::find(const std::string& learner,
+                                          std::size_t sample_size) {
+  for (Entry& e : entries_) {
+    if (e.learner == learner && e.sample_size == sample_size) return &e;
+  }
+  return nullptr;
+}
+
+const RacingMonitor::Entry* RacingMonitor::find(
+    const std::string& learner, std::size_t sample_size) const {
+  for (const Entry& e : entries_) {
+    if (e.learner == learner && e.sample_size == sample_size) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace flaml

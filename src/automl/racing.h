@@ -1,0 +1,116 @@
+// Frugal trial racing on streaming learning curves (ROADMAP "frugal trial
+// racing"; Frugal Algorithm Selection / Auto-Sklearn 2.0 intensification in
+// PAPERS.md).
+//
+// The search's only mid-trial kill used to be the ECI-priced wall-clock cap:
+// a clearly-dominated config still burned its full slice. Racing adds a
+// curve-based kill. Iterative learners stream their per-unit validation loss
+// through TrainContext::progress (the scoring early stopping already runs);
+// the RacingMonitor keeps, per (learner, sample_size), the ENVELOPE of the
+// incumbent trial — the running-minimum curve of the trial whose streamed
+// loss ended lowest — and a running trial is killed (typed TrialRaced ->
+// TrialStatus::Raced) as soon as its own running-best loss exceeds the
+// envelope at the same iteration by more than the configured slack.
+//
+// Design rules, pinned by tests/test_racing.cpp property + golden suites:
+//   * envelopes are running minima, hence monotone non-increasing;
+//   * the kill rule is slack-respecting: with slack >= 0 a curve within
+//     slack of the envelope is never killed;
+//   * the incumbent never races itself: replaying the envelope-owning curve
+//     reproduces the envelope pointwise, so it can never exceed it;
+//   * grace_iterations streamed points are always free — early curve noise
+//     must not kill a config that finishes strong;
+//   * racing is default-OFF and the off path is byte-identical to the
+//     pre-racing goldens; the on path carries its own golden digests.
+//
+// Determinism: the controller snapshots the envelope ON LAUNCH (controller
+// thread) into a RacingPlan that travels with the trial; envelopes advance
+// only at commit time. Launch/commit interleaving is a pure function of the
+// options, so racing-on histories are reproducible run-to-run at any worker
+// count (they legitimately differ ACROSS worker counts, like ECI sampling:
+// a parallel launch sees fewer committed envelopes than the serial one).
+// The same snapshot rides in checkpoint pending entries (format v3) so a
+// killed-and-resumed search replays in-flight trials against exactly the
+// envelope they originally raced.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace flaml {
+
+// AutoMLOptions::racing. Slack is relative+absolute: a trial is dominated at
+// iteration k iff
+//   running_best > env[k] + slack_abs + slack_rel * |env[k]|
+// (env clamped to its last point past the incumbent's curve length).
+struct RacingOptions {
+  bool enabled = false;
+  // Streamed points that are always free before the kill rule applies.
+  int grace_iterations = 3;
+  double slack_rel = 0.10;
+  double slack_abs = 0.0;
+};
+
+// Pure kill rule over an envelope snapshot. `iteration` is the 1-based count
+// of streamed points of the running trial; `running_best` its best streamed
+// loss so far. Exposed for the seeded property suite.
+bool racing_dominated(const RacingOptions& options,
+                      const std::vector<double>& envelope,
+                      std::size_t iteration, double running_best);
+
+// Everything a single trial needs to race: computed by the controller at
+// launch, carried (by value) into the trial runner and into checkpoint
+// pending entries. An empty envelope means "no incumbent yet" — the trial
+// streams its curve but can never be killed.
+struct RacingPlan {
+  bool enabled = false;
+  RacingOptions options;
+  std::vector<double> envelope;
+};
+
+// Per-(learner, sample_size) incumbent learning-curve envelopes. Owned by
+// the AutoML controller, mutated only on its thread (at commit), and a pure
+// function of the committed (learner, sample_size, curve) sequence — which
+// is what makes racing-on searches deterministic and checkpointable.
+class RacingMonitor {
+ public:
+  void clear() { entries_.clear(); }
+
+  // Commit a finished trial's streamed curve. If its final running-best
+  // loss beats the stored incumbent's, the envelope for that key becomes
+  // the running-minimum of `curve`. Empty curves are ignored.
+  void record(const std::string& learner, std::size_t sample_size,
+              const std::vector<double>& curve);
+
+  // Copy of the envelope for a key (empty when no incumbent yet).
+  std::vector<double> envelope(const std::string& learner,
+                               std::size_t sample_size) const;
+
+  std::size_t n_envelopes() const { return entries_.size(); }
+
+  // Exact (17-significant-digit doubles, resume/serial_util.h conventions)
+  // round-trip for checkpointing; from_json throws SerializationError on
+  // any missing/ill-typed/non-monotone content and replaces this monitor's
+  // state wholesale.
+  JsonValue to_json() const;
+  void from_json(const JsonValue& value);
+
+ private:
+  struct Entry {
+    std::string learner;
+    std::size_t sample_size = 0;
+    std::vector<double> curve;  // running-minimum of the incumbent's curve
+    double best = 0.0;          // == curve.back()
+  };
+  Entry* find(const std::string& learner, std::size_t sample_size);
+  const Entry* find(const std::string& learner, std::size_t sample_size) const;
+
+  // Deterministic insertion order; searches hold a handful of keys, so a
+  // linear scan beats a map and keeps serialization order stable.
+  std::vector<Entry> entries_;
+};
+
+}  // namespace flaml

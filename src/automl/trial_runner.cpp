@@ -87,6 +87,7 @@ const char* trial_status_name(TrialStatus status) {
   switch (status) {
     case TrialStatus::Ok: return "ok";
     case TrialStatus::Killed: return "killed";
+    case TrialStatus::Raced: return "raced";
     case TrialStatus::Failed:
     default: return "failed";
   }
@@ -157,11 +158,18 @@ TrialRunner::TrialRunner(const Dataset& data, ErrorMetric metric, Options option
 
 TrialResult TrialRunner::run(const Learner& learner, const Config& config,
                              std::size_t sample_size, double max_seconds,
-                             std::uint64_t seed_salt) {
+                             std::uint64_t seed_salt, const RacingPlan* racing) {
   FLAML_REQUIRE(sample_size >= 2, "sample size must be >= 2");
   sample_size = std::min(sample_size, train_view_.n_rows());
   const double start = clock_.now();
   TrialResult result;
+  // Racing applies to holdout trials only: their curves are scored against
+  // one fixed validation set, so envelopes are comparable across trials.
+  const bool race = racing != nullptr && racing->enabled &&
+                    options_.resampling == Resampling::Holdout;
+  std::vector<double> curve;
+  double running_best = std::numeric_limits<double>::infinity();
+  TrainReport train_report;
   const std::uint64_t trial_id =
       seed_salt != 0 ? (seed_salt | kSaltedTrialTag)
                      : ((trial_counter_.fetch_add(1) + 1) & ~kSaltedTrialTag);
@@ -187,6 +195,15 @@ TrialResult TrialRunner::run(const Learner& learner, const Config& config,
       if (cache != nullptr) {
         ctx.substrate = [cache, sample_size](int max_bin) {
           return cache->prefix(sample_size, max_bin);
+        };
+      }
+      ctx.report = &train_report;
+      if (race) {
+        ctx.progress = [&](const TrainProgress& point) {
+          curve.push_back(point.valid_loss);
+          if (point.valid_loss < running_best) running_best = point.valid_loss;
+          return !racing_dominated(racing->options, racing->envelope,
+                                   curve.size(), running_best);
         };
       }
       auto model = learner.train(ctx, config);
@@ -245,6 +262,32 @@ TrialResult TrialRunner::run(const Learner& learner, const Config& config,
       }
       result.error = total_error / static_cast<double>(folds.size());
     }
+  } catch (const TrialRaced&) {
+    // Curve-dominated: the racing monitor vetoed further iterations. Like a
+    // deadline kill, no model comes back and the error is infinite — but
+    // only the budget actually burned is charged (see the cost rule below).
+    FLAML_LOG(Debug) << "trial raced for learner '" << learner.name()
+                     << "' at iteration " << curve.size();
+    result.ok = false;
+    result.status = TrialStatus::Raced;
+    result.error = std::numeric_limits<double>::infinity();
+    if (options_.tracer) {
+      JsonValue fields = JsonValue::make_object();
+      fields.set("learner", JsonValue::make_string(learner.name()));
+      fields.set("sample_size",
+                 JsonValue::make_number(static_cast<double>(sample_size)));
+      fields.set("iteration",
+                 JsonValue::make_number(static_cast<double>(curve.size())));
+      fields.set("planned", JsonValue::make_number(static_cast<double>(
+                                train_report.iterations_planned)));
+      fields.set("best", JsonValue::make_number(running_best));
+      if (racing != nullptr && !racing->envelope.empty()) {
+        const std::size_t idx =
+            std::min(curve.size(), racing->envelope.size()) - 1;
+        fields.set("envelope", JsonValue::make_number(racing->envelope[idx]));
+      }
+      options_.tracer.emit("trial_raced", std::move(fields));
+    }
   } catch (const DeadlineExceeded&) {
     // Killed-trial semantics: the budget is charged, no model comes back.
     FLAML_LOG(Debug) << "trial killed at deadline for learner '" << learner.name()
@@ -259,9 +302,41 @@ TrialResult TrialRunner::run(const Learner& learner, const Config& config,
     result.status = TrialStatus::Failed;
     result.error = std::numeric_limits<double>::infinity();
   }
-  result.cost = options_.cost_model
-                    ? std::max(options_.cost_model(learner, config, sample_size), 1e-9)
-                    : std::max(clock_.now() - start, 1e-9);
+  result.curve = std::move(curve);
+  result.iterations_completed = train_report.iterations_completed;
+  result.iterations_planned = train_report.iterations_planned;
+  const double elapsed = std::max(clock_.now() - start, 1e-9);
+  result.elapsed_seconds = elapsed;
+  if (!options_.cost_model) {
+    result.cost = elapsed;
+  } else {
+    const double estimate =
+        std::max(options_.cost_model(learner, config, sample_size), 1e-9);
+    switch (result.status) {
+      case TrialStatus::Killed:
+        // A deadline kill burned (at most) its wall cap, not the model's
+        // full-trial estimate — charging the estimate made traces claim
+        // more budget than the trial could possibly have consumed. The cap
+        // (not measured elapsed) keeps modeled searches deterministic AND
+        // keeps charging killed learners enough that ECI de-prioritizes
+        // them; measured wall time rides in elapsed_seconds.
+        result.cost =
+            max_seconds > 0.0 ? std::min(estimate, max_seconds) : estimate;
+        break;
+      case TrialStatus::Raced:
+        // Deterministic partial charge: the race decision (hence the
+        // completed-iteration count) is a pure function of the seed and the
+        // envelope snapshot, so modeled searches stay reproducible.
+        result.cost = std::max(
+            estimate * static_cast<double>(result.iterations_completed) /
+                static_cast<double>(std::max(result.iterations_planned, 1)),
+            1e-9);
+        break;
+      default:
+        result.cost = estimate;
+        break;
+    }
+  }
   return result;
 }
 

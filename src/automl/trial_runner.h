@@ -17,6 +17,7 @@
 #include <memory>
 #include <optional>
 
+#include "automl/racing.h"
 #include "automl/substrate_cache.h"
 #include "common/clock.h"
 #include "common/json.h"
@@ -56,18 +57,34 @@ int choose_cv_k(const DataView& view, int requested_k);
 
 // How a trial ended: Ok = a model was trained and scored; Killed = the fit
 // overran max_seconds and was aborted (DeadlineExceeded); Failed = the
-// learner threw anything else. Killed/Failed trials report an infinite
-// error but their cost is still charged, so the ECI bookkeeping keeps
-// de-prioritizing learners that burn budget without finishing.
-enum class TrialStatus { Ok, Killed, Failed };
+// learner threw anything else; Raced = the racing monitor killed it because
+// its streamed learning curve was dominated by the incumbent envelope
+// (TrialRaced). Killed/Failed/Raced trials report an infinite error but
+// their cost is still charged, so the ECI bookkeeping keeps de-prioritizing
+// learners that burn budget without finishing (their cost records as
+// not-ok, so it never becomes the learner's κ — the last_ok_cost rule).
+enum class TrialStatus { Ok, Killed, Failed, Raced };
 
 const char* trial_status_name(TrialStatus status);
 
 struct TrialResult {
   double error = 0.0;  // validation error \tilde{ε}(χ); +inf unless ok
   double cost = 0.0;   // seconds κ(χ); charged even for killed/failed trials
+  // Measured wall-clock seconds of the trial, regardless of any cost model
+  // (with one, `cost` is the modeled charge; this is what really elapsed).
+  // Killed trials in particular: cost ≤ the wall cap they were given, while
+  // elapsed_seconds reports the true measurement.
+  double elapsed_seconds = 0.0;
   bool ok = true;      // status == TrialStatus::Ok
   TrialStatus status = TrialStatus::Ok;
+  // Streamed validation learning curve (holdout trials run under a racing
+  // plan only; empty otherwise). Ok curves feed the RacingMonitor envelope.
+  std::vector<double> curve;
+  // True training-unit counts from the learner's TrainReport (holdout
+  // trials; 0 when the learner does not report). A raced/deadline-capped
+  // trial reports how far it actually got — the true curve length.
+  int iterations_completed = 0;
+  int iterations_planned = 0;
 };
 
 // Deterministic substitute for measured wall-clock trial cost (tests and
@@ -131,10 +148,17 @@ class TrialRunner {
   // disjoint (salted ids carry a tag bit the counter ids never set), so a
   // counter-issued id can NEVER collide with a caller salt and silently
   // reuse another trial's training seed.
+  // `racing` (may be null) is the launch-time racing plan: when enabled and
+  // resampling is holdout (CV trials are never raced — per-fold curves are
+  // not comparable to the fixed-holdout envelopes), the trial streams its
+  // validation curve, is killed (TrialStatus::Raced, `trial_raced` trace
+  // event) as soon as racing_dominated() fires against the plan's envelope
+  // snapshot, and returns its curve in TrialResult::curve either way.
   // Thread-safe: concurrent run() calls are allowed (parallel search mode).
   TrialResult run(const Learner& learner, const Config& config,
                   std::size_t sample_size, double max_seconds = 0.0,
-                  std::uint64_t seed_salt = 0);
+                  std::uint64_t seed_salt = 0,
+                  const RacingPlan* racing = nullptr);
 
   // Train a final model on ALL available training rows (used to retrain the
   // best configuration at the end of fit()). `max_seconds` caps the fit

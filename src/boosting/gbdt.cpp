@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 #include <sstream>
+#include <string>
 
 #include "common/clock.h"
 #include "common/error.h"
@@ -131,6 +132,15 @@ GBDTModel train_gbdt(const DataView& train, const DataView* valid,
   FLAML_REQUIRE(params.max_leaves >= 2, "max_leaves must be >= 2");
   FLAML_REQUIRE(params.early_stopping_rounds == 0 || valid != nullptr,
                 "early stopping requires a validation view");
+  FLAML_REQUIRE(!params.progress || valid != nullptr,
+                "streamed progress requires a validation view");
+
+  // Progressive accounting: counts stay valid when the fit exits by
+  // throwing (DeadlineExceeded / TrialRaced below).
+  TrainReport local_report;
+  TrainReport& report = params.report != nullptr ? *params.report : local_report;
+  report = TrainReport{};
+  report.iterations_planned = params.n_trees;
 
   const Dataset& dataset = train.data();
   const Task task = dataset.task();
@@ -184,7 +194,11 @@ GBDTModel train_gbdt(const DataView& train, const DataView* valid,
   std::size_t best_iteration = 0;
   int rounds_since_best = 0;
   const bool use_es = params.early_stopping_rounds > 0;
-  if (use_es) {
+  // Streaming shares the incremental validation scoring early stopping
+  // already maintains; it is pure observation (never feeds the model).
+  const bool stream = static_cast<bool>(params.progress);
+  const bool track_valid = use_es || stream;
+  if (track_valid) {
     valid_labels = valid->labels();
     valid_scores.resize(valid->n_rows() * static_cast<std::size_t>(n_outputs));
     for (std::size_t i = 0; i < valid->n_rows(); ++i) {
@@ -259,7 +273,7 @@ GBDTModel train_gbdt(const DataView& train, const DataView* valid,
                           tree.predict_row(dataset, train.row_index(i));
                     }
                   });
-      if (use_es) {
+      if (track_valid) {
         sharded_for(score_pool, params.n_threads, valid->n_rows(),
                     [&](std::size_t begin, std::size_t end) {
                       for (std::size_t i = begin; i < end; ++i) {
@@ -273,17 +287,34 @@ GBDTModel train_gbdt(const DataView& train, const DataView* valid,
       model.add_tree(std::move(tree), params.learning_rate);
     }
 
-    if (use_es) {
+    report.iterations_completed = iter + 1;
+
+    if (track_valid) {
       double vloss = objective->loss(valid_scores, valid_labels);
-      if (vloss < best_valid_loss - 1e-12) {
-        best_valid_loss = vloss;
-        best_iteration = static_cast<std::size_t>(iter + 1);
-        rounds_since_best = 0;
-      } else if (++rounds_since_best >= params.early_stopping_rounds) {
-        break;
+      if (stream) {
+        TrainProgress point;
+        point.iteration = iter + 1;
+        point.planned = params.n_trees;
+        point.valid_loss = vloss;
+        if (!params.progress(point)) {
+          report.stopped_by = TrainStop::Raced;
+          throw TrialRaced("gbdt fit raced at iteration " +
+                           std::to_string(iter + 1));
+        }
+      }
+      if (use_es) {
+        if (vloss < best_valid_loss - 1e-12) {
+          best_valid_loss = vloss;
+          best_iteration = static_cast<std::size_t>(iter + 1);
+          rounds_since_best = 0;
+        } else if (++rounds_since_best >= params.early_stopping_rounds) {
+          report.stopped_by = TrainStop::EarlyStopped;
+          break;
+        }
       }
     }
     if (params.max_seconds > 0.0 && clock.now() > params.max_seconds) {
+      report.stopped_by = TrainStop::Deadline;
       if (params.fail_on_deadline) {
         throw DeadlineExceeded("gbdt fit exceeded its deadline");
       }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "boosting/objectives.h"
+#include "common/progress.h"
 #include "common/rng.h"
 #include "data/dataset.h"
 #include "tree/grower.h"
@@ -55,6 +56,15 @@ struct GBDTParams {
   // (tree/binning.h). Null return or a rows/max_bin mismatch falls back to
   // a fresh fit; either way the model is byte-identical.
   SubstrateProvider substrate;
+  // Streamed learning-curve observer (common/progress.h): invoked once per
+  // boosting iteration with the validation objective loss (requires a
+  // validation view). Returning false throws TrialRaced. Pure observation:
+  // a callback that always returns true leaves the model byte-identical
+  // (validation scoring never feeds back into training).
+  ProgressCallback progress;
+  // Optional out-param filled progressively with iterations run / planned
+  // and the stop reason — valid even when the fit exits by throwing.
+  TrainReport* report = nullptr;
 };
 
 class GBDTModel {

@@ -56,6 +56,17 @@ class DeadlineExceeded : public std::runtime_error {
   explicit DeadlineExceeded(const std::string& msg) : std::runtime_error(msg) {}
 };
 
+// Thrown by trainers when a streamed-progress callback
+// (TrainContext::progress) vetoes further iterations — the racing monitor
+// decided the trial's learning curve is dominated by the incumbent envelope
+// beyond the configured slack. Distinct from DeadlineExceeded so the trial
+// runner can record TrialStatus::Raced (curve-based frugality) separately
+// from wall-clock kills.
+class TrialRaced : public std::runtime_error {
+ public:
+  explicit TrialRaced(const std::string& msg) : std::runtime_error(msg) {}
+};
+
 // Thrown when a serialized artifact (search checkpoint, model blob, trace)
 // is truncated, corrupt, or written by an incompatible format version. Every
 // loader validates before it allocates or indexes, so adversarial input can

@@ -1,0 +1,50 @@
+// Streamed training-progress types shared by the trainers (src/boosting,
+// src/forest) and the learner layer (src/learners/learner.h re-exports them
+// on TrainContext). Lives in common/ because the trainers sit below the
+// learner abstraction in the dependency graph.
+#pragma once
+
+#include <functional>
+
+namespace flaml {
+
+// One streamed point of a learner's validation learning curve: emitted after
+// every completed training unit (boosting iteration; forest tree chunk) when
+// the caller installed a progress callback and supplied validation rows.
+// `valid_loss` is the learner family's internal streaming loss (boosting:
+// objective loss on the incremental validation scores that early stopping
+// already maintains; forests: misclassification rate / MSE of the trees
+// built so far) — comparable across trials of the SAME learner, which is
+// all the racing monitor ever compares.
+struct TrainProgress {
+  int iteration = 0;   // 1-based count of completed units
+  int planned = 0;     // units this fit would run uninterrupted
+  double valid_loss = 0.0;
+};
+
+// Return false to stop the fit: the trainer throws TrialRaced (common/
+// error.h). Streaming is pure observation — installing a callback that
+// always returns true must leave the trained model byte-identical.
+using ProgressCallback = std::function<bool(const TrainProgress&)>;
+
+// Why a fit returned when it did (TrainReport::stopped_by).
+enum class TrainStop {
+  Completed,     // ran every planned unit
+  EarlyStopped,  // validation early stopping triggered
+  Deadline,      // max_seconds cap (thrown or safety-capped partial model)
+  Raced,         // progress callback vetoed (reported just before the throw)
+};
+
+// Out-of-band account of how much of a fit actually ran. Filled
+// PROGRESSIVELY by trainers (iterations_completed is bumped as each unit
+// finishes), so the counts are valid even when the fit exits by throwing
+// (DeadlineExceeded, TrialRaced) or returns a partial model under the
+// max_seconds safety cap — the racing monitor and traces need the true
+// curve length, not the planned one.
+struct TrainReport {
+  int iterations_completed = 0;
+  int iterations_planned = 0;
+  TrainStop stopped_by = TrainStop::Completed;
+};
+
+}  // namespace flaml

@@ -4,6 +4,7 @@
 #include <istream>
 #include <numeric>
 #include <ostream>
+#include <string>
 
 #include "common/clock.h"
 #include "common/error.h"
@@ -96,14 +97,29 @@ ForestModel ForestModel::load(std::istream& in) {
   return model;
 }
 
+namespace {
+// Chunk size for streamed (racing) forest training. A constant independent
+// of n_threads, so the streamed learning curve — and any racing kill point —
+// is identical at every thread count.
+constexpr int kForestStreamChunk = 8;
+}  // namespace
+
 ForestModel train_forest(const DataView& train, const ForestParams& params) {
   FLAML_REQUIRE(train.n_rows() >= 2, "forest needs at least 2 training rows");
   FLAML_REQUIRE(params.n_trees >= 1, "n_trees must be >= 1");
+  const bool stream = static_cast<bool>(params.progress);
+  FLAML_REQUIRE(!stream || params.valid != nullptr,
+                "streamed progress requires a validation view");
   const Dataset& dataset = train.data();
   const Task task = dataset.task();
   const std::size_t n = train.n_rows();
   Rng rng(params.seed == 0 ? 0xf0e57ULL : params.seed);
   WallClock clock;
+
+  TrainReport local_report;
+  TrainReport& report = params.report != nullptr ? *params.report : local_report;
+  report = TrainReport{};
+  report.iterations_planned = params.n_trees;
   auto out_of_time = [&](int built) {
     if (params.max_seconds <= 0.0 || clock.now() <= params.max_seconds) return false;
     if (params.fail_on_deadline) {
@@ -141,15 +157,111 @@ ForestModel train_forest(const DataView& train, const ForestParams& params) {
   std::vector<Tree> trees(static_cast<std::size_t>(params.n_trees));
   std::vector<char> built(static_cast<std::size_t>(params.n_trees), 0);
   ThreadPool* pool = params.n_threads > 1 ? &shared_pool() : nullptr;
+  auto run_range = [&](int begin, int end, const std::function<void(int)>& build_tree) {
+    const std::size_t count = static_cast<std::size_t>(end - begin);
+    if (pool != nullptr && count > 1) {
+      pool->parallel_for(count, static_cast<std::size_t>(params.n_threads),
+                         [&](std::size_t i) { build_tree(begin + static_cast<int>(i)); });
+    } else {
+      for (int t = begin; t < end; ++t) build_tree(t);
+    }
+  };
+
+  // Streaming state: validation prediction sums accumulated over the scored
+  // contiguous tree prefix, updated serially in tree order between chunks
+  // (deterministic at every thread count; the valid set never feeds back
+  // into training).
+  const int n_classes = dataset.n_classes();
+  const std::size_t n_valid = stream ? params.valid->n_rows() : 0;
+  std::vector<double> valid_sums;
+  std::vector<double> valid_labels;
+  if (stream) {
+    valid_sums.assign(is_classification(task)
+                          ? n_valid * static_cast<std::size_t>(n_classes)
+                          : n_valid,
+                      0.0);
+    valid_labels = params.valid->labels();
+  }
+  auto add_valid_scores = [&](int t) {
+    const Tree& tree = trees[static_cast<std::size_t>(t)];
+    const Dataset& vdata = params.valid->data();
+    if (is_classification(task)) {
+      const auto& dists = tree.leaf_distributions();
+      for (std::size_t i = 0; i < n_valid; ++i) {
+        std::int32_t leaf = tree.leaf_index(vdata, params.valid->row_index(i));
+        const auto& dist = dists[static_cast<std::size_t>(leaf)];
+        for (int c = 0; c < n_classes; ++c) {
+          valid_sums[i * static_cast<std::size_t>(n_classes) +
+                     static_cast<std::size_t>(c)] += dist[static_cast<std::size_t>(c)];
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < n_valid; ++i) {
+        valid_sums[i] += tree.predict_row(vdata, params.valid->row_index(i));
+      }
+    }
+  };
+  auto valid_loss_now = [&](int n_built) -> double {
+    if (is_classification(task)) {
+      // Misclassification rate of the argmax (ties -> lowest class index);
+      // the averaging + smoothing of predict() is monotone per row, so the
+      // raw sums give the same argmax.
+      std::size_t wrong = 0;
+      for (std::size_t i = 0; i < n_valid; ++i) {
+        int best_c = 0;
+        double best_v = valid_sums[i * static_cast<std::size_t>(n_classes)];
+        for (int c = 1; c < n_classes; ++c) {
+          const double v = valid_sums[i * static_cast<std::size_t>(n_classes) +
+                                      static_cast<std::size_t>(c)];
+          if (v > best_v) {
+            best_v = v;
+            best_c = c;
+          }
+        }
+        if (best_c != static_cast<int>(valid_labels[i])) ++wrong;
+      }
+      return n_valid == 0 ? 0.0
+                          : static_cast<double>(wrong) / static_cast<double>(n_valid);
+    }
+    const double inv = 1.0 / static_cast<double>(n_built);
+    double sq = 0.0;
+    for (std::size_t i = 0; i < n_valid; ++i) {
+      const double d = valid_sums[i] * inv - valid_labels[i];
+      sq += d * d;
+    }
+    return n_valid == 0 ? 0.0 : sq / static_cast<double>(n_valid);
+  };
+
   auto train_trees = [&](const std::function<void(int)>& build_tree) {
     // build_tree checks the deadline itself (so parallel workers stop too)
     // and leaves built[t] == 0 when it runs out of time.
-    if (pool != nullptr && params.n_trees > 1) {
-      pool->parallel_for(static_cast<std::size_t>(params.n_trees),
-                         static_cast<std::size_t>(params.n_threads),
-                         [&](std::size_t t) { build_tree(static_cast<int>(t)); });
-    } else {
-      for (int t = 0; t < params.n_trees; ++t) build_tree(t);
+    if (!stream) {
+      run_range(0, params.n_trees, build_tree);
+      return;
+    }
+    // Streamed: fixed-size chunks with a barrier per chunk; after each the
+    // callback sees the loss of the contiguous built prefix. The per-tree
+    // rng streams are pre-split, so chunking cannot change any tree.
+    int scored = 0;
+    for (int c0 = 0; c0 < params.n_trees; c0 += kForestStreamChunk) {
+      const int c1 = std::min(c0 + kForestStreamChunk, params.n_trees);
+      run_range(c0, c1, build_tree);
+      int prefix = scored;
+      while (prefix < c1 && built[static_cast<std::size_t>(prefix)] != 0) ++prefix;
+      for (int t = scored; t < prefix; ++t) add_valid_scores(t);
+      scored = prefix;
+      report.iterations_completed = scored;
+      if (scored > 0) {
+        TrainProgress point;
+        point.iteration = scored;
+        point.planned = params.n_trees;
+        point.valid_loss = valid_loss_now(scored);
+        if (!params.progress(point)) {
+          report.stopped_by = TrainStop::Raced;
+          throw TrialRaced("forest fit raced at tree " + std::to_string(scored));
+        }
+      }
+      if (prefix < c1) break;  // deadline skipped a tree: keep the prefix
     }
   };
   auto sample_rows = [&](Rng& tree_rng) {
@@ -219,6 +331,11 @@ ForestModel train_forest(const DataView& train, const ForestParams& params) {
   for (int t = 0; t < params.n_trees; ++t) {
     if (!built[static_cast<std::size_t>(t)]) break;
     model.add_tree(std::move(trees[static_cast<std::size_t>(t)]));
+  }
+  report.iterations_completed = static_cast<int>(model.n_trees());
+  if (report.iterations_completed < params.n_trees &&
+      report.stopped_by == TrainStop::Completed) {
+    report.stopped_by = TrainStop::Deadline;  // safety-cap partial model
   }
   return model;
 }

@@ -11,6 +11,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "common/progress.h"
 #include "common/rng.h"
 #include "data/dataset.h"
 #include "metrics/error_metric.h"
@@ -44,6 +45,20 @@ struct ForestParams {
   // (tree/binning.h). Null return or a rows/max_bin mismatch falls back to
   // a fresh fit; either way the model is byte-identical.
   SubstrateProvider substrate;
+  // Streamed learning-curve observer (common/progress.h). When set, trees
+  // are trained in fixed-size chunks (size independent of n_threads, so the
+  // streamed curve is thread-count-invariant) and after each chunk the
+  // callback receives the validation loss of the forest so far
+  // (classification: misclassification rate of the averaged+smoothed
+  // distributions; regression: MSE of the averaged predictions). Requires
+  // `valid`. Returning false throws TrialRaced. Pure observation: the
+  // per-tree rng streams are pre-split, so a callback that always returns
+  // true leaves the forest byte-identical.
+  const DataView* valid = nullptr;
+  ProgressCallback progress;
+  // Optional out-param filled with trees built / planned and the stop
+  // reason — valid even when the fit exits by throwing.
+  TrainReport* report = nullptr;
 };
 
 class ForestModel {

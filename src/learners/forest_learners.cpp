@@ -56,6 +56,14 @@ ForestParams forest_params(const TrainContext& ctx, const Config& config,
   params.seed = ctx.seed;
   params.n_threads = ctx.n_threads;
   params.substrate = ctx.substrate;
+  params.report = ctx.report;
+  // Stream per-chunk validation losses only when the caller installed an
+  // observer AND supplied validation rows; otherwise the training path is
+  // exactly the pre-racing one (single parallel_for over all trees).
+  if (ctx.progress && ctx.valid != nullptr) {
+    params.valid = ctx.valid;
+    params.progress = ctx.progress;
+  }
   return params;
 }
 

@@ -31,6 +31,20 @@ double get(const Config& config, const std::string& name) {
   return it->second;
 }
 
+// Validation view to train against: the caller's valid rows when a streamed
+// progress observer wants per-iteration losses, else none. Gating on
+// ctx.progress keeps the no-racing path exactly as before (no validation
+// scoring at all); with a callback installed the extra scoring is pure
+// observation, so the model stays byte-identical either way.
+const DataView* stream_valid(const TrainContext& ctx) {
+  return ctx.progress ? ctx.valid : nullptr;
+}
+
+void fill_stream_params(GBDTParams& params, const TrainContext& ctx) {
+  params.report = ctx.report;
+  if (ctx.progress && ctx.valid != nullptr) params.progress = ctx.progress;
+}
+
 double tree_cap(std::size_t full_size) {
   return static_cast<double>(std::min<std::size_t>(32768, std::max<std::size_t>(full_size, 5)));
 }
@@ -102,8 +116,9 @@ std::unique_ptr<Model> LightGbmLearner::train(const TrainContext& ctx,
   params.seed = ctx.seed;
   params.n_threads = ctx.n_threads;
   params.substrate = ctx.substrate;
-  return std::make_unique<GbdtModelWrapper>(train_gbdt(ctx.train, nullptr, params),
-                                            ctx.n_threads);
+  fill_stream_params(params, ctx);
+  return std::make_unique<GbdtModelWrapper>(
+      train_gbdt(ctx.train, stream_valid(ctx), params), ctx.n_threads);
 }
 
 // ----------------------------------------------------------------- XGBoost
@@ -134,8 +149,9 @@ std::unique_ptr<Model> XgboostLearner::train(const TrainContext& ctx,
   params.seed = ctx.seed;
   params.n_threads = ctx.n_threads;
   params.substrate = ctx.substrate;
-  return std::make_unique<GbdtModelWrapper>(train_gbdt(ctx.train, nullptr, params),
-                                            ctx.n_threads);
+  fill_stream_params(params, ctx);
+  return std::make_unique<GbdtModelWrapper>(
+      train_gbdt(ctx.train, stream_valid(ctx), params), ctx.n_threads);
 }
 
 // ---------------------------------------------------------------- CatBoost
@@ -173,9 +189,11 @@ std::unique_ptr<Model> CatBoostLearner::train(const TrainContext& ctx,
   params.fail_on_deadline = ctx.fail_on_deadline;
   params.seed = ctx.seed;
   params.n_threads = ctx.n_threads;
+  params.report = ctx.report;
 
   if (ctx.valid != nullptr && ctx.valid->n_rows() > 0) {
     params.substrate = ctx.substrate;
+    params.progress = ctx.progress;
     return std::make_unique<GbdtModelWrapper>(
         train_gbdt(ctx.train, ctx.valid, params), ctx.n_threads);
   }
@@ -198,6 +216,9 @@ std::unique_ptr<Model> CatBoostLearner::train(const TrainContext& ctx,
   }
   DataView train_view(ctx.train.data(), std::move(train_rows));
   DataView valid_view(ctx.train.data(), std::move(valid_rows));
+  // Streamed losses come from the internal carve — deterministic (i % 10),
+  // so curves stay comparable across catboost trials at a sample size.
+  params.progress = ctx.progress;
   return std::make_unique<GbdtModelWrapper>(
       train_gbdt(train_view, &valid_view, params), ctx.n_threads);
 }

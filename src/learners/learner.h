@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "common/progress.h"
 #include "data/dataset.h"
 #include "metrics/error_metric.h"
 #include "tree/binning.h"
@@ -56,6 +57,16 @@ struct TrainContext {
   // whose rows/max_bin do not match — falls back to a fresh fit, so a
   // provider can never change the trained model, only skip redundant work.
   SubstrateProvider substrate;
+  // Optional streamed learning-curve observer (racing). Invoked by learners
+  // that train iteratively (boosting, forests) after each completed unit,
+  // with the current validation loss; requires `valid` to be set for the
+  // loss to be meaningful. Null = no streaming (default). A callback that
+  // always returns true must not change the trained model.
+  ProgressCallback progress;
+  // Optional out-param: trainers record iterations_completed/planned and
+  // the stop reason here, progressively, so the counts survive a throwing
+  // exit. Null = not recorded.
+  TrainReport* report = nullptr;
 };
 
 class Learner {

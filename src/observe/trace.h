@@ -15,9 +15,11 @@
 //                        eci2, best_error, n_trials, sample_size}, ...]
 //   sample_doubled       learner, from, to
 //   trial_started        learner, sample_size, max_seconds
+//   trial_raced          learner, sample_size, iteration, planned, best,
+//                        envelope (racing kill: streamed curve dominated)
 //   trial_finished       iteration, learner, trial, sample_size, config,
-//                        error, cost, status (ok|killed|failed), improved,
-//                        best_error_so_far
+//                        error, cost, status (ok|killed|failed|raced),
+//                        improved, best_error_so_far
 //   flow2_tell           learner, phase, error, improved, step, stall
 //   flow2_shrink         learner, step_before, step_after, ratio
 //   flow2_converged      learner, step

@@ -130,6 +130,21 @@ class Checker {
     } else if (event.type == "trial_started") {
       require(index, event, "learner", JsonValue::Type::String);
       require(index, event, "sample_size", JsonValue::Type::Number);
+    } else if (event.type == "trial_raced") {
+      // Racing kill: iteration = streamed points consumed up to the kill,
+      // planned = the learner's full training length (0 when unreported).
+      require(index, event, "learner", JsonValue::Type::String);
+      require(index, event, "sample_size", JsonValue::Type::Number);
+      require(index, event, "best", JsonValue::Type::Number);
+      const JsonValue* it = require(index, event, "iteration", JsonValue::Type::Number);
+      const JsonValue* planned = require(index, event, "planned", JsonValue::Type::Number);
+      if (it != nullptr && !(it->number >= 1.0)) {
+        fail(index, "trial_raced iteration must be >= 1");
+      }
+      if (it != nullptr && planned != nullptr && planned->number > 0.0 &&
+          !(it->number <= planned->number)) {
+        fail(index, "trial_raced iteration exceeds the planned iterations");
+      }
     } else if (event.type == "substrate_cache") {
       const JsonValue* scope =
           require(index, event, "scope", JsonValue::Type::String);
@@ -174,7 +189,8 @@ class Checker {
     double error = kInf;
     if (!read_error_field(index, event, "error", error)) return;
     if (status == nullptr) return;
-    if (status->str != "ok" && status->str != "killed" && status->str != "failed") {
+    if (status->str != "ok" && status->str != "killed" &&
+        status->str != "failed" && status->str != "raced") {
       fail(index, "unknown trial status '" + status->str + "'");
       return;
     }

@@ -22,6 +22,8 @@ namespace {
 // far above anything a real search produces.
 constexpr std::size_t kMaxLearners = 4096;
 constexpr std::size_t kMaxPending = 65536;
+constexpr std::size_t kMaxEnvelopes = 100000;
+constexpr std::size_t kMaxEnvelopePoints = 1u << 20;
 constexpr std::size_t kMaxHistory = 10000000;
 constexpr std::size_t kMaxBlobBytes = 1u << 30;
 constexpr std::size_t kMaxPayloadBytes = 1u << 31;
@@ -136,12 +138,24 @@ JsonValue SearchCheckpoint::to_json() const {
     entry.set("grow_sample", JsonValue::make_bool(p.grow_sample));
     entry.set("sample_size", json_size(p.sample_size));
     entry.set("config", json_config(p.config));
+    entry.set("racing_enabled", JsonValue::make_bool(p.racing_enabled));
+    JsonValue& earr = entry.set("envelope", JsonValue::make_array());
+    for (double v : p.envelope) earr.push(json_double(v));
     parr.push(std::move(entry));
   }
   JsonValue& harr = out.set("history", JsonValue::make_array());
   for (const TrialRecord& r : history) harr.push(record_to_json(r));
   out.set("runner", runner);
   out.set("metrics", metrics);
+  if (racing.is_object()) {
+    out.set("racing", racing);
+  } else {
+    // Unset (e.g. a hand-built checkpoint): the empty-monitor shape, so
+    // every v3 file carries the field and from_json can require it.
+    JsonValue empty = JsonValue::make_object();
+    empty.set("envelopes", JsonValue::make_array());
+    out.set("racing", std::move(empty));
+  }
   out.set("model", JsonValue::make_string(encode_blob(model_blob)));
   return out;
 }
@@ -246,6 +260,21 @@ SearchCheckpoint SearchCheckpoint::from_json(const JsonValue& payload) {
     p.sample_size = req_size(entry, "sample_size", kMaxHistory * 1000);
     FLAML_PARSE_REQUIRE(p.sample_size >= 2, "pending sample_size must be >= 2");
     p.config = req_config(entry, "config");
+    p.racing_enabled = req_bool(entry, "racing_enabled");
+    const JsonValue& earr = req_array(entry, "envelope", kMaxEnvelopePoints);
+    p.envelope.reserve(earr.array.size());
+    for (const JsonValue& v : earr.array) {
+      const double loss = double_value(v, "pending envelope point");
+      FLAML_PARSE_REQUIRE(std::isfinite(loss),
+                          "pending envelope points must be finite");
+      FLAML_PARSE_REQUIRE(p.envelope.empty() || loss <= p.envelope.back(),
+                          "pending envelope must be non-increasing "
+                          "(a running minimum)");
+      p.envelope.push_back(loss);
+    }
+    FLAML_PARSE_REQUIRE(p.racing_enabled || p.envelope.empty(),
+                        "pending trial carries an envelope but racing is "
+                        "disabled for it");
     ckpt.pending.push_back(std::move(p));
   }
 
@@ -265,6 +294,16 @@ SearchCheckpoint SearchCheckpoint::from_json(const JsonValue& payload) {
 
   ckpt.runner = req_object(payload, "runner");
   ckpt.metrics = req_object(payload, "metrics");
+  // Structural check only (bounded, well-typed); the monotonicity/finiteness
+  // semantics live in RacingMonitor::from_json (flaml_automl — this library
+  // cannot link it).
+  ckpt.racing = req_object(payload, "racing");
+  const JsonValue& renv = req_array(ckpt.racing, "envelopes", kMaxEnvelopes);
+  for (const JsonValue& entry : renv.array) {
+    FLAML_PARSE_REQUIRE(entry.is_object(),
+                        "racing envelope entries must be objects");
+    req_array(entry, "curve", kMaxEnvelopePoints);
+  }
   ckpt.model_blob = decode_blob(req_string(payload, "model"));
   return ckpt;
 }

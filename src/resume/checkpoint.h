@@ -10,9 +10,10 @@
 // produces the identical trial history, best error and run-summary totals
 // as the never-interrupted run, serial and parallel.
 //
-// On-disk format (version 2; v2 added the per-learner eci last_ok_cost
-// field — no silent migration, v1 files are rejected):
-//   flaml-checkpoint v2 <nbytes> <fnv64hex>\n
+// On-disk format (version 3; v2 added the per-learner eci last_ok_cost
+// field, v3 added the racing envelope state and per-pending-trial racing
+// plan snapshots — no silent migration, older files are rejected):
+//   flaml-checkpoint v3 <nbytes> <fnv64hex>\n
 //   <exactly nbytes bytes of compact JSON payload>
 // The FNV-1a 64 checksum covers the payload bytes, so ANY truncation or bit
 // flip — including ones that would still parse as valid JSON — surfaces as
@@ -32,7 +33,7 @@
 
 namespace flaml::resume {
 
-inline constexpr int kCheckpointVersion = 2;
+inline constexpr int kCheckpointVersion = 3;
 
 // FNV-1a 64-bit over a byte range (the payload checksum).
 std::uint64_t fnv1a64(const char* data, std::size_t n);
@@ -53,6 +54,13 @@ struct PendingTrial {
   bool grow_sample = false;
   std::size_t sample_size = 0;
   ConfigMap config;
+  // Launch-time racing plan snapshot (src/automl/racing.h): the envelope
+  // this trial was racing against when it launched. Re-running the trial
+  // against TODAY'S monitor state would race a newer envelope and could
+  // kill (or spare) it differently than the uninterrupted run — the
+  // snapshot is what makes racing-on resume byte-identical.
+  bool racing_enabled = false;
+  std::vector<double> envelope;  // running-min; empty = no incumbent yet
 };
 
 struct LearnerCheckpoint {
@@ -93,6 +101,12 @@ struct SearchCheckpoint {
   TrialHistory history;
   JsonValue runner;   // TrialRunner::to_json()
   JsonValue metrics;  // MetricsRegistry::state_to_json()
+  // RacingMonitor::to_json() ({"envelopes": [...]}). Held as raw JSON:
+  // flaml_resume links only flaml_common, so the semantic validation
+  // (monotone envelopes, finite losses) runs in RacingMonitor::from_json
+  // when the AutoML layer restores it; from_json below checks structure
+  // only. Unset (null) serializes as the empty-monitor shape.
+  JsonValue racing;
 
   // save_best_model bytes (empty = none: mid-search snapshot, or ensemble
   // mode, whose blended models are not serializable).

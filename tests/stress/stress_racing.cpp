@@ -1,0 +1,143 @@
+// Racing determinism stress (run under TSan via the `stress` label): with
+// real tree learners streaming their learning curves, a racing-on search is
+// reproducible run-to-run at EVERY worker count — envelope snapshots are
+// taken at launch on the controller thread, so the kill decisions are a pure
+// function of the options, never of scheduling. And the kill-anywhere
+// contract extends to racing: a racing-on search killed at any trial
+// boundary and resumed from its checkpoint replays in-flight trials against
+// their ORIGINAL launch-time envelopes and reproduces the uninterrupted
+// history byte for byte.
+#include "automl/racing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "automl/automl.h"
+#include "support/history_digest.h"
+#include "support/prop.h"
+#include "support/resume_test_util.h"
+
+namespace flaml {
+namespace {
+
+using testing::arm_kill;
+using testing::expect_histories_identical;
+using testing::expect_resumed_equals_reference;
+using testing::KillSignal;
+using testing::PropCase;
+using testing::resume_tiny_binary;
+
+// Real-learner racing search: iteration budget terminates, modeled costs,
+// holdout, tight slack — a pure function of (seed, n_parallel).
+AutoMLOptions racing_real_options(std::uint64_t seed,
+                                  std::size_t max_iterations) {
+  AutoMLOptions options;
+  options.time_budget_seconds = 1e6;
+  options.max_iterations = max_iterations;
+  options.initial_sample_size = 32;
+  options.resampling = ResamplingPolicy::ForceHoldout;
+  options.estimator_list = {"lgbm", "rf"};
+  options.trial_cost_model = [](const Learner& learner, const Config& config,
+                                std::size_t sample_size) {
+    double config_sum = 0.0;
+    for (const auto& [name, value] : config) config_sum += std::abs(value);
+    return learner.initial_cost_multiplier() *
+               (0.05 + 0.001 * static_cast<double>(sample_size)) +
+           1e-6 * config_sum;
+  };
+  options.seed = seed;
+  options.racing.enabled = true;
+  options.racing.grace_iterations = 1;
+  options.racing.slack_rel = 0.0;
+  options.racing.slack_abs = 0.0;
+  return options;
+}
+
+std::string unique_path(const PropCase& prop, const std::string& tag) {
+  return ::testing::TempDir() + "racing_" + tag + "_" +
+         std::to_string(prop.seed) + ".ckpt";
+}
+
+// --- Worker-count determinism: racing-on histories legitimately differ
+// ACROSS worker counts (a parallel launch sees fewer committed envelopes
+// than the serial one), but at any FIXED count they are exact replays. ---
+FLAML_PROP(RacingStress, RacingOnSearchIsDeterministicAtEveryWorkerCount, 2) {
+  const Dataset data = resume_tiny_binary(prop.seed | 1);
+  const std::uint64_t seed = prop.rng.next();
+  for (int n_parallel : {1, 2, 4, 8}) {
+    AutoMLOptions options = racing_real_options(seed, 12);
+    options.n_parallel = n_parallel;
+    AutoML first;
+    first.fit(data, options);
+    ASSERT_EQ(first.history().size(), 12u);
+    AutoML second;
+    second.fit(data, options);
+    expect_histories_identical(
+        second.history(), first.history(),
+        "racing-on repeat at n_parallel " + std::to_string(n_parallel) +
+            " seed " + std::to_string(seed));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// --- Kill-anywhere replay with racing on (stress_resume.cpp pattern, but a
+// real-learner lineup: the stub learners never stream a curve). ---
+
+void run_killed_fit_real(AutoML& automl, const Dataset& data,
+                         AutoMLOptions options, const std::string& path,
+                         std::size_t kill_at) {
+  arm_kill(options, path, kill_at);
+  bool killed = false;
+  try {
+    automl.fit(data, options);
+  } catch (const KillSignal& kill) {
+    killed = true;
+    EXPECT_EQ(kill.at_iteration, kill_at);
+  }
+  ASSERT_TRUE(killed) << "fit ran to completion instead of dying at trial "
+                      << kill_at;
+}
+
+void sweep_racing_boundaries(const PropCase& prop, const AutoMLOptions& options,
+                             const std::string& tag) {
+  const Dataset data = resume_tiny_binary(prop.seed | 1);
+  AutoML reference;
+  reference.fit(data, options);
+  const std::size_t n = reference.history().size();
+  ASSERT_EQ(n, options.max_iterations);
+
+  const std::string path = unique_path(prop, tag);
+  for (std::size_t k = 1; k <= n; ++k) {
+    const std::string what = tag + " kill at " + std::to_string(k) + "/" +
+                             std::to_string(n) + " seed " +
+                             std::to_string(prop.seed);
+    AutoML killed;
+    run_killed_fit_real(killed, data, options, path, k);
+    if (::testing::Test::HasFatalFailure()) return;
+    AutoML resumed;
+    resumed.resume_from_file(data, options, path);
+    expect_resumed_equals_reference(resumed, reference, what);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  std::remove(path.c_str());
+}
+
+FLAML_PROP(RacingStress, SerialKillAnywhereReplayMatchesUninterrupted, 2) {
+  sweep_racing_boundaries(prop, racing_real_options(prop.rng.next(), 10),
+                          "serial");
+}
+
+FLAML_PROP(RacingStress, ParallelKillAnywhereReplayMatchesUninterrupted, 1) {
+  for (int n_parallel : {2, 4}) {
+    AutoMLOptions options = racing_real_options(prop.rng.next(), 10);
+    options.n_parallel = n_parallel;
+    sweep_racing_boundaries(prop, options, "par" + std::to_string(n_parallel));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace flaml

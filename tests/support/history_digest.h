@@ -1,0 +1,80 @@
+// Canonical trial-history digesting shared by the golden-search, racing and
+// racing-stress suites: a platform-independent rendering of every trial
+// record (excluding the wall-clock finished_at), hashed with FNV-1a 64 so an
+// entire deterministic search pins to one constant. A digest mismatch prints
+// the full canonical history for diffing.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "automl/history.h"
+
+namespace flaml::testing {
+
+inline std::uint64_t fnv1a_append(std::uint64_t h, const std::string& s) {
+  for (unsigned char c : s) h = (h ^ c) * 0x100000001b3ULL;
+  return h;
+}
+
+inline std::string double_hex(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  std::ostringstream os;
+  os << std::hex << bits;
+  return os.str();
+}
+
+// Canonical, platform-independent rendering of one trial record (excluding
+// the wall-clock finished_at), digested with FNV-1a 64.
+inline std::string canonical_history(const TrialHistory& history) {
+  std::ostringstream os;
+  for (const TrialRecord& r : history) {
+    os << r.iteration << '|' << r.learner << '|';
+    for (const auto& [name, value] : r.config) {
+      os << name << '=' << double_hex(value) << ',';
+    }
+    os << '|' << r.sample_size << '|' << double_hex(r.error) << '|'
+       << double_hex(r.cost) << '|' << double_hex(r.best_error_so_far) << '\n';
+  }
+  return os.str();
+}
+
+inline std::uint64_t history_digest(const TrialHistory& history) {
+  return fnv1a_append(0xcbf29ce484222325ULL, canonical_history(history));
+}
+
+// Pinned-digest assertion: hex-renders both sides so a failure reads as two
+// copy-pasteable constants, and prints the full history for diffing.
+inline void expect_history_digest(const TrialHistory& history,
+                                  std::uint64_t expected,
+                                  const std::string& what) {
+  std::ostringstream got;
+  got << std::hex << history_digest(history);
+  std::ostringstream want;
+  want << std::hex << expected;
+  EXPECT_EQ(got.str(), want.str())
+      << what << ": the search history changed. If intentional, re-pin the "
+      << "digest. Full history:\n"
+      << canonical_history(history);
+}
+
+// Differential assertion: two searches that must be byte-identical.
+inline void expect_histories_identical(const TrialHistory& a,
+                                       const TrialHistory& b,
+                                       const std::string& what) {
+  std::ostringstream got;
+  got << std::hex << history_digest(a);
+  std::ostringstream want;
+  want << std::hex << history_digest(b);
+  EXPECT_EQ(got.str(), want.str())
+      << what << ": histories diverged.\nFirst history:\n"
+      << canonical_history(a) << "Second history:\n"
+      << canonical_history(b);
+}
+
+}  // namespace flaml::testing

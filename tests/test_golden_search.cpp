@@ -19,60 +19,24 @@
 #include <sstream>
 #include <string>
 
+#include "support/history_digest.h"
 #include "support/resume_test_util.h"
 
 namespace flaml {
 namespace {
 
 using testing::add_resume_lineup;
+using testing::canonical_history;
+using testing::expect_history_digest;
+using testing::history_digest;
 using testing::resume_options;
 using testing::resume_tiny_binary;
-
-std::uint64_t fnv1a_append(std::uint64_t h, const std::string& s) {
-  for (unsigned char c : s) h = (h ^ c) * 0x100000001b3ULL;
-  return h;
-}
-
-std::string double_hex(double v) {
-  std::uint64_t bits;
-  std::memcpy(&bits, &v, sizeof bits);
-  std::ostringstream os;
-  os << std::hex << bits;
-  return os.str();
-}
-
-// Canonical, platform-independent rendering of one trial record (excluding
-// the wall-clock finished_at), digested with FNV-1a 64.
-std::string canonical_history(const TrialHistory& history) {
-  std::ostringstream os;
-  for (const TrialRecord& r : history) {
-    os << r.iteration << '|' << r.learner << '|';
-    for (const auto& [name, value] : r.config) {
-      os << name << '=' << double_hex(value) << ',';
-    }
-    os << '|' << r.sample_size << '|' << double_hex(r.error) << '|'
-       << double_hex(r.cost) << '|' << double_hex(r.best_error_so_far) << '\n';
-  }
-  return os.str();
-}
-
-std::uint64_t history_digest(const TrialHistory& history) {
-  return fnv1a_append(0xcbf29ce484222325ULL, canonical_history(history));
-}
 
 void expect_golden(const AutoML& automl, std::uint64_t expected_digest,
                    const std::string& expected_best_learner,
                    const std::string& what) {
-  const std::uint64_t digest = history_digest(automl.history());
   EXPECT_EQ(automl.best_learner(), expected_best_learner) << what;
-  std::ostringstream got;
-  got << std::hex << digest;
-  std::ostringstream want;
-  want << std::hex << expected_digest;
-  EXPECT_EQ(got.str(), want.str())
-      << what << ": the search history changed. If intentional, re-pin the "
-      << "digest. Full history:\n"
-      << canonical_history(automl.history());
+  expect_history_digest(automl.history(), expected_digest, what);
 }
 
 // Pinned digests of the seed-42, 15-trial stub search (serial and

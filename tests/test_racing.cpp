@@ -1,0 +1,790 @@
+// Frugal trial racing (src/automl/racing.h): property suite over the pure
+// kill rule and the envelope monitor, TrainReport unit coverage for the
+// streaming trainers, trial-runner racing semantics (partial cost, curve,
+// trace events), and the end-to-end differential contract:
+//   * racing OFF — and racing ON when it cannot fire (stub learners that
+//     never stream, CV resampling, infinite slack) — is byte-identical to
+//     the racing-off search;
+//   * racing ON with real learners and tight slack kills dominated trials
+//     deterministically, pinned by its own golden digests.
+// Also the satellite regressions: a deadline-killed trial's charged cost is
+// capped by the wall budget it was actually given (measured time rides in
+// elapsed_seconds), and safety-capped partial fits report how far they got.
+#include "automl/racing.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "automl/automl.h"
+#include "boosting/gbdt.h"
+#include "common/error.h"
+#include "common/progress.h"
+#include "forest/forest.h"
+#include "observe/trace_check.h"
+#include "support/history_digest.h"
+#include "support/prop.h"
+#include "support/resume_test_util.h"
+#include "support/stub_learner.h"
+
+namespace flaml {
+namespace {
+
+using testing::add_resume_lineup;
+using testing::expect_histories_identical;
+using testing::expect_history_digest;
+using testing::resume_options;
+using testing::resume_tiny_binary;
+using testing::StubLearner;
+using testing::StubModel;
+
+// ---------------------------------------------------------------------------
+// Seeded property suite over the pure components.
+
+std::vector<double> random_curve(Rng& rng, std::size_t n) {
+  std::vector<double> curve(n);
+  for (double& v : curve) v = rng.uniform(0.0, 2.0);
+  return curve;
+}
+
+std::vector<double> running_min(const std::vector<double>& curve) {
+  std::vector<double> out;
+  out.reserve(curve.size());
+  double best = std::numeric_limits<double>::infinity();
+  for (double v : curve) {
+    best = std::min(best, v);
+    out.push_back(best);
+  }
+  return out;
+}
+
+RacingOptions random_racing(Rng& rng) {
+  RacingOptions options;
+  options.enabled = true;
+  options.grace_iterations = static_cast<int>(rng.uniform_index(5));
+  options.slack_rel = rng.uniform(0.0, 0.5);
+  options.slack_abs = rng.uniform(0.0, 0.2);
+  return options;
+}
+
+FLAML_PROP(RacingProp, EnvelopesAreMonotoneNonIncreasing, 50) {
+  RacingMonitor monitor;
+  const int n_records = 1 + static_cast<int>(prop.rng.uniform_index(8));
+  for (int i = 0; i < n_records; ++i) {
+    const std::string learner = "l" + std::to_string(prop.rng.uniform_index(3));
+    const std::size_t sample = std::size_t{16} << prop.rng.uniform_index(3);
+    monitor.record(learner, sample,
+                   random_curve(prop.rng, 1 + prop.rng.uniform_index(20)));
+  }
+  for (int l = 0; l < 3; ++l) {
+    for (int s = 0; s < 3; ++s) {
+      const std::vector<double> env =
+          monitor.envelope("l" + std::to_string(l), std::size_t{16} << s);
+      for (std::size_t i = 0; i + 1 < env.size(); ++i) {
+        EXPECT_LE(env[i + 1], env[i]) << "envelope not monotone at " << i;
+      }
+    }
+  }
+}
+
+FLAML_PROP(RacingProp, TheIncumbentNeverRacesItself, 50) {
+  // Replaying the envelope-owning curve reproduces the envelope pointwise,
+  // so with any slack >= 0 it can never be dominated.
+  const std::vector<double> curve =
+      random_curve(prop.rng, 1 + prop.rng.uniform_index(30));
+  RacingMonitor monitor;
+  monitor.record("l", 32, curve);
+  const std::vector<double> env = monitor.envelope("l", 32);
+  const RacingOptions options = random_racing(prop.rng);
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 1; k <= curve.size(); ++k) {
+    best = std::min(best, curve[k - 1]);
+    EXPECT_FALSE(racing_dominated(options, env, k, best))
+        << "incumbent raced itself at iteration " << k;
+  }
+}
+
+FLAML_PROP(RacingProp, WithinSlackIsNeverKilled, 50) {
+  const std::vector<double> env =
+      running_min(random_curve(prop.rng, 1 + prop.rng.uniform_index(30)));
+  const RacingOptions options = random_racing(prop.rng);
+  // Exactly at the threshold (ref + slack) at every iteration, including
+  // past the envelope's length where the last point is the reference.
+  for (std::size_t k = 1; k <= env.size() + 5; ++k) {
+    const double ref = env[std::min(k, env.size()) - 1];
+    const double at_threshold =
+        ref + options.slack_abs + options.slack_rel * std::fabs(ref);
+    EXPECT_FALSE(racing_dominated(options, env, k, at_threshold))
+        << "killed within slack at iteration " << k;
+  }
+}
+
+FLAML_PROP(RacingProp, DominatedBeyondSlackIsKilledExactlyPastGrace, 50) {
+  const std::vector<double> env =
+      running_min(random_curve(prop.rng, 1 + prop.rng.uniform_index(30)));
+  const RacingOptions options = random_racing(prop.rng);
+  for (std::size_t k = 1; k <= env.size() + 5; ++k) {
+    const double ref = env[std::min(k, env.size()) - 1];
+    const double beyond = ref + options.slack_abs +
+                          options.slack_rel * std::fabs(ref) + 1e-6 +
+                          prop.rng.uniform(0.0, 0.5);
+    const bool past_grace =
+        k > static_cast<std::size_t>(options.grace_iterations);
+    EXPECT_EQ(racing_dominated(options, env, k, beyond), past_grace)
+        << "wrong kill decision at iteration " << k << " (grace "
+        << options.grace_iterations << ")";
+  }
+}
+
+TEST(RacingRule, AnEmptyEnvelopeNeverKills) {
+  RacingOptions options;
+  options.enabled = true;
+  options.grace_iterations = 0;
+  EXPECT_FALSE(racing_dominated(options, {}, 100, 1e9));
+}
+
+TEST(RacingRule, NonFiniteLossesNeverKill) {
+  RacingOptions options;
+  options.enabled = true;
+  options.grace_iterations = 0;
+  const std::vector<double> env = {0.5, 0.4};
+  EXPECT_FALSE(racing_dominated(options, env, 2,
+                                std::numeric_limits<double>::infinity()));
+  EXPECT_FALSE(racing_dominated(options, env, 2,
+                                std::numeric_limits<double>::quiet_NaN()));
+}
+
+// ---------------------------------------------------------------------------
+// Envelope monitor bookkeeping and checkpoint serialization.
+
+TEST(RacingMonitorTest, KeepsTheBestIncumbentPerKey) {
+  RacingMonitor monitor;
+  monitor.record("lgbm", 32, {1.0, 0.8, 0.9});
+  EXPECT_EQ(monitor.envelope("lgbm", 32), (std::vector<double>{1.0, 0.8, 0.8}));
+  // A worse final best never replaces the incumbent.
+  monitor.record("lgbm", 32, {0.9, 0.85});
+  EXPECT_EQ(monitor.envelope("lgbm", 32), (std::vector<double>{1.0, 0.8, 0.8}));
+  // A better one replaces it wholesale.
+  monitor.record("lgbm", 32, {0.7});
+  EXPECT_EQ(monitor.envelope("lgbm", 32), std::vector<double>{0.7});
+  // Keys are (learner, sample_size); unknown keys are empty.
+  monitor.record("lgbm", 64, {0.5});
+  monitor.record("rf", 32, {0.4});
+  EXPECT_EQ(monitor.n_envelopes(), 3u);
+  EXPECT_TRUE(monitor.envelope("rf", 64).empty());
+  // Empty and non-finite curves are ignored.
+  monitor.record("rf", 64, {});
+  monitor.record("rf", 64, {std::numeric_limits<double>::infinity()});
+  EXPECT_EQ(monitor.n_envelopes(), 3u);
+  monitor.clear();
+  EXPECT_EQ(monitor.n_envelopes(), 0u);
+}
+
+TEST(RacingMonitorTest, JsonRoundTripIsExact) {
+  RacingMonitor monitor;
+  monitor.record("lgbm", 32, {1.0 / 3.0, 0.1234567890123456, 0.9});
+  monitor.record("rf", 64, {0.75, 0.5});
+  RacingMonitor restored;
+  restored.record("stale", 16, {2.0});  // from_json must replace this
+  restored.from_json(monitor.to_json());
+  EXPECT_EQ(restored.n_envelopes(), 2u);
+  EXPECT_EQ(restored.envelope("lgbm", 32), monitor.envelope("lgbm", 32));
+  EXPECT_EQ(restored.envelope("rf", 64), monitor.envelope("rf", 64));
+  EXPECT_TRUE(restored.envelope("stale", 16).empty());
+}
+
+TEST(RacingMonitorTest, FromJsonRejectsCorruptState) {
+  RacingMonitor monitor;
+  const auto expect_rejected = [&](const std::string& payload,
+                                   const std::string& what) {
+    EXPECT_THROW(monitor.from_json(parse_json(payload)), SerializationError)
+        << what;
+  };
+  expect_rejected(R"({})", "missing envelopes");
+  expect_rejected(
+      R"({"envelopes":[{"learner":"l","sample_size":32,"best":0.6,"curve":[0.5,0.6]}]})",
+      "non-monotone curve");
+  expect_rejected(
+      R"({"envelopes":[{"learner":"l","sample_size":32,"best":0.4,"curve":[0.5]}]})",
+      "best != final curve point");
+  expect_rejected(
+      R"({"envelopes":[{"learner":"l","sample_size":32,"best":0.5,"curve":[]}]})",
+      "empty curve");
+  expect_rejected(
+      R"({"envelopes":[{"learner":"","sample_size":32,"best":0.5,"curve":[0.5]}]})",
+      "empty learner name");
+  expect_rejected(
+      R"({"envelopes":[{"learner":"l","sample_size":32,"best":0.5,"curve":[0.5]},)"
+      R"({"learner":"l","sample_size":32,"best":0.4,"curve":[0.4]}]})",
+      "duplicate key");
+  // A rejected load must not clobber the current state.
+  monitor.record("lgbm", 32, {0.5});
+  expect_rejected(R"({"envelopes":"nope"})", "ill-typed envelopes");
+  EXPECT_EQ(monitor.n_envelopes(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// TrainReport coverage for the streaming trainers (the safety-cap partial
+// fit used to return a model without recording how far it got).
+
+struct SplitViews {
+  std::vector<std::uint32_t> train_rows;
+  std::vector<std::uint32_t> valid_rows;
+};
+
+SplitViews satellite_split(const Dataset& data) {
+  SplitViews s;
+  for (std::uint32_t i = 0; i < 80; ++i) s.train_rows.push_back(i);
+  for (std::uint32_t i = 80; i < static_cast<std::uint32_t>(data.n_rows()); ++i) {
+    s.valid_rows.push_back(i);
+  }
+  return s;
+}
+
+TEST(TrainReportTest, GbdtReportsFullRunAndStreamingIsPureObservation) {
+  const Dataset data = resume_tiny_binary(5);
+  const SplitViews s = satellite_split(data);
+  const DataView train(data, s.train_rows);
+  const DataView valid(data, s.valid_rows);
+  GBDTParams params;
+  params.n_trees = 12;
+  params.max_leaves = 8;
+  params.seed = 3;
+  const GBDTModel plain = train_gbdt(train, &valid, params);
+
+  TrainReport report;
+  std::vector<double> curve;
+  GBDTParams streamed = params;
+  streamed.report = &report;
+  streamed.progress = [&](const TrainProgress& point) {
+    curve.push_back(point.valid_loss);
+    EXPECT_EQ(point.planned, 12);
+    EXPECT_EQ(point.iteration, static_cast<int>(curve.size()));
+    return true;
+  };
+  const GBDTModel observed = train_gbdt(train, &valid, streamed);
+  // Streaming is pure observation: an always-true callback leaves the
+  // model byte-identical.
+  EXPECT_EQ(observed.to_string(), plain.to_string());
+  EXPECT_EQ(curve.size(), 12u);
+  EXPECT_EQ(report.iterations_completed, 12);
+  EXPECT_EQ(report.iterations_planned, 12);
+  EXPECT_EQ(report.stopped_by, TrainStop::Completed);
+  EXPECT_EQ(static_cast<int>(observed.n_iterations()), report.iterations_completed);
+}
+
+TEST(TrainReportTest, GbdtSafetyCapReportsIterationsActuallyRun) {
+  const Dataset data = resume_tiny_binary(5);
+  const SplitViews s = satellite_split(data);
+  const DataView train(data, s.train_rows);
+  const DataView valid(data, s.valid_rows);
+  GBDTParams params;
+  params.n_trees = 50;
+  params.max_leaves = 8;
+  params.seed = 3;
+  params.max_seconds = 1e-9;  // fires after the first tree
+  params.fail_on_deadline = false;
+  TrainReport report;
+  params.report = &report;
+  const GBDTModel model = train_gbdt(train, &valid, params);
+  EXPECT_GE(model.n_iterations(), 1u);
+  EXPECT_LT(model.n_iterations(), 50u);
+  EXPECT_EQ(report.iterations_completed, static_cast<int>(model.n_iterations()));
+  EXPECT_EQ(report.iterations_planned, 50);
+  EXPECT_EQ(report.stopped_by, TrainStop::Deadline);
+}
+
+TEST(TrainReportTest, GbdtProgressVetoThrowsTrialRacedWithPartialReport) {
+  const Dataset data = resume_tiny_binary(5);
+  const SplitViews s = satellite_split(data);
+  const DataView train(data, s.train_rows);
+  const DataView valid(data, s.valid_rows);
+  GBDTParams params;
+  params.n_trees = 10;
+  params.max_leaves = 8;
+  TrainReport report;
+  params.report = &report;
+  int calls = 0;
+  params.progress = [&](const TrainProgress&) { return ++calls < 3; };
+  EXPECT_THROW(train_gbdt(train, &valid, params), TrialRaced);
+  EXPECT_EQ(report.stopped_by, TrainStop::Raced);
+  EXPECT_EQ(report.iterations_completed, 3);
+  EXPECT_EQ(report.iterations_planned, 10);
+}
+
+TEST(TrainReportTest, ForestStreamsPerChunkAndIsPureObservation) {
+  const Dataset data = resume_tiny_binary(5);
+  const SplitViews s = satellite_split(data);
+  const DataView train(data, s.train_rows);
+  const DataView valid(data, s.valid_rows);
+  ForestParams params;
+  params.n_trees = 20;
+  params.seed = 3;
+  const ForestModel plain = train_forest(train, params);
+
+  TrainReport report;
+  std::vector<double> curve;
+  ForestParams streamed = params;
+  streamed.valid = &valid;
+  streamed.report = &report;
+  streamed.progress = [&](const TrainProgress& point) {
+    curve.push_back(point.valid_loss);
+    EXPECT_EQ(point.planned, 20);
+    return true;
+  };
+  const ForestModel observed = train_forest(train, streamed);
+  std::ostringstream a;
+  std::ostringstream b;
+  plain.save(a);
+  observed.save(b);
+  EXPECT_EQ(a.str(), b.str());
+  // Streaming scores per fixed 8-tree chunk: 20 trees -> 3 points.
+  EXPECT_EQ(curve.size(), 3u);
+  EXPECT_EQ(report.iterations_completed, 20);
+  EXPECT_EQ(report.iterations_planned, 20);
+  EXPECT_EQ(report.stopped_by, TrainStop::Completed);
+}
+
+TEST(TrainReportTest, ForestSafetyCapReportsTreesActuallyBuilt) {
+  const Dataset data = resume_tiny_binary(5);
+  const SplitViews s = satellite_split(data);
+  const DataView train(data, s.train_rows);
+  ForestParams params;
+  params.n_trees = 50;
+  params.seed = 3;
+  params.max_seconds = 1e-9;
+  params.fail_on_deadline = false;
+  TrainReport report;
+  params.report = &report;
+  const ForestModel model = train_forest(train, params);
+  EXPECT_GE(model.n_trees(), 1u);
+  EXPECT_LT(model.n_trees(), 50u);
+  EXPECT_EQ(report.iterations_completed, static_cast<int>(model.n_trees()));
+  EXPECT_EQ(report.iterations_planned, 50);
+  EXPECT_EQ(report.stopped_by, TrainStop::Deadline);
+}
+
+TEST(TrainReportTest, ForestProgressVetoThrowsTrialRacedAtTheChunk) {
+  const Dataset data = resume_tiny_binary(5);
+  const SplitViews s = satellite_split(data);
+  const DataView train(data, s.train_rows);
+  const DataView valid(data, s.valid_rows);
+  ForestParams params;
+  params.n_trees = 20;
+  params.seed = 3;
+  params.valid = &valid;
+  TrainReport report;
+  params.report = &report;
+  params.progress = [](const TrainProgress&) { return false; };
+  EXPECT_THROW(train_forest(train, params), TrialRaced);
+  EXPECT_EQ(report.stopped_by, TrainStop::Raced);
+  EXPECT_EQ(report.iterations_completed, 8);  // killed at the first chunk
+  EXPECT_EQ(report.iterations_planned, 20);
+}
+
+// ---------------------------------------------------------------------------
+// Trial-runner racing semantics, driven by a synthetic streaming learner
+// whose curve is chosen by the test (real learners cover the e2e goldens).
+
+class CurveLearner final : public Learner {
+ public:
+  CurveLearner(std::string name, std::vector<double> curve)
+      : name_(std::move(name)), curve_(std::move(curve)) {}
+
+  const std::string& name() const override { return name_; }
+  bool supports(Task task) const override {
+    return task == Task::BinaryClassification;
+  }
+
+  ConfigSpace space(Task, std::size_t) const override {
+    ConfigSpace s;
+    s.add_float("slope", -4.0, 4.0, 0.5);
+    s.add_int("units", 4, 256, 4, /*log_scale=*/true, /*cost_related=*/true);
+    return s;
+  }
+
+  std::unique_ptr<Model> train(const TrainContext& ctx,
+                               const Config&) const override {
+    const int n = static_cast<int>(curve_.size());
+    if (ctx.report != nullptr) {
+      *ctx.report = TrainReport{};
+      ctx.report->iterations_planned = n;
+    }
+    for (int i = 0; i < n; ++i) {
+      if (ctx.report != nullptr) ctx.report->iterations_completed = i + 1;
+      if (ctx.progress) {
+        TrainProgress point;
+        point.iteration = i + 1;
+        point.planned = n;
+        point.valid_loss = curve_[static_cast<std::size_t>(i)];
+        if (!ctx.progress(point)) {
+          if (ctx.report != nullptr) {
+            ctx.report->stopped_by = TrainStop::Raced;
+          }
+          throw TrialRaced("curve learner raced at " + std::to_string(i + 1));
+        }
+      }
+    }
+    return std::make_unique<StubModel>(0.5, 0.0);
+  }
+
+  double initial_cost_multiplier() const override { return 1.0; }
+
+ private:
+  std::string name_;
+  std::vector<double> curve_;
+};
+
+// Throws DeadlineExceeded from every train() call — the deterministic
+// stand-in for a trial killed by its wall cap.
+class OverrunLearner final : public Learner {
+ public:
+  const std::string& name() const override { return name_; }
+  bool supports(Task task) const override {
+    return task == Task::BinaryClassification;
+  }
+  ConfigSpace space(Task, std::size_t) const override {
+    ConfigSpace s;
+    s.add_float("slope", -4.0, 4.0, 0.5);
+    s.add_int("units", 4, 256, 4, /*log_scale=*/true, /*cost_related=*/true);
+    return s;
+  }
+  std::unique_ptr<Model> train(const TrainContext&,
+                               const Config&) const override {
+    throw DeadlineExceeded("simulated overrun");
+  }
+  double initial_cost_multiplier() const override { return 5.0; }
+
+ private:
+  std::string name_ = "overrunner";
+};
+
+TrialRunner::Options runner_options(std::uint64_t seed) {
+  TrialRunner::Options options;
+  options.resampling = Resampling::Holdout;
+  options.seed = seed;
+  return options;
+}
+
+TEST(RacingRunner, RacedTrialChargesPartialCostAndEmitsTheTraceEvent) {
+  const Dataset data = resume_tiny_binary(11);
+  auto sink = std::make_shared<observe::MemoryTraceSink>();
+  TrialRunner::Options options = runner_options(5);
+  options.cost_model = [](const Learner&, const Config&, std::size_t) {
+    return 10.0;
+  };
+  options.tracer = observe::Tracer(sink);
+  TrialRunner runner(data, ErrorMetric::default_for(data.task()), options);
+  const CurveLearner learner("curvy", {0.9, 0.8, 0.7, 0.6});
+  RacingPlan plan;
+  plan.enabled = true;
+  plan.options.enabled = true;
+  plan.options.grace_iterations = 1;
+  plan.options.slack_rel = 0.0;
+  plan.options.slack_abs = 0.0;
+  plan.envelope = {0.5, 0.4, 0.3, 0.2};  // dominates the curve everywhere
+  const TrialResult result =
+      runner.run(learner, Config{}, 32, 0.0, 0x1234, &plan);
+  EXPECT_EQ(result.status, TrialStatus::Raced);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(std::isinf(result.error));
+  // grace = 1: the first point is free, the second is dominated.
+  EXPECT_EQ(result.iterations_completed, 2);
+  EXPECT_EQ(result.iterations_planned, 4);
+  EXPECT_EQ(result.curve, (std::vector<double>{0.9, 0.8}));
+  // Deterministic partial charge: estimate * completed / planned.
+  EXPECT_DOUBLE_EQ(result.cost, 10.0 * 2.0 / 4.0);
+
+  const auto raced = sink->of_type("trial_raced");
+  ASSERT_EQ(raced.size(), 1u);
+  EXPECT_EQ(raced[0].fields.at("learner").str, "curvy");
+  EXPECT_DOUBLE_EQ(raced[0].fields.at("iteration").number, 2.0);
+  EXPECT_DOUBLE_EQ(raced[0].fields.at("planned").number, 4.0);
+  EXPECT_DOUBLE_EQ(raced[0].fields.at("best").number, 0.8);
+  EXPECT_DOUBLE_EQ(raced[0].fields.at("envelope").number, 0.4);
+}
+
+TEST(RacingRunner, SurvivingTrialKeepsItsFullCostAndCurve) {
+  const Dataset data = resume_tiny_binary(11);
+  TrialRunner::Options options = runner_options(5);
+  options.cost_model = [](const Learner&, const Config&, std::size_t) {
+    return 10.0;
+  };
+  TrialRunner runner(data, ErrorMetric::default_for(data.task()), options);
+  const CurveLearner learner("curvy", {0.9, 0.8, 0.7, 0.6});
+  RacingPlan plan;
+  plan.enabled = true;
+  plan.options.enabled = true;
+  plan.options.grace_iterations = 1;
+  // No incumbent yet: the trial streams but can never be killed.
+  const TrialResult result =
+      runner.run(learner, Config{}, 32, 0.0, 0x1234, &plan);
+  EXPECT_EQ(result.status, TrialStatus::Ok);
+  EXPECT_EQ(result.curve.size(), 4u);
+  EXPECT_EQ(result.iterations_completed, 4);
+  EXPECT_DOUBLE_EQ(result.cost, 10.0);
+}
+
+TEST(RacingRunner, ADisabledPlanNeverStreams) {
+  const Dataset data = resume_tiny_binary(11);
+  TrialRunner runner(data, ErrorMetric::default_for(data.task()),
+                     runner_options(5));
+  const CurveLearner learner("curvy", {0.9, 0.8});
+  RacingPlan plan;  // enabled = false
+  const TrialResult result =
+      runner.run(learner, Config{}, 32, 0.0, 0x1234, &plan);
+  EXPECT_EQ(result.status, TrialStatus::Ok);
+  EXPECT_TRUE(result.curve.empty());
+}
+
+// Satellite regression: a deadline-killed trial used to charge the cost
+// model's FULL-trial estimate, so traces claimed more budget than the trial
+// could possibly have burned. The charge is now capped by the wall budget
+// the trial was given; the true measurement rides in elapsed_seconds.
+TEST(RacingRunner, KilledTrialCostIsCappedByItsWallBudget) {
+  const Dataset data = resume_tiny_binary(11);
+  TrialRunner::Options options = runner_options(5);
+  options.cost_model = [](const Learner&, const Config&, std::size_t) {
+    return 1e9;  // wildly over the wall cap below
+  };
+  TrialRunner runner(data, ErrorMetric::default_for(data.task()), options);
+  const OverrunLearner learner;
+  const TrialResult killed =
+      runner.run(learner, Config{}, 32, /*max_seconds=*/5.0, 0x1234);
+  EXPECT_EQ(killed.status, TrialStatus::Killed);
+  EXPECT_DOUBLE_EQ(killed.cost, 5.0);  // min(estimate, wall cap)
+  EXPECT_GT(killed.elapsed_seconds, 0.0);
+  EXPECT_LT(killed.elapsed_seconds, 5.0);  // the throw is immediate
+
+  // Unlimited wall budget: nothing to cap against, the estimate stands
+  // (killed learners must stay expensive for the ECI bookkeeping).
+  const TrialResult unlimited =
+      runner.run(learner, Config{}, 32, /*max_seconds=*/0.0, 0x1235);
+  EXPECT_DOUBLE_EQ(unlimited.cost, 1e9);
+
+  // Without a cost model the charge IS the measurement.
+  TrialRunner measured(data, ErrorMetric::default_for(data.task()),
+                       runner_options(5));
+  const TrialResult wall =
+      measured.run(learner, Config{}, 32, /*max_seconds=*/5.0, 0x1236);
+  EXPECT_DOUBLE_EQ(wall.cost, wall.elapsed_seconds);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end differential contract.
+
+// Real-learner search mirroring tests/test_golden_search.cpp: iteration
+// budget terminates, modeled costs, holdout — a pure function of the seed.
+AutoMLOptions real_racing_options(std::size_t max_iterations) {
+  AutoMLOptions options;
+  options.time_budget_seconds = 1e6;
+  options.max_iterations = max_iterations;
+  options.initial_sample_size = 32;
+  options.resampling = ResamplingPolicy::ForceHoldout;
+  options.estimator_list = {"lgbm", "rf"};
+  options.trial_cost_model = [](const Learner& learner, const Config& config,
+                                std::size_t sample_size) {
+    double config_sum = 0.0;
+    for (const auto& [name, value] : config) config_sum += std::abs(value);
+    return learner.initial_cost_multiplier() *
+               (0.05 + 0.001 * static_cast<double>(sample_size)) +
+           1e-6 * config_sum;
+  };
+  options.seed = 7;
+  return options;
+}
+
+RacingOptions tight_racing() {
+  RacingOptions racing;
+  racing.enabled = true;
+  racing.grace_iterations = 1;
+  racing.slack_rel = 0.0;
+  racing.slack_abs = 0.0;
+  return racing;
+}
+
+TEST(RacingSearch, StubSearchesAreUnchangedByRacing) {
+  // The stub lineup never streams a curve, so racing-on cannot fire and the
+  // history must equal the racing-off golden byte for byte.
+  const Dataset data = resume_tiny_binary(1001);
+  AutoML off;
+  add_resume_lineup(off);
+  off.fit(data, resume_options(42, 15));
+  AutoMLOptions on_options = resume_options(42, 15);
+  on_options.racing = tight_racing();
+  AutoML on;
+  add_resume_lineup(on);
+  on.fit(data, on_options);
+  expect_histories_identical(on.history(), off.history(),
+                             "stub racing-on vs racing-off");
+  EXPECT_DOUBLE_EQ(on.metrics().value("trials_raced"), 0.0);
+}
+
+TEST(RacingSearch, InfiniteSlackRacingMatchesRacingOffByteForByte) {
+  // With real learners the trials DO stream — but an infinite slack means
+  // no kill can ever fire, so this pins that streaming is pure observation
+  // end to end (scoring never perturbs training, costs, or the RNG).
+  const Dataset data = resume_tiny_binary(2024);
+  AutoML off;
+  off.fit(data, real_racing_options(10));
+  AutoMLOptions on_options = real_racing_options(10);
+  on_options.racing = tight_racing();
+  on_options.racing.slack_abs = 1e18;
+  AutoML on;
+  on.fit(data, on_options);
+  expect_histories_identical(on.history(), off.history(),
+                             "infinite-slack racing vs racing-off");
+  EXPECT_DOUBLE_EQ(on.metrics().value("trials_raced"), 0.0);
+}
+
+TEST(RacingSearch, CvSearchesAreNeverRaced) {
+  // Per-fold curves are not comparable to fixed-holdout envelopes, so
+  // racing must be inert under CV even when enabled with zero slack.
+  const Dataset data = resume_tiny_binary(2024);
+  auto sink = std::make_shared<observe::MemoryTraceSink>();
+  AutoMLOptions off_options = real_racing_options(8);
+  off_options.resampling = ResamplingPolicy::ForceCV;
+  AutoML off;
+  off.fit(data, off_options);
+  AutoMLOptions on_options = off_options;
+  on_options.racing = tight_racing();
+  on_options.trace_sink = sink;
+  AutoML on;
+  on.fit(data, on_options);
+  expect_histories_identical(on.history(), off.history(),
+                             "CV racing-on vs racing-off");
+  EXPECT_DOUBLE_EQ(on.metrics().value("trials_raced"), 0.0);
+  EXPECT_TRUE(sink->of_type("trial_raced").empty());
+}
+
+// Pinned digests of the racing-ON real-learner search (seed 7, 12 trials,
+// tight slack). Re-pin ONLY for intentional changes to the search loop, the
+// tree learners, or the racing rule.
+constexpr std::uint64_t kRacingSerialDigest = 0x44cc7baad1c5a0c9ULL;
+constexpr std::uint64_t kRacingParallelDigest = 0x925fd1b2d43ea4aeULL;
+
+TEST(RacingSearch, TightSlackRacesDominatedTrialsDeterministically) {
+  const Dataset data = resume_tiny_binary(2024);
+  auto sink = std::make_shared<observe::MemoryTraceSink>();
+  AutoMLOptions options = real_racing_options(12);
+  options.racing = tight_racing();
+  options.trace_sink = sink;
+  AutoML automl;
+  automl.fit(data, options);
+  ASSERT_EQ(automl.history().size(), 12u);
+  expect_history_digest(automl.history(), kRacingSerialDigest,
+                        "racing-on serial golden");
+
+  // Racing actually fired, consistently across history, metrics and trace.
+  const double n_raced = automl.metrics().value("trials_raced");
+  EXPECT_GE(n_raced, 1.0);
+  std::size_t history_raced = 0;
+  for (const TrialRecord& r : automl.history()) {
+    if (std::isinf(r.error)) ++history_raced;
+  }
+  EXPECT_EQ(static_cast<double>(history_raced), n_raced);
+  EXPECT_EQ(sink->of_type("trial_raced").size(),
+            static_cast<std::size_t>(n_raced));
+  std::size_t finished_raced = 0;
+  for (const observe::TraceEvent& e : sink->of_type("trial_finished")) {
+    const JsonValue* status = e.fields.find("status");
+    ASSERT_NE(status, nullptr);
+    if (status->str == "raced") ++finished_raced;
+  }
+  EXPECT_EQ(static_cast<double>(finished_raced), n_raced);
+  // The whole trace still validates against the schema.
+  const observe::TraceCheckResult check =
+      observe::check_trace_events(sink->snapshot());
+  EXPECT_TRUE(check.errors.empty())
+      << "trace check failed: " << check.errors.front();
+
+  // Run-to-run determinism of the racing-on search.
+  AutoMLOptions again_options = real_racing_options(12);
+  again_options.racing = tight_racing();
+  AutoML again;
+  again.fit(data, again_options);
+  expect_histories_identical(again.history(), automl.history(),
+                             "racing-on run-to-run");
+}
+
+TEST(RacingSearch, ParallelTightSlackSearchIsPinnedToo) {
+  const Dataset data = resume_tiny_binary(2024);
+  AutoMLOptions options = real_racing_options(12);
+  options.racing = tight_racing();
+  options.n_parallel = 2;
+  AutoML automl;
+  automl.fit(data, options);
+  ASSERT_EQ(automl.history().size(), 12u);
+  expect_history_digest(automl.history(), kRacingParallelDigest,
+                        "racing-on parallel golden");
+}
+
+TEST(RacingSearch, MonitorStateRoundTripsThroughTheCheckpoint) {
+  const Dataset data = resume_tiny_binary(2024);
+  AutoMLOptions options = real_racing_options(12);
+  options.racing = tight_racing();
+  AutoML automl;
+  automl.fit(data, options);
+  const resume::SearchCheckpoint ckpt = automl.checkpoint_to();
+  ASSERT_TRUE(ckpt.racing.is_object());
+  ASSERT_FALSE(ckpt.racing.at("envelopes").array.empty());
+  // The AutoML layer can restore the monitor from the checkpoint field...
+  RacingMonitor restored;
+  restored.from_json(ckpt.racing);
+  EXPECT_GT(restored.n_envelopes(), 0u);
+  // ...and the full checkpoint survives its own serialization round trip
+  // with the racing state intact (structural validation in flaml_resume).
+  const resume::SearchCheckpoint reloaded =
+      resume::SearchCheckpoint::from_json(ckpt.to_json());
+  ASSERT_TRUE(reloaded.racing.is_object());
+  EXPECT_EQ(reloaded.racing.at("envelopes").array.size(),
+            ckpt.racing.at("envelopes").array.size());
+}
+
+// Satellite regression at the trace level: every trial_finished carries the
+// measured elapsed_seconds, and no killed trial's charged cost can exceed
+// the total wall budget (the bug charged the model's full-trial estimate).
+TEST(RacingTrace, TraceCostsNeverExceedTheWallBudget) {
+  const Dataset data = resume_tiny_binary(1001);
+  auto sink = std::make_shared<observe::MemoryTraceSink>();
+  AutoMLOptions options = resume_options(9, 10);
+  options.learner_choice = LearnerChoice::RoundRobin;
+  options.estimator_list = {"stub_fast", "overrunner"};
+  options.trial_cost_model = [](const Learner& learner, const Config&,
+                                std::size_t) {
+    return learner.name() == "overrunner" ? 1e9 : 0.5;
+  };
+  options.trace_sink = sink;
+  AutoML automl;
+  automl.add_learner(std::make_shared<StubLearner>("stub_fast", 1.0));
+  automl.add_learner(std::make_shared<OverrunLearner>());
+  automl.fit(data, options);
+  const auto finished = sink->of_type("trial_finished");
+  ASSERT_FALSE(finished.empty());
+  std::size_t killed = 0;
+  for (const observe::TraceEvent& e : finished) {
+    const JsonValue* cost = e.fields.find("cost");
+    ASSERT_NE(cost, nullptr);
+    ASSERT_TRUE(cost->is_number());
+    EXPECT_LE(cost->number, options.time_budget_seconds)
+        << "trace charged more budget than the trial could have burned";
+    const JsonValue* elapsed = e.fields.find("elapsed_seconds");
+    ASSERT_NE(elapsed, nullptr);
+    ASSERT_TRUE(elapsed->is_number());
+    EXPECT_GE(elapsed->number, 0.0);
+    const JsonValue* status = e.fields.find("status");
+    ASSERT_NE(status, nullptr);
+    if (status->str == "killed") ++killed;
+  }
+  EXPECT_GE(killed, 1u);  // the overrunner really was killed (and charged)
+}
+
+}  // namespace
+}  // namespace flaml

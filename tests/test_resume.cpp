@@ -207,7 +207,7 @@ JsonValue small_payload() {
 
 TEST(ResumeContainer, SerializeParseRoundTrip) {
   const std::string text = resume::serialize_checkpoint(small_payload());
-  ASSERT_EQ(text.rfind("flaml-checkpoint v2 ", 0), 0u) << text;
+  ASSERT_EQ(text.rfind("flaml-checkpoint v3 ", 0), 0u) << text;
   const JsonValue payload = resume::parse_checkpoint(text);
   EXPECT_EQ(payload.at("hello").str, "world");
   EXPECT_DOUBLE_EQ(payload.at("n").number, 3.0);
@@ -241,7 +241,7 @@ TEST(ResumeContainer, HeaderTamperingThrows) {
       SerializationError);
   // Declared length shorter / longer than the actual payload.
   EXPECT_THROW(
-      resume::parse_checkpoint("flaml-checkpoint v2 " +
+      resume::parse_checkpoint("flaml-checkpoint v3 " +
                                std::to_string(payload.size() - 1) + " 0\n" +
                                payload),
       SerializationError);
@@ -249,7 +249,7 @@ TEST(ResumeContainer, HeaderTamperingThrows) {
   EXPECT_THROW(resume::parse_checkpoint(text + "x"), SerializationError);
   // Absurd declared size must not allocate.
   EXPECT_THROW(
-      resume::parse_checkpoint("flaml-checkpoint v2 99999999999999 0\n"),
+      resume::parse_checkpoint("flaml-checkpoint v3 99999999999999 0\n"),
       SerializationError);
 }
 
@@ -300,7 +300,7 @@ TEST(ResumeCheckpoint, PayloadFieldCorruptionThrows) {
 
   {
     JsonValue bad = payload;
-    bad.set("version", JsonValue::make_number(3.0));
+    bad.set("version", JsonValue::make_number(4.0));
     EXPECT_THROW(resume::SearchCheckpoint::from_json(bad), SerializationError);
   }
   {
@@ -535,7 +535,7 @@ TEST(ResumeDurability, LeftoverTmpNextToAValidCheckpointIsIgnored) {
   // LATER checkpoint write, before its rename) must not affect loading.
   {
     std::ofstream tmp(path + ".tmp", std::ios::binary);
-    tmp << "flaml-checkpoint v2 99 0\ntruncated mid-wri";
+    tmp << "flaml-checkpoint v3 99 0\ntruncated mid-wri";
   }
   const resume::SearchCheckpoint loaded = resume::SearchCheckpoint::load(path);
   EXPECT_EQ(loaded.iteration, 4u);
@@ -547,7 +547,7 @@ TEST(ResumeDurability, HalfWrittenTmpWithoutAFinalFileIsRefused) {
   std::remove(path.c_str());
   {
     std::ofstream tmp(path + ".tmp", std::ios::binary);
-    tmp << "flaml-checkpoint v2 99 0\ntruncated mid-wri";
+    tmp << "flaml-checkpoint v3 99 0\ntruncated mid-wri";
   }
   // The orphaned tmp may hold anything — loading it in place of the missing
   // final file would resurrect a torn checkpoint. The reader must refuse
