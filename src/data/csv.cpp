@@ -48,19 +48,30 @@ Dataset read_csv(std::istream& in, const CsvOptions& options) {
   FLAML_REQUIRE(std::getline(in, line), "CSV stream is empty");
   std::vector<std::string> header = split_line(line, options.delimiter);
   for (auto& h : header) h = trim(h);
-  FLAML_REQUIRE(header.size() >= 2, "CSV needs at least one feature and a label");
+  if (options.has_label) {
+    FLAML_REQUIRE(header.size() >= 2,
+                  "CSV needs at least one feature and a label");
+  } else {
+    FLAML_REQUIRE(header.size() >= 1, "CSV needs at least one feature column");
+  }
 
-  std::size_t label_col = header.size() - 1;
-  if (!options.label_column.empty()) {
-    bool found = false;
-    for (std::size_t i = 0; i < header.size(); ++i) {
-      if (header[i] == options.label_column) {
-        label_col = i;
-        found = true;
-        break;
+  // header.size() is the "no label column" sentinel: every column is a
+  // feature (prediction-only input).
+  std::size_t label_col = header.size();
+  if (options.has_label) {
+    label_col = header.size() - 1;
+    if (!options.label_column.empty()) {
+      bool found = false;
+      for (std::size_t i = 0; i < header.size(); ++i) {
+        if (header[i] == options.label_column) {
+          label_col = i;
+          found = true;
+          break;
+        }
       }
+      FLAML_REQUIRE(found,
+                    "label column '" << options.label_column << "' not in header");
     }
-    FLAML_REQUIRE(found, "label column '" << options.label_column << "' not in header");
   }
 
   // First pass: read all cells as strings.
@@ -77,7 +88,7 @@ Dataset read_csv(std::istream& in, const CsvOptions& options) {
   }
   FLAML_REQUIRE(!raw.empty(), "CSV has a header but no data rows");
 
-  const std::size_t n_features = header.size() - 1;
+  const std::size_t n_features = header.size() - (options.has_label ? 1 : 0);
   // Decide per-feature type: numeric unless some non-empty cell fails to parse.
   std::vector<std::size_t> feature_cols;
   for (std::size_t c = 0; c < header.size(); ++c) {
@@ -122,26 +133,30 @@ Dataset read_csv(std::istream& in, const CsvOptions& options) {
   }
 
   // Labels: numeric for regression; for classification accept numeric class
-  // ids or strings (dictionary-encoded).
-  std::vector<double> labels(raw.size());
-  std::map<std::string, int> label_dict;
-  for (std::size_t r = 0; r < raw.size(); ++r) {
-    const std::string cell = trim(raw[r][label_col]);
-    FLAML_REQUIRE(!cell.empty(), "missing label on data row " << r + 2);
-    // Labels parse at double precision: going through float would truncate
-    // regression targets and break the write→read round trip.
-    double v;
-    if (parse_number(cell, v)) {
-      labels[r] = v;
-    } else {
-      FLAML_REQUIRE(is_classification(options.task),
-                    "non-numeric regression label '" << cell << "'");
-      auto [it, inserted] = label_dict.emplace(cell, static_cast<int>(label_dict.size()));
-      labels[r] = static_cast<double>(it->second);
+  // ids or strings (dictionary-encoded). Unlabeled files (has_label false)
+  // get all-zero labels and a Regression task — see the header contract.
+  std::vector<double> labels(raw.size(), 0.0);
+  if (options.has_label) {
+    std::map<std::string, int> label_dict;
+    for (std::size_t r = 0; r < raw.size(); ++r) {
+      const std::string cell = trim(raw[r][label_col]);
+      FLAML_REQUIRE(!cell.empty(), "missing label on data row " << r + 2);
+      // Labels parse at double precision: going through float would truncate
+      // regression targets and break the write→read round trip.
+      double v;
+      if (parse_number(cell, v)) {
+        labels[r] = v;
+      } else {
+        FLAML_REQUIRE(is_classification(options.task),
+                      "non-numeric regression label '" << cell << "'");
+        auto [it, inserted] = label_dict.emplace(cell, static_cast<int>(label_dict.size()));
+        labels[r] = static_cast<double>(it->second);
+      }
     }
   }
 
-  Dataset data(options.task, std::move(columns));
+  Dataset data(options.has_label ? options.task : Task::Regression,
+               std::move(columns));
   for (std::size_t f = 0; f < n_features; ++f) data.set_column(f, std::move(values[f]));
   data.set_labels(std::move(labels));
   data.validate();
@@ -169,6 +184,9 @@ void write_number(std::ostream& out, T v) {
 }
 
 }  // namespace
+
+void write_csv_value(std::ostream& out, float v) { write_number(out, v); }
+void write_csv_value(std::ostream& out, double v) { write_number(out, v); }
 
 void write_csv(std::ostream& out, const DataView& view, char delimiter) {
   const Dataset& data = view.data();

@@ -5,6 +5,12 @@
 // containing a non-numeric, non-empty cell is treated as categorical and
 // dictionary-encoded in order of first appearance. Empty cells are missing
 // values (NaN).
+//
+// Prediction-only files have NO label column: set has_label = false and
+// every header column becomes a feature. The returned dataset carries
+// all-zero labels and Task::Regression regardless of `task` (an unlabeled
+// file has no task of its own — the model being applied to it does), so
+// consumers must not compute metrics against it.
 #pragma once
 
 #include <iosfwd>
@@ -16,6 +22,9 @@ namespace flaml {
 
 struct CsvOptions {
   char delimiter = ',';
+  // False: the file has no label column; every column is a feature and
+  // `label_column`/`task` are ignored (see the header comment).
+  bool has_label = true;
   // Name of the label column; empty means the last column.
   std::string label_column;
   Task task = Task::Regression;
@@ -29,5 +38,13 @@ Dataset read_csv_file(const std::string& path, const CsvOptions& options);
 // Write view (features + label column named "label") as CSV.
 void write_csv(std::ostream& out, const DataView& view, char delimiter = ',');
 void write_csv_file(const std::string& path, const DataView& view, char delimiter = ',');
+
+// Shortest decimal form that parses back to the exact same value
+// (std::to_chars without a precision argument). This is the only writer
+// that preserves the repo's round-trip guarantee — streaming a double with
+// the default 6-significant-digit ostream precision corrupts it on a
+// write→read round trip. Shared by write_csv and the prediction tools.
+void write_csv_value(std::ostream& out, float v);
+void write_csv_value(std::ostream& out, double v);
 
 }  // namespace flaml

@@ -24,6 +24,12 @@ class Checker {
       fail(0, "trace is empty");
       return;
     }
+    // A serving trace (prediction daemon) opens with predict_daemon_started
+    // and follows the predict_* schema — no trials, no run_summary.
+    if (result_.events.front().type == "predict_daemon_started") {
+      run_serving();
+      return;
+    }
     for (std::size_t i = 0; i < result_.events.size(); ++i) {
       check_event(i, result_.events[i]);
     }
@@ -73,6 +79,62 @@ class Checker {
                             " trial_finished count (" + std::to_string(finished) +
                             ")");
       }
+    }
+  }
+
+  // Serving-mode invariants: every predict_model_loaded carries the full
+  // model descriptor with generations strictly increasing from 1; every
+  // predict_batch names a generation that has been loaded and carries
+  // request/row counts with requests <= rows (requests are whole and
+  // non-empty); a batch before the first load is impossible.
+  void run_serving() {
+    std::uint64_t last_generation = 0;
+    for (std::size_t i = 0; i < result_.events.size(); ++i) {
+      const TraceEvent& event = result_.events[i];
+      ++result_.by_type[event.type];
+      if (!(event.time >= 0.0)) {
+        fail(i, "timestamp must be >= 0, got " + std::to_string(event.time));
+      }
+      if (event.type == "predict_daemon_started") {
+        if (i != 0) fail(i, "predict_daemon_started must be the first event");
+        require(i, event, "max_batch_rows", JsonValue::Type::Number);
+        require(i, event, "max_batch_delay_ms", JsonValue::Type::Number);
+      } else if (event.type == "predict_model_loaded") {
+        require(i, event, "kind", JsonValue::Type::String);
+        require(i, event, "task", JsonValue::Type::String);
+        require(i, event, "n_features", JsonValue::Type::Number);
+        require(i, event, "n_trees", JsonValue::Type::Number);
+        require(i, event, "source", JsonValue::Type::String);
+        const JsonValue* gen =
+            require(i, event, "generation", JsonValue::Type::Number);
+        if (gen != nullptr) {
+          if (!(gen->number == last_generation + 1.0)) {
+            fail(i, "predict_model_loaded generation must increase by 1 (got " +
+                        std::to_string(gen->number) + " after " +
+                        std::to_string(last_generation) + ")");
+          }
+          last_generation = static_cast<std::uint64_t>(gen->number);
+        }
+      } else if (event.type == "predict_batch") {
+        const JsonValue* gen =
+            require(i, event, "generation", JsonValue::Type::Number);
+        const JsonValue* requests =
+            require(i, event, "requests", JsonValue::Type::Number);
+        const JsonValue* rows =
+            require(i, event, "rows", JsonValue::Type::Number);
+        require(i, event, "predict_ms", JsonValue::Type::Number);
+        if (gen != nullptr &&
+            !(gen->number >= 1.0 && gen->number <= last_generation)) {
+          fail(i, "predict_batch generation " + std::to_string(gen->number) +
+                      " was never loaded");
+        }
+        if (requests != nullptr && rows != nullptr &&
+            requests->number > rows->number) {
+          fail(i, "predict_batch has more requests than rows");
+        }
+      }
+      // predict_daemon_drained / predict_daemon_shutdown are field-less;
+      // unknown types stay allowed for forward compatibility.
     }
   }
 

@@ -22,6 +22,12 @@
 //   * run_summary's n_trials equals the number of trial_finished events and
 //     its best_error equals the running minimum over successful trials.
 // Unknown event types are allowed (forward compatibility) but counted.
+//
+// Serving traces: a trace whose FIRST event is predict_daemon_started (the
+// prediction daemon, src/serve/predict_daemon.h) is validated against the
+// predict_* schema instead — model-load generations increase strictly by
+// 1, every predict_batch names a generation that has been loaded and has
+// requests <= rows, and the search-run rules above do not apply.
 #pragma once
 
 #include <iosfwd>

@@ -195,6 +195,13 @@ CompiledModel compile_saved(std::istream& in) {
   if (magic == "gbdt") return compile(GBDTModel::load(in));
   if (magic == "forest") return compile(ForestModel::load(in));
   if (magic == "linear") return compile(LinearModel::load(in));
+  if (magic == "flaml-model") {
+    std::string wrapper, version, learner;
+    in >> wrapper >> version >> learner;
+    FLAML_REQUIRE(in.good() && version == "v1",
+                  "unsupported flaml-model version '" << version << "'");
+    return compile_saved(in);
+  }
   FLAML_REQUIRE(false, "unknown saved-model format '" << magic << "'");
 }
 

@@ -105,6 +105,8 @@ CompiledModel compile(const LinearModel& model);
 
 // Compile from a model's text serialization (`gbdt v1` / `forest v1` /
 // `linear v1`): peeks the magic token and dispatches to the right loader.
+// A `flaml-model v1 <learner>` wrapper (the save_best_model file format,
+// what `flaml_train --model-out` writes) is unwrapped transparently.
 // The stream must be seekable (string streams and files are).
 CompiledModel compile_saved(std::istream& in);
 

@@ -1,0 +1,66 @@
+// Bounded, content-aware dataset cache for the wire services.
+//
+// The search service caches datasets so N jobs over the same data share one
+// immutable Dataset. The original cache keyed CSV entries by path|task|label
+// only — a file edited between two submits kept serving the FIRST parse
+// forever — and grew without bound. This cache fixes both:
+//
+//   * CSV entries are validated against a content fingerprint (byte count +
+//     FNV-1a 64 over the file bytes, read fresh on every lookup). A changed
+//     file yields a reparse that REPLACES the stale entry in place; an
+//     unchanged file is still parsed only once.
+//   * The cache holds at most `max_entries` datasets, evicted least
+//     recently used, so a long-running daemon fed many distinct files (or
+//     synthetic specs) cannot grow its resident set without bound.
+//
+// Thread-safe: lookups take one internal mutex (file I/O and parsing happen
+// outside it only in the sense that concurrent misses may parse twice; the
+// last one wins — acceptable for immutable values).
+#pragma once
+
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "data/dataset.h"
+#include "data/generators.h"
+
+namespace flaml::server {
+
+class DatasetCache {
+ public:
+  explicit DatasetCache(std::size_t max_entries = 16);
+
+  // CSV-backed dataset for (path, task, label). Reads the file bytes on
+  // every call; reparses only when the content fingerprint changed.
+  // Propagates read_csv's InvalidArgument on unreadable/malformed files.
+  std::shared_ptr<const Dataset> load_csv(const std::string& path, Task task,
+                                          const std::string& label_column);
+
+  // Synthetic dataset keyed by the full spec (a spec IS its content).
+  std::shared_ptr<const Dataset> load_synthetic(const SyntheticSpec& spec);
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::uint64_t fingerprint = 0;  // CSV: content hash; synthetic: 0
+    std::shared_ptr<const Dataset> data;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  // Both require mutex_ held.
+  void touch_locked(Entry& entry, const std::string& key);
+  std::shared_ptr<const Dataset> insert_locked(const std::string& key,
+                                               std::uint64_t fingerprint,
+                                               std::shared_ptr<const Dataset> data);
+
+  const std::size_t max_entries_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recently used
+};
+
+}  // namespace flaml::server

@@ -2,11 +2,9 @@
 
 #include <istream>
 #include <ostream>
-#include <sstream>
 
 #include "common/error.h"
-#include "data/csv.h"
-#include "data/generators.h"
+#include "common/wire.h"
 #include "observe/trace.h"
 #include "resume/serial_util.h"
 
@@ -14,59 +12,20 @@ namespace flaml::server {
 
 namespace {
 
+using wire::error_response;
+using wire::ok_response;
+using wire::opt;
+using wire::opt_number;
+using wire::opt_size;
+using wire::opt_string;
+using wire::req_id;
+
 Task parse_task(const std::string& name) {
   if (name == "binary") return Task::BinaryClassification;
   if (name == "multiclass") return Task::MultiClassification;
   if (name == "regression") return Task::Regression;
   throw InvalidArgument("unknown task '" + name +
                         "' (binary|multiclass|regression)");
-}
-
-const JsonValue* opt(const JsonValue& request, const std::string& key) {
-  return request.find(key);
-}
-
-std::string opt_string(const JsonValue& request, const std::string& key,
-                       const std::string& fallback) {
-  const JsonValue* v = opt(request, key);
-  if (v == nullptr) return fallback;
-  FLAML_REQUIRE(v->is_string(), "field '" << key << "' must be a string");
-  return v->str;
-}
-
-double opt_number(const JsonValue& request, const std::string& key,
-                  double fallback) {
-  const JsonValue* v = opt(request, key);
-  if (v == nullptr) return fallback;
-  FLAML_REQUIRE(v->is_number(), "field '" << key << "' must be a number");
-  return v->number;
-}
-
-std::size_t opt_size(const JsonValue& request, const std::string& key,
-                     std::size_t fallback) {
-  const double n = opt_number(request, key, static_cast<double>(fallback));
-  FLAML_REQUIRE(n >= 0, "field '" << key << "' must be >= 0");
-  return static_cast<std::size_t>(n);
-}
-
-std::uint64_t req_id(const JsonValue& request) {
-  const JsonValue* v = opt(request, "id");
-  FLAML_REQUIRE(v != nullptr && v->is_number() && v->number >= 1,
-                "request needs a numeric job \"id\"");
-  return static_cast<std::uint64_t>(v->number);
-}
-
-JsonValue ok_response() {
-  JsonValue out = JsonValue::make_object();
-  out.set("ok", JsonValue::make_bool(true));
-  return out;
-}
-
-JsonValue error_response(const std::string& message) {
-  JsonValue out = JsonValue::make_object();
-  out.set("ok", JsonValue::make_bool(false));
-  out.set("error", JsonValue::make_string(message));
-  return out;
 }
 
 JsonValue window_to_json(const RingTraceSink::Window& window) {
@@ -157,7 +116,7 @@ JsonValue SearchService::dispatch(const JsonValue& request) {
   }
   if (op == "events") {
     const std::uint64_t since =
-        static_cast<std::uint64_t>(opt_number(request, "since", 0.0));
+        static_cast<std::uint64_t>(opt_size(request, "since", 0));
     return window_to_json(daemon_->events(req_id(request), since));
   }
   if (op == "wait") {
@@ -185,21 +144,11 @@ JsonValue SearchService::dispatch(const JsonValue& request) {
 
 std::shared_ptr<const Dataset> SearchService::load_dataset(
     const JsonValue& request) {
-  std::string key;
   if (opt(request, "csv") != nullptr) {
     const std::string path = opt_string(request, "csv", "");
-    const std::string task = opt_string(request, "task", "binary");
+    const Task task = parse_task(opt_string(request, "task", "binary"));
     const std::string label = opt_string(request, "label", "");
-    key = "csv:" + path + "|" + task + "|" + label;
-    auto it = dataset_cache_.find(key);
-    if (it != dataset_cache_.end()) return it->second;
-    CsvOptions csv_options;
-    csv_options.task = parse_task(task);
-    csv_options.label_column = label;
-    auto data =
-        std::make_shared<const Dataset>(read_csv_file(path, csv_options));
-    dataset_cache_.emplace(key, data);
-    return data;
+    return dataset_cache_.load_csv(path, task, label);
   }
   const JsonValue* synthetic = opt(request, "synthetic");
   FLAML_REQUIRE(synthetic != nullptr,
@@ -211,15 +160,7 @@ std::shared_ptr<const Dataset> SearchService::load_dataset(
   spec.n_features = static_cast<int>(opt_size(*synthetic, "features", 8));
   spec.n_classes = static_cast<int>(opt_size(*synthetic, "classes", 2));
   spec.seed = opt_size(*synthetic, "seed", 1);
-  std::ostringstream fingerprint;
-  fingerprint << "syn:" << task_name(spec.task) << "|" << spec.n_rows << "|"
-              << spec.n_features << "|" << spec.n_classes << "|" << spec.seed;
-  key = fingerprint.str();
-  auto it = dataset_cache_.find(key);
-  if (it != dataset_cache_.end()) return it->second;
-  auto data = std::make_shared<const Dataset>(make_synthetic(spec));
-  dataset_cache_.emplace(key, data);
-  return data;
+  return dataset_cache_.load_synthetic(spec);
 }
 
 JsonValue SearchService::op_submit(const JsonValue& request) {

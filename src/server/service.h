@@ -32,11 +32,11 @@
 
 #include <functional>
 #include <iosfwd>
-#include <map>
 #include <memory>
 #include <string>
 
 #include "server/daemon.h"
+#include "server/dataset_cache.h"
 
 namespace flaml::server {
 
@@ -66,16 +66,19 @@ class SearchService {
   // True once a shutdown op was handled (the daemon is already down).
   bool shutdown_requested() const { return shutdown_requested_; }
 
+  // The dataset cache (bounded, content-fingerprinted — dataset_cache.h):
+  // N jobs over the same data share one immutable Dataset, and a CSV file
+  // rewritten between submits is re-parsed instead of served stale.
+  DatasetCache& dataset_cache() { return dataset_cache_; }
+
  private:
   JsonValue dispatch(const JsonValue& request);
   JsonValue op_submit(const JsonValue& request);
-  // Datasets are cached by content key (csv path+task+label / synthetic
-  // spec), so N jobs over the same data share one immutable Dataset.
   std::shared_ptr<const Dataset> load_dataset(const JsonValue& request);
 
   SearchDaemon* daemon_;
   Customize customize_;
-  std::map<std::string, std::shared_ptr<const Dataset>> dataset_cache_;
+  DatasetCache dataset_cache_;
   bool shutdown_requested_ = false;
 };
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -369,6 +370,79 @@ FLAML_PROP(CsvProp, ExtremeFloatsRoundTripBitwise, 40) {
   for (std::size_t i = 0; i < pool.size(); ++i) {
     EXPECT_EQ(float_bits(back.value(i, 0)), float_bits(pool[i]))
         << "value " << pool[i] << " (seed " << prop.seed << ")";
+  }
+}
+
+// --- unlabeled files (has_label = false) -----------------------------------
+
+TEST(Csv, NoLabelReadsEveryColumnAsAFeature) {
+  // Regression guard: with a label expected, the reader silently claims the
+  // last column — a prediction-only file would lose its last feature AND
+  // score against it. has_label = false keeps all columns.
+  std::istringstream in("a,b,c\n1,2,3\n4,5,6\n");
+  CsvOptions options;
+  options.has_label = false;
+  Dataset data = read_csv(in, options);
+  EXPECT_EQ(data.n_cols(), 3u);
+  EXPECT_EQ(data.n_rows(), 2u);
+  EXPECT_FLOAT_EQ(data.value(0, 2), 3.0f);
+  EXPECT_FLOAT_EQ(data.value(1, 2), 6.0f);
+  // The container is a regression dataset with all-zero labels (a
+  // classification container would reject single-class labels).
+  EXPECT_EQ(static_cast<int>(data.task()), static_cast<int>(Task::Regression));
+  EXPECT_DOUBLE_EQ(data.label(0), 0.0);
+}
+
+TEST(Csv, NoLabelIgnoresTaskAndLabelColumn) {
+  std::istringstream in("a\n1\n2\n");
+  CsvOptions options;
+  options.has_label = false;
+  options.task = Task::BinaryClassification;  // ignored
+  Dataset data = read_csv(in, options);
+  EXPECT_EQ(data.n_cols(), 1u);
+  EXPECT_EQ(static_cast<int>(data.task()), static_cast<int>(Task::Regression));
+}
+
+TEST(Csv, NoLabelSingleColumnAcceptedLabeledRejected) {
+  // One column is a valid unlabeled file but not a valid labeled one.
+  {
+    std::istringstream in("a\n1\n");
+    CsvOptions options;
+    options.has_label = false;
+    EXPECT_EQ(read_csv(in, options).n_cols(), 1u);
+  }
+  {
+    std::istringstream in("a\n1\n");
+    EXPECT_THROW(read_csv(in, CsvOptions{}), InvalidArgument);
+  }
+}
+
+// --- round-trip number writing ---------------------------------------------
+
+TEST(Csv, WriteCsvValueRoundTripsExactly) {
+  // The predict tool used to print at the default 6-sig-fig ostream
+  // precision, so written predictions re-read as different doubles.
+  const double doubles[] = {0.1,
+                            1.0 / 3.0,
+                            -0.0,
+                            1e-300,
+                            123456.789012345,
+                            std::numeric_limits<double>::max(),
+                            std::numeric_limits<double>::denorm_min()};
+  for (const double v : doubles) {
+    std::ostringstream out;
+    write_csv_value(out, v);
+    const double back = std::strtod(out.str().c_str(), nullptr);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back), std::bit_cast<std::uint64_t>(v))
+        << out.str();
+  }
+  const float floats[] = {0.1f, 1.0f / 3.0f, -0.0f, 3.4028235e38f};
+  for (const float v : floats) {
+    std::ostringstream out;
+    write_csv_value(out, v);
+    const float back = std::strtof(out.str().c_str(), nullptr);
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(back), std::bit_cast<std::uint32_t>(v))
+        << out.str();
   }
 }
 

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <thread>
@@ -538,6 +539,117 @@ TEST(SearchService, ServeStreamSpeaksOneLinePerRequest) {
   EXPECT_NE(lines[2].find("\"state\":\"finished\""), std::string::npos);
   EXPECT_NE(lines[3].find("\"bye\":true"), std::string::npos);
   EXPECT_TRUE(service.shutdown_requested());
+}
+
+// --- strict wire integers (regression: silent truncation) ------------------
+
+TEST(SearchService, RejectsFractionalAndOversizedIntegerFields) {
+  SearchDaemon daemon({/*slots=*/1, /*trace_capacity=*/512});
+  SearchService service(daemon);
+  service.set_customize(stub_customize());
+
+  // Before the strict decoders, "seed":1.5 silently became seed=1 and the
+  // job ran with options the client never asked for.
+  const char* bad_requests[] = {
+      R"({"op":"submit","synthetic":{"rows":100},"seed":1.5})",
+      R"({"op":"submit","synthetic":{"rows":100},"max_iterations":-3})",
+      R"({"op":"submit","synthetic":{"rows":100.5}})",
+      R"({"op":"submit","synthetic":{"rows":100},"quantum_trials":2.25})",
+      R"({"op":"submit","synthetic":{"rows":100},"seed":1e300})",
+      R"({"op":"status","id":1.5})",
+      R"({"op":"cancel","id":0})",
+      R"({"op":"wait","id":-1})",
+      R"({"op":"events","id":1,"since":0.5})",
+  };
+  for (const char* text : bad_requests) {
+    const JsonValue response = service.handle(request_of(text));
+    EXPECT_FALSE(response.at("ok").boolean) << text;
+    EXPECT_FALSE(response.at("error").str.empty()) << text;
+  }
+  // Nothing was submitted by any of the rejects.
+  EXPECT_EQ(service.handle(request_of(R"({"op":"list"})")).at("jobs").array.size(),
+            0u);
+  // An exact integral double is fine (JSON has no integer type).
+  const JsonValue response = service.handle(request_of(
+      R"({"op":"submit","synthetic":{"rows":100,"features":5,"seed":3},
+          "budget_seconds":1000000,"max_iterations":2,"seed":2.0})"));
+  EXPECT_TRUE(response.at("ok").boolean) << dump_json_compact(response);
+  service.handle(request_of(R"({"op":"wait_all"})"));
+}
+
+// --- dataset cache (regression: stale entries, unbounded growth) -----------
+
+std::string write_csv(const std::string& path, double y0) {
+  std::ofstream out(path);
+  out << "a,b,y\n";
+  for (int i = 0; i < 40; ++i) {
+    out << i << "," << (i % 7) << "," << (y0 + i) << "\n";
+  }
+  return path;
+}
+
+TEST(DatasetCache, RewrittenFileIsReparsedNotServedStale) {
+  const std::string path = ::testing::TempDir() + "cache_rewrite.csv";
+  server::DatasetCache cache;
+
+  write_csv(path, 0.0);
+  auto first = cache.load_csv(path, Task::Regression, "y");
+  EXPECT_DOUBLE_EQ(first->label(0), 0.0);
+  // Unchanged file: the SAME immutable dataset is shared, not reparsed.
+  EXPECT_EQ(cache.load_csv(path, Task::Regression, "y").get(), first.get());
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Rewrite between two submits — the old cache served the first parse
+  // forever; now the content fingerprint forces a reparse.
+  write_csv(path, 100.0);
+  auto second = cache.load_csv(path, Task::Regression, "y");
+  EXPECT_NE(second.get(), first.get());
+  EXPECT_DOUBLE_EQ(second->label(0), 100.0);
+  EXPECT_EQ(cache.size(), 1u);  // replaced in place, not duplicated
+
+  // The first dataset is still alive for the job that holds it.
+  EXPECT_DOUBLE_EQ(first->label(0), 0.0);
+}
+
+TEST(DatasetCache, EvictsLeastRecentlyUsedAtCapacity) {
+  server::DatasetCache cache(/*max_entries=*/2);
+  SyntheticSpec spec;
+  spec.n_rows = 30;
+  spec.n_features = 3;
+  auto first = cache.load_synthetic(spec);
+  spec.seed = 2;
+  cache.load_synthetic(spec);
+  EXPECT_EQ(cache.size(), 2u);
+
+  spec.seed = 1;  // touch the first entry -> seed 2 becomes LRU
+  EXPECT_EQ(cache.load_synthetic(spec).get(), first.get());
+
+  spec.seed = 3;  // evicts seed 2
+  cache.load_synthetic(spec);
+  EXPECT_EQ(cache.size(), 2u);
+  spec.seed = 1;  // still cached
+  EXPECT_EQ(cache.load_synthetic(spec).get(), first.get());
+}
+
+TEST(SearchService, SubmitPicksUpARewrittenCsv) {
+  const std::string path = ::testing::TempDir() + "service_rewrite.csv";
+  SearchDaemon daemon({/*slots=*/1, /*trace_capacity=*/512});
+  SearchService service(daemon);
+  service.set_customize(stub_customize());
+
+  write_csv(path, 0.0);
+  const std::string submit = R"({"op":"submit","csv":")" + path +
+                             R"(","task":"regression","label":"y",
+      "budget_seconds":1000000,"max_iterations":2,"seed":1})";
+  ASSERT_TRUE(service.handle(request_of(submit)).at("ok").boolean);
+  write_csv(path, 100.0);
+  ASSERT_TRUE(service.handle(request_of(submit)).at("ok").boolean);
+  service.handle(request_of(R"({"op":"wait_all"})"));
+
+  // Both submits parsed their own snapshot of the file.
+  EXPECT_EQ(service.dataset_cache().size(), 1u);
+  auto current = service.dataset_cache().load_csv(path, Task::Regression, "y");
+  EXPECT_DOUBLE_EQ(current->label(0), 100.0);
 }
 
 }  // namespace

@@ -1,0 +1,125 @@
+// Strict wire-JSON integer decoding (common/wire.h) — the regression suite
+// for the silent-truncation bug: JSON numbers are doubles, and the old
+// service helpers static_cast them, so {"seed":1.5} quietly became seed=1
+// and out-of-range doubles were undefined behaviour. The strict decoders
+// must reject fractional, negative, non-finite and beyond-2^53 values with
+// typed errors, and accept exact integers up to the representability
+// ceiling unchanged.
+#include "common/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace flaml {
+namespace {
+
+JsonValue obj(const std::string& json) { return parse_json(json); }
+
+TEST(Wire, OptSizeAcceptsExactIntegers) {
+  EXPECT_EQ(wire::opt_size(obj(R"({"n":0})"), "n", 7), 0u);
+  EXPECT_EQ(wire::opt_size(obj(R"({"n":42})"), "n", 7), 42u);
+  EXPECT_EQ(wire::opt_size(obj(R"({"n":1e6})"), "n", 7), 1000000u);
+  // Absent field -> fallback, untouched by validation.
+  EXPECT_EQ(wire::opt_size(obj(R"({})"), "n", 7), 7u);
+}
+
+TEST(Wire, OptSizeRejectsFractional) {
+  // The original bug: "seed":1.5 silently truncated to 1.
+  EXPECT_THROW(wire::opt_size(obj(R"({"seed":1.5})"), "seed", 0),
+               InvalidArgument);
+  EXPECT_THROW(wire::opt_size(obj(R"({"n":0.25})"), "n", 0), InvalidArgument);
+  EXPECT_THROW(wire::opt_size(obj(R"({"n":-0.5})"), "n", 0), InvalidArgument);
+}
+
+TEST(Wire, OptSizeRejectsNegative) {
+  EXPECT_THROW(wire::opt_size(obj(R"({"n":-1})"), "n", 0), InvalidArgument);
+  EXPECT_THROW(wire::opt_size(obj(R"({"n":-1e18})"), "n", 0), InvalidArgument);
+}
+
+TEST(Wire, OptSizeAroundTheSafeIntegerCeiling) {
+  // 2^53 is the last double that represents every smaller integer exactly.
+  const double ceiling = static_cast<double>(wire::kMaxSafeInteger);
+  JsonValue at = JsonValue::make_object();
+  at.set("n", JsonValue::make_number(ceiling));
+  EXPECT_EQ(wire::opt_size(at, "n", 0), wire::kMaxSafeInteger);
+
+  JsonValue below = JsonValue::make_object();
+  below.set("n", JsonValue::make_number(ceiling - 1.0));
+  EXPECT_EQ(wire::opt_size(below, "n", 0), wire::kMaxSafeInteger - 1);
+
+  // 2^53 + 1 is not representable; the nearest doubles are 2^53 (accepted,
+  // exact) and 2^53 + 2 (above the ceiling -> rejected, never aliased).
+  JsonValue above = JsonValue::make_object();
+  above.set("n", JsonValue::make_number(ceiling + 2.0));
+  EXPECT_THROW(wire::opt_size(above, "n", 0), InvalidArgument);
+
+  // An explicit tighter cap rejects values the ceiling would accept.
+  EXPECT_THROW(wire::opt_size(obj(R"({"n":11})"), "n", 0, 10), InvalidArgument);
+  EXPECT_EQ(wire::opt_size(obj(R"({"n":10})"), "n", 0, 10), 10u);
+}
+
+TEST(Wire, OptSizeRejectsNonFinite) {
+  // make_number itself refuses non-finite values, so a non-finite number can
+  // only appear via a bug elsewhere; build one by hand to prove the wire
+  // layer is defensive in depth rather than trusting its callers.
+  JsonValue bad = JsonValue::make_number(0.0);
+  bad.number = std::numeric_limits<double>::infinity();
+  JsonValue request = JsonValue::make_object();
+  request.set("n", bad);
+  EXPECT_THROW(wire::opt_size(request, "n", 0), InvalidArgument);
+  bad.number = std::numeric_limits<double>::quiet_NaN();
+  request.set("n", bad);
+  EXPECT_THROW(wire::opt_size(request, "n", 0), InvalidArgument);
+}
+
+TEST(Wire, OptSizeRejectsWrongType) {
+  EXPECT_THROW(wire::opt_size(obj(R"({"n":"3"})"), "n", 0), InvalidArgument);
+  EXPECT_THROW(wire::opt_size(obj(R"({"n":true})"), "n", 0), InvalidArgument);
+}
+
+TEST(Wire, ReqIdRequiresPositiveIntegral) {
+  EXPECT_EQ(wire::req_id(obj(R"({"id":1})")), 1u);
+  EXPECT_EQ(wire::req_id(obj(R"({"id":12345})")), 12345u);
+  EXPECT_THROW(wire::req_id(obj(R"({})")), InvalidArgument);       // absent
+  EXPECT_THROW(wire::req_id(obj(R"({"id":0})")), InvalidArgument);  // < 1
+  EXPECT_THROW(wire::req_id(obj(R"({"id":1.5})")), InvalidArgument);
+  EXPECT_THROW(wire::req_id(obj(R"({"id":-3})")), InvalidArgument);
+  EXPECT_THROW(wire::req_id(obj(R"({"id":"1"})")), InvalidArgument);
+}
+
+TEST(Wire, ErrorsNameTheField) {
+  try {
+    wire::opt_size(obj(R"({"quantum_trials":2.5})"), "quantum_trials", 0);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("quantum_trials"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Wire, OptionalTypedFields) {
+  const JsonValue request = obj(R"({"s":"x","b":true,"d":2.5})");
+  EXPECT_EQ(wire::opt_string(request, "s", "f"), "x");
+  EXPECT_EQ(wire::opt_string(request, "missing", "f"), "f");
+  EXPECT_TRUE(wire::opt_bool(request, "b", false));
+  EXPECT_FALSE(wire::opt_bool(request, "missing", false));
+  EXPECT_DOUBLE_EQ(wire::opt_number(request, "d", 0.0), 2.5);
+  EXPECT_THROW(wire::opt_string(request, "b", "f"), InvalidArgument);
+  EXPECT_THROW(wire::opt_number(request, "s", 0.0), InvalidArgument);
+}
+
+TEST(Wire, ResponseShells) {
+  const JsonValue ok = wire::ok_response();
+  ASSERT_NE(ok.find("ok"), nullptr);
+  EXPECT_TRUE(ok.find("ok")->boolean);
+  const JsonValue err = wire::error_response("boom");
+  EXPECT_FALSE(err.find("ok")->boolean);
+  EXPECT_EQ(err.find("error")->str, "boom");
+}
+
+}  // namespace
+}  // namespace flaml

@@ -2,11 +2,17 @@
 //
 // Usage:
 //   flaml_predict --data=test.csv --model=model.txt --task=binary \
-//                 [--label=<column>] [--out=predictions.csv] [--metric=...]
+//                 [--label=<column>] [--no-label] [--out=predictions.csv] \
+//                 [--metric=...]
 //
 // The test CSV must have the same feature columns (same order and types) as
-// the training CSV. If a label column is present, the error metric is
-// reported; predictions go to --out (or stdout).
+// the training CSV. With a label column present (the default; named by
+// --label, else the last column), the error metric is reported on stderr.
+// Prediction-only files carry NO label column: pass --no-label so every
+// column is read as a feature — without it the reader would silently claim
+// the last feature as a label and score nonsense against it. Predictions go
+// to --out (or stdout) in the round-trip decimal form (write_csv_value), so
+// reading them back yields the exact same doubles.
 //
 // Caveat: string-valued categorical columns are dictionary-encoded per file
 // (codes by first appearance), so train and test files must either use the
@@ -29,6 +35,7 @@ std::string flag(int argc, char** argv, const std::string& key,
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+    if (arg == "--" + key) return "1";
   }
   return fallback;
 }
@@ -49,23 +56,34 @@ int main(int argc, char** argv) {
     if (data_path.empty() || model_path.empty()) {
       std::fprintf(stderr,
                    "usage: flaml_predict --data=test.csv --model=model.txt "
-                   "--task=binary [--label=col] [--out=pred.csv] [--metric=...]\n");
+                   "--task=binary [--label=col] [--no-label] [--out=pred.csv] "
+                   "[--metric=...]\n");
       return 2;
     }
 
     CsvOptions csv_options;
     csv_options.task = parse_task(flag(argc, argv, "task", "binary"));
     csv_options.label_column = flag(argc, argv, "label", "");
+    csv_options.has_label = flag(argc, argv, "no-label", "") != "1";
+    FLAML_REQUIRE(csv_options.has_label || csv_options.label_column.empty(),
+                  "--label and --no-label are mutually exclusive");
     Dataset data = read_csv_file(data_path, csv_options);
 
     std::unique_ptr<Model> model = load_automl_model_file(model_path);
     Predictions pred = model->predict(DataView(data));
 
     const std::string metric_name = flag(argc, argv, "metric", "");
-    ErrorMetric metric = metric_name.empty() ? ErrorMetric::default_for(data.task())
-                                             : ErrorMetric::by_name(metric_name);
-    std::fprintf(stderr, "%s error on %zu rows: %.6f\n", metric.name().c_str(),
-                 pred.n_rows(), metric(pred, data.labels()));
+    if (csv_options.has_label) {
+      ErrorMetric metric = metric_name.empty()
+                               ? ErrorMetric::default_for(data.task())
+                               : ErrorMetric::by_name(metric_name);
+      std::fprintf(stderr, "%s error on %zu rows: %.6f\n", metric.name().c_str(),
+                   pred.n_rows(), metric(pred, data.labels()));
+    } else {
+      FLAML_REQUIRE(metric_name.empty(),
+                    "--metric needs labels; drop --no-label to score");
+      std::fprintf(stderr, "predicted %zu unlabeled rows\n", pred.n_rows());
+    }
 
     std::ofstream file_out;
     const std::string out_path = flag(argc, argv, "out", "");
@@ -74,7 +92,9 @@ int main(int argc, char** argv) {
       file_out.open(out_path);
       FLAML_REQUIRE(file_out.good(), "cannot open '" << out_path << "'");
     }
-    if (is_classification(data.task())) {
+    // Output format follows the MODEL's task (pred.task), not the CSV
+    // reader's: an unlabeled file always reads as a regression container.
+    if (is_classification(pred.task)) {
       for (int c = 0; c < pred.n_classes; ++c) {
         out << (c ? "," : "") << "p_class" << c;
       }
@@ -82,14 +102,18 @@ int main(int argc, char** argv) {
       for (std::size_t i = 0; i < pred.n_rows(); ++i) {
         int best = 0;
         for (int c = 0; c < pred.n_classes; ++c) {
-          out << (c ? "," : "") << pred.prob(i, c);
+          if (c) out << ',';
+          write_csv_value(out, pred.prob(i, c));
           if (pred.prob(i, c) > pred.prob(i, best)) best = c;
         }
         out << ',' << best << '\n';
       }
     } else {
       out << "prediction\n";
-      for (double v : pred.values) out << v << '\n';
+      for (double v : pred.values) {
+        write_csv_value(out, v);
+        out << '\n';
+      }
     }
     if (!out_path.empty()) {
       std::fprintf(stderr, "predictions written to %s\n", out_path.c_str());
